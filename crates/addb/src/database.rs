@@ -1,0 +1,181 @@
+//! A database is a collection of ads tables, one per advertisement domain, exactly as
+//! the paper stores "a table in the DB for each domain" (Section 4.1).
+
+use crate::error::{DbError, DbResult};
+use crate::exec::{ExecOptions, Executor, QueryAnswer};
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// Collection of ads domain tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or replace) the table for a domain schema and return a mutable handle.
+    pub fn create_table(&mut self, schema: Schema) -> &mut Table {
+        let name = schema.name.clone();
+        self.tables.insert(name.clone(), Table::new(schema));
+        self.tables.get_mut(&name).expect("just inserted")
+    }
+
+    /// Add an already-populated table (used by the data generators).
+    pub fn add_table(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Get a table by domain name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Get a mutable table by domain name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Like [`Database::table`] but returns the crate error for unknown domains.
+    pub fn require_table(&self, name: &str) -> DbResult<&Table> {
+        self.table(name).ok_or_else(|| DbError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all domains, sorted.
+    pub fn domain_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the database holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of records across every domain.
+    pub fn total_records(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Execute a query against the domain it names.
+    pub fn execute(&self, query: &Query) -> DbResult<Vec<QueryAnswer>> {
+        let table = self.require_table(&query.table)?;
+        Executor::new(table).execute(query)
+    }
+
+    /// Execute a query with explicit executor options.
+    pub fn execute_with(&self, query: &Query, options: ExecOptions) -> DbResult<Vec<QueryAnswer>> {
+        let table = self.require_table(&query.table)?;
+        Executor::with_options(table, options).execute(query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Condition;
+    use crate::record::Record;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let cars = Schema::builder("cars")
+            .type1("make")
+            .type1("model")
+            .type2("color")
+            .type3("price", 500.0, 120_000.0, Some("usd"))
+            .build()
+            .unwrap();
+        let jobs = Schema::builder("jobs")
+            .type1("title")
+            .type2("language")
+            .type3("salary", 20_000.0, 300_000.0, Some("usd"))
+            .build()
+            .unwrap();
+        let t = db.create_table(cars);
+        t.insert(
+            Record::builder()
+                .text("make", "honda")
+                .text("model", "accord")
+                .text("color", "blue")
+                .number("price", 6600.0)
+                .build(),
+        )
+        .unwrap();
+        let t = db.create_table(jobs);
+        t.insert(
+            Record::builder()
+                .text("title", "software engineer")
+                .text("language", "c++")
+                .number("salary", 95_000.0)
+                .build(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn tables_are_addressable_by_domain() {
+        let db = db();
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+        assert_eq!(db.domain_names(), vec!["cars", "jobs"]);
+        assert_eq!(db.total_records(), 2);
+        assert!(db.table("cars").is_some());
+        assert!(db.table("boats").is_none());
+        assert!(db.require_table("boats").is_err());
+    }
+
+    #[test]
+    fn queries_route_to_the_right_table() {
+        let db = db();
+        let q = Query::new("cars").with_condition(Condition::eq("make", "honda"));
+        assert_eq!(db.execute(&q).unwrap().len(), 1);
+        let q = Query::new("jobs").with_condition(Condition::eq("language", "c++"));
+        assert_eq!(db.execute(&q).unwrap().len(), 1);
+        let q = Query::new("boats");
+        assert!(db.execute(&q).is_err());
+    }
+
+    #[test]
+    fn table_mut_allows_incremental_loading() {
+        let mut db = db();
+        db.table_mut("cars")
+            .unwrap()
+            .insert(
+                Record::builder()
+                    .text("make", "ford")
+                    .text("model", "focus")
+                    .number("price", 5000.0)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(db.table("cars").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn execute_with_options_matches_default_on_simple_queries() {
+        let db = db();
+        let q = Query::new("cars").with_condition(Condition::eq("color", "blue"));
+        let a = db.execute(&q).unwrap();
+        let b = db
+            .execute_with(
+                &q,
+                ExecOptions {
+                    superlatives_first: false,
+                    use_indexes: false,
+                },
+            )
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

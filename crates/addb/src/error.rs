@@ -1,0 +1,104 @@
+//! Error type shared by every layer of the ads database.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors produced while defining schemas, inserting records or executing queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The schema references an attribute twice or is otherwise malformed.
+    InvalidSchema(String),
+    /// An attribute named in a record or query does not exist in the schema.
+    UnknownAttribute {
+        /// The table whose schema was consulted.
+        table: String,
+        /// The attribute that could not be resolved.
+        attribute: String,
+    },
+    /// A record is missing one of the required Type I attribute values.
+    MissingRequiredAttribute {
+        /// The attribute that must be present.
+        attribute: String,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// The attribute being assigned.
+        attribute: String,
+        /// Human-readable description of the expected type.
+        expected: &'static str,
+        /// Human-readable description of the value that was supplied.
+        found: String,
+    },
+    /// The query referenced a table that does not exist in the database.
+    UnknownTable(String),
+    /// A numeric range condition is empty (e.g. BETWEEN 9 AND 2) and the paper's rules
+    /// require the evaluation to terminate with "search retrieved no results".
+    EmptyRange {
+        /// The attribute whose bounds do not overlap.
+        attribute: String,
+        /// Lower bound supplied by the user.
+        low: f64,
+        /// Upper bound supplied by the user.
+        high: f64,
+    },
+    /// The query is structurally invalid (e.g. a superlative over a non-numeric column).
+    InvalidQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            DbError::UnknownAttribute { table, attribute } => {
+                write!(f, "unknown attribute `{attribute}` in table `{table}`")
+            }
+            DbError::MissingRequiredAttribute { attribute } => {
+                write!(f, "record is missing required Type I attribute `{attribute}`")
+            }
+            DbError::TypeMismatch {
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch for attribute `{attribute}`: expected {expected}, found {found}"
+            ),
+            DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DbError::EmptyRange { attribute, low, high } => write!(
+                f,
+                "empty range on `{attribute}`: [{low}, {high}] — search retrieved no results"
+            ),
+            DbError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let err = DbError::UnknownAttribute {
+            table: "cars".into(),
+            attribute: "wheels".into(),
+        };
+        assert_eq!(err.to_string(), "unknown attribute `wheels` in table `cars`");
+        let err = DbError::EmptyRange {
+            attribute: "price".into(),
+            low: 9000.0,
+            high: 2000.0,
+        };
+        assert!(err.to_string().contains("no results"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DbError::UnknownTable("x".into()), DbError::UnknownTable("x".into()));
+        assert_ne!(DbError::UnknownTable("x".into()), DbError::UnknownTable("y".into()));
+    }
+}

@@ -1,0 +1,509 @@
+//! Query executor implementing the paper's evaluation order.
+//!
+//! Section 4.3 requires that, for efficiency and correctness:
+//!
+//! 1. Type I conditions are evaluated first (primary index),
+//! 2. Type II conditions next, on the records surviving step 1 (secondary index),
+//! 3. Type III boundary conditions next, on the records surviving step 2,
+//! 4. superlatives last, on the records surviving step 3.
+//!
+//! Superlatives-last is a *correctness* requirement ("cheapest Honda" must be the
+//! cheapest among Hondas, not a Honda among the globally cheapest cars); the rest is a
+//! performance ordering. [`ExecOptions::superlatives_first`] exists purely so that the
+//! ablation bench can demonstrate the incorrect behaviour the paper warns about.
+
+use crate::error::{DbError, DbResult};
+use crate::query::{BoolExpr, Comparison, Condition, Query, SuperlativeKind};
+use crate::record::{Record, RecordId};
+use crate::schema::AttrType;
+use crate::table::Table;
+use std::collections::HashSet;
+
+/// Tuning knobs for the executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Evaluate superlatives before the other conditions — the incorrect order discussed
+    /// in Section 4.3, kept for the ablation study.
+    pub superlatives_first: bool,
+    /// Use the hash / sorted-column indexes (true) or fall back to full scans (false).
+    /// The substring-index ablation bench flips this to quantify the speed-up.
+    pub use_indexes: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            superlatives_first: false,
+            use_indexes: true,
+        }
+    }
+}
+
+/// One answer produced by the executor: the record id and whether it matched every
+/// condition (exact) — partial answers are produced by the CQAds N−1 layer, not here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAnswer {
+    /// Identifier of the matching record.
+    pub id: RecordId,
+}
+
+/// Executes [`Query`] statements against a single [`Table`].
+#[derive(Debug, Clone, Copy)]
+pub struct Executor<'a> {
+    table: &'a Table,
+    options: ExecOptions,
+}
+
+impl<'a> Executor<'a> {
+    /// Executor with default options (paper-mandated evaluation order, indexes on).
+    pub fn new(table: &'a Table) -> Self {
+        Executor {
+            table,
+            options: ExecOptions::default(),
+        }
+    }
+
+    /// Executor with explicit options.
+    pub fn with_options(table: &'a Table, options: ExecOptions) -> Self {
+        Executor { table, options }
+    }
+
+    /// Run the query, returning at most `query.limit` answers in deterministic
+    /// (record-id) order, superlative answers first when superlatives are present.
+    pub fn execute(&self, query: &Query) -> DbResult<Vec<QueryAnswer>> {
+        if query.table != self.table.name() {
+            return Err(DbError::UnknownTable(query.table.clone()));
+        }
+        self.validate(query)?;
+
+        let mut candidates: HashSet<RecordId>;
+        if self.options.superlatives_first && !query.superlatives.is_empty() {
+            // Ablation: superlatives applied to the whole table, then filtered.
+            candidates = self.table.all_ids();
+            candidates = self.apply_superlatives(query, candidates)?;
+            candidates = self
+                .eval_expr(&query.expr, &candidates)?
+                .into_iter()
+                .collect();
+        } else {
+            candidates = self.eval_ordered(&query.expr)?;
+            candidates = self.apply_superlatives(query, candidates)?;
+        }
+
+        let mut ids: Vec<RecordId> = candidates.into_iter().collect();
+        ids.sort_unstable();
+        ids.truncate(query.limit);
+        Ok(ids.into_iter().map(|id| QueryAnswer { id }).collect())
+    }
+
+    /// Convenience: execute and materialize the matching records.
+    pub fn execute_records(&self, query: &Query) -> DbResult<Vec<(RecordId, &'a Record)>> {
+        Ok(self
+            .execute(query)?
+            .into_iter()
+            .filter_map(|a| self.table.get(a.id).map(|r| (a.id, r)))
+            .collect())
+    }
+
+    fn validate(&self, query: &Query) -> DbResult<()> {
+        for cond in query.expr.conditions() {
+            let attr = self.table.schema().require(&cond.attribute)?;
+            if let Comparison::Between(lo, hi) = cond.comparison {
+                if lo > hi {
+                    return Err(DbError::EmptyRange {
+                        attribute: cond.attribute.clone(),
+                        low: lo,
+                        high: hi,
+                    });
+                }
+            }
+            if cond.comparison.is_numeric() && attr.attr_type != AttrType::TypeIII {
+                return Err(DbError::InvalidQuery(format!(
+                    "numeric comparison on categorical attribute `{}`",
+                    cond.attribute
+                )));
+            }
+        }
+        for s in &query.superlatives {
+            let attr = self.table.schema().require(&s.attribute)?;
+            if attr.attr_type != AttrType::TypeIII {
+                return Err(DbError::InvalidQuery(format!(
+                    "superlative over non-numeric attribute `{}`",
+                    s.attribute
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the WHERE expression. For a pure conjunction we can follow the paper's
+    /// Type I → Type II → Type III ordering exactly; for arbitrary boolean expressions we
+    /// recurse with set semantics (each AND branch still orders its own conditions).
+    fn eval_ordered(&self, expr: &BoolExpr) -> DbResult<HashSet<RecordId>> {
+        match expr {
+            BoolExpr::True => Ok(self.table.all_ids()),
+            BoolExpr::Cond(c) => Ok(self.eval_condition(c, None)),
+            BoolExpr::Not(inner) => {
+                let matched = self.eval_ordered(inner)?;
+                Ok(self
+                    .table
+                    .all_ids()
+                    .difference(&matched)
+                    .copied()
+                    .collect())
+            }
+            BoolExpr::Or(parts) => {
+                let mut acc = HashSet::new();
+                for p in parts {
+                    acc.extend(self.eval_ordered(p)?);
+                }
+                Ok(acc)
+            }
+            BoolExpr::And(parts) => {
+                // Partition leaf conditions by attribute type so they are applied in the
+                // paper's order; non-leaf sub-expressions are applied last.
+                let mut t1 = Vec::new();
+                let mut t2 = Vec::new();
+                let mut t3 = Vec::new();
+                let mut complex = Vec::new();
+                for p in parts {
+                    match p {
+                        BoolExpr::Cond(c) => {
+                            match self.table.schema().require(&c.attribute)?.attr_type {
+                                AttrType::TypeI => t1.push(c),
+                                AttrType::TypeII => t2.push(c),
+                                AttrType::TypeIII => t3.push(c),
+                            }
+                        }
+                        other => complex.push(other),
+                    }
+                }
+                let mut current: Option<HashSet<RecordId>> = None;
+                for c in t1.into_iter().chain(t2).chain(t3) {
+                    let next = self.eval_condition(c, current.as_ref());
+                    current = Some(next);
+                    if current.as_ref().map(|s| s.is_empty()).unwrap_or(false) {
+                        return Ok(HashSet::new());
+                    }
+                }
+                let mut acc = current.unwrap_or_else(|| self.table.all_ids());
+                for sub in complex {
+                    let rhs = self.eval_ordered(sub)?;
+                    acc.retain(|id| rhs.contains(id));
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                Ok(acc)
+            }
+        }
+    }
+
+    /// Generic (unordered) expression evaluation over an explicit candidate set; used by
+    /// the superlatives-first ablation path.
+    fn eval_expr(
+        &self,
+        expr: &BoolExpr,
+        candidates: &HashSet<RecordId>,
+    ) -> DbResult<Vec<RecordId>> {
+        let matched = self.eval_ordered(expr)?;
+        Ok(candidates.iter().filter(|id| matched.contains(id)).copied().collect())
+    }
+
+    /// Evaluate one condition, optionally restricted to a candidate set produced by the
+    /// previous evaluation step.
+    fn eval_condition(
+        &self,
+        cond: &Condition,
+        candidates: Option<&HashSet<RecordId>>,
+    ) -> HashSet<RecordId> {
+        let matched: HashSet<RecordId> = if self.options.use_indexes && !cond.negated {
+            match &cond.comparison {
+                Comparison::Eq(crate::value::Value::Text(v)) => {
+                    self.table.lookup_eq(&cond.attribute, v).into_iter().collect()
+                }
+                Comparison::Eq(crate::value::Value::Number(n)) => self
+                    .table
+                    .lookup_range(&cond.attribute, *n, *n)
+                    .into_iter()
+                    .collect(),
+                Comparison::Lt(b) => self
+                    .table
+                    .lookup_range(&cond.attribute, f64::NEG_INFINITY, prev_float(*b))
+                    .into_iter()
+                    .collect(),
+                Comparison::Le(b) => self
+                    .table
+                    .lookup_range(&cond.attribute, f64::NEG_INFINITY, *b)
+                    .into_iter()
+                    .collect(),
+                Comparison::Gt(b) => self
+                    .table
+                    .lookup_range(&cond.attribute, next_float(*b), f64::INFINITY)
+                    .into_iter()
+                    .collect(),
+                Comparison::Ge(b) => self
+                    .table
+                    .lookup_range(&cond.attribute, *b, f64::INFINITY)
+                    .into_iter()
+                    .collect(),
+                Comparison::Between(lo, hi) => self
+                    .table
+                    .lookup_range(&cond.attribute, *lo, *hi)
+                    .into_iter()
+                    .collect(),
+                Comparison::Contains(needle) => {
+                    // Substring index pre-filter, then verify.
+                    let cands = self
+                        .table
+                        .substring_index()
+                        .substring_candidates(&cond.attribute, needle);
+                    cands
+                        .into_iter()
+                        .filter(|id| {
+                            self.table
+                                .get(*id)
+                                .map(|r| cond.matches_value(r.get(&cond.attribute)))
+                                .unwrap_or(false)
+                        })
+                        .collect()
+                }
+            }
+        } else {
+            // Full scan (negated conditions and the no-index ablation).
+            self.table
+                .iter()
+                .filter(|(_, r)| cond.matches_value(r.get(&cond.attribute)))
+                .map(|(id, _)| id)
+                .collect()
+        };
+        match candidates {
+            Some(c) => matched.intersection(c).copied().collect(),
+            None => matched,
+        }
+    }
+
+    fn apply_superlatives(
+        &self,
+        query: &Query,
+        mut candidates: HashSet<RecordId>,
+    ) -> DbResult<HashSet<RecordId>> {
+        for s in &query.superlatives {
+            if candidates.is_empty() {
+                return Ok(candidates);
+            }
+            let max = matches!(s.kind, SuperlativeKind::Max);
+            match self.table.extreme(&s.attribute, &candidates, max) {
+                Some((_, ids)) => candidates = ids.into_iter().collect(),
+                None => candidates.clear(),
+            }
+        }
+        Ok(candidates)
+    }
+}
+
+fn next_float(x: f64) -> f64 {
+    // Smallest representable value strictly greater than x, adequate for ad prices/years.
+    x + x.abs().max(1.0) * 1e-12
+}
+
+fn prev_float(x: f64) -> f64 {
+    x - x.abs().max(1.0) * 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Superlative;
+    use crate::record::Record;
+    use crate::schema::Schema;
+
+    fn sample_table() -> Table {
+        let schema = Schema::builder("cars")
+            .type1("make")
+            .type1("model")
+            .type2("color")
+            .type2("transmission")
+            .type3("price", 500.0, 120_000.0, Some("usd"))
+            .type3("year", 1985.0, 2011.0, None)
+            .build()
+            .unwrap();
+        let mut t = Table::new(schema);
+        let rows = [
+            ("honda", "accord", "blue", "automatic", 6600.0, 2004.0),
+            ("honda", "accord", "gold", "manual", 16536.0, 2009.0),
+            ("honda", "civic", "red", "automatic", 4500.0, 2001.0),
+            ("toyota", "camry", "blue", "automatic", 8561.0, 2006.0),
+            ("toyota", "corolla", "silver", "manual", 3900.0, 1999.0),
+            ("ford", "focus", "blue", "manual", 6795.0, 2005.0),
+        ];
+        for (make, model, color, trans, price, year) in rows {
+            t.insert(
+                Record::builder()
+                    .text("make", make)
+                    .text("model", model)
+                    .text("color", color)
+                    .text("transmission", trans)
+                    .number("price", price)
+                    .number("year", year)
+                    .build(),
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn conjunction_follows_type_order_and_matches() {
+        let t = sample_table();
+        let q = Query::new("cars")
+            .with_condition(Condition::eq("make", "honda"))
+            .with_condition(Condition::eq("color", "blue"))
+            .with_condition(Condition::new("price", Comparison::Lt(15_000.0)));
+        let answers = Executor::new(&t).execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(t.get(answers[0].id).unwrap().get_text("model"), Some("accord"));
+    }
+
+    #[test]
+    fn cheapest_honda_is_evaluated_after_make() {
+        let t = sample_table();
+        // "cheapest honda": the cheapest car overall is the toyota corolla at 3900, so
+        // evaluating the superlative first would lose all Hondas (Section 4.3).
+        let q = Query::new("cars")
+            .with_condition(Condition::eq("make", "honda"))
+            .with_superlative(Superlative::min("price"));
+        let answers = Executor::new(&t).execute(&q).unwrap();
+        assert_eq!(answers.len(), 1);
+        let r = t.get(answers[0].id).unwrap();
+        assert_eq!(r.get_text("make"), Some("honda"));
+        assert_eq!(r.get_number("price"), Some(4500.0));
+    }
+
+    #[test]
+    fn superlatives_first_ablation_reproduces_the_paper_failure_mode() {
+        let t = sample_table();
+        let q = Query::new("cars")
+            .with_condition(Condition::eq("make", "honda"))
+            .with_superlative(Superlative::min("price"));
+        let wrong = Executor::with_options(
+            &t,
+            ExecOptions {
+                superlatives_first: true,
+                use_indexes: true,
+            },
+        );
+        // Cheapest car overall is a Toyota, so filtering by Honda afterwards yields nothing.
+        assert!(wrong.execute(&q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn or_and_not_expressions_evaluate_with_set_semantics() {
+        let t = sample_table();
+        // "Toyota Corolla or a silver not manual Honda Accord" simplified:
+        let expr = BoolExpr::or(vec![
+            BoolExpr::and(vec![
+                BoolExpr::Cond(Condition::eq("make", "toyota")),
+                BoolExpr::Cond(Condition::eq("model", "corolla")),
+            ]),
+            BoolExpr::and(vec![
+                BoolExpr::Cond(Condition::eq("make", "honda")),
+                BoolExpr::Cond(Condition::eq("model", "accord")),
+                BoolExpr::Cond(Condition::eq("transmission", "manual").negated()),
+            ]),
+        ]);
+        let q = Query::new("cars").with_expr(expr);
+        let answers = Executor::new(&t).execute(&q).unwrap();
+        let models: Vec<_> = answers
+            .iter()
+            .map(|a| t.get(a.id).unwrap().get_text("model").unwrap().to_string())
+            .collect();
+        assert!(models.contains(&"corolla".to_string()));
+        assert!(models.contains(&"accord".to_string()));
+        assert_eq!(answers.len(), 2); // only the automatic accord qualifies
+    }
+
+    #[test]
+    fn between_and_contains_conditions() {
+        let t = sample_table();
+        let q = Query::new("cars")
+            .with_condition(Condition::new("price", Comparison::Between(4000.0, 7000.0)));
+        assert_eq!(Executor::new(&t).execute(&q).unwrap().len(), 3);
+        let q = Query::new("cars")
+            .with_condition(Condition::new("model", Comparison::Contains("cord".into())));
+        assert_eq!(Executor::new(&t).execute(&q).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_between_range_errors_like_rule_1c() {
+        let t = sample_table();
+        let q = Query::new("cars")
+            .with_condition(Condition::new("price", Comparison::Between(9000.0, 2000.0)));
+        assert!(matches!(
+            Executor::new(&t).execute(&q).unwrap_err(),
+            DbError::EmptyRange { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected() {
+        let t = sample_table();
+        let q = Query::new("cars").with_condition(Condition::eq("wheels", "4"));
+        assert!(matches!(
+            Executor::new(&t).execute(&q).unwrap_err(),
+            DbError::UnknownAttribute { .. }
+        ));
+        let q = Query::new("cars").with_condition(Condition::new("color", Comparison::Lt(3.0)));
+        assert!(matches!(
+            Executor::new(&t).execute(&q).unwrap_err(),
+            DbError::InvalidQuery(_)
+        ));
+        let q = Query::new("cars").with_superlative(Superlative::min("color"));
+        assert!(matches!(
+            Executor::new(&t).execute(&q).unwrap_err(),
+            DbError::InvalidQuery(_)
+        ));
+        let q = Query::new("boats");
+        assert!(matches!(
+            Executor::new(&t).execute(&q).unwrap_err(),
+            DbError::UnknownTable(_)
+        ));
+    }
+
+    #[test]
+    fn limit_caps_answers_and_true_returns_everything() {
+        let t = sample_table();
+        let q = Query::new("cars").with_limit(3);
+        assert_eq!(Executor::new(&t).execute(&q).unwrap().len(), 3);
+        let q = Query::new("cars");
+        assert_eq!(Executor::new(&t).execute(&q).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn index_and_scan_paths_agree() {
+        let t = sample_table();
+        let q = Query::new("cars")
+            .with_condition(Condition::eq("color", "blue"))
+            .with_condition(Condition::new("price", Comparison::Lt(8000.0)));
+        let with_idx = Executor::new(&t).execute(&q).unwrap();
+        let no_idx = Executor::with_options(
+            &t,
+            ExecOptions {
+                superlatives_first: false,
+                use_indexes: false,
+            },
+        )
+        .execute(&q)
+        .unwrap();
+        assert_eq!(with_idx, no_idx);
+    }
+
+    #[test]
+    fn execute_records_materializes_rows() {
+        let t = sample_table();
+        let q = Query::new("cars").with_condition(Condition::eq("make", "ford"));
+        let recs = Executor::new(&t).execute_records(&q).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.get_text("model"), Some("focus"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Ads tables: record storage plus the paper's three index structures.
+//!
+//! * Type I attribute values are kept in a **primary index** (value → record ids).
+//! * Type II attribute values are kept in a **secondary index**.
+//! * All categorical values also feed the length-3 **substring index** of Section 4.5.
+//! * Type III attribute values are stored in per-column sorted vectors so that range
+//!   and superlative evaluation does not need to touch unrelated records.
+
+use crate::error::{DbError, DbResult};
+use crate::record::{Record, RecordId};
+use crate::schema::{AttrType, Schema};
+use crate::substring::SubstringIndex;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// One ads domain table: schema, rows and indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    records: Vec<Record>,
+    /// attribute -> text value -> record ids (Type I).
+    primary: HashMap<String, HashMap<String, Vec<RecordId>>>,
+    /// attribute -> text value -> record ids (Type II).
+    secondary: HashMap<String, HashMap<String, Vec<RecordId>>>,
+    /// attribute -> (value, record id) sorted by value (Type III).
+    numeric: HashMap<String, Vec<(f64, RecordId)>>,
+    substring: SubstringIndex,
+}
+
+impl Table {
+    /// Create an empty table for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let mut primary = HashMap::new();
+        let mut secondary = HashMap::new();
+        let mut numeric = HashMap::new();
+        for attr in schema.attributes() {
+            match attr.attr_type {
+                AttrType::TypeI => {
+                    primary.insert(attr.name.clone(), HashMap::new());
+                }
+                AttrType::TypeII => {
+                    secondary.insert(attr.name.clone(), HashMap::new());
+                }
+                AttrType::TypeIII => {
+                    numeric.insert(attr.name.clone(), Vec::new());
+                }
+            }
+        }
+        Table {
+            schema,
+            records: Vec::new(),
+            primary,
+            secondary,
+            numeric,
+            substring: SubstringIndex::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Domain / table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Access to the substring index (used by the shorthand-matching code path).
+    pub fn substring_index(&self) -> &SubstringIndex {
+        &self.substring
+    }
+
+    /// Validate a record against the schema and insert it, updating every index.
+    pub fn insert(&mut self, record: Record) -> DbResult<RecordId> {
+        // Validation pass: unknown attributes, type mismatches, missing Type I values.
+        for (name, value) in record.fields() {
+            let attr = self.schema.require(name)?;
+            let ok = match attr.attr_type {
+                AttrType::TypeI | AttrType::TypeII => value.is_text(),
+                AttrType::TypeIII => value.is_number(),
+            };
+            if !ok {
+                return Err(DbError::TypeMismatch {
+                    attribute: name.to_string(),
+                    expected: match attr.attr_type {
+                        AttrType::TypeIII => "number",
+                        _ => "text",
+                    },
+                    found: value.type_name().to_string(),
+                });
+            }
+        }
+        for t1 in self.schema.type1_names() {
+            if !record.has(t1) {
+                return Err(DbError::MissingRequiredAttribute {
+                    attribute: t1.to_string(),
+                });
+            }
+        }
+
+        let id = RecordId(self.records.len() as u32);
+        for (name, value) in record.fields() {
+            match value {
+                Value::Text(text) => {
+                    self.substring.insert(name, text, id);
+                    let attr = self.schema.attribute(name).expect("validated above");
+                    let target = match attr.attr_type {
+                        AttrType::TypeI => self.primary.get_mut(name),
+                        AttrType::TypeII => self.secondary.get_mut(name),
+                        AttrType::TypeIII => None,
+                    };
+                    if let Some(index) = target {
+                        index.entry(text.clone()).or_default().push(id);
+                    }
+                }
+                Value::Number(n) => {
+                    if let Some(col) = self.numeric.get_mut(name) {
+                        let pos = col.partition_point(|(v, _)| *v < *n);
+                        col.insert(pos, (*n, id));
+                    }
+                }
+            }
+        }
+        self.records.push(record);
+        Ok(id)
+    }
+
+    /// Fetch a record by id.
+    pub fn get(&self, id: RecordId) -> Option<&Record> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// Iterate over `(id, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RecordId(i as u32), r))
+    }
+
+    /// All record ids in the table.
+    pub fn all_ids(&self) -> HashSet<RecordId> {
+        (0..self.records.len() as u32).map(RecordId).collect()
+    }
+
+    /// Records whose Type I or Type II `attribute` equals `value`, via the hash indexes.
+    pub fn lookup_eq(&self, attribute: &str, value: &str) -> Vec<RecordId> {
+        let value = crate::value::normalize_text(value);
+        let from_index = self
+            .primary
+            .get(attribute)
+            .or_else(|| self.secondary.get(attribute))
+            .and_then(|m| m.get(&value));
+        match from_index {
+            Some(ids) => ids.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records whose numeric `attribute` lies in `[low, high]`, via the sorted column.
+    pub fn lookup_range(&self, attribute: &str, low: f64, high: f64) -> Vec<RecordId> {
+        let Some(col) = self.numeric.get(attribute) else {
+            return Vec::new();
+        };
+        let start = col.partition_point(|(v, _)| *v < low);
+        col[start..]
+            .iter()
+            .take_while(|(v, _)| *v <= high)
+            .map(|(_, id)| *id)
+            .collect()
+    }
+
+    /// Minimum / maximum value of a numeric column among the given candidate set.
+    /// Returns the extreme value and every candidate record holding it.
+    pub fn extreme(
+        &self,
+        attribute: &str,
+        candidates: &HashSet<RecordId>,
+        max: bool,
+    ) -> Option<(f64, Vec<RecordId>)> {
+        let col = self.numeric.get(attribute)?;
+        let mut iter: Box<dyn Iterator<Item = &(f64, RecordId)>> = if max {
+            Box::new(col.iter().rev())
+        } else {
+            Box::new(col.iter())
+        };
+        let (best, first) = iter.find(|(_, id)| candidates.contains(id)).map(|(v, id)| (*v, *id))?;
+        // Collect every candidate sharing the extreme value.
+        let mut ids = vec![first];
+        for (v, id) in col.iter() {
+            if (*v - best).abs() < 1e-9 && *id != first && candidates.contains(id) {
+                ids.push(*id);
+            }
+        }
+        Some((best, ids))
+    }
+
+    /// Observed (min, max) of a numeric column — used as the "valid range" for the
+    /// incomplete-question best guess when it is narrower than the schema range
+    /// (Section 4.2.2: determined by the smallest/largest value under the column).
+    pub fn observed_range(&self, attribute: &str) -> Option<(f64, f64)> {
+        let col = self.numeric.get(attribute)?;
+        match (col.first(), col.last()) {
+            (Some((lo, _)), Some((hi, _))) => Some((*lo, *hi)),
+            _ => None,
+        }
+    }
+
+    /// Distinct categorical values of an attribute (used for AIMQ supertuples and for
+    /// trie construction).
+    pub fn distinct_text_values(&self, attribute: &str) -> Vec<String> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if let Some(v) = r.get_text(attribute) {
+                if seen.insert(v.to_string()) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car_schema() -> Schema {
+        Schema::builder("cars")
+            .type1("make")
+            .type1("model")
+            .type2("color")
+            .type2("transmission")
+            .type3("price", 500.0, 120_000.0, Some("usd"))
+            .type3("year", 1985.0, 2011.0, None)
+            .build()
+            .unwrap()
+    }
+
+    fn car(make: &str, model: &str, color: &str, trans: &str, price: f64, year: f64) -> Record {
+        Record::builder()
+            .text("make", make)
+            .text("model", model)
+            .text("color", color)
+            .text("transmission", trans)
+            .number("price", price)
+            .number("year", year)
+            .build()
+    }
+
+    fn sample_table() -> Table {
+        let mut t = Table::new(car_schema());
+        t.insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0)).unwrap();
+        t.insert(car("honda", "accord", "gold", "manual", 16536.0, 2009.0)).unwrap();
+        t.insert(car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0)).unwrap();
+        t.insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0)).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates_required_type1_values() {
+        let mut t = Table::new(car_schema());
+        let missing_model = Record::builder().text("make", "honda").build();
+        let err = t.insert(missing_model).unwrap_err();
+        assert!(matches!(err, DbError::MissingRequiredAttribute { .. }));
+    }
+
+    #[test]
+    fn insert_validates_types_and_attributes() {
+        let mut t = Table::new(car_schema());
+        let bad_type = Record::builder()
+            .text("make", "honda")
+            .text("model", "accord")
+            .text("price", "cheap")
+            .build();
+        assert!(matches!(t.insert(bad_type).unwrap_err(), DbError::TypeMismatch { .. }));
+        let unknown = Record::builder()
+            .text("make", "honda")
+            .text("model", "accord")
+            .text("wheels", "4")
+            .build();
+        assert!(matches!(t.insert(unknown).unwrap_err(), DbError::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn primary_and_secondary_lookups_use_indexes() {
+        let t = sample_table();
+        assert_eq!(t.lookup_eq("make", "Honda").len(), 2);
+        assert_eq!(t.lookup_eq("model", "camry").len(), 1);
+        assert_eq!(t.lookup_eq("color", "blue").len(), 3);
+        assert_eq!(t.lookup_eq("color", "purple").len(), 0);
+        assert_eq!(t.lookup_eq("nonexistent", "x").len(), 0);
+    }
+
+    #[test]
+    fn range_lookup_is_inclusive_and_sorted() {
+        let t = sample_table();
+        let ids = t.lookup_range("price", 6600.0, 9000.0);
+        assert_eq!(ids.len(), 3);
+        let ids = t.lookup_range("price", 0.0, 100.0);
+        assert!(ids.is_empty());
+        let ids = t.lookup_range("year", 2006.0, 2011.0);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn extreme_respects_candidate_set() {
+        let t = sample_table();
+        let hondas: HashSet<RecordId> = t.lookup_eq("make", "honda").into_iter().collect();
+        let (cheapest, ids) = t.extreme("price", &hondas, false).unwrap();
+        assert_eq!(cheapest, 6600.0);
+        assert_eq!(ids.len(), 1);
+        let all = t.all_ids();
+        let (max_year, _) = t.extreme("year", &all, true).unwrap();
+        assert_eq!(max_year, 2009.0);
+        assert!(t.extreme("price", &HashSet::new(), false).is_none());
+    }
+
+    #[test]
+    fn observed_range_and_distinct_values() {
+        let t = sample_table();
+        assert_eq!(t.observed_range("price"), Some((6600.0, 16536.0)));
+        assert_eq!(t.observed_range("nonexistent"), None);
+        assert_eq!(t.distinct_text_values("make"), vec!["ford", "honda", "toyota"]);
+        assert_eq!(t.distinct_text_values("color").len(), 2);
+    }
+
+    #[test]
+    fn substring_index_is_populated_on_insert() {
+        let t = sample_table();
+        let cands = t.substring_index().substring_candidates("model", "cord");
+        assert_eq!(cands.len(), 2); // both accords
+    }
+
+    #[test]
+    fn len_iter_and_get_are_consistent() {
+        let t = sample_table();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!(t.get(RecordId(0)).unwrap().get_text("make"), Some("honda"));
+        assert!(t.get(RecordId(99)).is_none());
+        assert_eq!(t.all_ids().len(), 4);
+        assert_eq!(t.name(), "cars");
+    }
+}

@@ -1,0 +1,186 @@
+//! AIMQ baseline (Nambiar & Kambhampati, "Answering imprecise queries over autonomous
+//! web databases", ICDE 2006) as implemented for the paper's comparison (Equation 9).
+//!
+//! For every categorical attribute value the baseline builds a *supertuple*: the bag of
+//! attribute values that co-occur with it across the table. The similarity of two
+//! categorical values is the Jaccard coefficient of their supertuples (Equation 10); the
+//! similarity of two numeric values is `1 − |Q.Ai − A.Ai| / Q.Ai`; attribute importance
+//! weights are uniform (`1/n`), as stated in Section 5.5.2.
+
+use crate::{top_k_by_score, Ranker};
+use addb::{Record, RecordId, Table};
+use cqads::translate::{ConditionSketch, Interpretation};
+use std::collections::{HashMap, HashSet};
+
+/// AIMQ supertuple/Jaccard ranker.
+#[derive(Debug, Clone, Default)]
+pub struct AimqRanker;
+
+impl AimqRanker {
+    /// Create the ranker.
+    pub fn new() -> Self {
+        AimqRanker
+    }
+
+    /// Build the supertuple of `value` for `attribute`: every other attribute value that
+    /// co-occurs with it in some record of the table.
+    pub fn supertuple(table: &Table, attribute: &str, value: &str) -> HashSet<String> {
+        let mut out = HashSet::new();
+        for (_, record) in table.iter() {
+            if record.get_text(attribute) != Some(value) {
+                continue;
+            }
+            for (attr, v) in record.fields() {
+                if attr == attribute {
+                    continue;
+                }
+                out.insert(format!("{attr}={v}"));
+            }
+        }
+        out
+    }
+
+    fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection(b).count() as f64;
+        let union = a.union(b).count() as f64;
+        inter / union
+    }
+
+    /// AIMQ similarity of one record to the interpreted question (Equation 9).
+    pub fn score(
+        &self,
+        interpretation: &Interpretation,
+        table: &Table,
+        record: &Record,
+        supertuple_cache: &mut HashMap<(String, String), HashSet<String>>,
+    ) -> f64 {
+        let sketches = interpretation.all_sketches();
+        if sketches.is_empty() {
+            return 0.0;
+        }
+        let weight = 1.0 / sketches.len() as f64;
+        let mut total = 0.0;
+        for sketch in sketches {
+            let sim = match sketch {
+                ConditionSketch::Categorical {
+                    attribute, value, ..
+                } => {
+                    let Some(record_value) = record.get_text(attribute) else {
+                        continue;
+                    };
+                    if record_value == value {
+                        1.0
+                    } else {
+                        let q_super = supertuple_cache
+                            .entry((attribute.clone(), value.clone()))
+                            .or_insert_with(|| Self::supertuple(table, attribute, value))
+                            .clone();
+                        let r_super = supertuple_cache
+                            .entry((attribute.clone(), record_value.to_string()))
+                            .or_insert_with(|| Self::supertuple(table, attribute, record_value))
+                            .clone();
+                        Self::jaccard(&q_super, &r_super)
+                    }
+                }
+                ConditionSketch::Numeric {
+                    attribute, value, value2, ..
+                } => {
+                    let target = match value2 {
+                        Some(v2) => (value + v2) / 2.0,
+                        None => *value,
+                    };
+                    let attrs: Vec<String> = match attribute {
+                        Some(a) => vec![a.clone()],
+                        None => record
+                            .fields()
+                            .filter(|(_, v)| v.is_number())
+                            .map(|(a, _)| a.to_string())
+                            .collect(),
+                    };
+                    let mut best = 0.0_f64;
+                    for a in attrs {
+                        if let Some(v) = record.get_number(&a) {
+                            if target.abs() > f64::EPSILON {
+                                best = best.max((1.0 - (target - v).abs() / target.abs()).max(0.0));
+                            }
+                        }
+                    }
+                    best
+                }
+            };
+            total += weight * sim;
+        }
+        total
+    }
+}
+
+impl Ranker for AimqRanker {
+    fn name(&self) -> &'static str {
+        "AIMQ"
+    }
+
+    fn rank(&self, interpretation: &Interpretation, table: &Table, k: usize) -> Vec<RecordId> {
+        let mut cache = HashMap::new();
+        let scored = table
+            .iter()
+            .map(|(id, record)| (id, self.score(interpretation, table, record, &mut cache)))
+            .collect();
+        top_k_by_score(scored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{car_table, intent};
+
+    #[test]
+    fn supertuples_summarize_co_occurring_values() {
+        let (_, table) = car_table();
+        let s = AimqRanker::supertuple(&table, "model", "accord");
+        assert!(s.contains("make=honda"));
+        assert!(s.contains("color=blue"));
+        assert!(s.contains("color=gold"));
+        assert!(!s.contains("make=ford"));
+        // unknown values have empty supertuples
+        assert!(AimqRanker::supertuple(&table, "model", "prius").is_empty());
+    }
+
+    #[test]
+    fn exact_matches_outrank_partial_ones() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda accord under 10000 dollars");
+        let ranker = AimqRanker::new();
+        let top = ranker.rank(&interp, &table, 8);
+        assert_eq!(top[0], RecordId(0));
+        assert_eq!(ranker.name(), "AIMQ");
+    }
+
+    #[test]
+    fn related_models_score_above_unrelated_ones() {
+        let (spec, table) = car_table();
+        // Ask for a camry: the other automatic blue sedans share more supertuple entries
+        // with it than the manual red mustang does.
+        let interp = intent(&spec, "toyota camry blue automatic");
+        let ranker = AimqRanker::new();
+        let mut cache = HashMap::new();
+        let accord = ranker.score(&interp, &table, table.get(RecordId(0)).unwrap(), &mut cache);
+        let mustang = ranker.score(&interp, &table, table.get(RecordId(6)).unwrap(), &mut cache);
+        assert!(accord > mustang);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda accord under 10000 dollars");
+        let ranker = AimqRanker::new();
+        let mut cache = HashMap::new();
+        for (_, record) in table.iter() {
+            let s = ranker.score(&interp, &table, record, &mut cache);
+            assert!((0.0..=1.0 + 1e-9).contains(&s));
+        }
+    }
+}

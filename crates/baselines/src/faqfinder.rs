@@ -1,0 +1,162 @@
+//! FAQFinder baseline (Burke et al., AI Magazine 1997) as adapted in Section 5.5.2.
+//!
+//! "In implementing FAQFinder, we (i) compute the weights for the TF-IDF similarity
+//! measure based on all the ads records in our DB, (ii) treat each ads data record in
+//! the DB as a document, and (iii) treat each question submitted by the user as a FAQ."
+//! The ranker therefore scores every record by the TF-IDF cosine between the question's
+//! keyword bag and the record's token bag. Numeric attributes are not compared at all —
+//! which is why the paper observes FAQFinder ranking lowest among the non-random
+//! approaches.
+
+use crate::{top_k_by_score, Ranker};
+use addb::{Record, RecordId, Table};
+use cqads::translate::{ConditionSketch, Interpretation};
+use std::collections::HashMap;
+
+/// TF-IDF ranker over ads records treated as documents.
+#[derive(Debug, Clone, Default)]
+pub struct FaqFinderRanker;
+
+impl FaqFinderRanker {
+    /// Create the ranker.
+    pub fn new() -> Self {
+        FaqFinderRanker
+    }
+
+    /// Document frequency of every token across the table.
+    fn document_frequencies(table: &Table) -> HashMap<String, usize> {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for (_, record) in table.iter() {
+            let mut seen: Vec<&str> = record.text_tokens();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t.to_string()).or_insert(0) += 1;
+            }
+        }
+        df
+    }
+
+    /// The question's keyword bag: tokens of every categorical value it mentions.
+    /// Numeric constraints contribute nothing (FAQFinder does not compare numbers).
+    fn question_tokens(interpretation: &Interpretation) -> Vec<String> {
+        let mut out = Vec::new();
+        for sketch in interpretation.all_sketches() {
+            if let ConditionSketch::Categorical { value, .. } = sketch {
+                out.extend(value.split_whitespace().map(|s| s.to_string()));
+            }
+        }
+        out
+    }
+
+    fn tfidf_vector(
+        tokens: &[String],
+        df: &HashMap<String, usize>,
+        n_docs: f64,
+    ) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        tf.into_iter()
+            .map(|(t, count)| {
+                let dfi = df.get(&t).copied().unwrap_or(0) as f64;
+                let idf = ((n_docs + 1.0) / (dfi + 1.0)).ln() + 1.0;
+                (t, count * idf)
+            })
+            .collect()
+    }
+
+    fn cosine(a: &HashMap<String, f64>, b: &HashMap<String, f64>) -> f64 {
+        let dot: f64 = a
+            .iter()
+            .filter_map(|(t, w)| b.get(t).map(|w2| w * w2))
+            .sum();
+        let norm_a: f64 = a.values().map(|w| w * w).sum::<f64>().sqrt();
+        let norm_b: f64 = b.values().map(|w| w * w).sum::<f64>().sqrt();
+        if norm_a == 0.0 || norm_b == 0.0 {
+            0.0
+        } else {
+            dot / (norm_a * norm_b)
+        }
+    }
+
+    /// Score one record against the question.
+    pub fn score(
+        &self,
+        interpretation: &Interpretation,
+        record: &Record,
+        df: &HashMap<String, usize>,
+        n_docs: f64,
+    ) -> f64 {
+        let q_tokens = Self::question_tokens(interpretation);
+        if q_tokens.is_empty() {
+            return 0.0;
+        }
+        let r_tokens: Vec<String> = record.text_tokens().iter().map(|s| s.to_string()).collect();
+        let qv = Self::tfidf_vector(&q_tokens, df, n_docs);
+        let rv = Self::tfidf_vector(&r_tokens, df, n_docs);
+        Self::cosine(&qv, &rv)
+    }
+}
+
+impl Ranker for FaqFinderRanker {
+    fn name(&self) -> &'static str {
+        "FAQFinder"
+    }
+
+    fn rank(&self, interpretation: &Interpretation, table: &Table, k: usize) -> Vec<RecordId> {
+        let df = Self::document_frequencies(table);
+        let n_docs = table.len() as f64;
+        let scored = table
+            .iter()
+            .map(|(id, record)| (id, self.score(interpretation, record, &df, n_docs)))
+            .collect();
+        top_k_by_score(scored, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{car_table, intent};
+
+    #[test]
+    fn keyword_overlap_drives_the_ranking() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda accord");
+        let ranker = FaqFinderRanker::new();
+        let top = ranker.rank(&interp, &table, 8);
+        assert_eq!(top[0], RecordId(0)); // the blue honda accord shares all three tokens
+        assert_eq!(ranker.name(), "FAQFinder");
+    }
+
+    #[test]
+    fn numeric_constraints_are_ignored() {
+        let (spec, table) = car_table();
+        let ranker = FaqFinderRanker::new();
+        let df = FaqFinderRanker::document_frequencies(&table);
+        let n = table.len() as f64;
+        let with_price = intent(&spec, "honda accord under 7000 dollars");
+        let without_price = intent(&spec, "honda accord");
+        let r = table.get(RecordId(1)).unwrap(); // the 16,536-dollar accord
+        let a = ranker.score(&with_price, r, &df, n);
+        let b = ranker.score(&without_price, r, &df, n);
+        assert!((a - b).abs() < 1e-9, "price constraint changed a TF-IDF score");
+    }
+
+    #[test]
+    fn scores_are_bounded_and_zero_for_disjoint_vocabulary() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "silver corolla");
+        let ranker = FaqFinderRanker::new();
+        let df = FaqFinderRanker::document_frequencies(&table);
+        let n = table.len() as f64;
+        for (_, record) in table.iter() {
+            let s = ranker.score(&interp, record, &df, n);
+            assert!((0.0..=1.0 + 1e-9).contains(&s));
+        }
+        let mustang = table.get(RecordId(6)).unwrap();
+        assert_eq!(ranker.score(&interp, mustang, &df, n), 0.0);
+    }
+}

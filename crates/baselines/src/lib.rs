@@ -1,0 +1,230 @@
+//! # cqads-baselines — comparison rankers from Section 5.5.2
+//!
+//! The paper compares CQAds' partial-answer ranking against four approaches:
+//!
+//! * **Random** — partially-matched answers in random order; the floor any useful
+//!   ranker must beat.
+//! * **Cosine similarity** — the vector-space model with binary weights: each selection
+//!   constraint of the question is a dimension, an answer scores 1 on the dimensions it
+//!   satisfies.
+//! * **AIMQ** (Nambiar & Kambhampati, ICDE 2006) — attribute-value *supertuples* and
+//!   Jaccard similarity for categorical attributes, relative difference for numeric
+//!   attributes, equal importance weights.
+//! * **FAQFinder** (Burke et al. 1997) — TF-IDF similarity between the question and each
+//!   ads record treated as a document.
+//!
+//! All rankers implement the [`Ranker`] trait: given the *same interpreted question*
+//! (so that the comparison isolates the ranking strategy, as in the paper's evaluation)
+//! and the ads table, they return the top-k record ids.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aimq;
+pub mod cosine;
+pub mod faqfinder;
+pub mod random;
+
+pub use aimq::AimqRanker;
+pub use cosine::CosineRanker;
+pub use faqfinder::FaqFinderRanker;
+pub use random::RandomRanker;
+
+use addb::{Record, RecordId, Table};
+use cqads::translate::{ConditionSketch, Interpretation};
+use cqads::BoundaryOp;
+
+/// A ranking strategy for partially-matched answers.
+pub trait Ranker {
+    /// Short name used in reports ("Random", "Cosine", "AIMQ", "FAQFinder", "CQAds").
+    fn name(&self) -> &'static str;
+
+    /// Rank the records of `table` by relevance to the interpreted question and return
+    /// the ids of the `k` best, best first.
+    fn rank(&self, interpretation: &Interpretation, table: &Table, k: usize) -> Vec<RecordId>;
+}
+
+/// Shared helper: does a record satisfy a condition sketch exactly? Used by the cosine
+/// baseline (binary satisfaction) and by tests.
+pub fn satisfies(record: &Record, sketch: &ConditionSketch) -> bool {
+    match sketch {
+        ConditionSketch::Categorical {
+            attribute,
+            value,
+            negated,
+            ..
+        } => {
+            let held = record.get_text(attribute).map(|v| v == value).unwrap_or(false);
+            if *negated {
+                !held
+            } else {
+                held
+            }
+        }
+        ConditionSketch::Numeric {
+            attribute,
+            op,
+            value,
+            value2,
+            negated,
+        } => {
+            let held = match attribute {
+                Some(attr) => record
+                    .get_number(attr)
+                    .map(|n| numeric_matches(*op, *value, *value2, n))
+                    .unwrap_or(false),
+                // An incomplete condition is satisfied if any numeric attribute matches.
+                None => record
+                    .fields()
+                    .any(|(_, v)| {
+                        v.as_number()
+                            .map(|n| numeric_matches(*op, *value, *value2, n))
+                            .unwrap_or(false)
+                    }),
+            };
+            if *negated {
+                !held
+            } else {
+                held
+            }
+        }
+    }
+}
+
+fn numeric_matches(op: BoundaryOp, value: f64, value2: Option<f64>, actual: f64) -> bool {
+    match op {
+        BoundaryOp::Lt => actual < value,
+        BoundaryOp::Le => actual <= value,
+        BoundaryOp::Gt => actual > value,
+        BoundaryOp::Ge => actual >= value,
+        BoundaryOp::Eq => (actual - value).abs() < 1e-9,
+        BoundaryOp::Between => {
+            let hi = value2.unwrap_or(value);
+            actual >= value.min(hi) && actual <= value.max(hi)
+        }
+    }
+}
+
+/// Order record ids by a per-record score, descending, breaking ties by record id for
+/// determinism, and keep the top `k`.
+pub(crate) fn top_k_by_score(mut scored: Vec<(RecordId, f64)>, k: usize) -> Vec<RecordId> {
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(id, _)| id).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the baseline tests.
+    use addb::{Record, Table};
+    use cqads::domain::{toy_car_domain, DomainSpec};
+    use cqads::tagging::Tagger;
+    use cqads::translate::{interpret, Interpretation};
+
+    /// A small car table with a spread of prices, colors and models.
+    pub fn car_table() -> (DomainSpec, Table) {
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        let rows = [
+            ("honda", "accord", "blue", "automatic", 6600.0, 2004.0, 80_000.0),
+            ("honda", "accord", "gold", "manual", 16536.0, 2009.0, 30_000.0),
+            ("honda", "civic", "red", "automatic", 4500.0, 2001.0, 120_000.0),
+            ("toyota", "camry", "blue", "automatic", 8561.0, 2006.0, 60_000.0),
+            ("toyota", "corolla", "silver", "manual", 3900.0, 1999.0, 150_000.0),
+            ("ford", "focus", "blue", "manual", 6795.0, 2005.0, 90_000.0),
+            ("ford", "mustang", "red", "manual", 21_000.0, 2010.0, 15_000.0),
+            ("chevy", "malibu", "blue", "automatic", 5899.0, 2003.0, 95_000.0),
+        ];
+        for (make, model, color, trans, price, year, mileage) in rows {
+            table
+                .insert(
+                    Record::builder()
+                        .text("make", make)
+                        .text("model", model)
+                        .text("color", color)
+                        .text("transmission", trans)
+                        .number("price", price)
+                        .number("year", year)
+                        .number("mileage", mileage)
+                        .build(),
+                )
+                .unwrap();
+        }
+        (spec, table)
+    }
+
+    /// Interpret a question against the toy car domain.
+    pub fn intent(spec: &DomainSpec, question: &str) -> Interpretation {
+        let tagger = Tagger::new(spec);
+        interpret(&tagger.tag(question), spec).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{car_table, intent};
+    use super::*;
+
+    #[test]
+    fn satisfies_handles_categorical_numeric_and_negated_sketches() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda accord under 10000 dollars");
+        let blue_accord = table.get(RecordId(0)).unwrap();
+        let gold_accord = table.get(RecordId(1)).unwrap();
+        let satisfied_by_blue: usize = interp
+            .all_sketches()
+            .iter()
+            .filter(|s| satisfies(blue_accord, s))
+            .count();
+        assert_eq!(satisfied_by_blue, interp.all_sketches().len());
+        let satisfied_by_gold: usize = interp
+            .all_sketches()
+            .iter()
+            .filter(|s| satisfies(gold_accord, s))
+            .count();
+        assert!(satisfied_by_gold < satisfied_by_blue);
+
+        let negated = intent(&spec, "honda not blue");
+        let neg_sketch = negated
+            .all_sketches()
+            .into_iter()
+            .find(|s| !s.is_type1())
+            .unwrap()
+            .clone();
+        assert!(!satisfies(blue_accord, &neg_sketch));
+        assert!(satisfies(gold_accord, &neg_sketch));
+    }
+
+    #[test]
+    fn incomplete_numeric_sketches_match_any_plausible_column() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "honda accord 2004");
+        let numeric = interp
+            .all_sketches()
+            .into_iter()
+            .find(|s| s.is_numeric())
+            .unwrap()
+            .clone();
+        // Record 0 has year 2004 → satisfied even though the attribute is unknown.
+        assert!(satisfies(table.get(RecordId(0)).unwrap(), &numeric));
+        assert!(!satisfies(table.get(RecordId(4)).unwrap(), &numeric));
+    }
+
+    #[test]
+    fn top_k_orders_descending_with_stable_ties() {
+        let scored = vec![
+            (RecordId(3), 0.5),
+            (RecordId(1), 0.9),
+            (RecordId(2), 0.5),
+            (RecordId(0), 0.1),
+        ];
+        assert_eq!(
+            top_k_by_score(scored, 3),
+            vec![RecordId(1), RecordId(2), RecordId(3)]
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Random ranking baseline (Meng et al., cited as [13] in the paper).
+//!
+//! Presents partially-matched answers in a random order. It provides the floor used to
+//! judge how much better a real ranking strategy meets user expectations — and, because
+//! it does no similarity computation at all, it is also the fastest "ranker" in the
+//! query-processing-time comparison (Figure 6).
+
+use crate::Ranker;
+use addb::{RecordId, Table};
+use cqads::translate::Interpretation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Random-order ranker with a seeded RNG for reproducible experiments.
+#[derive(Debug)]
+pub struct RandomRanker {
+    rng: Mutex<StdRng>,
+}
+
+impl RandomRanker {
+    /// Create a ranker with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        RandomRanker {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Default for RandomRanker {
+    fn default() -> Self {
+        Self::new(0x5EED_CAFE)
+    }
+}
+
+impl Ranker for RandomRanker {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn rank(&self, _interpretation: &Interpretation, table: &Table, k: usize) -> Vec<RecordId> {
+        let mut ids: Vec<RecordId> = table.iter().map(|(id, _)| id).collect();
+        let mut rng = self.rng.lock().expect("rng poisoned");
+        ids.shuffle(&mut *rng);
+        ids.truncate(k);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{car_table, intent};
+
+    #[test]
+    fn returns_k_distinct_records() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda");
+        let ranker = RandomRanker::new(7);
+        let top = ranker.rank(&interp, &table, 5);
+        assert_eq!(top.len(), 5);
+        let mut dedup = top.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        assert_eq!(ranker.name(), "Random");
+    }
+
+    #[test]
+    fn seeded_rankers_are_reproducible() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda");
+        let a = RandomRanker::new(42).rank(&interp, &table, 8);
+        let b = RandomRanker::new(42).rank(&interp, &table, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_table_returns_everything() {
+        let (spec, table) = car_table();
+        let interp = intent(&spec, "blue honda");
+        let top = RandomRanker::new(1).rank(&interp, &table, 100);
+        assert_eq!(top.len(), table.len());
+    }
+}

@@ -1,0 +1,172 @@
+//! Ablation benches called out in DESIGN.md:
+//!
+//! * **Evaluation order** — superlatives last (the paper's rule, Section 4.3) vs
+//!   superlatives first (the incorrect order): the latter loses answers and does more
+//!   work on the full table.
+//! * **Classifier** — JBBSM (beta-binomial) vs plain multinomial Naive Bayes.
+//! * **Substring / hash indexes** — executing the workload's exact queries with and
+//!   without index support.
+//! * **Relaxation depth** — the N−1 strategy vs relaxing two conditions (N−2), the
+//!   quality/latency trade-off discussed in Section 4.3.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads::translate::Interpretation;
+use cqads_bench::shared_testbed;
+use cqads_classifier::{BetaBinomialNb, Classifier, MultinomialNb};
+use addb::{ExecOptions, Executor, Query, Superlative};
+
+fn eval_order(c: &mut Criterion) {
+    let bed = shared_testbed();
+    let table = bed.system.database().table("cars").expect("cars registered");
+    let query = Query::new("cars")
+        .with_condition(addb::Condition::eq("make", "honda"))
+        .with_superlative(Superlative::min("price"));
+    let correct = Executor::new(table);
+    let wrong = Executor::with_options(
+        table,
+        ExecOptions {
+            superlatives_first: true,
+            use_indexes: true,
+        },
+    );
+    // The paper's point: the wrong order returns no Hondas at all.
+    assert!(!correct.execute(&query).unwrap().is_empty());
+    println!(
+        "ablation_eval_order: superlatives-last answers = {}, superlatives-first answers = {}",
+        correct.execute(&query).unwrap().len(),
+        wrong.execute(&query).unwrap().len()
+    );
+    let mut group = c.benchmark_group("ablation_eval_order");
+    group.sample_size(20);
+    group.bench_function("superlatives_last", |b| {
+        b.iter(|| std::hint::black_box(correct.execute(&query).unwrap()))
+    });
+    group.bench_function("superlatives_first", |b| {
+        b.iter(|| std::hint::black_box(wrong.execute(&query).unwrap()))
+    });
+    group.finish();
+}
+
+fn classifier(c: &mut Criterion) {
+    let bed = shared_testbed();
+    let docs = &bed.training_docs;
+    let questions: Vec<(&str, Vec<String>)> = bed
+        .questions
+        .iter()
+        .map(|q| {
+            (
+                q.domain.as_str(),
+                q.text.split_whitespace().map(|t| t.to_lowercase()).collect(),
+            )
+        })
+        .collect();
+    let accuracy = |clf: &dyn Classifier| {
+        let correct = questions
+            .iter()
+            .filter(|(domain, tokens)| clf.classify(tokens).as_deref() == Some(domain))
+            .count();
+        correct as f64 / questions.len() as f64
+    };
+    let mut jbbsm = BetaBinomialNb::new();
+    jbbsm.train(docs);
+    let mut multinomial = MultinomialNb::new();
+    multinomial.train(docs);
+    println!(
+        "ablation_classifier: JBBSM accuracy = {:.3}, multinomial accuracy = {:.3}",
+        accuracy(&jbbsm),
+        accuracy(&multinomial)
+    );
+    let mut group = c.benchmark_group("ablation_classifier");
+    group.sample_size(10);
+    group.bench_function("jbbsm_classify_workload", |b| {
+        b.iter(|| std::hint::black_box(accuracy(&jbbsm)))
+    });
+    group.bench_function("multinomial_classify_workload", |b| {
+        b.iter(|| std::hint::black_box(accuracy(&multinomial)))
+    });
+    group.finish();
+}
+
+fn indexes(c: &mut Criterion) {
+    let bed = shared_testbed();
+    let spec = bed.spec("cars");
+    let table = bed.system.database().table("cars").expect("cars registered");
+    // The exact queries of every car question that interprets cleanly.
+    let queries: Vec<Query> = bed
+        .questions_for("cars")
+        .iter()
+        .filter_map(|q| {
+            bed.system
+                .interpret_in_domain(&q.text, "cars")
+                .ok()
+                .and_then(|(_, i, _)| i.to_query(spec).ok())
+        })
+        .collect();
+    let run = |options: ExecOptions| {
+        let exec = Executor::with_options(table, options);
+        queries
+            .iter()
+            .filter_map(|q| exec.execute(q).ok())
+            .map(|a| a.len())
+            .sum::<usize>()
+    };
+    let with_idx = ExecOptions::default();
+    let without_idx = ExecOptions {
+        superlatives_first: false,
+        use_indexes: false,
+    };
+    assert_eq!(run(with_idx), run(without_idx), "index and scan paths must agree");
+    let mut group = c.benchmark_group("ablation_substring_index");
+    group.sample_size(10);
+    group.bench_function("indexed", |b| b.iter(|| std::hint::black_box(run(with_idx))));
+    group.bench_function("full_scan", |b| b.iter(|| std::hint::black_box(run(without_idx))));
+    group.finish();
+}
+
+fn relaxation(c: &mut Criterion) {
+    let bed = shared_testbed();
+    let spec = bed.spec("cars");
+    let table = bed.system.database().table("cars").expect("cars registered");
+    let interp: Interpretation = bed
+        .system
+        .interpret_in_domain("blue honda accord automatic under 15000 dollars", "cars")
+        .map(|(_, i, _)| i)
+        .expect("interprets cleanly");
+    let exec = Executor::new(table);
+    let n = interp.all_sketches().len();
+    // N−1: drop one condition at a time.
+    let n_minus_1 = || {
+        let mut total = 0usize;
+        for skip in 0..n {
+            if let Ok(q) = interp.to_query_excluding(spec, skip) {
+                total += exec.execute(&q).map(|a| a.len()).unwrap_or(0);
+            }
+        }
+        total
+    };
+    // N−2: drop two conditions at a time (the combinatorial blow-up the paper avoids).
+    let n_minus_2 = || {
+        let mut total = 0usize;
+        for first in 0..n {
+            for _second in (first + 1)..n {
+                if let Ok(q) = interp.to_query_excluding(spec, first) {
+                    total += exec.execute(&q).map(|a| a.len()).unwrap_or(0);
+                }
+            }
+        }
+        total
+    };
+    println!(
+        "ablation_relaxation: N-1 candidate answers = {}, N-2 candidate answers = {}",
+        n_minus_1(),
+        n_minus_2()
+    );
+    let mut group = c.benchmark_group("ablation_relaxation");
+    group.sample_size(20);
+    group.bench_function("n_minus_1", |b| b.iter(|| std::hint::black_box(n_minus_1())));
+    group.bench_function("n_minus_2", |b| b.iter(|| std::hint::black_box(n_minus_2())));
+    group.finish();
+}
+
+criterion_group!(benches, eval_order, classifier, indexes, relaxation);
+criterion_main!(benches);

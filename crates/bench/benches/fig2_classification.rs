@@ -1,0 +1,21 @@
+//! Figure 2 bench: classify the full question workload with the JBBSM classifier and
+//! report the per-domain accuracies as the measured artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads_bench::shared_testbed;
+use cqads_eval::experiments::fig2_classification;
+
+fn bench(c: &mut Criterion) {
+    let bed = shared_testbed();
+    // Print the reproduced figure once so `cargo bench` output doubles as the report.
+    println!("{}", fig2_classification::run(bed).report());
+    let mut group = c.benchmark_group("fig2_classification");
+    group.sample_size(10);
+    group.bench_function("classify_workload", |b| {
+        b.iter(|| std::hint::black_box(fig2_classification::run(bed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

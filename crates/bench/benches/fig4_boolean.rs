@@ -1,0 +1,20 @@
+//! Figure 4 bench: Boolean-interpretation accuracy over the ten survey questions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads_bench::shared_testbed;
+use cqads_eval::experiments::fig4_boolean;
+
+fn bench(c: &mut Criterion) {
+    let bed = shared_testbed();
+    // Print the reproduced result once so `cargo bench` output doubles as the report.
+    println!("{}", fig4_boolean::run(bed).report());
+    let mut group = c.benchmark_group("fig4_boolean");
+    group.sample_size(10);
+    group.bench_function("interpret_boolean_survey", |b| {
+        b.iter(|| std::hint::black_box(fig4_boolean::run(bed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 6 bench: average query-processing time of CQAds and the baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads_bench::shared_testbed;
+use cqads_eval::experiments::fig6_timing;
+
+fn bench(c: &mut Criterion) {
+    let bed = shared_testbed();
+    // Print the reproduced result once so `cargo bench` output doubles as the report.
+    println!("{}", fig6_timing::run(bed).report());
+    let mut group = c.benchmark_group("fig6_timing");
+    group.sample_size(10);
+    group.bench_function("time_all_systems", |b| {
+        b.iter(|| std::hint::black_box(fig6_timing::run(bed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

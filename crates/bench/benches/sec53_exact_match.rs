@@ -1,0 +1,20 @@
+//! Section 5.3 bench: exact-match precision/recall/F over the whole workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads_bench::shared_testbed;
+use cqads_eval::experiments::sec53_exact_match;
+
+fn bench(c: &mut Criterion) {
+    let bed = shared_testbed();
+    // Print the reproduced result once so `cargo bench` output doubles as the report.
+    println!("{}", sec53_exact_match::run(bed).report());
+    let mut group = c.benchmark_group("sec53_exact_match");
+    group.sample_size(10);
+    group.bench_function("answer_workload", |b| {
+        b.iter(|| std::hint::black_box(sec53_exact_match::run(bed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

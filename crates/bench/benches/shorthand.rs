@@ -1,0 +1,20 @@
+//! Section 4.2.3 bench: shorthand-notation detection over 1,000 labelled pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads_bench::shared_testbed;
+use cqads_eval::experiments::shorthand_accuracy;
+
+fn bench(c: &mut Criterion) {
+    let bed = shared_testbed();
+    // Print the reproduced result once so `cargo bench` output doubles as the report.
+    println!("{}", shorthand_accuracy::run(bed).report());
+    let mut group = c.benchmark_group("shorthand");
+    group.sample_size(10);
+    group.bench_function("detect_1000_pairs", |b| {
+        b.iter(|| std::hint::black_box(shorthand_accuracy::run(bed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

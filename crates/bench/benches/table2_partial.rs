@@ -1,0 +1,20 @@
+//! Table 2 bench: rank the partially-matched answers of the running example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cqads_bench::shared_testbed;
+use cqads_eval::experiments::table2_partial;
+
+fn bench(c: &mut Criterion) {
+    let bed = shared_testbed();
+    // Print the reproduced result once so `cargo bench` output doubles as the report.
+    println!("{}", table2_partial::run(bed).report());
+    let mut group = c.benchmark_group("table2_partial");
+    group.sample_size(10);
+    group.bench_function("rank_running_example", |b| {
+        b.iter(|| std::hint::black_box(table2_partial::run(bed)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Benchmark-only crate.
+//!
+//! The Criterion benches under `benches/` regenerate the paper's tables and figures as
+//! timed harnesses (one bench per table/figure, plus the ablation benches called out in
+//! `DESIGN.md`). Shared setup helpers live here so every bench builds the same testbed.
+
+use cqads_eval::testbed::{Testbed, TestbedConfig};
+use std::sync::OnceLock;
+
+/// A process-wide testbed shared by all benches: building it once keeps the measured
+/// time focused on the experiment bodies rather than data generation.
+pub fn shared_testbed() -> &'static Testbed {
+    static BED: OnceLock<Testbed> = OnceLock::new();
+    BED.get_or_init(|| {
+        let mut config = TestbedConfig::small();
+        config.ads_per_domain = 250;
+        Testbed::build(config)
+    })
+}

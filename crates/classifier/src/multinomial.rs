@@ -1,0 +1,158 @@
+//! Multinomial Naive Bayes with Laplace smoothing.
+//!
+//! This is the classic bag-of-words Naive Bayes kept as the ablation baseline for the
+//! JBBSM classifier (the paper chose JBBSM over it because of keyword burstiness).
+
+use crate::vocab::Vocabulary;
+use crate::{Classifier, LabelledDoc};
+
+/// Multinomial Naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct MultinomialNb {
+    vocab: Vocabulary,
+    classes: Vec<String>,
+    /// log prior per class.
+    log_prior: Vec<f64>,
+    /// per class: token id -> count.
+    counts: Vec<Vec<u32>>,
+    /// per class: total token count.
+    totals: Vec<u64>,
+    /// Laplace smoothing constant.
+    alpha: f64,
+}
+
+impl MultinomialNb {
+    /// New classifier with the default Laplace smoothing of 1.0.
+    pub fn new() -> Self {
+        MultinomialNb {
+            alpha: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// New classifier with a custom smoothing constant.
+    pub fn with_alpha(alpha: f64) -> Self {
+        MultinomialNb {
+            alpha,
+            ..Default::default()
+        }
+    }
+
+    fn class_index(&mut self, label: &str) -> usize {
+        if let Some(i) = self.classes.iter().position(|c| c == label) {
+            return i;
+        }
+        self.classes.push(label.to_string());
+        self.counts.push(Vec::new());
+        self.totals.push(0);
+        self.classes.len() - 1
+    }
+}
+
+impl Classifier for MultinomialNb {
+    fn train(&mut self, docs: &[LabelledDoc]) {
+        let mut doc_counts: Vec<u64> = Vec::new();
+        for doc in docs {
+            let ci = self.class_index(&doc.label);
+            if doc_counts.len() < self.classes.len() {
+                doc_counts.resize(self.classes.len(), 0);
+            }
+            doc_counts[ci] += 1;
+            let vector = self.vocab.count_vector(&doc.tokens, false);
+            let counts = &mut self.counts[ci];
+            if counts.len() < self.vocab.len() {
+                counts.resize(self.vocab.len(), 0);
+            }
+            for (id, c) in vector {
+                if counts.len() <= id {
+                    counts.resize(id + 1, 0);
+                }
+                counts[id] += c;
+                self.totals[ci] += u64::from(c);
+            }
+        }
+        let total_docs: u64 = doc_counts.iter().sum();
+        self.log_prior = doc_counts
+            .iter()
+            .map(|&c| ((c as f64 + 1.0) / (total_docs as f64 + self.classes.len() as f64)).ln())
+            .collect();
+    }
+
+    fn scores(&self, tokens: &[String]) -> Vec<f64> {
+        let vector = self.vocab.count_vector_frozen(tokens);
+        let v = self.vocab.len() as f64;
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(ci, _)| {
+                let mut score = *self.log_prior.get(ci).unwrap_or(&0.0);
+                let total = self.totals[ci] as f64;
+                for &(id, count) in &vector {
+                    let word_count = *self.counts[ci].get(id).unwrap_or(&0) as f64;
+                    let p = (word_count + self.alpha) / (total + self.alpha * v);
+                    score += f64::from(count) * p.ln();
+                }
+                score
+            })
+            .collect()
+    }
+
+    fn classes(&self) -> &[String] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<LabelledDoc> {
+        vec![
+            LabelledDoc::from_text("cars", "honda accord blue blue automatic"),
+            LabelledDoc::from_text("cars", "toyota camry sedan mileage"),
+            LabelledDoc::from_text("furniture", "oak table chairs dining"),
+            LabelledDoc::from_text("furniture", "leather sofa couch recliner"),
+        ]
+    }
+
+    #[test]
+    fn classifies_by_dominant_vocabulary() {
+        let mut nb = MultinomialNb::new();
+        nb.train(&docs());
+        assert_eq!(nb.classify_text("blue honda").as_deref(), Some("cars"));
+        assert_eq!(nb.classify_text("oak dining table").as_deref(), Some("furniture"));
+        assert_eq!(nb.classes().len(), 2);
+    }
+
+    #[test]
+    fn unknown_words_fall_back_to_priors() {
+        let mut nb = MultinomialNb::new();
+        let mut d = docs();
+        // Make "cars" the majority class.
+        d.push(LabelledDoc::from_text("cars", "bmw coupe"));
+        nb.train(&d);
+        assert_eq!(nb.classify_text("zzz qqq").as_deref(), Some("cars"));
+    }
+
+    #[test]
+    fn scores_are_finite_and_ordered_with_classes() {
+        let mut nb = MultinomialNb::with_alpha(0.5);
+        nb.train(&docs());
+        let toks: Vec<String> = ["leather", "sofa"].iter().map(|s| s.to_string()).collect();
+        let scores = nb.scores(&toks);
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+        let furniture_idx = nb.classes().iter().position(|c| c == "furniture").unwrap();
+        let cars_idx = nb.classes().iter().position(|c| c == "cars").unwrap();
+        assert!(scores[furniture_idx] > scores[cars_idx]);
+    }
+
+    #[test]
+    fn incremental_training_extends_classes() {
+        let mut nb = MultinomialNb::new();
+        nb.train(&docs());
+        nb.train(&[LabelledDoc::from_text("jewellery", "gold necklace diamond ring")]);
+        assert_eq!(nb.classes().len(), 3);
+        assert_eq!(nb.classify_text("diamond ring").as_deref(), Some("jewellery"));
+    }
+}

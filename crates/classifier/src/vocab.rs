@@ -1,0 +1,113 @@
+//! Token ↔ id vocabulary shared by the classifiers.
+
+use std::collections::HashMap;
+
+/// Bidirectional mapping between tokens and dense integer ids.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    by_token: HashMap<String, usize>,
+    tokens: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the id of a token, inserting it if unseen.
+    pub fn intern(&mut self, token: &str) -> usize {
+        if let Some(&id) = self.by_token.get(token) {
+            return id;
+        }
+        let id = self.tokens.len();
+        self.by_token.insert(token.to_string(), id);
+        self.tokens.push(token.to_string());
+        id
+    }
+
+    /// Get the id of a token without inserting.
+    pub fn get(&self, token: &str) -> Option<usize> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Get the token for an id.
+    pub fn token(&self, id: usize) -> Option<&str> {
+        self.tokens.get(id).map(String::as_str)
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if no token has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Convert a token bag into a sparse `(token id, count)` vector, ignoring unknown
+    /// tokens when `frozen` is true (prediction time) or interning them otherwise.
+    pub fn count_vector(&mut self, tokens: &[String], frozen: bool) -> Vec<(usize, u32)> {
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for t in tokens {
+            let id = if frozen {
+                match self.get(t) {
+                    Some(id) => id,
+                    None => continue,
+                }
+            } else {
+                self.intern(t)
+            };
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        let mut v: Vec<(usize, u32)> = counts.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Count vector that never mutates the vocabulary (prediction path).
+    pub fn count_vector_frozen(&self, tokens: &[String]) -> Vec<(usize, u32)> {
+        let mut counts: HashMap<usize, u32> = HashMap::new();
+        for t in tokens {
+            if let Some(id) = self.get(t) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+        let mut v: Vec<(usize, u32)> = counts.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_bidirectional() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("honda");
+        let b = v.intern("accord");
+        assert_eq!(v.intern("honda"), a);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.get("accord"), Some(b));
+        assert_eq!(v.token(a), Some("honda"));
+        assert_eq!(v.token(99), None);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn count_vectors_aggregate_duplicates() {
+        let mut v = Vocabulary::new();
+        let toks: Vec<String> = ["blue", "blue", "honda"].iter().map(|s| s.to_string()).collect();
+        let counts = v.count_vector(&toks, false);
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[0].1 + counts[1].1, 3);
+        // frozen mode ignores unknown tokens
+        let toks: Vec<String> = ["blue", "mazda"].iter().map(|s| s.to_string()).collect();
+        let counts = v.count_vector_frozen(&toks);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(v.len(), 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Per-domain specification and trie construction (Section 4.1.4).
+//!
+//! Adding an ads domain to CQAds requires (i) the relational schema, (ii) the
+//! domain-specific table of known attribute values (Type I values from the ads
+//! websites' menus, Type II/III values from sample ads), and (iii) keyword synonyms for
+//! the numeric attributes ("price" is also written "cost", "$", "usd", "dollars").
+//! [`DomainSpec`] bundles those three ingredients and [`DomainSpec::build_trie`]
+//! produces the keyword trie whose payloads are [`Tag`]s from the identifiers table.
+
+use crate::identifiers::{domain_superlatives, generic_entries, Tag};
+use addb::Schema;
+use cqads_text::Trie;
+use std::collections::BTreeMap;
+
+/// Everything CQAds needs to know about one ads domain.
+#[derive(Debug, Clone)]
+pub struct DomainSpec {
+    /// The relational schema of the domain (also identifies the table name).
+    pub schema: Schema,
+    /// Known Type I values → attribute name ("honda" → "make", "accord" → "model").
+    pub type1_values: BTreeMap<String, String>,
+    /// Known Type II values → attribute name ("blue" → "color").
+    pub type2_values: BTreeMap<String, String>,
+    /// Keywords that name a Type III attribute or its unit → attribute name
+    /// ("dollars" → "price", "miles" → "mileage").
+    pub type3_keywords: BTreeMap<String, String>,
+    /// The cost-like attribute targeted by "cheapest"/"most expensive", if any.
+    pub price_attribute: Option<String>,
+    /// The recency attribute targeted by "newest"/"oldest", if any.
+    pub year_attribute: Option<String>,
+}
+
+impl DomainSpec {
+    /// Create an empty spec for a schema. Values are registered with the `add_*` calls.
+    pub fn new(schema: Schema) -> Self {
+        DomainSpec {
+            schema,
+            type1_values: BTreeMap::new(),
+            type2_values: BTreeMap::new(),
+            type3_keywords: BTreeMap::new(),
+            price_attribute: None,
+            year_attribute: None,
+        }
+    }
+
+    /// Domain (table) name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Register a Type I attribute value.
+    pub fn add_type1_value(&mut self, attribute: &str, value: &str) -> &mut Self {
+        self.type1_values
+            .insert(value.to_lowercase(), attribute.to_lowercase());
+        self
+    }
+
+    /// Register a Type II attribute value.
+    pub fn add_type2_value(&mut self, attribute: &str, value: &str) -> &mut Self {
+        self.type2_values
+            .insert(value.to_lowercase(), attribute.to_lowercase());
+        self
+    }
+
+    /// Register a keyword that names a Type III attribute (or one of its units).
+    pub fn add_type3_keyword(&mut self, attribute: &str, keyword: &str) -> &mut Self {
+        self.type3_keywords
+            .insert(keyword.to_lowercase(), attribute.to_lowercase());
+        self
+    }
+
+    /// Declare which attribute "cheapest"-style superlatives refer to.
+    pub fn set_price_attribute(&mut self, attribute: &str) -> &mut Self {
+        self.price_attribute = Some(attribute.to_lowercase());
+        self
+    }
+
+    /// Declare which attribute "newest"/"oldest" superlatives refer to.
+    pub fn set_year_attribute(&mut self, attribute: &str) -> &mut Self {
+        self.year_attribute = Some(attribute.to_lowercase());
+        self
+    }
+
+    /// Attribute a Type I/II value belongs to, if the value is known.
+    pub fn value_attribute(&self, value: &str) -> Option<(&str, bool)> {
+        let value = value.to_lowercase();
+        if let Some(attr) = self.type1_values.get(&value) {
+            return Some((attr.as_str(), true));
+        }
+        self.type2_values.get(&value).map(|a| (a.as_str(), false))
+    }
+
+    /// All known categorical values of an attribute (used for shorthand expansion and
+    /// by the AIMQ baseline's supertuples).
+    pub fn values_of(&self, attribute: &str) -> Vec<&str> {
+        let attribute = attribute.to_lowercase();
+        self.type1_values
+            .iter()
+            .chain(self.type2_values.iter())
+            .filter(|(_, a)| **a == attribute)
+            .map(|(v, _)| v.as_str())
+            .collect()
+    }
+
+    /// Build the keyword trie for this domain: generic identifiers-table entries,
+    /// domain superlatives, attribute-name keywords, Type III keyword synonyms and every
+    /// known Type I/II value.
+    pub fn build_trie(&self) -> Trie<Tag> {
+        let mut trie = Trie::new();
+        for (kw, tag) in generic_entries() {
+            trie.insert(kw, tag);
+        }
+        for (kw, tag) in domain_superlatives(
+            self.price_attribute.as_deref(),
+            self.year_attribute.as_deref(),
+        ) {
+            trie.insert(&kw, tag);
+        }
+        // Attribute names themselves are keywords: "price", "year", "color", ...
+        for attr in self.schema.attributes() {
+            match attr.attr_type {
+                addb::AttrType::TypeIII => {
+                    trie.insert(
+                        &attr.name,
+                        Tag::Type3Attr {
+                            attribute: attr.name.clone(),
+                        },
+                    );
+                    if let Some(unit) = &attr.unit {
+                        trie.insert(
+                            unit,
+                            Tag::Type3Attr {
+                                attribute: attr.name.clone(),
+                            },
+                        );
+                    }
+                }
+                _ => {
+                    // Categorical attribute names are not selection values by
+                    // themselves; they are non-essential unless a value follows, so they
+                    // are not inserted.
+                }
+            }
+        }
+        for (kw, attr) in &self.type3_keywords {
+            trie.insert(
+                kw,
+                Tag::Type3Attr {
+                    attribute: attr.clone(),
+                },
+            );
+        }
+        for (value, attr) in &self.type1_values {
+            trie.insert(
+                value,
+                Tag::Type1Value {
+                    attribute: attr.clone(),
+                },
+            );
+        }
+        for (value, attr) in &self.type2_values {
+            trie.insert(
+                value,
+                Tag::Type2Value {
+                    attribute: attr.clone(),
+                },
+            );
+        }
+        trie
+    }
+}
+
+/// A compact car-domain spec used by unit tests and doctests across the crate. The
+/// realistic eight-domain specifications live in the `cqads-datagen` crate.
+pub fn toy_car_domain() -> DomainSpec {
+    let schema = Schema::builder("cars")
+        .type1("make")
+        .type1("model")
+        .type2("color")
+        .type2("transmission")
+        .type2("drivetrain")
+        .type2("doors")
+        .type3("price", 500.0, 120_000.0, Some("usd"))
+        .type3("year", 1985.0, 2011.0, None)
+        .type3("mileage", 0.0, 300_000.0, Some("miles"))
+        .build()
+        .expect("valid toy schema");
+    let mut spec = DomainSpec::new(schema);
+    for (make, models) in [
+        ("honda", vec!["accord", "civic"]),
+        ("toyota", vec!["camry", "corolla"]),
+        ("ford", vec!["focus", "mustang"]),
+        ("mazda", vec!["mazda3", "miata"]),
+        ("bmw", vec!["328i", "m3"]),
+        ("chevy", vec!["malibu", "corvette"]),
+    ] {
+        spec.add_type1_value("make", make);
+        for m in models {
+            spec.add_type1_value("model", m);
+        }
+    }
+    for color in ["blue", "red", "silver", "black", "white", "gold", "grey", "yellow"] {
+        spec.add_type2_value("color", color);
+    }
+    for t in ["automatic", "manual"] {
+        spec.add_type2_value("transmission", t);
+    }
+    for d in ["4 wheel drive", "2 wheel drive", "all wheel drive"] {
+        spec.add_type2_value("drivetrain", d);
+    }
+    for d in ["2 door", "4 door"] {
+        spec.add_type2_value("doors", d);
+    }
+    for kw in ["price", "priced", "cost", "dollars", "dollar", "usd", "$", "bucks"] {
+        spec.add_type3_keyword("price", kw);
+    }
+    for kw in ["mileage", "miles", "mile", "mi", "odometer"] {
+        spec.add_type3_keyword("mileage", kw);
+    }
+    for kw in ["year", "model year"] {
+        spec.add_type3_keyword("year", kw);
+    }
+    spec.set_price_attribute("price");
+    spec.set_year_attribute("year");
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use addb::SuperlativeKind;
+
+    #[test]
+    fn value_lookup_distinguishes_type1_and_type2() {
+        let spec = toy_car_domain();
+        assert_eq!(spec.value_attribute("honda"), Some(("make", true)));
+        assert_eq!(spec.value_attribute("Accord"), Some(("model", true)));
+        assert_eq!(spec.value_attribute("blue"), Some(("color", false)));
+        assert_eq!(spec.value_attribute("purple"), None);
+        assert_eq!(spec.name(), "cars");
+    }
+
+    #[test]
+    fn values_of_collects_per_attribute() {
+        let spec = toy_car_domain();
+        let makes = spec.values_of("make");
+        assert!(makes.contains(&"honda") && makes.contains(&"toyota"));
+        let colors = spec.values_of("color");
+        assert!(colors.contains(&"blue") && colors.contains(&"gold"));
+        assert!(spec.values_of("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn trie_contains_every_keyword_class() {
+        let spec = toy_car_domain();
+        let trie = spec.build_trie();
+        assert!(matches!(trie.lookup("honda"), Some(Tag::Type1Value { .. })));
+        assert!(matches!(trie.lookup("blue"), Some(Tag::Type2Value { .. })));
+        assert!(matches!(trie.lookup("4 wheel drive"), Some(Tag::Type2Value { .. })));
+        assert!(matches!(trie.lookup("miles"), Some(Tag::Type3Attr { .. })));
+        assert!(matches!(trie.lookup("usd"), Some(Tag::Type3Attr { .. })));
+        assert!(matches!(trie.lookup("less than"), Some(Tag::BoundaryPartial { .. })));
+        assert_eq!(
+            trie.lookup("cheapest"),
+            Some(&Tag::SuperlativeComplete {
+                attribute: "price".into(),
+                kind: SuperlativeKind::Min
+            })
+        );
+        assert_eq!(trie.lookup("not"), Some(&Tag::Negation));
+        // the paper notes each trie stays well under 50 MB
+        assert!(trie.approx_size_bytes() < 50 * 1024 * 1024);
+    }
+
+    #[test]
+    fn domain_without_year_has_no_newest_keyword() {
+        let schema = Schema::builder("jobs")
+            .type1("title")
+            .type3("salary", 20_000.0, 300_000.0, Some("usd"))
+            .build()
+            .unwrap();
+        let mut spec = DomainSpec::new(schema);
+        spec.set_price_attribute("salary");
+        spec.add_type1_value("title", "software engineer");
+        let trie = spec.build_trie();
+        assert!(trie.lookup("newest").is_none());
+        assert!(matches!(
+            trie.lookup("cheapest"),
+            Some(Tag::SuperlativeComplete { .. })
+        ));
+        assert!(matches!(trie.lookup("salary"), Some(Tag::Type3Attr { .. })));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the CQAds pipeline.
+
+use std::fmt;
+
+/// Result alias for pipeline operations.
+pub type CqadsResult<T> = Result<T, CqadsError>;
+
+/// Errors surfaced while interpreting or answering a question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CqadsError {
+    /// The question contains no recognizable selection criterion at all.
+    EmptyQuestion,
+    /// The classifier could not assign a domain (no domains registered).
+    NoDomain,
+    /// The question names a domain that is not loaded in the system.
+    UnknownDomain(String),
+    /// Two numeric constraints on the same attribute do not overlap; per Rule 1c the
+    /// evaluation terminates with "search retrieved no results".
+    ContradictoryRange {
+        /// The attribute whose constraints conflict.
+        attribute: String,
+    },
+    /// The underlying database reported an error.
+    Database(addb::DbError),
+}
+
+impl fmt::Display for CqadsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqadsError::EmptyQuestion => write!(f, "the question contains no selection criteria"),
+            CqadsError::NoDomain => write!(f, "no ads domain is registered"),
+            CqadsError::UnknownDomain(d) => write!(f, "unknown ads domain `{d}`"),
+            CqadsError::ContradictoryRange { attribute } => write!(
+                f,
+                "contradictory constraints on `{attribute}`: search retrieved no results"
+            ),
+            CqadsError::Database(e) => write!(f, "database error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CqadsError {}
+
+impl From<addb::DbError> for CqadsError {
+    fn from(e: addb::DbError) -> Self {
+        match e {
+            addb::DbError::EmptyRange { attribute, .. } => CqadsError::ContradictoryRange { attribute },
+            other => CqadsError::Database(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_no_results_for_contradictions() {
+        let e = CqadsError::ContradictoryRange {
+            attribute: "price".into(),
+        };
+        assert!(e.to_string().contains("no results"));
+    }
+
+    #[test]
+    fn empty_range_converts_to_contradiction() {
+        let db = addb::DbError::EmptyRange {
+            attribute: "price".into(),
+            low: 9.0,
+            high: 1.0,
+        };
+        assert_eq!(
+            CqadsError::from(db),
+            CqadsError::ContradictoryRange {
+                attribute: "price".into()
+            }
+        );
+        let db = addb::DbError::UnknownTable("x".into());
+        assert!(matches!(CqadsError::from(db), CqadsError::Database(_)));
+    }
+}

@@ -1,0 +1,54 @@
+//! # cqads — the CQAds question-answering system
+//!
+//! This crate is the paper's primary contribution: a closed-domain question-answering
+//! system that turns a natural-language advertisement question into a SQL-style query,
+//! evaluates it against the ads database, and — when exact answers are scarce — returns
+//! ranked partially-matched answers.
+//!
+//! The processing pipeline (Section 4 of the paper) is:
+//!
+//! 1. **Domain classification** — a Naive Bayes / JBBSM classifier (the
+//!    `cqads-classifier` crate) routes the question to one of the ads domains.
+//! 2. **Keyword tagging** ([`tagging`]) — the per-domain trie labels every essential
+//!    keyword with its attribute type (Type I/II/III), comparison operator, superlative
+//!    or boundary role, negation or Boolean operator, following the identifiers table
+//!    (Table 1). Misspellings and missing spaces are repaired on the way ([`spell`]),
+//!    shorthand notations are expanded, and stop words are dropped.
+//! 3. **Interpretation** ([`translate`], [`boolean`]) — context-switching analysis merges
+//!    partial superlatives/boundaries with the attributes and numbers around them;
+//!    incomplete numeric conditions are expanded into a union over every Type III
+//!    attribute whose valid range contains the value; the implicit-Boolean rules of
+//!    Section 4.4.1 combine everything into one boolean expression.
+//! 4. **Execution** — the expression becomes an [`addb::Query`] (and a SQL string) and
+//!    is evaluated in the Type I → Type II → Type III → superlative order.
+//! 5. **Partial matching and ranking** ([`partial`], [`ranking`]) — if fewer than 30
+//!    exact answers exist, the N−1 strategy relaxes one condition at a time and ranks
+//!    the relaxed answers by `Rank_Sim` (Equation 5), built from `TI_Sim`, `Feat_Sim`
+//!    and `Num_Sim`.
+//!
+//! The [`pipeline::CqadsSystem`] type wires all of this together behind a single
+//! `answer(question)` call; the `examples/` directory of the workspace shows it in use.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod boolean;
+pub mod domain;
+pub mod error;
+pub mod identifiers;
+pub mod partial;
+pub mod pipeline;
+pub mod ranking;
+pub mod spell;
+pub mod tagging;
+pub mod translate;
+
+pub use boolean::combine_conditions;
+pub use domain::DomainSpec;
+pub use error::{CqadsError, CqadsResult};
+pub use identifiers::{BoundaryOp, Tag};
+pub use partial::{PartialAnswer, PartialMatcher};
+pub use pipeline::{Answer, AnswerSet, CqadsConfig, CqadsSystem, MatchKind};
+pub use ranking::{SimilarityMeasure, SimilarityModel};
+pub use tagging::{TaggedQuestion, TaggedToken, Tagger};
+pub use translate::{ConditionSketch, Interpretation};

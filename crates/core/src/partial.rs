@@ -1,0 +1,265 @@
+//! The N−1 partial-matching strategy (Section 4.3.1).
+//!
+//! When a question with `N ≥ 2` conditions retrieves few or no exact answers, CQAds
+//! removes each condition in turn, evaluates the `N−1` remaining conditions, and ranks
+//! the extra answers by `Rank_Sim`. For single-condition questions the similarity
+//! matching is applied directly (every record is scored against that one condition).
+//! Results are capped so that exact plus partial answers never exceed the 30-answer
+//! budget derived from the iProspect study.
+
+use crate::domain::DomainSpec;
+use crate::error::CqadsResult;
+use crate::ranking::{SimilarityMeasure, SimilarityModel};
+use crate::translate::Interpretation;
+use addb::{Executor, RecordId, Table};
+use std::collections::HashSet;
+
+/// One partially-matched answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialAnswer {
+    /// The matching record.
+    pub id: RecordId,
+    /// `Rank_Sim` score (Equation 5).
+    pub rank_sim: f64,
+    /// Which similarity measure scored the relaxed condition.
+    pub measure: SimilarityMeasure,
+    /// Index (in [`Interpretation::all_sketches`] order) of the relaxed condition.
+    pub relaxed_condition: usize,
+}
+
+/// Runs the N−1 strategy for one domain.
+#[derive(Debug, Clone)]
+pub struct PartialMatcher<'a> {
+    spec: &'a DomainSpec,
+    similarity: &'a SimilarityModel,
+}
+
+impl<'a> PartialMatcher<'a> {
+    /// Create a matcher for a domain and its similarity model.
+    pub fn new(spec: &'a DomainSpec, similarity: &'a SimilarityModel) -> Self {
+        PartialMatcher { spec, similarity }
+    }
+
+    /// Retrieve and rank partially-matched answers.
+    ///
+    /// * `interpretation` — the interpreted question,
+    /// * `table` — the ads table of the domain,
+    /// * `exclude` — record ids already returned as exact answers,
+    /// * `budget` — maximum number of partial answers to return.
+    pub fn partial_answers(
+        &self,
+        interpretation: &Interpretation,
+        table: &Table,
+        exclude: &HashSet<RecordId>,
+        budget: usize,
+    ) -> CqadsResult<Vec<PartialAnswer>> {
+        if budget == 0 || interpretation.is_empty() {
+            return Ok(Vec::new());
+        }
+        let sketches = interpretation.all_sketches();
+        let n = interpretation.condition_count();
+        let executor = Executor::new(table);
+        // best score seen per record
+        let mut best: std::collections::HashMap<RecordId, PartialAnswer> =
+            std::collections::HashMap::new();
+
+        if sketches.len() <= 1 {
+            // Single-condition question: apply similarity matching directly over the
+            // table (Section 4.3.1, last paragraph).
+            if let Some(sketch) = sketches.first() {
+                for (id, record) in table.iter() {
+                    if exclude.contains(&id) {
+                        continue;
+                    }
+                    let (score, measure) = self.similarity.rank_sim(n, sketch, record);
+                    consider(&mut best, PartialAnswer {
+                        id,
+                        rank_sim: score,
+                        measure,
+                        relaxed_condition: 0,
+                    });
+                }
+            }
+        } else {
+            for (skip, relaxed) in sketches.iter().enumerate() {
+                // Build the query with one condition removed; interpretation errors for
+                // a particular relaxation (e.g. the removed condition resolved a
+                // contradiction) simply skip that relaxation.
+                let query = match interpretation.to_query_excluding(self.spec, skip) {
+                    Ok(q) => q.with_limit(usize::MAX),
+                    Err(_) => continue,
+                };
+                let answers = match executor.execute(&query) {
+                    Ok(a) => a,
+                    Err(_) => continue,
+                };
+                for answer in answers {
+                    if exclude.contains(&answer.id) {
+                        continue;
+                    }
+                    let Some(record) = table.get(answer.id) else { continue };
+                    let (score, measure) = self.similarity.rank_sim(n, relaxed, record);
+                    consider(&mut best, PartialAnswer {
+                        id: answer.id,
+                        rank_sim: score,
+                        measure,
+                        relaxed_condition: skip,
+                    });
+                }
+            }
+        }
+
+        let mut out: Vec<PartialAnswer> = best.into_values().collect();
+        out.sort_by(|a, b| {
+            b.rank_sim
+                .partial_cmp(&a.rank_sim)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out.truncate(budget);
+        Ok(out)
+    }
+}
+
+fn consider(
+    best: &mut std::collections::HashMap<RecordId, PartialAnswer>,
+    candidate: PartialAnswer,
+) {
+    best.entry(candidate.id)
+        .and_modify(|existing| {
+            if candidate.rank_sim > existing.rank_sim {
+                *existing = candidate.clone();
+            }
+        })
+        .or_insert(candidate);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::toy_car_domain;
+    use crate::tagging::Tagger;
+    use crate::translate::interpret;
+    use addb::{Record, Table};
+    use cqads_querylog::TIMatrix;
+    use cqads_wordsim::WordSimMatrix;
+    use std::sync::Arc;
+
+    fn car(make: &str, model: &str, color: &str, price: f64) -> Record {
+        Record::builder()
+            .text("make", make)
+            .text("model", model)
+            .text("color", color)
+            .number("price", price)
+            .number("year", 2005.0)
+            .number("mileage", 60_000.0)
+            .build()
+    }
+
+    fn setup() -> (crate::domain::DomainSpec, Table, SimilarityModel) {
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        table.insert(car("honda", "accord", "blue", 16_536.0)).unwrap();
+        table.insert(car("honda", "accord", "gold", 6_600.0)).unwrap();
+        table.insert(car("toyota", "camry", "blue", 8_561.0)).unwrap();
+        table.insert(car("chevy", "malibu", "blue", 5_899.0)).unwrap();
+        table.insert(car("ford", "mustang", "red", 21_000.0)).unwrap();
+        let mut ti = TIMatrix::default();
+        ti.insert("accord", "camry", 4.5);
+        ti.insert("accord", "malibu", 3.8);
+        ti.insert("accord", "mustang", 0.4);
+        ti.insert("honda", "toyota", 3.5);
+        ti.insert("honda", "chevy", 2.5);
+        ti.insert("honda", "ford", 1.0);
+        let mut ws = WordSimMatrix::default();
+        ws.insert("blue", "gold", 0.45);
+        ws.insert("blue", "red", 0.4);
+        let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+        (spec, table, sim)
+    }
+
+    #[test]
+    fn n_minus_1_finds_the_table_2_style_answers() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        // "Find Honda Accord blue less than 15,000 dollars"
+        let interp = interpret(&tagger.tag("Find Honda Accord blue less than 15,000 dollars"), &spec)
+            .unwrap();
+        let matcher = PartialMatcher::new(&spec, &sim);
+        let answers = matcher
+            .partial_answers(&interp, &table, &HashSet::new(), 30)
+            .unwrap();
+        assert!(!answers.is_empty());
+        // Every answer has a bounded Rank_Sim: at most N (= 4) and more than N - 1 - ε.
+        let n = interp.condition_count() as f64;
+        for a in &answers {
+            assert!(a.rank_sim <= n + 1e-9);
+            assert!(a.rank_sim >= 0.0);
+        }
+        // Scores are sorted descending.
+        for w in answers.windows(2) {
+            assert!(w[0].rank_sim >= w[1].rank_sim);
+        }
+        // The gold accord (exact make/model, close price, related color) should rank
+        // above the unrelated red mustang.
+        let gold_pos = answers
+            .iter()
+            .position(|a| table.get(a.id).unwrap().get_text("color") == Some("gold"))
+            .unwrap();
+        let mustang_pos = answers
+            .iter()
+            .position(|a| table.get(a.id).unwrap().get_text("model") == Some("mustang"));
+        if let Some(mpos) = mustang_pos {
+            assert!(gold_pos < mpos);
+        }
+    }
+
+    #[test]
+    fn exact_answers_are_excluded_and_budget_respected() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let interp = interpret(&tagger.tag("blue honda accord under 20000 dollars"), &spec).unwrap();
+        let matcher = PartialMatcher::new(&spec, &sim);
+        let exact: HashSet<RecordId> = [RecordId(0)].into_iter().collect();
+        let answers = matcher.partial_answers(&interp, &table, &exact, 2).unwrap();
+        assert!(answers.len() <= 2);
+        assert!(answers.iter().all(|a| a.id != RecordId(0)));
+        let none = matcher.partial_answers(&interp, &table, &exact, 0).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn single_condition_questions_use_direct_similarity() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let interp = interpret(&tagger.tag("mustang"), &spec).unwrap();
+        assert_eq!(interp.condition_count(), 1);
+        let matcher = PartialMatcher::new(&spec, &sim);
+        let answers = matcher
+            .partial_answers(&interp, &table, &HashSet::new(), 30)
+            .unwrap();
+        // Every non-excluded record is scored.
+        assert_eq!(answers.len(), table.len());
+        // The accord (ti_sim 0.4/4.5 with mustang) still scores above records whose
+        // model has no recorded relation? All others are unrelated; just check bounds.
+        for a in &answers {
+            assert!(a.rank_sim >= 0.0 && a.rank_sim <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn each_record_keeps_its_best_relaxation() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let interp = interpret(&tagger.tag("blue toyota camry"), &spec).unwrap();
+        let matcher = PartialMatcher::new(&spec, &sim);
+        let answers = matcher
+            .partial_answers(&interp, &table, &HashSet::new(), 30)
+            .unwrap();
+        // No duplicate record ids.
+        let mut ids: Vec<RecordId> = answers.iter().map(|a| a.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), answers.len());
+    }
+}

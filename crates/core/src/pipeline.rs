@@ -1,0 +1,466 @@
+//! The end-to-end CQAds pipeline.
+//!
+//! [`CqadsSystem`] owns the ads database, one [`DomainSpec`]/[`Tagger`]/TI-matrix per
+//! registered domain, the shared WS word-correlation matrix and the JBBSM question
+//! classifier. `answer(question)` runs the full paper pipeline: classify → tag →
+//! interpret → translate to SQL → execute exactly → top up with ranked
+//! partially-matched answers when fewer than 30 exact answers exist.
+
+use crate::domain::DomainSpec;
+use crate::error::{CqadsError, CqadsResult};
+use crate::partial::PartialMatcher;
+use crate::ranking::{SimilarityMeasure, SimilarityModel};
+use crate::tagging::{TaggedQuestion, Tagger};
+use crate::translate::{interpret, Interpretation};
+use addb::{Database, Executor, Record, RecordId, Table};
+use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
+use cqads_querylog::TIMatrix;
+use cqads_wordsim::WordSimMatrix;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Whether an answer matched every condition or was retrieved by the N−1 strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchKind {
+    /// The record satisfies every selection criterion.
+    Exact,
+    /// The record satisfies all but one criterion; ranked by `Rank_Sim`.
+    Partial,
+}
+
+/// One answer returned to the user.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Record id within the domain table.
+    pub id: RecordId,
+    /// The advertisement record itself.
+    pub record: Record,
+    /// Exact or partial match.
+    pub kind: MatchKind,
+    /// `Rank_Sim` score for partial answers (exact answers carry the full condition
+    /// count, which always sorts above any partial score).
+    pub rank_sim: f64,
+    /// Similarity measure used for the relaxed condition (partial answers only).
+    pub measure: SimilarityMeasure,
+}
+
+/// The result of answering one question.
+#[derive(Debug, Clone)]
+pub struct AnswerSet {
+    /// The domain the question was classified into.
+    pub domain: String,
+    /// The tagged question (for inspection / debugging).
+    pub tagged: TaggedQuestion,
+    /// The interpretation (condition sketches, superlatives).
+    pub interpretation: Interpretation,
+    /// The SQL statement shipped to the database layer.
+    pub sql: String,
+    /// Exact answers followed by ranked partial answers, at most `answer_limit` total.
+    pub answers: Vec<Answer>,
+    /// Number of exact answers at the head of `answers`.
+    pub exact_count: usize,
+    /// Wall-clock time spent answering.
+    pub elapsed: Duration,
+}
+
+impl AnswerSet {
+    /// Answers that matched every condition.
+    pub fn exact(&self) -> &[Answer] {
+        &self.answers[..self.exact_count]
+    }
+
+    /// Ranked partially-matched answers.
+    pub fn partial(&self) -> &[Answer] {
+        &self.answers[self.exact_count..]
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct CqadsConfig {
+    /// Total answers returned per question (exact + partial). The paper uses 30.
+    pub answer_limit: usize,
+    /// Retrieve partial answers whenever fewer exact answers than this threshold exist.
+    /// The paper tops up to the full answer limit, so the default equals `answer_limit`.
+    pub partial_threshold: usize,
+}
+
+impl Default for CqadsConfig {
+    fn default() -> Self {
+        CqadsConfig {
+            answer_limit: addb::DEFAULT_ANSWER_LIMIT,
+            partial_threshold: addb::DEFAULT_ANSWER_LIMIT,
+        }
+    }
+}
+
+/// Everything the system holds for one registered domain.
+#[derive(Debug, Clone)]
+struct DomainRuntime {
+    spec: Arc<DomainSpec>,
+    tagger: Tagger,
+    similarity: SimilarityModel,
+}
+
+/// The CQAds question-answering system.
+#[derive(Debug)]
+pub struct CqadsSystem {
+    database: Database,
+    domains: BTreeMap<String, DomainRuntime>,
+    classifier: BetaBinomialNb,
+    word_sim: Arc<WordSimMatrix>,
+    config: CqadsConfig,
+}
+
+impl CqadsSystem {
+    /// Create an empty system with the default configuration and an empty WS-matrix.
+    pub fn new() -> Self {
+        Self::with_config(CqadsConfig::default())
+    }
+
+    /// Create an empty system with an explicit configuration.
+    pub fn with_config(config: CqadsConfig) -> Self {
+        CqadsSystem {
+            database: Database::new(),
+            domains: BTreeMap::new(),
+            classifier: BetaBinomialNb::new(),
+            word_sim: Arc::new(WordSimMatrix::default()),
+            config,
+        }
+    }
+
+    /// Install the shared WS word-correlation matrix used by `Feat_Sim`.
+    pub fn set_word_sim(&mut self, matrix: WordSimMatrix) {
+        self.word_sim = Arc::new(matrix);
+        // Rebuild the per-domain similarity models with the new matrix.
+        let domains: Vec<String> = self.domains.keys().cloned().collect();
+        for name in domains {
+            let runtime = self.domains.get(&name).expect("key from map").clone();
+            let ti = runtime.similarity_ti();
+            let schema = runtime.spec.schema.clone();
+            let similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
+            self.domains.insert(
+                name,
+                DomainRuntime {
+                    spec: runtime.spec,
+                    tagger: runtime.tagger,
+                    similarity,
+                },
+            );
+        }
+    }
+
+    /// Register an ads domain: its specification, its populated table and its TI-matrix
+    /// (pass an empty [`TIMatrix`] when no query log is available — `TI_Sim` then falls
+    /// back to exact-match-only behaviour).
+    pub fn add_domain(&mut self, spec: DomainSpec, table: Table, ti_matrix: TIMatrix) {
+        let name = spec.name().to_string();
+        let spec = Arc::new(spec);
+        let tagger = Tagger::from_arc(Arc::clone(&spec));
+        let similarity = SimilarityModel::new(
+            Arc::new(ti_matrix),
+            Arc::clone(&self.word_sim),
+            spec.schema.clone(),
+        );
+        self.database.add_table(table);
+        self.domains.insert(
+            name,
+            DomainRuntime {
+                spec,
+                tagger,
+                similarity,
+            },
+        );
+    }
+
+    /// Train the JBBSM domain classifier on labelled example questions.
+    pub fn train_classifier(&mut self, docs: &[LabelledDoc]) {
+        self.classifier.train(docs);
+    }
+
+    /// Registered domain names.
+    pub fn domain_names(&self) -> Vec<&str> {
+        self.domains.keys().map(String::as_str).collect()
+    }
+
+    /// The underlying ads database.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The domain specification of a registered domain.
+    pub fn domain_spec(&self, domain: &str) -> Option<&DomainSpec> {
+        self.domains.get(domain).map(|r| r.spec.as_ref())
+    }
+
+    /// Classify a question into a registered domain (Equation 2). Falls back to the
+    /// first registered domain when the classifier has not been trained.
+    pub fn classify(&self, question: &str) -> CqadsResult<String> {
+        if self.domains.is_empty() {
+            return Err(CqadsError::NoDomain);
+        }
+        if let Some(domain) = self.classifier.classify_text(question) {
+            if self.domains.contains_key(&domain) {
+                return Ok(domain);
+            }
+        }
+        Ok(self
+            .domains
+            .keys()
+            .next()
+            .expect("non-empty checked above")
+            .clone())
+    }
+
+    /// Answer a question end to end, classifying it first.
+    pub fn answer(&self, question: &str) -> CqadsResult<AnswerSet> {
+        let domain = self.classify(question)?;
+        self.answer_in_domain(question, &domain)
+    }
+
+    /// Answer a question against an explicitly chosen domain (used by the evaluation
+    /// harness when the gold domain is known).
+    pub fn answer_in_domain(&self, question: &str, domain: &str) -> CqadsResult<AnswerSet> {
+        let start = Instant::now();
+        let runtime = self
+            .domains
+            .get(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let table = self
+            .database
+            .table(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+
+        let tagged = runtime.tagger.tag(question);
+        let interpretation = interpret(&tagged, &runtime.spec)?;
+        let query = interpretation.to_query(&runtime.spec)?;
+        let sql = addb::sql::render(&query);
+
+        let executor = Executor::new(table);
+        let exact = executor.execute(&query)?;
+        let exact_ids: HashSet<RecordId> = exact.iter().map(|a| a.id).collect();
+        let n = interpretation.condition_count();
+
+        let mut answers: Vec<Answer> = exact
+            .iter()
+            .filter_map(|a| table.get(a.id).map(|r| (a.id, r)))
+            .map(|(id, record)| Answer {
+                id,
+                record: record.clone(),
+                kind: MatchKind::Exact,
+                rank_sim: n as f64,
+                measure: SimilarityMeasure::None,
+            })
+            .collect();
+
+        // Top up with partially-matched answers when exact answers are scarce.
+        if answers.len() < self.config.partial_threshold.min(self.config.answer_limit) {
+            let budget = self.config.answer_limit - answers.len();
+            let matcher = PartialMatcher::new(&runtime.spec, &runtime.similarity);
+            let partial = matcher.partial_answers(&interpretation, table, &exact_ids, budget)?;
+            for p in partial {
+                if let Some(record) = table.get(p.id) {
+                    answers.push(Answer {
+                        id: p.id,
+                        record: record.clone(),
+                        kind: MatchKind::Partial,
+                        rank_sim: p.rank_sim,
+                        measure: p.measure,
+                    });
+                }
+            }
+        }
+        answers.truncate(self.config.answer_limit);
+
+        Ok(AnswerSet {
+            domain: domain.to_string(),
+            exact_count: exact_ids.len().min(answers.len()),
+            tagged,
+            interpretation,
+            sql,
+            answers,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Produce only the interpretation of a question in a given domain (used by the
+    /// Boolean-interpretation experiment, which compares interpretations rather than
+    /// answers).
+    pub fn interpret_in_domain(
+        &self,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<(TaggedQuestion, Interpretation, String)> {
+        let runtime = self
+            .domains
+            .get(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let tagged = runtime.tagger.tag(question);
+        let interpretation = interpret(&tagged, &runtime.spec)?;
+        let sql = interpretation.to_sql(&runtime.spec)?;
+        Ok((tagged, interpretation, sql))
+    }
+}
+
+impl Default for CqadsSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DomainRuntime {
+    fn similarity_ti(&self) -> Arc<TIMatrix> {
+        // The similarity model owns the TI-matrix; recover a shared handle for rebuilds.
+        // SimilarityModel keeps it behind an Arc, so cloning the model is cheap; we
+        // simply rebuild from a fresh reference.
+        self.similarity.ti_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::toy_car_domain;
+
+    fn car(make: &str, model: &str, color: &str, trans: &str, price: f64, year: f64) -> Record {
+        Record::builder()
+            .text("make", make)
+            .text("model", model)
+            .text("color", color)
+            .text("transmission", trans)
+            .number("price", price)
+            .number("year", year)
+            .number("mileage", 50_000.0)
+            .build()
+    }
+
+    fn system() -> CqadsSystem {
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        table.insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0)).unwrap();
+        table.insert(car("honda", "accord", "gold", "manual", 16_536.0, 2009.0)).unwrap();
+        table.insert(car("honda", "civic", "red", "automatic", 4500.0, 2001.0)).unwrap();
+        table.insert(car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0)).unwrap();
+        table.insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0)).unwrap();
+        let mut ti = TIMatrix::default();
+        ti.insert("accord", "camry", 4.0);
+        ti.insert("accord", "focus", 2.0);
+        let mut system = CqadsSystem::new();
+        let mut ws = WordSimMatrix::default();
+        ws.insert("blue", "gold", 0.5);
+        system.set_word_sim(ws);
+        system.add_domain(spec, table, ti);
+        system
+    }
+
+    #[test]
+    fn exact_answers_come_back_for_example_7() {
+        let sys = system();
+        let result = sys.answer_in_domain("Do you have automatic blue cars?", "cars").unwrap();
+        assert_eq!(result.exact_count, 2);
+        assert!(result.sql.contains("automatic"));
+        for a in result.exact() {
+            assert_eq!(a.kind, MatchKind::Exact);
+            assert_eq!(a.record.get_text("transmission"), Some("automatic"));
+            assert_eq!(a.record.get_text("color"), Some("blue"));
+        }
+        // partial answers fill the remainder of the 30-answer budget
+        assert!(result.answers.len() > result.exact_count);
+        assert!(result.answers.len() <= 30);
+    }
+
+    #[test]
+    fn cheapest_honda_returns_the_cheapest_honda() {
+        let sys = system();
+        let result = sys.answer_in_domain("cheapest honda", "cars").unwrap();
+        assert!(result.exact_count >= 1);
+        let top = &result.exact()[0];
+        assert_eq!(top.record.get_text("make"), Some("honda"));
+        assert_eq!(top.record.get_number("price"), Some(4500.0));
+    }
+
+    #[test]
+    fn partial_answers_are_ranked_when_no_exact_match_exists() {
+        let sys = system();
+        let result = sys
+            .answer_in_domain("Find Honda Accord blue less than 5000 dollars", "cars")
+            .unwrap();
+        assert_eq!(result.exact_count, 0);
+        assert!(!result.partial().is_empty());
+        // partial answers are sorted by Rank_Sim descending
+        let scores: Vec<f64> = result.partial().iter().map(|a| a.rank_sim).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1] + -1e-9);
+        }
+        // every partial answer reports which measure ranked it
+        assert!(result
+            .partial()
+            .iter()
+            .all(|a| a.measure != SimilarityMeasure::None || a.rank_sim > 0.0));
+    }
+
+    #[test]
+    fn classification_routes_to_registered_domains() {
+        let mut sys = system();
+        sys.train_classifier(&[
+            LabelledDoc::from_text("cars", "honda accord blue automatic price"),
+            LabelledDoc::from_text("cars", "cheapest toyota camry sedan"),
+        ]);
+        assert_eq!(sys.classify("blue honda please").unwrap(), "cars");
+        let result = sys.answer("blue honda").unwrap();
+        assert_eq!(result.domain, "cars");
+        // unknown domains error
+        assert!(matches!(
+            sys.answer_in_domain("blue honda", "boats"),
+            Err(CqadsError::UnknownDomain(_))
+        ));
+        // an empty system cannot classify
+        let empty = CqadsSystem::new();
+        assert!(matches!(empty.classify("anything"), Err(CqadsError::NoDomain)));
+    }
+
+    #[test]
+    fn empty_questions_and_contradictions_error() {
+        let sys = system();
+        assert!(matches!(
+            sys.answer_in_domain("hello there", "cars"),
+            Err(CqadsError::EmptyQuestion)
+        ));
+        assert!(matches!(
+            sys.answer_in_domain("honda above 9000 dollars and below 2000 dollars", "cars"),
+            Err(CqadsError::ContradictoryRange { .. })
+        ));
+    }
+
+    #[test]
+    fn interpret_in_domain_exposes_sql_and_sketches() {
+        let sys = system();
+        let (tagged, interp, sql) = sys
+            .interpret_in_domain("Toyota Corolla or a silver Honda Accord", "cars")
+            .unwrap();
+        assert!(tagged.has_criteria());
+        assert_eq!(interp.segments.len(), 2);
+        assert!(sql.contains(" OR "));
+    }
+
+    #[test]
+    fn answer_limit_is_configurable() {
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        for i in 0..40 {
+            table
+                .insert(car("honda", "accord", "blue", "automatic", 5000.0 + i as f64, 2004.0))
+                .unwrap();
+        }
+        let mut sys = CqadsSystem::with_config(CqadsConfig {
+            answer_limit: 10,
+            partial_threshold: 10,
+        });
+        sys.add_domain(spec, table, TIMatrix::default());
+        let result = sys.answer_in_domain("blue honda accord", "cars").unwrap();
+        assert_eq!(result.answers.len(), 10);
+        assert_eq!(result.exact_count, 10);
+        assert!(result.partial().is_empty());
+    }
+}

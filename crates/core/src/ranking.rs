@@ -1,0 +1,336 @@
+//! Similarity measures and `Rank_Sim` (Section 4.3.2, Equations 3–5).
+//!
+//! When a condition is relaxed by the N−1 strategy, the answers that only partially
+//! match are ranked by
+//!
+//! ```text
+//! Rank_Sim(r, Q) = (N − 1) + sim(T, V)
+//! ```
+//!
+//! where `N` is the number of selection criteria in the question, `T` is the value the
+//! question requested for the relaxed condition, `V` is the record's value for the same
+//! attribute and `sim` is chosen by attribute type:
+//!
+//! * Type I — `TI_Sim` from the query-log matrix, normalized by the largest matrix
+//!   entry,
+//! * Type II — `Feat_Sim` from the WS word-correlation matrix, normalized likewise,
+//! * Type III — `Num_Sim(T, V) = 1 − |T − V| / Attribute_Value_Range` (Equation 4).
+
+use crate::translate::ConditionSketch;
+use addb::{Record, Schema};
+use cqads_querylog::TIMatrix;
+use cqads_wordsim::WordSimMatrix;
+use std::sync::Arc;
+
+/// Which similarity measure produced a partial-match score — reported in the answer so
+/// that Table 2 of the paper can be reproduced verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityMeasure {
+    /// `TI_Sim` on a Type I attribute.
+    TiSim,
+    /// `Feat_Sim` on a Type II attribute.
+    FeatSim,
+    /// `Num_Sim` on a Type III attribute.
+    NumSim,
+    /// The relaxed condition had no comparable value in the record.
+    None,
+}
+
+impl std::fmt::Display for SimilarityMeasure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimilarityMeasure::TiSim => write!(f, "TI_Sim"),
+            SimilarityMeasure::FeatSim => write!(f, "Feat_Sim"),
+            SimilarityMeasure::NumSim => write!(f, "Num_Sim"),
+            SimilarityMeasure::None => write!(f, "-"),
+        }
+    }
+}
+
+/// The per-domain similarity model: TI-matrix + WS-matrix + schema ranges.
+#[derive(Debug, Clone)]
+pub struct SimilarityModel {
+    ti: Arc<TIMatrix>,
+    ws: Arc<WordSimMatrix>,
+    schema: Schema,
+}
+
+impl SimilarityModel {
+    /// Build a model from the domain's TI-matrix, the shared WS-matrix and the schema.
+    pub fn new(ti: Arc<TIMatrix>, ws: Arc<WordSimMatrix>, schema: Schema) -> Self {
+        SimilarityModel { ti, ws, schema }
+    }
+
+    /// Shared handle to the TI-matrix (used when the pipeline rebuilds the model after
+    /// the WS-matrix changes).
+    pub fn ti_matrix(&self) -> Arc<TIMatrix> {
+        Arc::clone(&self.ti)
+    }
+
+    /// Normalized `TI_Sim` between two Type I values.
+    pub fn ti_sim(&self, question_value: &str, record_value: &str) -> f64 {
+        self.ti.normalized(question_value, record_value)
+    }
+
+    /// `Feat_Sim` between two Type II values (already normalized to `[0, 1]`).
+    pub fn feat_sim(&self, question_value: &str, record_value: &str) -> f64 {
+        self.ws.value_similarity(question_value, record_value)
+    }
+
+    /// `Num_Sim` of Equation 4: `1 − |T − V| / range`, clamped to `[0, 1]`.
+    pub fn num_sim(&self, attribute: &str, question_value: f64, record_value: f64) -> f64 {
+        let range = self
+            .schema
+            .attribute(attribute)
+            .and_then(|a| a.range_width())
+            .unwrap_or(0.0);
+        if range <= 0.0 {
+            return if (question_value - record_value).abs() < f64::EPSILON {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        (1.0 - (question_value - record_value).abs() / range).clamp(0.0, 1.0)
+    }
+
+    /// Similarity contribution of one relaxed condition against a record, together with
+    /// the measure that produced it.
+    pub fn condition_similarity(
+        &self,
+        relaxed: &ConditionSketch,
+        record: &Record,
+    ) -> (f64, SimilarityMeasure) {
+        match relaxed {
+            ConditionSketch::Categorical {
+                attribute,
+                value,
+                is_type1,
+                negated,
+            } => {
+                let Some(record_value) = record.get_text(attribute) else {
+                    return (0.0, SimilarityMeasure::None);
+                };
+                if *negated {
+                    // The user excluded this value; a record that does not carry it
+                    // already satisfies the intent, otherwise it is maximally dissimilar.
+                    let sim = if record_value == value { 0.0 } else { 1.0 };
+                    let measure = if *is_type1 {
+                        SimilarityMeasure::TiSim
+                    } else {
+                        SimilarityMeasure::FeatSim
+                    };
+                    return (sim, measure);
+                }
+                if *is_type1 {
+                    (self.ti_sim(value, record_value), SimilarityMeasure::TiSim)
+                } else {
+                    (self.feat_sim(value, record_value), SimilarityMeasure::FeatSim)
+                }
+            }
+            ConditionSketch::Numeric {
+                attribute,
+                value,
+                value2,
+                ..
+            } => {
+                // For an incomplete (attribute-less) condition, score against the best
+                // candidate attribute: the user meant one of them.
+                let candidates: Vec<String> = match attribute {
+                    Some(a) => vec![a.clone()],
+                    None => self
+                        .schema
+                        .numeric_candidates(*value)
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect(),
+                };
+                let target = match value2 {
+                    Some(v2) => (*value + *v2) / 2.0,
+                    None => *value,
+                };
+                let mut best = 0.0_f64;
+                let mut found = false;
+                for attr in &candidates {
+                    if let Some(v) = record.get_number(attr) {
+                        best = best.max(self.num_sim(attr, target, v));
+                        found = true;
+                    }
+                }
+                if found {
+                    (best, SimilarityMeasure::NumSim)
+                } else {
+                    (0.0, SimilarityMeasure::None)
+                }
+            }
+        }
+    }
+
+    /// `Rank_Sim` (Equation 5): the number of exactly-matched conditions plus the
+    /// similarity of the relaxed one.
+    pub fn rank_sim(
+        &self,
+        condition_count: usize,
+        relaxed: &ConditionSketch,
+        record: &Record,
+    ) -> (f64, SimilarityMeasure) {
+        let (sim, measure) = self.condition_similarity(relaxed, record);
+        ((condition_count.saturating_sub(1)) as f64 + sim, measure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identifiers::BoundaryOp;
+    use addb::Schema;
+
+    fn schema() -> Schema {
+        Schema::builder("cars")
+            .type1("make")
+            .type1("model")
+            .type2("color")
+            .type3("price", 0.0, 10_000.0, Some("usd"))
+            .type3("year", 1985.0, 2011.0, None)
+            .build()
+            .unwrap()
+    }
+
+    fn model() -> SimilarityModel {
+        let mut ti = TIMatrix::default();
+        ti.insert("accord", "camry", 4.0);
+        ti.insert("accord", "mustang", 0.5);
+        let mut ws = WordSimMatrix::default();
+        ws.insert("blue", "silver", 0.7);
+        ws.insert("blue", "gold", 0.3);
+        SimilarityModel::new(Arc::new(ti), Arc::new(ws), schema())
+    }
+
+    #[test]
+    fn num_sim_matches_example_4() {
+        // Example 4: range 10,000; |10000-7500| → 0.75; |10000-11000| → 0.90.
+        let m = model();
+        assert!((m.num_sim("price", 10_000.0, 7_500.0) - 0.75).abs() < 1e-9);
+        assert!((m.num_sim("price", 10_000.0, 11_000.0) - 0.90).abs() < 1e-9);
+        // clamped at zero for very distant values
+        assert_eq!(m.num_sim("price", 0.0, 1_000_000.0), 0.0);
+        // unknown attribute: only exact matches count
+        assert_eq!(m.num_sim("unknown", 5.0, 5.0), 1.0);
+        assert_eq!(m.num_sim("unknown", 5.0, 6.0), 0.0);
+    }
+
+    #[test]
+    fn ti_and_feat_sim_are_normalized() {
+        let m = model();
+        assert_eq!(m.ti_sim("accord", "camry"), 1.0);
+        assert!(m.ti_sim("accord", "mustang") < 0.2);
+        assert_eq!(m.feat_sim("blue", "silver"), 0.7);
+        assert_eq!(m.feat_sim("blue", "blue"), 1.0);
+        assert_eq!(m.feat_sim("blue", "unknown"), 0.0);
+    }
+
+    #[test]
+    fn condition_similarity_picks_the_right_measure() {
+        let m = model();
+        let record = Record::builder()
+            .text("make", "toyota")
+            .text("model", "camry")
+            .text("color", "silver")
+            .number("price", 8561.0)
+            .build();
+        let relaxed = ConditionSketch::Categorical {
+            attribute: "model".into(),
+            value: "accord".into(),
+            is_type1: true,
+            negated: false,
+        };
+        let (sim, measure) = m.condition_similarity(&relaxed, &record);
+        assert_eq!(measure, SimilarityMeasure::TiSim);
+        assert_eq!(sim, 1.0);
+
+        let relaxed = ConditionSketch::Categorical {
+            attribute: "color".into(),
+            value: "blue".into(),
+            is_type1: false,
+            negated: false,
+        };
+        let (sim, measure) = m.condition_similarity(&relaxed, &record);
+        assert_eq!(measure, SimilarityMeasure::FeatSim);
+        assert!((sim - 0.7).abs() < 1e-9);
+
+        let relaxed = ConditionSketch::Numeric {
+            attribute: Some("price".into()),
+            op: BoundaryOp::Lt,
+            value: 6000.0,
+            value2: None,
+            negated: false,
+        };
+        let (sim, measure) = m.condition_similarity(&relaxed, &record);
+        assert_eq!(measure, SimilarityMeasure::NumSim);
+        assert!(sim > 0.7 && sim < 0.8);
+    }
+
+    #[test]
+    fn missing_record_values_and_negations_are_handled() {
+        let m = model();
+        let record = Record::builder().text("make", "toyota").build();
+        let relaxed = ConditionSketch::Categorical {
+            attribute: "color".into(),
+            value: "blue".into(),
+            is_type1: false,
+            negated: false,
+        };
+        assert_eq!(m.condition_similarity(&relaxed, &record), (0.0, SimilarityMeasure::None));
+
+        let record = Record::builder().text("color", "blue").build();
+        let negated = ConditionSketch::Categorical {
+            attribute: "color".into(),
+            value: "blue".into(),
+            is_type1: false,
+            negated: true,
+        };
+        let (sim, _) = m.condition_similarity(&negated, &record);
+        assert_eq!(sim, 0.0);
+        let record = Record::builder().text("color", "red").build();
+        let (sim, _) = m.condition_similarity(&negated, &record);
+        assert_eq!(sim, 1.0);
+    }
+
+    #[test]
+    fn rank_sim_adds_the_exact_match_count() {
+        let m = model();
+        let record = Record::builder()
+            .text("model", "camry")
+            .number("price", 9000.0)
+            .build();
+        let relaxed = ConditionSketch::Categorical {
+            attribute: "model".into(),
+            value: "accord".into(),
+            is_type1: true,
+            negated: false,
+        };
+        let (score, measure) = m.rank_sim(4, &relaxed, &record);
+        assert_eq!(measure, SimilarityMeasure::TiSim);
+        assert!((score - 4.0).abs() < 1e-9); // (4-1) + 1.0
+        let (score_low_n, _) = m.rank_sim(2, &relaxed, &record);
+        assert!(score_low_n < score);
+    }
+
+    #[test]
+    fn incomplete_numeric_conditions_score_best_candidate() {
+        let m = model();
+        let record = Record::builder().number("price", 2100.0).number("year", 2005.0).build();
+        let relaxed = ConditionSketch::Numeric {
+            attribute: None,
+            op: BoundaryOp::Eq,
+            value: 2000.0,
+            value2: None,
+            negated: false,
+        };
+        let (sim, measure) = m.condition_similarity(&relaxed, &record);
+        assert_eq!(measure, SimilarityMeasure::NumSim);
+        // price is within 100 of 2000 over a 10k range → 0.99; year 2005 vs 2000 over a
+        // 26-year range → ~0.81; the best candidate wins.
+        assert!(sim > 0.98);
+    }
+}

@@ -1,0 +1,181 @@
+//! Spelling correction and missing-space repair (Section 4.2.1).
+//!
+//! While parsing a question CQAds reads each keyword character by character against the
+//! domain trie:
+//!
+//! * if a branch ends while characters remain, the user probably forgot a space —
+//!   [`split_keywords`] splits "hondaaccord" into "honda" + "accord" as long as every
+//!   piece is a recognized keyword;
+//! * if the trie rejects the next character, the keyword is treated as misspelled —
+//!   [`correct_word`] compares it against the alternative keywords that share the
+//!   longest matched prefix using the `similar_text` percentage and picks the best one.
+
+use crate::identifiers::Tag;
+use cqads_text::{similar_text_percent, Trie};
+
+/// Minimum `similar_text` percentage for a correction to be accepted. Below this the
+/// keyword is considered non-essential and dropped rather than guessed.
+pub const MIN_CORRECTION_PERCENT: f64 = 70.0;
+
+/// Result of correcting a single word.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Correction {
+    /// The word was already a recognized keyword.
+    Exact(Tag),
+    /// The word was split into several recognized keywords (missing spaces).
+    Split(Vec<(String, Tag)>),
+    /// The word was replaced by the most similar recognized keyword.
+    Replaced {
+        /// The keyword the misspelled word was replaced with.
+        keyword: String,
+        /// Its identifier tag.
+        tag: Tag,
+        /// The `similar_text` percentage of the replacement.
+        percent: f64,
+    },
+    /// No acceptable correction exists; the word is dropped as non-essential.
+    Unrecognized,
+}
+
+/// Attempt to interpret `word` against the domain trie, applying the paper's
+/// missing-space and misspelling repairs in that order.
+pub fn correct_word(trie: &Trie<Tag>, word: &str) -> Correction {
+    if let Some(tag) = trie.lookup(word) {
+        return Correction::Exact(tag.clone());
+    }
+    if let Some(parts) = split_keywords(trie, word, 0) {
+        if parts.len() > 1 {
+            return Correction::Split(parts);
+        }
+    }
+    match best_alternative(trie, word) {
+        Some((keyword, tag, percent)) if percent >= MIN_CORRECTION_PERCENT => Correction::Replaced {
+            keyword,
+            tag,
+            percent,
+        },
+        _ => Correction::Unrecognized,
+    }
+}
+
+/// Recursively split a run-together word into recognized keywords. Returns `None` if no
+/// complete split exists. `depth` bounds the recursion (a question keyword never glues
+/// more than a handful of values together).
+pub fn split_keywords(trie: &Trie<Tag>, word: &str, depth: usize) -> Option<Vec<(String, Tag)>> {
+    if depth > 4 || word.is_empty() {
+        return if word.is_empty() { Some(Vec::new()) } else { None };
+    }
+    // Prefer the longest prefix first, then back off to shorter recognized prefixes so
+    // that "hondaaccord" does not get stuck if the greedy split fails. Prefix lengths
+    // are byte offsets at character boundaries, so multi-byte input cannot panic.
+    let mut boundaries: Vec<usize> = word.char_indices().map(|(i, _)| i).skip(1).collect();
+    boundaries.push(word.len());
+    let prefix_lengths: Vec<usize> = boundaries
+        .into_iter()
+        .rev()
+        .filter(|&len| trie.lookup(&word[..len]).is_some())
+        .collect();
+    for len in prefix_lengths {
+        let tag = trie.lookup(&word[..len]).cloned().expect("checked above");
+        if let Some(mut rest) = split_keywords(trie, &word[len..], depth + 1) {
+            let mut out = vec![(word[..len].to_string(), tag)];
+            out.append(&mut rest);
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Best alternative keyword for a misspelled word: alternatives share the longest
+/// matched prefix in the trie (the "current node" of Section 4.2.1) and are ranked by
+/// `similar_text` percentage.
+pub fn best_alternative(trie: &Trie<Tag>, word: &str) -> Option<(String, Tag, f64)> {
+    let depth = trie.matched_depth(word);
+    if depth == 0 {
+        return None;
+    }
+    let mut best: Option<(String, Tag, f64)> = None;
+    for (candidate, tag) in trie.alternatives_from(word, depth) {
+        let percent = similar_text_percent(word, &candidate);
+        let better = match &best {
+            Some((_, _, p)) => percent > *p,
+            None => true,
+        };
+        if better {
+            best = Some((candidate, tag.clone(), percent));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::toy_car_domain;
+
+    fn trie() -> Trie<Tag> {
+        toy_car_domain().build_trie()
+    }
+
+    #[test]
+    fn exact_keywords_pass_through() {
+        let t = trie();
+        assert!(matches!(correct_word(&t, "honda"), Correction::Exact(Tag::Type1Value { .. })));
+        assert!(matches!(correct_word(&t, "blue"), Correction::Exact(Tag::Type2Value { .. })));
+    }
+
+    #[test]
+    fn missing_space_is_split_like_the_paper_example() {
+        let t = trie();
+        // "Hondaaccord less than $2000" (Section 4.2.1)
+        match correct_word(&t, "hondaaccord") {
+            Correction::Split(parts) => {
+                let words: Vec<&str> = parts.iter().map(|(w, _)| w.as_str()).collect();
+                assert_eq!(words, vec!["honda", "accord"]);
+            }
+            other => panic!("expected split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misspelling_is_replaced_by_similar_text() {
+        let t = trie();
+        // "honda accorr less than $2000" (Section 4.2.1)
+        match correct_word(&t, "accorr") {
+            Correction::Replaced { keyword, percent, .. } => {
+                assert_eq!(keyword, "accord");
+                assert!(percent >= MIN_CORRECTION_PERCENT);
+            }
+            other => panic!("expected replacement, got {other:?}"),
+        }
+        match correct_word(&t, "chevvy") {
+            Correction::Replaced { keyword, .. } => assert_eq!(keyword, "chevy"),
+            other => panic!("expected replacement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonsense_words_are_dropped() {
+        let t = trie();
+        assert_eq!(correct_word(&t, "zzzzqqq"), Correction::Unrecognized);
+        assert_eq!(correct_word(&t, "xylophone"), Correction::Unrecognized);
+    }
+
+    #[test]
+    fn split_requires_every_piece_to_be_recognized() {
+        let t = trie();
+        // "bluecar" — "blue" is recognized but "car" is not a keyword, so no split.
+        assert!(matches!(correct_word(&t, "bluecarx"), Correction::Unrecognized));
+        // split_keywords on an empty word yields the empty split.
+        assert_eq!(split_keywords(&t, "", 0), Some(vec![]));
+    }
+
+    #[test]
+    fn best_alternative_requires_a_shared_prefix() {
+        let t = trie();
+        assert!(best_alternative(&t, "qqq").is_none());
+        let (kw, _, pct) = best_alternative(&t, "toyotta").unwrap();
+        assert_eq!(kw, "toyota");
+        assert!(pct > 80.0);
+    }
+}

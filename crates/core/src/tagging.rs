@@ -1,0 +1,486 @@
+//! Keyword tagging (Sections 4.1.2–4.1.4).
+//!
+//! The tagger turns a raw question into a sequence of [`TaggedToken`]s: every essential
+//! keyword is labelled with its identifier from the domain trie (Type I/II value,
+//! Type III attribute keyword, boundary, superlative, negation, Boolean operator),
+//! numbers are parsed (with `$`, `k` and thousands-separator handling), stop words and
+//! unrecognizable words are discarded, misspellings and missing spaces are repaired and
+//! shorthand notations are resolved to the full attribute values they abbreviate.
+//!
+//! Example 2 of the paper:
+//!
+//! ```
+//! use cqads::domain::toy_car_domain;
+//! use cqads::tagging::Tagger;
+//!
+//! let spec = toy_car_domain();
+//! let tagger = Tagger::new(&spec);
+//! let tagged = tagger.tag("Do you have a 2 door red BMW?");
+//! assert_eq!(tagged.summary(), "\"2 door\"/TII \"red\"/TII \"bmw\"/TI");
+//! ```
+
+use crate::domain::DomainSpec;
+use crate::identifiers::{BoundaryOp, Tag};
+use crate::spell::{correct_word, Correction};
+use addb::SuperlativeKind;
+use cqads_text::{is_stopword, shorthand_related, tokenize, Token, TokenKind, Trie};
+
+/// One tagged element of a question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaggedToken {
+    /// A Type I or Type II attribute value.
+    Value {
+        /// Attribute the value belongs to.
+        attribute: String,
+        /// The (canonical) attribute value.
+        value: String,
+        /// True for Type I values, false for Type II.
+        is_type1: bool,
+    },
+    /// A numeric quantity.
+    Number(f64),
+    /// A keyword naming a Type III attribute ("price", "miles", "salary").
+    Type3Attr(String),
+    /// A superlative request; `attribute` is `None` for partial superlatives that still
+    /// need context-switching analysis.
+    Superlative {
+        /// Attribute the superlative ranges over, when known.
+        attribute: Option<String>,
+        /// Min or max.
+        kind: SuperlativeKind,
+    },
+    /// A boundary keyword; `attribute` is `None` for partial boundaries.
+    Boundary {
+        /// Attribute the boundary constrains, when known.
+        attribute: Option<String>,
+        /// Comparison direction.
+        op: BoundaryOp,
+    },
+    /// A negation keyword.
+    Negation,
+    /// Explicit Boolean OR.
+    Or,
+    /// Explicit Boolean AND.
+    And,
+}
+
+impl TaggedToken {
+    /// Short display used by [`TaggedQuestion::summary`], mirroring the notation of the
+    /// paper's Example 2.
+    fn summary_piece(&self) -> String {
+        match self {
+            TaggedToken::Value { value, is_type1, .. } => {
+                format!("\"{value}\"/{}", if *is_type1 { "TI" } else { "TII" })
+            }
+            TaggedToken::Number(n) => format!("\"{n}\"/TIII"),
+            TaggedToken::Type3Attr(a) => format!("\"{a}\"/TIII-attr"),
+            TaggedToken::Superlative { attribute, kind } => format!(
+                "\"{}{:?}\"/TIII-CS",
+                attribute.as_deref().map(|a| format!("{a} ")).unwrap_or_default(),
+                kind
+            ),
+            TaggedToken::Boundary { op, .. } => format!("\"{op:?}\"/TIII-B"),
+            TaggedToken::Negation => "NOT".to_string(),
+            TaggedToken::Or => "OR".to_string(),
+            TaggedToken::And => "AND".to_string(),
+        }
+    }
+}
+
+/// A fully tagged question.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedQuestion {
+    /// The original question text.
+    pub original: String,
+    /// The essential keywords, in question order, with their tags.
+    pub tokens: Vec<TaggedToken>,
+    /// Words that were corrected, as `(misspelled, replacement)` pairs.
+    pub corrections: Vec<(String, String)>,
+}
+
+impl TaggedQuestion {
+    /// Compact human-readable rendering used in docs and debugging (Example 2 style).
+    pub fn summary(&self) -> String {
+        self.tokens
+            .iter()
+            .filter(|t| {
+                // Follow the paper's display: keep values, superlatives and boundaries,
+                // hide pure attribute keywords and Boolean glue when summarizing values.
+                !matches!(t, TaggedToken::And)
+            })
+            .map(TaggedToken::summary_piece)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// True if the question contains at least one selection criterion.
+    pub fn has_criteria(&self) -> bool {
+        self.tokens.iter().any(|t| {
+            matches!(
+                t,
+                TaggedToken::Value { .. }
+                    | TaggedToken::Number(_)
+                    | TaggedToken::Superlative { .. }
+            )
+        })
+    }
+}
+
+/// Maximum number of raw tokens a single trie keyword may span ("4 wheel drive",
+/// "less than", "more expensive than").
+const MAX_PHRASE_TOKENS: usize = 4;
+
+/// The per-domain keyword tagger. Owns (a shared handle to) the domain specification and
+/// the keyword trie built from it, so it can be cached inside the pipeline.
+#[derive(Debug, Clone)]
+pub struct Tagger {
+    spec: std::sync::Arc<DomainSpec>,
+    trie: Trie<Tag>,
+}
+
+impl Tagger {
+    /// Build a tagger (and its trie) for one domain.
+    pub fn new(spec: &DomainSpec) -> Self {
+        Self::from_arc(std::sync::Arc::new(spec.clone()))
+    }
+
+    /// Build a tagger from a shared domain specification.
+    pub fn from_arc(spec: std::sync::Arc<DomainSpec>) -> Self {
+        let trie = spec.build_trie();
+        Tagger { spec, trie }
+    }
+
+    /// Access the underlying trie (used by the pipeline for reporting).
+    pub fn trie(&self) -> &Trie<Tag> {
+        &self.trie
+    }
+
+    /// Tag a question.
+    pub fn tag(&self, question: &str) -> TaggedQuestion {
+        let tokens = tokenize(question);
+        let mut out = Vec::new();
+        let mut corrections = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            // 1. Longest multi-token phrase recognized by the trie.
+            if let Some((consumed, tag, keyword)) = self.match_phrase(&tokens, i) {
+                out.push(self.tag_to_token(&tag, &keyword));
+                i += consumed;
+                continue;
+            }
+            let token = &tokens[i];
+            // 2. Numbers (with a leading '$' implying the price attribute).
+            if let TokenKind::Number(n) = token.kind {
+                if token.text.starts_with('$') {
+                    if let Some(price) = &self.spec.price_attribute {
+                        out.push(TaggedToken::Type3Attr(price.clone()));
+                    }
+                }
+                out.push(TaggedToken::Number(n));
+                i += 1;
+                continue;
+            }
+            // 3. Stop words are non-essential.
+            if is_stopword(&token.text) {
+                i += 1;
+                continue;
+            }
+            // 4. Single-word keywords, with missing-space and misspelling repair.
+            match correct_word(&self.trie, &token.text) {
+                Correction::Exact(tag) => out.push(self.tag_to_token(&tag, &token.text)),
+                Correction::Split(parts) => {
+                    for (word, tag) in parts {
+                        out.push(self.tag_to_token(&tag, &word));
+                    }
+                    corrections.push((token.text.clone(), "<split>".to_string()));
+                }
+                Correction::Replaced { keyword, tag, .. } => {
+                    corrections.push((token.text.clone(), keyword.clone()));
+                    out.push(self.tag_to_token(&tag, &keyword));
+                }
+                Correction::Unrecognized => {
+                    // 5. Shorthand notations ("4dr", "awd") resolve to known values.
+                    if let Some(tok) = self.match_shorthand(token) {
+                        out.push(tok);
+                    }
+                    // otherwise: non-essential keyword, dropped (Section 4.1.4).
+                }
+            }
+            i += 1;
+        }
+        TaggedQuestion {
+            original: question.to_string(),
+            tokens: out,
+            corrections,
+        }
+    }
+
+    /// Try to match the longest trie keyword spanning several raw tokens starting at
+    /// `i`. Returns the number of raw tokens consumed, the tag and the *canonical*
+    /// keyword text (which may differ from the surface form for hyphenated values).
+    fn match_phrase(&self, tokens: &[Token], i: usize) -> Option<(usize, Tag, String)> {
+        let max = MAX_PHRASE_TOKENS.min(tokens.len() - i);
+        for len in (2..=max).rev() {
+            let phrase = phrase_text(tokens, i, len);
+            if let Some(tag) = self.trie.lookup(&phrase) {
+                return Some((len, tag.clone(), phrase));
+            }
+        }
+        // Single-token phrases are handled by the per-word path (so that spelling
+        // correction can kick in), except when the token is an exact multi-word value
+        // written with hyphens ("4-door").
+        let dehyphenated = tokens[i].text.replace('-', " ");
+        if dehyphenated != tokens[i].text {
+            if let Some(tag) = self.trie.lookup(&dehyphenated) {
+                return Some((1, tag.clone(), dehyphenated));
+            }
+        }
+        None
+    }
+
+    /// Resolve a shorthand token ("4dr", "awd", "2door") against the known Type I/II
+    /// values of the domain. When several full values are abbreviated by the same
+    /// notation, the shortest (least-stretched) one wins: "4dr" resolves to "4 door",
+    /// not "4 wheel drive".
+    fn match_shorthand(&self, token: &Token) -> Option<TaggedToken> {
+        let candidates = self
+            .spec
+            .type1_values
+            .iter()
+            .map(|(v, a)| (v.as_str(), a.as_str(), true))
+            .chain(
+                self.spec
+                    .type2_values
+                    .iter()
+                    .map(|(v, a)| (v.as_str(), a.as_str(), false)),
+            );
+        let mut best: Option<(&str, &str, bool)> = None;
+        for (value, attribute, is_type1) in candidates {
+            if !shorthand_related(&token.text, value) {
+                continue;
+            }
+            let better = match best {
+                Some((current, _, _)) => value.len() < current.len(),
+                None => true,
+            };
+            if better {
+                best = Some((value, attribute, is_type1));
+            }
+        }
+        best.map(|(value, attribute, is_type1)| TaggedToken::Value {
+            attribute: attribute.to_string(),
+            value: value.to_string(),
+            is_type1,
+        })
+    }
+
+    fn tag_to_token(&self, tag: &Tag, text: &str) -> TaggedToken {
+        match tag {
+            Tag::Type1Value { attribute } => TaggedToken::Value {
+                attribute: attribute.clone(),
+                value: text.to_lowercase(),
+                is_type1: true,
+            },
+            Tag::Type2Value { attribute } => TaggedToken::Value {
+                attribute: attribute.clone(),
+                value: text.to_lowercase(),
+                is_type1: false,
+            },
+            Tag::Type3Attr { attribute } => TaggedToken::Type3Attr(attribute.clone()),
+            Tag::SuperlativeComplete { attribute, kind } => TaggedToken::Superlative {
+                attribute: Some(attribute.clone()),
+                kind: *kind,
+            },
+            Tag::SuperlativePartial { kind } => TaggedToken::Superlative {
+                attribute: None,
+                kind: *kind,
+            },
+            Tag::BoundaryComplete { attribute, op } => TaggedToken::Boundary {
+                attribute: Some(attribute.clone()),
+                op: *op,
+            },
+            Tag::BoundaryPartial { op } => TaggedToken::Boundary {
+                attribute: None,
+                op: *op,
+            },
+            Tag::Negation => TaggedToken::Negation,
+            Tag::Or => TaggedToken::Or,
+            Tag::And => TaggedToken::And,
+        }
+    }
+}
+
+fn phrase_text(tokens: &[Token], start: usize, len: usize) -> String {
+    tokens[start..start + len]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::toy_car_domain;
+
+    fn tagged(question: &str) -> TaggedQuestion {
+        let spec = toy_car_domain();
+        let tagger = Tagger::new(&spec);
+        tagger.tag(question)
+    }
+
+    #[test]
+    fn example_1_q1_two_door_red_bmw() {
+        let t = tagged("Do you have a 2 door red BMW?");
+        assert_eq!(
+            t.tokens,
+            vec![
+                TaggedToken::Value {
+                    attribute: "doors".into(),
+                    value: "2 door".into(),
+                    is_type1: false
+                },
+                TaggedToken::Value {
+                    attribute: "color".into(),
+                    value: "red".into(),
+                    is_type1: false
+                },
+                TaggedToken::Value {
+                    attribute: "make".into(),
+                    value: "bmw".into(),
+                    is_type1: true
+                },
+            ]
+        );
+        assert!(t.has_criteria());
+    }
+
+    #[test]
+    fn example_1_q2_cheapest_2dr_mazda_automatic() {
+        let t = tagged("Cheapest 2dr mazda with automatic transmission");
+        // "Cheapest"/TIII-CS "2dr"→"2 door"/TII "mazda"/TI "automatic"/TII
+        assert!(matches!(
+            t.tokens[0],
+            TaggedToken::Superlative {
+                ref attribute,
+                kind: SuperlativeKind::Min
+            } if attribute.as_deref() == Some("price")
+        ));
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "doors".into(),
+            value: "2 door".into(),
+            is_type1: false
+        }));
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "make".into(),
+            value: "mazda".into(),
+            is_type1: true
+        }));
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "transmission".into(),
+            value: "automatic".into(),
+            is_type1: false
+        }));
+    }
+
+    #[test]
+    fn example_1_q3_boundary_and_units() {
+        let t = tagged("I want a 4 wheel drive with less than 20K miles");
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "drivetrain".into(),
+            value: "4 wheel drive".into(),
+            is_type1: false
+        }));
+        assert!(t
+            .tokens
+            .contains(&TaggedToken::Boundary { attribute: None, op: BoundaryOp::Lt }));
+        assert!(t.tokens.contains(&TaggedToken::Number(20_000.0)));
+        assert!(t.tokens.contains(&TaggedToken::Type3Attr("mileage".into())));
+    }
+
+    #[test]
+    fn misspellings_and_missing_spaces_are_repaired() {
+        let t = tagged("Hondaaccord less than $2000");
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "make".into(),
+            value: "honda".into(),
+            is_type1: true
+        }));
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "model".into(),
+            value: "accord".into(),
+            is_type1: true
+        }));
+        assert!(t.tokens.contains(&TaggedToken::Type3Attr("price".into())));
+        assert!(t.tokens.contains(&TaggedToken::Number(2000.0)));
+
+        let t = tagged("honda accorr less than $2000");
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "model".into(),
+            value: "accord".into(),
+            is_type1: true
+        }));
+        assert_eq!(t.corrections.len(), 1);
+        assert_eq!(t.corrections[0].0, "accorr");
+    }
+
+    #[test]
+    fn shorthand_and_hyphenated_values_resolve() {
+        let t = tagged("4dr automatic");
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "doors".into(),
+            value: "4 door".into(),
+            is_type1: false
+        }));
+        let t = tagged("4-door blue honda");
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "doors".into(),
+            value: "4 door".into(),
+            is_type1: false
+        }));
+        let t = tagged("awd corolla");
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "drivetrain".into(),
+            value: "all wheel drive".into(),
+            is_type1: false
+        }));
+    }
+
+    #[test]
+    fn negation_boolean_and_numbers_are_tagged() {
+        let t = tagged("Any car except a blue one");
+        assert!(t.tokens.contains(&TaggedToken::Negation));
+        assert!(t.tokens.contains(&TaggedToken::Value {
+            attribute: "color".into(),
+            value: "blue".into(),
+            is_type1: false
+        }));
+
+        let t = tagged("I want a Toyota Corolla or a silver Honda Accord");
+        assert!(t.tokens.contains(&TaggedToken::Or));
+        let type1_count = t
+            .tokens
+            .iter()
+            .filter(|tok| matches!(tok, TaggedToken::Value { is_type1: true, .. }))
+            .count();
+        assert_eq!(type1_count, 4);
+
+        let t = tagged("Honda accord 2000");
+        assert!(t.tokens.contains(&TaggedToken::Number(2000.0)));
+    }
+
+    #[test]
+    fn nonessential_words_are_dropped_and_empty_questions_detected() {
+        let t = tagged("Do you have anything nice for me please?");
+        assert!(t.tokens.is_empty());
+        assert!(!t.has_criteria());
+        let t = tagged("");
+        assert!(t.tokens.is_empty());
+    }
+
+    #[test]
+    fn summary_matches_example_2_notation() {
+        let t = tagged("Do you have a 2 door red BMW?");
+        assert_eq!(t.summary(), "\"2 door\"/TII \"red\"/TII \"bmw\"/TI");
+    }
+}

@@ -1,0 +1,436 @@
+//! Context-switching analysis and question interpretation (Sections 4.1.2, 4.2.2, 4.3).
+//!
+//! The tagger produces a flat sequence of tagged keywords; this module turns it into an
+//! [`Interpretation`]: a list of *condition sketches* organized into OR-separated
+//! segments, plus the superlatives. Context-switching analysis merges partial
+//! boundaries and superlatives with the attribute keywords and numbers around them
+//! ("less than" + "20k" + "miles" → `mileage < 20000`), and numeric values that arrive
+//! with no identifying attribute are left unresolved here and expanded into a union
+//! over every plausible Type III attribute by the Boolean combination step
+//! (Section 4.2.2, Example 3).
+
+use crate::boolean::combine_conditions;
+use crate::domain::DomainSpec;
+use crate::error::{CqadsError, CqadsResult};
+use crate::identifiers::BoundaryOp;
+use crate::tagging::{TaggedQuestion, TaggedToken};
+use addb::{BoolExpr, Query, Superlative, SuperlativeKind};
+
+/// One selection criterion extracted from the question, before Boolean combination.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConditionSketch {
+    /// A condition on a categorical (Type I or Type II) attribute value.
+    Categorical {
+        /// Attribute the value belongs to.
+        attribute: String,
+        /// The requested value.
+        value: String,
+        /// True for Type I values.
+        is_type1: bool,
+        /// True if the user excluded this value.
+        negated: bool,
+    },
+    /// A condition on a numeric (Type III) attribute.
+    Numeric {
+        /// Attribute the number constrains; `None` when the question did not identify it
+        /// (incomplete question, Section 4.2.2).
+        attribute: Option<String>,
+        /// Comparison direction.
+        op: BoundaryOp,
+        /// The numeric bound (or lower bound for BETWEEN).
+        value: f64,
+        /// Upper bound for BETWEEN.
+        value2: Option<f64>,
+        /// True if the user excluded this range.
+        negated: bool,
+    },
+}
+
+impl ConditionSketch {
+    /// Attribute name this sketch constrains, if resolved.
+    pub fn attribute(&self) -> Option<&str> {
+        match self {
+            ConditionSketch::Categorical { attribute, .. } => Some(attribute),
+            ConditionSketch::Numeric { attribute, .. } => attribute.as_deref(),
+        }
+    }
+
+    /// True if this sketch constrains a Type I attribute value.
+    pub fn is_type1(&self) -> bool {
+        matches!(self, ConditionSketch::Categorical { is_type1: true, .. })
+    }
+
+    /// True if this sketch constrains a numeric attribute.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ConditionSketch::Numeric { .. })
+    }
+}
+
+/// The interpreted question: OR-separated segments of condition sketches plus
+/// superlatives, ready to be combined into a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interpretation {
+    /// Domain (table) the question runs against.
+    pub domain: String,
+    /// Segments split at explicit OR keywords; each segment is an implicit conjunction
+    /// combined by the rules of Section 4.4.1.
+    pub segments: Vec<Vec<ConditionSketch>>,
+    /// Superlatives, evaluated last (Section 4.3).
+    pub superlatives: Vec<Superlative>,
+}
+
+impl Interpretation {
+    /// Every condition sketch across all segments, in question order.
+    pub fn all_sketches(&self) -> Vec<&ConditionSketch> {
+        self.segments.iter().flatten().collect()
+    }
+
+    /// The number of selection criteria `N` used by the N−1 strategy and by `Rank_Sim`
+    /// (superlatives count as criteria too, per Section 4.3.2).
+    pub fn condition_count(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum::<usize>() + self.superlatives.len()
+    }
+
+    /// True if the interpretation carries no selection criteria at all.
+    pub fn is_empty(&self) -> bool {
+        self.condition_count() == 0
+    }
+
+    /// Build the executable query (Boolean combination + superlatives + 30-answer cap).
+    pub fn to_query(&self, spec: &DomainSpec) -> CqadsResult<Query> {
+        self.to_query_excluding(spec, usize::MAX)
+    }
+
+    /// Build the query with the `skip`-th sketch (in [`Interpretation::all_sketches`]
+    /// order) removed — the building block of the N−1 partial-matching strategy.
+    pub fn to_query_excluding(&self, spec: &DomainSpec, skip: usize) -> CqadsResult<Query> {
+        let mut segment_exprs = Vec::new();
+        let mut global_index = 0usize;
+        for segment in &self.segments {
+            let kept: Vec<ConditionSketch> = segment
+                .iter()
+                .filter(|_| {
+                    let keep = global_index != skip;
+                    global_index += 1;
+                    keep
+                })
+                .cloned()
+                .collect();
+            if kept.is_empty() && !segment.is_empty() && self.segments.len() > 1 {
+                // Dropping the only condition of an OR branch would make the branch
+                // match everything; drop the branch instead.
+                continue;
+            }
+            let expr = combine_conditions(&kept, spec)?;
+            segment_exprs.push(expr);
+        }
+        let expr = match segment_exprs.len() {
+            0 => BoolExpr::True,
+            1 => segment_exprs.pop().expect("len checked"),
+            _ => BoolExpr::or(segment_exprs),
+        };
+        let mut query = Query::new(spec.name()).with_expr(expr);
+        for s in &self.superlatives {
+            query = query.with_superlative(s.clone());
+        }
+        Ok(query)
+    }
+
+    /// Render the SQL statement CQAds would send to its relational backend.
+    pub fn to_sql(&self, spec: &DomainSpec) -> CqadsResult<String> {
+        Ok(addb::sql::render(&self.to_query(spec)?))
+    }
+}
+
+/// Run context-switching analysis over a tagged question.
+pub fn interpret(tagged: &TaggedQuestion, spec: &DomainSpec) -> CqadsResult<Interpretation> {
+    if !tagged.has_criteria() {
+        return Err(CqadsError::EmptyQuestion);
+    }
+    let mut segments: Vec<Vec<ConditionSketch>> = Vec::new();
+    let mut current: Vec<ConditionSketch> = Vec::new();
+    let mut superlatives: Vec<Superlative> = Vec::new();
+
+    // Context-switching state.
+    let mut pending_negation = false;
+    let mut pending_boundary: Option<(Option<String>, BoundaryOp)> = None;
+    let mut pending_attr: Option<String> = None;
+    let mut pending_superlative: Option<SuperlativeKind> = None;
+    // Index (in `current`) of a BETWEEN sketch still waiting for its upper bound.
+    let mut awaiting_between: Option<usize> = None;
+
+    for token in &tagged.tokens {
+        match token {
+            TaggedToken::Value {
+                attribute,
+                value,
+                is_type1,
+            } => {
+                current.push(ConditionSketch::Categorical {
+                    attribute: attribute.clone(),
+                    value: value.clone(),
+                    is_type1: *is_type1,
+                    negated: pending_negation,
+                });
+                pending_negation = false;
+            }
+            TaggedToken::Type3Attr(attribute) => {
+                if let Some(kind) = pending_superlative.take() {
+                    superlatives.push(Superlative {
+                        attribute: attribute.clone(),
+                        kind,
+                    });
+                } else if let Some((attr_slot, _)) = pending_boundary.as_mut() {
+                    if attr_slot.is_none() {
+                        *attr_slot = Some(attribute.clone());
+                    }
+                    pending_attr = Some(attribute.clone());
+                } else if let Some(last_unresolved) = current.iter_mut().rev().find(|s| {
+                    matches!(s, ConditionSketch::Numeric { attribute: None, .. })
+                }) {
+                    // "20k miles": the attribute keyword follows the number.
+                    if let ConditionSketch::Numeric { attribute: slot, .. } = last_unresolved {
+                        *slot = Some(attribute.clone());
+                    }
+                } else {
+                    pending_attr = Some(attribute.clone());
+                }
+            }
+            TaggedToken::Number(n) => {
+                if let Some(idx) = awaiting_between.take() {
+                    if let Some(ConditionSketch::Numeric { value, value2, .. }) = current.get_mut(idx)
+                    {
+                        let (lo, hi) = if *value <= *n { (*value, *n) } else { (*n, *value) };
+                        *value = lo;
+                        *value2 = Some(hi);
+                        continue;
+                    }
+                }
+                let (attr, op, boundary_taken) = match pending_boundary.take() {
+                    Some((attr, op)) => (attr.or_else(|| pending_attr.clone()), op, true),
+                    None => (pending_attr.clone(), BoundaryOp::Eq, false),
+                };
+                if boundary_taken || pending_attr.is_some() {
+                    // The pending attribute has served its purpose.
+                    pending_attr = None;
+                }
+                let negated = pending_negation;
+                pending_negation = false;
+                // Rule 1a: a negated boundary is replaced by its complement.
+                let (op, negated) = if negated && op != BoundaryOp::Eq {
+                    (op.complement(), false)
+                } else {
+                    (op, negated)
+                };
+                let sketch = ConditionSketch::Numeric {
+                    attribute: attr,
+                    op,
+                    value: *n,
+                    value2: None,
+                    negated,
+                };
+                if op == BoundaryOp::Between {
+                    awaiting_between = Some(current.len());
+                }
+                current.push(sketch);
+            }
+            TaggedToken::Boundary { attribute, op } => {
+                let (op, negated) = if pending_negation {
+                    (op.complement(), false)
+                } else {
+                    (*op, false)
+                };
+                let _ = negated;
+                pending_negation = false;
+                pending_boundary = Some((attribute.clone().or_else(|| pending_attr.clone()), op));
+            }
+            TaggedToken::Superlative { attribute, kind } => {
+                match attribute.clone().or_else(|| pending_attr.take()) {
+                    Some(attr) => superlatives.push(Superlative { attribute: attr, kind: *kind }),
+                    None => pending_superlative = Some(*kind),
+                }
+            }
+            TaggedToken::Negation => pending_negation = true,
+            TaggedToken::Or => {
+                if !current.is_empty() {
+                    segments.push(std::mem::take(&mut current));
+                }
+                pending_negation = false;
+                pending_boundary = None;
+                pending_attr = None;
+                awaiting_between = None;
+            }
+            TaggedToken::And => {
+                // Explicit ANDs are dropped; conjunction is the default (Section 4.4.2).
+            }
+        }
+    }
+    // An unresolved partial superlative defaults to the domain's cost attribute — the
+    // "best guess" of Section 4.2.2 applied to superlatives ("the lowest one").
+    if let Some(kind) = pending_superlative.take() {
+        if let Some(price) = &spec.price_attribute {
+            superlatives.push(Superlative {
+                attribute: price.clone(),
+                kind,
+            });
+        }
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    if segments.is_empty() && superlatives.is_empty() {
+        return Err(CqadsError::EmptyQuestion);
+    }
+    Ok(Interpretation {
+        domain: spec.name().to_string(),
+        segments,
+        superlatives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::toy_car_domain;
+    use crate::tagging::Tagger;
+
+    fn interpretation(question: &str) -> Interpretation {
+        let spec = toy_car_domain();
+        let tagger = Tagger::new(&spec);
+        interpret(&tagger.tag(question), &spec).unwrap()
+    }
+
+    #[test]
+    fn boundary_attribute_and_number_merge() {
+        let i = interpretation("4 wheel drive with less than 20k miles");
+        assert_eq!(i.segments.len(), 1);
+        let numeric = i.segments[0]
+            .iter()
+            .find(|s| s.is_numeric())
+            .expect("numeric sketch");
+        assert_eq!(
+            numeric,
+            &ConditionSketch::Numeric {
+                attribute: Some("mileage".into()),
+                op: BoundaryOp::Lt,
+                value: 20_000.0,
+                value2: None,
+                negated: false,
+            }
+        );
+    }
+
+    #[test]
+    fn dollar_sign_binds_the_price_attribute() {
+        let i = interpretation("2 door car for less than $6000");
+        let numeric = i.segments[0].iter().find(|s| s.is_numeric()).unwrap();
+        assert_eq!(numeric.attribute(), Some("price"));
+        if let ConditionSketch::Numeric { op, value, .. } = numeric {
+            assert_eq!(*op, BoundaryOp::Lt);
+            assert_eq!(*value, 6000.0);
+        }
+    }
+
+    #[test]
+    fn incomplete_numbers_stay_unresolved_here() {
+        // "Honda accord 2000" — 2000 could be year, price or mileage (Example 3).
+        let i = interpretation("Honda accord 2000");
+        let numeric = i.segments[0].iter().find(|s| s.is_numeric()).unwrap();
+        assert_eq!(numeric.attribute(), None);
+        assert_eq!(i.condition_count(), 3);
+    }
+
+    #[test]
+    fn negated_boundary_is_complemented_rule_1a() {
+        // "priced below $7000 and not less than $2000" (Example 6, Q1)
+        let i = interpretation("Any car priced below $7000 and not less than $2000");
+        let numerics: Vec<_> = i.segments[0].iter().filter(|s| s.is_numeric()).collect();
+        assert_eq!(numerics.len(), 2);
+        assert_eq!(
+            numerics[0],
+            &ConditionSketch::Numeric {
+                attribute: Some("price".into()),
+                op: BoundaryOp::Lt,
+                value: 7000.0,
+                value2: None,
+                negated: false,
+            }
+        );
+        assert_eq!(
+            numerics[1],
+            &ConditionSketch::Numeric {
+                attribute: Some("price".into()),
+                op: BoundaryOp::Ge,
+                value: 2000.0,
+                value2: None,
+                negated: false,
+            }
+        );
+    }
+
+    #[test]
+    fn superlatives_are_collected_and_count_as_conditions() {
+        let i = interpretation("cheapest honda");
+        assert_eq!(i.superlatives, vec![Superlative::min("price")]);
+        assert_eq!(i.condition_count(), 2);
+        // partial superlative with an attribute keyword
+        let i = interpretation("honda with the lowest mileage");
+        assert_eq!(i.superlatives, vec![Superlative::min("mileage")]);
+        // unresolved partial superlative defaults to price
+        let i = interpretation("lowest honda");
+        assert_eq!(i.superlatives, vec![Superlative::min("price")]);
+    }
+
+    #[test]
+    fn or_splits_segments() {
+        let i = interpretation("Toyota Corolla or a silver Honda Accord");
+        assert_eq!(i.segments.len(), 2);
+        assert_eq!(i.segments[0].len(), 2);
+        assert_eq!(i.segments[1].len(), 3);
+    }
+
+    #[test]
+    fn between_collects_both_bounds() {
+        let i = interpretation("honda priced between 2000 and 7000 dollars");
+        let numeric = i.segments[0].iter().find(|s| s.is_numeric()).unwrap();
+        assert_eq!(
+            numeric,
+            &ConditionSketch::Numeric {
+                attribute: Some("price".into()),
+                op: BoundaryOp::Between,
+                value: 2000.0,
+                value2: Some(7000.0),
+                negated: false,
+            }
+        );
+    }
+
+    #[test]
+    fn empty_questions_error() {
+        let spec = toy_car_domain();
+        let tagger = Tagger::new(&spec);
+        let tagged = tagger.tag("do you have anything?");
+        assert_eq!(interpret(&tagged, &spec), Err(CqadsError::EmptyQuestion));
+    }
+
+    #[test]
+    fn query_and_sql_are_produced() {
+        let spec = toy_car_domain();
+        let i = interpretation("Do you have automatic blue cars?");
+        let q = i.to_query(&spec).unwrap();
+        assert_eq!(q.table, "cars");
+        assert_eq!(q.expr.condition_count(), 2);
+        let sql = i.to_sql(&spec).unwrap();
+        assert!(sql.contains("transmission = 'automatic'"));
+        assert!(sql.contains("color = 'blue'"));
+    }
+
+    #[test]
+    fn excluding_a_sketch_drops_one_condition() {
+        let spec = toy_car_domain();
+        let i = interpretation("blue honda accord less than 15000 dollars");
+        let full = i.to_query(&spec).unwrap();
+        let relaxed = i.to_query_excluding(&spec, 0).unwrap();
+        assert_eq!(full.expr.condition_count(), relaxed.expr.condition_count() + 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Derive the latent-relatedness models from a blueprint's clusters.
+//!
+//! * [`affinity_model`] — the ground truth behind the synthetic query log: Type I
+//!   values of the same cluster have high affinity (e.g. compact sedans), values of
+//!   different clusters low affinity, and paired values ("honda"/"accord") are strongly
+//!   related. The TI-matrix is then *estimated* from the generated log, never from this
+//!   model directly.
+//! * [`topic_groups`] — the topic groups fed to the synthetic corpus generator so that
+//!   the WS-matrix learns that values of the same Type II cluster ("blue"/"silver",
+//!   "diamond"/"moissanite") co-occur.
+
+use crate::domains::DomainBlueprint;
+use cqads_querylog::AffinityModel;
+use cqads_wordsim::TopicGroup;
+
+/// Affinity of two Type I values in the same cluster.
+const SAME_CLUSTER_AFFINITY: f64 = 0.85;
+/// Affinity of two Type I values in different clusters of the same attribute.
+const CROSS_CLUSTER_AFFINITY: f64 = 0.1;
+/// Affinity of a paired make/model (or brand/instrument) combination.
+const PAIRED_AFFINITY: f64 = 0.95;
+
+/// Build the ground-truth affinity model over every Type I value of the blueprint.
+pub fn affinity_model(blueprint: &DomainBlueprint) -> AffinityModel {
+    let mut values: Vec<&str> = Vec::new();
+    for pool in &blueprint.type1 {
+        values.extend(pool.value_names());
+    }
+    let mut model = AffinityModel::new(&values);
+    // Within each pool: same cluster → high, different cluster → low.
+    for pool in &blueprint.type1 {
+        let vals = &pool.values;
+        for i in 0..vals.len() {
+            for j in (i + 1)..vals.len() {
+                let (a, ca) = vals[i];
+                let (b, cb) = vals[j];
+                let affinity = if ca == cb {
+                    SAME_CLUSTER_AFFINITY
+                } else {
+                    CROSS_CLUSTER_AFFINITY
+                };
+                model.set_affinity(a, b, affinity);
+            }
+        }
+    }
+    // Across pools: paired values are near-synonyms in search behaviour.
+    for (a, b) in &blueprint.type1_pairs {
+        model.set_affinity(a, b, PAIRED_AFFINITY);
+    }
+    model
+}
+
+/// Topic groups (per Type II cluster) for the synthetic corpus behind the WS-matrix.
+pub fn topic_groups(blueprint: &DomainBlueprint) -> Vec<TopicGroup> {
+    let mut groups = Vec::new();
+    for pool in &blueprint.type2 {
+        // One group per cluster id within the pool.
+        let mut clusters: Vec<u8> = pool.values.iter().map(|(_, c)| *c).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        for cluster in clusters {
+            let words: Vec<&str> = pool
+                .values
+                .iter()
+                .filter(|(_, c)| *c == cluster)
+                .flat_map(|(v, _)| v.split_whitespace())
+                .collect();
+            if words.len() < 2 {
+                continue;
+            }
+            groups.push(TopicGroup::new(
+                &format!("{}::{}::{}", blueprint.name, pool.attribute, cluster),
+                &words,
+            ));
+        }
+    }
+    groups
+}
+
+/// Convenience used by experiments: ground-truth relatedness of two categorical values
+/// anywhere in the blueprint (1.0 identical, high when in the same cluster of the same
+/// pool, 0 otherwise).
+pub fn ground_truth_similarity(blueprint: &DomainBlueprint, a: &str, b: &str) -> f64 {
+    if a.eq_ignore_ascii_case(b) {
+        return 1.0;
+    }
+    for pool in blueprint.all_pools() {
+        if let (Some(ca), Some(cb)) = (pool.cluster_of(a), pool.cluster_of(b)) {
+            return if ca == cb {
+                SAME_CLUSTER_AFFINITY
+            } else {
+                CROSS_CLUSTER_AFFINITY
+            };
+        }
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::blueprint;
+
+    #[test]
+    fn affinity_reflects_clusters_and_pairs() {
+        let bp = blueprint("cars");
+        let model = affinity_model(&bp);
+        assert!(model.affinity("accord", "camry") > model.affinity("accord", "mustang"));
+        assert!(model.affinity("honda", "accord") >= 0.9); // paired
+        assert_eq!(model.affinity("accord", "accord"), 1.0);
+        assert_eq!(model.affinity("accord", "not-a-model"), 0.0);
+    }
+
+    #[test]
+    fn topic_groups_cover_type2_clusters() {
+        let bp = blueprint("cars");
+        let groups = topic_groups(&bp);
+        assert!(!groups.is_empty());
+        // the cool-colour cluster exists as a group containing blue and silver
+        assert!(groups.iter().any(|g| {
+            g.words.contains(&"blue".to_string()) && g.words.contains(&"silver".to_string())
+        }));
+        // single-word clusters are skipped
+        for g in &groups {
+            assert!(g.words.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn ground_truth_similarity_is_cluster_based() {
+        let bp = blueprint("jewellery");
+        assert_eq!(ground_truth_similarity(&bp, "diamond", "diamond"), 1.0);
+        assert!(ground_truth_similarity(&bp, "diamond", "moissanite") > 0.5);
+        assert!(ground_truth_similarity(&bp, "diamond", "pearl") < 0.5);
+        assert_eq!(ground_truth_similarity(&bp, "diamond", "oak"), 0.0);
+    }
+
+    #[test]
+    fn every_domain_produces_an_affinity_model() {
+        for bp in crate::domains::all_blueprints() {
+            let model = affinity_model(&bp);
+            assert!(!model.values.is_empty(), "{}", bp.name);
+        }
+    }
+}

@@ -1,0 +1,717 @@
+//! Blueprints for the eight ads domains used in the paper's evaluation (Section 5.1).
+//!
+//! A [`DomainBlueprint`] carries everything the generators need: the attribute layout
+//! (Type I identifiers, Type II properties, Type III quantities), realistic value
+//! vocabularies, *relatedness clusters* (values in the same cluster are semantically
+//! close — compact sedans, warm colours, string instruments), Type I value pairings
+//! ("accord" goes with "honda") and the unit keywords users write for numeric
+//! attributes. The clusters are the ground truth that the TI-matrix and the WS-matrix
+//! are expected to recover from the synthetic query log / corpus.
+
+use cqads::DomainSpec;
+
+/// A pool of categorical values for one attribute, each with a relatedness cluster id.
+#[derive(Debug, Clone)]
+pub struct ValuePool {
+    /// Attribute name.
+    pub attribute: &'static str,
+    /// `(value, cluster)` pairs; values in the same cluster are considered related.
+    pub values: Vec<(&'static str, u8)>,
+}
+
+impl ValuePool {
+    fn new(attribute: &'static str, values: &[(&'static str, u8)]) -> Self {
+        ValuePool {
+            attribute,
+            values: values.to_vec(),
+        }
+    }
+
+    /// All values of the pool, without cluster ids.
+    pub fn value_names(&self) -> Vec<&'static str> {
+        self.values.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// Cluster id of a value, if it belongs to this pool.
+    pub fn cluster_of(&self, value: &str) -> Option<u8> {
+        self.values
+            .iter()
+            .find(|(v, _)| v.eq_ignore_ascii_case(value))
+            .map(|(_, c)| *c)
+    }
+}
+
+/// A numeric (Type III) attribute description.
+#[derive(Debug, Clone)]
+pub struct NumericAttr {
+    /// Attribute name.
+    pub name: &'static str,
+    /// Lower end of the valid range.
+    pub low: f64,
+    /// Upper end of the valid range.
+    pub high: f64,
+    /// Unit keyword stored in the schema ("usd", "miles"), if any.
+    pub unit: Option<&'static str>,
+    /// Additional keywords users write to refer to the attribute.
+    pub keywords: Vec<&'static str>,
+}
+
+impl NumericAttr {
+    fn new(
+        name: &'static str,
+        low: f64,
+        high: f64,
+        unit: Option<&'static str>,
+        keywords: &[&'static str],
+    ) -> Self {
+        NumericAttr {
+            name,
+            low,
+            high,
+            unit,
+            keywords: keywords.to_vec(),
+        }
+    }
+}
+
+/// Everything needed to instantiate one ads domain.
+#[derive(Debug, Clone)]
+pub struct DomainBlueprint {
+    /// Domain (table) name.
+    pub name: &'static str,
+    /// Type I attribute pools, in schema order. The first pool is the "primary" one
+    /// (car make, job title); the second, if present, pairs with it.
+    pub type1: Vec<ValuePool>,
+    /// Valid `(first, second)` pairings between the first two Type I pools
+    /// ("honda"/"accord"). Empty when the domain has a single Type I attribute.
+    pub type1_pairs: Vec<(&'static str, &'static str)>,
+    /// Type II attribute pools.
+    pub type2: Vec<ValuePool>,
+    /// Type III attributes.
+    pub type3: Vec<NumericAttr>,
+    /// Attribute targeted by "cheapest" superlatives.
+    pub price_attribute: Option<&'static str>,
+    /// Attribute targeted by "newest"/"oldest" superlatives.
+    pub year_attribute: Option<&'static str>,
+    /// Extra flavour words added to classification questions of this domain (they are
+    /// non-essential for querying but help/ hurt the classifier the way real chatter
+    /// does).
+    pub flavour_words: Vec<&'static str>,
+}
+
+impl DomainBlueprint {
+    /// Build the CQAds [`DomainSpec`] (schema + value registrations) for this blueprint.
+    pub fn to_spec(&self) -> DomainSpec {
+        let mut builder = addb::Schema::builder(self.name);
+        for pool in &self.type1 {
+            builder = builder.type1(pool.attribute);
+        }
+        for pool in &self.type2 {
+            builder = builder.type2(pool.attribute);
+        }
+        for num in &self.type3 {
+            builder = builder.type3(num.name, num.low, num.high, num.unit);
+        }
+        let schema = builder.build().expect("blueprint schemas are valid");
+        let mut spec = DomainSpec::new(schema);
+        for pool in &self.type1 {
+            for (value, _) in &pool.values {
+                spec.add_type1_value(pool.attribute, value);
+            }
+        }
+        for pool in &self.type2 {
+            for (value, _) in &pool.values {
+                spec.add_type2_value(pool.attribute, value);
+            }
+        }
+        for num in &self.type3 {
+            for kw in &num.keywords {
+                spec.add_type3_keyword(num.name, kw);
+            }
+            if let Some(unit) = num.unit {
+                spec.add_type3_keyword(num.name, unit);
+            }
+        }
+        if let Some(price) = self.price_attribute {
+            spec.set_price_attribute(price);
+        }
+        if let Some(year) = self.year_attribute {
+            spec.set_year_attribute(year);
+        }
+        spec
+    }
+
+    /// The Type I pool holding the primary identifier values (the first declared pool).
+    pub fn primary_pool(&self) -> &ValuePool {
+        &self.type1[0]
+    }
+
+    /// Every categorical pool (Type I and Type II).
+    pub fn all_pools(&self) -> impl Iterator<Item = &ValuePool> {
+        self.type1.iter().chain(self.type2.iter())
+    }
+}
+
+/// The eight evaluation domains, in the order the paper lists them.
+pub const DOMAIN_NAMES: [&str; 8] = [
+    "cars",
+    "motorcycles",
+    "clothing",
+    "cs_jobs",
+    "furniture",
+    "food_coupons",
+    "musical_instruments",
+    "jewellery",
+];
+
+/// Blueprint for one domain by name. Panics on unknown names (the set is fixed).
+pub fn blueprint(name: &str) -> DomainBlueprint {
+    match name {
+        "cars" => cars(),
+        "motorcycles" => motorcycles(),
+        "clothing" => clothing(),
+        "cs_jobs" => cs_jobs(),
+        "furniture" => furniture(),
+        "food_coupons" => food_coupons(),
+        "musical_instruments" => musical_instruments(),
+        "jewellery" => jewellery(),
+        other => panic!("unknown ads domain `{other}`"),
+    }
+}
+
+/// All eight blueprints.
+pub fn all_blueprints() -> Vec<DomainBlueprint> {
+    DOMAIN_NAMES.iter().map(|n| blueprint(n)).collect()
+}
+
+fn cars() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "cars",
+        type1: vec![
+            ValuePool::new(
+                "make",
+                &[
+                    ("honda", 0),
+                    ("toyota", 0),
+                    ("mazda", 0),
+                    ("nissan", 0),
+                    ("ford", 1),
+                    ("chevy", 1),
+                    ("dodge", 1),
+                    ("bmw", 2),
+                    ("audi", 2),
+                    ("mercedes", 2),
+                ],
+            ),
+            ValuePool::new(
+                "model",
+                &[
+                    // cluster 0: compact/mid-size sedans
+                    ("accord", 0),
+                    ("civic", 0),
+                    ("camry", 0),
+                    ("corolla", 0),
+                    ("mazda3", 0),
+                    ("altima", 0),
+                    ("malibu", 0),
+                    ("focus", 0),
+                    // cluster 1: trucks & muscle
+                    ("mustang", 1),
+                    ("camaro", 1),
+                    ("f150", 1),
+                    ("silverado", 1),
+                    ("ram", 1),
+                    // cluster 2: luxury
+                    ("328i", 2),
+                    ("a4", 2),
+                    ("c300", 2),
+                ],
+            ),
+        ],
+        type1_pairs: vec![
+            ("honda", "accord"),
+            ("honda", "civic"),
+            ("toyota", "camry"),
+            ("toyota", "corolla"),
+            ("mazda", "mazda3"),
+            ("nissan", "altima"),
+            ("chevy", "malibu"),
+            ("chevy", "camaro"),
+            ("chevy", "silverado"),
+            ("ford", "focus"),
+            ("ford", "mustang"),
+            ("ford", "f150"),
+            ("dodge", "ram"),
+            ("bmw", "328i"),
+            ("audi", "a4"),
+            ("mercedes", "c300"),
+        ],
+        type2: vec![
+            ValuePool::new(
+                "color",
+                &[
+                    ("blue", 0),
+                    ("silver", 0),
+                    ("grey", 0),
+                    ("black", 0),
+                    ("white", 0),
+                    ("red", 1),
+                    ("yellow", 1),
+                    ("orange", 1),
+                    ("gold", 1),
+                    ("green", 1),
+                ],
+            ),
+            ValuePool::new("transmission", &[("automatic", 0), ("manual", 1)]),
+            ValuePool::new(
+                "drivetrain",
+                &[("2 wheel drive", 0), ("4 wheel drive", 1), ("all wheel drive", 1)],
+            ),
+            ValuePool::new("doors", &[("2 door", 0), ("4 door", 1)]),
+            ValuePool::new(
+                "features",
+                &[
+                    ("leather seats", 0),
+                    ("heated seats", 0),
+                    ("sunroof", 0),
+                    ("navigation", 1),
+                    ("bluetooth", 1),
+                    ("backup camera", 1),
+                    ("anti-lock brakes", 2),
+                    ("power steering", 2),
+                    ("cruise control", 2),
+                ],
+            ),
+        ],
+        type3: vec![
+            NumericAttr::new("price", 500.0, 80_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar", "bucks"]),
+            NumericAttr::new("year", 1985.0, 2011.0, None, &["year"]),
+            NumericAttr::new("mileage", 0.0, 250_000.0, Some("miles"), &["mileage", "mile", "mi", "odometer"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: Some("year"),
+        flavour_words: vec!["sedan", "coupe", "engine", "cylinder", "hatchback", "truck", "suv"],
+    }
+}
+
+fn motorcycles() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "motorcycles",
+        type1: vec![
+            ValuePool::new(
+                "make",
+                &[
+                    // honda and suzuki overlap with the cars/consumer world; that shared
+                    // vocabulary is what lowers Figure 2's accuracy for both vehicle
+                    // domains.
+                    ("honda", 0),
+                    ("yamaha", 0),
+                    ("suzuki", 0),
+                    ("kawasaki", 0),
+                    ("harley davidson", 1),
+                    ("ducati", 2),
+                    ("triumph", 2),
+                ],
+            ),
+            ValuePool::new(
+                "model",
+                &[
+                    ("cbr600", 0),
+                    ("ninja 650", 0),
+                    ("gsxr 750", 0),
+                    ("r6", 0),
+                    ("sportster", 1),
+                    ("road king", 1),
+                    ("fat boy", 1),
+                    ("monster 796", 2),
+                    ("bonneville", 2),
+                ],
+            ),
+        ],
+        type1_pairs: vec![
+            ("honda", "cbr600"),
+            ("kawasaki", "ninja 650"),
+            ("suzuki", "gsxr 750"),
+            ("yamaha", "r6"),
+            ("harley davidson", "sportster"),
+            ("harley davidson", "road king"),
+            ("harley davidson", "fat boy"),
+            ("ducati", "monster 796"),
+            ("triumph", "bonneville"),
+        ],
+        type2: vec![
+            ValuePool::new(
+                "color",
+                &[("black", 0), ("red", 1), ("blue", 0), ("white", 0), ("orange", 1)],
+            ),
+            ValuePool::new(
+                "style",
+                &[("sport", 0), ("cruiser", 1), ("touring", 1), ("dirt", 2), ("scooter", 2)],
+            ),
+            ValuePool::new(
+                "features",
+                &[("saddlebags", 0), ("windshield", 0), ("heated grips", 1), ("abs", 1)],
+            ),
+        ],
+        type3: vec![
+            NumericAttr::new("price", 300.0, 40_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new("year", 1985.0, 2011.0, None, &["year"]),
+            NumericAttr::new("mileage", 0.0, 120_000.0, Some("miles"), &["mileage", "mile", "mi", "odometer"]),
+            NumericAttr::new("engine_cc", 50.0, 2000.0, Some("cc"), &["engine", "displacement"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: Some("year"),
+        flavour_words: vec!["bike", "motorcycle", "helmet", "two wheeler", "rides"],
+    }
+}
+
+fn clothing() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "clothing",
+        type1: vec![
+            ValuePool::new(
+                "brand",
+                &[
+                    ("nike", 0),
+                    ("adidas", 0),
+                    ("puma", 0),
+                    ("levis", 1),
+                    ("gap", 1),
+                    ("zara", 1),
+                    ("gucci", 2),
+                    ("prada", 2),
+                ],
+            ),
+            ValuePool::new(
+                "item",
+                &[
+                    ("jacket", 0),
+                    ("coat", 0),
+                    ("hoodie", 0),
+                    ("jeans", 1),
+                    ("trousers", 1),
+                    ("shorts", 1),
+                    ("dress", 2),
+                    ("skirt", 2),
+                    ("sneakers", 3),
+                    ("boots", 3),
+                ],
+            ),
+        ],
+        type1_pairs: vec![],
+        type2: vec![
+            ValuePool::new(
+                "color",
+                &[("black", 0), ("white", 0), ("navy", 0), ("red", 1), ("pink", 1), ("beige", 2)],
+            ),
+            ValuePool::new("size", &[("small", 0), ("medium", 0), ("large", 1), ("extra large", 1)]),
+            ValuePool::new(
+                "material",
+                &[("cotton", 0), ("denim", 0), ("leather", 1), ("wool", 1), ("polyester", 2)],
+            ),
+        ],
+        type3: vec![
+            NumericAttr::new("price", 5.0, 2_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: None,
+        flavour_words: vec!["wear", "outfit", "fashion", "style", "fit"],
+    }
+}
+
+fn cs_jobs() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "cs_jobs",
+        type1: vec![ValuePool::new(
+            "title",
+            &[
+                ("software engineer", 0),
+                ("backend developer", 0),
+                ("frontend developer", 0),
+                ("full stack developer", 0),
+                ("data scientist", 1),
+                ("machine learning engineer", 1),
+                ("data engineer", 1),
+                ("database administrator", 2),
+                ("devops engineer", 2),
+                ("security analyst", 3),
+            ],
+        )],
+        type1_pairs: vec![],
+        type2: vec![
+            ValuePool::new(
+                "language",
+                &[
+                    ("c++", 0),
+                    ("c", 0),
+                    ("rust", 0),
+                    ("java", 1),
+                    ("python", 1),
+                    ("javascript", 2),
+                    ("sql", 3),
+                ],
+            ),
+            ValuePool::new("seniority", &[("junior", 0), ("mid level", 0), ("senior", 1), ("principal", 1)]),
+            ValuePool::new("arrangement", &[("remote", 0), ("hybrid", 0), ("onsite", 1)]),
+            ValuePool::new(
+                "benefits",
+                &[("health insurance", 0), ("stock options", 1), ("retirement plan", 0), ("relocation", 1)],
+            ),
+        ],
+        type3: vec![
+            NumericAttr::new("salary", 30_000.0, 300_000.0, Some("usd"), &["salary", "pay", "compensation", "dollars"]),
+            NumericAttr::new("experience", 0.0, 20.0, Some("years"), &["experience", "yoe"]),
+        ],
+        price_attribute: Some("salary"),
+        year_attribute: None,
+        flavour_words: vec!["job", "position", "hiring", "career", "company", "team"],
+    }
+}
+
+fn furniture() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "furniture",
+        type1: vec![ValuePool::new(
+            "item",
+            &[
+                ("sofa", 0),
+                ("couch", 0),
+                ("recliner", 0),
+                ("armchair", 0),
+                ("dining table", 1),
+                ("coffee table", 1),
+                ("desk", 1),
+                ("bookshelf", 2),
+                ("dresser", 2),
+                ("bed frame", 3),
+                ("mattress", 3),
+            ],
+        )],
+        type1_pairs: vec![],
+        type2: vec![
+            ValuePool::new(
+                "material",
+                &[("oak", 0), ("pine", 0), ("walnut", 0), ("leather", 1), ("fabric", 1), ("metal", 2), ("glass", 2)],
+            ),
+            ValuePool::new("color", &[("brown", 0), ("beige", 0), ("black", 1), ("white", 1), ("grey", 1)]),
+            ValuePool::new("condition", &[("new", 0), ("like new", 0), ("used", 1), ("refurbished", 1)]),
+        ],
+        type3: vec![
+            NumericAttr::new("price", 10.0, 5_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new("width", 10.0, 120.0, Some("inches"), &["width", "wide"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: None,
+        flavour_words: vec!["living room", "bedroom", "apartment", "home", "delivery"],
+    }
+}
+
+fn food_coupons() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "food_coupons",
+        type1: vec![ValuePool::new(
+            "restaurant",
+            &[
+                ("pizza palace", 0),
+                ("pasta house", 0),
+                ("burger barn", 1),
+                ("taco town", 1),
+                ("sushi spot", 2),
+                ("noodle bar", 2),
+                ("curry corner", 2),
+                ("salad stop", 3),
+            ],
+        )],
+        type1_pairs: vec![],
+        type2: vec![
+            ValuePool::new(
+                "cuisine",
+                &[("italian", 0), ("american", 1), ("mexican", 1), ("japanese", 2), ("thai", 2), ("indian", 2), ("vegan", 3)],
+            ),
+            ValuePool::new("meal", &[("lunch", 0), ("dinner", 0), ("breakfast", 1), ("dessert", 1)]),
+            ValuePool::new("offer", &[("buy one get one", 0), ("free delivery", 1), ("family bundle", 0), ("student deal", 1)]),
+        ],
+        type3: vec![
+            NumericAttr::new("discount", 5.0, 80.0, Some("percent"), &["discount", "off"]),
+            NumericAttr::new("price", 1.0, 100.0, Some("usd"), &["price", "cost", "dollars", "dollar"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: None,
+        flavour_words: vec!["coupon", "voucher", "meal deal", "restaurant", "hungry"],
+    }
+}
+
+fn musical_instruments() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "musical_instruments",
+        type1: vec![
+            ValuePool::new(
+                "brand",
+                &[
+                    ("fender", 0),
+                    ("gibson", 0),
+                    ("ibanez", 0),
+                    ("yamaha", 1),
+                    ("roland", 1),
+                    ("casio", 1),
+                    ("pearl", 2),
+                    ("selmer", 3),
+                ],
+            ),
+            ValuePool::new(
+                "instrument",
+                &[
+                    ("electric guitar", 0),
+                    ("acoustic guitar", 0),
+                    ("bass guitar", 0),
+                    ("keyboard", 1),
+                    ("digital piano", 1),
+                    ("synthesizer", 1),
+                    ("drum kit", 2),
+                    ("snare drum", 2),
+                    ("saxophone", 3),
+                    ("trumpet", 3),
+                ],
+            ),
+        ],
+        type1_pairs: vec![
+            ("fender", "electric guitar"),
+            ("fender", "bass guitar"),
+            ("gibson", "electric guitar"),
+            ("gibson", "acoustic guitar"),
+            ("ibanez", "electric guitar"),
+            ("yamaha", "keyboard"),
+            ("yamaha", "digital piano"),
+            ("roland", "synthesizer"),
+            ("casio", "keyboard"),
+            ("pearl", "drum kit"),
+            ("pearl", "snare drum"),
+            ("selmer", "saxophone"),
+            ("selmer", "trumpet"),
+        ],
+        type2: vec![
+            ValuePool::new("condition", &[("new", 0), ("mint", 0), ("used", 1), ("vintage", 1)]),
+            ValuePool::new("color", &[("sunburst", 0), ("black", 1), ("white", 1), ("natural", 0)]),
+            ValuePool::new("accessories", &[("hard case", 0), ("gig bag", 0), ("amplifier", 1), ("stand", 1)]),
+        ],
+        type3: vec![
+            NumericAttr::new("price", 20.0, 15_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new("year", 1950.0, 2011.0, None, &["year"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: Some("year"),
+        flavour_words: vec!["music", "band", "strings", "pedal", "gig", "play"],
+    }
+}
+
+fn jewellery() -> DomainBlueprint {
+    DomainBlueprint {
+        name: "jewellery",
+        type1: vec![ValuePool::new(
+            "item",
+            &[
+                ("engagement ring", 0),
+                ("wedding band", 0),
+                ("promise ring", 0),
+                ("necklace", 1),
+                ("pendant", 1),
+                ("bracelet", 2),
+                ("bangle", 2),
+                ("earrings", 3),
+                ("watch", 4),
+            ],
+        )],
+        type1_pairs: vec![],
+        type2: vec![
+            ValuePool::new(
+                "metal",
+                &[("gold", 0), ("rose gold", 0), ("white gold", 0), ("silver", 1), ("platinum", 1), ("titanium", 2)],
+            ),
+            ValuePool::new(
+                "gemstone",
+                &[("diamond", 0), ("moissanite", 0), ("ruby", 1), ("sapphire", 1), ("emerald", 1), ("pearl", 2)],
+            ),
+            ValuePool::new("style", &[("vintage", 0), ("modern", 1), ("minimalist", 1), ("art deco", 0)]),
+        ],
+        type3: vec![
+            NumericAttr::new("price", 20.0, 50_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new("carat", 0.1, 5.0, Some("carat"), &["carats", "ct"]),
+        ],
+        price_attribute: Some("price"),
+        year_attribute: None,
+        flavour_words: vec!["gift", "anniversary", "sparkle", "certified", "band"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_domains_have_valid_specs() {
+        let blueprints = all_blueprints();
+        assert_eq!(blueprints.len(), 8);
+        for bp in &blueprints {
+            let spec = bp.to_spec();
+            assert_eq!(spec.name(), bp.name);
+            assert!(!spec.schema.type1_names().is_empty(), "{} needs Type I", bp.name);
+            assert!(!spec.schema.type3_names().is_empty(), "{} needs Type III", bp.name);
+            assert!(spec.price_attribute.is_some(), "{} needs a price-like attribute", bp.name);
+            // every registered Type I/II value resolves back to its attribute
+            for pool in bp.all_pools() {
+                for (value, _) in &pool.values {
+                    assert!(
+                        spec.value_attribute(value).is_some(),
+                        "{}: value {value} not registered",
+                        bp.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn type1_pairs_reference_known_values() {
+        for bp in all_blueprints() {
+            if bp.type1_pairs.is_empty() {
+                continue;
+            }
+            let firsts = bp.type1[0].value_names();
+            let seconds = bp.type1[1].value_names();
+            for (a, b) in &bp.type1_pairs {
+                assert!(firsts.contains(a), "{}: unknown pair lhs {a}", bp.name);
+                assert!(seconds.contains(b), "{}: unknown pair rhs {b}", bp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cars_and_motorcycles_share_vocabulary() {
+        let cars = blueprint("cars");
+        let moto = blueprint("motorcycles");
+        let car_makes = cars.type1[0].value_names();
+        let moto_makes = moto.type1[0].value_names();
+        assert!(car_makes.iter().any(|m| moto_makes.contains(m)));
+        // both talk about price, year and mileage
+        let car_nums: Vec<_> = cars.type3.iter().map(|n| n.name).collect();
+        let moto_nums: Vec<_> = moto.type3.iter().map(|n| n.name).collect();
+        for shared in ["price", "year", "mileage"] {
+            assert!(car_nums.contains(&shared) && moto_nums.contains(&shared));
+        }
+    }
+
+    #[test]
+    fn clusters_are_queryable() {
+        let cars = blueprint("cars");
+        let models = &cars.type1[1];
+        assert_eq!(models.cluster_of("accord"), models.cluster_of("camry"));
+        assert_ne!(models.cluster_of("accord"), models.cluster_of("mustang"));
+        assert_eq!(models.cluster_of("prius"), None);
+    }
+
+    #[test]
+    fn blueprint_lookup_panics_on_unknown_domain() {
+        let result = std::panic::catch_unwind(|| blueprint("boats"));
+        assert!(result.is_err());
+    }
+}

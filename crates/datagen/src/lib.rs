@@ -1,0 +1,39 @@
+//! # cqads-datagen — synthetic workloads for the CQAds reproduction
+//!
+//! The paper's evaluation rests on artifacts we cannot ship: ads scraped from
+//! commercial websites, Facebook survey questions, commercial query logs and human
+//! appraiser judgments. This crate replaces each of them with a seeded synthetic
+//! equivalent that preserves the statistical properties the experiments rely on:
+//!
+//! * [`domains`] — blueprints for the eight ads domains of Section 5.1 (Cars,
+//!   Motorcycles, Clothing, CS Jobs, Furniture, Food Coupons, Musical Instruments,
+//!   Jewellery): attribute schemas, realistic value vocabularies with *relatedness
+//!   clusters*, numeric ranges and unit keywords. Cars and Motorcycles intentionally
+//!   share makes and numeric vocabulary, which is what drives their lower
+//!   classification accuracy in Figure 2.
+//! * [`ads`] — advertisement (record) generation per blueprint.
+//! * [`affinity`] — derives the query-log [`AffinityModel`](cqads_querylog::AffinityModel)
+//!   and the word-similarity topic groups from a blueprint's clusters, so `TI_Sim` and
+//!   `Feat_Sim` have ground truth to recover.
+//! * [`questions`] — natural-language question generation with gold intents: plain,
+//!   misspelled, run-together, shorthand, incomplete, implicit-Boolean and
+//!   explicit-Boolean questions, mixed with the proportions reported in the paper
+//!   (about one fifth Boolean, ~5 % explicit Boolean).
+//! * [`survey`] — simulated survey respondents/appraisers used for the relevance
+//!   judgments of Figure 5, the Boolean-interpretation votes of Figure 4 and the survey
+//!   statistics of Section 5.1.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ads;
+pub mod affinity;
+pub mod domains;
+pub mod questions;
+pub mod survey;
+
+pub use ads::generate_table;
+pub use affinity::{affinity_model, topic_groups};
+pub use domains::{all_blueprints, blueprint, DomainBlueprint, NumericAttr, ValuePool};
+pub use questions::{generate_questions, GeneratedQuestion, QuestionKind, QuestionMix};
+pub use survey::{Appraiser, BooleanSurvey, SurveyStats};

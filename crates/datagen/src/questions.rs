@@ -1,0 +1,549 @@
+//! Natural-language question generation with gold intents.
+//!
+//! Substitutes the 650 Facebook-survey questions of Section 5.1. Every generated
+//! question carries its *gold interpretation* (the condition sketches and superlatives
+//! the simulated user had in mind), so that the evaluation harness can compute the gold
+//! answer set independently of the CQAds pipeline and measure precision/recall against
+//! it.
+//!
+//! The generator produces the error and Boolean phenomena the paper discusses, in
+//! realistic proportions (configurable through [`QuestionMix`]): plain questions,
+//! misspelled keywords, run-together keywords (missing spaces), shorthand notations,
+//! incomplete numeric conditions, implicit Boolean questions (negations /
+//! mutually-exclusive values) and explicit Boolean (OR) questions — the paper observed
+//! roughly one fifth Boolean questions, of which only ~5 % carry explicit operators.
+
+use crate::domains::DomainBlueprint;
+use addb::{Superlative, Table};
+use cqads::translate::{ConditionSketch, Interpretation};
+use cqads::BoundaryOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of phenomenon a generated question exhibits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionKind {
+    /// Well-formed question with no noise.
+    Plain,
+    /// One keyword misspelled.
+    Misspelled,
+    /// Two keywords glued together (missing space).
+    RunTogether,
+    /// A multi-word value written as a shorthand notation.
+    Shorthand,
+    /// A numeric condition with no identifying attribute keyword.
+    Incomplete,
+    /// Implicit Boolean: a negation or mutually-exclusive values, no AND/OR written.
+    ImplicitBoolean,
+    /// Explicit Boolean: an OR between alternatives.
+    ExplicitBoolean,
+}
+
+/// One generated question with its gold intent.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuestion {
+    /// The natural-language text as the user would type it.
+    pub text: String,
+    /// The ads domain the question belongs to.
+    pub domain: String,
+    /// Phenomenon injected into the question.
+    pub kind: QuestionKind,
+    /// The gold interpretation (what the user meant).
+    pub gold: Interpretation,
+}
+
+/// Proportions of each question kind. Values are relative weights.
+#[derive(Debug, Clone)]
+pub struct QuestionMix {
+    /// Weight of plain questions.
+    pub plain: f64,
+    /// Weight of misspelled questions.
+    pub misspelled: f64,
+    /// Weight of run-together questions.
+    pub run_together: f64,
+    /// Weight of shorthand questions.
+    pub shorthand: f64,
+    /// Weight of incomplete questions.
+    pub incomplete: f64,
+    /// Weight of implicit Boolean questions.
+    pub implicit_boolean: f64,
+    /// Weight of explicit Boolean questions.
+    pub explicit_boolean: f64,
+}
+
+impl Default for QuestionMix {
+    fn default() -> Self {
+        // Roughly: 60 % plain, 5 % each noise kind, ~15 % implicit Boolean, 5 % explicit
+        // Boolean — matching the shares the paper reports from its surveys.
+        QuestionMix {
+            plain: 0.60,
+            misspelled: 0.05,
+            run_together: 0.05,
+            shorthand: 0.05,
+            incomplete: 0.05,
+            implicit_boolean: 0.15,
+            explicit_boolean: 0.05,
+        }
+    }
+}
+
+impl QuestionMix {
+    /// A mix with only plain questions (used by the classification experiment, whose
+    /// training corpus should not be dominated by noise).
+    pub fn plain_only() -> Self {
+        QuestionMix {
+            plain: 1.0,
+            misspelled: 0.0,
+            run_together: 0.0,
+            shorthand: 0.0,
+            incomplete: 0.0,
+            implicit_boolean: 0.0,
+            explicit_boolean: 0.0,
+        }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> QuestionKind {
+        let total = self.plain
+            + self.misspelled
+            + self.run_together
+            + self.shorthand
+            + self.incomplete
+            + self.implicit_boolean
+            + self.explicit_boolean;
+        let mut draw = rng.random::<f64>() * total;
+        for (weight, kind) in [
+            (self.plain, QuestionKind::Plain),
+            (self.misspelled, QuestionKind::Misspelled),
+            (self.run_together, QuestionKind::RunTogether),
+            (self.shorthand, QuestionKind::Shorthand),
+            (self.incomplete, QuestionKind::Incomplete),
+            (self.implicit_boolean, QuestionKind::ImplicitBoolean),
+            (self.explicit_boolean, QuestionKind::ExplicitBoolean),
+        ] {
+            if draw <= weight {
+                return kind;
+            }
+            draw -= weight;
+        }
+        QuestionKind::Plain
+    }
+}
+
+/// Generate `count` questions for a domain, anchored on records of `table` so that
+/// plain questions usually have exact answers.
+pub fn generate_questions(
+    blueprint: &DomainBlueprint,
+    table: &Table,
+    count: usize,
+    seed: u64,
+    mix: &QuestionMix,
+) -> Vec<GeneratedQuestion> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+    (0..count)
+        .map(|_| generate_question(blueprint, table, &mut rng, mix))
+        .collect()
+}
+
+/// Generate a single question.
+pub fn generate_question(
+    blueprint: &DomainBlueprint,
+    table: &Table,
+    rng: &mut StdRng,
+    mix: &QuestionMix,
+) -> GeneratedQuestion {
+    let kind = mix.sample(rng);
+    let anchor_id = addb::RecordId(rng.random_range(0..table.len().max(1)) as u32);
+    let anchor = table.get(anchor_id).cloned().unwrap_or_default();
+
+    // --- Build the gold sketches from the anchor record --------------------------
+    let mut sketches: Vec<ConditionSketch> = Vec::new();
+    let mut phrases: Vec<String> = Vec::new();
+    let mut superlatives: Vec<Superlative> = Vec::new();
+
+    // Type I values (primary identifier, plus the paired one most of the time).
+    for (i, pool) in blueprint.type1.iter().enumerate() {
+        if i > 0 && rng.random::<f64>() < 0.35 {
+            continue;
+        }
+        if let Some(value) = anchor.get_text(pool.attribute) {
+            sketches.push(ConditionSketch::Categorical {
+                attribute: pool.attribute.to_string(),
+                value: value.to_string(),
+                is_type1: true,
+                negated: false,
+            });
+            phrases.push(value.to_string());
+        }
+    }
+    // One or two Type II values.
+    let type2_count = rng.random_range(0..=2usize);
+    let mut type2_added = 0;
+    for pool in &blueprint.type2 {
+        if type2_added >= type2_count {
+            break;
+        }
+        if rng.random::<f64>() < 0.5 {
+            continue;
+        }
+        if let Some(value) = anchor.get_text(pool.attribute) {
+            sketches.push(ConditionSketch::Categorical {
+                attribute: pool.attribute.to_string(),
+                value: value.to_string(),
+                is_type1: false,
+                negated: false,
+            });
+            phrases.push(value.to_string());
+            type2_added += 1;
+        }
+    }
+    // A numeric condition on the price-like attribute about half the time.
+    let mut numeric_phrase: Option<String> = None;
+    if let Some(price_attr) = blueprint.price_attribute {
+        if rng.random::<f64>() < 0.55 {
+            if let Some(actual) = anchor.get_number(price_attr) {
+                let mut bound = round_bound(actual * rng.random_range(1.05..1.5));
+                if bound <= actual {
+                    // Rounding must never exclude the anchor record itself.
+                    bound = (actual + 1.0).ceil();
+                }
+                sketches.push(ConditionSketch::Numeric {
+                    attribute: Some(price_attr.to_string()),
+                    op: BoundaryOp::Lt,
+                    value: bound,
+                    value2: None,
+                    negated: false,
+                });
+                let unit = blueprint
+                    .type3
+                    .iter()
+                    .find(|n| n.name == price_attr)
+                    .and_then(|n| n.keywords.iter().find(|k| k.len() > 3).copied())
+                    .unwrap_or("dollars");
+                let connective = ["less than", "under", "below"][rng.random_range(0..3)];
+                numeric_phrase = Some(format!("{connective} {} {unit}", format_number(bound)));
+            }
+        } else if rng.random::<f64>() < 0.15 {
+            superlatives.push(Superlative::min(price_attr));
+            phrases.insert(0, "cheapest".to_string());
+        }
+    }
+
+    // Guarantee at least one criterion.
+    if sketches.is_empty() && superlatives.is_empty() {
+        if let Some(value) = anchor.get_text(blueprint.primary_pool().attribute) {
+            sketches.push(ConditionSketch::Categorical {
+                attribute: blueprint.primary_pool().attribute.to_string(),
+                value: value.to_string(),
+                is_type1: true,
+                negated: false,
+            });
+            phrases.push(value.to_string());
+        }
+    }
+
+    // --- Apply the kind-specific phenomenon ---------------------------------------
+    let mut segments = vec![sketches];
+    match kind {
+        QuestionKind::Plain => {}
+        QuestionKind::Misspelled => {
+            if let Some(p) = phrases.iter_mut().find(|p| p.len() > 4) {
+                *p = misspell(p, rng);
+            }
+        }
+        QuestionKind::RunTogether => {
+            if phrases.len() >= 2 {
+                let merged = format!("{}{}", phrases[0], phrases[1]);
+                phrases[0] = merged;
+                phrases.remove(1);
+            }
+        }
+        QuestionKind::Shorthand => {
+            if let Some(p) = phrases.iter_mut().find(|p| p.contains(' ')) {
+                *p = shorthandize(p);
+            }
+        }
+        QuestionKind::Incomplete => {
+            // Drop the attribute/unit words from the numeric phrase, keeping the number.
+            if let Some(np) = &numeric_phrase {
+                if let Some(number) = np.split_whitespace().find(|w| w.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)) {
+                    numeric_phrase = Some(number.to_string());
+                }
+            }
+        }
+        QuestionKind::ImplicitBoolean => {
+            // Either negate a value the anchor does not have, or add a mutually
+            // exclusive alternative for one of its Type II values.
+            if rng.random::<f64>() < 0.5 {
+                if let Some(pool) = blueprint.type2.first() {
+                    if let Some(current) = anchor.get_text(pool.attribute) {
+                        if let Some((other, _)) = pool
+                            .values
+                            .iter()
+                            .find(|(v, _)| !v.eq_ignore_ascii_case(current))
+                        {
+                            segments[0].push(ConditionSketch::Categorical {
+                                attribute: pool.attribute.to_string(),
+                                value: other.to_string(),
+                                is_type1: false,
+                                negated: true,
+                            });
+                            phrases.push(format!("not {other}"));
+                        }
+                    }
+                }
+            } else if let Some(pool) = blueprint.type2.first() {
+                if let Some(current) = anchor.get_text(pool.attribute) {
+                    if let Some((other, _)) = pool
+                        .values
+                        .iter()
+                        .find(|(v, _)| !v.eq_ignore_ascii_case(current))
+                    {
+                        // mutually exclusive pair, written side by side
+                        segments[0].push(ConditionSketch::Categorical {
+                            attribute: pool.attribute.to_string(),
+                            value: current.to_string(),
+                            is_type1: false,
+                            negated: false,
+                        });
+                        segments[0].push(ConditionSketch::Categorical {
+                            attribute: pool.attribute.to_string(),
+                            value: other.to_string(),
+                            is_type1: false,
+                            negated: false,
+                        });
+                        phrases.push(format!("{current} {other}"));
+                    }
+                }
+            }
+        }
+        QuestionKind::ExplicitBoolean => {
+            // Add an OR alternative on the primary identifier.
+            let pool = blueprint.primary_pool();
+            if let Some(current) = anchor.get_text(pool.attribute) {
+                if let Some((other, _)) = pool
+                    .values
+                    .iter()
+                    .find(|(v, _)| !v.eq_ignore_ascii_case(current))
+                {
+                    segments.push(vec![ConditionSketch::Categorical {
+                        attribute: pool.attribute.to_string(),
+                        value: other.to_string(),
+                        is_type1: true,
+                        negated: false,
+                    }]);
+                    phrases.push(format!("or {other}"));
+                }
+            }
+        }
+    }
+    if let Some(np) = numeric_phrase {
+        phrases.push(np);
+    }
+
+    // --- Render the text -----------------------------------------------------------
+    let opener = [
+        "looking for",
+        "i want",
+        "do you have",
+        "find me",
+        "any",
+        "show me",
+    ][rng.random_range(0..6)];
+    let mut text = format!("{opener} {}", phrases.join(" "));
+    // Sprinkle a flavour word for classification realism.
+    if !blueprint.flavour_words.is_empty() && rng.random::<f64>() < 0.6 {
+        let flavour = blueprint.flavour_words[rng.random_range(0..blueprint.flavour_words.len())];
+        text.push(' ');
+        text.push_str(flavour);
+    }
+
+    let gold = Interpretation {
+        domain: blueprint.name.to_string(),
+        segments,
+        superlatives,
+    };
+    GeneratedQuestion {
+        text,
+        domain: blueprint.name.to_string(),
+        kind,
+        gold,
+    }
+}
+
+fn round_bound(value: f64) -> f64 {
+    if value > 10_000.0 {
+        (value / 1000.0).round() * 1000.0
+    } else if value > 100.0 {
+        (value / 100.0).round() * 100.0
+    } else {
+        value.round().max(1.0)
+    }
+}
+
+fn format_number(value: f64) -> String {
+    format!("{}", value as i64)
+}
+
+/// Perturb a word the way a hurried user would: duplicate, drop or swap one letter.
+fn misspell(word: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    // only touch alphabetic positions so numbers in multi-word values survive
+    let positions: Vec<usize> = chars
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_alphabetic())
+        .map(|(i, _)| i)
+        .collect();
+    if positions.len() < 3 {
+        return word.to_string();
+    }
+    let pos = positions[rng.random_range(1..positions.len())];
+    let mut out: Vec<char> = chars.clone();
+    match rng.random_range(0..3) {
+        0 => {
+            out.insert(pos, chars[pos]); // duplicate a letter
+        }
+        1 => {
+            out.remove(pos); // drop a letter
+        }
+        _ => {
+            if pos + 1 < out.len() && out[pos + 1].is_alphabetic() {
+                out.swap(pos, pos + 1); // transpose
+            } else {
+                out.insert(pos, chars[pos]);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Turn a multi-word value into a compact shorthand: first word kept, later words
+/// reduced to their leading consonant cluster ("4 door" → "4dr", "all wheel drive" →
+/// "awd"-style initials when there are three or more words).
+fn shorthandize(value: &str) -> String {
+    let words: Vec<&str> = value.split_whitespace().collect();
+    match words.len() {
+        0 | 1 => value.to_string(),
+        2 => {
+            let head = words[0];
+            let tail: String = words[1].chars().filter(|c| !"aeiou".contains(*c)).take(2).collect();
+            format!("{head}{tail}")
+        }
+        _ => words
+            .iter()
+            .map(|w| w.chars().next().unwrap_or(' '))
+            .collect::<String>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ads::generate_table;
+    use crate::domains::{all_blueprints, blueprint};
+
+    #[test]
+    fn questions_are_generated_for_every_domain() {
+        for bp in all_blueprints() {
+            let table = generate_table(&bp, 80, 1);
+            let questions = generate_questions(&bp, &table, 40, 2, &QuestionMix::default());
+            assert_eq!(questions.len(), 40, "{}", bp.name);
+            for q in &questions {
+                assert_eq!(q.domain, bp.name);
+                assert!(!q.text.is_empty());
+                assert!(!q.gold.is_empty(), "empty gold intent for {:?}", q.text);
+            }
+        }
+    }
+
+    #[test]
+    fn the_mix_produces_all_kinds_eventually() {
+        let bp = blueprint("cars");
+        let table = generate_table(&bp, 100, 3);
+        let questions = generate_questions(&bp, &table, 600, 4, &QuestionMix::default());
+        use std::collections::HashSet;
+        let kinds: HashSet<_> = questions.iter().map(|q| q.kind).collect();
+        assert!(kinds.contains(&QuestionKind::Plain));
+        assert!(kinds.contains(&QuestionKind::ImplicitBoolean));
+        assert!(kinds.contains(&QuestionKind::ExplicitBoolean));
+        assert!(kinds.contains(&QuestionKind::Misspelled));
+        // Boolean share is roughly one fifth, as in the paper's surveys.
+        let boolean = questions
+            .iter()
+            .filter(|q| matches!(q.kind, QuestionKind::ImplicitBoolean | QuestionKind::ExplicitBoolean))
+            .count() as f64;
+        let share = boolean / questions.len() as f64;
+        assert!(share > 0.10 && share < 0.35, "boolean share {share}");
+    }
+
+    #[test]
+    fn plain_only_mix_yields_only_plain_questions() {
+        let bp = blueprint("furniture");
+        let table = generate_table(&bp, 60, 5);
+        let questions = generate_questions(&bp, &table, 50, 6, &QuestionMix::plain_only());
+        assert!(questions.iter().all(|q| q.kind == QuestionKind::Plain));
+    }
+
+    #[test]
+    fn gold_queries_are_executable_and_plain_questions_have_answers() {
+        let bp = blueprint("cars");
+        let spec = bp.to_spec();
+        let table = generate_table(&bp, 150, 7);
+        let questions = generate_questions(&bp, &table, 60, 8, &QuestionMix::plain_only());
+        let mut with_answers = 0;
+        for q in &questions {
+            let query = q.gold.to_query(&spec).expect("gold intents are consistent");
+            let answers = addb::Executor::new(&table).execute(&query).unwrap();
+            if !answers.is_empty() {
+                with_answers += 1;
+            }
+        }
+        // Plain questions are anchored on real records, so most have exact answers.
+        assert!(with_answers * 10 >= questions.len() * 7, "{with_answers}/60");
+    }
+
+    #[test]
+    fn explicit_boolean_questions_have_two_segments_and_or_in_text() {
+        let bp = blueprint("cars");
+        let table = generate_table(&bp, 100, 9);
+        let mix = QuestionMix {
+            plain: 0.0,
+            misspelled: 0.0,
+            run_together: 0.0,
+            shorthand: 0.0,
+            incomplete: 0.0,
+            implicit_boolean: 0.0,
+            explicit_boolean: 1.0,
+        };
+        let questions = generate_questions(&bp, &table, 20, 10, &mix);
+        for q in &questions {
+            assert_eq!(q.kind, QuestionKind::ExplicitBoolean);
+            assert!(q.gold.segments.len() >= 2);
+            assert!(q.text.contains(" or "), "{}", q.text);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let bp = blueprint("cs_jobs");
+        let table = generate_table(&bp, 80, 11);
+        let a = generate_questions(&bp, &table, 30, 12, &QuestionMix::default());
+        let b = generate_questions(&bp, &table, 30, 12, &QuestionMix::default());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn misspell_and_shorthandize_behave() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let word = "accord";
+        let bad = misspell(word, &mut rng);
+        assert_ne!(bad, word);
+        assert!(cqads_text::levenshtein(word, &bad) <= 2);
+        assert_eq!(shorthandize("4 door"), "4dr");
+        assert_eq!(shorthandize("all wheel drive"), "awd");
+        assert_eq!(shorthandize("blue"), "blue");
+    }
+}

@@ -1,0 +1,76 @@
+//! Run every experiment of the paper reproduction and print paper-style reports.
+//!
+//! ```text
+//! cargo run --release -p cqads-eval --bin run_experiments            # full-size testbed
+//! cargo run --release -p cqads-eval --bin run_experiments -- --small # test-size testbed
+//! cargo run --release -p cqads-eval --bin run_experiments -- --json out.json
+//! ```
+
+use cqads_eval::experiments::{
+    fig2_classification, fig4_boolean, fig5_ranking, fig6_timing, sec53_exact_match,
+    shorthand_accuracy, survey_stats, table2_partial,
+};
+use cqads_eval::testbed::{Testbed, TestbedConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let config = if small {
+        TestbedConfig::small()
+    } else {
+        TestbedConfig::default()
+    };
+    eprintln!(
+        "building testbed: {} ads/domain, {} questions/domain pair, seed {:#x} ...",
+        config.ads_per_domain, config.other_domain_questions, config.seed
+    );
+    let start = Instant::now();
+    let bed = Testbed::build(config);
+    eprintln!(
+        "testbed ready in {:.1}s: {} domains, {} ads, {} questions",
+        start.elapsed().as_secs_f64(),
+        bed.system.domain_names().len(),
+        bed.system.database().total_records(),
+        bed.questions.len()
+    );
+
+    let fig2 = fig2_classification::run(&bed);
+    println!("{}", fig2.report());
+    let sec53 = sec53_exact_match::run(&bed);
+    println!("{}", sec53.report());
+    let fig4 = fig4_boolean::run(&bed);
+    println!("{}", fig4.report());
+    let table2 = table2_partial::run(&bed);
+    println!("{}", table2.report());
+    let fig5 = fig5_ranking::run(&bed);
+    println!("{}", fig5.report());
+    let fig6 = fig6_timing::run(&bed);
+    println!("{}", fig6.report());
+    let shorthand = shorthand_accuracy::run(&bed);
+    println!("{}", shorthand.report());
+    let survey = survey_stats::run(&bed);
+    println!("{}", survey.report());
+
+    if let Some(path) = json_path {
+        let all = serde_json::json!({
+            "fig2_classification": fig2,
+            "sec53_exact_match": sec53,
+            "fig4_boolean": fig4,
+            "table2_partial": table2,
+            "fig5_ranking": fig5,
+            "fig6_timing": fig6,
+            "shorthand_accuracy": shorthand,
+            "survey_stats": survey,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serializable results"))
+            .expect("write results file");
+        eprintln!("wrote {path}");
+    }
+}

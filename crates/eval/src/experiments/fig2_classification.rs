@@ -1,0 +1,91 @@
+//! Figure 2 — question-classification accuracy per ads domain.
+//!
+//! The paper reports upper-ninety-percentile accuracy on average, with the two vehicle
+//! domains (Cars, Motorcycles) lowest ("due to the existence of common keywords between
+//! the two domains"). The experiment classifies every workload question with the JBBSM
+//! classifier and reports per-domain accuracy plus the average.
+
+use crate::metrics::accuracy;
+use crate::testbed::Testbed;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Result of the classification experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassificationResult {
+    /// Accuracy per domain, keyed by domain name.
+    pub per_domain: BTreeMap<String, f64>,
+    /// Average accuracy across domains (macro average, as in Figure 2).
+    pub average: f64,
+    /// Total number of questions classified.
+    pub questions: usize,
+}
+
+impl ClassificationResult {
+    /// Paper-style textual report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("Figure 2 — question classification accuracy\n");
+        for (domain, acc) in &self.per_domain {
+            out.push_str(&format!("  {domain:<22} {:.1}%\n", acc * 100.0));
+        }
+        out.push_str(&format!(
+            "  {:<22} {:.1}%   ({} questions)\n",
+            "average", self.average * 100.0, self.questions
+        ));
+        out
+    }
+}
+
+/// Run the experiment.
+pub fn run(bed: &Testbed) -> ClassificationResult {
+    let mut correct: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total: BTreeMap<String, usize> = BTreeMap::new();
+    for q in &bed.questions {
+        *total.entry(q.domain.clone()).or_insert(0) += 1;
+        let predicted = bed.system.classify(&q.text).unwrap_or_default();
+        if predicted == q.domain {
+            *correct.entry(q.domain.clone()).or_insert(0) += 1;
+        }
+    }
+    let per_domain: BTreeMap<String, f64> = total
+        .iter()
+        .map(|(domain, n)| {
+            let c = correct.get(domain).copied().unwrap_or(0);
+            (domain.clone(), accuracy(c, *n))
+        })
+        .collect();
+    let average = per_domain.values().sum::<f64>() / per_domain.len().max(1) as f64;
+    ClassificationResult {
+        per_domain,
+        average,
+        questions: bed.questions.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_bed::shared;
+
+    #[test]
+    fn average_accuracy_is_high_and_vehicles_are_hardest() {
+        let result = run(shared());
+        assert_eq!(result.per_domain.len(), 8);
+        assert!(
+            result.average > 0.75,
+            "average classification accuracy too low: {:.3}",
+            result.average
+        );
+        // The vehicle domains share vocabulary, so at least one of them should be below
+        // the best-performing domain.
+        let cars = result.per_domain["cars"];
+        let moto = result.per_domain["motorcycles"];
+        let best = result
+            .per_domain
+            .values()
+            .cloned()
+            .fold(0.0_f64, f64::max);
+        assert!(cars.min(moto) <= best);
+        assert!(result.report().contains("average"));
+    }
+}

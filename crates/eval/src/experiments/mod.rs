@@ -1,0 +1,23 @@
+//! One module per table / figure of the paper's evaluation (Section 5).
+
+pub mod fig2_classification;
+pub mod fig4_boolean;
+pub mod fig5_ranking;
+pub mod fig6_timing;
+pub mod sec53_exact_match;
+pub mod shorthand_accuracy;
+pub mod survey_stats;
+pub mod table2_partial;
+
+#[cfg(test)]
+pub(crate) mod test_bed {
+    //! A single small testbed shared by every experiment test, so the (seeded, but
+    //! non-trivial) setup cost is paid once per test binary.
+    use crate::testbed::{Testbed, TestbedConfig};
+    use std::sync::OnceLock;
+
+    pub fn shared() -> &'static Testbed {
+        static BED: OnceLock<Testbed> = OnceLock::new();
+        BED.get_or_init(|| Testbed::build(TestbedConfig::small()))
+    }
+}

@@ -1,0 +1,64 @@
+//! Section 5.1 — survey statistics used to motivate design choices.
+//!
+//! The paper reports that 91 % of surveyed users would drop or modify a feature when no
+//! exact match exists (motivating the N−1 strategy), 93 % want to see ads with similar
+//! features (motivating partial-match ranking), and the average ideal number of
+//! displayed answers is ≈26 (motivating the 30-answer cap). This experiment simulates
+//! the same survey.
+
+use crate::testbed::Testbed;
+use cqads_datagen::SurveyStats;
+use serde::Serialize;
+
+/// Result wrapper for the simulated survey.
+#[derive(Debug, Clone, Serialize)]
+pub struct SurveyStatsResult {
+    /// Share of respondents that would drop a feature.
+    pub would_drop_feature: f64,
+    /// Share that want similar-feature suggestions.
+    pub wants_similar_features: f64,
+    /// Average ideal number of displayed answers.
+    pub ideal_answer_count: f64,
+    /// Number of simulated respondents.
+    pub respondents: usize,
+}
+
+impl SurveyStatsResult {
+    /// Paper-style textual report.
+    pub fn report(&self) -> String {
+        format!(
+            "Section 5.1 — survey statistics ({} respondents): drop-a-feature {:.0}%, wants similar {:.0}%, ideal answers {:.0}\n",
+            self.respondents,
+            self.would_drop_feature * 100.0,
+            self.wants_similar_features * 100.0,
+            self.ideal_answer_count
+        )
+    }
+}
+
+/// Run the simulated survey with the paper's 650 respondents.
+pub fn run(bed: &Testbed) -> SurveyStatsResult {
+    let respondents = 650;
+    let stats = SurveyStats::simulate(respondents, bed.config.seed ^ 0xFACE);
+    SurveyStatsResult {
+        would_drop_feature: stats.would_drop_feature,
+        wants_similar_features: stats.wants_similar_features,
+        ideal_answer_count: stats.ideal_answer_count,
+        respondents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::test_bed::shared;
+
+    #[test]
+    fn survey_statistics_support_the_design_choices() {
+        let result = run(shared());
+        assert!(result.would_drop_feature > 0.85);
+        assert!(result.wants_similar_features > 0.85);
+        assert!(result.ideal_answer_count > 20.0 && result.ideal_answer_count < 32.0);
+        assert!(result.report().contains("ideal answers"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Information-retrieval metrics used in Section 5 (accuracy, precision/recall/F,
+//! Precision@K, Mean Reciprocal Rank).
+
+use serde::Serialize;
+
+/// Precision and recall of one retrieved answer set against a gold set, with the
+/// F-measure of Section 5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PrecisionRecall {
+    /// Fraction of retrieved answers that are correct.
+    pub precision: f64,
+    /// Fraction of correct answers that were retrieved.
+    pub recall: f64,
+}
+
+impl PrecisionRecall {
+    /// Compute precision/recall from retrieved and gold id sets. Both empty counts as a
+    /// perfect retrieval (the question genuinely has no answers and none were claimed).
+    pub fn from_sets<T: PartialEq>(retrieved: &[T], gold: &[T]) -> Self {
+        if retrieved.is_empty() && gold.is_empty() {
+            return PrecisionRecall {
+                precision: 1.0,
+                recall: 1.0,
+            };
+        }
+        let correct = retrieved.iter().filter(|r| gold.contains(r)).count() as f64;
+        let precision = if retrieved.is_empty() {
+            0.0
+        } else {
+            correct / retrieved.len() as f64
+        };
+        let recall = if gold.is_empty() {
+            0.0
+        } else {
+            correct / gold.len() as f64
+        };
+        PrecisionRecall { precision, recall }
+    }
+
+    /// Harmonic mean of precision and recall (the paper's F-measure).
+    pub fn f_measure(&self) -> f64 {
+        f_measure(self.precision, self.recall)
+    }
+}
+
+/// F-measure = 2 / (1/P + 1/R); zero when either component is zero.
+pub fn f_measure(precision: f64, recall: f64) -> f64 {
+    if precision <= 0.0 || recall <= 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    }
+}
+
+/// Precision@K (Equation 7): the average, over questions, of the fraction of the top-K
+/// answers judged related. `relatedness` holds, per question, the per-position
+/// relatedness indicators (1.0 related, 0.0 not) of the top answers in rank order.
+pub fn precision_at_k(relatedness: &[Vec<f64>], k: usize) -> f64 {
+    if relatedness.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let total: f64 = relatedness
+        .iter()
+        .map(|per_question| {
+            let related: f64 = per_question.iter().take(k).sum();
+            related / k as f64
+        })
+        .sum();
+    total / relatedness.len() as f64
+}
+
+/// Mean Reciprocal Rank (Equation 8): the average over questions of `1 / rank of the
+/// first related answer`, or 0 when no related answer appears in the list.
+pub fn mean_reciprocal_rank(relatedness: &[Vec<f64>]) -> f64 {
+    if relatedness.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = relatedness
+        .iter()
+        .map(|per_question| {
+            per_question
+                .iter()
+                .position(|r| *r >= 0.5)
+                .map(|pos| 1.0 / (pos as f64 + 1.0))
+                .unwrap_or(0.0)
+        })
+        .sum();
+    total / relatedness.len() as f64
+}
+
+/// Classification accuracy (Equation 6).
+pub fn accuracy(correct: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_handles_all_cases() {
+        let pr = PrecisionRecall::from_sets(&[1, 2, 3], &[2, 3, 4]);
+        assert!((pr.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((pr.recall - 2.0 / 3.0).abs() < 1e-9);
+        assert!((pr.f_measure() - 2.0 / 3.0).abs() < 1e-9);
+
+        let perfect = PrecisionRecall::from_sets::<u32>(&[], &[]);
+        assert_eq!(perfect.precision, 1.0);
+        assert_eq!(perfect.recall, 1.0);
+
+        let nothing_found = PrecisionRecall::from_sets(&[], &[1]);
+        assert_eq!(nothing_found.precision, 0.0);
+        assert_eq!(nothing_found.recall, 0.0);
+        assert_eq!(nothing_found.f_measure(), 0.0);
+
+        let all_wrong = PrecisionRecall::from_sets(&[9], &[1]);
+        assert_eq!(all_wrong.precision, 0.0);
+    }
+
+    #[test]
+    fn f_measure_is_harmonic_mean() {
+        assert!((f_measure(1.0, 1.0) - 1.0).abs() < 1e-9);
+        assert!((f_measure(0.938, 0.927) - 0.9324).abs() < 1e-3); // the paper's numbers
+        assert_eq!(f_measure(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn precision_at_k_averages_over_questions() {
+        let rel = vec![vec![1.0, 0.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 0.0, 0.0, 0.0]];
+        assert!((precision_at_k(&rel, 1) - 0.5).abs() < 1e-9);
+        assert!((precision_at_k(&rel, 5) - 0.2).abs() < 1e-9);
+        assert_eq!(precision_at_k(&[], 5), 0.0);
+        assert_eq!(precision_at_k(&rel, 0), 0.0);
+    }
+
+    #[test]
+    fn mrr_uses_the_first_related_answer() {
+        let rel = vec![
+            vec![0.0, 1.0, 1.0], // first related at rank 2 → 0.5
+            vec![1.0, 0.0, 0.0], // rank 1 → 1.0
+            vec![0.0, 0.0, 0.0], // none → 0.0
+        ];
+        assert!((mean_reciprocal_rank(&rel) - 0.5).abs() < 1e-9);
+        assert_eq!(mean_reciprocal_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_is_a_simple_ratio() {
+        assert_eq!(accuracy(9, 10), 0.9);
+        assert_eq!(accuracy(0, 0), 0.0);
+    }
+}

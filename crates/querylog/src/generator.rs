@@ -1,0 +1,267 @@
+//! Synthetic query-log generator.
+//!
+//! Substitutes the commercial ads-search logs the paper obtained "from local ads search
+//! engines". Sessions are sampled from an [`AffinityModel`]: a set of Type I attribute
+//! values plus a latent relatedness in `[0, 1]` for selected pairs (e.g. `accord ~ camry
+//! = 0.8` because both are mid-size sedans). Users behave according to the affinity:
+//!
+//! * a session starts at a random value and *reformulates* to related values with
+//!   probability proportional to the affinity (feature 1),
+//! * related reformulations happen sooner (feature 2),
+//! * the simulated search engine ranks related ads higher on the result page
+//!   (feature 4), and users click them more (feature 5) and dwell longer (feature 3).
+//!
+//! The TI-matrix estimator never sees the affinity model — only the generated log — so
+//! recovering the affinity ordering is a genuine estimation task, mirroring the paper.
+
+use crate::log::{ClickEvent, QueryLog, Session, SubmittedQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Ground-truth relatedness between Type I attribute values, used only for generation.
+#[derive(Debug, Clone, Default)]
+pub struct AffinityModel {
+    /// All known values.
+    pub values: Vec<String>,
+    /// Pairwise affinity in `[0, 1]`, keyed with the lexicographically smaller value
+    /// first. Missing pairs have affinity 0.
+    affinities: HashMap<(String, String), f64>,
+}
+
+impl AffinityModel {
+    /// Create a model over the given values with no affinities.
+    pub fn new(values: &[&str]) -> Self {
+        AffinityModel {
+            values: values.iter().map(|v| v.to_lowercase()).collect(),
+            affinities: HashMap::new(),
+        }
+    }
+
+    /// Declare the affinity of a pair of values.
+    pub fn set_affinity(&mut self, a: &str, b: &str, affinity: f64) {
+        self.affinities
+            .insert(pair_key(a, b), affinity.clamp(0.0, 1.0));
+    }
+
+    /// Ground-truth affinity of a pair (0 if not declared).
+    pub fn affinity(&self, a: &str, b: &str) -> f64 {
+        if a.eq_ignore_ascii_case(b) {
+            return 1.0;
+        }
+        self.affinities.get(&pair_key(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// Values related to `value`, with their affinities, sorted descending.
+    pub fn related(&self, value: &str) -> Vec<(String, f64)> {
+        let mut out: Vec<(String, f64)> = self
+            .values
+            .iter()
+            .filter(|v| !v.eq_ignore_ascii_case(value))
+            .map(|v| (v.clone(), self.affinity(value, v)))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+fn pair_key(a: &str, b: &str) -> (String, String) {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone)]
+pub struct LogGeneratorConfig {
+    /// Number of sessions to generate.
+    pub sessions: usize,
+    /// Maximum queries per session.
+    pub max_queries_per_session: usize,
+    /// Result-page length shown for every query.
+    pub results_per_query: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LogGeneratorConfig {
+    fn default() -> Self {
+        LogGeneratorConfig {
+            sessions: 600,
+            max_queries_per_session: 4,
+            results_per_query: 5,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Generate a query log from an affinity model.
+pub fn generate_log(model: &AffinityModel, config: &LogGeneratorConfig) -> QueryLog {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sessions = Vec::with_capacity(config.sessions);
+    if model.values.is_empty() {
+        return QueryLog { sessions };
+    }
+    for user_id in 0..config.sessions as u64 {
+        let mut queries = Vec::new();
+        let mut current = model.values[rng.random_range(0..model.values.len())].clone();
+        let mut clock = 0.0_f64;
+        let n_queries = rng.random_range(1..=config.max_queries_per_session);
+        for qi in 0..n_queries {
+            // Result page: related values rank higher (the simulated engine knows the
+            // domain the way a production ads engine would).
+            let mut ranked = model.related(&current);
+            ranked.insert(0, (current.clone(), 1.0));
+            ranked.truncate(config.results_per_query);
+            let shown: Vec<String> = ranked.iter().map(|(v, _)| v.clone()).collect();
+
+            // Clicks: probability and dwell time scale with affinity.
+            let mut clicks = Vec::new();
+            for (rank, (value, aff)) in ranked.iter().enumerate() {
+                let p_click = 0.15 + 0.75 * aff;
+                if rng.random::<f64>() < p_click {
+                    clicks.push(ClickEvent {
+                        ad_value: value.clone(),
+                        rank: rank as u32 + 1,
+                        dwell_seconds: 10.0 + 120.0 * aff * rng.random::<f64>(),
+                    });
+                }
+            }
+            queries.push(SubmittedQuery {
+                value: current.clone(),
+                at_seconds: clock,
+                clicks,
+                shown,
+            });
+
+            if qi + 1 == n_queries {
+                break;
+            }
+            // Reformulate: mostly to a related value; occasionally to a random one.
+            let related = model.related(&current);
+            let next = if !related.is_empty() && rng.random::<f64>() < 0.8 {
+                // Weighted choice by affinity (plus a floor so unrelated jumps exist).
+                let weights: Vec<f64> = related.iter().map(|(_, a)| 0.05 + a).collect();
+                let total: f64 = weights.iter().sum();
+                let mut draw = rng.random::<f64>() * total;
+                let mut chosen = related[0].0.clone();
+                for ((v, _), w) in related.iter().zip(&weights) {
+                    if draw <= *w {
+                        chosen = v.clone();
+                        break;
+                    }
+                    draw -= w;
+                }
+                chosen
+            } else {
+                model.values[rng.random_range(0..model.values.len())].clone()
+            };
+            // Related reformulations happen sooner.
+            let aff = model.affinity(&current, &next);
+            clock += 20.0 + (1.0 - aff) * 300.0 * rng.random::<f64>();
+            current = next;
+        }
+        sessions.push(Session { user_id, queries });
+    }
+    QueryLog { sessions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car_model() -> AffinityModel {
+        let mut m = AffinityModel::new(&["accord", "camry", "civic", "corolla", "mustang"]);
+        m.set_affinity("accord", "camry", 0.9);
+        m.set_affinity("civic", "corolla", 0.85);
+        m.set_affinity("accord", "civic", 0.4);
+        m.set_affinity("camry", "corolla", 0.4);
+        m.set_affinity("accord", "mustang", 0.05);
+        m
+    }
+
+    #[test]
+    fn affinity_model_is_symmetric_and_clamped() {
+        let mut m = car_model();
+        assert_eq!(m.affinity("accord", "camry"), 0.9);
+        assert_eq!(m.affinity("camry", "accord"), 0.9);
+        assert_eq!(m.affinity("accord", "accord"), 1.0);
+        assert_eq!(m.affinity("accord", "corolla"), 0.0);
+        m.set_affinity("a", "b", 4.0);
+        assert_eq!(m.affinity("a", "b"), 1.0);
+        let related = m.related("accord");
+        assert_eq!(related[0].0, "camry");
+    }
+
+    #[test]
+    fn generated_log_has_expected_shape() {
+        let cfg = LogGeneratorConfig {
+            sessions: 50,
+            seed: 3,
+            ..Default::default()
+        };
+        let log = generate_log(&car_model(), &cfg);
+        assert_eq!(log.len(), 50);
+        assert!(log.query_count() >= 50);
+        assert!(log.click_count() > 0);
+        for s in &log.sessions {
+            assert!(!s.queries.is_empty());
+            assert!(s.queries.len() <= cfg.max_queries_per_session);
+            for q in &s.queries {
+                assert!(q.shown.len() <= cfg.results_per_query);
+                assert_eq!(q.shown[0], q.value);
+            }
+            // timestamps are non-decreasing
+            for w in s.queries.windows(2) {
+                assert!(w[1].at_seconds >= w[0].at_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let cfg = LogGeneratorConfig {
+            sessions: 20,
+            ..Default::default()
+        };
+        let a = generate_log(&car_model(), &cfg);
+        let b = generate_log(&car_model(), &cfg);
+        assert_eq!(a.sessions, b.sessions);
+        let c = generate_log(
+            &car_model(),
+            &LogGeneratorConfig {
+                seed: 777,
+                ..cfg
+            },
+        );
+        assert_ne!(a.sessions, c.sessions);
+    }
+
+    #[test]
+    fn related_values_are_reformulated_to_more_often() {
+        let cfg = LogGeneratorConfig {
+            sessions: 800,
+            seed: 11,
+            ..Default::default()
+        };
+        let log = generate_log(&car_model(), &cfg);
+        let mut count = |a: &str, b: &str| -> usize {
+            log.sessions
+                .iter()
+                .flat_map(|s| s.reformulations())
+                .filter(|(x, y)| (*x == a && *y == b) || (*x == b && *y == a))
+                .count()
+        };
+        assert!(count("accord", "camry") > count("accord", "mustang"));
+    }
+
+    #[test]
+    fn empty_model_yields_empty_log() {
+        let log = generate_log(&AffinityModel::default(), &LogGeneratorConfig::default());
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # cqads-querylog — query-log substrate and TI-matrix
+//!
+//! `TI_Sim` (Section 4.3.2 of the paper) measures the similarity of two Type I
+//! attribute values (e.g. two car models) from the behaviour recorded in ads-search
+//! *query logs*: each log session carries a user id, query texts, timestamps, the rank
+//! of the ads shown and the ads the user clicked. Five features are extracted per value
+//! pair (A, B):
+//!
+//! 1. `Mod(A,B)` — how often a user modified a query from A to B (or vice versa),
+//! 2. `Time(A,B)` — average time between submissions of A and B in the same session,
+//! 3. `Ad_Time(A,B)` — average time spent on an ad containing B when A was searched,
+//! 4. `Rank(A,B)` — average rank of an ad containing B when A was searched,
+//! 5. `Click(A,B)` — how often an ad containing B was clicked when A was searched.
+//!
+//! Each feature is normalized by its maximum over the log, and `TI_Sim` is their sum
+//! (Equation 3), so it lies in `[0, 5]`.
+//!
+//! Real commercial query logs are not available, so [`generator`] synthesizes sessions
+//! from a *ground-truth affinity model* (pairs of values with a latent relatedness in
+//! `[0, 1]`): users searching for a value are more likely to reformulate to, dwell on
+//! and click ads of related values. The [`TIMatrix`] is then estimated **from the log
+//! alone**, exactly as CQAds would from a real log — the ground truth is never read by
+//! the estimator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generator;
+pub mod log;
+pub mod ti_matrix;
+
+pub use generator::{AffinityModel, LogGeneratorConfig, generate_log};
+pub use log::{ClickEvent, QueryLog, Session, SubmittedQuery};
+pub use ti_matrix::TIMatrix;

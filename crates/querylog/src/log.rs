@@ -1,0 +1,132 @@
+//! Query-log data model (Section 4.3.2).
+//!
+//! A log is a set of sessions; each session belongs to one anonymous user id (the paper
+//! notes the user id "determines the boundary of each session") and holds the queries
+//! the user submitted, with timestamps, and the ads the user clicked, with the rank the
+//! ads search engine gave them and the time spent reading them.
+
+/// One click on a retrieved ad.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClickEvent {
+    /// The Type I attribute value the clicked ad showcases (e.g. the car model of the ad).
+    pub ad_value: String,
+    /// Rank position the ads search engine gave the ad (1 = top).
+    pub rank: u32,
+    /// Seconds the user spent on the ad page.
+    pub dwell_seconds: f64,
+}
+
+/// One query submission inside a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmittedQuery {
+    /// The Type I attribute value the query text asks for.
+    pub value: String,
+    /// Seconds since the start of the session.
+    pub at_seconds: f64,
+    /// Ads the user clicked on the result page of this query.
+    pub clicks: Vec<ClickEvent>,
+    /// Ranked result list shown for this query (Type I values of the returned ads),
+    /// index 0 being rank 1. Used for the `Rank(A, B)` feature.
+    pub shown: Vec<String>,
+}
+
+/// A user session: one anonymous user id and its submitted queries in time order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Session {
+    /// Anonymous user identifier.
+    pub user_id: u64,
+    /// Queries in submission order.
+    pub queries: Vec<SubmittedQuery>,
+}
+
+impl Session {
+    /// Consecutive query reformulations `(from, to)` within the session — the raw events
+    /// behind the `Mod(A, B)` feature.
+    pub fn reformulations(&self) -> Vec<(&str, &str)> {
+        self.queries
+            .windows(2)
+            .map(|w| (w[0].value.as_str(), w[1].value.as_str()))
+            .collect()
+    }
+}
+
+/// A full query log.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    /// All sessions.
+    pub sessions: Vec<Session>,
+}
+
+impl QueryLog {
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True if the log holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Total number of submitted queries across sessions.
+    pub fn query_count(&self) -> usize {
+        self.sessions.iter().map(|s| s.queries.len()).sum()
+    }
+
+    /// Total number of clicks across sessions.
+    pub fn click_count(&self) -> usize {
+        self.sessions
+            .iter()
+            .flat_map(|s| &s.queries)
+            .map(|q| q.clicks.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session {
+            user_id: 7,
+            queries: vec![
+                SubmittedQuery {
+                    value: "camry".into(),
+                    at_seconds: 0.0,
+                    clicks: vec![ClickEvent {
+                        ad_value: "accord".into(),
+                        rank: 2,
+                        dwell_seconds: 40.0,
+                    }],
+                    shown: vec!["camry".into(), "accord".into(), "corolla".into()],
+                },
+                SubmittedQuery {
+                    value: "accord".into(),
+                    at_seconds: 65.0,
+                    clicks: vec![],
+                    shown: vec!["accord".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reformulations_pair_consecutive_queries() {
+        let s = session();
+        assert_eq!(s.reformulations(), vec![("camry", "accord")]);
+        assert!(Session::default().reformulations().is_empty());
+    }
+
+    #[test]
+    fn log_counts_aggregate_sessions() {
+        let log = QueryLog {
+            sessions: vec![session(), session()],
+        };
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert_eq!(log.query_count(), 4);
+        assert_eq!(log.click_count(), 2);
+        assert!(QueryLog::default().is_empty());
+    }
+}

@@ -1,0 +1,263 @@
+//! TI-matrix construction (Equation 3 of the paper).
+//!
+//! The TI-matrix stores `TI_Sim(A, B)` for every pair of distinct Type I attribute
+//! values of a domain. Each of the five features is computed over the whole query log
+//! and then normalized by its maximum so that every feature lies in `[0, 1]`;
+//! `TI_Sim = Mod + Time + Ad_Time + Rank + Click` therefore lies in `[0, 5]`.
+//!
+//! Feature semantics (Section 4.3.2):
+//! * `Mod(A, B)` — number of reformulations between A and B (either direction),
+//! * `Time(A, B)` — average time between submissions of A and B in the same session,
+//!   *inverted* after normalization (shorter gaps mean more related),
+//! * `Ad_Time(A, B)` — average dwell time on an ad containing B when A was searched,
+//! * `Rank(A, B)` — average rank of an ad containing B when A was searched, inverted
+//!   (rank 1 is best: "the higher B is ranked, the more likely B is similar to A"),
+//! * `Click(A, B)` — number of clicks on ads containing B when A was searched.
+
+use crate::log::QueryLog;
+use std::collections::HashMap;
+
+/// Symmetric matrix of `TI_Sim` values over Type I attribute values.
+#[derive(Debug, Clone, Default)]
+pub struct TIMatrix {
+    entries: HashMap<(String, String), f64>,
+    max_value: f64,
+}
+
+impl TIMatrix {
+    /// Estimate the matrix from a query log.
+    pub fn build(log: &QueryLog) -> Self {
+        let mut mod_count: HashMap<(String, String), f64> = HashMap::new();
+        let mut time_sum: HashMap<(String, String), (f64, f64)> = HashMap::new();
+        let mut ad_time_sum: HashMap<(String, String), (f64, f64)> = HashMap::new();
+        let mut rank_sum: HashMap<(String, String), (f64, f64)> = HashMap::new();
+        let mut click_count: HashMap<(String, String), f64> = HashMap::new();
+
+        for session in &log.sessions {
+            // Mod + Time features from reformulations within the session.
+            for pair in session.queries.windows(2) {
+                let (a, b) = (&pair[0].value, &pair[1].value);
+                if a == b {
+                    continue;
+                }
+                let k = key(a, b);
+                *mod_count.entry(k.clone()).or_insert(0.0) += 1.0;
+                let dt = (pair[1].at_seconds - pair[0].at_seconds).abs();
+                let e = time_sum.entry(k).or_insert((0.0, 0.0));
+                e.0 += dt;
+                e.1 += 1.0;
+            }
+            // Ad_Time, Rank, Click features from result pages and clicks.
+            for q in &session.queries {
+                for (idx, shown) in q.shown.iter().enumerate() {
+                    if shown == &q.value {
+                        continue;
+                    }
+                    let k = key(&q.value, shown);
+                    let e = rank_sum.entry(k).or_insert((0.0, 0.0));
+                    e.0 += (idx + 1) as f64;
+                    e.1 += 1.0;
+                }
+                for click in &q.clicks {
+                    if click.ad_value == q.value {
+                        continue;
+                    }
+                    let k = key(&q.value, &click.ad_value);
+                    *click_count.entry(k.clone()).or_insert(0.0) += 1.0;
+                    let e = ad_time_sum.entry(k).or_insert((0.0, 0.0));
+                    e.0 += click.dwell_seconds;
+                    e.1 += 1.0;
+                }
+            }
+        }
+
+        // Collect the union of pairs seen by any feature.
+        let mut pairs: Vec<(String, String)> = mod_count
+            .keys()
+            .chain(time_sum.keys())
+            .chain(ad_time_sum.keys())
+            .chain(rank_sum.keys())
+            .chain(click_count.keys())
+            .cloned()
+            .collect();
+        pairs.sort();
+        pairs.dedup();
+
+        let avg = |m: &HashMap<(String, String), (f64, f64)>, k: &(String, String)| -> Option<f64> {
+            m.get(k).map(|(sum, n)| if *n > 0.0 { sum / n } else { 0.0 })
+        };
+
+        // Raw feature values per pair.
+        let mut raw: HashMap<(String, String), [f64; 5]> = HashMap::new();
+        for k in &pairs {
+            let modf = mod_count.get(k).copied().unwrap_or(0.0);
+            let timef = avg(&time_sum, k).unwrap_or(0.0);
+            let adtimef = avg(&ad_time_sum, k).unwrap_or(0.0);
+            let rankf = avg(&rank_sum, k).unwrap_or(0.0);
+            let clickf = click_count.get(k).copied().unwrap_or(0.0);
+            raw.insert(k.clone(), [modf, timef, adtimef, rankf, clickf]);
+        }
+
+        // Per-feature maxima for normalization.
+        let mut maxima = [0.0_f64; 5];
+        for v in raw.values() {
+            for i in 0..5 {
+                maxima[i] = maxima[i].max(v[i]);
+            }
+        }
+
+        let mut entries = HashMap::with_capacity(raw.len());
+        let mut max_value = 0.0_f64;
+        for (k, v) in raw {
+            let norm = |i: usize| if maxima[i] > 0.0 { v[i] / maxima[i] } else { 0.0 };
+            // Time and Rank are inverted: smaller is more related. Pairs never observed
+            // for those features contribute 0, not 1, because absence of evidence is not
+            // evidence of relatedness.
+            let time_feat = if v[1] > 0.0 { 1.0 - norm(1) } else { 0.0 };
+            let rank_feat = if v[3] > 0.0 { 1.0 - (v[3] - 1.0) / maxima[3].max(1.0) } else { 0.0 };
+            let ti = norm(0) + time_feat + norm(2) + rank_feat + norm(4);
+            max_value = max_value.max(ti);
+            entries.insert(k, ti);
+        }
+        TIMatrix { entries, max_value }
+    }
+
+    /// `TI_Sim(a, b)` in `[0, 5]`; identical values score the maximum observed value
+    /// (they are exact matches, handled before partial ranking kicks in).
+    pub fn ti_sim(&self, a: &str, b: &str) -> f64 {
+        if a.eq_ignore_ascii_case(b) {
+            return self.max_value.max(1.0);
+        }
+        self.entries.get(&key(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// `TI_Sim` normalized by the maximum entry of the matrix, as required when it is
+    /// combined into `Rank_Sim` (Equation 5): result in `[0, 1]`.
+    pub fn normalized(&self, a: &str, b: &str) -> f64 {
+        if self.max_value <= 0.0 {
+            return if a.eq_ignore_ascii_case(b) { 1.0 } else { 0.0 };
+        }
+        (self.ti_sim(a, b) / self.max_value).clamp(0.0, 1.0)
+    }
+
+    /// Number of stored pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no pair has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest `TI_Sim` entry (the normalization factor used in Equation 5).
+    pub fn max_value(&self) -> f64 {
+        self.max_value
+    }
+
+    /// Manually insert a similarity (used in unit tests and examples).
+    pub fn insert(&mut self, a: &str, b: &str, value: f64) {
+        self.entries.insert(key(a, b), value.max(0.0));
+        self.max_value = self.max_value.max(value);
+    }
+}
+
+fn key(a: &str, b: &str) -> (String, String) {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_log, AffinityModel, LogGeneratorConfig};
+    use proptest::prelude::*;
+
+    fn built_matrix() -> &'static (AffinityModel, TIMatrix) {
+        use std::sync::OnceLock;
+        static BUILT: OnceLock<(AffinityModel, TIMatrix)> = OnceLock::new();
+        BUILT.get_or_init(|| {
+            let mut m = AffinityModel::new(&["accord", "camry", "civic", "corolla", "mustang"]);
+            m.set_affinity("accord", "camry", 0.9);
+            m.set_affinity("civic", "corolla", 0.85);
+            m.set_affinity("accord", "civic", 0.35);
+            m.set_affinity("accord", "mustang", 0.05);
+            let log = generate_log(
+                &m,
+                &LogGeneratorConfig {
+                    sessions: 1200,
+                    seed: 21,
+                    ..Default::default()
+                },
+            );
+            let ti = TIMatrix::build(&log);
+            (m, ti)
+        })
+    }
+
+    #[test]
+    fn estimated_similarity_recovers_affinity_ordering() {
+        let (_, ti) = built_matrix();
+        // The estimator, which never saw the affinity model, should still rank
+        // accord~camry above accord~mustang.
+        assert!(ti.ti_sim("accord", "camry") > ti.ti_sim("accord", "mustang"));
+        assert!(ti.ti_sim("civic", "corolla") > ti.ti_sim("civic", "mustang"));
+    }
+
+    #[test]
+    fn values_are_bounded_and_symmetric() {
+        let (_, ti) = built_matrix();
+        for (a, b) in [("accord", "camry"), ("civic", "corolla"), ("camry", "mustang")] {
+            let v = ti.ti_sim(a, b);
+            assert!((0.0..=5.0 + 1e-9).contains(&v), "{a}-{b} = {v}");
+            assert_eq!(v, ti.ti_sim(b, a));
+            let n = ti.normalized(a, b);
+            assert!((0.0..=1.0).contains(&n));
+        }
+        assert!(ti.ti_sim("accord", "accord") >= ti.ti_sim("accord", "camry"));
+        assert_eq!(ti.normalized("accord", "accord"), 1.0);
+    }
+
+    #[test]
+    fn unknown_pairs_score_zero() {
+        let (_, ti) = built_matrix();
+        assert_eq!(ti.ti_sim("accord", "not-a-model"), 0.0);
+        assert_eq!(ti.normalized("accord", "not-a-model"), 0.0);
+    }
+
+    #[test]
+    fn empty_log_builds_empty_matrix() {
+        let ti = TIMatrix::build(&QueryLog::default());
+        assert!(ti.is_empty());
+        assert_eq!(ti.max_value(), 0.0);
+        assert_eq!(ti.normalized("a", "b"), 0.0);
+        assert_eq!(ti.normalized("a", "a"), 1.0);
+    }
+
+    #[test]
+    fn manual_insert_updates_max() {
+        let mut ti = TIMatrix::default();
+        ti.insert("a", "b", 3.0);
+        ti.insert("a", "c", 1.5);
+        assert_eq!(ti.max_value(), 3.0);
+        assert_eq!(ti.len(), 2);
+        assert!(!ti.is_empty());
+        assert_eq!(ti.normalized("a", "b"), 1.0);
+        assert_eq!(ti.normalized("a", "c"), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn ti_sim_never_exceeds_five(a in "[a-z]{2,8}", b in "[a-z]{2,8}") {
+            let (_, ti) = built_matrix();
+            let v = ti.ti_sim(&a, &b);
+            prop_assert!(v <= 5.0 + 1e-9);
+            prop_assert!(v >= 0.0);
+        }
+    }
+}

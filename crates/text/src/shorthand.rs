@@ -1,0 +1,168 @@
+//! Shorthand-notation detection (Section 4.2.3).
+//!
+//! Users write "4dr", "4 dr", "four door", "4-door", "4doors" for a car with four
+//! doors. The paper's Perl script detects shorthand with a simple rule: *"any shorthand
+//! notation N of a data value V only includes characters from V, and the characters in
+//! N should have the same order as characters in V"* — i.e. the shorthand, after
+//! normalization, is an ordered subsequence of the full value. A record value V matches
+//! a question value A if A equals V, A is a shorthand of V, or V is a shorthand of A.
+//!
+//! Normalization performed before the subsequence test:
+//! * lowercase, drop spaces and hyphens ("4-door" → "4door"),
+//! * spell out small number words ("four" → "4") so "four door" matches "4dr",
+//! * drop a trailing plural 's' ("4doors" → "4door").
+
+/// Minimum length ratio: a candidate shorter than 1/5 of the full value is too
+/// aggressive an abbreviation to accept (prevents "a" matching "automatic").
+const MIN_LENGTH_RATIO: f64 = 0.2;
+
+/// True if `notation` is a shorthand of the full data value `value` under the paper's
+/// ordered-subsequence rule. The relation is *not* symmetric: use
+/// [`shorthand_related`] for the symmetric check applied when matching records.
+pub fn is_shorthand_of(notation: &str, value: &str) -> bool {
+    let n = canonical(notation);
+    let v = canonical(value);
+    if n.is_empty() || v.is_empty() {
+        return false;
+    }
+    if n == v {
+        return true;
+    }
+    if n.len() > v.len() {
+        return false;
+    }
+    if (n.len() as f64) < (v.len() as f64) * MIN_LENGTH_RATIO {
+        return false;
+    }
+    // The shorthand must keep the leading character of the value (the Perl script's
+    // behaviour: "dr" alone is not accepted for "door", but "4dr" is for "4 door"
+    // because both start with '4').
+    if n.chars().next() != v.chars().next() {
+        return false;
+    }
+    is_subsequence(&n, &v)
+}
+
+/// Symmetric relevance test used when matching a question value A against a record
+/// value V (Section 4.2.3): exact match, A shorthand of V, or V shorthand of A.
+pub fn shorthand_related(a: &str, b: &str) -> bool {
+    let ca = canonical(a);
+    let cb = canonical(b);
+    ca == cb || is_shorthand_of(a, b) || is_shorthand_of(b, a)
+}
+
+fn is_subsequence(needle: &str, haystack: &str) -> bool {
+    let mut hay = haystack.chars();
+    'outer: for nc in needle.chars() {
+        for hc in hay.by_ref() {
+            if hc == nc {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Normalize a value for the subsequence test.
+fn canonical(s: &str) -> String {
+    let lowered = s.to_lowercase();
+    let mut words: Vec<String> = lowered
+        .split(|c: char| c.is_whitespace() || c == '-' || c == '_' || c == '/')
+        .filter(|w| !w.is_empty())
+        .map(|w| number_word(w).unwrap_or(w).to_string())
+        .collect();
+    // Drop a plural 's' from the last word ("doors" → "door") unless the word is short.
+    if let Some(last) = words.last_mut() {
+        if last.len() > 3 && last.ends_with('s') && !last.ends_with("ss") {
+            last.pop();
+        }
+    }
+    words.join("")
+}
+
+fn number_word(w: &str) -> Option<&'static str> {
+    Some(match w {
+        "zero" => "0",
+        "one" => "1",
+        "two" => "2",
+        "three" => "3",
+        "four" => "4",
+        "five" => "5",
+        "six" => "6",
+        "seven" => "7",
+        "eight" => "8",
+        "nine" => "9",
+        "ten" => "10",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_paper_variants_of_four_door_match() {
+        // The variants listed in Section 4.2.3.
+        for n in ["4dr", "4 dr", "four door", "4 doors", "4-door", "4doors"] {
+            assert!(shorthand_related(n, "4 door"), "{n} should match '4 door'");
+            assert!(shorthand_related("4 door", n), "'4 door' should match {n}");
+        }
+    }
+
+    #[test]
+    fn common_ads_shorthands() {
+        assert!(is_shorthand_of("2dr", "2 door"));
+        assert!(is_shorthand_of("auto", "automatic"));
+        assert!(is_shorthand_of("trans", "transmission"));
+        assert!(is_shorthand_of("4wd", "4 wheel drive"));
+        assert!(is_shorthand_of("awd", "all wheel drive"));
+        assert!(is_shorthand_of("pwr steering", "power steering"));
+    }
+
+    #[test]
+    fn unrelated_values_do_not_match() {
+        assert!(!shorthand_related("2 door", "4 door"));
+        assert!(!shorthand_related("red", "blue"));
+        assert!(!is_shorthand_of("manual", "automatic"));
+        // too short / missing leading character
+        assert!(!is_shorthand_of("a", "automatic"));
+        assert!(!is_shorthand_of("dr", "4 door"));
+        // characters out of order
+        assert!(!is_shorthand_of("rd4", "4 door"));
+    }
+
+    #[test]
+    fn exact_and_empty_inputs() {
+        assert!(shorthand_related("blue", "Blue"));
+        assert!(!is_shorthand_of("", "blue"));
+        assert!(!is_shorthand_of("blue", ""));
+    }
+
+    #[test]
+    fn longer_string_is_never_a_shorthand_of_a_shorter_one() {
+        assert!(!is_shorthand_of("4 wheel drive", "4wd"));
+        // but the symmetric relation still holds
+        assert!(shorthand_related("4 wheel drive", "4wd"));
+    }
+
+    proptest! {
+        #[test]
+        fn every_value_is_related_to_itself(v in "[a-z0-9 ]{1,15}") {
+            prop_assert!(shorthand_related(&v, &v));
+        }
+
+        #[test]
+        fn relation_is_symmetric(a in "[a-z0-9 ]{1,12}", b in "[a-z0-9 ]{1,12}") {
+            prop_assert_eq!(shorthand_related(&a, &b), shorthand_related(&b, &a));
+        }
+
+        #[test]
+        fn prefix_truncations_are_shorthands(v in "[a-z]{6,12}", keep in 3usize..6) {
+            let notation = &v[..keep];
+            prop_assert!(is_shorthand_of(notation, &v));
+        }
+    }
+}

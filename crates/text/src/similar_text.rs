@@ -1,0 +1,123 @@
+//! PHP-style `similar_text`.
+//!
+//! Section 4.2.1: when a keyword is not recognized by the trie, CQAds "compares W with
+//! the alternative keywords recognized by the trie ... using the 'similar text' function
+//! which calculates their similarity based on the number of common characters and their
+//! corresponding positions in the strings. Similar_text returns the degree of similarity
+//! of two strings as a percentage."
+//!
+//! This is the classic Oliver (1993) algorithm used by PHP's `similar_text`: find the
+//! longest common substring, recurse on the prefixes and the suffixes, and sum the
+//! match lengths; the percentage is `2 * matched / (len(a) + len(b)) * 100`.
+
+/// Number of matching characters between `a` and `b` under the Oliver algorithm.
+pub fn similar_text(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    sim(&a, &b)
+}
+
+/// Degree of similarity of two strings as a percentage in `[0, 100]`.
+pub fn similar_text_percent(a: &str, b: &str) -> f64 {
+    let total = a.chars().count() + b.chars().count();
+    if total == 0 {
+        return 100.0;
+    }
+    let matched = similar_text(a, b);
+    (2.0 * matched as f64 / total as f64) * 100.0
+}
+
+fn sim(a: &[char], b: &[char]) -> usize {
+    let (pos_a, pos_b, len) = longest_common_substring(a, b);
+    if len == 0 {
+        return 0;
+    }
+    let mut total = len;
+    // Recurse on the pieces before and after the common block.
+    if pos_a > 0 && pos_b > 0 {
+        total += sim(&a[..pos_a], &b[..pos_b]);
+    }
+    if pos_a + len < a.len() && pos_b + len < b.len() {
+        total += sim(&a[pos_a + len..], &b[pos_b + len..]);
+    }
+    total
+}
+
+fn longest_common_substring(a: &[char], b: &[char]) -> (usize, usize, usize) {
+    let (mut best_a, mut best_b, mut best_len) = (0, 0, 0);
+    for i in 0..a.len() {
+        for j in 0..b.len() {
+            let mut k = 0;
+            while i + k < a.len() && j + k < b.len() && a[i + k] == b[j + k] {
+                k += 1;
+            }
+            if k > best_len {
+                best_a = i;
+                best_b = j;
+                best_len = k;
+            }
+        }
+    }
+    (best_a, best_b, best_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_score_100() {
+        assert_eq!(similar_text_percent("accord", "accord"), 100.0);
+        assert_eq!(similar_text("accord", "accord"), 6);
+    }
+
+    #[test]
+    fn oliver_algorithm_reference_values() {
+        assert_eq!(similar_text("World", "Word"), 4);
+        // Only a single common block ("l" / "o") survives the recursive split.
+        assert_eq!(similar_text("Hello", "World"), 1);
+        assert_eq!(similar_text("", "abc"), 0);
+        assert_eq!(similar_text("night", "nacht"), 3);
+    }
+
+    #[test]
+    fn misspelled_car_models_rank_sensibly() {
+        // "accorr" (user typo) should be much closer to "accord" than to "camry".
+        let to_accord = similar_text_percent("accorr", "accord");
+        let to_camry = similar_text_percent("accorr", "camry");
+        assert!(to_accord > 80.0);
+        assert!(to_accord > to_camry);
+        // "mazd" closer to "mazda" than to "honda"
+        assert!(similar_text_percent("mazd", "mazda") > similar_text_percent("mazd", "honda"));
+    }
+
+    #[test]
+    fn empty_inputs_are_handled() {
+        assert_eq!(similar_text("", ""), 0);
+        assert_eq!(similar_text_percent("", ""), 100.0);
+        assert_eq!(similar_text_percent("", "x"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn percent_is_bounded(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let p = similar_text_percent(&a, &b);
+            prop_assert!((0.0..=100.0).contains(&p));
+        }
+
+        #[test]
+        fn symmetric_match_count(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            // The Oliver algorithm is not guaranteed symmetric in exotic cases, but the
+            // match count can never exceed either length.
+            let m = similar_text(&a, &b);
+            prop_assert!(m <= a.len() && m <= b.len());
+        }
+
+        #[test]
+        fn identity_scores_full_length(a in "[a-z]{1,12}") {
+            prop_assert_eq!(similar_text(&a, &a), a.len());
+            prop_assert_eq!(similar_text_percent(&a, &a), 100.0);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Porter stemmer.
+//!
+//! The WS word-correlation matrix (Section 4.3.2) holds "non-stop, *stemmed* words,
+//! i.e., words reduced to their grammatical root", and negation keywords are matched on
+//! "their stemmed versions" (footnote 1 of Section 4.4.1). This is a from-scratch
+//! implementation of Porter's 1980 algorithm (steps 1a–5b), adequate for the ads
+//! vocabulary handled by CQAds.
+
+/// Stem a single lowercase word with the Porter algorithm. Words of length ≤ 2 are
+/// returned unchanged, as in the original algorithm.
+pub fn porter_stem(word: &str) -> String {
+    let word = word.to_lowercase();
+    if word.len() <= 2 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
+        return word;
+    }
+    let mut w: Vec<u8> = word.into_bytes();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    String::from_utf8(w).expect("ascii input stays ascii")
+}
+
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// The "measure" m of the stem w[..end): number of VC sequences.
+fn measure(w: &[u8], end: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // skip initial consonants
+    while i < end && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // skip vowels
+        while i < end && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= end {
+            break;
+        }
+        // skip consonants
+        while i < end && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= end {
+            break;
+        }
+    }
+    m
+}
+
+fn has_vowel(w: &[u8], end: usize) -> bool {
+    (0..end).any(|i| !is_consonant(w, i))
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// cvc pattern where the final c is not w, x or y — used by steps 1b and 5b.
+fn ends_cvc(w: &[u8], end: usize) -> bool {
+    if end < 3 {
+        return false;
+    }
+    let (a, b, c) = (end - 3, end - 2, end - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+/// Replace `suffix` by `replacement` if the stem before the suffix has measure > `min_m`.
+fn replace_if(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) -> bool {
+    if ends_with(w, suffix) {
+        let stem_len = w.len() - suffix.len();
+        if measure(w, stem_len) > min_m {
+            w.truncate(stem_len);
+            w.extend_from_slice(replacement.as_bytes());
+            return true;
+        }
+        return true; // matched but condition failed: stop trying other suffixes
+    }
+    false
+}
+
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ies") {
+        w.truncate(w.len() - 2);
+    } else if ends_with(w, "ss") {
+        // unchanged
+    } else if ends_with(w, "s") && w.len() > 1 {
+        w.truncate(w.len() - 1);
+    }
+}
+
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        if measure(w, w.len() - 3) > 0 {
+            w.truncate(w.len() - 1);
+        }
+        return;
+    }
+    let applied = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if applied {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w) && !matches!(w.last(), Some(b'l') | Some(b's') | Some(b'z')) {
+            w.truncate(w.len() - 1);
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+fn step1c(w: &mut Vec<u8>) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i';
+    }
+}
+
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, replacement) in RULES {
+        if ends_with(w, suffix) {
+            replace_if(w, suffix, replacement, 0);
+            return;
+        }
+    }
+}
+
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if ends_with(w, suffix) {
+            replace_if(w, suffix, replacement, 0);
+            return;
+        }
+    }
+}
+
+fn step4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // special case: "ion" requires preceding s or t
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+        }
+        return;
+    }
+    for suffix in SUFFIXES {
+        if ends_with(w, suffix) {
+            let stem_len = w.len() - suffix.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.truncate(stem_len);
+        }
+    }
+}
+
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w.last() == Some(&b'l') {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_porter_examples() {
+        assert_eq!(porter_stem("caresses"), "caress");
+        assert_eq!(porter_stem("ponies"), "poni");
+        assert_eq!(porter_stem("cats"), "cat");
+        assert_eq!(porter_stem("agreed"), "agre");
+        assert_eq!(porter_stem("plastered"), "plaster");
+        assert_eq!(porter_stem("motoring"), "motor");
+        assert_eq!(porter_stem("conflated"), "conflat");
+        assert_eq!(porter_stem("hopping"), "hop");
+        assert_eq!(porter_stem("happy"), "happi");
+        assert_eq!(porter_stem("relational"), "relat");
+        assert_eq!(porter_stem("conditional"), "condit");
+        assert_eq!(porter_stem("formalize"), "formal");
+        assert_eq!(porter_stem("electricity"), "electr");
+        assert_eq!(porter_stem("hopefulness"), "hope");
+        assert_eq!(porter_stem("adjustment"), "adjust");
+        assert_eq!(porter_stem("adoption"), "adopt");
+        assert_eq!(porter_stem("probate"), "probat");
+        assert_eq!(porter_stem("controll"), "control");
+        assert_eq!(porter_stem("roll"), "roll");
+    }
+
+    #[test]
+    fn ads_vocabulary_examples() {
+        // negation keywords match on stems: "excluding" and "exclude" share a stem
+        assert_eq!(porter_stem("excluding"), porter_stem("exclude"));
+        assert_eq!(porter_stem("removed"), porter_stem("remove"));
+        // domain words group as expected
+        assert_eq!(porter_stem("automatic"), "automat");
+        assert_eq!(porter_stem("leather"), "leather");
+        assert_eq!(porter_stem("doors"), "door");
+        assert_eq!(porter_stem("programmers"), porter_stem("programmer"));
+    }
+
+    #[test]
+    fn short_and_non_alpha_words_pass_through() {
+        assert_eq!(porter_stem("go"), "go");
+        assert_eq!(porter_stem("4dr"), "4dr");
+        assert_eq!(porter_stem("c++"), "c++");
+        assert_eq!(porter_stem("BMW"), "bmw");
+    }
+
+    proptest! {
+        #[test]
+        fn stemming_never_panics_and_never_grows_much(word in "[a-zA-Z]{1,20}") {
+            let s = porter_stem(&word);
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.len() <= word.len() + 1);
+        }
+
+        #[test]
+        fn stemming_is_idempotent_for_ads_words(word in "[a-z]{3,12}(s|ing|ed|ly|ness)?") {
+            let once = porter_stem(&word);
+            // Stemming a stem may shorten further in rare cases but must not panic and
+            // must stay ascii-lowercase.
+            let twice = porter_stem(&once);
+            prop_assert!(twice.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+}

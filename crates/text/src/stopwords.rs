@@ -1,0 +1,73 @@
+//! Stop-word list.
+//!
+//! The paper eliminates "non-essential keywords, which are stopwords, which carry
+//! little meaning" before tagging a question (Section 4.1.4, Example 2: "Do you have a
+//! 2 door red BMW?" → "2 door red BMW"). This list covers the English function words
+//! that appear in ads questions; comparison words ("less", "more", "than", "under",
+//! "between", ...) are *not* stop words because they are boundary/superlative keywords
+//! handled by the identifiers table.
+
+/// The stop-word list used by CQAds question pre-processing.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "do", "does", "did", "you", "your", "yours", "have", "has", "had", "i",
+    "me", "my", "mine", "we", "our", "us", "it", "its", "is", "are", "was", "were", "be", "been",
+    "being", "am", "can", "could", "would", "should", "shall", "will", "may", "might", "must",
+    "want", "wants", "wanted", "need", "needs", "needed", "looking", "look", "find", "show",
+    "give", "get", "seeking", "seek", "search", "searching", "please", "for", "of", "in", "on",
+    "at", "to", "from", "by", "as", "that", "this", "these", "those", "there", "here", "some",
+    "any", "all", "with", "about", "into", "also", "just", "like", "prefer", "preferably",
+    "ideally", "sale", "buy", "purchase", "available", "interested", "hello", "hi", "thanks",
+    "thank", "if", "so", "such", "what", "which", "who", "whom", "how", "when", "where",
+    "one", "ones", "something", "anything", "car", "cars", "vehicle", "vehicles", "ad", "ads",
+    "listing", "listings", "deal", "deals", "item", "items",
+];
+
+/// True if the (lowercased) token is a stop word.
+pub fn is_stopword(token: &str) -> bool {
+    let token = token.to_lowercase();
+    STOPWORDS.contains(&token.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["do", "you", "have", "a", "the", "I", "want", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_and_boundary_words_are_not_stopwords() {
+        for w in ["honda", "blue", "cheapest", "less", "than", "under", "between", "not", "no"] {
+            assert!(!is_stopword(w), "{w} must not be a stopword");
+        }
+    }
+
+    #[test]
+    fn example_2_reduction_matches_paper() {
+        // "Do you have a 2 door red BMW?" → "2 door red BMW"
+        let kept: Vec<&str> = "do you have a 2 door red bmw"
+            .split_whitespace()
+            .filter(|w| !is_stopword(w))
+            .collect();
+        assert_eq!(kept, vec!["2", "door", "red", "bmw"]);
+    }
+
+    #[test]
+    fn stopword_check_is_case_insensitive() {
+        assert!(is_stopword("The"));
+        assert!(is_stopword("YOU"));
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len());
+    }
+}

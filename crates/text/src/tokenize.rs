@@ -1,0 +1,227 @@
+//! Question tokenization.
+//!
+//! Ads questions mix words, numbers, currency amounts and unit-suffixed quantities
+//! ("$5000", "20k miles", "2dr", "less than 15,000 dollars"). The tokenizer splits a
+//! question into [`Token`]s and classifies each as a word, a number or a mixed
+//! alphanumeric token, expanding the common numeric shorthands:
+//!
+//! * a `$` prefix is stripped and remembered via [`TokenKind::Number`] (currency is a
+//!   Type III unit keyword handled by the tagger),
+//! * a `k` suffix multiplies by 1,000 ("20k" → 20,000) and `m` by 1,000,000,
+//! * thousands separators (",") are removed ("15,000" → 15000).
+
+/// Classification of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A plain word ("honda", "cheapest").
+    Word,
+    /// A numeric quantity, after shorthand expansion.
+    Number(f64),
+    /// A mixed alphanumeric token that is not a plain number ("2dr", "4x4").
+    AlphaNumeric,
+}
+
+/// A token together with its original text (lowercased).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Lowercased surface form with punctuation trimmed.
+    pub text: String,
+    /// Token classification.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Numeric payload if this token is a number.
+    pub fn number(&self) -> Option<f64> {
+        match self.kind {
+            TokenKind::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// True if this token is a plain word.
+    pub fn is_word(&self) -> bool {
+        matches!(self.kind, TokenKind::Word)
+    }
+}
+
+/// Lowercase a raw token and trim surrounding punctuation (keeping internal hyphens,
+/// which matter for values such as "4-door" and "anti-lock").
+pub fn normalize_token(raw: &str) -> String {
+    raw.trim_matches(|c: char| !c.is_alphanumeric() && c != '$')
+        .to_lowercase()
+}
+
+/// Tokenize a question into classified tokens. Empty tokens are dropped.
+pub fn tokenize(question: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for raw in question.split(|c: char| c.is_whitespace() || c == ',' && false) {
+        // Split on whitespace only; commas inside numbers are handled below, commas
+        // between words are trimmed by normalize_token.
+        for piece in split_punctuation(raw) {
+            let text = normalize_token(&piece);
+            if text.is_empty() {
+                continue;
+            }
+            out.push(classify(&text));
+        }
+    }
+    out
+}
+
+/// Split trailing/leading punctuation that glues tokens together ("cars?" → "cars"),
+/// while keeping currency and decimal/thousand separators attached to digits.
+fn split_punctuation(raw: &str) -> Vec<String> {
+    let mut pieces = Vec::new();
+    let mut current = String::new();
+    for ch in raw.chars() {
+        match ch {
+            '?' | '!' | ';' | ':' | '(' | ')' | '"' | '\'' => {
+                if !current.is_empty() {
+                    pieces.push(std::mem::take(&mut current));
+                }
+            }
+            ',' => {
+                // keep the comma only if it is a thousands separator (digit , digit)
+                if current.chars().last().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    current.push(ch);
+                } else if !current.is_empty() {
+                    pieces.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.is_empty() {
+        pieces.push(current);
+    }
+    pieces
+}
+
+fn classify(text: &str) -> Token {
+    let stripped = text.strip_prefix('$').unwrap_or(text);
+    if let Some(n) = parse_number(stripped) {
+        return Token {
+            text: text.to_string(),
+            kind: TokenKind::Number(n),
+        };
+    }
+    let has_digit = stripped.chars().any(|c| c.is_ascii_digit());
+    let has_alpha = stripped.chars().any(|c| c.is_alphabetic());
+    let kind = if has_digit && has_alpha {
+        TokenKind::AlphaNumeric
+    } else {
+        TokenKind::Word
+    };
+    Token {
+        text: text.to_string(),
+        kind,
+    }
+}
+
+/// Parse a numeric token with thousands separators and k/m suffixes.
+pub fn parse_number(text: &str) -> Option<f64> {
+    let text = text.trim_end_matches('.');
+    if text.is_empty() {
+        return None;
+    }
+    let (body, multiplier) = match text.chars().last() {
+        Some('k') | Some('K') => (&text[..text.len() - 1], 1_000.0),
+        Some('m') | Some('M') => (&text[..text.len() - 1], 1_000_000.0),
+        _ => (text, 1.0),
+    };
+    let cleaned: String = body.chars().filter(|c| *c != ',').collect();
+    if cleaned.is_empty() || !cleaned.chars().all(|c| c.is_ascii_digit() || c == '.') {
+        return None;
+    }
+    // Reject pure dots and multiple dots.
+    if cleaned.chars().filter(|c| *c == '.').count() > 1 || cleaned == "." {
+        return None;
+    }
+    cleaned.parse::<f64>().ok().map(|n| n * multiplier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_question_tokenizes_to_words() {
+        let toks = tokenize("Do you have a 2 door red BMW?");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["do", "you", "have", "a", "2", "door", "red", "bmw"]);
+        assert_eq!(toks[4].kind, TokenKind::Number(2.0));
+        assert!(toks[7].is_word());
+    }
+
+    #[test]
+    fn numeric_shorthands_expand() {
+        assert_eq!(parse_number("20k"), Some(20_000.0));
+        assert_eq!(parse_number("1.5m"), Some(1_500_000.0));
+        assert_eq!(parse_number("15,000"), Some(15_000.0));
+        assert_eq!(parse_number("2004"), Some(2004.0));
+        assert_eq!(parse_number("abc"), None);
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("1.2.3"), None);
+    }
+
+    #[test]
+    fn currency_and_units_are_classified() {
+        let toks = tokenize("less than $5000");
+        assert_eq!(toks.last().unwrap().number(), Some(5000.0));
+        let toks = tokenize("less than 15,000 dollars");
+        assert_eq!(toks[2].number(), Some(15_000.0));
+        assert!(toks[3].is_word());
+    }
+
+    #[test]
+    fn mixed_alphanumerics_are_kept_whole() {
+        let toks = tokenize("Cheapest 2dr mazda with automatic transmission");
+        assert_eq!(toks[1].text, "2dr");
+        assert_eq!(toks[1].kind, TokenKind::AlphaNumeric);
+    }
+
+    #[test]
+    fn punctuation_is_stripped() {
+        let toks = tokenize("blue, red Toyota!");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["blue", "red", "toyota"]);
+        let toks = tokenize("\"4 wheel drive\" (less than 20K miles)");
+        assert!(toks.iter().any(|t| t.number() == Some(20_000.0)));
+    }
+
+    #[test]
+    fn hyphenated_values_survive() {
+        let toks = tokenize("4-door anti-lock brakes");
+        assert_eq!(toks[0].text, "4-door");
+        assert_eq!(toks[1].text, "anti-lock");
+    }
+
+    #[test]
+    fn empty_and_whitespace_questions_yield_nothing() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t ").is_empty());
+        assert!(tokenize("???").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn tokenizer_never_panics(s in ".{0,120}") {
+            let _ = tokenize(&s);
+        }
+
+        #[test]
+        fn tokens_are_lowercase_and_nonempty(s in "[A-Za-z0-9 ,.$?]{0,80}") {
+            for t in tokenize(&s) {
+                prop_assert!(!t.text.is_empty());
+                prop_assert_eq!(t.text.clone(), t.text.to_lowercase());
+            }
+        }
+
+        #[test]
+        fn plain_integers_parse_exactly(n in 0u32..10_000_000) {
+            prop_assert_eq!(parse_number(&n.to_string()), Some(n as f64));
+        }
+    }
+}

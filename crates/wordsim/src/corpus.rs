@@ -1,0 +1,162 @@
+//! Synthetic document corpus used to build the WS-matrix.
+//!
+//! The real WS-matrix was computed over Wikipedia. The synthetic corpus reproduces the
+//! statistical property the matrix extraction needs — *related words co-occur close to
+//! each other inside documents* — without the external data. Documents are assembled
+//! from [`TopicGroup`]s: each sentence samples one group and emits a handful of its
+//! words (plus filler), so words of the same group end up nearby far more often than
+//! words of different groups.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A cluster of semantically related words ("blue silver black red ...", "gold
+/// platinum sterling ...").
+#[derive(Debug, Clone)]
+pub struct TopicGroup {
+    /// Name of the group (only used for debugging/reporting).
+    pub name: String,
+    /// The words in the group (surface forms; stemming happens in the matrix builder).
+    pub words: Vec<String>,
+}
+
+impl TopicGroup {
+    /// Build a group from string slices.
+    pub fn new(name: &str, words: &[&str]) -> Self {
+        TopicGroup {
+            name: name.to_string(),
+            words: words.iter().map(|w| w.to_string()).collect(),
+        }
+    }
+}
+
+/// Parameters of the synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Number of documents to generate.
+    pub documents: usize,
+    /// Sentences per document.
+    pub sentences_per_doc: usize,
+    /// Words sampled from the chosen topic group per sentence.
+    pub group_words_per_sentence: usize,
+    /// Filler (unrelated, generic) words per sentence.
+    pub filler_words_per_sentence: usize,
+    /// RNG seed so the matrix is reproducible.
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            documents: 400,
+            sentences_per_doc: 12,
+            group_words_per_sentence: 4,
+            filler_words_per_sentence: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Generic filler vocabulary that appears in every ads text regardless of topic.
+const FILLER: &[&str] = &[
+    "great", "condition", "excellent", "offer", "contact", "available", "price", "new", "used",
+    "sale", "original", "owner", "clean", "perfect", "quality", "includes", "warranty", "deal",
+    "good", "best",
+];
+
+/// A generated corpus: a list of documents, each a list of lowercase words.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    /// The generated documents.
+    pub documents: Vec<Vec<String>>,
+}
+
+impl SyntheticCorpus {
+    /// Generate a corpus from topic groups under the given spec.
+    pub fn generate(groups: &[TopicGroup], spec: &CorpusSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut documents = Vec::with_capacity(spec.documents);
+        for _ in 0..spec.documents {
+            let mut doc = Vec::new();
+            for _ in 0..spec.sentences_per_doc {
+                // Pick a topic group for this sentence; related words land together.
+                if groups.is_empty() {
+                    break;
+                }
+                let group = &groups[rng.random_range(0..groups.len())];
+                for _ in 0..spec.group_words_per_sentence {
+                    if group.words.is_empty() {
+                        continue;
+                    }
+                    let w = &group.words[rng.random_range(0..group.words.len())];
+                    doc.push(w.to_lowercase());
+                }
+                for _ in 0..spec.filler_words_per_sentence {
+                    doc.push(FILLER[rng.random_range(0..FILLER.len())].to_string());
+                }
+            }
+            documents.push(doc);
+        }
+        SyntheticCorpus { documents }
+    }
+
+    /// Total number of word occurrences in the corpus.
+    pub fn token_count(&self) -> usize {
+        self.documents.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn groups() -> Vec<TopicGroup> {
+        vec![
+            TopicGroup::new("colors", &["blue", "silver", "black", "red", "white"]),
+            TopicGroup::new("drivetrain", &["automatic", "manual", "transmission", "4wd"]),
+            TopicGroup::new("gems", &["diamond", "ruby", "sapphire", "emerald"]),
+        ]
+    }
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let spec = CorpusSpec {
+            documents: 10,
+            sentences_per_doc: 5,
+            group_words_per_sentence: 3,
+            filler_words_per_sentence: 2,
+            seed: 1,
+        };
+        let corpus = SyntheticCorpus::generate(&groups(), &spec);
+        assert_eq!(corpus.documents.len(), 10);
+        assert_eq!(corpus.token_count(), 10 * 5 * (3 + 2));
+        assert!(corpus.documents.iter().all(|d| d.iter().all(|w| *w == w.to_lowercase())));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = CorpusSpec::default();
+        let a = SyntheticCorpus::generate(&groups(), &spec);
+        let b = SyntheticCorpus::generate(&groups(), &spec);
+        assert_eq!(a.documents, b.documents);
+        let other = SyntheticCorpus::generate(
+            &groups(),
+            &CorpusSpec {
+                seed: 99,
+                ..CorpusSpec::default()
+            },
+        );
+        assert_ne!(a.documents, other.documents);
+    }
+
+    #[test]
+    fn empty_groups_yield_filler_free_empty_docs() {
+        let spec = CorpusSpec {
+            documents: 3,
+            ..CorpusSpec::default()
+        };
+        let corpus = SyntheticCorpus::generate(&[], &spec);
+        assert_eq!(corpus.documents.len(), 3);
+        assert_eq!(corpus.token_count(), 0);
+    }
+}

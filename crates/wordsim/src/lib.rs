@@ -1,0 +1,32 @@
+//! # cqads-wordsim — word-correlation (WS) matrix substrate
+//!
+//! `Feat_Sim` (Section 4.3.2 of the paper) measures the similarity between two Type II
+//! attribute values ("white" vs "blue") by looking them up in the *WS-matrix*, a
+//! 54,625 × 54,625 word-correlation matrix built from ~930,000 Wikipedia documents
+//! (Koberstein & Ng 2006). The matrix stores, for every pair of non-stop *stemmed*
+//! words, a similarity derived from (i) their frequency of co-occurrence and (ii) their
+//! relative distance within documents.
+//!
+//! We cannot ship the Wikipedia collection, so this crate substitutes it with:
+//!
+//! * [`corpus`] — a seeded synthetic document generator. Documents are produced from
+//!   *topic groups* (e.g. exterior colours, drivetrain features, gemstones) so that
+//!   words which belong together in real ads prose genuinely co-occur at small
+//!   distances, while unrelated words rarely meet.
+//! * [`matrix`] — the WS-matrix builder: for every pair of stemmed, non-stop words in a
+//!   sliding window, it accumulates `1 / distance` and normalizes the result into
+//!   `[0, 1]`. The construction is exactly the co-occurrence × relative-distance recipe
+//!   of the paper's reference; only the corpus is synthetic.
+//!
+//! The substitution preserves the behaviour CQAds relies on: `Feat_Sim("blue",
+//! "silver")` is high (both are exterior colours that co-occur in ads text), while
+//! `Feat_Sim("blue", "leather")` is low.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod matrix;
+
+pub use corpus::{CorpusSpec, SyntheticCorpus, TopicGroup};
+pub use matrix::WordSimMatrix;

@@ -1,0 +1,203 @@
+//! The WS word-correlation matrix.
+//!
+//! For every pair of non-stop, stemmed words the matrix stores a similarity computed
+//! from (i) frequency of co-occurrence and (ii) relative distance within documents —
+//! the construction described for the matrix CQAds adopts from Koberstein & Ng. The
+//! accumulation rule is `score(w1, w2) += 1 / d` for every co-occurrence at token
+//! distance `d ≤ window`, and the final matrix is normalized by the largest off-diagonal
+//! entry so values lie in `[0, 1]` (a word with itself scores exactly 1).
+
+use crate::corpus::SyntheticCorpus;
+use cqads_text::{is_stopword, porter_stem};
+use std::collections::HashMap;
+
+/// Default co-occurrence window (in tokens) within which two words are considered
+/// related; beyond it the 1/d contribution is negligible anyway.
+pub const DEFAULT_WINDOW: usize = 8;
+
+/// Sparse symmetric word-similarity matrix over stemmed words.
+#[derive(Debug, Clone, Default)]
+pub struct WordSimMatrix {
+    /// (stem_a, stem_b) with stem_a <= stem_b -> normalized similarity.
+    entries: HashMap<(String, String), f64>,
+    /// Largest raw accumulation, kept for reporting.
+    max_raw: f64,
+}
+
+impl WordSimMatrix {
+    /// Build the matrix from a corpus with the default window.
+    pub fn build(corpus: &SyntheticCorpus) -> Self {
+        Self::build_with_window(corpus, DEFAULT_WINDOW)
+    }
+
+    /// Build the matrix from a corpus with an explicit co-occurrence window.
+    pub fn build_with_window(corpus: &SyntheticCorpus, window: usize) -> Self {
+        let mut raw: HashMap<(String, String), f64> = HashMap::new();
+        for doc in &corpus.documents {
+            let stems: Vec<String> = doc
+                .iter()
+                .filter(|w| !is_stopword(w))
+                .map(|w| porter_stem(w))
+                .collect();
+            for i in 0..stems.len() {
+                let limit = (i + window + 1).min(stems.len());
+                for j in (i + 1)..limit {
+                    if stems[i] == stems[j] {
+                        continue;
+                    }
+                    let d = (j - i) as f64;
+                    *raw.entry(key(&stems[i], &stems[j])).or_insert(0.0) += 1.0 / d;
+                }
+            }
+        }
+        let max_raw = raw.values().cloned().fold(0.0_f64, f64::max);
+        let entries = if max_raw > 0.0 {
+            raw.into_iter().map(|(k, v)| (k, v / max_raw)).collect()
+        } else {
+            raw
+        };
+        WordSimMatrix { entries, max_raw }
+    }
+
+    /// Similarity of two words in `[0, 1]`. Words are stemmed before lookup; identical
+    /// stems score 1; unknown pairs score 0.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let sa = porter_stem(&a.to_lowercase());
+        let sb = porter_stem(&b.to_lowercase());
+        if sa == sb {
+            return 1.0;
+        }
+        self.entries.get(&key(&sa, &sb)).copied().unwrap_or(0.0)
+    }
+
+    /// Similarity of two (possibly multi-word) attribute values: the maximum pairwise
+    /// word similarity, which is how CQAds compares a question value such as "power
+    /// steering" against a record feature list.
+    pub fn value_similarity(&self, a: &str, b: &str) -> f64 {
+        let words_a: Vec<&str> = a.split_whitespace().collect();
+        let words_b: Vec<&str> = b.split_whitespace().collect();
+        if words_a.is_empty() || words_b.is_empty() {
+            return 0.0;
+        }
+        let mut best = 0.0_f64;
+        for wa in &words_a {
+            for wb in &words_b {
+                best = best.max(self.similarity(wa, wb));
+            }
+        }
+        best
+    }
+
+    /// Number of stored (non-zero) pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the matrix holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Largest raw (pre-normalization) accumulation; the normalization factor applied to
+    /// `Feat_Sim` in Equation 5.
+    pub fn max_raw(&self) -> f64 {
+        self.max_raw
+    }
+
+    /// Insert an explicit similarity value (used by tests and by small hand-built
+    /// matrices in examples).
+    pub fn insert(&mut self, a: &str, b: &str, value: f64) {
+        let sa = porter_stem(&a.to_lowercase());
+        let sb = porter_stem(&b.to_lowercase());
+        self.entries.insert(key(&sa, &sb), value.clamp(0.0, 1.0));
+        self.max_raw = self.max_raw.max(value);
+    }
+}
+
+fn key(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusSpec, SyntheticCorpus, TopicGroup};
+    use proptest::prelude::*;
+
+    fn sample_matrix() -> &'static WordSimMatrix {
+        use std::sync::OnceLock;
+        static MATRIX: OnceLock<WordSimMatrix> = OnceLock::new();
+        MATRIX.get_or_init(|| {
+            let groups = vec![
+                TopicGroup::new("colors", &["blue", "silver", "black", "red", "white"]),
+                TopicGroup::new("interior", &["leather", "seats", "heated", "upholstery"]),
+                TopicGroup::new("gems", &["diamond", "ruby", "sapphire"]),
+            ];
+            let corpus = SyntheticCorpus::generate(&groups, &CorpusSpec::default());
+            WordSimMatrix::build(&corpus)
+        })
+    }
+
+    #[test]
+    fn related_words_score_higher_than_unrelated() {
+        let m = sample_matrix();
+        assert!(m.similarity("blue", "silver") > m.similarity("blue", "leather"));
+        assert!(m.similarity("blue", "white") > m.similarity("blue", "diamond"));
+        assert!(m.similarity("diamond", "ruby") > m.similarity("diamond", "seats"));
+    }
+
+    #[test]
+    fn similarity_is_bounded_symmetric_and_reflexive() {
+        let m = sample_matrix();
+        for (a, b) in [("blue", "silver"), ("leather", "seats"), ("red", "ruby")] {
+            let s = m.similarity(a, b);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(s, m.similarity(b, a));
+        }
+        assert_eq!(m.similarity("blue", "blue"), 1.0);
+        // stem-equivalent forms count as identical
+        assert_eq!(m.similarity("seats", "seat"), 1.0);
+        assert_eq!(m.similarity("unknownword", "otherunknown"), 0.0);
+    }
+
+    #[test]
+    fn value_similarity_takes_the_best_word_pair() {
+        let m = sample_matrix();
+        let multi = m.value_similarity("blue exterior", "silver paint");
+        assert!(multi >= m.similarity("blue", "silver") - 1e-12);
+        assert_eq!(m.value_similarity("", "blue"), 0.0);
+    }
+
+    #[test]
+    fn manual_insert_is_clamped_and_retrievable() {
+        let mut m = WordSimMatrix::default();
+        assert!(m.is_empty());
+        m.insert("white", "blue", 0.8);
+        m.insert("white", "truck", 7.0);
+        assert_eq!(m.similarity("blue", "white"), 0.8);
+        assert_eq!(m.similarity("truck", "white"), 1.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_corpus_builds_empty_matrix() {
+        let corpus = SyntheticCorpus { documents: vec![] };
+        let m = WordSimMatrix::build(&corpus);
+        assert!(m.is_empty());
+        assert_eq!(m.max_raw(), 0.0);
+        assert_eq!(m.similarity("a", "b"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn all_lookups_are_in_unit_interval(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+            let m = sample_matrix();
+            let s = m.similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

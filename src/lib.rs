@@ -1,0 +1,16 @@
+//! Umbrella crate for the CQAds reproduction workspace.
+//!
+//! This crate re-exports the public surface of every member crate so that the
+//! root-level `examples/` and `tests/` directories can exercise the whole system
+//! through a single dependency. Downstream users should normally depend on the
+//! individual crates (`cqads`, `addb`, ...) instead.
+
+pub use addb;
+pub use cqads;
+pub use cqads_baselines as baselines;
+pub use cqads_classifier as classifier;
+pub use cqads_datagen as datagen;
+pub use cqads_eval as eval;
+pub use cqads_querylog as querylog;
+pub use cqads_text as text;
+pub use cqads_wordsim as wordsim;

@@ -1,0 +1,70 @@
+//! Workspace-level property-based tests over the public API: arbitrary questions must
+//! never panic, and core invariants must hold for whatever the generators produce.
+
+use cqads_suite::addb::Executor;
+use cqads_suite::cqads::CqadsSystem;
+use cqads_suite::datagen::{blueprint, generate_questions, generate_table, QuestionMix};
+use cqads_suite::querylog::TIMatrix;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn car_system() -> &'static CqadsSystem {
+    static SYSTEM: OnceLock<CqadsSystem> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        let bp = blueprint("cars");
+        let table = generate_table(&bp, 150, 77);
+        let mut system = CqadsSystem::new();
+        system.add_domain(bp.to_spec(), table, TIMatrix::default());
+        system
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pipeline never panics on arbitrary free text and never exceeds the answer cap.
+    #[test]
+    fn arbitrary_text_never_panics(question in ".{0,80}") {
+        let sys = car_system();
+        if let Ok(set) = sys.answer_in_domain(&question, "cars") {
+            prop_assert!(set.answers.len() <= 30);
+            prop_assert!(set.exact_count <= set.answers.len());
+        }
+    }
+
+    /// Whatever mix of words and numbers the user writes, every exact answer CQAds
+    /// returns also satisfies the query it generated (internal consistency between the
+    /// SQL translation and the executor).
+    #[test]
+    fn exact_answers_satisfy_the_generated_query(
+        make in prop::sample::select(vec!["honda", "toyota", "ford", "chevy"]),
+        color in prop::sample::select(vec!["blue", "red", "silver", "black"]),
+        bound in 2_000u32..60_000,
+    ) {
+        let sys = car_system();
+        let question = format!("{color} {make} under {bound} dollars");
+        if let Ok(set) = sys.answer_in_domain(&question, "cars") {
+            let table = sys.database().table("cars").unwrap();
+            let spec = sys.domain_spec("cars").unwrap();
+            let (_, interp, _) = sys.interpret_in_domain(&question, "cars").unwrap();
+            let query = interp.to_query(spec).unwrap();
+            let expected: Vec<_> = Executor::new(table).execute(&query).unwrap();
+            let expected_ids: Vec<_> = expected.iter().map(|a| a.id).collect();
+            for answer in set.exact() {
+                prop_assert!(expected_ids.contains(&answer.id));
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_workloads_are_reproducible() {
+    let bp = blueprint("furniture");
+    let table = generate_table(&bp, 90, 5);
+    let a = generate_questions(&bp, &table, 40, 9, &QuestionMix::default());
+    let b = generate_questions(&bp, &table, 40, 9, &QuestionMix::default());
+    assert_eq!(
+        a.iter().map(|q| q.text.clone()).collect::<Vec<_>>(),
+        b.iter().map(|q| q.text.clone()).collect::<Vec<_>>()
+    );
+}
