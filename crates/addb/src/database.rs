@@ -44,7 +44,8 @@ impl Database {
 
     /// Like [`Database::table`] but returns the crate error for unknown domains.
     pub fn require_table(&self, name: &str) -> DbResult<&Table> {
-        self.table(name).ok_or_else(|| DbError::UnknownTable(name.to_string()))
+        self.table(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
     /// Names of all domains, sorted.

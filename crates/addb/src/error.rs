@@ -55,7 +55,10 @@ impl fmt::Display for DbError {
                 write!(f, "unknown attribute `{attribute}` in table `{table}`")
             }
             DbError::MissingRequiredAttribute { attribute } => {
-                write!(f, "record is missing required Type I attribute `{attribute}`")
+                write!(
+                    f,
+                    "record is missing required Type I attribute `{attribute}`"
+                )
             }
             DbError::TypeMismatch {
                 attribute,
@@ -66,7 +69,11 @@ impl fmt::Display for DbError {
                 "type mismatch for attribute `{attribute}`: expected {expected}, found {found}"
             ),
             DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
-            DbError::EmptyRange { attribute, low, high } => write!(
+            DbError::EmptyRange {
+                attribute,
+                low,
+                high,
+            } => write!(
                 f,
                 "empty range on `{attribute}`: [{low}, {high}] — search retrieved no results"
             ),
@@ -87,7 +94,10 @@ mod tests {
             table: "cars".into(),
             attribute: "wheels".into(),
         };
-        assert_eq!(err.to_string(), "unknown attribute `wheels` in table `cars`");
+        assert_eq!(
+            err.to_string(),
+            "unknown attribute `wheels` in table `cars`"
+        );
         let err = DbError::EmptyRange {
             attribute: "price".into(),
             low: 9000.0,
@@ -98,7 +108,13 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(DbError::UnknownTable("x".into()), DbError::UnknownTable("x".into()));
-        assert_ne!(DbError::UnknownTable("x".into()), DbError::UnknownTable("y".into()));
+        assert_eq!(
+            DbError::UnknownTable("x".into()),
+            DbError::UnknownTable("x".into())
+        );
+        assert_ne!(
+            DbError::UnknownTable("x".into()),
+            DbError::UnknownTable("y".into())
+        );
     }
 }

@@ -11,13 +11,130 @@
 //! cheapest among Hondas, not a Honda among the globally cheapest cars); the rest is a
 //! performance ordering. [`ExecOptions::superlatives_first`] exists purely so that the
 //! ablation bench can demonstrate the incorrect behaviour the paper warns about.
+//!
+//! # Execution model
+//!
+//! Conditions evaluate to **sorted id sequences**, not hash sets. Equality conditions
+//! borrow their posting list straight from the table's index (zero copy — lists are
+//! kept sorted by record id at insert time); range, substring and scan conditions
+//! materialize a sorted vector once. Conjunctions combine those sequences with a
+//! **lazy sorted-merge intersection** ([`IdStream`]), so an AND over `k` conditions
+//! with posting lists of sizes `n_1 … n_k` costs `O(n_1 + … + n_k)` comparisons and
+//! zero allocation beyond the non-equality operands — there is no intermediate
+//! `HashSet` per condition as in the original pipeline. Disjunction and negation
+//! materialize (sorted union / complement), which matches their output size anyway.
+//!
+//! Callers that need *all* matching ids without a limit (the N−1 partial matcher)
+//! consume [`Executor::execute_stream`] and never materialize a result vector;
+//! [`Executor::execute`] collects the same stream, applies superlatives last (over a
+//! sorted candidate slice, membership by binary search) and truncates to the query
+//! limit.
 
 use crate::error::{DbError, DbResult};
 use crate::query::{BoolExpr, Comparison, Condition, Query, SuperlativeKind};
 use crate::record::{Record, RecordId};
 use crate::schema::AttrType;
 use crate::table::Table;
-use std::collections::HashSet;
+use std::cmp::Ordering;
+
+/// A stream of strictly ascending record ids — the executor's streaming currency.
+///
+/// Equality conditions stream their posting list in place; composed streams merge
+/// lazily, so a consumer that stops early (bounded top-k fill, early-exit checks)
+/// never pays for the tail.
+#[derive(Debug)]
+pub enum IdStream<'a> {
+    /// No matches.
+    Empty,
+    /// Every record id in `[0, n)` (a `TRUE` condition).
+    All(std::ops::Range<u32>),
+    /// Borrowed posting list, already sorted ascending.
+    Slice(std::slice::Iter<'a, RecordId>),
+    /// Materialized sorted ids (ranges, unions, complements, scans).
+    Owned(std::vec::IntoIter<RecordId>),
+    /// Lazy sorted-merge intersection of two streams.
+    Intersect(Box<IdStream<'a>>, Box<IdStream<'a>>),
+    /// Per-candidate predicate over an inner stream (Type III boundaries applied to
+    /// the records surviving the index-driven layers, per the paper's order — no
+    /// range-sized id vector is ever materialized).
+    Filter(Box<IdStream<'a>>, RangePredicate<'a>),
+}
+
+/// Numeric range check against a record-id-indexed column.
+#[derive(Debug)]
+pub struct RangePredicate<'a> {
+    column: Option<&'a crate::table::NumericColumn>,
+    low: f64,
+    high: f64,
+}
+
+impl RangePredicate<'_> {
+    fn matches(&self, id: RecordId) -> bool {
+        self.column
+            .and_then(|c| c.value(id))
+            .is_some_and(|v| v >= self.low && v <= self.high)
+    }
+}
+
+impl Iterator for IdStream<'_> {
+    type Item = RecordId;
+
+    fn next(&mut self) -> Option<RecordId> {
+        match self {
+            IdStream::Empty => None,
+            IdStream::All(range) => range.next().map(RecordId),
+            IdStream::Slice(iter) => iter.next().copied(),
+            IdStream::Owned(iter) => iter.next(),
+            IdStream::Intersect(a, b) => {
+                let mut x = a.next()?;
+                let mut y = b.next()?;
+                loop {
+                    match x.cmp(&y) {
+                        Ordering::Equal => return Some(x),
+                        Ordering::Less => x = a.next()?,
+                        Ordering::Greater => y = b.next()?,
+                    }
+                }
+            }
+            IdStream::Filter(inner, predicate) => {
+                for id in inner.by_ref() {
+                    if predicate.matches(id) {
+                        return Some(id);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl<'a> IdStream<'a> {
+    /// True when the stream can be proven empty without consuming it.
+    fn is_trivially_empty(&self) -> bool {
+        match self {
+            IdStream::Empty => true,
+            IdStream::All(r) => r.is_empty(),
+            IdStream::Slice(iter) => iter.len() == 0,
+            IdStream::Owned(iter) => iter.len() == 0,
+            IdStream::Intersect(a, b) => a.is_trivially_empty() || b.is_trivially_empty(),
+            IdStream::Filter(inner, _) => inner.is_trivially_empty(),
+        }
+    }
+
+    /// Lazy intersection; collapses to [`IdStream::Empty`] when either side is
+    /// trivially empty.
+    fn intersect(self, other: IdStream<'a>) -> IdStream<'a> {
+        if self.is_trivially_empty() || other.is_trivially_empty() {
+            return IdStream::Empty;
+        }
+        match (self, other) {
+            // `TRUE` is the identity of conjunction.
+            (IdStream::All(r), s) if r.start == 0 => s,
+            (s, IdStream::All(r)) if r.start == 0 => s,
+            (a, b) => IdStream::Intersect(Box::new(a), Box::new(b)),
+        }
+    }
+}
 
 /// Tuning knobs for the executor.
 #[derive(Debug, Clone, Copy)]
@@ -76,24 +193,38 @@ impl<'a> Executor<'a> {
         }
         self.validate(query)?;
 
-        let mut candidates: HashSet<RecordId>;
+        let mut ids: Vec<RecordId>;
         if self.options.superlatives_first && !query.superlatives.is_empty() {
             // Ablation: superlatives applied to the whole table, then filtered.
-            candidates = self.table.all_ids();
-            candidates = self.apply_superlatives(query, candidates)?;
-            candidates = self
-                .eval_expr(&query.expr, &candidates)?
-                .into_iter()
-                .collect();
+            let all: Vec<RecordId> = (0..self.table.len() as u32).map(RecordId).collect();
+            let extremes = self.apply_superlatives_sorted(query, all)?;
+            let matched: Vec<RecordId> = self.stream_ordered(&query.expr)?.collect();
+            ids = intersect_sorted(&extremes, &matched);
         } else {
-            candidates = self.eval_ordered(&query.expr)?;
-            candidates = self.apply_superlatives(query, candidates)?;
+            ids = self.stream_ordered(&query.expr)?.collect();
+            ids = self.apply_superlatives_sorted(query, ids)?;
         }
 
-        let mut ids: Vec<RecordId> = candidates.into_iter().collect();
-        ids.sort_unstable();
         ids.truncate(query.limit);
         Ok(ids.into_iter().map(|id| QueryAnswer { id }).collect())
+    }
+
+    /// Streaming execution: ascending record ids matching the WHERE expression and
+    /// superlatives. `query.limit` is **not** applied — streaming consumers (the N−1
+    /// partial matcher) decide themselves when to stop pulling.
+    pub fn execute_stream(&self, query: &Query) -> DbResult<IdStream<'a>> {
+        if query.table != self.table.name() {
+            return Err(DbError::UnknownTable(query.table.clone()));
+        }
+        self.validate(query)?;
+        if query.superlatives.is_empty() {
+            self.stream_ordered(&query.expr)
+        } else {
+            // Superlatives need the full candidate set; materialize, filter, re-stream.
+            let ids: Vec<RecordId> = self.stream_ordered(&query.expr)?.collect();
+            let ids = self.apply_superlatives_sorted(query, ids)?;
+            Ok(IdStream::Owned(ids.into_iter()))
+        }
     }
 
     /// Convenience: execute and materialize the matching records.
@@ -136,28 +267,32 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
-    /// Evaluate the WHERE expression. For a pure conjunction we can follow the paper's
-    /// Type I → Type II → Type III ordering exactly; for arbitrary boolean expressions we
-    /// recurse with set semantics (each AND branch still orders its own conditions).
-    fn eval_ordered(&self, expr: &BoolExpr) -> DbResult<HashSet<RecordId>> {
+    /// Evaluate the WHERE expression into a sorted id stream. For a pure conjunction we
+    /// follow the paper's Type I → Type II → Type III ordering exactly (equality
+    /// posting lists merge lazily, most selective layer first); for arbitrary boolean
+    /// expressions we recurse, materializing at OR/NOT boundaries where the output is a
+    /// genuinely new set.
+    fn stream_ordered(&self, expr: &BoolExpr) -> DbResult<IdStream<'a>> {
         match expr {
-            BoolExpr::True => Ok(self.table.all_ids()),
-            BoolExpr::Cond(c) => Ok(self.eval_condition(c, None)),
+            BoolExpr::True => Ok(IdStream::All(0..self.table.len() as u32)),
+            BoolExpr::Cond(c) => Ok(self.stream_condition(c)),
             BoolExpr::Not(inner) => {
-                let matched = self.eval_ordered(inner)?;
-                Ok(self
-                    .table
-                    .all_ids()
-                    .difference(&matched)
-                    .copied()
-                    .collect())
+                let matched: Vec<RecordId> = self.stream_ordered(inner)?.collect();
+                let complement: Vec<RecordId> = (0..self.table.len() as u32)
+                    .map(RecordId)
+                    .filter(|id| matched.binary_search(id).is_err())
+                    .collect();
+                Ok(IdStream::Owned(complement.into_iter()))
             }
             BoolExpr::Or(parts) => {
-                let mut acc = HashSet::new();
+                // Sorted union: k-way merge by collect + sort + dedup (output-sized).
+                let mut acc: Vec<RecordId> = Vec::new();
                 for p in parts {
-                    acc.extend(self.eval_ordered(p)?);
+                    acc.extend(self.stream_ordered(p)?);
                 }
-                Ok(acc)
+                acc.sort_unstable();
+                acc.dedup();
+                Ok(IdStream::Owned(acc.into_iter()))
             }
             BoolExpr::And(parts) => {
                 // Partition leaf conditions by attribute type so they are applied in the
@@ -178,87 +313,99 @@ impl<'a> Executor<'a> {
                         other => complex.push(other),
                     }
                 }
-                let mut current: Option<HashSet<RecordId>> = None;
-                for c in t1.into_iter().chain(t2).chain(t3) {
-                    let next = self.eval_condition(c, current.as_ref());
-                    current = Some(next);
-                    if current.as_ref().map(|s| s.is_empty()).unwrap_or(false) {
-                        return Ok(HashSet::new());
+                let mut stream: Option<IdStream<'a>> = None;
+                for c in t1.into_iter().chain(t2) {
+                    let next = self.stream_condition(c);
+                    stream = Some(match stream {
+                        Some(acc) => acc.intersect(next),
+                        None => next,
+                    });
+                    if stream.as_ref().is_some_and(IdStream::is_trivially_empty) {
+                        return Ok(IdStream::Empty);
                     }
                 }
-                let mut acc = current.unwrap_or_else(|| self.table.all_ids());
-                for sub in complex {
-                    let rhs = self.eval_ordered(sub)?;
-                    acc.retain(|id| rhs.contains(id));
-                    if acc.is_empty() {
-                        break;
+                for c in t3 {
+                    // Type III boundaries run on the records surviving the index-driven
+                    // layers (the paper's step 3): when an equality stream exists, the
+                    // boundary becomes a per-candidate column check instead of a
+                    // materialized (and sorted) range-sized id vector.
+                    let next = match (&stream, self.range_predicate(c)) {
+                        (Some(_), Some(predicate)) => {
+                            let inner = stream.take().expect("checked above");
+                            IdStream::Filter(Box::new(inner), predicate)
+                        }
+                        _ => {
+                            let next = self.stream_condition(c);
+                            match stream.take() {
+                                Some(acc) => acc.intersect(next),
+                                None => next,
+                            }
+                        }
+                    };
+                    stream = Some(next);
+                    if stream.as_ref().is_some_and(IdStream::is_trivially_empty) {
+                        return Ok(IdStream::Empty);
                     }
+                }
+                let mut acc = stream.unwrap_or_else(|| IdStream::All(0..self.table.len() as u32));
+                for sub in complex {
+                    acc = acc.intersect(self.stream_ordered(sub)?);
                 }
                 Ok(acc)
             }
         }
     }
 
-    /// Generic (unordered) expression evaluation over an explicit candidate set; used by
-    /// the superlatives-first ablation path.
-    fn eval_expr(
-        &self,
-        expr: &BoolExpr,
-        candidates: &HashSet<RecordId>,
-    ) -> DbResult<Vec<RecordId>> {
-        let matched = self.eval_ordered(expr)?;
-        Ok(candidates.iter().filter(|id| matched.contains(id)).copied().collect())
+    /// Inclusive numeric bounds of an indexable boundary comparison, `None` when the
+    /// condition is not a plain numeric range (negated, no-index mode, text equality,
+    /// substring).
+    fn range_predicate(&self, cond: &Condition) -> Option<RangePredicate<'a>> {
+        if !self.options.use_indexes || cond.negated {
+            return None;
+        }
+        let (low, high) = match &cond.comparison {
+            Comparison::Eq(crate::value::Value::Number(n)) => (*n, *n),
+            Comparison::Lt(b) => (f64::NEG_INFINITY, prev_float(*b)),
+            Comparison::Le(b) => (f64::NEG_INFINITY, *b),
+            Comparison::Gt(b) => (next_float(*b), f64::INFINITY),
+            Comparison::Ge(b) => (*b, f64::INFINITY),
+            Comparison::Between(lo, hi) => (*lo, *hi),
+            _ => return None,
+        };
+        Some(RangePredicate {
+            column: self.table.numeric_column(&cond.attribute),
+            low,
+            high,
+        })
     }
 
-    /// Evaluate one condition, optionally restricted to a candidate set produced by the
-    /// previous evaluation step.
-    fn eval_condition(
-        &self,
-        cond: &Condition,
-        candidates: Option<&HashSet<RecordId>>,
-    ) -> HashSet<RecordId> {
-        let matched: HashSet<RecordId> = if self.options.use_indexes && !cond.negated {
+    /// Evaluate one condition into a sorted id stream. Equality conditions borrow their
+    /// posting list; everything else materializes one sorted vector.
+    fn stream_condition(&self, cond: &Condition) -> IdStream<'a> {
+        if self.options.use_indexes && !cond.negated {
+            let sorted_range = |low: f64, high: f64| {
+                let mut ids = self.table.lookup_range(&cond.attribute, low, high);
+                ids.sort_unstable();
+                IdStream::Owned(ids.into_iter())
+            };
             match &cond.comparison {
-                Comparison::Eq(crate::value::Value::Text(v)) => {
-                    self.table.lookup_eq(&cond.attribute, v).into_iter().collect()
-                }
-                Comparison::Eq(crate::value::Value::Number(n)) => self
+                Comparison::Eq(crate::value::Value::Text(v)) => self
                     .table
-                    .lookup_range(&cond.attribute, *n, *n)
-                    .into_iter()
-                    .collect(),
-                Comparison::Lt(b) => self
-                    .table
-                    .lookup_range(&cond.attribute, f64::NEG_INFINITY, prev_float(*b))
-                    .into_iter()
-                    .collect(),
-                Comparison::Le(b) => self
-                    .table
-                    .lookup_range(&cond.attribute, f64::NEG_INFINITY, *b)
-                    .into_iter()
-                    .collect(),
-                Comparison::Gt(b) => self
-                    .table
-                    .lookup_range(&cond.attribute, next_float(*b), f64::INFINITY)
-                    .into_iter()
-                    .collect(),
-                Comparison::Ge(b) => self
-                    .table
-                    .lookup_range(&cond.attribute, *b, f64::INFINITY)
-                    .into_iter()
-                    .collect(),
-                Comparison::Between(lo, hi) => self
-                    .table
-                    .lookup_range(&cond.attribute, *lo, *hi)
-                    .into_iter()
-                    .collect(),
+                    .posting_list(&cond.attribute, v)
+                    .map(|list| IdStream::Slice(list.iter()))
+                    .unwrap_or(IdStream::Empty),
+                Comparison::Eq(crate::value::Value::Number(n)) => sorted_range(*n, *n),
+                Comparison::Lt(b) => sorted_range(f64::NEG_INFINITY, prev_float(*b)),
+                Comparison::Le(b) => sorted_range(f64::NEG_INFINITY, *b),
+                Comparison::Gt(b) => sorted_range(next_float(*b), f64::INFINITY),
+                Comparison::Ge(b) => sorted_range(*b, f64::INFINITY),
+                Comparison::Between(lo, hi) => sorted_range(*lo, *hi),
                 Comparison::Contains(needle) => {
                     // Substring index pre-filter, then verify.
-                    let cands = self
+                    let mut ids: Vec<RecordId> = self
                         .table
                         .substring_index()
-                        .substring_candidates(&cond.attribute, needle);
-                    cands
+                        .substring_candidates(&cond.attribute, needle)
                         .into_iter()
                         .filter(|id| {
                             self.table
@@ -266,40 +413,66 @@ impl<'a> Executor<'a> {
                                 .map(|r| cond.matches_value(r.get(&cond.attribute)))
                                 .unwrap_or(false)
                         })
-                        .collect()
+                        .collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    IdStream::Owned(ids.into_iter())
                 }
             }
         } else {
-            // Full scan (negated conditions and the no-index ablation).
-            self.table
+            // Full scan (negated conditions and the no-index ablation); table iteration
+            // yields ids in ascending order already.
+            let ids: Vec<RecordId> = self
+                .table
                 .iter()
                 .filter(|(_, r)| cond.matches_value(r.get(&cond.attribute)))
                 .map(|(id, _)| id)
-                .collect()
-        };
-        match candidates {
-            Some(c) => matched.intersection(c).copied().collect(),
-            None => matched,
+                .collect();
+            IdStream::Owned(ids.into_iter())
         }
     }
 
-    fn apply_superlatives(
+    /// Apply superlatives over an ascending candidate vector, returning the surviving
+    /// ids ascending. Membership tests inside [`Table::extreme_sorted`] are binary
+    /// searches — no hash set is ever built.
+    fn apply_superlatives_sorted(
         &self,
         query: &Query,
-        mut candidates: HashSet<RecordId>,
-    ) -> DbResult<HashSet<RecordId>> {
+        mut candidates: Vec<RecordId>,
+    ) -> DbResult<Vec<RecordId>> {
         for s in &query.superlatives {
             if candidates.is_empty() {
                 return Ok(candidates);
             }
             let max = matches!(s.kind, SuperlativeKind::Max);
-            match self.table.extreme(&s.attribute, &candidates, max) {
-                Some((_, ids)) => candidates = ids.into_iter().collect(),
+            match self.table.extreme_sorted(&s.attribute, &candidates, max) {
+                Some((_, ids)) => {
+                    candidates = ids;
+                    candidates.sort_unstable();
+                }
                 None => candidates.clear(),
             }
         }
         Ok(candidates)
     }
+}
+
+/// Two-pointer intersection of two ascending id slices.
+fn intersect_sorted(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+            Ordering::Less => i += 1,
+            Ordering::Greater => j += 1,
+        }
+    }
+    out
 }
 
 fn next_float(x: f64) -> f64 {
@@ -362,7 +535,10 @@ mod tests {
             .with_condition(Condition::new("price", Comparison::Lt(15_000.0)));
         let answers = Executor::new(&t).execute(&q).unwrap();
         assert_eq!(answers.len(), 1);
-        assert_eq!(t.get(answers[0].id).unwrap().get_text("model"), Some("accord"));
+        assert_eq!(
+            t.get(answers[0].id).unwrap().get_text("model"),
+            Some("accord")
+        );
     }
 
     #[test]

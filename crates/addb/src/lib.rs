@@ -77,12 +77,12 @@ pub mod value;
 
 pub use database::Database;
 pub use error::{DbError, DbResult};
-pub use exec::{ExecOptions, Executor, QueryAnswer};
+pub use exec::{ExecOptions, Executor, IdStream, QueryAnswer};
 pub use query::{BoolExpr, Comparison, Condition, Query, Superlative, SuperlativeKind};
 pub use record::{Record, RecordBuilder, RecordId};
 pub use schema::{AttrType, AttributeDef, Schema, SchemaBuilder};
 pub use substring::SubstringIndex;
-pub use table::Table;
+pub use table::{NumericColumn, Table, TextCell, TextColumn};
 pub use value::Value;
 
 /// Convenience re-exports for downstream crates and doctests.

@@ -404,9 +404,16 @@ mod tests {
                 BoolExpr::Cond(Condition::eq("make", "honda")),
                 BoolExpr::Cond(Condition::eq("color", "blue")),
             ]),
-            BoolExpr::Not(Box::new(BoolExpr::Cond(Condition::eq("transmission", "manual")))),
+            BoolExpr::Not(Box::new(BoolExpr::Cond(Condition::eq(
+                "transmission",
+                "manual",
+            )))),
         ]);
-        let attrs: Vec<_> = expr.conditions().iter().map(|c| c.attribute.clone()).collect();
+        let attrs: Vec<_> = expr
+            .conditions()
+            .iter()
+            .map(|c| c.attribute.clone())
+            .collect();
         assert_eq!(attrs, vec!["make", "color", "transmission"]);
         assert_eq!(expr.condition_count(), 3);
     }

@@ -29,7 +29,9 @@ pub struct Record {
 impl Record {
     /// Start building a record.
     pub fn builder() -> RecordBuilder {
-        RecordBuilder { record: Record::default() }
+        RecordBuilder {
+            record: Record::default(),
+        }
     }
 
     /// Get the value stored for an attribute, if any.
@@ -49,7 +51,8 @@ impl Record {
 
     /// Set (or replace) an attribute value.
     pub fn set(&mut self, attribute: impl Into<String>, value: impl Into<Value>) {
-        self.fields.insert(attribute.into().to_lowercase(), value.into());
+        self.fields
+            .insert(attribute.into().to_lowercase(), value.into());
     }
 
     /// True if the record carries a value for the attribute.
@@ -167,7 +170,10 @@ mod tests {
 
     #[test]
     fn display_lists_fields() {
-        let r = Record::builder().text("make", "honda").number("year", 2004.0).build();
+        let r = Record::builder()
+            .text("make", "honda")
+            .number("year", 2004.0)
+            .build();
         let s = r.to_string();
         assert!(s.contains("make: honda"));
         assert!(s.contains("year: 2004"));

@@ -96,15 +96,18 @@ impl Schema {
 
     /// Look up an attribute by (lowercase) name.
     pub fn attribute(&self, name: &str) -> Option<&AttributeDef> {
-        self.by_name.get(&name.to_lowercase()).map(|&i| &self.attributes[i])
+        self.by_name
+            .get(&name.to_lowercase())
+            .map(|&i| &self.attributes[i])
     }
 
     /// Like [`Schema::attribute`] but producing the crate error type.
     pub fn require(&self, name: &str) -> DbResult<&AttributeDef> {
-        self.attribute(name).ok_or_else(|| DbError::UnknownAttribute {
-            table: self.name.clone(),
-            attribute: name.to_string(),
-        })
+        self.attribute(name)
+            .ok_or_else(|| DbError::UnknownAttribute {
+                table: self.name.clone(),
+                attribute: name.to_string(),
+            })
     }
 
     /// Names of all Type I attributes (the primary-indexed identifier columns).
@@ -206,7 +209,11 @@ impl SchemaBuilder {
                 self.name
             )));
         }
-        if !self.attributes.iter().any(|a| a.attr_type == AttrType::TypeI) {
+        if !self
+            .attributes
+            .iter()
+            .any(|a| a.attr_type == AttrType::TypeI)
+        {
             return Err(DbError::InvalidSchema(format!(
                 "schema `{}` has no Type I attribute; every ad must have a unique identifier",
                 self.name
@@ -221,7 +228,9 @@ impl SchemaBuilder {
                 )));
             }
             if let Some((lo, hi)) = attr.range {
-                if !(hi > lo) {
+                // NaN bounds must fail validation too, so compare via partial_cmp
+                // rather than `hi <= lo`.
+                if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
                     return Err(DbError::InvalidSchema(format!(
                         "attribute `{}` has a degenerate range [{lo}, {hi}]",
                         attr.name
@@ -277,10 +286,18 @@ mod tests {
     fn numeric_candidates_follow_ranges_like_example_3() {
         let s = car_schema();
         // 2000 is a valid year, price and mileage.
-        let names: Vec<_> = s.numeric_candidates(2000.0).iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<_> = s
+            .numeric_candidates(2000.0)
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names, vec!["price", "year", "mileage"]);
         // 4000 is not a valid year.
-        let names: Vec<_> = s.numeric_candidates(4000.0).iter().map(|a| a.name.as_str()).collect();
+        let names: Vec<_> = s
+            .numeric_candidates(4000.0)
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names, vec!["price", "mileage"]);
         // 500000 is outside every range.
         assert!(s.numeric_candidates(500_000.0).is_empty());
@@ -302,7 +319,11 @@ mod tests {
 
     #[test]
     fn schema_rejects_duplicates_and_bad_ranges() {
-        let err = Schema::builder("bad").type1("make").type1("make").build().unwrap_err();
+        let err = Schema::builder("bad")
+            .type1("make")
+            .type1("make")
+            .build()
+            .unwrap_err();
         assert!(matches!(err, DbError::InvalidSchema(_)));
         let err = Schema::builder("bad")
             .type1("make")

@@ -13,7 +13,10 @@ use crate::query::{BoolExpr, Comparison, Condition, Query, SuperlativeKind};
 pub fn render(query: &Query) -> String {
     let table = &query.table;
     let id_col = format!("{}_id", singular(table));
-    let mut sql = format!("SELECT * FROM {table} WHERE {}", render_expr(&query.expr, table, &id_col));
+    let mut sql = format!(
+        "SELECT * FROM {table} WHERE {}",
+        render_expr(&query.expr, table, &id_col)
+    );
     for s in &query.superlatives {
         let dir = match s.kind {
             SuperlativeKind::Min => "ASC",
@@ -80,7 +83,8 @@ mod tests {
             .with_condition(Condition::eq("color", "blue"));
         let sql = render(&q);
         assert!(sql.starts_with("SELECT * FROM cars WHERE"));
-        assert!(sql.contains("car_id IN (SELECT car_id FROM cars C WHERE C.transmission = 'automatic')"));
+        assert!(sql
+            .contains("car_id IN (SELECT car_id FROM cars C WHERE C.transmission = 'automatic')"));
         assert!(sql.contains("car_id IN (SELECT car_id FROM cars C WHERE C.color = 'blue')"));
         assert!(sql.contains(" AND "));
         assert!(sql.ends_with("LIMIT 30"));

@@ -116,7 +116,9 @@ fn trigrams(value: &str) -> impl Iterator<Item = String> + '_ {
     let chars: Vec<char> = value.chars().collect();
     let n = chars.len();
     (0..n.saturating_sub(SUBSTRING_KEY_LEN - 1)).map(move |i| {
-        chars[i..(i + SUBSTRING_KEY_LEN).min(n)].iter().collect::<String>()
+        chars[i..(i + SUBSTRING_KEY_LEN).min(n)]
+            .iter()
+            .collect::<String>()
     })
 }
 

@@ -5,25 +5,76 @@
 //! * All categorical values also feed the length-3 **substring index** of Section 4.5.
 //! * Type III attribute values are stored in per-column sorted vectors so that range
 //!   and superlative evaluation does not need to touch unrelated records.
+//!
+//! In addition to the indexes, every categorical value is **interned at insert time**
+//! ([`TextCell`]): the normalized value and its stemmed words become integer symbols,
+//! so similarity scoring during partial matching never re-normalizes or re-stems a
+//! stored string. Posting lists are kept **sorted by record id** (ids are assigned in
+//! insertion order and appended monotonically), which lets the executor intersect them
+//! by sorted merge instead of hashing. Records themselves live behind [`Arc`] so
+//! answers can share them without deep-cloning.
 
 use crate::error::{DbError, DbResult};
 use crate::record::{Record, RecordId};
 use crate::schema::{AttrType, Schema};
 use crate::substring::SubstringIndex;
 use crate::value::Value;
+use cqads_text::intern::{self, Sym};
+use cqads_text::porter_stem;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Interned form of one categorical cell, computed once at insert time.
+#[derive(Debug, Clone)]
+pub struct TextCell {
+    /// Symbol of the full normalized value (lowercase, whitespace-collapsed).
+    pub sym: Sym,
+    /// Symbols of the Porter-stemmed whitespace-separated words of the value.
+    pub stems: Box<[Sym]>,
+}
+
+/// Per-attribute column of interned categorical cells, indexed by record id.
+#[derive(Debug, Clone, Default)]
+pub struct TextColumn {
+    cells: Vec<Option<TextCell>>,
+}
+
+impl TextColumn {
+    /// The interned cell of `id`, if the record carries this attribute.
+    pub fn cell(&self, id: RecordId) -> Option<&TextCell> {
+        self.cells.get(id.0 as usize).and_then(Option::as_ref)
+    }
+}
+
+/// Per-attribute column of numeric values, indexed by record id (O(1) per-record
+/// access; the sorted `(value, id)` vector remains the range/superlative index).
+#[derive(Debug, Clone, Default)]
+pub struct NumericColumn {
+    values: Vec<Option<f64>>,
+}
+
+impl NumericColumn {
+    /// The numeric value of `id`, if the record carries this attribute.
+    pub fn value(&self, id: RecordId) -> Option<f64> {
+        self.values.get(id.0 as usize).and_then(|v| *v)
+    }
+}
 
 /// One ads domain table: schema, rows and indexes.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    records: Vec<Record>,
-    /// attribute -> text value -> record ids (Type I).
+    records: Vec<Arc<Record>>,
+    /// attribute -> text value -> record ids sorted ascending (Type I).
     primary: HashMap<String, HashMap<String, Vec<RecordId>>>,
-    /// attribute -> text value -> record ids (Type II).
+    /// attribute -> text value -> record ids sorted ascending (Type II).
     secondary: HashMap<String, HashMap<String, Vec<RecordId>>>,
     /// attribute -> (value, record id) sorted by value (Type III).
     numeric: HashMap<String, Vec<(f64, RecordId)>>,
+    /// attribute -> interned cells by record id (Type I and Type II).
+    text_cols: HashMap<String, TextColumn>,
+    /// attribute -> numeric value by record id (Type III).
+    num_cols: HashMap<String, NumericColumn>,
     substring: SubstringIndex,
 }
 
@@ -33,16 +84,21 @@ impl Table {
         let mut primary = HashMap::new();
         let mut secondary = HashMap::new();
         let mut numeric = HashMap::new();
+        let mut text_cols = HashMap::new();
+        let mut num_cols = HashMap::new();
         for attr in schema.attributes() {
             match attr.attr_type {
                 AttrType::TypeI => {
                     primary.insert(attr.name.clone(), HashMap::new());
+                    text_cols.insert(attr.name.clone(), TextColumn::default());
                 }
                 AttrType::TypeII => {
                     secondary.insert(attr.name.clone(), HashMap::new());
+                    text_cols.insert(attr.name.clone(), TextColumn::default());
                 }
                 AttrType::TypeIII => {
                     numeric.insert(attr.name.clone(), Vec::new());
+                    num_cols.insert(attr.name.clone(), NumericColumn::default());
                 }
             }
         }
@@ -52,6 +108,8 @@ impl Table {
             primary,
             secondary,
             numeric,
+            text_cols,
+            num_cols,
             substring: SubstringIndex::new(),
         }
     }
@@ -121,6 +179,8 @@ impl Table {
                         AttrType::TypeIII => None,
                     };
                     if let Some(index) = target {
+                        // `id` is monotonically increasing, so posting lists stay
+                        // sorted ascending without an explicit sort.
                         index.entry(text.clone()).or_default().push(id);
                     }
                 }
@@ -132,13 +192,36 @@ impl Table {
                 }
             }
         }
-        self.records.push(record);
+        // Interned column stores: one slot per record in every column, so columns stay
+        // aligned with record ids. Values are already normalized (lowercased) by
+        // `Value::text`; stems mirror the WS-matrix convention (stem of the lowercase
+        // word), so hot-path scoring needs no further normalization.
+        for (name, col) in self.text_cols.iter_mut() {
+            let cell = record.get_text(name).map(|text| TextCell {
+                sym: intern::intern(text),
+                stems: text
+                    .split_whitespace()
+                    .map(|w| intern::intern(&porter_stem(w)))
+                    .collect(),
+            });
+            col.cells.push(cell);
+        }
+        for (name, col) in self.num_cols.iter_mut() {
+            col.values.push(record.get_number(name));
+        }
+        self.records.push(Arc::new(record));
         Ok(id)
     }
 
     /// Fetch a record by id.
     pub fn get(&self, id: RecordId) -> Option<&Record> {
-        self.records.get(id.0 as usize)
+        self.records.get(id.0 as usize).map(Arc::as_ref)
+    }
+
+    /// Fetch a shared handle to a record by id (answers hold this instead of cloning
+    /// the whole record).
+    pub fn get_shared(&self, id: RecordId) -> Option<Arc<Record>> {
+        self.records.get(id.0 as usize).cloned()
     }
 
     /// Iterate over `(id, record)` pairs.
@@ -146,7 +229,7 @@ impl Table {
         self.records
             .iter()
             .enumerate()
-            .map(|(i, r)| (RecordId(i as u32), r))
+            .map(|(i, r)| (RecordId(i as u32), r.as_ref()))
     }
 
     /// All record ids in the table.
@@ -154,18 +237,32 @@ impl Table {
         (0..self.records.len() as u32).map(RecordId).collect()
     }
 
+    /// Interned categorical column of an attribute (Type I / Type II).
+    pub fn text_column(&self, attribute: &str) -> Option<&TextColumn> {
+        self.text_cols.get(attribute)
+    }
+
+    /// Record-id-indexed numeric column of an attribute (Type III).
+    pub fn numeric_column(&self, attribute: &str) -> Option<&NumericColumn> {
+        self.num_cols.get(attribute)
+    }
+
     /// Records whose Type I or Type II `attribute` equals `value`, via the hash indexes.
     pub fn lookup_eq(&self, attribute: &str, value: &str) -> Vec<RecordId> {
+        self.posting_list(attribute, value)
+            .map(<[RecordId]>::to_vec)
+            .unwrap_or_default()
+    }
+
+    /// Zero-copy view of the posting list for a categorical equality: record ids
+    /// sorted ascending. `None` when the attribute has no index entry for the value.
+    pub fn posting_list(&self, attribute: &str, value: &str) -> Option<&[RecordId]> {
         let value = crate::value::normalize_text(value);
-        let from_index = self
-            .primary
+        self.primary
             .get(attribute)
             .or_else(|| self.secondary.get(attribute))
-            .and_then(|m| m.get(&value));
-        match from_index {
-            Some(ids) => ids.clone(),
-            None => Vec::new(),
-        }
+            .and_then(|m| m.get(&value))
+            .map(Vec::as_slice)
     }
 
     /// Records whose numeric `attribute` lies in `[low, high]`, via the sorted column.
@@ -195,11 +292,38 @@ impl Table {
         } else {
             Box::new(col.iter())
         };
-        let (best, first) = iter.find(|(_, id)| candidates.contains(id)).map(|(v, id)| (*v, *id))?;
+        let (best, first) = iter
+            .find(|(_, id)| candidates.contains(id))
+            .map(|(v, id)| (*v, *id))?;
         // Collect every candidate sharing the extreme value.
         let mut ids = vec![first];
         for (v, id) in col.iter() {
             if (*v - best).abs() < 1e-9 && *id != first && candidates.contains(id) {
+                ids.push(*id);
+            }
+        }
+        Some((best, ids))
+    }
+
+    /// [`Table::extreme`] over a candidate slice sorted by record id (membership by
+    /// binary search — no hash set needed on the executor's sorted-merge path).
+    pub fn extreme_sorted(
+        &self,
+        attribute: &str,
+        candidates: &[RecordId],
+        max: bool,
+    ) -> Option<(f64, Vec<RecordId>)> {
+        let col = self.numeric.get(attribute)?;
+        let contains = |id: &RecordId| candidates.binary_search(id).is_ok();
+        let mut iter: Box<dyn Iterator<Item = &(f64, RecordId)>> = if max {
+            Box::new(col.iter().rev())
+        } else {
+            Box::new(col.iter())
+        };
+        let (best, first) = iter.find(|(_, id)| contains(id)).map(|(v, id)| (*v, *id))?;
+        let mut ids = vec![first];
+        for (v, id) in col.iter() {
+            if (*v - best).abs() < 1e-9 && *id != first && contains(id) {
                 ids.push(*id);
             }
         }
@@ -263,10 +387,14 @@ mod tests {
 
     fn sample_table() -> Table {
         let mut t = Table::new(car_schema());
-        t.insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0)).unwrap();
-        t.insert(car("honda", "accord", "gold", "manual", 16536.0, 2009.0)).unwrap();
-        t.insert(car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0)).unwrap();
-        t.insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0)).unwrap();
+        t.insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0))
+            .unwrap();
+        t.insert(car("honda", "accord", "gold", "manual", 16536.0, 2009.0))
+            .unwrap();
+        t.insert(car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0))
+            .unwrap();
+        t.insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0))
+            .unwrap();
         t
     }
 
@@ -286,13 +414,19 @@ mod tests {
             .text("model", "accord")
             .text("price", "cheap")
             .build();
-        assert!(matches!(t.insert(bad_type).unwrap_err(), DbError::TypeMismatch { .. }));
+        assert!(matches!(
+            t.insert(bad_type).unwrap_err(),
+            DbError::TypeMismatch { .. }
+        ));
         let unknown = Record::builder()
             .text("make", "honda")
             .text("model", "accord")
             .text("wheels", "4")
             .build();
-        assert!(matches!(t.insert(unknown).unwrap_err(), DbError::UnknownAttribute { .. }));
+        assert!(matches!(
+            t.insert(unknown).unwrap_err(),
+            DbError::UnknownAttribute { .. }
+        ));
     }
 
     #[test]
@@ -334,7 +468,10 @@ mod tests {
         let t = sample_table();
         assert_eq!(t.observed_range("price"), Some((6600.0, 16536.0)));
         assert_eq!(t.observed_range("nonexistent"), None);
-        assert_eq!(t.distinct_text_values("make"), vec!["ford", "honda", "toyota"]);
+        assert_eq!(
+            t.distinct_text_values("make"),
+            vec!["ford", "honda", "toyota"]
+        );
         assert_eq!(t.distinct_text_values("color").len(), 2);
     }
 

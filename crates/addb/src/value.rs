@@ -148,7 +148,10 @@ mod tests {
 
     #[test]
     fn text_is_normalized() {
-        assert_eq!(Value::text("  Honda   Accord "), Value::Text("honda accord".into()));
+        assert_eq!(
+            Value::text("  Honda   Accord "),
+            Value::Text("honda accord".into())
+        );
         assert_eq!(Value::text("BMW"), Value::text("bmw"));
     }
 

@@ -86,7 +86,10 @@ impl AimqRanker {
                     }
                 }
                 ConditionSketch::Numeric {
-                    attribute, value, value2, ..
+                    attribute,
+                    value,
+                    value2,
+                    ..
                 } => {
                     let target = match value2 {
                         Some(v2) => (value + v2) / 2.0,

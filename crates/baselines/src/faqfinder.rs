@@ -142,7 +142,10 @@ mod tests {
         let r = table.get(RecordId(1)).unwrap(); // the 16,536-dollar accord
         let a = ranker.score(&with_price, r, &df, n);
         let b = ranker.score(&without_price, r, &df, n);
-        assert!((a - b).abs() < 1e-9, "price constraint changed a TF-IDF score");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "price constraint changed a TF-IDF score"
+        );
     }
 
     #[test]

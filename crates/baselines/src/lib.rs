@@ -32,7 +32,6 @@ pub use random::RandomRanker;
 
 use addb::{Record, RecordId, Table};
 use cqads::translate::{ConditionSketch, Interpretation};
-use cqads::BoundaryOp;
 
 /// A ranking strategy for partially-matched answers.
 pub trait Ranker {
@@ -54,7 +53,10 @@ pub fn satisfies(record: &Record, sketch: &ConditionSketch) -> bool {
             negated,
             ..
         } => {
-            let held = record.get_text(attribute).map(|v| v == value).unwrap_or(false);
+            let held = record
+                .get_text(attribute)
+                .map(|v| v == value)
+                .unwrap_or(false);
             if *negated {
                 !held
             } else {
@@ -71,36 +73,20 @@ pub fn satisfies(record: &Record, sketch: &ConditionSketch) -> bool {
             let held = match attribute {
                 Some(attr) => record
                     .get_number(attr)
-                    .map(|n| numeric_matches(*op, *value, *value2, n))
+                    .map(|n| cqads::boundary_matches(*op, *value, *value2, n))
                     .unwrap_or(false),
                 // An incomplete condition is satisfied if any numeric attribute matches.
-                None => record
-                    .fields()
-                    .any(|(_, v)| {
-                        v.as_number()
-                            .map(|n| numeric_matches(*op, *value, *value2, n))
-                            .unwrap_or(false)
-                    }),
+                None => record.fields().any(|(_, v)| {
+                    v.as_number()
+                        .map(|n| cqads::boundary_matches(*op, *value, *value2, n))
+                        .unwrap_or(false)
+                }),
             };
             if *negated {
                 !held
             } else {
                 held
             }
-        }
-    }
-}
-
-fn numeric_matches(op: BoundaryOp, value: f64, value2: Option<f64>, actual: f64) -> bool {
-    match op {
-        BoundaryOp::Lt => actual < value,
-        BoundaryOp::Le => actual <= value,
-        BoundaryOp::Gt => actual > value,
-        BoundaryOp::Ge => actual >= value,
-        BoundaryOp::Eq => (actual - value).abs() < 1e-9,
-        BoundaryOp::Between => {
-            let hi = value2.unwrap_or(value);
-            actual >= value.min(hi) && actual <= value.max(hi)
         }
     }
 }
@@ -130,14 +116,52 @@ pub(crate) mod test_support {
         let spec = toy_car_domain();
         let mut table = Table::new(spec.schema.clone());
         let rows = [
-            ("honda", "accord", "blue", "automatic", 6600.0, 2004.0, 80_000.0),
-            ("honda", "accord", "gold", "manual", 16536.0, 2009.0, 30_000.0),
-            ("honda", "civic", "red", "automatic", 4500.0, 2001.0, 120_000.0),
-            ("toyota", "camry", "blue", "automatic", 8561.0, 2006.0, 60_000.0),
-            ("toyota", "corolla", "silver", "manual", 3900.0, 1999.0, 150_000.0),
+            (
+                "honda",
+                "accord",
+                "blue",
+                "automatic",
+                6600.0,
+                2004.0,
+                80_000.0,
+            ),
+            (
+                "honda", "accord", "gold", "manual", 16536.0, 2009.0, 30_000.0,
+            ),
+            (
+                "honda",
+                "civic",
+                "red",
+                "automatic",
+                4500.0,
+                2001.0,
+                120_000.0,
+            ),
+            (
+                "toyota",
+                "camry",
+                "blue",
+                "automatic",
+                8561.0,
+                2006.0,
+                60_000.0,
+            ),
+            (
+                "toyota", "corolla", "silver", "manual", 3900.0, 1999.0, 150_000.0,
+            ),
             ("ford", "focus", "blue", "manual", 6795.0, 2005.0, 90_000.0),
-            ("ford", "mustang", "red", "manual", 21_000.0, 2010.0, 15_000.0),
-            ("chevy", "malibu", "blue", "automatic", 5899.0, 2003.0, 95_000.0),
+            (
+                "ford", "mustang", "red", "manual", 21_000.0, 2010.0, 15_000.0,
+            ),
+            (
+                "chevy",
+                "malibu",
+                "blue",
+                "automatic",
+                5899.0,
+                2003.0,
+                95_000.0,
+            ),
         ];
         for (make, model, color, trans, price, year, mileage) in rows {
             table

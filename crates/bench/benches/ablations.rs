@@ -9,15 +9,19 @@
 //! * **Relaxation depth** — the N−1 strategy vs relaxing two conditions (N−2), the
 //!   quality/latency trade-off discussed in Section 4.3.1.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use addb::{ExecOptions, Executor, Query, Superlative};
 use cqads::translate::Interpretation;
 use cqads_bench::shared_testbed;
 use cqads_classifier::{BetaBinomialNb, Classifier, MultinomialNb};
-use addb::{ExecOptions, Executor, Query, Superlative};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn eval_order(c: &mut Criterion) {
     let bed = shared_testbed();
-    let table = bed.system.database().table("cars").expect("cars registered");
+    let table = bed
+        .system
+        .database()
+        .table("cars")
+        .expect("cars registered");
     let query = Query::new("cars")
         .with_condition(addb::Condition::eq("make", "honda"))
         .with_superlative(Superlative::min("price"));
@@ -56,7 +60,10 @@ fn classifier(c: &mut Criterion) {
         .map(|q| {
             (
                 q.domain.as_str(),
-                q.text.split_whitespace().map(|t| t.to_lowercase()).collect(),
+                q.text
+                    .split_whitespace()
+                    .map(|t| t.to_lowercase())
+                    .collect(),
             )
         })
         .collect();
@@ -90,7 +97,11 @@ fn classifier(c: &mut Criterion) {
 fn indexes(c: &mut Criterion) {
     let bed = shared_testbed();
     let spec = bed.spec("cars");
-    let table = bed.system.database().table("cars").expect("cars registered");
+    let table = bed
+        .system
+        .database()
+        .table("cars")
+        .expect("cars registered");
     // The exact queries of every car question that interprets cleanly.
     let queries: Vec<Query> = bed
         .questions_for("cars")
@@ -115,18 +126,30 @@ fn indexes(c: &mut Criterion) {
         superlatives_first: false,
         use_indexes: false,
     };
-    assert_eq!(run(with_idx), run(without_idx), "index and scan paths must agree");
+    assert_eq!(
+        run(with_idx),
+        run(without_idx),
+        "index and scan paths must agree"
+    );
     let mut group = c.benchmark_group("ablation_substring_index");
     group.sample_size(10);
-    group.bench_function("indexed", |b| b.iter(|| std::hint::black_box(run(with_idx))));
-    group.bench_function("full_scan", |b| b.iter(|| std::hint::black_box(run(without_idx))));
+    group.bench_function("indexed", |b| {
+        b.iter(|| std::hint::black_box(run(with_idx)))
+    });
+    group.bench_function("full_scan", |b| {
+        b.iter(|| std::hint::black_box(run(without_idx)))
+    });
     group.finish();
 }
 
 fn relaxation(c: &mut Criterion) {
     let bed = shared_testbed();
     let spec = bed.spec("cars");
-    let table = bed.system.database().table("cars").expect("cars registered");
+    let table = bed
+        .system
+        .database()
+        .table("cars")
+        .expect("cars registered");
     let interp: Interpretation = bed
         .system
         .interpret_in_domain("blue honda accord automatic under 15000 dollars", "cars")
@@ -163,8 +186,12 @@ fn relaxation(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("ablation_relaxation");
     group.sample_size(20);
-    group.bench_function("n_minus_1", |b| b.iter(|| std::hint::black_box(n_minus_1())));
-    group.bench_function("n_minus_2", |b| b.iter(|| std::hint::black_box(n_minus_2())));
+    group.bench_function("n_minus_1", |b| {
+        b.iter(|| std::hint::black_box(n_minus_1()))
+    });
+    group.bench_function("n_minus_2", |b| {
+        b.iter(|| std::hint::black_box(n_minus_2()))
+    });
     group.finish();
 }
 

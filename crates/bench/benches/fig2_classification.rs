@@ -1,9 +1,9 @@
 //! Figure 2 bench: classify the full question workload with the JBBSM classifier and
 //! report the per-domain accuracies as the measured artifact.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::fig2_classification;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();

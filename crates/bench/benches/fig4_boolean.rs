@@ -1,8 +1,8 @@
 //! Figure 4 bench: Boolean-interpretation accuracy over the ten survey questions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::fig4_boolean;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();

@@ -2,10 +2,10 @@
 //! the 40 test questions, plus a per-ranker timing breakdown of a single question so
 //! the relative cost of each ranking strategy is visible in isolation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_baselines::{AimqRanker, CosineRanker, FaqFinderRanker, RandomRanker, Ranker};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::fig5_ranking;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();
@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
 
     // Per-ranker micro comparison on one interpreted question.
     let question = &fig5_ranking::test_questions(bed)[0];
-    let table = bed.system.database().table(&question.domain).expect("registered");
+    let table = bed
+        .system
+        .database()
+        .table(&question.domain)
+        .expect("registered");
     let interp = question.gold.clone();
     let rankers: Vec<Box<dyn Ranker>> = vec![
         Box::new(RandomRanker::new(1)),
@@ -33,7 +37,12 @@ fn bench(c: &mut Criterion) {
         });
     }
     group.bench_function("rank_one_question/CQAds", |b| {
-        b.iter(|| std::hint::black_box(bed.system.answer_in_domain(&question.text, &question.domain)))
+        b.iter(|| {
+            std::hint::black_box(
+                bed.system
+                    .answer_in_domain(&question.text, &question.domain),
+            )
+        })
     });
     group.finish();
 }

@@ -1,8 +1,8 @@
 //! Figure 6 bench: average query-processing time of CQAds and the baselines.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::fig6_timing;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();

@@ -1,0 +1,193 @@
+//! Tentpole bench: index-driven bounded top-k partial matching vs the seed's
+//! full-scan/full-sort pipeline, over a ~100k-record generated ads table.
+//!
+//! Besides the criterion groups, the bench measures both engines head-to-head with
+//! wall-clock timing and writes `BENCH_partial_topk.json` at the workspace root with
+//! the observed speedup (skipped in `--test` smoke mode, which runs everything once).
+
+use addb::{Executor, RecordId, Table};
+use cqads::tagging::Tagger;
+use cqads::translate::{interpret, Interpretation};
+use cqads::{PartialMatchOptions, PartialMatcher, SimilarityModel};
+use cqads_datagen::{
+    affinity_model, blueprint, generate_questions, generate_table, topic_groups, QuestionMix,
+};
+use cqads_querylog::{generate_log, LogGeneratorConfig, TIMatrix};
+use cqads_wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TABLE_SIZE: usize = 100_000;
+const BUDGET: usize = 30;
+
+struct Workload {
+    spec: cqads::DomainSpec,
+    sim: SimilarityModel,
+    table: Table,
+    /// Interpreted question + the exact-answer exclusion set the pipeline would use.
+    questions: Vec<(Interpretation, HashSet<RecordId>)>,
+}
+
+fn build_workload(table_size: usize) -> Workload {
+    let bp = blueprint("cars");
+    let table = generate_table(&bp, table_size, 4242);
+    let log = generate_log(
+        &affinity_model(&bp),
+        &LogGeneratorConfig {
+            sessions: 400,
+            seed: 77,
+            ..Default::default()
+        },
+    );
+    let ti = TIMatrix::build(&log);
+    let corpus = SyntheticCorpus::generate(
+        &topic_groups(&bp),
+        &CorpusSpec {
+            documents: 120,
+            ..CorpusSpec::default()
+        },
+    );
+    let ws = WordSimMatrix::build(&corpus);
+    let spec = bp.to_spec();
+    let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+    let tagger = Tagger::new(&spec);
+
+    // Multi-condition questions over real table values: their relaxations stream
+    // large posting-list intersections, which is exactly the hot path under test.
+    let generated = generate_questions(&bp, &table, 80, 99, &QuestionMix::plain_only());
+    let executor = Executor::new(&table);
+    let mut questions = Vec::new();
+    for q in &generated {
+        let Ok(interp) = interpret(&tagger.tag(&q.text), &spec) else {
+            continue;
+        };
+        if interp.all_sketches().len() < 2 {
+            continue;
+        }
+        let Ok(query) = interp.to_query_with_limit(&spec, BUDGET) else {
+            continue;
+        };
+        let Ok(answers) = executor.execute(&query) else {
+            continue;
+        };
+        let exact: HashSet<RecordId> = answers.into_iter().map(|a| a.id).collect();
+        questions.push((interp, exact));
+        if questions.len() == 25 {
+            break;
+        }
+    }
+    assert!(
+        questions.len() >= 10,
+        "workload too small: only {} usable questions",
+        questions.len()
+    );
+    Workload {
+        spec,
+        sim,
+        table,
+        questions,
+    }
+}
+
+/// Run every workload question through a matcher, returning counts and a score
+/// checksum so the work cannot be optimized away.
+fn run_all(matcher: &PartialMatcher<'_>, workload: &Workload) -> (usize, f64) {
+    let mut count = 0usize;
+    let mut checksum = 0.0f64;
+    for (interp, exact) in &workload.questions {
+        let answers = matcher
+            .partial_answers(interp, &workload.table, exact, BUDGET)
+            .expect("partial matching succeeds");
+        count += answers.len();
+        checksum += answers.iter().map(|a| a.rank_sim).sum::<f64>();
+    }
+    (count, checksum)
+}
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let test_mode = c.is_test_mode();
+    let workload = build_workload(if test_mode { 5_000 } else { TABLE_SIZE });
+    let topk = PartialMatcher::new(&workload.spec, &workload.sim);
+    let full_scan = PartialMatcher::with_options(
+        &workload.spec,
+        &workload.sim,
+        PartialMatchOptions { full_scan: true },
+    );
+
+    // Sanity: the two engines agree on the bench workload (the dedicated equivalence
+    // test covers this broadly; here it guards the measured comparison itself).
+    let (fast_count, fast_sum) = run_all(&topk, &workload);
+    let (slow_count, slow_sum) = run_all(&full_scan, &workload);
+    assert_eq!(fast_count, slow_count, "engines disagree on answer counts");
+    assert!(
+        (fast_sum - slow_sum).abs() < 1e-9,
+        "engines disagree on scores"
+    );
+
+    if !test_mode {
+        let iterations = 7usize;
+        let time = |matcher: &PartialMatcher<'_>| -> f64 {
+            // one warmup, then median of timed passes
+            std::hint::black_box(run_all(matcher, &workload));
+            let samples: Vec<f64> = (0..iterations)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(run_all(matcher, &workload));
+                    start.elapsed().as_secs_f64()
+                })
+                .collect();
+            median_secs(samples)
+        };
+        let slow_secs = time(&full_scan);
+        let fast_secs = time(&topk);
+        let speedup = slow_secs / fast_secs;
+        println!(
+            "partial_topk: {} records, {} questions, budget {}: full-scan {:.2} ms/pass, \
+             top-k {:.2} ms/pass, speedup {:.1}x",
+            workload.table.len(),
+            workload.questions.len(),
+            BUDGET,
+            slow_secs * 1e3,
+            fast_secs * 1e3,
+            speedup
+        );
+        let json = serde_json::json!({
+            "bench": "partial_topk",
+            "records": workload.table.len(),
+            "questions": workload.questions.len(),
+            "budget": BUDGET,
+            "iterations": iterations,
+            "partial_answers_per_pass": fast_count,
+            "full_scan_ms_per_pass": slow_secs * 1e3,
+            "topk_ms_per_pass": fast_secs * 1e3,
+            "speedup": speedup,
+        });
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_partial_topk.json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serializable"),
+        )
+        .expect("write BENCH_partial_topk.json");
+        println!("wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("partial_topk");
+    group.sample_size(10);
+    group.bench_function("topk_engine", |b| {
+        b.iter(|| std::hint::black_box(run_all(&topk, &workload)))
+    });
+    group.bench_function("full_scan_ablation", |b| {
+        b.iter(|| std::hint::black_box(run_all(&full_scan, &workload)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! Section 5.3 bench: exact-match precision/recall/F over the whole workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::sec53_exact_match;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();

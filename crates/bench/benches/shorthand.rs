@@ -1,8 +1,8 @@
 //! Section 4.2.3 bench: shorthand-notation detection over 1,000 labelled pairs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::shorthand_accuracy;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();

@@ -1,8 +1,8 @@
 //! Table 2 bench: rank the partially-matched answers of the running example.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cqads_bench::shared_testbed;
 use cqads_eval::experiments::table2_partial;
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let bed = shared_testbed();

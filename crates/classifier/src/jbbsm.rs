@@ -138,10 +138,10 @@ impl Classifier for BetaBinomialNb {
 /// Accurate to ~1e-13 for the positive arguments used here.
 pub fn ln_gamma(x: f64) -> f64 {
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -230,7 +230,10 @@ mod tests {
         let mut bb = BetaBinomialNb::new();
         bb.train(&docs);
         assert_eq!(bb.classify_text("blue honda").as_deref(), Some("cars"));
-        assert_eq!(bb.classify_text("diamond ring gold").as_deref(), Some("jewellery"));
+        assert_eq!(
+            bb.classify_text("diamond ring gold").as_deref(),
+            Some("jewellery")
+        );
         // unseen words only: still returns some class with finite scores
         let toks: Vec<String> = ["zebra"].iter().map(|s| s.to_string()).collect();
         assert!(bb.scores(&toks).iter().all(|s| s.is_finite()));

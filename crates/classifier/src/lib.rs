@@ -107,8 +107,14 @@ mod tests {
         let mut bb = BetaBinomialNb::new();
         bb.train(&docs);
         for c in [&nb as &dyn Classifier, &bb as &dyn Classifier] {
-            assert_eq!(c.classify_text("blue honda automatic").as_deref(), Some("cars"));
-            assert_eq!(c.classify_text("software engineer salary").as_deref(), Some("jobs"));
+            assert_eq!(
+                c.classify_text("blue honda automatic").as_deref(),
+                Some("cars")
+            );
+            assert_eq!(
+                c.classify_text("software engineer salary").as_deref(),
+                Some("jobs")
+            );
         }
     }
 

@@ -120,7 +120,10 @@ mod tests {
         let mut nb = MultinomialNb::new();
         nb.train(&docs());
         assert_eq!(nb.classify_text("blue honda").as_deref(), Some("cars"));
-        assert_eq!(nb.classify_text("oak dining table").as_deref(), Some("furniture"));
+        assert_eq!(
+            nb.classify_text("oak dining table").as_deref(),
+            Some("furniture")
+        );
         assert_eq!(nb.classes().len(), 2);
     }
 
@@ -151,8 +154,14 @@ mod tests {
     fn incremental_training_extends_classes() {
         let mut nb = MultinomialNb::new();
         nb.train(&docs());
-        nb.train(&[LabelledDoc::from_text("jewellery", "gold necklace diamond ring")]);
+        nb.train(&[LabelledDoc::from_text(
+            "jewellery",
+            "gold necklace diamond ring",
+        )]);
         assert_eq!(nb.classes().len(), 3);
-        assert_eq!(nb.classify_text("diamond ring").as_deref(), Some("jewellery"));
+        assert_eq!(
+            nb.classify_text("diamond ring").as_deref(),
+            Some("jewellery")
+        );
     }
 }

@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn count_vectors_aggregate_duplicates() {
         let mut v = Vocabulary::new();
-        let toks: Vec<String> = ["blue", "blue", "honda"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["blue", "blue", "honda"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let counts = v.count_vector(&toks, false);
         assert_eq!(counts.len(), 2);
         assert_eq!(counts[0].1 + counts[1].1, 3);

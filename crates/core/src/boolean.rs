@@ -26,7 +26,10 @@ use addb::{AttrType, BoolExpr, Comparison, Condition};
 use std::collections::BTreeMap;
 
 /// Combine the sketches of one segment into a boolean expression.
-pub fn combine_conditions(sketches: &[ConditionSketch], spec: &DomainSpec) -> CqadsResult<BoolExpr> {
+pub fn combine_conditions(
+    sketches: &[ConditionSketch],
+    spec: &DomainSpec,
+) -> CqadsResult<BoolExpr> {
     let mut exprs: Vec<BoolExpr> = Vec::new();
 
     // --- Categorical conditions (Rules 2a/2b) -------------------------------------
@@ -127,13 +130,12 @@ pub fn combine_conditions(sketches: &[ConditionSketch], spec: &DomainSpec) -> Cq
     // CQAds interpretation problem rather than a deep executor failure.
     for sketch in sketches {
         if let Some(attr) = sketch.attribute() {
-            let def = spec
-                .schema
-                .attribute(attr)
-                .ok_or_else(|| CqadsError::Database(addb::DbError::UnknownAttribute {
+            let def = spec.schema.attribute(attr).ok_or_else(|| {
+                CqadsError::Database(addb::DbError::UnknownAttribute {
                     table: spec.name().to_string(),
                     attribute: attr.to_string(),
-                }))?;
+                })
+            })?;
             if sketch.is_numeric() && def.attr_type != AttrType::TypeIII {
                 return Err(CqadsError::Database(addb::DbError::InvalidQuery(format!(
                     "numeric constraint on categorical attribute `{attr}`"
@@ -179,7 +181,11 @@ impl RangeAccumulator {
             (BoundaryOp::Ge, _) => self.tighten_low(value, true),
             (BoundaryOp::Between, _) => {
                 let hi = value2.unwrap_or(value);
-                let (lo, hi) = if value <= hi { (value, hi) } else { (hi, value) };
+                let (lo, hi) = if value <= hi {
+                    (value, hi)
+                } else {
+                    (hi, value)
+                };
                 self.tighten_low(lo, true);
                 self.tighten_high(hi, true);
             }
@@ -227,11 +233,19 @@ impl RangeAccumulator {
                 Comparison::Between(lo, hi),
             ))),
             (Some((lo, inclusive)), None) => {
-                let cmp = if inclusive { Comparison::Ge(lo) } else { Comparison::Gt(lo) };
+                let cmp = if inclusive {
+                    Comparison::Ge(lo)
+                } else {
+                    Comparison::Gt(lo)
+                };
                 parts.push(BoolExpr::Cond(Condition::new(attribute, cmp)));
             }
             (None, Some((hi, inclusive))) => {
-                let cmp = if inclusive { Comparison::Le(hi) } else { Comparison::Lt(hi) };
+                let cmp = if inclusive {
+                    Comparison::Le(hi)
+                } else {
+                    Comparison::Lt(hi)
+                };
                 parts.push(BoolExpr::Cond(Condition::new(attribute, cmp)));
             }
             (None, None) => {}
@@ -293,7 +307,9 @@ mod tests {
         // Q8-style: "black and grey cars" — the explicit AND between mutually exclusive
         // colors is evaluated as OR.
         let expr = expr_for("black and grey honda").unwrap();
-        assert!(expr.to_string().contains("(color = 'black') OR (color = 'grey')"));
+        assert!(expr
+            .to_string()
+            .contains("(color = 'black') OR (color = 'grey')"));
     }
 
     #[test]

@@ -199,7 +199,9 @@ pub fn toy_car_domain() -> DomainSpec {
             spec.add_type1_value("model", m);
         }
     }
-    for color in ["blue", "red", "silver", "black", "white", "gold", "grey", "yellow"] {
+    for color in [
+        "blue", "red", "silver", "black", "white", "gold", "grey", "yellow",
+    ] {
         spec.add_type2_value("color", color);
     }
     for t in ["automatic", "manual"] {
@@ -211,7 +213,9 @@ pub fn toy_car_domain() -> DomainSpec {
     for d in ["2 door", "4 door"] {
         spec.add_type2_value("doors", d);
     }
-    for kw in ["price", "priced", "cost", "dollars", "dollar", "usd", "$", "bucks"] {
+    for kw in [
+        "price", "priced", "cost", "dollars", "dollar", "usd", "$", "bucks",
+    ] {
         spec.add_type3_keyword("price", kw);
     }
     for kw in ["mileage", "miles", "mile", "mi", "odometer"] {
@@ -256,10 +260,16 @@ mod tests {
         let trie = spec.build_trie();
         assert!(matches!(trie.lookup("honda"), Some(Tag::Type1Value { .. })));
         assert!(matches!(trie.lookup("blue"), Some(Tag::Type2Value { .. })));
-        assert!(matches!(trie.lookup("4 wheel drive"), Some(Tag::Type2Value { .. })));
+        assert!(matches!(
+            trie.lookup("4 wheel drive"),
+            Some(Tag::Type2Value { .. })
+        ));
         assert!(matches!(trie.lookup("miles"), Some(Tag::Type3Attr { .. })));
         assert!(matches!(trie.lookup("usd"), Some(Tag::Type3Attr { .. })));
-        assert!(matches!(trie.lookup("less than"), Some(Tag::BoundaryPartial { .. })));
+        assert!(matches!(
+            trie.lookup("less than"),
+            Some(Tag::BoundaryPartial { .. })
+        ));
         assert_eq!(
             trie.lookup("cheapest"),
             Some(&Tag::SuperlativeComplete {

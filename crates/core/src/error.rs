@@ -44,7 +44,9 @@ impl std::error::Error for CqadsError {}
 impl From<addb::DbError> for CqadsError {
     fn from(e: addb::DbError) -> Self {
         match e {
-            addb::DbError::EmptyRange { attribute, .. } => CqadsError::ContradictoryRange { attribute },
+            addb::DbError::EmptyRange { attribute, .. } => {
+                CqadsError::ContradictoryRange { attribute }
+            }
             other => CqadsError::Database(other),
         }
     }

@@ -103,7 +103,15 @@ pub fn generic_entries() -> Vec<(&'static str, Tag)> {
     let mut entries: Vec<(&'static str, Tag)> = Vec::new();
 
     // Partial boundaries (Section 4.1.2): require an attribute and a value from context.
-    for kw in ["less than", "lower than", "fewer than", "smaller than", "below", "under", "less"] {
+    for kw in [
+        "less than",
+        "lower than",
+        "fewer than",
+        "smaller than",
+        "below",
+        "under",
+        "less",
+    ] {
         entries.push((kw, Tag::BoundaryPartial { op: Lt }));
     }
     for kw in [
@@ -121,7 +129,13 @@ pub fn generic_entries() -> Vec<(&'static str, Tag)> {
     for kw in ["at most", "no more than", "up to", "maximum of", "max of"] {
         entries.push((kw, Tag::BoundaryPartial { op: Le }));
     }
-    for kw in ["at least", "no less than", "minimum of", "min of", "starting at"] {
+    for kw in [
+        "at least",
+        "no less than",
+        "minimum of",
+        "min of",
+        "starting at",
+    ] {
         entries.push((kw, Tag::BoundaryPartial { op: Ge }));
     }
     for kw in ["equal", "equals", "equal to", "exactly"] {
@@ -133,10 +147,22 @@ pub fn generic_entries() -> Vec<(&'static str, Tag)> {
 
     // Partial superlatives: compare extreme values but need an attribute from context.
     for kw in ["lowest", "least", "fewest", "min", "minimum", "smallest"] {
-        entries.push((kw, Tag::SuperlativePartial { kind: SuperlativeKind::Min }));
+        entries.push((
+            kw,
+            Tag::SuperlativePartial {
+                kind: SuperlativeKind::Min,
+            },
+        ));
     }
-    for kw in ["highest", "greatest", "most", "max", "maximum", "largest", "biggest"] {
-        entries.push((kw, Tag::SuperlativePartial { kind: SuperlativeKind::Max }));
+    for kw in [
+        "highest", "greatest", "most", "max", "maximum", "largest", "biggest",
+    ] {
+        entries.push((
+            kw,
+            Tag::SuperlativePartial {
+                kind: SuperlativeKind::Max,
+            },
+        ));
     }
 
     // Negations (footnote 1, Section 4.4.1). Stemmed variants are matched by the
@@ -174,7 +200,13 @@ pub fn domain_superlatives(
 ) -> Vec<(String, Tag)> {
     let mut entries = Vec::new();
     if let Some(price) = price_attr {
-        for kw in ["cheapest", "inexpensive", "cheap", "lowest price", "most affordable"] {
+        for kw in [
+            "cheapest",
+            "inexpensive",
+            "cheap",
+            "lowest price",
+            "most affordable",
+        ] {
             entries.push((
                 kw.to_string(),
                 Tag::SuperlativeComplete {
@@ -259,14 +291,36 @@ mod tests {
     #[test]
     fn generic_entries_cover_all_boundary_groups() {
         let entries = generic_entries();
-        let find = |kw: &str| entries.iter().find(|(k, _)| *k == kw).map(|(_, t)| t.clone());
-        assert_eq!(find("less than"), Some(Tag::BoundaryPartial { op: BoundaryOp::Lt }));
-        assert_eq!(find("above"), Some(Tag::BoundaryPartial { op: BoundaryOp::Gt }));
-        assert_eq!(find("between"), Some(Tag::BoundaryPartial { op: BoundaryOp::Between }));
-        assert_eq!(find("at least"), Some(Tag::BoundaryPartial { op: BoundaryOp::Ge }));
+        let find = |kw: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| *k == kw)
+                .map(|(_, t)| t.clone())
+        };
+        assert_eq!(
+            find("less than"),
+            Some(Tag::BoundaryPartial { op: BoundaryOp::Lt })
+        );
+        assert_eq!(
+            find("above"),
+            Some(Tag::BoundaryPartial { op: BoundaryOp::Gt })
+        );
+        assert_eq!(
+            find("between"),
+            Some(Tag::BoundaryPartial {
+                op: BoundaryOp::Between
+            })
+        );
+        assert_eq!(
+            find("at least"),
+            Some(Tag::BoundaryPartial { op: BoundaryOp::Ge })
+        );
         assert_eq!(find("not"), Some(Tag::Negation));
         assert_eq!(find("or"), Some(Tag::Or));
-        assert!(matches!(find("lowest"), Some(Tag::SuperlativePartial { .. })));
+        assert!(matches!(
+            find("lowest"),
+            Some(Tag::SuperlativePartial { .. })
+        ));
     }
 
     #[test]
@@ -282,7 +336,12 @@ mod tests {
     #[test]
     fn domain_superlatives_follow_table_1() {
         let entries = domain_superlatives(Some("price"), Some("year"));
-        let find = |kw: &str| entries.iter().find(|(k, _)| k == kw).map(|(_, t)| t.clone());
+        let find = |kw: &str| {
+            entries
+                .iter()
+                .find(|(k, _)| k == kw)
+                .map(|(_, t)| t.clone())
+        };
         assert_eq!(
             find("cheapest"),
             Some(Tag::SuperlativeComplete {

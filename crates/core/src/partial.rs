@@ -6,13 +6,50 @@
 //! matching is applied directly (every record is scored against that one condition).
 //! Results are capped so that exact plus partial answers never exceed the 30-answer
 //! budget derived from the iProspect study.
+//!
+//! # Execution model and complexity
+//!
+//! The default engine is **index-driven and bounded**:
+//!
+//! * Each relaxation executes through [`Executor::execute_stream`], a lazy sorted-merge
+//!   over index posting lists — candidate ids arrive one at a time and no per-relaxation
+//!   result vector is ever materialized.
+//! * Each relaxed condition is compiled once
+//!   ([`SimilarityModel::compile`](crate::ranking::SimilarityModel::compile)) so that
+//!   scoring a candidate is integer-keyed matrix lookups against the table's interned
+//!   columns — zero string allocation per probe.
+//! * Candidates feed a `budget`-sized min-heap ([`TopK`]) with per-record best-score
+//!   dedup (lazy deletion). Memory is `O(budget)` and the final ordering costs
+//!   `O(budget · log budget)`, independent of table size — the original pipeline held a
+//!   HashMap over *every* candidate and globally sorted it.
+//!
+//! For a question with `k` relaxations whose candidate streams total `C` ids, the
+//! engine runs in `O(C · (log budget + s))` time and `O(budget)` extra space, where `s`
+//! is the per-candidate scoring cost (a constant number of hash probes). The seed
+//! pipeline cost `O(C · a + D log D)` where `a` includes two string allocations
+//! (`to_lowercase` + `porter_stem`) per similarity lookup and `D ≤ C` is the number of
+//! distinct candidates, all of which were buffered and sorted.
+//!
+//! When the index-driven pass cannot fill the budget (sparse data: every relaxation
+//! collapses to the already-returned exact answers), both engines fall back to a
+//! **degree-of-match scan**: every remaining record is scored
+//! `min(#matched conditions, N−1) + best similarity over its unmatched conditions`,
+//! which generalizes `Rank_Sim` (an exact N−1 match scores identically) and ranks
+//! records with fewer matches strictly below genuine N−1 matches. This keeps the
+//! paper's "top up to 30 answers" behaviour on sparse tables.
+//!
+//! The seed's full-scan/full-sort pipeline is preserved behind
+//! [`PartialMatchOptions::full_scan`] as an ablation baseline; the
+//! `bench/benches/partial_topk.rs` bench measures the speedup of the bounded engine
+//! against it and the equivalence test asserts byte-identical output.
 
 use crate::domain::DomainSpec;
 use crate::error::CqadsResult;
-use crate::ranking::{SimilarityMeasure, SimilarityModel};
+use crate::ranking::{CompiledProbe, SimilarityMeasure, SimilarityModel};
 use crate::translate::Interpretation;
 use addb::{Executor, RecordId, Table};
-use std::collections::HashSet;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// One partially-matched answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,17 +64,46 @@ pub struct PartialAnswer {
     pub relaxed_condition: usize,
 }
 
+/// Engine selection for [`PartialMatcher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialMatchOptions {
+    /// Run the original full-scan/full-sort pipeline (unbounded HashMap of candidates,
+    /// string-allocating similarity lookups, global sort) instead of the bounded
+    /// top-k engine. Kept for the ablation bench and the equivalence test; both
+    /// engines return byte-identical answers.
+    pub full_scan: bool,
+}
+
 /// Runs the N−1 strategy for one domain.
 #[derive(Debug, Clone)]
 pub struct PartialMatcher<'a> {
     spec: &'a DomainSpec,
     similarity: &'a SimilarityModel,
+    options: PartialMatchOptions,
 }
 
 impl<'a> PartialMatcher<'a> {
-    /// Create a matcher for a domain and its similarity model.
+    /// Create a matcher for a domain and its similarity model (index-driven top-k
+    /// engine).
     pub fn new(spec: &'a DomainSpec, similarity: &'a SimilarityModel) -> Self {
-        PartialMatcher { spec, similarity }
+        PartialMatcher {
+            spec,
+            similarity,
+            options: PartialMatchOptions::default(),
+        }
+    }
+
+    /// Create a matcher with an explicit engine choice.
+    pub fn with_options(
+        spec: &'a DomainSpec,
+        similarity: &'a SimilarityModel,
+        options: PartialMatchOptions,
+    ) -> Self {
+        PartialMatcher {
+            spec,
+            similarity,
+            options,
+        }
     }
 
     /// Retrieve and rank partially-matched answers.
@@ -56,28 +122,38 @@ impl<'a> PartialMatcher<'a> {
         if budget == 0 || interpretation.is_empty() {
             return Ok(Vec::new());
         }
+        if self.options.full_scan {
+            self.partial_answers_full_scan(interpretation, table, exclude, budget)
+        } else {
+            self.partial_answers_topk(interpretation, table, exclude, budget)
+        }
+    }
+
+    /// Index-driven bounded top-k engine (see the module docs for the cost model).
+    fn partial_answers_topk(
+        &self,
+        interpretation: &Interpretation,
+        table: &Table,
+        exclude: &HashSet<RecordId>,
+        budget: usize,
+    ) -> CqadsResult<Vec<PartialAnswer>> {
         let sketches = interpretation.all_sketches();
         let n = interpretation.condition_count();
         let executor = Executor::new(table);
-        // best score seen per record
-        let mut best: std::collections::HashMap<RecordId, PartialAnswer> =
-            std::collections::HashMap::new();
+        let mut topk = TopK::new(budget);
 
         if sketches.len() <= 1 {
             // Single-condition question: apply similarity matching directly over the
-            // table (Section 4.3.1, last paragraph).
+            // table (Section 4.3.1, last paragraph). Inherently O(table), but scoring
+            // is allocation-free and ranking memory stays O(budget).
             if let Some(sketch) = sketches.first() {
-                for (id, record) in table.iter() {
+                let probe = self.similarity.compile(sketch, table);
+                for id in (0..table.len() as u32).map(RecordId) {
                     if exclude.contains(&id) {
                         continue;
                     }
-                    let (score, measure) = self.similarity.rank_sim(n, sketch, record);
-                    consider(&mut best, PartialAnswer {
-                        id,
-                        rank_sim: score,
-                        measure,
-                        relaxed_condition: 0,
-                    });
+                    let (score, measure) = probe.rank_sim(n, id);
+                    topk.offer(id, score, measure, 0);
                 }
             }
         } else {
@@ -85,6 +161,85 @@ impl<'a> PartialMatcher<'a> {
                 // Build the query with one condition removed; interpretation errors for
                 // a particular relaxation (e.g. the removed condition resolved a
                 // contradiction) simply skip that relaxation.
+                let query = match interpretation.to_query_excluding(self.spec, skip) {
+                    Ok(q) => q,
+                    Err(_) => continue,
+                };
+                let stream = match executor.execute_stream(&query) {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let probe = self.similarity.compile(relaxed, table);
+                for id in stream {
+                    if exclude.contains(&id) {
+                        continue;
+                    }
+                    let (score, measure) = probe.rank_sim(n, id);
+                    topk.offer(id, score, measure, skip);
+                }
+            }
+            if topk.len() < budget {
+                // Sparse data: the heap was never filled, so it currently holds every
+                // candidate the index-driven pass found. Top up by degree of match.
+                let probes: Vec<CompiledProbe<'_>> = sketches
+                    .iter()
+                    .map(|s| self.similarity.compile(s, table))
+                    .collect();
+                let found: HashSet<RecordId> = topk.live_ids().collect();
+                for id in (0..table.len() as u32).map(RecordId) {
+                    if exclude.contains(&id) || found.contains(&id) {
+                        continue;
+                    }
+                    let fallback = degree_of_match(&probes, n, id);
+                    topk.offer(
+                        id,
+                        fallback.rank_sim,
+                        fallback.measure,
+                        fallback.relaxed_condition,
+                    );
+                }
+            }
+        }
+        Ok(topk.into_sorted())
+    }
+
+    /// The seed's full-scan/full-sort pipeline, kept verbatim as the ablation
+    /// baseline: materialized query results, per-record `Record` access, string-based
+    /// similarity lookups (allocating per probe), an unbounded per-record best map and
+    /// a global sort.
+    fn partial_answers_full_scan(
+        &self,
+        interpretation: &Interpretation,
+        table: &Table,
+        exclude: &HashSet<RecordId>,
+        budget: usize,
+    ) -> CqadsResult<Vec<PartialAnswer>> {
+        let sketches = interpretation.all_sketches();
+        let n = interpretation.condition_count();
+        let executor = Executor::new(table);
+        // best score seen per record
+        let mut best: HashMap<RecordId, PartialAnswer> = HashMap::new();
+
+        if sketches.len() <= 1 {
+            if let Some(sketch) = sketches.first() {
+                for (id, record) in table.iter() {
+                    if exclude.contains(&id) {
+                        continue;
+                    }
+                    let (score, measure) = self.similarity.rank_sim(n, sketch, record);
+                    consider(
+                        &mut best,
+                        PartialAnswer {
+                            id,
+                            rank_sim: score,
+                            measure,
+                            relaxed_condition: 0,
+                        },
+                    );
+                }
+            }
+        } else {
+            for (skip, relaxed) in sketches.iter().enumerate() {
                 let query = match interpretation.to_query_excluding(self.spec, skip) {
                     Ok(q) => q.with_limit(usize::MAX),
                     Err(_) => continue,
@@ -97,14 +252,33 @@ impl<'a> PartialMatcher<'a> {
                     if exclude.contains(&answer.id) {
                         continue;
                     }
-                    let Some(record) = table.get(answer.id) else { continue };
+                    let Some(record) = table.get(answer.id) else {
+                        continue;
+                    };
                     let (score, measure) = self.similarity.rank_sim(n, relaxed, record);
-                    consider(&mut best, PartialAnswer {
-                        id: answer.id,
-                        rank_sim: score,
-                        measure,
-                        relaxed_condition: skip,
-                    });
+                    consider(
+                        &mut best,
+                        PartialAnswer {
+                            id: answer.id,
+                            rank_sim: score,
+                            measure,
+                            relaxed_condition: skip,
+                        },
+                    );
+                }
+            }
+            if best.len() < budget {
+                // Same degree-of-match fallback as the top-k engine, so both engines
+                // stay byte-identical on sparse data.
+                let probes: Vec<CompiledProbe<'_>> = sketches
+                    .iter()
+                    .map(|s| self.similarity.compile(s, table))
+                    .collect();
+                for id in (0..table.len() as u32).map(RecordId) {
+                    if exclude.contains(&id) || best.contains_key(&id) {
+                        continue;
+                    }
+                    best.insert(id, degree_of_match(&probes, n, id));
                 }
             }
         }
@@ -113,7 +287,7 @@ impl<'a> PartialMatcher<'a> {
         out.sort_by(|a, b| {
             b.rank_sim
                 .partial_cmp(&a.rank_sim)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .unwrap_or(Ordering::Equal)
                 .then_with(|| a.id.cmp(&b.id))
         });
         out.truncate(budget);
@@ -121,10 +295,44 @@ impl<'a> PartialMatcher<'a> {
     }
 }
 
-fn consider(
-    best: &mut std::collections::HashMap<RecordId, PartialAnswer>,
-    candidate: PartialAnswer,
-) {
+/// Degree-of-match score for the sparse-data fallback:
+/// `min(#matched, N−1) + best similarity over the unmatched conditions`, reporting the
+/// measure and index of the best unmatched condition. Matches `Rank_Sim` exactly for
+/// records matching exactly N−1 conditions.
+fn degree_of_match(
+    probes: &[CompiledProbe<'_>],
+    condition_count: usize,
+    id: RecordId,
+) -> PartialAnswer {
+    let mut matched = 0usize;
+    let mut best_sim = 0.0_f64;
+    let mut best_measure = SimilarityMeasure::None;
+    let mut best_idx = 0usize;
+    let mut any_unmatched = false;
+    for (idx, probe) in probes.iter().enumerate() {
+        if probe.satisfied(id) {
+            matched += 1;
+        } else {
+            let (sim, measure) = probe.similarity(id);
+            if !any_unmatched || sim > best_sim {
+                best_sim = sim;
+                best_measure = measure;
+                best_idx = idx;
+            }
+            any_unmatched = true;
+        }
+    }
+    let matched_cap = condition_count.saturating_sub(1) as f64;
+    let base = (matched as f64).min(matched_cap);
+    PartialAnswer {
+        id,
+        rank_sim: base + if any_unmatched { best_sim } else { 0.0 },
+        measure: best_measure,
+        relaxed_condition: best_idx,
+    }
+}
+
+fn consider(best: &mut HashMap<RecordId, PartialAnswer>, candidate: PartialAnswer) {
     best.entry(candidate.id)
         .and_modify(|existing| {
             if candidate.rank_sim > existing.rank_sim {
@@ -132,6 +340,182 @@ fn consider(
             }
         })
         .or_insert(candidate);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded top-k collector
+// ---------------------------------------------------------------------------
+
+/// A `budget`-bounded top-k collector over `(rank_sim desc, id asc)` with per-record
+/// best-score dedup.
+///
+/// Updates use lazy deletion: improving an in-heap record pushes a fresh heap entry
+/// under a new generation and invalidates the old one, so no decrease-key is needed.
+/// Live memory is `O(budget)`; the heap is compacted if stale entries ever dominate.
+struct TopK {
+    budget: usize,
+    heap: BinaryHeap<std::cmp::Reverse<HeapEntry>>,
+    /// id -> (current generation, best answer so far). Only ids currently in the top-k
+    /// are tracked.
+    live: HashMap<RecordId, (u32, PartialAnswer)>,
+    next_gen: u32,
+}
+
+/// Heap key ordered so that the *worst* candidate is the minimum: lower score is
+/// worse; on equal scores the larger id is worse (final order is id-ascending).
+#[derive(Debug)]
+struct HeapEntry {
+    score: f64,
+    id: RecordId,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl TopK {
+    fn new(budget: usize) -> Self {
+        TopK {
+            budget,
+            heap: BinaryHeap::with_capacity(budget + 1),
+            live: HashMap::with_capacity(budget),
+            next_gen: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn live_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.live.keys().copied()
+    }
+
+    /// Is `candidate` strictly better than the current worst live entry?
+    fn beats_worst(&mut self, score: f64, id: RecordId) -> bool {
+        match self.peek_worst() {
+            Some(worst) => match score.partial_cmp(&worst.score).unwrap_or(Ordering::Equal) {
+                Ordering::Greater => true,
+                Ordering::Less => false,
+                Ordering::Equal => id < worst.id,
+            },
+            None => true,
+        }
+    }
+
+    /// Pop stale entries until the heap top is live, then peek it.
+    fn peek_worst(&mut self) -> Option<&HeapEntry> {
+        while let Some(std::cmp::Reverse(entry)) = self.heap.peek() {
+            let is_live = self
+                .live
+                .get(&entry.id)
+                .is_some_and(|(gen, _)| *gen == entry.gen);
+            if is_live {
+                break;
+            }
+            self.heap.pop();
+        }
+        self.heap.peek().map(|rev| &rev.0)
+    }
+
+    fn offer(&mut self, id: RecordId, score: f64, measure: SimilarityMeasure, relaxed: usize) {
+        if self.budget == 0 {
+            return;
+        }
+        if let Some((gen, existing)) = self.live.get_mut(&id) {
+            // Per-record dedup: keep the best relaxation; ties keep the first seen,
+            // matching the original pipeline's `consider`.
+            if score > existing.rank_sim {
+                existing.rank_sim = score;
+                existing.measure = measure;
+                existing.relaxed_condition = relaxed;
+                *gen = self.next_gen;
+                self.heap.push(std::cmp::Reverse(HeapEntry {
+                    score,
+                    id,
+                    gen: self.next_gen,
+                }));
+                self.next_gen += 1;
+            }
+            return;
+        }
+        if self.live.len() >= self.budget {
+            if !self.beats_worst(score, id) {
+                return;
+            }
+            // Evict the current worst (guaranteed live by `beats_worst`).
+            if let Some(std::cmp::Reverse(worst)) = self.heap.pop() {
+                self.live.remove(&worst.id);
+            }
+        }
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        self.live.insert(
+            id,
+            (
+                gen,
+                PartialAnswer {
+                    id,
+                    rank_sim: score,
+                    measure,
+                    relaxed_condition: relaxed,
+                },
+            ),
+        );
+        self.heap
+            .push(std::cmp::Reverse(HeapEntry { score, id, gen }));
+        // Lazy deletion can accumulate stale entries; compact if they dominate.
+        if self.heap.len() > 4 * self.budget + 16 {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        self.heap = self
+            .live
+            .iter()
+            .map(|(id, (gen, answer))| {
+                std::cmp::Reverse(HeapEntry {
+                    score: answer.rank_sim,
+                    id: *id,
+                    gen: *gen,
+                })
+            })
+            .collect();
+    }
+
+    /// Drain into the final `(rank_sim desc, id asc)` order.
+    fn into_sorted(self) -> Vec<PartialAnswer> {
+        let mut out: Vec<PartialAnswer> =
+            self.live.into_values().map(|(_, answer)| answer).collect();
+        out.sort_by(|a, b| {
+            b.rank_sim
+                .partial_cmp(&a.rank_sim)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out
+    }
 }
 
 #[cfg(test)]
@@ -159,11 +543,21 @@ mod tests {
     fn setup() -> (crate::domain::DomainSpec, Table, SimilarityModel) {
         let spec = toy_car_domain();
         let mut table = Table::new(spec.schema.clone());
-        table.insert(car("honda", "accord", "blue", 16_536.0)).unwrap();
-        table.insert(car("honda", "accord", "gold", 6_600.0)).unwrap();
-        table.insert(car("toyota", "camry", "blue", 8_561.0)).unwrap();
-        table.insert(car("chevy", "malibu", "blue", 5_899.0)).unwrap();
-        table.insert(car("ford", "mustang", "red", 21_000.0)).unwrap();
+        table
+            .insert(car("honda", "accord", "blue", 16_536.0))
+            .unwrap();
+        table
+            .insert(car("honda", "accord", "gold", 6_600.0))
+            .unwrap();
+        table
+            .insert(car("toyota", "camry", "blue", 8_561.0))
+            .unwrap();
+        table
+            .insert(car("chevy", "malibu", "blue", 5_899.0))
+            .unwrap();
+        table
+            .insert(car("ford", "mustang", "red", 21_000.0))
+            .unwrap();
         let mut ti = TIMatrix::default();
         ti.insert("accord", "camry", 4.5);
         ti.insert("accord", "malibu", 3.8);
@@ -183,8 +577,11 @@ mod tests {
         let (spec, table, sim) = setup();
         let tagger = Tagger::new(&spec);
         // "Find Honda Accord blue less than 15,000 dollars"
-        let interp = interpret(&tagger.tag("Find Honda Accord blue less than 15,000 dollars"), &spec)
-            .unwrap();
+        let interp = interpret(
+            &tagger.tag("Find Honda Accord blue less than 15,000 dollars"),
+            &spec,
+        )
+        .unwrap();
         let matcher = PartialMatcher::new(&spec, &sim);
         let answers = matcher
             .partial_answers(&interp, &table, &HashSet::new(), 30)
@@ -218,7 +615,8 @@ mod tests {
     fn exact_answers_are_excluded_and_budget_respected() {
         let (spec, table, sim) = setup();
         let tagger = Tagger::new(&spec);
-        let interp = interpret(&tagger.tag("blue honda accord under 20000 dollars"), &spec).unwrap();
+        let interp =
+            interpret(&tagger.tag("blue honda accord under 20000 dollars"), &spec).unwrap();
         let matcher = PartialMatcher::new(&spec, &sim);
         let exact: HashSet<RecordId> = [RecordId(0)].into_iter().collect();
         let answers = matcher.partial_answers(&interp, &table, &exact, 2).unwrap();
@@ -261,5 +659,96 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), answers.len());
+    }
+
+    #[test]
+    fn both_engines_agree_on_every_toy_question() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let fast = PartialMatcher::new(&spec, &sim);
+        let slow =
+            PartialMatcher::with_options(&spec, &sim, PartialMatchOptions { full_scan: true });
+        for question in [
+            "Find Honda Accord blue less than 15,000 dollars",
+            "blue honda accord under 20000 dollars",
+            "mustang",
+            "blue toyota camry",
+            "red chevy malibu above 4000 dollars",
+        ] {
+            let interp = interpret(&tagger.tag(question), &spec).unwrap();
+            for budget in [0usize, 1, 2, 3, 30, 100] {
+                for exclude in [
+                    HashSet::new(),
+                    [RecordId(0)].into_iter().collect::<HashSet<_>>(),
+                    (0..table.len() as u32)
+                        .map(RecordId)
+                        .collect::<HashSet<_>>(),
+                ] {
+                    let a = fast
+                        .partial_answers(&interp, &table, &exclude, budget)
+                        .unwrap();
+                    let b = slow
+                        .partial_answers(&interp, &table, &exclude, budget)
+                        .unwrap();
+                    assert_eq!(a, b, "engines diverged on {question:?} budget {budget}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_questions_top_up_by_degree_of_match() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        // No record is a red accord under 3000: every relaxation is still empty, so
+        // the fallback must rank records by how many conditions they do satisfy.
+        let interp = interpret(&tagger.tag("red honda accord under 3000 dollars"), &spec).unwrap();
+        let matcher = PartialMatcher::new(&spec, &sim);
+        let answers = matcher
+            .partial_answers(&interp, &table, &HashSet::new(), 30)
+            .unwrap();
+        assert!(!answers.is_empty(), "fallback should fill the budget");
+        let n = interp.condition_count() as f64;
+        for a in &answers {
+            assert!(a.rank_sim <= n - 1.0 + 1.0 + 1e-9);
+        }
+        for w in answers.windows(2) {
+            assert!(w[0].rank_sim >= w[1].rank_sim);
+        }
+    }
+
+    #[test]
+    fn topk_collector_keeps_the_best_budget_entries() {
+        let mut topk = TopK::new(3);
+        for (id, score) in [(0u32, 0.5), (1, 0.9), (2, 0.1), (3, 0.7), (4, 0.8)] {
+            topk.offer(RecordId(id), score, SimilarityMeasure::None, 0);
+        }
+        let out = topk.into_sorted();
+        let ids: Vec<u32> = out.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids, vec![1, 4, 3]);
+    }
+
+    #[test]
+    fn topk_collector_updates_in_place_and_breaks_ties_by_id() {
+        let mut topk = TopK::new(2);
+        topk.offer(RecordId(5), 0.5, SimilarityMeasure::None, 0);
+        topk.offer(RecordId(1), 0.5, SimilarityMeasure::None, 1);
+        // id 3 ties the worst (0.5 @ id 5 is worse than 0.5 @ id 1): id 3 < id 5 wins.
+        topk.offer(RecordId(3), 0.5, SimilarityMeasure::TiSim, 2);
+        // improving a live record re-keys it without duplication
+        topk.offer(RecordId(1), 0.9, SimilarityMeasure::NumSim, 3);
+        let out = topk.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].id, RecordId(1));
+        assert_eq!(out[0].rank_sim, 0.9);
+        assert_eq!(out[0].measure, SimilarityMeasure::NumSim);
+        assert_eq!(out[1].id, RecordId(3));
+    }
+
+    #[test]
+    fn topk_zero_budget_collects_nothing() {
+        let mut topk = TopK::new(0);
+        topk.offer(RecordId(0), 1.0, SimilarityMeasure::None, 0);
+        assert!(topk.into_sorted().is_empty());
     }
 }

@@ -34,8 +34,9 @@ pub enum MatchKind {
 pub struct Answer {
     /// Record id within the domain table.
     pub id: RecordId,
-    /// The advertisement record itself.
-    pub record: Record,
+    /// Shared handle to the advertisement record (the table keeps records behind
+    /// [`Arc`], so building an answer never deep-clones the record).
+    pub record: Arc<Record>,
     /// Exact or partial match.
     pub kind: MatchKind,
     /// `Rank_Sim` score for partial answers (exact answers carry the full condition
@@ -234,7 +235,7 @@ impl CqadsSystem {
 
         let tagged = runtime.tagger.tag(question);
         let interpretation = interpret(&tagged, &runtime.spec)?;
-        let query = interpretation.to_query(&runtime.spec)?;
+        let query = interpretation.to_query_with_limit(&runtime.spec, self.config.answer_limit)?;
         let sql = addb::sql::render(&query);
 
         let executor = Executor::new(table);
@@ -244,10 +245,10 @@ impl CqadsSystem {
 
         let mut answers: Vec<Answer> = exact
             .iter()
-            .filter_map(|a| table.get(a.id).map(|r| (a.id, r)))
+            .filter_map(|a| table.get_shared(a.id).map(|r| (a.id, r)))
             .map(|(id, record)| Answer {
                 id,
-                record: record.clone(),
+                record,
                 kind: MatchKind::Exact,
                 rank_sim: n as f64,
                 measure: SimilarityMeasure::None,
@@ -260,10 +261,10 @@ impl CqadsSystem {
             let matcher = PartialMatcher::new(&runtime.spec, &runtime.similarity);
             let partial = matcher.partial_answers(&interpretation, table, &exact_ids, budget)?;
             for p in partial {
-                if let Some(record) = table.get(p.id) {
+                if let Some(record) = table.get_shared(p.id) {
                     answers.push(Answer {
                         id: p.id,
-                        record: record.clone(),
+                        record,
                         kind: MatchKind::Partial,
                         rank_sim: p.rank_sim,
                         measure: p.measure,
@@ -338,11 +339,21 @@ mod tests {
     fn system() -> CqadsSystem {
         let spec = toy_car_domain();
         let mut table = Table::new(spec.schema.clone());
-        table.insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0)).unwrap();
-        table.insert(car("honda", "accord", "gold", "manual", 16_536.0, 2009.0)).unwrap();
-        table.insert(car("honda", "civic", "red", "automatic", 4500.0, 2001.0)).unwrap();
-        table.insert(car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0)).unwrap();
-        table.insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0)).unwrap();
+        table
+            .insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0))
+            .unwrap();
+        table
+            .insert(car("honda", "accord", "gold", "manual", 16_536.0, 2009.0))
+            .unwrap();
+        table
+            .insert(car("honda", "civic", "red", "automatic", 4500.0, 2001.0))
+            .unwrap();
+        table
+            .insert(car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0))
+            .unwrap();
+        table
+            .insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0))
+            .unwrap();
         let mut ti = TIMatrix::default();
         ti.insert("accord", "camry", 4.0);
         ti.insert("accord", "focus", 2.0);
@@ -357,7 +368,9 @@ mod tests {
     #[test]
     fn exact_answers_come_back_for_example_7() {
         let sys = system();
-        let result = sys.answer_in_domain("Do you have automatic blue cars?", "cars").unwrap();
+        let result = sys
+            .answer_in_domain("Do you have automatic blue cars?", "cars")
+            .unwrap();
         assert_eq!(result.exact_count, 2);
         assert!(result.sql.contains("automatic"));
         for a in result.exact() {
@@ -417,7 +430,10 @@ mod tests {
         ));
         // an empty system cannot classify
         let empty = CqadsSystem::new();
-        assert!(matches!(empty.classify("anything"), Err(CqadsError::NoDomain)));
+        assert!(matches!(
+            empty.classify("anything"),
+            Err(CqadsError::NoDomain)
+        ));
     }
 
     #[test]
@@ -450,7 +466,14 @@ mod tests {
         let mut table = Table::new(spec.schema.clone());
         for i in 0..40 {
             table
-                .insert(car("honda", "accord", "blue", "automatic", 5000.0 + i as f64, 2004.0))
+                .insert(car(
+                    "honda",
+                    "accord",
+                    "blue",
+                    "automatic",
+                    5000.0 + i as f64,
+                    2004.0,
+                ))
                 .unwrap();
         }
         let mut sys = CqadsSystem::with_config(CqadsConfig {

@@ -16,9 +16,12 @@
 //! * Type II — `Feat_Sim` from the WS word-correlation matrix, normalized likewise,
 //! * Type III — `Num_Sim(T, V) = 1 − |T − V| / Attribute_Value_Range` (Equation 4).
 
+use crate::identifiers::BoundaryOp;
 use crate::translate::ConditionSketch;
-use addb::{Record, Schema};
+use addb::{NumericColumn, Record, RecordId, Schema, Table, TextColumn};
 use cqads_querylog::TIMatrix;
+use cqads_text::intern::{self, Sym};
+use cqads_text::porter_stem;
 use cqads_wordsim::WordSimMatrix;
 use std::sync::Arc;
 
@@ -125,7 +128,10 @@ impl SimilarityModel {
                 if *is_type1 {
                     (self.ti_sim(value, record_value), SimilarityMeasure::TiSim)
                 } else {
-                    (self.feat_sim(value, record_value), SimilarityMeasure::FeatSim)
+                    (
+                        self.feat_sim(value, record_value),
+                        SimilarityMeasure::FeatSim,
+                    )
                 }
             }
             ConditionSketch::Numeric {
@@ -176,6 +182,258 @@ impl SimilarityModel {
     ) -> (f64, SimilarityMeasure) {
         let (sim, measure) = self.condition_similarity(relaxed, record);
         ((condition_count.saturating_sub(1)) as f64 + sim, measure)
+    }
+
+    /// Compile a condition sketch against a table for allocation-free batch scoring.
+    ///
+    /// All string work — attribute-name resolution, lowercasing, stemming, interning —
+    /// happens exactly once here; every subsequent [`CompiledProbe::similarity`] /
+    /// [`CompiledProbe::satisfied`] call is pure integer and float work against the
+    /// table's interned columns. The produced scores are bit-identical to
+    /// [`SimilarityModel::condition_similarity`] over the same record.
+    pub fn compile<'m>(&'m self, sketch: &ConditionSketch, table: &'m Table) -> CompiledProbe<'m> {
+        let kind = match sketch {
+            ConditionSketch::Categorical {
+                attribute,
+                value,
+                is_type1,
+                negated,
+            } => ProbeKind::Text {
+                column: table.text_column(attribute),
+                // Exact-equality symbol of the question value *as written* (used by
+                // negation and by the satisfaction check, which compare raw strings).
+                raw_qsym: intern::lookup(value),
+                // Normalized symbol for the TI-matrix probe.
+                qsym: intern::lookup(&value.to_lowercase()),
+                // Stemmed question words for the WS-matrix probe, memoized per
+                // question instead of per record pair.
+                qstems: value
+                    .split_whitespace()
+                    .map(|w| intern::lookup(&porter_stem(&w.to_lowercase())))
+                    .collect(),
+                is_type1: *is_type1,
+                negated: *negated,
+            },
+            ConditionSketch::Numeric {
+                attribute,
+                op,
+                value,
+                value2,
+                negated,
+            } => {
+                let names: Vec<String> = match attribute {
+                    Some(a) => vec![a.clone()],
+                    None => self
+                        .schema
+                        .numeric_candidates(*value)
+                        .iter()
+                        .map(|a| a.name.clone())
+                        .collect(),
+                };
+                let candidates = names
+                    .iter()
+                    .filter_map(|name| {
+                        table.numeric_column(name).map(|column| NumericCandidate {
+                            column,
+                            range: self
+                                .schema
+                                .attribute(name)
+                                .and_then(|a| a.range_width())
+                                .unwrap_or(0.0),
+                        })
+                    })
+                    .collect();
+                // Satisfaction mirrors `ConditionSketch`-level semantics: an explicit
+                // attribute checks that column, an incomplete condition is satisfied
+                // when *any* numeric attribute matches.
+                let sat_columns = match attribute {
+                    Some(a) => table.numeric_column(a).into_iter().collect(),
+                    None => self
+                        .schema
+                        .attributes()
+                        .iter()
+                        .filter_map(|a| table.numeric_column(&a.name))
+                        .collect(),
+                };
+                ProbeKind::Numeric {
+                    candidates,
+                    sat_columns,
+                    target: match value2 {
+                        Some(v2) => (*value + *v2) / 2.0,
+                        None => *value,
+                    },
+                    op: *op,
+                    value: *value,
+                    value2: *value2,
+                    negated: *negated,
+                }
+            }
+        };
+        CompiledProbe { model: self, kind }
+    }
+}
+
+/// A [`ConditionSketch`] compiled against a table: scoring and satisfaction checks
+/// run without any per-record string allocation (see [`SimilarityModel::compile`]).
+#[derive(Debug)]
+pub struct CompiledProbe<'m> {
+    model: &'m SimilarityModel,
+    kind: ProbeKind<'m>,
+}
+
+#[derive(Debug)]
+enum ProbeKind<'m> {
+    Text {
+        column: Option<&'m TextColumn>,
+        raw_qsym: Option<Sym>,
+        qsym: Option<Sym>,
+        qstems: Vec<Option<Sym>>,
+        is_type1: bool,
+        negated: bool,
+    },
+    Numeric {
+        candidates: Vec<NumericCandidate<'m>>,
+        sat_columns: Vec<&'m NumericColumn>,
+        target: f64,
+        op: BoundaryOp,
+        value: f64,
+        value2: Option<f64>,
+        negated: bool,
+    },
+}
+
+#[derive(Debug)]
+struct NumericCandidate<'m> {
+    column: &'m NumericColumn,
+    range: f64,
+}
+
+impl CompiledProbe<'_> {
+    /// Similarity contribution of the compiled (relaxed) condition against record
+    /// `id`, with the measure that produced it — allocation-free equivalent of
+    /// [`SimilarityModel::condition_similarity`].
+    pub fn similarity(&self, id: RecordId) -> (f64, SimilarityMeasure) {
+        match &self.kind {
+            ProbeKind::Text {
+                column,
+                raw_qsym,
+                qsym,
+                qstems,
+                is_type1,
+                negated,
+            } => {
+                let Some(cell) = column.and_then(|c| c.cell(id)) else {
+                    return (0.0, SimilarityMeasure::None);
+                };
+                let measure = if *is_type1 {
+                    SimilarityMeasure::TiSim
+                } else {
+                    SimilarityMeasure::FeatSim
+                };
+                if *negated {
+                    // The user excluded this value; a record that does not carry it
+                    // already satisfies the intent, otherwise it is maximally
+                    // dissimilar.
+                    let sim = if Some(cell.sym) == *raw_qsym {
+                        0.0
+                    } else {
+                        1.0
+                    };
+                    return (sim, measure);
+                }
+                if *is_type1 {
+                    (self.model.ti.normalized_sym(*qsym, cell.sym), measure)
+                } else {
+                    (
+                        self.model.ws.value_similarity_syms(qstems, &cell.stems),
+                        measure,
+                    )
+                }
+            }
+            ProbeKind::Numeric {
+                candidates, target, ..
+            } => {
+                let mut best = 0.0_f64;
+                let mut found = false;
+                for cand in candidates {
+                    if let Some(v) = cand.column.value(id) {
+                        let sim = if cand.range <= 0.0 {
+                            if (target - v).abs() < f64::EPSILON {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            (1.0 - (target - v).abs() / cand.range).clamp(0.0, 1.0)
+                        };
+                        best = best.max(sim);
+                        found = true;
+                    }
+                }
+                if found {
+                    (best, SimilarityMeasure::NumSim)
+                } else {
+                    (0.0, SimilarityMeasure::None)
+                }
+            }
+        }
+    }
+
+    /// `Rank_Sim` (Equation 5) of record `id` for this relaxed condition.
+    pub fn rank_sim(&self, condition_count: usize, id: RecordId) -> (f64, SimilarityMeasure) {
+        let (sim, measure) = self.similarity(id);
+        ((condition_count.saturating_sub(1)) as f64 + sim, measure)
+    }
+
+    /// Does record `id` satisfy the compiled condition *exactly*? Used by the
+    /// degree-of-match fallback to count matched conditions without re-executing
+    /// queries (allocation-free equivalent of sketch-level satisfaction).
+    pub fn satisfied(&self, id: RecordId) -> bool {
+        match &self.kind {
+            ProbeKind::Text {
+                column,
+                raw_qsym,
+                negated,
+                ..
+            } => {
+                let held = match column.and_then(|c| c.cell(id)) {
+                    Some(cell) => Some(cell.sym) == *raw_qsym,
+                    None => false,
+                };
+                held != *negated
+            }
+            ProbeKind::Numeric {
+                sat_columns,
+                op,
+                value,
+                value2,
+                negated,
+                ..
+            } => {
+                let held = sat_columns.iter().any(|col| match col.value(id) {
+                    Some(n) => boundary_matches(*op, *value, *value2, n),
+                    None => false,
+                });
+                held != *negated
+            }
+        }
+    }
+}
+
+/// Numeric boundary satisfaction: does `actual` meet the boundary described by `op`,
+/// `value` and (for ranges) `value2`? Shared by the degree-of-match fallback scorer
+/// and the baseline rankers' sketch-satisfaction helper.
+pub fn boundary_matches(op: BoundaryOp, value: f64, value2: Option<f64>, actual: f64) -> bool {
+    match op {
+        BoundaryOp::Lt => actual < value,
+        BoundaryOp::Le => actual <= value,
+        BoundaryOp::Gt => actual > value,
+        BoundaryOp::Ge => actual >= value,
+        BoundaryOp::Eq => (actual - value).abs() < 1e-9,
+        BoundaryOp::Between => {
+            let hi = value2.unwrap_or(value);
+            actual >= value.min(hi) && actual <= value.max(hi)
+        }
     }
 }
 
@@ -280,7 +538,10 @@ mod tests {
             is_type1: false,
             negated: false,
         };
-        assert_eq!(m.condition_similarity(&relaxed, &record), (0.0, SimilarityMeasure::None));
+        assert_eq!(
+            m.condition_similarity(&relaxed, &record),
+            (0.0, SimilarityMeasure::None)
+        );
 
         let record = Record::builder().text("color", "blue").build();
         let negated = ConditionSketch::Categorical {
@@ -319,7 +580,10 @@ mod tests {
     #[test]
     fn incomplete_numeric_conditions_score_best_candidate() {
         let m = model();
-        let record = Record::builder().number("price", 2100.0).number("year", 2005.0).build();
+        let record = Record::builder()
+            .number("price", 2100.0)
+            .number("year", 2005.0)
+            .build();
         let relaxed = ConditionSketch::Numeric {
             attribute: None,
             op: BoundaryOp::Eq,

@@ -49,11 +49,13 @@ pub fn correct_word(trie: &Trie<Tag>, word: &str) -> Correction {
         }
     }
     match best_alternative(trie, word) {
-        Some((keyword, tag, percent)) if percent >= MIN_CORRECTION_PERCENT => Correction::Replaced {
-            keyword,
-            tag,
-            percent,
-        },
+        Some((keyword, tag, percent)) if percent >= MIN_CORRECTION_PERCENT => {
+            Correction::Replaced {
+                keyword,
+                tag,
+                percent,
+            }
+        }
         _ => Correction::Unrecognized,
     }
 }
@@ -63,7 +65,11 @@ pub fn correct_word(trie: &Trie<Tag>, word: &str) -> Correction {
 /// more than a handful of values together).
 pub fn split_keywords(trie: &Trie<Tag>, word: &str, depth: usize) -> Option<Vec<(String, Tag)>> {
     if depth > 4 || word.is_empty() {
-        return if word.is_empty() { Some(Vec::new()) } else { None };
+        return if word.is_empty() {
+            Some(Vec::new())
+        } else {
+            None
+        };
     }
     // Prefer the longest prefix first, then back off to shorter recognized prefixes so
     // that "hondaaccord" does not get stuck if the greedy split fails. Prefix lengths
@@ -120,8 +126,14 @@ mod tests {
     #[test]
     fn exact_keywords_pass_through() {
         let t = trie();
-        assert!(matches!(correct_word(&t, "honda"), Correction::Exact(Tag::Type1Value { .. })));
-        assert!(matches!(correct_word(&t, "blue"), Correction::Exact(Tag::Type2Value { .. })));
+        assert!(matches!(
+            correct_word(&t, "honda"),
+            Correction::Exact(Tag::Type1Value { .. })
+        ));
+        assert!(matches!(
+            correct_word(&t, "blue"),
+            Correction::Exact(Tag::Type2Value { .. })
+        ));
     }
 
     #[test]
@@ -142,7 +154,9 @@ mod tests {
         let t = trie();
         // "honda accorr less than $2000" (Section 4.2.1)
         match correct_word(&t, "accorr") {
-            Correction::Replaced { keyword, percent, .. } => {
+            Correction::Replaced {
+                keyword, percent, ..
+            } => {
                 assert_eq!(keyword, "accord");
                 assert!(percent >= MIN_CORRECTION_PERCENT);
             }
@@ -165,7 +179,10 @@ mod tests {
     fn split_requires_every_piece_to_be_recognized() {
         let t = trie();
         // "bluecar" — "blue" is recognized but "car" is not a keyword, so no split.
-        assert!(matches!(correct_word(&t, "bluecarx"), Correction::Unrecognized));
+        assert!(matches!(
+            correct_word(&t, "bluecarx"),
+            Correction::Unrecognized
+        ));
         // split_keywords on an empty word yields the empty split.
         assert_eq!(split_keywords(&t, "", 0), Some(vec![]));
     }

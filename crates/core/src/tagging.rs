@@ -69,14 +69,19 @@ impl TaggedToken {
     /// paper's Example 2.
     fn summary_piece(&self) -> String {
         match self {
-            TaggedToken::Value { value, is_type1, .. } => {
+            TaggedToken::Value {
+                value, is_type1, ..
+            } => {
                 format!("\"{value}\"/{}", if *is_type1 { "TI" } else { "TII" })
             }
             TaggedToken::Number(n) => format!("\"{n}\"/TIII"),
             TaggedToken::Type3Attr(a) => format!("\"{a}\"/TIII-attr"),
             TaggedToken::Superlative { attribute, kind } => format!(
                 "\"{}{:?}\"/TIII-CS",
-                attribute.as_deref().map(|a| format!("{a} ")).unwrap_or_default(),
+                attribute
+                    .as_deref()
+                    .map(|a| format!("{a} "))
+                    .unwrap_or_default(),
                 kind
             ),
             TaggedToken::Boundary { op, .. } => format!("\"{op:?}\"/TIII-B"),
@@ -391,9 +396,10 @@ mod tests {
             value: "4 wheel drive".into(),
             is_type1: false
         }));
-        assert!(t
-            .tokens
-            .contains(&TaggedToken::Boundary { attribute: None, op: BoundaryOp::Lt }));
+        assert!(t.tokens.contains(&TaggedToken::Boundary {
+            attribute: None,
+            op: BoundaryOp::Lt
+        }));
         assert!(t.tokens.contains(&TaggedToken::Number(20_000.0)));
         assert!(t.tokens.contains(&TaggedToken::Type3Attr("mileage".into())));
     }

@@ -96,9 +96,18 @@ impl Interpretation {
         self.condition_count() == 0
     }
 
-    /// Build the executable query (Boolean combination + superlatives + 30-answer cap).
+    /// Build the executable query (Boolean combination + superlatives + the paper's
+    /// default 30-answer cap).
     pub fn to_query(&self, spec: &DomainSpec) -> CqadsResult<Query> {
-        self.to_query_excluding(spec, usize::MAX)
+        self.to_query_with_limit(spec, addb::DEFAULT_ANSWER_LIMIT)
+    }
+
+    /// Build the executable query with an explicit answer limit. The pipeline threads
+    /// its configured `answer_limit` through here, so `CqadsConfig { answer_limit, .. }`
+    /// genuinely governs how many exact answers come back (it used to be silently
+    /// capped at the default 30).
+    pub fn to_query_with_limit(&self, spec: &DomainSpec, limit: usize) -> CqadsResult<Query> {
+        Ok(self.to_query_excluding(spec, usize::MAX)?.with_limit(limit))
     }
 
     /// Build the query with the `skip`-th sketch (in [`Interpretation::all_sketches`]
@@ -186,10 +195,19 @@ pub fn interpret(tagged: &TaggedQuestion, spec: &DomainSpec) -> CqadsResult<Inte
                     }
                     pending_attr = Some(attribute.clone());
                 } else if let Some(last_unresolved) = current.iter_mut().rev().find(|s| {
-                    matches!(s, ConditionSketch::Numeric { attribute: None, .. })
+                    matches!(
+                        s,
+                        ConditionSketch::Numeric {
+                            attribute: None,
+                            ..
+                        }
+                    )
                 }) {
                     // "20k miles": the attribute keyword follows the number.
-                    if let ConditionSketch::Numeric { attribute: slot, .. } = last_unresolved {
+                    if let ConditionSketch::Numeric {
+                        attribute: slot, ..
+                    } = last_unresolved
+                    {
                         *slot = Some(attribute.clone());
                     }
                 } else {
@@ -198,9 +216,14 @@ pub fn interpret(tagged: &TaggedQuestion, spec: &DomainSpec) -> CqadsResult<Inte
             }
             TaggedToken::Number(n) => {
                 if let Some(idx) = awaiting_between.take() {
-                    if let Some(ConditionSketch::Numeric { value, value2, .. }) = current.get_mut(idx)
+                    if let Some(ConditionSketch::Numeric { value, value2, .. }) =
+                        current.get_mut(idx)
                     {
-                        let (lo, hi) = if *value <= *n { (*value, *n) } else { (*n, *value) };
+                        let (lo, hi) = if *value <= *n {
+                            (*value, *n)
+                        } else {
+                            (*n, *value)
+                        };
                         *value = lo;
                         *value2 = Some(hi);
                         continue;
@@ -246,7 +269,10 @@ pub fn interpret(tagged: &TaggedQuestion, spec: &DomainSpec) -> CqadsResult<Inte
             }
             TaggedToken::Superlative { attribute, kind } => {
                 match attribute.clone().or_else(|| pending_attr.take()) {
-                    Some(attr) => superlatives.push(Superlative { attribute: attr, kind: *kind }),
+                    Some(attr) => superlatives.push(Superlative {
+                        attribute: attr,
+                        kind: *kind,
+                    }),
                     None => pending_superlative = Some(*kind),
                 }
             }
@@ -431,6 +457,9 @@ mod tests {
         let i = interpretation("blue honda accord less than 15000 dollars");
         let full = i.to_query(&spec).unwrap();
         let relaxed = i.to_query_excluding(&spec, 0).unwrap();
-        assert_eq!(full.expr.condition_count(), relaxed.expr.condition_count() + 1);
+        assert_eq!(
+            full.expr.condition_count(),
+            relaxed.expr.condition_count() + 1
+        );
     }
 }

@@ -23,7 +23,9 @@ pub fn generate_table(blueprint: &DomainBlueprint, count: usize, seed: u64) -> T
     let mut rng = StdRng::seed_from_u64(seed ^ hash_name(blueprint.name));
     for _ in 0..count {
         let record = generate_record(blueprint, &mut rng);
-        table.insert(record).expect("generated records fit the schema");
+        table
+            .insert(record)
+            .expect("generated records fit the schema");
     }
     table
 }
@@ -118,7 +120,9 @@ mod tests {
             let make = record.get_text("make").unwrap();
             let model = record.get_text("model").unwrap();
             assert!(
-                bp.type1_pairs.iter().any(|(a, b)| *a == make && *b == model),
+                bp.type1_pairs
+                    .iter()
+                    .any(|(a, b)| *a == make && *b == model),
                 "unpaired make/model: {make} {model}"
             );
         }

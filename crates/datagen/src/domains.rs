@@ -265,7 +265,11 @@ fn cars() -> DomainBlueprint {
             ValuePool::new("transmission", &[("automatic", 0), ("manual", 1)]),
             ValuePool::new(
                 "drivetrain",
-                &[("2 wheel drive", 0), ("4 wheel drive", 1), ("all wheel drive", 1)],
+                &[
+                    ("2 wheel drive", 0),
+                    ("4 wheel drive", 1),
+                    ("all wheel drive", 1),
+                ],
             ),
             ValuePool::new("doors", &[("2 door", 0), ("4 door", 1)]),
             ValuePool::new(
@@ -284,13 +288,33 @@ fn cars() -> DomainBlueprint {
             ),
         ],
         type3: vec![
-            NumericAttr::new("price", 500.0, 80_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar", "bucks"]),
+            NumericAttr::new(
+                "price",
+                500.0,
+                80_000.0,
+                Some("usd"),
+                &["price", "priced", "cost", "dollars", "dollar", "bucks"],
+            ),
             NumericAttr::new("year", 1985.0, 2011.0, None, &["year"]),
-            NumericAttr::new("mileage", 0.0, 250_000.0, Some("miles"), &["mileage", "mile", "mi", "odometer"]),
+            NumericAttr::new(
+                "mileage",
+                0.0,
+                250_000.0,
+                Some("miles"),
+                &["mileage", "mile", "mi", "odometer"],
+            ),
         ],
         price_attribute: Some("price"),
         year_attribute: Some("year"),
-        flavour_words: vec!["sedan", "coupe", "engine", "cylinder", "hatchback", "truck", "suv"],
+        flavour_words: vec![
+            "sedan",
+            "coupe",
+            "engine",
+            "cylinder",
+            "hatchback",
+            "truck",
+            "suv",
+        ],
     }
 }
 
@@ -342,22 +366,57 @@ fn motorcycles() -> DomainBlueprint {
         type2: vec![
             ValuePool::new(
                 "color",
-                &[("black", 0), ("red", 1), ("blue", 0), ("white", 0), ("orange", 1)],
+                &[
+                    ("black", 0),
+                    ("red", 1),
+                    ("blue", 0),
+                    ("white", 0),
+                    ("orange", 1),
+                ],
             ),
             ValuePool::new(
                 "style",
-                &[("sport", 0), ("cruiser", 1), ("touring", 1), ("dirt", 2), ("scooter", 2)],
+                &[
+                    ("sport", 0),
+                    ("cruiser", 1),
+                    ("touring", 1),
+                    ("dirt", 2),
+                    ("scooter", 2),
+                ],
             ),
             ValuePool::new(
                 "features",
-                &[("saddlebags", 0), ("windshield", 0), ("heated grips", 1), ("abs", 1)],
+                &[
+                    ("saddlebags", 0),
+                    ("windshield", 0),
+                    ("heated grips", 1),
+                    ("abs", 1),
+                ],
             ),
         ],
         type3: vec![
-            NumericAttr::new("price", 300.0, 40_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new(
+                "price",
+                300.0,
+                40_000.0,
+                Some("usd"),
+                &["price", "priced", "cost", "dollars", "dollar"],
+            ),
             NumericAttr::new("year", 1985.0, 2011.0, None, &["year"]),
-            NumericAttr::new("mileage", 0.0, 120_000.0, Some("miles"), &["mileage", "mile", "mi", "odometer"]),
-            NumericAttr::new("engine_cc", 50.0, 2000.0, Some("cc"), &["engine", "displacement"]),
+            NumericAttr::new(
+                "mileage",
+                0.0,
+                120_000.0,
+                Some("miles"),
+                &["mileage", "mile", "mi", "odometer"],
+            ),
+            NumericAttr::new(
+                "engine_cc",
+                50.0,
+                2000.0,
+                Some("cc"),
+                &["engine", "displacement"],
+            ),
         ],
         price_attribute: Some("price"),
         year_attribute: Some("year"),
@@ -402,17 +461,42 @@ fn clothing() -> DomainBlueprint {
         type2: vec![
             ValuePool::new(
                 "color",
-                &[("black", 0), ("white", 0), ("navy", 0), ("red", 1), ("pink", 1), ("beige", 2)],
+                &[
+                    ("black", 0),
+                    ("white", 0),
+                    ("navy", 0),
+                    ("red", 1),
+                    ("pink", 1),
+                    ("beige", 2),
+                ],
             ),
-            ValuePool::new("size", &[("small", 0), ("medium", 0), ("large", 1), ("extra large", 1)]),
+            ValuePool::new(
+                "size",
+                &[
+                    ("small", 0),
+                    ("medium", 0),
+                    ("large", 1),
+                    ("extra large", 1),
+                ],
+            ),
             ValuePool::new(
                 "material",
-                &[("cotton", 0), ("denim", 0), ("leather", 1), ("wool", 1), ("polyester", 2)],
+                &[
+                    ("cotton", 0),
+                    ("denim", 0),
+                    ("leather", 1),
+                    ("wool", 1),
+                    ("polyester", 2),
+                ],
             ),
         ],
-        type3: vec![
-            NumericAttr::new("price", 5.0, 2_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
-        ],
+        type3: vec![NumericAttr::new(
+            "price",
+            5.0,
+            2_000.0,
+            Some("usd"),
+            &["price", "priced", "cost", "dollars", "dollar"],
+        )],
         price_attribute: Some("price"),
         year_attribute: None,
         flavour_words: vec!["wear", "outfit", "fashion", "style", "fit"],
@@ -451,16 +535,44 @@ fn cs_jobs() -> DomainBlueprint {
                     ("sql", 3),
                 ],
             ),
-            ValuePool::new("seniority", &[("junior", 0), ("mid level", 0), ("senior", 1), ("principal", 1)]),
-            ValuePool::new("arrangement", &[("remote", 0), ("hybrid", 0), ("onsite", 1)]),
+            ValuePool::new(
+                "seniority",
+                &[
+                    ("junior", 0),
+                    ("mid level", 0),
+                    ("senior", 1),
+                    ("principal", 1),
+                ],
+            ),
+            ValuePool::new(
+                "arrangement",
+                &[("remote", 0), ("hybrid", 0), ("onsite", 1)],
+            ),
             ValuePool::new(
                 "benefits",
-                &[("health insurance", 0), ("stock options", 1), ("retirement plan", 0), ("relocation", 1)],
+                &[
+                    ("health insurance", 0),
+                    ("stock options", 1),
+                    ("retirement plan", 0),
+                    ("relocation", 1),
+                ],
             ),
         ],
         type3: vec![
-            NumericAttr::new("salary", 30_000.0, 300_000.0, Some("usd"), &["salary", "pay", "compensation", "dollars"]),
-            NumericAttr::new("experience", 0.0, 20.0, Some("years"), &["experience", "yoe"]),
+            NumericAttr::new(
+                "salary",
+                30_000.0,
+                300_000.0,
+                Some("usd"),
+                &["salary", "pay", "compensation", "dollars"],
+            ),
+            NumericAttr::new(
+                "experience",
+                0.0,
+                20.0,
+                Some("years"),
+                &["experience", "yoe"],
+            ),
         ],
         price_attribute: Some("salary"),
         year_attribute: None,
@@ -491,13 +603,39 @@ fn furniture() -> DomainBlueprint {
         type2: vec![
             ValuePool::new(
                 "material",
-                &[("oak", 0), ("pine", 0), ("walnut", 0), ("leather", 1), ("fabric", 1), ("metal", 2), ("glass", 2)],
+                &[
+                    ("oak", 0),
+                    ("pine", 0),
+                    ("walnut", 0),
+                    ("leather", 1),
+                    ("fabric", 1),
+                    ("metal", 2),
+                    ("glass", 2),
+                ],
             ),
-            ValuePool::new("color", &[("brown", 0), ("beige", 0), ("black", 1), ("white", 1), ("grey", 1)]),
-            ValuePool::new("condition", &[("new", 0), ("like new", 0), ("used", 1), ("refurbished", 1)]),
+            ValuePool::new(
+                "color",
+                &[
+                    ("brown", 0),
+                    ("beige", 0),
+                    ("black", 1),
+                    ("white", 1),
+                    ("grey", 1),
+                ],
+            ),
+            ValuePool::new(
+                "condition",
+                &[("new", 0), ("like new", 0), ("used", 1), ("refurbished", 1)],
+            ),
         ],
         type3: vec![
-            NumericAttr::new("price", 10.0, 5_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new(
+                "price",
+                10.0,
+                5_000.0,
+                Some("usd"),
+                &["price", "priced", "cost", "dollars", "dollar"],
+            ),
             NumericAttr::new("width", 10.0, 120.0, Some("inches"), &["width", "wide"]),
         ],
         price_attribute: Some("price"),
@@ -526,14 +664,44 @@ fn food_coupons() -> DomainBlueprint {
         type2: vec![
             ValuePool::new(
                 "cuisine",
-                &[("italian", 0), ("american", 1), ("mexican", 1), ("japanese", 2), ("thai", 2), ("indian", 2), ("vegan", 3)],
+                &[
+                    ("italian", 0),
+                    ("american", 1),
+                    ("mexican", 1),
+                    ("japanese", 2),
+                    ("thai", 2),
+                    ("indian", 2),
+                    ("vegan", 3),
+                ],
             ),
-            ValuePool::new("meal", &[("lunch", 0), ("dinner", 0), ("breakfast", 1), ("dessert", 1)]),
-            ValuePool::new("offer", &[("buy one get one", 0), ("free delivery", 1), ("family bundle", 0), ("student deal", 1)]),
+            ValuePool::new(
+                "meal",
+                &[
+                    ("lunch", 0),
+                    ("dinner", 0),
+                    ("breakfast", 1),
+                    ("dessert", 1),
+                ],
+            ),
+            ValuePool::new(
+                "offer",
+                &[
+                    ("buy one get one", 0),
+                    ("free delivery", 1),
+                    ("family bundle", 0),
+                    ("student deal", 1),
+                ],
+            ),
         ],
         type3: vec![
             NumericAttr::new("discount", 5.0, 80.0, Some("percent"), &["discount", "off"]),
-            NumericAttr::new("price", 1.0, 100.0, Some("usd"), &["price", "cost", "dollars", "dollar"]),
+            NumericAttr::new(
+                "price",
+                1.0,
+                100.0,
+                Some("usd"),
+                &["price", "cost", "dollars", "dollar"],
+            ),
         ],
         price_attribute: Some("price"),
         year_attribute: None,
@@ -590,12 +758,32 @@ fn musical_instruments() -> DomainBlueprint {
             ("selmer", "trumpet"),
         ],
         type2: vec![
-            ValuePool::new("condition", &[("new", 0), ("mint", 0), ("used", 1), ("vintage", 1)]),
-            ValuePool::new("color", &[("sunburst", 0), ("black", 1), ("white", 1), ("natural", 0)]),
-            ValuePool::new("accessories", &[("hard case", 0), ("gig bag", 0), ("amplifier", 1), ("stand", 1)]),
+            ValuePool::new(
+                "condition",
+                &[("new", 0), ("mint", 0), ("used", 1), ("vintage", 1)],
+            ),
+            ValuePool::new(
+                "color",
+                &[("sunburst", 0), ("black", 1), ("white", 1), ("natural", 0)],
+            ),
+            ValuePool::new(
+                "accessories",
+                &[
+                    ("hard case", 0),
+                    ("gig bag", 0),
+                    ("amplifier", 1),
+                    ("stand", 1),
+                ],
+            ),
         ],
         type3: vec![
-            NumericAttr::new("price", 20.0, 15_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new(
+                "price",
+                20.0,
+                15_000.0,
+                Some("usd"),
+                &["price", "priced", "cost", "dollars", "dollar"],
+            ),
             NumericAttr::new("year", 1950.0, 2011.0, None, &["year"]),
         ],
         price_attribute: Some("price"),
@@ -625,16 +813,44 @@ fn jewellery() -> DomainBlueprint {
         type2: vec![
             ValuePool::new(
                 "metal",
-                &[("gold", 0), ("rose gold", 0), ("white gold", 0), ("silver", 1), ("platinum", 1), ("titanium", 2)],
+                &[
+                    ("gold", 0),
+                    ("rose gold", 0),
+                    ("white gold", 0),
+                    ("silver", 1),
+                    ("platinum", 1),
+                    ("titanium", 2),
+                ],
             ),
             ValuePool::new(
                 "gemstone",
-                &[("diamond", 0), ("moissanite", 0), ("ruby", 1), ("sapphire", 1), ("emerald", 1), ("pearl", 2)],
+                &[
+                    ("diamond", 0),
+                    ("moissanite", 0),
+                    ("ruby", 1),
+                    ("sapphire", 1),
+                    ("emerald", 1),
+                    ("pearl", 2),
+                ],
             ),
-            ValuePool::new("style", &[("vintage", 0), ("modern", 1), ("minimalist", 1), ("art deco", 0)]),
+            ValuePool::new(
+                "style",
+                &[
+                    ("vintage", 0),
+                    ("modern", 1),
+                    ("minimalist", 1),
+                    ("art deco", 0),
+                ],
+            ),
         ],
         type3: vec![
-            NumericAttr::new("price", 20.0, 50_000.0, Some("usd"), &["price", "priced", "cost", "dollars", "dollar"]),
+            NumericAttr::new(
+                "price",
+                20.0,
+                50_000.0,
+                Some("usd"),
+                &["price", "priced", "cost", "dollars", "dollar"],
+            ),
             NumericAttr::new("carat", 0.1, 5.0, Some("carat"), &["carats", "ct"]),
         ],
         price_attribute: Some("price"),
@@ -654,9 +870,21 @@ mod tests {
         for bp in &blueprints {
             let spec = bp.to_spec();
             assert_eq!(spec.name(), bp.name);
-            assert!(!spec.schema.type1_names().is_empty(), "{} needs Type I", bp.name);
-            assert!(!spec.schema.type3_names().is_empty(), "{} needs Type III", bp.name);
-            assert!(spec.price_attribute.is_some(), "{} needs a price-like attribute", bp.name);
+            assert!(
+                !spec.schema.type1_names().is_empty(),
+                "{} needs Type I",
+                bp.name
+            );
+            assert!(
+                !spec.schema.type3_names().is_empty(),
+                "{} needs Type III",
+                bp.name
+            );
+            assert!(
+                spec.price_attribute.is_some(),
+                "{} needs a price-like attribute",
+                bp.name
+            );
             // every registered Type I/II value resolves back to its attribute
             for pool in bp.all_pools() {
                 for (value, _) in &pool.values {

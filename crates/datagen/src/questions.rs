@@ -265,7 +265,12 @@ pub fn generate_question(
         QuestionKind::Incomplete => {
             // Drop the attribute/unit words from the numeric phrase, keeping the number.
             if let Some(np) = &numeric_phrase {
-                if let Some(number) = np.split_whitespace().find(|w| w.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false)) {
+                if let Some(number) = np.split_whitespace().find(|w| {
+                    w.chars()
+                        .next()
+                        .map(|c| c.is_ascii_digit())
+                        .unwrap_or(false)
+                }) {
                     numeric_phrase = Some(number.to_string());
                 }
             }
@@ -426,7 +431,11 @@ fn shorthandize(value: &str) -> String {
         0 | 1 => value.to_string(),
         2 => {
             let head = words[0];
-            let tail: String = words[1].chars().filter(|c| !"aeiou".contains(*c)).take(2).collect();
+            let tail: String = words[1]
+                .chars()
+                .filter(|c| !"aeiou".contains(*c))
+                .take(2)
+                .collect();
             format!("{head}{tail}")
         }
         _ => words
@@ -470,7 +479,12 @@ mod tests {
         // Boolean share is roughly one fifth, as in the paper's surveys.
         let boolean = questions
             .iter()
-            .filter(|q| matches!(q.kind, QuestionKind::ImplicitBoolean | QuestionKind::ExplicitBoolean))
+            .filter(|q| {
+                matches!(
+                    q.kind,
+                    QuestionKind::ImplicitBoolean | QuestionKind::ExplicitBoolean
+                )
+            })
             .count() as f64;
         let share = boolean / questions.len() as f64;
         assert!(share > 0.10 && share < 0.35, "boolean share {share}");
@@ -499,7 +513,10 @@ mod tests {
             }
         }
         // Plain questions are anchored on real records, so most have exact answers.
-        assert!(with_answers * 10 >= questions.len() * 7, "{with_answers}/60");
+        assert!(
+            with_answers * 10 >= questions.len() * 7,
+            "{with_answers}/60"
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl Appraiser {
                     negated,
                     ..
                 } => {
-                    let holds = record.get_text(attribute).map(|v| v == value).unwrap_or(false);
+                    let holds = record
+                        .get_text(attribute)
+                        .map(|v| v == value)
+                        .unwrap_or(false);
                     if *negated {
                         if holds {
                             0.0
@@ -145,7 +148,12 @@ impl Appraiser {
         let score = self.ground_truth_score(blueprint, gold, record);
         let related = score >= self.relevance_threshold;
         // Deterministic noise: hash the identifying tuple into a coin flip.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ question_id.wrapping_mul(0x9E3779B9).wrapping_add(hash_record(record)));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ question_id
+                    .wrapping_mul(0x9E3779B9)
+                    .wrapping_add(hash_record(record)),
+        );
         if rng.random::<f64>() < self.noise {
             !related
         } else {
@@ -226,13 +234,14 @@ impl BooleanSurvey {
     /// the cars-domain vocabulary of the synthetic blueprint so that interpretations can
     /// be compared by the answer sets they retrieve.
     pub fn sample(seed: u64) -> Self {
-        let q = |id, text: &str, implicit, majority: Interpretation, dissent| BooleanSurveyQuestion {
-            id,
-            text: text.to_string(),
-            implicit,
-            majority,
-            dissent,
-        };
+        let q =
+            |id, text: &str, implicit, majority: Interpretation, dissent| BooleanSurveyQuestion {
+                id,
+                text: text.to_string(),
+                implicit,
+                majority,
+                dissent,
+            };
         BooleanSurvey {
             questions: vec![
                 q(
@@ -377,7 +386,8 @@ impl BooleanSurvey {
     /// it only if they are a dissenter sympathetic to that reading.
     pub fn vote_share(&self, index: usize, interpretation_matches_majority: bool) -> f64 {
         let question = &self.questions[index];
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (index as u64 + 1).wrapping_mul(0xA24BAED4));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (index as u64 + 1).wrapping_mul(0xA24BAED4));
         let mut votes = 0usize;
         for _ in 0..self.respondents {
             let dissents = rng.random::<f64>() < question.dissent;

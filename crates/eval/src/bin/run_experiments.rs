@@ -69,8 +69,11 @@ fn main() {
             "shorthand_accuracy": shorthand,
             "survey_stats": survey,
         });
-        std::fs::write(&path, serde_json::to_string_pretty(&all).expect("serializable results"))
-            .expect("write results file");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&all).expect("serializable results"),
+        )
+        .expect("write results file");
         eprintln!("wrote {path}");
     }
 }

@@ -30,7 +30,9 @@ impl ClassificationResult {
         }
         out.push_str(&format!(
             "  {:<22} {:.1}%   ({} questions)\n",
-            "average", self.average * 100.0, self.questions
+            "average",
+            self.average * 100.0,
+            self.questions
         ));
         out
     }
@@ -80,11 +82,7 @@ mod tests {
         // the best-performing domain.
         let cars = result.per_domain["cars"];
         let moto = result.per_domain["motorcycles"];
-        let best = result
-            .per_domain
-            .values()
-            .cloned()
-            .fold(0.0_f64, f64::max);
+        let best = result.per_domain.values().cloned().fold(0.0_f64, f64::max);
         assert!(cars.min(moto) <= best);
         assert!(result.report().contains("average"));
     }

@@ -48,9 +48,17 @@ impl BooleanResult {
             out.push_str(&format!(
                 "  {:<4} {}  accuracy {:.1}%{}\n",
                 q.id,
-                if q.implicit { "(implicit)" } else { "(explicit)" },
+                if q.implicit {
+                    "(implicit)"
+                } else {
+                    "(explicit)"
+                },
                 q.accuracy * 100.0,
-                if q.matched_majority { "" } else { "  [interpretation differs from majority]" }
+                if q.matched_majority {
+                    ""
+                } else {
+                    "  [interpretation differs from majority]"
+                }
             ));
         }
         out.push_str(&format!(
@@ -67,7 +75,11 @@ impl BooleanResult {
 pub fn run(bed: &Testbed) -> BooleanResult {
     let survey = BooleanSurvey::sample(bed.config.seed ^ 0x77);
     let spec = bed.spec("cars");
-    let table = bed.system.database().table("cars").expect("cars registered");
+    let table = bed
+        .system
+        .database()
+        .table("cars")
+        .expect("cars registered");
     let mut questions = Vec::new();
 
     for (index, sq) in survey.questions.iter().enumerate() {
@@ -99,7 +111,11 @@ pub fn run(bed: &Testbed) -> BooleanResult {
     }
 
     let avg = |filter: &dyn Fn(&BooleanQuestionResult) -> bool| {
-        let selected: Vec<f64> = questions.iter().filter(|q| filter(q)).map(|q| q.accuracy).collect();
+        let selected: Vec<f64> = questions
+            .iter()
+            .filter(|q| filter(q))
+            .map(|q| q.accuracy)
+            .collect();
         if selected.is_empty() {
             0.0
         } else {
@@ -124,7 +140,11 @@ mod tests {
         let result = run(shared());
         assert_eq!(result.questions.len(), 10);
         // Most interpretations match the majority reading.
-        let matched = result.questions.iter().filter(|q| q.matched_majority).count();
+        let matched = result
+            .questions
+            .iter()
+            .filter(|q| q.matched_majority)
+            .count();
         assert!(matched >= 8, "only {matched}/10 interpretations matched");
         // Average agreement is high (the paper reports ~90 %).
         assert!(

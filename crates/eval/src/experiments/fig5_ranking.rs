@@ -210,7 +210,11 @@ mod tests {
         assert!(cqads.p_at_5 > random.p_at_5, "{result:#?}");
         assert!(cqads.mrr >= random.mrr);
         for s in &result.systems {
-            assert!(cqads.p_at_5 + 1e-9 >= s.p_at_5, "CQAds lost P@5 to {}", s.name);
+            assert!(
+                cqads.p_at_5 + 1e-9 >= s.p_at_5,
+                "CQAds lost P@5 to {}",
+                s.name
+            );
         }
         // FAQFinder ignores numeric attributes, so it should not beat CQAds.
         assert!(cqads.p_at_5 >= faq.p_at_5);

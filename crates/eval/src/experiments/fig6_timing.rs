@@ -33,7 +33,10 @@ pub struct TimingResult {
 impl TimingResult {
     /// Average time of a named system.
     pub fn avg_micros(&self, name: &str) -> Option<f64> {
-        self.systems.iter().find(|s| s.name == name).map(|s| s.avg_micros)
+        self.systems
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.avg_micros)
     }
 
     /// Paper-style textual report.
@@ -43,7 +46,10 @@ impl TimingResult {
             self.questions
         );
         for s in &self.systems {
-            out.push_str(&format!("  {:<10} {:>10.1} µs/question\n", s.name, s.avg_micros));
+            out.push_str(&format!(
+                "  {:<10} {:>10.1} µs/question\n",
+                s.name, s.avg_micros
+            ));
         }
         out
     }

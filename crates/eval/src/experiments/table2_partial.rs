@@ -54,7 +54,9 @@ impl Table2Result {
                 "  {} {:<28} price {:<9} color {:<8} Rank_Sim {:.2}  via {}\n",
                 row.rank,
                 row.identifier,
-                row.price.map(|p| format!("{p:.0}")).unwrap_or_else(|| "-".into()),
+                row.price
+                    .map(|p| format!("{p:.0}"))
+                    .unwrap_or_else(|| "-".into()),
                 row.color.clone().unwrap_or_else(|| "-".into()),
                 row.rank_sim,
                 row.measure

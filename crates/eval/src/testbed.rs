@@ -7,11 +7,11 @@
 //! the other seven domains, as in Section 5.1).
 
 use cqads::{CqadsSystem, DomainSpec};
+use cqads_classifier::LabelledDoc;
 use cqads_datagen::{
     affinity_model, all_blueprints, generate_questions, generate_table, topic_groups,
     DomainBlueprint, GeneratedQuestion, QuestionMix,
 };
-use cqads_classifier::LabelledDoc;
 use cqads_querylog::{generate_log, LogGeneratorConfig, TIMatrix};
 use cqads_wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
 use std::collections::BTreeMap;
@@ -187,7 +187,10 @@ impl Testbed {
 
     /// The questions belonging to one domain.
     pub fn questions_for(&self, domain: &str) -> Vec<&GeneratedQuestion> {
-        self.questions.iter().filter(|q| q.domain == domain).collect()
+        self.questions
+            .iter()
+            .filter(|q| q.domain == domain)
+            .collect()
     }
 }
 

@@ -231,13 +231,7 @@ mod tests {
         let a = generate_log(&car_model(), &cfg);
         let b = generate_log(&car_model(), &cfg);
         assert_eq!(a.sessions, b.sessions);
-        let c = generate_log(
-            &car_model(),
-            &LogGeneratorConfig {
-                seed: 777,
-                ..cfg
-            },
-        );
+        let c = generate_log(&car_model(), &LogGeneratorConfig { seed: 777, ..cfg });
         assert_ne!(a.sessions, c.sessions);
     }
 
@@ -249,7 +243,7 @@ mod tests {
             ..Default::default()
         };
         let log = generate_log(&car_model(), &cfg);
-        let mut count = |a: &str, b: &str| -> usize {
+        let count = |a: &str, b: &str| -> usize {
             log.sessions
                 .iter()
                 .flat_map(|s| s.reformulations())

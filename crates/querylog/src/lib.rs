@@ -29,6 +29,6 @@ pub mod generator;
 pub mod log;
 pub mod ti_matrix;
 
-pub use generator::{AffinityModel, LogGeneratorConfig, generate_log};
+pub use generator::{generate_log, AffinityModel, LogGeneratorConfig};
 pub use log::{ClickEvent, QueryLog, Session, SubmittedQuery};
 pub use ti_matrix::TIMatrix;

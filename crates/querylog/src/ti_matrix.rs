@@ -15,12 +15,18 @@
 //! * `Click(A, B)` — number of clicks on ads containing B when A was searched.
 
 use crate::log::QueryLog;
+use cqads_text::intern::{self, sym_pair, Sym, SymHashBuilder};
 use std::collections::HashMap;
 
 /// Symmetric matrix of `TI_Sim` values over Type I attribute values.
+///
+/// Entries are keyed by interned symbols of the *lowercased* values, so the hot-path
+/// lookup ([`TIMatrix::normalized_sym`]) is a pure integer-pair hash probe with zero
+/// string allocation; the string-based accessors remain for construction, tests and
+/// reports and normalize (allocate) on the way in.
 #[derive(Debug, Clone, Default)]
 pub struct TIMatrix {
-    entries: HashMap<(String, String), f64>,
+    entries: HashMap<(Sym, Sym), f64, SymHashBuilder>,
     max_value: f64,
 }
 
@@ -83,9 +89,11 @@ impl TIMatrix {
         pairs.sort();
         pairs.dedup();
 
-        let avg = |m: &HashMap<(String, String), (f64, f64)>, k: &(String, String)| -> Option<f64> {
-            m.get(k).map(|(sum, n)| if *n > 0.0 { sum / n } else { 0.0 })
-        };
+        let avg =
+            |m: &HashMap<(String, String), (f64, f64)>, k: &(String, String)| -> Option<f64> {
+                m.get(k)
+                    .map(|(sum, n)| if *n > 0.0 { sum / n } else { 0.0 })
+            };
 
         // Raw feature values per pair.
         let mut raw: HashMap<(String, String), [f64; 5]> = HashMap::new();
@@ -106,18 +114,28 @@ impl TIMatrix {
             }
         }
 
-        let mut entries = HashMap::with_capacity(raw.len());
+        let mut entries = HashMap::with_capacity_and_hasher(raw.len(), SymHashBuilder);
         let mut max_value = 0.0_f64;
         for (k, v) in raw {
-            let norm = |i: usize| if maxima[i] > 0.0 { v[i] / maxima[i] } else { 0.0 };
+            let norm = |i: usize| {
+                if maxima[i] > 0.0 {
+                    v[i] / maxima[i]
+                } else {
+                    0.0
+                }
+            };
             // Time and Rank are inverted: smaller is more related. Pairs never observed
             // for those features contribute 0, not 1, because absence of evidence is not
             // evidence of relatedness.
             let time_feat = if v[1] > 0.0 { 1.0 - norm(1) } else { 0.0 };
-            let rank_feat = if v[3] > 0.0 { 1.0 - (v[3] - 1.0) / maxima[3].max(1.0) } else { 0.0 };
+            let rank_feat = if v[3] > 0.0 {
+                1.0 - (v[3] - 1.0) / maxima[3].max(1.0)
+            } else {
+                0.0
+            };
             let ti = norm(0) + time_feat + norm(2) + rank_feat + norm(4);
             max_value = max_value.max(ti);
-            entries.insert(k, ti);
+            entries.insert(sym_key(&k.0, &k.1), ti);
         }
         TIMatrix { entries, max_value }
     }
@@ -128,7 +146,13 @@ impl TIMatrix {
         if a.eq_ignore_ascii_case(b) {
             return self.max_value.max(1.0);
         }
-        self.entries.get(&key(a, b)).copied().unwrap_or(0.0)
+        match (
+            intern::lookup(&a.to_lowercase()),
+            intern::lookup(&b.to_lowercase()),
+        ) {
+            (Some(sa), Some(sb)) => self.entries.get(&sym_pair(sa, sb)).copied().unwrap_or(0.0),
+            _ => 0.0,
+        }
     }
 
     /// `TI_Sim` normalized by the maximum entry of the matrix, as required when it is
@@ -138,6 +162,25 @@ impl TIMatrix {
             return if a.eq_ignore_ascii_case(b) { 1.0 } else { 0.0 };
         }
         (self.ti_sim(a, b) / self.max_value).clamp(0.0, 1.0)
+    }
+
+    /// Allocation-free equivalent of [`TIMatrix::normalized`] over interned symbols of
+    /// *lowercased* values. `None` on the question side means the value was never
+    /// interned anywhere in the process, so it cannot equal any stored pair.
+    pub fn normalized_sym(&self, question: Option<Sym>, record: Sym) -> f64 {
+        let Some(q) = question else { return 0.0 };
+        if self.max_value <= 0.0 {
+            return if q == record { 1.0 } else { 0.0 };
+        }
+        let ti = if q == record {
+            self.max_value.max(1.0)
+        } else {
+            self.entries
+                .get(&sym_pair(q, record))
+                .copied()
+                .unwrap_or(0.0)
+        };
+        (ti / self.max_value).clamp(0.0, 1.0)
     }
 
     /// Number of stored pairs.
@@ -157,11 +200,20 @@ impl TIMatrix {
 
     /// Manually insert a similarity (used in unit tests and examples).
     pub fn insert(&mut self, a: &str, b: &str, value: f64) {
-        self.entries.insert(key(a, b), value.max(0.0));
+        self.entries.insert(sym_key(a, b), value.max(0.0));
         self.max_value = self.max_value.max(value);
     }
 }
 
+/// Lowercase both values, intern them, and order the pair canonically.
+fn sym_key(a: &str, b: &str) -> (Sym, Sym) {
+    sym_pair(
+        intern::intern(&a.to_lowercase()),
+        intern::intern(&b.to_lowercase()),
+    )
+}
+
+/// String-ordered pair key used only during [`TIMatrix::build`] feature accumulation.
 fn key(a: &str, b: &str) -> (String, String) {
     let a = a.to_lowercase();
     let b = b.to_lowercase();
@@ -212,7 +264,11 @@ mod tests {
     #[test]
     fn values_are_bounded_and_symmetric() {
         let (_, ti) = built_matrix();
-        for (a, b) in [("accord", "camry"), ("civic", "corolla"), ("camry", "mustang")] {
+        for (a, b) in [
+            ("accord", "camry"),
+            ("civic", "corolla"),
+            ("camry", "mustang"),
+        ] {
             let v = ti.ti_sim(a, b);
             assert!((0.0..=5.0 + 1e-9).contains(&v), "{a}-{b} = {v}");
             assert_eq!(v, ti.ti_sim(b, a));

@@ -1,0 +1,175 @@
+//! Process-wide string interner (symbol table).
+//!
+//! The partial-match hot path compares and looks up the *same* strings millions of
+//! times per query burst: normalized Type I values against the TI-matrix, stemmed
+//! Type II words against the WS-matrix. Interning turns every one of those probes into
+//! an integer comparison or an integer-keyed hash lookup — no `to_lowercase()` /
+//! `porter_stem()` allocation ever happens per probe.
+//!
+//! The pool is global so that every structure that stores symbols — `addb::Table`,
+//! `TIMatrix`, `WordSimMatrix` — shares one symbol space: a [`Sym`] produced while
+//! building a table can be compared directly against a [`Sym`] stored in a matrix.
+//! Writers take a write lock once per *new* string (table/matrix construction);
+//! queries resolve their strings once per question and then run lock-free on plain
+//! `Sym` values.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a dense `u32` handle valid for the lifetime of the process.
+///
+/// Two `Sym`s are equal if and only if the interned strings are byte-equal. `Sym`
+/// implements `Ord` by handle value (creation order), which is stable within a process
+/// and only used to canonicalize unordered pairs — never for lexicographic reasoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Dense index of this symbol (for side tables keyed by symbol).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Default)]
+struct Pool {
+    map: HashMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+}
+
+static POOL: OnceLock<RwLock<Pool>> = OnceLock::new();
+
+fn pool() -> &'static RwLock<Pool> {
+    POOL.get_or_init(|| RwLock::new(Pool::default()))
+}
+
+/// Intern `s`, returning its symbol (allocating only the first time `s` is seen).
+pub fn intern(s: &str) -> Sym {
+    if let Some(sym) = lookup(s) {
+        return sym;
+    }
+    let mut pool = pool().write().expect("interner poisoned");
+    if let Some(sym) = pool.map.get(s) {
+        return *sym;
+    }
+    let sym = Sym(u32::try_from(pool.strings.len()).expect("interner overflow"));
+    let boxed: Box<str> = s.into();
+    pool.strings.push(boxed.clone());
+    pool.map.insert(boxed, sym);
+    sym
+}
+
+/// Resolve `s` without interning: `None` means the string has never been interned, so
+/// no table value, matrix key or other symbol can possibly equal it.
+pub fn lookup(s: &str) -> Option<Sym> {
+    pool()
+        .read()
+        .expect("interner poisoned")
+        .map
+        .get(s)
+        .copied()
+}
+
+/// The interned string behind `sym` (clones; meant for reports and tests, not for hot
+/// paths).
+pub fn resolve(sym: Sym) -> String {
+    pool().read().expect("interner poisoned").strings[sym.index()].to_string()
+}
+
+/// Number of distinct interned strings in the process.
+pub fn len() -> usize {
+    pool().read().expect("interner poisoned").strings.len()
+}
+
+/// Canonical unordered pair key: symmetric maps (TI-matrix, WS-matrix) store each pair
+/// once under `(min, max)` handle order.
+pub fn sym_pair(a: Sym, b: Sym) -> (Sym, Sym) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Fast multiplicative hasher for symbol-keyed maps.
+///
+/// Hot-path similarity lookups hash one or two `u32` symbols per probe; the standard
+/// SipHash is DoS-resistant but ~5× slower than needed for keys an attacker cannot
+/// choose (symbols are assigned internally). Fibonacci-style multiply-xor mixing is
+/// plenty for dense `u32` handles.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SymHasher(u64);
+
+impl std::hash::Hasher for SymHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mixed = (self.0.rotate_left(27) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = mixed ^ (mixed >> 29);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`SymHasher`]-backed maps (`HashMap<(Sym, Sym), _, SymHashBuilder>`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SymHashBuilder;
+
+impl std::hash::BuildHasher for SymHashBuilder {
+    type Hasher = SymHasher;
+
+    fn build_hasher(&self) -> SymHasher {
+        SymHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves() {
+        let a = intern("accord");
+        let b = intern("accord");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "accord");
+        assert_ne!(intern("camry"), a);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert!(lookup("never-interned-sentinel-xyzzy").is_none());
+        let s = intern("interned-sentinel");
+        assert_eq!(lookup("interned-sentinel"), Some(s));
+    }
+
+    #[test]
+    fn sym_pair_is_order_insensitive() {
+        let a = intern("pair-a");
+        let b = intern("pair-b");
+        assert_eq!(sym_pair(a, b), sym_pair(b, a));
+    }
+
+    #[test]
+    fn concurrent_interning_yields_consistent_symbols() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern("racy-string")))
+            .collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod edit;
+pub mod intern;
 pub mod shorthand;
 pub mod similar_text;
 pub mod stem;
@@ -31,6 +32,7 @@ pub mod tokenize;
 pub mod trie;
 
 pub use edit::levenshtein;
+pub use intern::Sym;
 pub use shorthand::{is_shorthand_of, shorthand_related};
 pub use similar_text::{similar_text, similar_text_percent};
 pub use stem::porter_stem;

@@ -107,9 +107,8 @@ fn replace_if(w: &mut Vec<u8>, suffix: &str, replacement: &str, min_m: usize) ->
 }
 
 fn step1a(w: &mut Vec<u8>) {
-    if ends_with(w, "sses") {
-        w.truncate(w.len() - 2);
-    } else if ends_with(w, "ies") {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        // "sses" -> "ss", "ies" -> "i": both drop the last two bytes.
         w.truncate(w.len() - 2);
     } else if ends_with(w, "ss") {
         // unchanged
@@ -137,7 +136,9 @@ fn step1b(w: &mut Vec<u8>) {
     if applied {
         if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
             w.push(b'e');
-        } else if ends_double_consonant(w) && !matches!(w.last(), Some(b'l') | Some(b's') | Some(b'z')) {
+        } else if ends_double_consonant(w)
+            && !matches!(w.last(), Some(b'l') | Some(b's') | Some(b'z'))
+        {
             w.truncate(w.len() - 1);
         } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
             w.push(b'e');
@@ -145,7 +146,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';
@@ -209,10 +210,7 @@ fn step4(w: &mut Vec<u8>) {
     // special case: "ion" requires preceding s or t
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

@@ -9,17 +9,123 @@
 
 /// The stop-word list used by CQAds question pre-processing.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "do", "does", "did", "you", "your", "yours", "have", "has", "had", "i",
-    "me", "my", "mine", "we", "our", "us", "it", "its", "is", "are", "was", "were", "be", "been",
-    "being", "am", "can", "could", "would", "should", "shall", "will", "may", "might", "must",
-    "want", "wants", "wanted", "need", "needs", "needed", "looking", "look", "find", "show",
-    "give", "get", "seeking", "seek", "search", "searching", "please", "for", "of", "in", "on",
-    "at", "to", "from", "by", "as", "that", "this", "these", "those", "there", "here", "some",
-    "any", "all", "with", "about", "into", "also", "just", "like", "prefer", "preferably",
-    "ideally", "sale", "buy", "purchase", "available", "interested", "hello", "hi", "thanks",
-    "thank", "if", "so", "such", "what", "which", "who", "whom", "how", "when", "where",
-    "one", "ones", "something", "anything", "car", "cars", "vehicle", "vehicles", "ad", "ads",
-    "listing", "listings", "deal", "deals", "item", "items",
+    "a",
+    "an",
+    "the",
+    "do",
+    "does",
+    "did",
+    "you",
+    "your",
+    "yours",
+    "have",
+    "has",
+    "had",
+    "i",
+    "me",
+    "my",
+    "mine",
+    "we",
+    "our",
+    "us",
+    "it",
+    "its",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "can",
+    "could",
+    "would",
+    "should",
+    "shall",
+    "will",
+    "may",
+    "might",
+    "must",
+    "want",
+    "wants",
+    "wanted",
+    "need",
+    "needs",
+    "needed",
+    "looking",
+    "look",
+    "find",
+    "show",
+    "give",
+    "get",
+    "seeking",
+    "seek",
+    "search",
+    "searching",
+    "please",
+    "for",
+    "of",
+    "in",
+    "on",
+    "at",
+    "to",
+    "from",
+    "by",
+    "as",
+    "that",
+    "this",
+    "these",
+    "those",
+    "there",
+    "here",
+    "some",
+    "any",
+    "all",
+    "with",
+    "about",
+    "into",
+    "also",
+    "just",
+    "like",
+    "prefer",
+    "preferably",
+    "ideally",
+    "sale",
+    "buy",
+    "purchase",
+    "available",
+    "interested",
+    "hello",
+    "hi",
+    "thanks",
+    "thank",
+    "if",
+    "so",
+    "such",
+    "what",
+    "which",
+    "who",
+    "whom",
+    "how",
+    "when",
+    "where",
+    "one",
+    "ones",
+    "something",
+    "anything",
+    "car",
+    "cars",
+    "vehicle",
+    "vehicles",
+    "ad",
+    "ads",
+    "listing",
+    "listings",
+    "deal",
+    "deals",
+    "item",
+    "items",
 ];
 
 /// True if the (lowercased) token is a stop word.
@@ -41,7 +147,9 @@ mod tests {
 
     #[test]
     fn content_and_boundary_words_are_not_stopwords() {
-        for w in ["honda", "blue", "cheapest", "less", "than", "under", "between", "not", "no"] {
+        for w in [
+            "honda", "blue", "cheapest", "less", "than", "under", "between", "not", "no",
+        ] {
             assert!(!is_stopword(w), "{w} must not be a stopword");
         }
     }

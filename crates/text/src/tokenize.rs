@@ -55,9 +55,9 @@ pub fn normalize_token(raw: &str) -> String {
 /// Tokenize a question into classified tokens. Empty tokens are dropped.
 pub fn tokenize(question: &str) -> Vec<Token> {
     let mut out = Vec::new();
-    for raw in question.split(|c: char| c.is_whitespace() || c == ',' && false) {
-        // Split on whitespace only; commas inside numbers are handled below, commas
-        // between words are trimmed by normalize_token.
+    // Split on whitespace only; commas inside numbers are handled below, commas
+    // between words are trimmed by normalize_token.
+    for raw in question.split(|c: char| c.is_whitespace()) {
         for piece in split_punctuation(raw) {
             let text = normalize_token(&piece);
             if text.is_empty() {
@@ -83,7 +83,12 @@ fn split_punctuation(raw: &str) -> Vec<String> {
             }
             ',' => {
                 // keep the comma only if it is a thousands separator (digit , digit)
-                if current.chars().last().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                if current
+                    .chars()
+                    .last()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     current.push(ch);
                 } else if !current.is_empty() {
                     pieces.push(std::mem::take(&mut current));
@@ -150,7 +155,10 @@ mod tests {
     fn basic_question_tokenizes_to_words() {
         let toks = tokenize("Do you have a 2 door red BMW?");
         let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
-        assert_eq!(texts, vec!["do", "you", "have", "a", "2", "door", "red", "bmw"]);
+        assert_eq!(
+            texts,
+            vec!["do", "you", "have", "a", "2", "door", "red", "bmw"]
+        );
         assert_eq!(toks[4].kind, TokenKind::Number(2.0));
         assert!(toks[7].is_word());
     }

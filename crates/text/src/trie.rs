@@ -292,7 +292,15 @@ mod tests {
         let words: Vec<_> = t.keywords().into_iter().map(|(w, _)| w).collect();
         assert_eq!(
             words,
-            vec!["accent", "accord", "auto", "automatic", "blue", "civic", "honda"]
+            vec![
+                "accent",
+                "accord",
+                "auto",
+                "automatic",
+                "blue",
+                "civic",
+                "honda"
+            ]
         );
         assert!(t.approx_size_bytes() > 0);
     }

@@ -59,9 +59,26 @@ impl Default for CorpusSpec {
 
 /// Generic filler vocabulary that appears in every ads text regardless of topic.
 const FILLER: &[&str] = &[
-    "great", "condition", "excellent", "offer", "contact", "available", "price", "new", "used",
-    "sale", "original", "owner", "clean", "perfect", "quality", "includes", "warranty", "deal",
-    "good", "best",
+    "great",
+    "condition",
+    "excellent",
+    "offer",
+    "contact",
+    "available",
+    "price",
+    "new",
+    "used",
+    "sale",
+    "original",
+    "owner",
+    "clean",
+    "perfect",
+    "quality",
+    "includes",
+    "warranty",
+    "deal",
+    "good",
+    "best",
 ];
 
 /// A generated corpus: a list of documents, each a list of lowercase words.
@@ -113,7 +130,10 @@ mod tests {
     fn groups() -> Vec<TopicGroup> {
         vec![
             TopicGroup::new("colors", &["blue", "silver", "black", "red", "white"]),
-            TopicGroup::new("drivetrain", &["automatic", "manual", "transmission", "4wd"]),
+            TopicGroup::new(
+                "drivetrain",
+                &["automatic", "manual", "transmission", "4wd"],
+            ),
             TopicGroup::new("gems", &["diamond", "ruby", "sapphire", "emerald"]),
         ]
     }
@@ -130,7 +150,10 @@ mod tests {
         let corpus = SyntheticCorpus::generate(&groups(), &spec);
         assert_eq!(corpus.documents.len(), 10);
         assert_eq!(corpus.token_count(), 10 * 5 * (3 + 2));
-        assert!(corpus.documents.iter().all(|d| d.iter().all(|w| *w == w.to_lowercase())));
+        assert!(corpus
+            .documents
+            .iter()
+            .all(|d| d.iter().all(|w| *w == w.to_lowercase())));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! entry so values lie in `[0, 1]` (a word with itself scores exactly 1).
 
 use crate::corpus::SyntheticCorpus;
+use cqads_text::intern::{self, sym_pair, Sym, SymHashBuilder};
 use cqads_text::{is_stopword, porter_stem};
 use std::collections::HashMap;
 
@@ -16,10 +17,15 @@ use std::collections::HashMap;
 pub const DEFAULT_WINDOW: usize = 8;
 
 /// Sparse symmetric word-similarity matrix over stemmed words.
+///
+/// Entries are keyed by interned symbols of the stems, so the hot-path lookups
+/// ([`WordSimMatrix::similarity_sym`], [`WordSimMatrix::value_similarity_syms`]) are
+/// integer-pair hash probes with zero string allocation. The string-based accessors
+/// stem (and allocate) on the way in and remain for construction, tests and reports.
 #[derive(Debug, Clone, Default)]
 pub struct WordSimMatrix {
-    /// (stem_a, stem_b) with stem_a <= stem_b -> normalized similarity.
-    entries: HashMap<(String, String), f64>,
+    /// Canonically ordered stem-symbol pair -> normalized similarity.
+    entries: HashMap<(Sym, Sym), f64, SymHashBuilder>,
     /// Largest raw accumulation, kept for reporting.
     max_raw: f64,
 }
@@ -32,12 +38,12 @@ impl WordSimMatrix {
 
     /// Build the matrix from a corpus with an explicit co-occurrence window.
     pub fn build_with_window(corpus: &SyntheticCorpus, window: usize) -> Self {
-        let mut raw: HashMap<(String, String), f64> = HashMap::new();
+        let mut raw: HashMap<(Sym, Sym), f64, SymHashBuilder> = HashMap::default();
         for doc in &corpus.documents {
-            let stems: Vec<String> = doc
+            let stems: Vec<Sym> = doc
                 .iter()
                 .filter(|w| !is_stopword(w))
-                .map(|w| porter_stem(w))
+                .map(|w| intern::intern(&porter_stem(w)))
                 .collect();
             for i in 0..stems.len() {
                 let limit = (i + window + 1).min(stems.len());
@@ -46,7 +52,7 @@ impl WordSimMatrix {
                         continue;
                     }
                     let d = (j - i) as f64;
-                    *raw.entry(key(&stems[i], &stems[j])).or_insert(0.0) += 1.0 / d;
+                    *raw.entry(sym_pair(stems[i], stems[j])).or_insert(0.0) += 1.0 / d;
                 }
             }
         }
@@ -67,7 +73,19 @@ impl WordSimMatrix {
         if sa == sb {
             return 1.0;
         }
-        self.entries.get(&key(&sa, &sb)).copied().unwrap_or(0.0)
+        match (intern::lookup(&sa), intern::lookup(&sb)) {
+            (Some(sa), Some(sb)) => self.entries.get(&sym_pair(sa, sb)).copied().unwrap_or(0.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Allocation-free similarity over interned stem symbols: identical stems score 1,
+    /// unknown pairs 0.
+    pub fn similarity_sym(&self, a: Sym, b: Sym) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        self.entries.get(&sym_pair(a, b)).copied().unwrap_or(0.0)
     }
 
     /// Similarity of two (possibly multi-word) attribute values: the maximum pairwise
@@ -83,6 +101,23 @@ impl WordSimMatrix {
         for wa in &words_a {
             for wb in &words_b {
                 best = best.max(self.similarity(wa, wb));
+            }
+        }
+        best
+    }
+
+    /// Allocation-free [`WordSimMatrix::value_similarity`] over pre-stemmed symbol
+    /// slices. Question-side words that were never interned (`None`) cannot match any
+    /// record stem and contribute 0; either side empty scores 0, like the string path.
+    pub fn value_similarity_syms(&self, question: &[Option<Sym>], record: &[Sym]) -> f64 {
+        if question.is_empty() || record.is_empty() {
+            return 0.0;
+        }
+        let mut best = 0.0_f64;
+        for qa in question {
+            let Some(qa) = qa else { continue };
+            for rb in record {
+                best = best.max(self.similarity_sym(*qa, *rb));
             }
         }
         best
@@ -107,18 +142,10 @@ impl WordSimMatrix {
     /// Insert an explicit similarity value (used by tests and by small hand-built
     /// matrices in examples).
     pub fn insert(&mut self, a: &str, b: &str, value: f64) {
-        let sa = porter_stem(&a.to_lowercase());
-        let sb = porter_stem(&b.to_lowercase());
-        self.entries.insert(key(&sa, &sb), value.clamp(0.0, 1.0));
+        let sa = intern::intern(&porter_stem(&a.to_lowercase()));
+        let sb = intern::intern(&porter_stem(&b.to_lowercase()));
+        self.entries.insert(sym_pair(sa, sb), value.clamp(0.0, 1.0));
         self.max_raw = self.max_raw.max(value);
-    }
-}
-
-fn key(a: &str, b: &str) -> (String, String) {
-    if a <= b {
-        (a.to_string(), b.to_string())
-    } else {
-        (b.to_string(), a.to_string())
     }
 }
 

@@ -27,7 +27,14 @@ fn boats_domain() -> (DomainSpec, Table) {
         .build()
         .expect("valid schema");
     let mut spec = DomainSpec::new(schema);
-    for kind in ["sailboat", "speedboat", "fishing boat", "pontoon", "yacht", "kayak"] {
+    for kind in [
+        "sailboat",
+        "speedboat",
+        "fishing boat",
+        "pontoon",
+        "yacht",
+        "kayak",
+    ] {
         spec.add_type1_value("kind", kind);
     }
     for hull in ["fiberglass", "aluminum", "wood"] {
@@ -119,7 +126,11 @@ fn main() {
         match system.answer(question) {
             Ok(set) => {
                 println!("   classified into domain: {}", set.domain);
-                println!("   {} exact / {} partial answers", set.exact_count, set.partial().len());
+                println!(
+                    "   {} exact / {} partial answers",
+                    set.exact_count,
+                    set.partial().len()
+                );
                 if let Some(best) = set.answers.first() {
                     println!("   top answer: {}", best.record);
                 }

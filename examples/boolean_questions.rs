@@ -33,7 +33,11 @@ fn main() {
         println!(
             "\n{} ({}): {}",
             question.id,
-            if question.implicit { "implicit" } else { "explicit" },
+            if question.implicit {
+                "implicit"
+            } else {
+                "explicit"
+            },
             question.text
         );
         match system.interpret_in_domain(&question.text, "cars") {

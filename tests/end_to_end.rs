@@ -1,12 +1,12 @@
 //! Cross-crate integration tests: the full pipeline from synthetic data generation
 //! through classification, interpretation, execution and partial-match ranking.
 
+use cqads_suite::classifier::LabelledDoc;
 use cqads_suite::cqads::{CqadsError, CqadsSystem, MatchKind};
 use cqads_suite::datagen::{
     affinity_model, all_blueprints, blueprint, generate_questions, generate_table, topic_groups,
     QuestionMix,
 };
-use cqads_suite::classifier::LabelledDoc;
 use cqads_suite::querylog::{generate_log, LogGeneratorConfig, TIMatrix};
 use cqads_suite::wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
 use std::sync::OnceLock;
@@ -63,7 +63,9 @@ fn questions_route_to_the_right_domain_and_return_answers() {
 #[test]
 fn exact_answers_satisfy_every_condition() {
     let sys = system();
-    let set = sys.answer_in_domain("blue automatic honda", "cars").unwrap();
+    let set = sys
+        .answer_in_domain("blue automatic honda", "cars")
+        .unwrap();
     for answer in set.exact() {
         assert_eq!(answer.kind, MatchKind::Exact);
         assert_eq!(answer.record.get_text("make"), Some("honda"));
@@ -76,7 +78,10 @@ fn exact_answers_satisfy_every_condition() {
 fn partial_answers_fill_the_answer_budget_and_are_ranked() {
     let sys = system();
     let set = sys
-        .answer_in_domain("silver bmw 328i under 9000 dollars with leather seats", "cars")
+        .answer_in_domain(
+            "silver bmw 328i under 9000 dollars with leather seats",
+            "cars",
+        )
         .unwrap();
     assert!(set.answers.len() <= 30);
     let partial = set.partial();
@@ -89,8 +94,12 @@ fn partial_answers_fill_the_answer_budget_and_are_ranked() {
 #[test]
 fn misspellings_shorthand_and_missing_spaces_are_tolerated() {
     let sys = system();
-    let clean = sys.answer_in_domain("blue honda accord automatic", "cars").unwrap();
-    let noisy = sys.answer_in_domain("blue hondaaccord automattic", "cars").unwrap();
+    let clean = sys
+        .answer_in_domain("blue honda accord automatic", "cars")
+        .unwrap();
+    let noisy = sys
+        .answer_in_domain("blue hondaaccord automattic", "cars")
+        .unwrap();
     let clean_ids: Vec<_> = clean.exact().iter().map(|a| a.id).collect();
     let noisy_ids: Vec<_> = noisy.exact().iter().map(|a| a.id).collect();
     assert_eq!(clean_ids, noisy_ids);

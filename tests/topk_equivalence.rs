@@ -1,0 +1,165 @@
+//! Equivalence of the bounded top-k partial-match engine with the original
+//! full-scan/full-sort pipeline (kept behind `PartialMatchOptions { full_scan: true }`).
+//!
+//! The deterministic randomized sweep below generates seeded datagen tables and
+//! question workloads across several domains, interprets every question exactly as the
+//! pipeline would, and asserts that both engines return **byte-identical**
+//! `(id, rank_sim, measure, relaxed_condition)` sequences for a spread of budgets and
+//! exclusion sets — including the edge cases the top-k collector has to get right:
+//! budget 0, budget larger than the match set, and every candidate excluded.
+
+use cqads_suite::addb::RecordId;
+use cqads_suite::cqads::tagging::Tagger;
+use cqads_suite::cqads::translate::interpret;
+use cqads_suite::cqads::{PartialMatchOptions, PartialMatcher, SimilarityModel};
+use cqads_suite::datagen::{
+    affinity_model, blueprint, generate_questions, generate_table, topic_groups, QuestionMix,
+};
+use cqads_suite::querylog::{generate_log, LogGeneratorConfig, TIMatrix};
+use cqads_suite::wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Compare two answer sequences for *byte* equality of the score.
+fn assert_identical(
+    fast: &[cqads_suite::cqads::PartialAnswer],
+    slow: &[cqads_suite::cqads::PartialAnswer],
+    context: &str,
+) {
+    assert_eq!(fast.len(), slow.len(), "answer count diverged: {context}");
+    for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert_eq!(a.id, b.id, "id diverged at rank {i}: {context}");
+        assert_eq!(
+            a.rank_sim.to_bits(),
+            b.rank_sim.to_bits(),
+            "rank_sim diverged at rank {i} (record {}): {context}",
+            a.id
+        );
+        assert_eq!(
+            a.measure, b.measure,
+            "measure diverged at rank {i}: {context}"
+        );
+        assert_eq!(
+            a.relaxed_condition, b.relaxed_condition,
+            "relaxed condition diverged at rank {i}: {context}"
+        );
+    }
+}
+
+#[test]
+fn topk_engine_matches_full_sort_across_seeded_workloads() {
+    for (domain, table_seed, question_seed) in [
+        ("cars", 11_u64, 21_u64),
+        ("jewellery", 12, 22),
+        ("furniture", 13, 23),
+    ] {
+        let bp = blueprint(domain);
+        let table = generate_table(&bp, 400, table_seed);
+        let log = generate_log(
+            &affinity_model(&bp),
+            &LogGeneratorConfig {
+                sessions: 150,
+                seed: table_seed ^ 0xA5A5,
+                ..Default::default()
+            },
+        );
+        let ti = TIMatrix::build(&log);
+        let corpus = SyntheticCorpus::generate(
+            &topic_groups(&bp),
+            &CorpusSpec {
+                documents: 80,
+                ..CorpusSpec::default()
+            },
+        );
+        let ws = WordSimMatrix::build(&corpus);
+        let spec = bp.to_spec();
+        let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+        let tagger = Tagger::new(&spec);
+
+        let fast = PartialMatcher::new(&spec, &sim);
+        let slow =
+            PartialMatcher::with_options(&spec, &sim, PartialMatchOptions { full_scan: true });
+
+        let questions = generate_questions(&bp, &table, 60, question_seed, &QuestionMix::default());
+        let mut compared = 0usize;
+        for q in &questions {
+            let Ok(interp) = interpret(&tagger.tag(&q.text), &spec) else {
+                continue;
+            };
+            // The same exclusion the pipeline would apply: the exact answers.
+            let exact: HashSet<RecordId> = {
+                let query = interp.to_query_with_limit(&spec, 30).unwrap();
+                cqads_suite::addb::Executor::new(&table)
+                    .execute(&query)
+                    .map(|answers| answers.into_iter().map(|a| a.id).collect())
+                    .unwrap_or_default()
+            };
+            for budget in [1usize, 5, 30, table.len() + 10] {
+                let a = fast
+                    .partial_answers(&interp, &table, &exact, budget)
+                    .unwrap();
+                let b = slow
+                    .partial_answers(&interp, &table, &exact, budget)
+                    .unwrap();
+                assert_identical(
+                    &a,
+                    &b,
+                    &format!("domain {domain}, question {:?}, budget {budget}", q.text),
+                );
+                compared += 1;
+            }
+        }
+        assert!(
+            compared >= 100,
+            "expected a substantive sweep for {domain}, compared only {compared}"
+        );
+    }
+}
+
+#[test]
+fn edge_cases_budget_zero_oversized_and_all_excluded() {
+    let bp = blueprint("cars");
+    let table = generate_table(&bp, 120, 7);
+    let spec = bp.to_spec();
+    let sim = SimilarityModel::new(
+        Arc::new(TIMatrix::default()),
+        Arc::new(WordSimMatrix::default()),
+        spec.schema.clone(),
+    );
+    let tagger = Tagger::new(&spec);
+    let interp = interpret(&tagger.tag("blue honda accord under 20000 dollars"), &spec).unwrap();
+    let fast = PartialMatcher::new(&spec, &sim);
+    let slow = PartialMatcher::with_options(&spec, &sim, PartialMatchOptions { full_scan: true });
+
+    // Budget 0 returns nothing from either engine.
+    let none = HashSet::new();
+    assert!(fast
+        .partial_answers(&interp, &table, &none, 0)
+        .unwrap()
+        .is_empty());
+    assert!(slow
+        .partial_answers(&interp, &table, &none, 0)
+        .unwrap()
+        .is_empty());
+
+    // Budget far larger than any match set: identical, and within table bounds.
+    let a = fast
+        .partial_answers(&interp, &table, &none, 10_000)
+        .unwrap();
+    let b = slow
+        .partial_answers(&interp, &table, &none, 10_000)
+        .unwrap();
+    assert!(a.len() <= table.len());
+    assert_identical(&a, &b, "oversized budget");
+
+    // Every record excluded: nothing can be returned.
+    let all: HashSet<RecordId> = (0..table.len() as u32).map(RecordId).collect();
+    assert!(fast
+        .partial_answers(&interp, &table, &all, 30)
+        .unwrap()
+        .is_empty());
+    assert!(slow
+        .partial_answers(&interp, &table, &all, 30)
+        .unwrap()
+        .is_empty());
+}

@@ -1,0 +1,163 @@
+//! Vendored, dependency-free shim of the `criterion` API surface this workspace uses:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`, `finish` and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warmup pass followed by `sample_size` timed
+//! iterations, reporting min/mean — because the workspace's own benches do their own
+//! reporting on top. `--test` on the command line (the mode CI smoke-runs) executes
+//! every bench body exactly once without timing.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// True when invoked with `--test` (single-iteration smoke mode).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let test_mode = self.test_mode;
+        run_one("criterion", id, 100, test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored (kept for API compatibility with real criterion).
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, id.as_ref(), self.sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Finish the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Total measured time and iteration count, read back by the driver.
+    elapsed: Duration,
+    iters: u64,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Call `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            return;
+        }
+        // Warmup: one untimed call.
+        std::hint::black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            self.elapsed += dt;
+            self.min = self.min.min(dt);
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    id: &str,
+    samples: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        elapsed: Duration::ZERO,
+        iters: 0,
+        min: Duration::MAX,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {group}/{id} ... ok");
+    } else if b.iters > 0 {
+        let mean = b.elapsed / b.iters as u32;
+        println!(
+            "{group}/{id}: mean {:.3} ms, min {:.3} ms over {} samples",
+            mean.as_secs_f64() * 1e3,
+            b.min.as_secs_f64() * 1e3,
+            b.iters
+        );
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` to run one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,583 @@
+//! Vendored, dependency-free shim of the `proptest` API surface this workspace uses.
+//!
+//! Supports the [`proptest!`] macro (with `#![proptest_config(..)]`), regex-subset
+//! string strategies (`"[a-z]{2,8}"`, `".{0,120}"`), integer/float range strategies,
+//! [`sample::select`] and [`collection::hash_set`], plus [`prop_assert!`] /
+//! [`prop_assert_eq!`]. Cases are generated from a deterministic per-test RNG (seeded
+//! by the test name), so failures are reproducible; shrinking is not implemented.
+
+use std::ops::Range;
+
+/// Per-test deterministic random generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from the test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// A source of random test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+}
+
+use strategy::Strategy;
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// One repeatable unit of a pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `[...]` character class, expanded to its member characters.
+    Class(Vec<char>),
+    /// `.` — any printable ASCII character (including space).
+    Any,
+    /// A literal character.
+    Lit(char),
+    /// `(a|bc|d)` — one alternative is chosen, then its pieces are sampled in order.
+    Group(Vec<Vec<Piece>>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    parse_sequence(&mut chars)
+}
+
+/// Parse pieces until end of input or an unconsumed `)` / `|` terminator.
+fn parse_sequence(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<Piece> {
+    let mut pieces: Vec<Piece> = Vec::new();
+    while let Some(&peeked) = chars.peek() {
+        if peeked == ')' || peeked == '|' {
+            break;
+        }
+        let c = chars.next().expect("peeked");
+        match c {
+            '(' => {
+                let mut alternatives = vec![parse_sequence(chars)];
+                while chars.peek() == Some(&'|') {
+                    chars.next();
+                    alternatives.push(parse_sequence(chars));
+                }
+                if chars.peek() == Some(&')') {
+                    chars.next();
+                }
+                pieces.push(Piece {
+                    atom: Atom::Group(alternatives),
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '?' => {
+                if let Some(last) = pieces.last_mut() {
+                    last.min = 0;
+                    last.max = 1;
+                }
+            }
+            '[' => {
+                // Collect the raw class body, then expand `a-z` ranges in one pass.
+                let mut raw = Vec::new();
+                for m in chars.by_ref() {
+                    if m == ']' {
+                        break;
+                    }
+                    raw.push(m);
+                }
+                let mut expanded = Vec::new();
+                let mut i = 0;
+                while i < raw.len() {
+                    if raw[i] == '-' && i > 0 && i + 1 < raw.len() {
+                        // `lo` was already pushed; replace with the full range.
+                        let lo = expanded.pop().expect("preceding class member");
+                        for ch in lo..=raw[i + 1] {
+                            expanded.push(ch);
+                        }
+                        i += 2;
+                    } else {
+                        expanded.push(raw[i]);
+                        i += 1;
+                    }
+                }
+                pieces.push(Piece {
+                    atom: Atom::Class(expanded),
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '.' => pieces.push(Piece {
+                atom: Atom::Any,
+                min: 1,
+                max: 1,
+            }),
+            '{' => {
+                let mut spec = String::new();
+                for m in chars.by_ref() {
+                    if m == '}' {
+                        break;
+                    }
+                    spec.push(m);
+                }
+                let (min, max) = match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().unwrap_or(0),
+                        b.trim()
+                            .parse()
+                            .unwrap_or_else(|_| a.trim().parse().unwrap_or(0)),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                if let Some(last) = pieces.last_mut() {
+                    last.min = min;
+                    last.max = max;
+                }
+            }
+            '*' => {
+                if let Some(last) = pieces.last_mut() {
+                    last.min = 0;
+                    last.max = 16;
+                }
+            }
+            '+' => {
+                if let Some(last) = pieces.last_mut() {
+                    last.min = 1;
+                    last.max = 16;
+                }
+            }
+            '\\' => {
+                if let Some(esc) = chars.next() {
+                    pieces.push(Piece {
+                        atom: Atom::Lit(esc),
+                        min: 1,
+                        max: 1,
+                    });
+                }
+            }
+            lit => pieces.push(Piece {
+                atom: Atom::Lit(lit),
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    pieces
+}
+
+fn sample_pieces(pieces: &[Piece], rng: &mut TestRng, out: &mut String) {
+    for piece in pieces {
+        let span = piece.max.saturating_sub(piece.min) as u64;
+        let n = piece.min + rng.below(span + 1) as usize;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Class(members) => {
+                    if !members.is_empty() {
+                        out.push(members[rng.below(members.len() as u64) as usize]);
+                    }
+                }
+                Atom::Any => {
+                    // Printable ASCII 0x20..=0x7E.
+                    out.push((0x20 + rng.below(0x5F) as u8) as char);
+                }
+                Atom::Lit(c) => out.push(*c),
+                Atom::Group(alternatives) => {
+                    let pick = rng.below(alternatives.len() as u64) as usize;
+                    sample_pieces(&alternatives[pick], rng, out);
+                }
+            }
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        sample_pieces(&pieces, rng, &mut out);
+        out
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u64;
+                (*self.start() as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// sample / collection strategies
+// ---------------------------------------------------------------------------
+
+/// `prop::sample` equivalents.
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Uniformly select one of a fixed list of values.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        Select { items }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.items.is_empty(), "select over empty list");
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// `proptest::collection` equivalents.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Generate a `HashSet` of `size`-range cardinality from an element strategy.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// Generate a `Vec` of `size`-range length from an element strategy.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut out = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 50 + 50 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner plumbing
+// ---------------------------------------------------------------------------
+
+/// Configuration accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// A failed property within a test case.
+#[derive(Debug)]
+pub struct TestCaseError {
+    /// Human-readable description of the failed assertion.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+/// Everything the generated tests need in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig};
+
+    /// Mirror of the `prop` root re-export in real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Skip the current case when its inputs don't meet a precondition. The shim simply
+/// ends the case successfully (no replacement case is generated).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Assert a boolean property; on failure the current case returns an error (and the
+/// harness panics with the rendered message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality of two expressions (no move; compares by reference).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{}` == `{}` (left: {:?}, right: {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` becomes a
+/// `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (@run $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e.message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    #[test]
+    fn regex_class_with_range_and_quantifier() {
+        let mut rng = TestRng::from_name("t1");
+        for _ in 0..200 {
+            let s = "[a-z]{2,8}".sample(&mut rng);
+            assert!(s.len() >= 2 && s.len() <= 8, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_leading_space_and_multiple_ranges() {
+        let mut rng = TestRng::from_name("t2");
+        for _ in 0..200 {
+            let s = "[ a-zA-Z0-9]{0,40}".sample(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(
+                s.chars().all(|c| c == ' ' || c.is_ascii_alphanumeric()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_yields_printable_ascii() {
+        let mut rng = TestRng::from_name("t3");
+        for _ in 0..100 {
+            let s = ".{0,120}".sample(&mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn int_and_float_ranges() {
+        let mut rng = TestRng::from_name("t4");
+        for _ in 0..500 {
+            let v = (1u32..40).sample(&mut rng);
+            assert!((1..40).contains(&v));
+            let f = (-1.0e6f64..1.0e6).sample(&mut rng);
+            assert!((-1.0e6..1.0e6).contains(&f));
+        }
+    }
+
+    #[test]
+    fn hash_set_strategy_hits_target_sizes() {
+        let mut rng = TestRng::from_name("t5");
+        for _ in 0..50 {
+            let s = crate::collection::hash_set("[a-z]{1,10}", 1..20).sample(&mut rng);
+            assert!(!s.is_empty() && s.len() < 20);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Vendored, dependency-free shim of the `serde` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships a minimal
+//! serialization facility: a [`Serialize`] trait producing an in-memory JSON
+//! [`Value`], derive macros re-exported from the sibling `serde_derive` shim, and a
+//! [`Deserialize`] marker trait so `#[derive(Deserialize)]` on the seed's types keeps
+//! compiling. Only JSON *output* is exercised (experiment reports); deserialization is
+//! never called anywhere in the workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory JSON value produced by [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (all numbers are carried as `f64`).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render compact JSON.
+    pub fn render(&self, out: &mut String) {
+        self.render_indent(out, None, 0);
+    }
+
+    /// Render with two-space indentation when `indent` is `Some(step)`.
+    pub fn render_indent(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        out.push_str(&format!("{}", *n as i64));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    // JSON has no NaN/Inf; mirror serde_json's lossy `null`.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                render_seq(
+                    out,
+                    indent,
+                    depth,
+                    '[',
+                    ']',
+                    items.len(),
+                    |out, i, ind, d| {
+                        items[i].render_indent(out, ind, d);
+                    },
+                );
+            }
+            Value::Object(fields) => {
+                render_seq(
+                    out,
+                    indent,
+                    depth,
+                    '{',
+                    '}',
+                    fields.len(),
+                    |out, i, ind, d| {
+                        let (k, v) = &fields[i];
+                        escape_into(k, out);
+                        out.push(':');
+                        if ind.is_some() {
+                            out.push(' ');
+                        }
+                        v.render_indent(out, ind, d);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        item(out, i, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can be rendered to a JSON [`Value`].
+pub trait Serialize {
+    /// Produce the JSON value of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Marker trait so `#[derive(Deserialize)]` compiles; no deserialization code in the
+/// workspace ever runs.
+pub trait Deserialize: Sized {}
+
+macro_rules! ser_number {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+ser_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![self.0.serialize_value(), self.1.serialize_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize_value(),
+            self.1.serialize_value(),
+            self.2.serialize_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.serialize_value()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn serialize_value(&self) -> Value {
+        Value::Number(self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        let mut s = String::new();
+        Value::Number(5000.0).render(&mut s);
+        assert_eq!(s, "5000");
+        let mut s = String::new();
+        Value::String("a\"b".into()).render(&mut s);
+        assert_eq!(s, "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_serialize() {
+        let v = vec![1u32, 2, 3].serialize_value();
+        let mut s = String::new();
+        v.render(&mut s);
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(None::<u32>.serialize_value(), Value::Null);
+    }
+}

@@ -1,0 +1,201 @@
+//! Vendored shim of serde's `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! Implemented without `syn`/`quote` (no network access to crates.io): a small
+//! hand-rolled parser extracts the item kind, name and named fields from the raw
+//! `proc_macro::TokenStream`.
+//!
+//! * Structs with named fields serialize as JSON objects (field order preserved).
+//! * Tuple structs serialize as JSON arrays.
+//! * Unit structs serialize as `null`.
+//! * Enums serialize as their `Debug` rendering in a JSON string — every derived enum
+//!   in this workspace also derives `Debug`, and none is ever round-tripped.
+//! * `Deserialize` emits an empty marker impl (nothing in the workspace deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // Attribute body `[...]`.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind_kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+        }
+    }
+    let kind = match kind_kw.as_str() {
+        "enum" => ItemKind::Enum,
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            None => ItemKind::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Field names of a named-field struct body: for each field, the identifier directly
+/// before a top-level `:`. Attributes and visibility are skipped; the type after the
+/// colon is consumed up to the next comma at angle-bracket depth zero.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        // Consume the type up to a comma at angle depth 0.
+        let mut angle_depth: i32 = 0;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth: i32 = 0;
+    let mut saw_any = false;
+    for tt in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Derive `serde::Serialize` (shim semantics documented at crate level).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        ItemKind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            if *n == 1 {
+                // Newtype structs serialize transparently, like real serde.
+                entries.into_iter().next().expect("one field")
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum => "::serde::Value::String(::std::format!(\"{:?}\", self))".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\n    fn serialize_value(&self) -> ::serde::Value {{\n        {}\n    }}\n}}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive shim: generated impl parses")
+}
+
+/// Derive the `serde::Deserialize` marker (shim semantics documented at crate level).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive shim: generated impl parses")
+}

@@ -1,0 +1,67 @@
+//! Vendored, dependency-free shim of the `serde_json` API surface this workspace
+//! uses: the [`json!`] macro, [`to_string`] / [`to_string_pretty`] and the re-exported
+//! [`Value`]. Backed by the in-memory JSON value of the sibling `serde` shim.
+
+pub use serde::Value;
+
+/// Error type for serialization; rendering an in-memory value cannot fail, so this is
+/// only here to keep `Result`-shaped call sites compiling.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any [`serde::Serialize`] value into a JSON [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Render compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_value().render(&mut out);
+    Ok(out)
+}
+
+/// Render two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_value().render_indent(&mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Build a JSON [`Value`] from literal-ish syntax. Supports objects with string-literal
+/// keys, arrays, `null`, and arbitrary `Serialize` expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_builds_objects() {
+        let v = json!({ "a": 1u32, "b": "x", "c": vec![1u32, 2u32] });
+        assert_eq!(
+            crate::to_string(&v).unwrap(),
+            r#"{"a":1,"b":"x","c":[1,2]}"#
+        );
+        let pretty = crate::to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 1"));
+    }
+}
