@@ -172,8 +172,8 @@ mod tests {
             .execute_with(
                 &q,
                 ExecOptions {
-                    superlatives_first: false,
                     use_indexes: false,
+                    ..ExecOptions::default()
                 },
             )
             .unwrap();

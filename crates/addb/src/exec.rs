@@ -18,42 +18,165 @@
 //! borrow their posting list straight from the table's index (zero copy — lists are
 //! kept sorted by record id at insert time); range, substring and scan conditions
 //! materialize a sorted vector once. Conjunctions combine those sequences with a
-//! **lazy sorted-merge intersection** ([`IdStream`]), so an AND over `k` conditions
-//! with posting lists of sizes `n_1 … n_k` costs `O(n_1 + … + n_k)` comparisons and
-//! zero allocation beyond the non-equality operands — there is no intermediate
-//! `HashSet` per condition as in the original pipeline. Disjunction and negation
-//! materialize (sorted union / complement), which matches their output size anyway.
+//! **lazy intersection** ([`IdStream`]), Disjunction and negation materialize (sorted
+//! union / complement), which matches their output size anyway.
+//!
+//! ## Galloping advance and block-max skipping
+//!
+//! Every stream supports [`IdStream::seek_ge`]: *yield the next id `≥ target`*.
+//! Intersections advance their operands through `seek_ge` instead of one id at a time,
+//! so the stream positioned on id `x` jumps straight to the first candidate `≥ x` in
+//! the other operand. Seeks over cursors use **galloping** (exponential search from
+//! the current position, then binary search inside the bracketed window), which costs
+//! `O(log d)` for a jump of distance `d` — adaptive: nearly-aligned lists degrade to
+//! the linear merge, heavily skewed lists cost the small side times a logarithm.
+//! Posting-list cursors first gallop over the table's **per-block max-id metadata**
+//! ([`addb::PostingList::block_max`](crate::table::PostingList::block_max), one entry
+//! per 64 ids), so the ids of skipped blocks are never touched; only the single block
+//! that can contain the target is binary-searched. Equality streams inside a
+//! conjunction are additionally ordered **most-selective first** (shortest posting
+//! list drives), which maximizes the skew the galloping exploits. The intersection
+//! output is a set, so neither reordering nor skipping changes any result.
+//!
+//! [`ExecOptions::linear_intersect`] restores the PR 1 behaviour — declaration-order
+//! operands, one-id-at-a-time sorted merge — as an ablation baseline for the
+//! `parallel_topk` bench.
 //!
 //! Callers that need *all* matching ids without a limit (the N−1 partial matcher)
-//! consume [`Executor::execute_stream`] and never materialize a result vector;
-//! [`Executor::execute`] collects the same stream, applies superlatives last (over a
-//! sorted candidate slice, membership by binary search) and truncates to the query
-//! limit.
+//! consume [`Executor::execute_stream`] and never materialize a result vector; they
+//! can also [`IdStream::restrict`] the stream to an id range, which is how the
+//! parallel partial matcher shards one query across worker threads (each worker seeks
+//! to its shard in `O(log n)` and stops at its upper bound). [`Executor::execute`]
+//! collects the same stream, applies superlatives last (over a sorted candidate
+//! slice, membership by binary search) and truncates to the query limit.
 
 use crate::error::{DbError, DbResult};
-use crate::query::{BoolExpr, Comparison, Condition, Query, SuperlativeKind};
+use crate::query::{BoolExpr, Comparison, Condition, Query, Superlative, SuperlativeKind};
 use crate::record::{Record, RecordId};
 use crate::schema::AttrType;
-use crate::table::Table;
+use crate::table::{PostingList, Table, POSTING_BLOCK};
 use std::cmp::Ordering;
+
+/// Index of the first element of `xs` that is `>= target`, assuming `xs` ascending.
+///
+/// Exponential (galloping) search from the front: doubling probes bracket the answer
+/// in `O(log d)` steps for an answer at distance `d`, then a binary search finishes
+/// inside the bracket. Cheap when the answer is near (the common case when two
+/// streams advance in lockstep), still logarithmic when it is far.
+#[inline]
+fn gallop_lower_bound(xs: &[RecordId], target: RecordId) -> usize {
+    let n = xs.len();
+    if n == 0 || xs[0] >= target {
+        return 0;
+    }
+    // Invariant: xs[lo] < target.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < n && xs[lo + step] < target {
+        lo += step;
+        step *= 2;
+    }
+    let upper = (lo + step).min(n);
+    lo + 1 + xs[lo + 1..upper].partition_point(|&x| x < target)
+}
+
+/// Cursor over a table posting list with block-max skip metadata.
+#[derive(Debug)]
+pub struct PostingsCursor<'a> {
+    list: &'a PostingList,
+    pos: usize,
+}
+
+impl<'a> PostingsCursor<'a> {
+    fn new(list: &'a PostingList) -> Self {
+        PostingsCursor { list, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.list.len().saturating_sub(self.pos)
+    }
+
+    /// Yield the next id `>= target`, skipping whole blocks via the block-max array.
+    fn seek_ge(&mut self, target: RecordId) -> Option<RecordId> {
+        let ids = self.list.ids();
+        if self.pos >= ids.len() {
+            return None;
+        }
+        if ids[self.pos] >= target {
+            // Lockstep fast path: the very next id already qualifies.
+            let id = ids[self.pos];
+            self.pos += 1;
+            return Some(id);
+        }
+        // Gallop over block maxima to find the first block that can hold `target`;
+        // the ids of every skipped block are never read.
+        let block_max = self.list.block_max();
+        let cur_block = self.pos / POSTING_BLOCK;
+        let block = cur_block + gallop_lower_bound(&block_max[cur_block..], target);
+        if block >= block_max.len() {
+            self.pos = ids.len();
+            return None;
+        }
+        // `target <= block_max[block]` (the block's last id), so the binary search
+        // inside the block always lands on a qualifying id.
+        let start = (block * POSTING_BLOCK).max(self.pos + 1);
+        let end = ((block + 1) * POSTING_BLOCK).min(ids.len());
+        let idx = start + ids[start..end].partition_point(|&x| x < target);
+        debug_assert!(idx < end, "block max promised an id >= target");
+        self.pos = idx + 1;
+        Some(ids[idx])
+    }
+}
+
+/// Cursor over materialized sorted ids (ranges, unions, complements, scans).
+#[derive(Debug)]
+pub struct OwnedCursor {
+    ids: Vec<RecordId>,
+    pos: usize,
+}
+
+impl OwnedCursor {
+    fn remaining(&self) -> usize {
+        self.ids.len().saturating_sub(self.pos)
+    }
+
+    fn seek_ge(&mut self, target: RecordId) -> Option<RecordId> {
+        let idx = self.pos + gallop_lower_bound(&self.ids[self.pos..], target);
+        let id = *self.ids.get(idx)?;
+        self.pos = idx + 1;
+        Some(id)
+    }
+}
+
+/// How an [`IdStream::Intersect`] node advances its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntersectMode {
+    /// Skip-based advance: each operand is positioned with [`IdStream::seek_ge`]
+    /// (galloping + block-max skipping).
+    Gallop,
+    /// PR 1 ablation: one-id-at-a-time sorted merge, no skipping.
+    Linear,
+}
 
 /// A stream of strictly ascending record ids — the executor's streaming currency.
 ///
 /// Equality conditions stream their posting list in place; composed streams merge
 /// lazily, so a consumer that stops early (bounded top-k fill, early-exit checks)
-/// never pays for the tail.
+/// never pays for the tail. All variants support [`IdStream::seek_ge`], so nested
+/// intersections compose: an outer intersection seeking the whole subtree makes every
+/// leaf cursor gallop.
 #[derive(Debug)]
 pub enum IdStream<'a> {
     /// No matches.
     Empty,
-    /// Every record id in `[0, n)` (a `TRUE` condition).
+    /// Every record id in `[start, end)` (a `TRUE` condition, or a shard restriction).
     All(std::ops::Range<u32>),
-    /// Borrowed posting list, already sorted ascending.
-    Slice(std::slice::Iter<'a, RecordId>),
+    /// Borrowed posting list with block-max skip metadata.
+    Postings(PostingsCursor<'a>),
     /// Materialized sorted ids (ranges, unions, complements, scans).
-    Owned(std::vec::IntoIter<RecordId>),
-    /// Lazy sorted-merge intersection of two streams.
-    Intersect(Box<IdStream<'a>>, Box<IdStream<'a>>),
+    Owned(OwnedCursor),
+    /// Lazy intersection of two streams.
+    Intersect(Box<IdStream<'a>>, Box<IdStream<'a>>, IntersectMode),
     /// Per-candidate predicate over an inner stream (Type III boundaries applied to
     /// the records surviving the index-driven layers, per the paper's order — no
     /// range-sized id vector is ever materialized).
@@ -80,59 +203,342 @@ impl Iterator for IdStream<'_> {
     type Item = RecordId;
 
     fn next(&mut self) -> Option<RecordId> {
+        // Plain advance is a seek with the trivial bound: every cursor's fast path
+        // makes this O(1) per element, exactly like a dedicated `next` would be.
+        self.seek_ge(RecordId(0))
+    }
+
+    /// Bulk consumption (`for_each`, `count`, `collect` all funnel through `fold`)
+    /// bypasses the per-element `seek_ge` dispatch: nested filters are peeled into a
+    /// flat predicate list first (no recursive fold, which would also make
+    /// monomorphization diverge on the closure types), then the base stream runs as
+    /// one tight loop — straight slice iteration for cursor tails, a counted loop for
+    /// `TRUE`/restriction ranges. On the partial-match hot path most candidates come
+    /// from single posting lists and wide-range filters, so this removes the dominant
+    /// per-candidate cost.
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, RecordId) -> B,
+    {
+        if !self.gallop_flattenable() {
+            // Linear-mode intersections keep their PR 1 element-at-a-time cost
+            // profile: consume through `next` exactly as a `for` loop would.
+            let mut acc = init;
+            for id in self.by_ref() {
+                acc = f(acc, id);
+            }
+            return acc;
+        }
+        let mut flat = FlatConjunction::default();
+        flat.absorb(self);
+        flat.run(init, &mut f)
+    }
+}
+
+/// A galloping conjunction flattened out of an [`IdStream`] tree for bulk
+/// consumption: sorted-id operands as raw slices, `TRUE`/restriction ranges reduced
+/// to one `[lo, hi)` window, boundary filters as a flat predicate list. Running it is
+/// one tight loop over the *shortest* operand — no per-element enum dispatch, no
+/// recursive seeks — with every other operand advanced by slice galloping.
+#[derive(Default)]
+struct FlatConjunction<'a> {
+    operands: Vec<FlatOperand<'a>>,
+    predicates: Vec<RangePredicate<'a>>,
+    lo: u32,
+    hi: Option<u32>,
+    empty: bool,
+}
+
+/// One sorted-id operand of a [`FlatConjunction`]; owned vectors are kept alive here
+/// and borrowed as slices only once flattening is complete.
+enum FlatOperand<'a> {
+    Borrowed(&'a [RecordId]),
+    Owned(Vec<RecordId>, usize),
+}
+
+impl FlatOperand<'_> {
+    fn as_slice(&self) -> &[RecordId] {
+        match self {
+            FlatOperand::Borrowed(ids) => ids,
+            FlatOperand::Owned(ids, pos) => &ids[(*pos).min(ids.len())..],
+        }
+    }
+}
+
+impl<'a> FlatConjunction<'a> {
+    /// Flatten `stream` into this conjunction (checked flattenable by the caller; a
+    /// linear-mode node reached anyway is drained element-wise, staying correct).
+    fn absorb(&mut self, stream: IdStream<'a>) {
+        match stream {
+            IdStream::Empty => self.empty = true,
+            IdStream::All(range) => {
+                self.lo = self.lo.max(range.start);
+                self.hi = Some(self.hi.map_or(range.end, |hi| hi.min(range.end)));
+            }
+            IdStream::Postings(cursor) => {
+                self.operands.push(FlatOperand::Borrowed(
+                    &cursor.list.ids()[cursor.pos.min(cursor.list.len())..],
+                ));
+            }
+            IdStream::Owned(cursor) => {
+                self.operands
+                    .push(FlatOperand::Owned(cursor.ids, cursor.pos));
+            }
+            IdStream::Filter(inner, predicate) => {
+                self.predicates.push(predicate);
+                self.absorb(*inner);
+            }
+            IdStream::Intersect(a, b, IntersectMode::Gallop) => {
+                self.absorb(*a);
+                self.absorb(*b);
+            }
+            linear @ IdStream::Intersect(_, _, IntersectMode::Linear) => {
+                debug_assert!(false, "caller checks gallop_flattenable first");
+                self.operands.push(FlatOperand::Owned(linear.collect(), 0));
+            }
+        }
+    }
+
+    /// Drive the flattened conjunction, folding every surviving id into `f`.
+    fn run<B>(self, init: B, f: &mut impl FnMut(B, RecordId) -> B) -> B {
+        let mut acc = init;
+        if self.empty {
+            return acc;
+        }
+        let (lo, hi) = (self.lo, self.hi);
+        let mut slices: Vec<&[RecordId]> =
+            self.operands.iter().map(FlatOperand::as_slice).collect();
+        // Shortest operand drives: it bounds the work and maximizes the skew every
+        // other operand gallops across.
+        slices.sort_by_key(|s| s.len());
+        let predicates = &self.predicates;
+        macro_rules! emit {
+            ($id:expr) => {
+                let id = $id;
+                if predicates.iter().all(|p| p.matches(id)) {
+                    acc = f(acc, id);
+                }
+            };
+        }
+        match slices.split_first() {
+            None => {
+                // Pure range scan (`TRUE` / restriction window, possibly filtered).
+                let Some(hi) = hi else { return acc };
+                for v in lo..hi {
+                    emit!(RecordId(v));
+                }
+            }
+            Some((driver, rest)) => {
+                // Narrow the driver to the window once; gallop the rest per candidate.
+                let start = driver.partition_point(|id| id.0 < lo);
+                let end = hi.map_or(driver.len(), |hi| driver.partition_point(|id| id.0 < hi));
+                let mut cursors = vec![0usize; rest.len()];
+                'driver: for &id in &driver[start.min(end)..end] {
+                    for (slice, cursor) in rest.iter().zip(cursors.iter_mut()) {
+                        *cursor = hybrid_advance(slice, *cursor, id);
+                        match slice.get(*cursor) {
+                            Some(found) if *found == id => {}
+                            Some(_) => continue 'driver,
+                            None => break 'driver,
+                        }
+                    }
+                    emit!(id);
+                }
+            }
+        }
+        acc
+    }
+}
+
+impl<'a> IdStream<'a> {
+    /// A stream over an already-sorted, deduplicated id vector.
+    pub fn from_sorted_ids(ids: Vec<RecordId>) -> IdStream<'static> {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be ascending");
+        IdStream::Owned(OwnedCursor { ids, pos: 0 })
+    }
+
+    /// A stream borrowing a table posting list (block-max skipping enabled).
+    pub fn postings(list: &'a PostingList) -> IdStream<'a> {
+        IdStream::Postings(PostingsCursor::new(list))
+    }
+
+    /// Yield the next id `>= target`, consuming it.
+    ///
+    /// This is the skip primitive the whole executor is built on: cursors gallop
+    /// (posting lists additionally skip whole blocks via their block-max metadata),
+    /// `All` jumps in O(1), intersections seek both operands, filters seek the inner
+    /// stream and verify candidates forward. `seek_ge(RecordId(0))` is a plain
+    /// `next()`.
+    pub fn seek_ge(&mut self, target: RecordId) -> Option<RecordId> {
         match self {
             IdStream::Empty => None,
-            IdStream::All(range) => range.next().map(RecordId),
-            IdStream::Slice(iter) => iter.next().copied(),
-            IdStream::Owned(iter) => iter.next(),
-            IdStream::Intersect(a, b) => {
+            IdStream::All(range) => {
+                range.start = range.start.max(target.0);
+                if range.start < range.end {
+                    let id = range.start;
+                    range.start += 1;
+                    Some(RecordId(id))
+                } else {
+                    None
+                }
+            }
+            IdStream::Postings(cursor) => cursor.seek_ge(target),
+            IdStream::Owned(cursor) => cursor.seek_ge(target),
+            IdStream::Intersect(a, b, IntersectMode::Gallop) => {
+                // Leapfrog: whichever operand is ahead sets the bar for the other.
+                let mut x = a.seek_ge(target)?;
+                loop {
+                    let y = b.seek_ge(x)?;
+                    if y == x {
+                        return Some(x);
+                    }
+                    let x2 = a.seek_ge(y)?;
+                    if x2 == y {
+                        return Some(y);
+                    }
+                    x = x2;
+                }
+            }
+            IdStream::Intersect(a, b, IntersectMode::Linear) => {
+                // PR 1 ablation: advance one id at a time, never skip.
                 let mut x = a.next()?;
                 let mut y = b.next()?;
                 loop {
                     match x.cmp(&y) {
-                        Ordering::Equal => return Some(x),
+                        Ordering::Equal if x >= target => return Some(x),
+                        Ordering::Equal => {
+                            x = a.next()?;
+                            y = b.next()?;
+                        }
                         Ordering::Less => x = a.next()?,
                         Ordering::Greater => y = b.next()?,
                     }
                 }
             }
             IdStream::Filter(inner, predicate) => {
-                for id in inner.by_ref() {
+                let mut id = inner.seek_ge(target)?;
+                loop {
                     if predicate.matches(id) {
                         return Some(id);
                     }
+                    id = inner.seek_ge(RecordId(0))?;
                 }
-                None
             }
         }
     }
-}
 
-impl<'a> IdStream<'a> {
     /// True when the stream can be proven empty without consuming it.
+    ///
+    /// Exact for cursors (including a fully-seeked cursor whose remaining tail is
+    /// empty and a posting list with no ids); conservative for compositions: an
+    /// intersection is trivially empty when either operand is, a filter when its
+    /// inner stream is.
     fn is_trivially_empty(&self) -> bool {
+        self.len_estimate() == 0
+    }
+
+    /// Can bulk consumption flatten this tree into a [`FlatConjunction`]? True for
+    /// every shape the executor builds in galloping mode; false as soon as a
+    /// linear-mode (PR 1 ablation) intersection appears anywhere.
+    fn gallop_flattenable(&self) -> bool {
         match self {
-            IdStream::Empty => true,
-            IdStream::All(r) => r.is_empty(),
-            IdStream::Slice(iter) => iter.len() == 0,
-            IdStream::Owned(iter) => iter.len() == 0,
-            IdStream::Intersect(a, b) => a.is_trivially_empty() || b.is_trivially_empty(),
-            IdStream::Filter(inner, _) => inner.is_trivially_empty(),
+            IdStream::Empty | IdStream::All(_) | IdStream::Postings(_) | IdStream::Owned(_) => true,
+            IdStream::Filter(inner, _) => inner.gallop_flattenable(),
+            IdStream::Intersect(a, b, IntersectMode::Gallop) => {
+                a.gallop_flattenable() && b.gallop_flattenable()
+            }
+            IdStream::Intersect(_, _, IntersectMode::Linear) => false,
         }
     }
 
-    /// Lazy intersection; collapses to [`IdStream::Empty`] when either side is
-    /// trivially empty.
-    fn intersect(self, other: IdStream<'a>) -> IdStream<'a> {
+    /// Upper bound on how many ids the stream can still yield. Exact for leaves,
+    /// `min` over intersections — used to order conjunctions most-selective first.
+    fn len_estimate(&self) -> usize {
+        match self {
+            IdStream::Empty => 0,
+            IdStream::All(r) => r.len(),
+            IdStream::Postings(cursor) => cursor.remaining(),
+            IdStream::Owned(cursor) => cursor.remaining(),
+            IdStream::Intersect(a, b, _) => a.len_estimate().min(b.len_estimate()),
+            IdStream::Filter(inner, _) => inner.len_estimate(),
+        }
+    }
+
+    /// Lazy intersection (galloping advance); collapses to [`IdStream::Empty`] when
+    /// either side is trivially empty.
+    pub fn intersect(self, other: IdStream<'a>) -> IdStream<'a> {
+        self.intersect_with(other, IntersectMode::Gallop)
+    }
+
+    /// [`IdStream::intersect`] with an explicit advance mode.
+    fn intersect_with(self, other: IdStream<'a>, mode: IntersectMode) -> IdStream<'a> {
         if self.is_trivially_empty() || other.is_trivially_empty() {
             return IdStream::Empty;
         }
         match (self, other) {
-            // `TRUE` is the identity of conjunction.
-            (IdStream::All(r), s) if r.start == 0 => s,
-            (s, IdStream::All(r)) if r.start == 0 => s,
-            (a, b) => IdStream::Intersect(Box::new(a), Box::new(b)),
+            // A full-universe `TRUE` range is the identity of conjunction (every id
+            // of the other operand lies inside it; partial ranges built through
+            // `restrict` never take this arm because their `start` is non-zero or the
+            // construction below is used directly).
+            (IdStream::All(r), s) if r.start == 0 && max_possible_id_below(&s, r.end) => s,
+            (s, IdStream::All(r)) if r.start == 0 && max_possible_id_below(&s, r.end) => s,
+            (a, b) => IdStream::Intersect(Box::new(a), Box::new(b), mode),
         }
+    }
+
+    /// Restrict the stream to ids in `[bounds.start, bounds.end)`.
+    ///
+    /// The restriction is itself lazy: the first pull seeks the stream to
+    /// `bounds.start` (galloping — `O(log n)` into a posting list), and pulling stops
+    /// at the upper bound without visiting the tail. This is the sharding primitive of
+    /// the parallel partial matcher: `k` workers restrict the same query to `k`
+    /// disjoint id ranges and each pays only for its own shard.
+    pub fn restrict(self, bounds: std::ops::Range<u32>) -> IdStream<'a> {
+        if self.is_trivially_empty() || bounds.is_empty() {
+            return IdStream::Empty;
+        }
+        // The range drives: it advances in O(1) and bounds both sides of the leapfrog.
+        IdStream::Intersect(
+            Box::new(IdStream::All(bounds)),
+            Box::new(self),
+            IntersectMode::Gallop,
+        )
+    }
+}
+
+/// First index `>= cursor` whose element is `>= target`: a few linear probes first
+/// (free when two lists advance in near-lockstep, the common case for similar-sized
+/// operands), then a gallop for genuinely skewed jumps. Strictly an advance policy —
+/// the returned index is always the exact lower bound.
+#[inline]
+fn hybrid_advance(slice: &[RecordId], mut cursor: usize, target: RecordId) -> usize {
+    let mut probes = 0u32;
+    while let Some(id) = slice.get(cursor) {
+        if *id >= target {
+            return cursor;
+        }
+        cursor += 1;
+        probes += 1;
+        if probes == 8 {
+            return cursor + gallop_lower_bound(&slice[cursor..], target);
+        }
+    }
+    cursor
+}
+
+/// Can every id the stream may yield be proven `< bound` without consuming it?
+/// (Cursor tails know their last id; used for the conjunction-identity shortcut.)
+fn max_possible_id_below(stream: &IdStream<'_>, bound: u32) -> bool {
+    let below = |ids: &[RecordId]| ids.last().is_none_or(|last| last.0 < bound);
+    match stream {
+        IdStream::Empty => true,
+        IdStream::All(r) => r.end <= bound,
+        IdStream::Postings(cursor) => below(cursor.list.ids()),
+        IdStream::Owned(cursor) => below(&cursor.ids),
+        IdStream::Intersect(a, b, _) => {
+            max_possible_id_below(a, bound) || max_possible_id_below(b, bound)
+        }
+        IdStream::Filter(inner, _) => max_possible_id_below(inner, bound),
     }
 }
 
@@ -145,6 +551,11 @@ pub struct ExecOptions {
     /// Use the hash / sorted-column indexes (true) or fall back to full scans (false).
     /// The substring-index ablation bench flips this to quantify the speed-up.
     pub use_indexes: bool,
+    /// Advance intersections one id at a time in declaration order (the PR 1
+    /// behaviour) instead of galloping with block-max skipping and most-selective-
+    /// first ordering. Kept for the `parallel_topk` ablation bench; results are
+    /// identical either way.
+    pub linear_intersect: bool,
 }
 
 impl Default for ExecOptions {
@@ -152,6 +563,7 @@ impl Default for ExecOptions {
         ExecOptions {
             superlatives_first: false,
             use_indexes: true,
+            linear_intersect: false,
         }
     }
 }
@@ -195,11 +607,25 @@ impl<'a> Executor<'a> {
 
         let mut ids: Vec<RecordId>;
         if self.options.superlatives_first && !query.superlatives.is_empty() {
-            // Ablation: superlatives applied to the whole table, then filtered.
-            let all: Vec<RecordId> = (0..self.table.len() as u32).map(RecordId).collect();
-            let extremes = self.apply_superlatives_sorted(query, all)?;
-            let matched: Vec<RecordId> = self.stream_ordered(&query.expr)?.collect();
-            ids = intersect_sorted(&extremes, &matched);
+            // Ablation: superlatives applied to the whole table, then filtered. The
+            // first extreme is computed straight off the sorted column — no
+            // table-sized id vector — and the (small) extreme set is then lazily
+            // intersected with the WHERE stream, which gallops past everything else.
+            let (first, rest) = query
+                .superlatives
+                .split_first()
+                .expect("checked non-empty above");
+            let mut extremes = self
+                .table
+                .extreme_all(&first.attribute, matches!(first.kind, SuperlativeKind::Max))
+                .map(|(_, ids)| ids)
+                .unwrap_or_default();
+            extremes.sort_unstable();
+            extremes = self.apply_superlative_slice(rest, extremes)?;
+            let matched = self.stream_ordered(&query.expr)?;
+            ids = IdStream::from_sorted_ids(extremes)
+                .intersect(matched)
+                .collect();
         } else {
             ids = self.stream_ordered(&query.expr)?.collect();
             ids = self.apply_superlatives_sorted(query, ids)?;
@@ -223,7 +649,7 @@ impl<'a> Executor<'a> {
             // Superlatives need the full candidate set; materialize, filter, re-stream.
             let ids: Vec<RecordId> = self.stream_ordered(&query.expr)?.collect();
             let ids = self.apply_superlatives_sorted(query, ids)?;
-            Ok(IdStream::Owned(ids.into_iter()))
+            Ok(IdStream::from_sorted_ids(ids))
         }
     }
 
@@ -267,12 +693,22 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
-    /// Evaluate the WHERE expression into a sorted id stream. For a pure conjunction we
-    /// follow the paper's Type I → Type II → Type III ordering exactly (equality
-    /// posting lists merge lazily, most selective layer first); for arbitrary boolean
-    /// expressions we recurse, materializing at OR/NOT boundaries where the output is a
-    /// genuinely new set.
+    /// Evaluate the WHERE expression into a sorted id stream. For a pure conjunction,
+    /// the Type I / Type II equality streams are intersected **most selective first**
+    /// (shortest posting list drives the galloping leapfrog) — the paper's
+    /// Type I → Type II order is a performance heuristic, and posting-list lengths are
+    /// the exact statistic it approximates; the intersection result is identical
+    /// either way. Type III boundaries still run after the equality layers as
+    /// per-candidate filters (the paper's step 3). For arbitrary boolean expressions
+    /// we recurse, materializing at OR/NOT boundaries where the output is a genuinely
+    /// new set. Under [`ExecOptions::linear_intersect`] the declaration order and the
+    /// one-id-at-a-time merge of PR 1 are preserved.
     fn stream_ordered(&self, expr: &BoolExpr) -> DbResult<IdStream<'a>> {
+        let mode = if self.options.linear_intersect {
+            IntersectMode::Linear
+        } else {
+            IntersectMode::Gallop
+        };
         match expr {
             BoolExpr::True => Ok(IdStream::All(0..self.table.len() as u32)),
             BoolExpr::Cond(c) => Ok(self.stream_condition(c)),
@@ -282,7 +718,7 @@ impl<'a> Executor<'a> {
                     .map(RecordId)
                     .filter(|id| matched.binary_search(id).is_err())
                     .collect();
-                Ok(IdStream::Owned(complement.into_iter()))
+                Ok(IdStream::from_sorted_ids(complement))
             }
             BoolExpr::Or(parts) => {
                 // Sorted union: k-way merge by collect + sort + dedup (output-sized).
@@ -292,11 +728,11 @@ impl<'a> Executor<'a> {
                 }
                 acc.sort_unstable();
                 acc.dedup();
-                Ok(IdStream::Owned(acc.into_iter()))
+                Ok(IdStream::from_sorted_ids(acc))
             }
             BoolExpr::And(parts) => {
-                // Partition leaf conditions by attribute type so they are applied in the
-                // paper's order; non-leaf sub-expressions are applied last.
+                // Partition leaf conditions by attribute type so boundaries run after
+                // the index layers; non-leaf sub-expressions are applied last.
                 let mut t1 = Vec::new();
                 let mut t2 = Vec::new();
                 let mut t3 = Vec::new();
@@ -313,11 +749,24 @@ impl<'a> Executor<'a> {
                         other => complex.push(other),
                     }
                 }
-                let mut stream: Option<IdStream<'a>> = None;
+                let mut equality_streams: Vec<IdStream<'a>> = Vec::new();
                 for c in t1.into_iter().chain(t2) {
                     let next = self.stream_condition(c);
+                    if next.is_trivially_empty() {
+                        return Ok(IdStream::Empty);
+                    }
+                    equality_streams.push(next);
+                }
+                if !self.options.linear_intersect {
+                    // Shortest list first: the driver of the leapfrog sets the skew
+                    // every other operand gallops across. (Stable sort: declaration
+                    // order breaks ties, keeping plans deterministic.)
+                    equality_streams.sort_by_key(IdStream::len_estimate);
+                }
+                let mut stream: Option<IdStream<'a>> = None;
+                for next in equality_streams {
                     stream = Some(match stream {
-                        Some(acc) => acc.intersect(next),
+                        Some(acc) => acc.intersect_with(next, mode),
                         None => next,
                     });
                     if stream.as_ref().is_some_and(IdStream::is_trivially_empty) {
@@ -337,7 +786,7 @@ impl<'a> Executor<'a> {
                         _ => {
                             let next = self.stream_condition(c);
                             match stream.take() {
-                                Some(acc) => acc.intersect(next),
+                                Some(acc) => acc.intersect_with(next, mode),
                                 None => next,
                             }
                         }
@@ -349,7 +798,7 @@ impl<'a> Executor<'a> {
                 }
                 let mut acc = stream.unwrap_or_else(|| IdStream::All(0..self.table.len() as u32));
                 for sub in complex {
-                    acc = acc.intersect(self.stream_ordered(sub)?);
+                    acc = acc.intersect_with(self.stream_ordered(sub)?, mode);
                 }
                 Ok(acc)
             }
@@ -384,15 +833,36 @@ impl<'a> Executor<'a> {
     fn stream_condition(&self, cond: &Condition) -> IdStream<'a> {
         if self.options.use_indexes && !cond.negated {
             let sorted_range = |low: f64, high: f64| {
-                let mut ids = self.table.lookup_range(&cond.attribute, low, high);
-                ids.sort_unstable();
-                IdStream::Owned(ids.into_iter())
+                // A wide range (most of the table qualifies) is cheaper as a lazy
+                // per-record filter over the id space than as a range-sized id vector
+                // that must be collected *and re-sorted* from value order into id
+                // order — and the lazy form costs nothing to build, which also
+                // matters when parallel workers each plan the same query. Narrow
+                // ranges still materialize: their sort is small and the resulting
+                // cursor gallops. The id *set* is identical either way. The linear
+                // ablation keeps PR 1's always-materialize behaviour.
+                let count = self.table.range_count(&cond.attribute, low, high);
+                let wide = count.saturating_mul(4) >= self.table.len() && count > 256;
+                if wide && !self.options.linear_intersect {
+                    IdStream::Filter(
+                        Box::new(IdStream::All(0..self.table.len() as u32)),
+                        RangePredicate {
+                            column: self.table.numeric_column(&cond.attribute),
+                            low,
+                            high,
+                        },
+                    )
+                } else {
+                    let mut ids = self.table.lookup_range(&cond.attribute, low, high);
+                    ids.sort_unstable();
+                    IdStream::from_sorted_ids(ids)
+                }
             };
             match &cond.comparison {
                 Comparison::Eq(crate::value::Value::Text(v)) => self
                     .table
                     .posting_list(&cond.attribute, v)
-                    .map(|list| IdStream::Slice(list.iter()))
+                    .map(IdStream::postings)
                     .unwrap_or(IdStream::Empty),
                 Comparison::Eq(crate::value::Value::Number(n)) => sorted_range(*n, *n),
                 Comparison::Lt(b) => sorted_range(f64::NEG_INFINITY, prev_float(*b)),
@@ -416,7 +886,7 @@ impl<'a> Executor<'a> {
                         .collect();
                     ids.sort_unstable();
                     ids.dedup();
-                    IdStream::Owned(ids.into_iter())
+                    IdStream::from_sorted_ids(ids)
                 }
             }
         } else {
@@ -428,7 +898,7 @@ impl<'a> Executor<'a> {
                 .filter(|(_, r)| cond.matches_value(r.get(&cond.attribute)))
                 .map(|(id, _)| id)
                 .collect();
-            IdStream::Owned(ids.into_iter())
+            IdStream::from_sorted_ids(ids)
         }
     }
 
@@ -438,9 +908,18 @@ impl<'a> Executor<'a> {
     fn apply_superlatives_sorted(
         &self,
         query: &Query,
+        candidates: Vec<RecordId>,
+    ) -> DbResult<Vec<RecordId>> {
+        self.apply_superlative_slice(&query.superlatives, candidates)
+    }
+
+    /// Apply a run of superlatives over an ascending candidate vector.
+    fn apply_superlative_slice(
+        &self,
+        superlatives: &[Superlative],
         mut candidates: Vec<RecordId>,
     ) -> DbResult<Vec<RecordId>> {
-        for s in &query.superlatives {
+        for s in superlatives {
             if candidates.is_empty() {
                 return Ok(candidates);
             }
@@ -455,24 +934,6 @@ impl<'a> Executor<'a> {
         }
         Ok(candidates)
     }
-}
-
-/// Two-pointer intersection of two ascending id slices.
-fn intersect_sorted(a: &[RecordId], b: &[RecordId]) -> Vec<RecordId> {
-    let mut out = Vec::new();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-            Ordering::Less => i += 1,
-            Ordering::Greater => j += 1,
-        }
-    }
-    out
 }
 
 fn next_float(x: f64) -> f64 {
@@ -566,7 +1027,7 @@ mod tests {
             &t,
             ExecOptions {
                 superlatives_first: true,
-                use_indexes: true,
+                ..ExecOptions::default()
             },
         );
         // Cheapest car overall is a Toyota, so filtering by Honda afterwards yields nothing.
@@ -665,8 +1126,8 @@ mod tests {
         let no_idx = Executor::with_options(
             &t,
             ExecOptions {
-                superlatives_first: false,
                 use_indexes: false,
+                ..ExecOptions::default()
             },
         )
         .execute(&q)
@@ -681,5 +1142,158 @@ mod tests {
         let recs = Executor::new(&t).execute_records(&q).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].1.get_text("model"), Some("focus"));
+    }
+
+    // -----------------------------------------------------------------------
+    // seek_ge / galloping / block-max edge cases
+    // -----------------------------------------------------------------------
+
+    fn rec(ids: &[u32]) -> Vec<RecordId> {
+        ids.iter().copied().map(RecordId).collect()
+    }
+
+    #[test]
+    fn gallop_lower_bound_agrees_with_partition_point() {
+        let xs = rec(&[1, 3, 5, 7, 9, 40, 41, 100, 1000]);
+        for target in 0..=1001u32 {
+            let t = RecordId(target);
+            assert_eq!(
+                gallop_lower_bound(&xs, t),
+                xs.partition_point(|&x| x < t),
+                "target {target}"
+            );
+        }
+        assert_eq!(gallop_lower_bound(&[], RecordId(5)), 0);
+    }
+
+    #[test]
+    fn postings_cursor_seeks_across_blocks() {
+        // Three full blocks plus a tail, with a gap the seek must jump over.
+        let mut ids: Vec<RecordId> = (0..POSTING_BLOCK as u32 * 3).map(RecordId).collect();
+        ids.extend((10_000..10_010).map(RecordId));
+        let list = PostingList::from_sorted(ids.clone());
+        let mut stream = IdStream::postings(&list);
+        assert_eq!(stream.seek_ge(RecordId(0)), Some(RecordId(0)));
+        // Jump into the middle of block 1.
+        let mid = POSTING_BLOCK as u32 + 7;
+        assert_eq!(stream.seek_ge(RecordId(mid)), Some(RecordId(mid)));
+        // Jump over the gap: lands on the first tail id.
+        assert_eq!(stream.seek_ge(RecordId(9_999)), Some(RecordId(10_000)));
+        // Seeking past the end exhausts the stream, and it knows it is empty.
+        assert_eq!(stream.seek_ge(RecordId(20_000)), None);
+        assert!(stream.is_trivially_empty(), "all ids skipped => empty");
+        assert_eq!(stream.next(), None);
+    }
+
+    #[test]
+    fn single_block_and_empty_posting_lists_are_handled() {
+        let single = PostingList::from_sorted(rec(&[4, 8, 15]));
+        assert_eq!(single.block_max(), rec(&[15]).as_slice());
+        let mut stream = IdStream::postings(&single);
+        assert!(!stream.is_trivially_empty());
+        assert_eq!(stream.seek_ge(RecordId(5)), Some(RecordId(8)));
+        assert_eq!(stream.seek_ge(RecordId(16)), None);
+
+        let empty = PostingList::from_sorted(Vec::new());
+        assert!(empty.block_max().is_empty());
+        let mut stream = IdStream::postings(&empty);
+        assert!(stream.is_trivially_empty());
+        assert_eq!(stream.seek_ge(RecordId(0)), None);
+        assert_eq!(stream.next(), None);
+    }
+
+    #[test]
+    fn trivial_emptiness_is_exact_for_leaves_and_conservative_for_compositions() {
+        assert!(IdStream::Empty.is_trivially_empty());
+        assert!(IdStream::All(3..3).is_trivially_empty());
+        assert!(!IdStream::All(0..1).is_trivially_empty());
+        assert!(IdStream::from_sorted_ids(Vec::new()).is_trivially_empty());
+        // Intersecting with a trivially-empty stream collapses to Empty.
+        let list = PostingList::from_sorted(rec(&[1, 2, 3]));
+        let joined = IdStream::postings(&list).intersect(IdStream::Empty);
+        assert!(matches!(joined, IdStream::Empty));
+        // Restriction to an empty id range collapses too.
+        let restricted = IdStream::postings(&list).restrict(5..5);
+        assert!(matches!(restricted, IdStream::Empty));
+    }
+
+    #[test]
+    fn restrict_yields_exactly_the_ids_inside_the_bounds() {
+        let list = PostingList::from_sorted(rec(&[2, 5, 9, 11, 40, 41, 90]));
+        let collect = |bounds: std::ops::Range<u32>| -> Vec<RecordId> {
+            IdStream::postings(&list).restrict(bounds).collect()
+        };
+        assert_eq!(collect(0..100), rec(&[2, 5, 9, 11, 40, 41, 90]));
+        assert_eq!(collect(5..41), rec(&[5, 9, 11, 40]));
+        assert_eq!(collect(12..40), Vec::<RecordId>::new());
+        assert_eq!(collect(91..1000), Vec::<RecordId>::new());
+    }
+
+    #[test]
+    fn intersection_modes_and_orders_agree_everywhere() {
+        let t = sample_table();
+        let queries = [
+            Query::new("cars")
+                .with_condition(Condition::eq("make", "honda"))
+                .with_condition(Condition::eq("color", "blue")),
+            Query::new("cars")
+                .with_condition(Condition::eq("color", "blue"))
+                .with_condition(Condition::eq("transmission", "manual"))
+                .with_condition(Condition::new("price", Comparison::Lt(10_000.0))),
+            Query::new("cars")
+                .with_condition(Condition::eq("make", "toyota"))
+                .with_superlative(Superlative::min("price")),
+            Query::new("cars").with_condition(Condition::eq("make", "nosuchmake")),
+        ];
+        let gallop = Executor::new(&t);
+        let linear = Executor::with_options(
+            &t,
+            ExecOptions {
+                linear_intersect: true,
+                ..ExecOptions::default()
+            },
+        );
+        for q in &queries {
+            assert_eq!(gallop.execute(q).unwrap(), linear.execute(q).unwrap());
+            let g: Vec<RecordId> = gallop.execute_stream(q).unwrap().collect();
+            let l: Vec<RecordId> = linear.execute_stream(q).unwrap().collect();
+            assert_eq!(g, l);
+        }
+    }
+
+    #[test]
+    fn superlatives_first_stays_lazy_and_correct_on_empty_tables() {
+        let empty = Table::new(
+            Schema::builder("cars")
+                .type1("make")
+                .type3("price", 0.0, 1000.0, None)
+                .build()
+                .unwrap(),
+        );
+        let q = Query::new("cars").with_superlative(Superlative::min("price"));
+        let wrong = Executor::with_options(
+            &empty,
+            ExecOptions {
+                superlatives_first: true,
+                ..ExecOptions::default()
+            },
+        );
+        assert!(wrong.execute(&q).unwrap().is_empty());
+        // On a populated table the rewritten path matches the paper's failure mode
+        // demonstration *and* the plain path when no WHERE clause filters anything.
+        let t = sample_table();
+        let both = Query::new("cars").with_superlative(Superlative::max("year"));
+        let a = Executor::new(&t).execute(&both).unwrap();
+        let b = Executor::with_options(
+            &t,
+            ExecOptions {
+                superlatives_first: true,
+                ..ExecOptions::default()
+            },
+        )
+        .execute(&both)
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
     }
 }

@@ -82,7 +82,7 @@ pub use query::{BoolExpr, Comparison, Condition, Query, Superlative, Superlative
 pub use record::{Record, RecordBuilder, RecordId};
 pub use schema::{AttrType, AttributeDef, Schema, SchemaBuilder};
 pub use substring::SubstringIndex;
-pub use table::{NumericColumn, Table, TextCell, TextColumn};
+pub use table::{NumericColumn, PostingList, Table, TextCell, TextColumn, POSTING_BLOCK};
 pub use value::Value;
 
 /// Convenience re-exports for downstream crates and doctests.

@@ -9,10 +9,12 @@
 //! In addition to the indexes, every categorical value is **interned at insert time**
 //! ([`TextCell`]): the normalized value and its stemmed words become integer symbols,
 //! so similarity scoring during partial matching never re-normalizes or re-stems a
-//! stored string. Posting lists are kept **sorted by record id** (ids are assigned in
-//! insertion order and appended monotonically), which lets the executor intersect them
-//! by sorted merge instead of hashing. Records themselves live behind [`Arc`] so
-//! answers can share them without deep-cloning.
+//! stored string. Posting lists ([`PostingList`]) are kept **sorted by record id** (ids
+//! are assigned in insertion order and appended monotonically), which lets the executor
+//! intersect them by sorted merge instead of hashing, and carry **per-block max-id
+//! metadata** (one entry per [`POSTING_BLOCK`] ids, maintained incrementally at insert)
+//! so a skewed intersection can skip whole blocks without touching the ids themselves.
+//! Records live behind [`Arc`] so answers can share them without deep-cloning.
 
 use crate::error::{DbError, DbResult};
 use crate::record::{Record, RecordId};
@@ -24,6 +26,72 @@ use cqads_text::porter_stem;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+/// Ids per block of the [`PostingList`] skip metadata. 64 ids (256 bytes) spans four
+/// cache lines — small enough that a block scan stays cheap, large enough that the
+/// block-max array is ~1.5% of the list and fits in cache even for huge lists.
+pub const POSTING_BLOCK: usize = 64;
+
+/// One sorted posting list (record ids ascending) plus per-block max-id skip metadata.
+///
+/// `block_max[b]` is the largest id in `ids[b * POSTING_BLOCK ..][..POSTING_BLOCK]`,
+/// i.e. the last id of the block (lists are sorted). A seek for `target` first gallops
+/// over `block_max` to find the first block that can contain `target`, then binary
+/// searches only inside that one block — the ids of skipped blocks are never read.
+/// Both vectors are maintained incrementally: appending a monotonically increasing id
+/// either updates the last block's max or opens a new block, so inserts stay O(1).
+#[derive(Debug, Clone, Default)]
+pub struct PostingList {
+    ids: Vec<RecordId>,
+    block_max: Vec<RecordId>,
+}
+
+impl PostingList {
+    /// Build a list from ids already sorted strictly ascending (test/bench helper; the
+    /// table builds its lists incrementally through `push`).
+    pub fn from_sorted(ids: Vec<RecordId>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be ascending");
+        let block_max = ids
+            .chunks(POSTING_BLOCK)
+            .map(|block| *block.last().expect("chunks are non-empty"))
+            .collect();
+        PostingList { ids, block_max }
+    }
+
+    /// Append an id larger than every id already present.
+    fn push(&mut self, id: RecordId) {
+        debug_assert!(self.ids.last().is_none_or(|last| *last < id));
+        if self.ids.len().is_multiple_of(POSTING_BLOCK) {
+            self.block_max.push(id);
+        } else {
+            *self
+                .block_max
+                .last_mut()
+                .expect("non-empty list has blocks") = id;
+        }
+        self.ids.push(id);
+    }
+
+    /// The record ids, sorted ascending.
+    pub fn ids(&self) -> &[RecordId] {
+        &self.ids
+    }
+
+    /// Per-block maximum id (the last id of each [`POSTING_BLOCK`]-sized block).
+    pub fn block_max(&self) -> &[RecordId] {
+        &self.block_max
+    }
+
+    /// Number of ids in the list.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the list holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
 /// Interned form of one categorical cell, computed once at insert time.
 #[derive(Debug, Clone)]
 pub struct TextCell {
@@ -34,9 +102,16 @@ pub struct TextCell {
 }
 
 /// Per-attribute column of interned categorical cells, indexed by record id.
+///
+/// Stored twice, deliberately: the full [`TextCell`]s (symbol + stemmed words, ~32
+/// bytes each) and a dense symbol-only mirror (8 bytes each). Batch scoring is
+/// memory-bound on this column — the memoizing scorer needs *only* the value symbol
+/// per record (stems are touched once per distinct value), so the dense mirror cuts
+/// the cache lines touched per candidate by 4×.
 #[derive(Debug, Clone, Default)]
 pub struct TextColumn {
     cells: Vec<Option<TextCell>>,
+    syms: Vec<Option<Sym>>,
 }
 
 impl TextColumn {
@@ -44,19 +119,30 @@ impl TextColumn {
     pub fn cell(&self, id: RecordId) -> Option<&TextCell> {
         self.cells.get(id.0 as usize).and_then(Option::as_ref)
     }
+
+    /// The value symbol of `id` alone, from the dense mirror — the batch-scoring hot
+    /// path; prefer this when the stems are not needed.
+    pub fn sym(&self, id: RecordId) -> Option<Sym> {
+        self.syms.get(id.0 as usize).copied().flatten()
+    }
 }
 
 /// Per-attribute column of numeric values, indexed by record id (O(1) per-record
 /// access; the sorted `(value, id)` vector remains the range/superlative index).
+/// Missing values are stored as a NaN sentinel so a cell costs 8 bytes, not 16 —
+/// range predicates stream this column for every surviving candidate.
 #[derive(Debug, Clone, Default)]
 pub struct NumericColumn {
-    values: Vec<Option<f64>>,
+    values: Vec<f64>,
 }
 
 impl NumericColumn {
     /// The numeric value of `id`, if the record carries this attribute.
     pub fn value(&self, id: RecordId) -> Option<f64> {
-        self.values.get(id.0 as usize).and_then(|v| *v)
+        match self.values.get(id.0 as usize) {
+            Some(v) if !v.is_nan() => Some(*v),
+            _ => None,
+        }
     }
 }
 
@@ -65,10 +151,10 @@ impl NumericColumn {
 pub struct Table {
     schema: Schema,
     records: Vec<Arc<Record>>,
-    /// attribute -> text value -> record ids sorted ascending (Type I).
-    primary: HashMap<String, HashMap<String, Vec<RecordId>>>,
-    /// attribute -> text value -> record ids sorted ascending (Type II).
-    secondary: HashMap<String, HashMap<String, Vec<RecordId>>>,
+    /// attribute -> text value -> block-max posting list (Type I).
+    primary: HashMap<String, HashMap<String, PostingList>>,
+    /// attribute -> text value -> block-max posting list (Type II).
+    secondary: HashMap<String, HashMap<String, PostingList>>,
     /// attribute -> (value, record id) sorted by value (Type III).
     numeric: HashMap<String, Vec<(f64, RecordId)>>,
     /// attribute -> interned cells by record id (Type I and Type II).
@@ -180,7 +266,8 @@ impl Table {
                     };
                     if let Some(index) = target {
                         // `id` is monotonically increasing, so posting lists stay
-                        // sorted ascending without an explicit sort.
+                        // sorted ascending (and their block maxima current) without an
+                        // explicit sort.
                         index.entry(text.clone()).or_default().push(id);
                     }
                 }
@@ -204,10 +291,11 @@ impl Table {
                     .map(|w| intern::intern(&porter_stem(w)))
                     .collect(),
             });
+            col.syms.push(cell.as_ref().map(|c| c.sym));
             col.cells.push(cell);
         }
         for (name, col) in self.num_cols.iter_mut() {
-            col.values.push(record.get_number(name));
+            col.values.push(record.get_number(name).unwrap_or(f64::NAN));
         }
         self.records.push(Arc::new(record));
         Ok(id)
@@ -250,19 +338,32 @@ impl Table {
     /// Records whose Type I or Type II `attribute` equals `value`, via the hash indexes.
     pub fn lookup_eq(&self, attribute: &str, value: &str) -> Vec<RecordId> {
         self.posting_list(attribute, value)
-            .map(<[RecordId]>::to_vec)
+            .map(|list| list.ids().to_vec())
             .unwrap_or_default()
     }
 
     /// Zero-copy view of the posting list for a categorical equality: record ids
-    /// sorted ascending. `None` when the attribute has no index entry for the value.
-    pub fn posting_list(&self, attribute: &str, value: &str) -> Option<&[RecordId]> {
+    /// sorted ascending plus block-max skip metadata. `None` when the attribute has no
+    /// index entry for the value.
+    pub fn posting_list(&self, attribute: &str, value: &str) -> Option<&PostingList> {
         let value = crate::value::normalize_text(value);
         self.primary
             .get(attribute)
             .or_else(|| self.secondary.get(attribute))
             .and_then(|m| m.get(&value))
-            .map(Vec::as_slice)
+    }
+
+    /// How many records hold numeric `attribute` in `[low, high]` — two binary
+    /// searches on the sorted column, no materialization. The executor uses this to
+    /// decide between materializing a range's ids and streaming a lazy per-record
+    /// filter.
+    pub fn range_count(&self, attribute: &str, low: f64, high: f64) -> usize {
+        let Some(col) = self.numeric.get(attribute) else {
+            return 0;
+        };
+        let start = col.partition_point(|(v, _)| *v < low);
+        let end = col.partition_point(|(v, _)| *v <= high);
+        end.saturating_sub(start)
     }
 
     /// Records whose numeric `attribute` lies in `[low, high]`, via the sorted column.
@@ -324,6 +425,21 @@ impl Table {
         let mut ids = vec![first];
         for (v, id) in col.iter() {
             if (*v - best).abs() < 1e-9 && *id != first && contains(id) {
+                ids.push(*id);
+            }
+        }
+        Some((best, ids))
+    }
+
+    /// [`Table::extreme`] over the *whole* table: no candidate set is consulted (every
+    /// record qualifies), so no table-sized id vector has to be materialized. Used by
+    /// the superlatives-first ablation path of the executor.
+    pub fn extreme_all(&self, attribute: &str, max: bool) -> Option<(f64, Vec<RecordId>)> {
+        let col = self.numeric.get(attribute)?;
+        let (best, first) = if max { col.last() } else { col.first() }.map(|(v, id)| (*v, *id))?;
+        let mut ids = vec![first];
+        for (v, id) in col.iter() {
+            if (*v - best).abs() < 1e-9 && *id != first {
                 ids.push(*id);
             }
         }
@@ -473,6 +589,57 @@ mod tests {
             vec!["ford", "honda", "toyota"]
         );
         assert_eq!(t.distinct_text_values("color").len(), 2);
+    }
+
+    #[test]
+    fn posting_lists_carry_block_max_metadata() {
+        let mut t = Table::new(car_schema());
+        for i in 0..(POSTING_BLOCK * 2 + 5) {
+            t.insert(car(
+                "honda",
+                "accord",
+                if i % 2 == 0 { "blue" } else { "gold" },
+                "manual",
+                5000.0 + i as f64,
+                2000.0,
+            ))
+            .unwrap();
+        }
+        let list = t.posting_list("make", "honda").unwrap();
+        assert_eq!(list.len(), POSTING_BLOCK * 2 + 5);
+        assert_eq!(list.block_max().len(), 3);
+        // Every block max is the last id of its block.
+        for (b, max) in list.block_max().iter().enumerate() {
+            let end = ((b + 1) * POSTING_BLOCK).min(list.len());
+            assert_eq!(*max, list.ids()[end - 1]);
+        }
+        // A sparse list (every other record) keeps the same invariant.
+        let blue = t.posting_list("color", "blue").unwrap();
+        assert_eq!(blue.len(), POSTING_BLOCK + 3);
+        assert_eq!(blue.block_max().len(), 2);
+        assert_eq!(blue.block_max()[0], blue.ids()[POSTING_BLOCK - 1]);
+        assert_eq!(
+            *blue.block_max().last().unwrap(),
+            *blue.ids().last().unwrap()
+        );
+        // `from_sorted` builds identical metadata.
+        let rebuilt = PostingList::from_sorted(blue.ids().to_vec());
+        assert_eq!(rebuilt.block_max(), blue.block_max());
+        assert!(PostingList::from_sorted(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn extreme_all_matches_extreme_over_all_ids() {
+        let t = sample_table();
+        let all = t.all_ids();
+        assert_eq!(
+            t.extreme_all("price", false),
+            t.extreme("price", &all, false)
+        );
+        assert_eq!(t.extreme_all("price", true), t.extreme("price", &all, true));
+        assert_eq!(t.extreme_all("nonexistent", true), None);
+        let empty = Table::new(car_schema());
+        assert_eq!(empty.extreme_all("price", false), None);
     }
 
     #[test]

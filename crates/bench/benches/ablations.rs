@@ -30,7 +30,7 @@ fn eval_order(c: &mut Criterion) {
         table,
         ExecOptions {
             superlatives_first: true,
-            use_indexes: true,
+            ..ExecOptions::default()
         },
     );
     // The paper's point: the wrong order returns no Hondas at all.
@@ -123,8 +123,8 @@ fn indexes(c: &mut Criterion) {
     };
     let with_idx = ExecOptions::default();
     let without_idx = ExecOptions {
-        superlatives_first: false,
         use_indexes: false,
+        ..ExecOptions::default()
     };
     assert_eq!(
         run(with_idx),

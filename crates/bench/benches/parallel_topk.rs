@@ -1,0 +1,346 @@
+//! Tentpole bench for PR 2: parallel relaxation fan-out + galloping block-max
+//! intersection vs the PR 1 sequential top-k engine.
+//!
+//! Three comparisons over a ~100k-record generated ads table:
+//!
+//! 1. **PR 1 baseline** — the engine exactly as PR 1 shipped it: sequential, linear
+//!    declaration-order intersections, eager range materialization, un-memoized
+//!    scoring (`PartialMatchOptions::pr1_baseline`).
+//! 2. **Galloping sequential** — block-max skipping, most-selective-first ordering
+//!    and the memoized hot loop, one worker.
+//! 3. **Worker scaling** — the sharded fan-out at 1/2/4/8 workers, batched (one
+//!    thread-scope per pass over all questions).
+//!
+//! A skewed-intersection micro-bench (rare posting list vs near-universal one)
+//! isolates the galloping-vs-linear advance itself. Wall-clock medians and speedups
+//! are written to `BENCH_parallel_topk.json` at the workspace root (skipped in
+//! `--test` smoke mode). Every engine's answers are checked identical before
+//! anything is timed.
+
+use addb::{Condition, ExecOptions, Executor, Query, Record, RecordId, Schema, Table};
+use cqads::tagging::Tagger;
+use cqads::translate::{interpret, Interpretation};
+use cqads::{PartialBatchRequest, PartialMatchOptions, PartialMatcher, SimilarityModel};
+use cqads_datagen::{
+    affinity_model, blueprint, generate_questions, generate_table, topic_groups, QuestionMix,
+};
+use cqads_querylog::{generate_log, LogGeneratorConfig, TIMatrix};
+use cqads_wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TABLE_SIZE: usize = 100_000;
+const BUDGET: usize = 30;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Workload {
+    spec: cqads::DomainSpec,
+    sim: SimilarityModel,
+    table: Table,
+    questions: Vec<(Interpretation, HashSet<RecordId>)>,
+}
+
+fn build_workload(table_size: usize) -> Workload {
+    let bp = blueprint("cars");
+    let table = generate_table(&bp, table_size, 4242);
+    let log = generate_log(
+        &affinity_model(&bp),
+        &LogGeneratorConfig {
+            sessions: 400,
+            seed: 77,
+            ..Default::default()
+        },
+    );
+    let ti = TIMatrix::build(&log);
+    let corpus = SyntheticCorpus::generate(
+        &topic_groups(&bp),
+        &CorpusSpec {
+            documents: 120,
+            ..CorpusSpec::default()
+        },
+    );
+    let ws = WordSimMatrix::build(&corpus);
+    let spec = bp.to_spec();
+    let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+    let tagger = Tagger::new(&spec);
+
+    // Multi-condition questions over real table values: their relaxations stream
+    // large posting-list intersections — the hot path both the galloping advance and
+    // the sharded fan-out attack.
+    let generated = generate_questions(&bp, &table, 80, 99, &QuestionMix::plain_only());
+    let executor = Executor::new(&table);
+    let mut questions = Vec::new();
+    for q in &generated {
+        let Ok(interp) = interpret(&tagger.tag(&q.text), &spec) else {
+            continue;
+        };
+        if interp.all_sketches().len() < 2 {
+            continue;
+        }
+        let Ok(query) = interp.to_query_with_limit(&spec, BUDGET) else {
+            continue;
+        };
+        let Ok(answers) = executor.execute(&query) else {
+            continue;
+        };
+        let exact: HashSet<RecordId> = answers.into_iter().map(|a| a.id).collect();
+        questions.push((interp, exact));
+        if questions.len() == 25 {
+            break;
+        }
+    }
+    assert!(
+        questions.len() >= 10,
+        "workload too small: only {} usable questions",
+        questions.len()
+    );
+    Workload {
+        spec,
+        sim,
+        table,
+        questions,
+    }
+}
+
+/// Run every workload question through a matcher as one batch (the serving shape —
+/// worker threads are spawned once per batch, not per question), returning counts and
+/// a score checksum so the work cannot be optimized away. Ablation engines loop
+/// per-question inside `partial_answers_batch`, which is their natural form.
+fn run_all(matcher: &PartialMatcher<'_>, workload: &Workload) -> (usize, f64) {
+    let requests: Vec<PartialBatchRequest<'_>> = workload
+        .questions
+        .iter()
+        .map(|(interp, exact)| PartialBatchRequest {
+            interpretation: interp,
+            exclude: exact,
+            budget: BUDGET,
+        })
+        .collect();
+    let per_question = matcher
+        .partial_answers_batch(&requests, &workload.table)
+        .expect("partial matching succeeds");
+    let mut count = 0usize;
+    let mut checksum = 0.0f64;
+    for answers in &per_question {
+        count += answers.len();
+        checksum += answers.iter().map(|a| a.rank_sim).sum::<f64>();
+    }
+    (count, checksum)
+}
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn time_median(iterations: usize, mut pass: impl FnMut()) -> f64 {
+    pass(); // warmup
+    let samples: Vec<f64> = (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(samples)
+}
+
+fn matcher_with<'a>(workload: &'a Workload, options: PartialMatchOptions) -> PartialMatcher<'a> {
+    PartialMatcher::with_options(&workload.spec, &workload.sim, options)
+}
+
+/// Skewed-intersection micro-workload: a rare value (1 in 1000 records) intersected
+/// with a near-universal one (two values split 90/10), so the linear merge walks
+/// ~`n` ids while the galloping advance touches ~`n / 1000` blocks.
+struct SkewTable {
+    table: Table,
+    query: Query,
+}
+
+fn build_skew_table(rows: usize) -> SkewTable {
+    let schema = Schema::builder("skew")
+        .type1("rare")
+        .type2("common")
+        .build()
+        .unwrap();
+    let mut table = Table::new(schema);
+    for i in 0..rows {
+        table
+            .insert(
+                Record::builder()
+                    .text("rare", if i % 1000 == 0 { "needle" } else { "hay" })
+                    .text("common", if i % 10 == 0 { "minor" } else { "major" })
+                    .build(),
+            )
+            .unwrap();
+    }
+    let query = Query::new("skew")
+        .with_condition(Condition::eq("rare", "needle"))
+        .with_condition(Condition::eq("common", "major"));
+    SkewTable { table, query }
+}
+
+fn stream_count(table: &Table, query: &Query, options: ExecOptions) -> usize {
+    Executor::with_options(table, options)
+        .execute_stream(query)
+        .expect("valid query")
+        .count()
+}
+
+fn bench(c: &mut Criterion) {
+    let test_mode = c.is_test_mode();
+    let workload = build_workload(if test_mode { 5_000 } else { TABLE_SIZE });
+
+    let pr1 = matcher_with(
+        &workload,
+        PartialMatchOptions {
+            pr1_baseline: true,
+            ..PartialMatchOptions::default()
+        },
+    );
+    let by_workers: Vec<(usize, PartialMatcher<'_>)> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            (
+                workers,
+                matcher_with(
+                    &workload,
+                    PartialMatchOptions {
+                        workers,
+                        ..PartialMatchOptions::default()
+                    },
+                ),
+            )
+        })
+        .collect();
+
+    // Sanity: every engine returns the same answers as the PR 1 baseline (the
+    // dedicated equivalence tests assert byte-identity; this guards the measured
+    // comparison itself).
+    let (base_count, base_sum) = run_all(&pr1, &workload);
+    for (workers, matcher) in &by_workers {
+        let (count, sum) = run_all(matcher, &workload);
+        assert_eq!(count, base_count, "{workers}-worker engine disagrees");
+        assert!((sum - base_sum).abs() < 1e-9, "{workers}-worker checksum");
+    }
+
+    let skew = build_skew_table(if test_mode { 20_000 } else { 200_000 });
+    let gallop_opts = ExecOptions::default();
+    let linear_opts = ExecOptions {
+        linear_intersect: true,
+        ..ExecOptions::default()
+    };
+    assert_eq!(
+        stream_count(&skew.table, &skew.query, gallop_opts),
+        stream_count(&skew.table, &skew.query, linear_opts),
+        "skewed intersection modes disagree"
+    );
+
+    if !test_mode {
+        let iterations = 7usize;
+        let pr1_secs = time_median(iterations, || {
+            std::hint::black_box(run_all(&pr1, &workload));
+        });
+        let mut worker_secs = Vec::new();
+        for (workers, matcher) in &by_workers {
+            let secs = time_median(iterations, || {
+                std::hint::black_box(run_all(matcher, &workload));
+            });
+            worker_secs.push((*workers, secs));
+        }
+        let gallop_1w = worker_secs[0].1;
+        let four_way = worker_secs
+            .iter()
+            .find(|(w, _)| *w == 4)
+            .expect("4-worker run")
+            .1;
+
+        let micro_iters = 25usize;
+        let linear_micro = time_median(micro_iters, || {
+            std::hint::black_box(stream_count(&skew.table, &skew.query, linear_opts));
+        });
+        let gallop_micro = time_median(micro_iters, || {
+            std::hint::black_box(stream_count(&skew.table, &skew.query, gallop_opts));
+        });
+
+        println!(
+            "parallel_topk: {} records, {} questions, budget {}: pr1 {:.2} ms/pass, \
+             gallop 1w {:.2} ms/pass ({:.1}x), 4w {:.2} ms/pass ({:.1}x vs pr1)",
+            workload.table.len(),
+            workload.questions.len(),
+            BUDGET,
+            pr1_secs * 1e3,
+            gallop_1w * 1e3,
+            pr1_secs / gallop_1w,
+            four_way * 1e3,
+            pr1_secs / four_way,
+        );
+        println!(
+            "skewed intersect ({} rows): linear {:.3} ms, gallop {:.3} ms ({:.1}x)",
+            skew.table.len(),
+            linear_micro * 1e3,
+            gallop_micro * 1e3,
+            linear_micro / gallop_micro,
+        );
+
+        let workers_ms = serde_json::Value::Object(
+            worker_secs
+                .iter()
+                .map(|(w, s)| (w.to_string(), serde_json::to_value(&(s * 1e3))))
+                .collect(),
+        );
+        let skew_json = serde_json::json!({
+            "rows": skew.table.len(),
+            "linear_ms": linear_micro * 1e3,
+            "gallop_ms": gallop_micro * 1e3,
+            "speedup": linear_micro / gallop_micro,
+        });
+        let json = serde_json::json!({
+            "bench": "parallel_topk",
+            "records": workload.table.len(),
+            "questions": workload.questions.len(),
+            "budget": BUDGET,
+            "iterations": iterations,
+            "partial_answers_per_pass": base_count,
+            "hardware_threads": std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            "pr1_sequential_ms_per_pass": pr1_secs * 1e3,
+            "workers_ms_per_pass": workers_ms,
+            "galloping_speedup_vs_pr1": pr1_secs / gallop_1w,
+            "speedup_4_workers_vs_pr1": pr1_secs / four_way,
+            "skewed_intersection": skew_json,
+        });
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_parallel_topk.json"
+        );
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serializable"),
+        )
+        .expect("write BENCH_parallel_topk.json");
+        println!("wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("parallel_topk");
+    group.sample_size(10);
+    group.bench_function("pr1_sequential_linear", |b| {
+        b.iter(|| std::hint::black_box(run_all(&pr1, &workload)))
+    });
+    for (workers, matcher) in &by_workers {
+        group.bench_function(format!("gallop_{workers}w"), |b| {
+            b.iter(|| std::hint::black_box(run_all(matcher, &workload)))
+        });
+    }
+    group.bench_function("skew_intersect_linear", |b| {
+        b.iter(|| std::hint::black_box(stream_count(&skew.table, &skew.query, linear_opts)))
+    });
+    group.bench_function("skew_intersect_gallop", |b| {
+        b.iter(|| std::hint::black_box(stream_count(&skew.table, &skew.query, gallop_opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -118,7 +118,10 @@ fn bench(c: &mut Criterion) {
     let full_scan = PartialMatcher::with_options(
         &workload.spec,
         &workload.sim,
-        PartialMatchOptions { full_scan: true },
+        PartialMatchOptions {
+            full_scan: true,
+            ..PartialMatchOptions::default()
+        },
     );
 
     // Sanity: the two engines agree on the bench workload (the dedicated equivalence

@@ -47,8 +47,10 @@ pub use boolean::combine_conditions;
 pub use domain::DomainSpec;
 pub use error::{CqadsError, CqadsResult};
 pub use identifiers::{BoundaryOp, Tag};
-pub use partial::{PartialAnswer, PartialMatchOptions, PartialMatcher};
+pub use partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
 pub use pipeline::{Answer, AnswerSet, CqadsConfig, CqadsSystem, MatchKind};
-pub use ranking::{boundary_matches, CompiledProbe, SimilarityMeasure, SimilarityModel};
+pub use ranking::{
+    boundary_matches, CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel,
+};
 pub use tagging::{TaggedQuestion, TaggedToken, Tagger};
 pub use translate::{ConditionSketch, Interpretation};

@@ -38,18 +38,61 @@
 //! records with fewer matches strictly below genuine N−1 matches. This keeps the
 //! paper's "top up to 30 answers" behaviour on sparse tables.
 //!
+//! # Parallel execution
+//!
+//! The bounded engine fans out across [`std::thread::scope`] workers by **sharding the
+//! record-id space**: worker `w` re-runs *every* relaxation stream restricted
+//! ([`IdStream::restrict`](addb::IdStream::restrict)) to its contiguous id range, so
+//! it enters each posting list with one `O(log n)` galloping seek and pays only for
+//! the candidates inside its shard. Each worker scores into a private [`TopK`]; the
+//! heaps are then merged by re-offering every surviving entry into the main heap.
+//!
+//! Sharding by id (rather than by relaxation) keeps the merge **deterministic and
+//! byte-identical** to the sequential engine:
+//!
+//! * a given record is scored by exactly one worker, which sees its relaxations in the
+//!   same `skip` order as the sequential loop — so per-record dedup resolves ties
+//!   ("keep the first relaxation achieving the best score") identically;
+//! * worker heaps therefore hold *disjoint* id sets, and offering distinct-id entries
+//!   into a bounded heap retains exactly the global top-`budget` under the strict
+//!   `(rank_sim desc, id asc)` order, regardless of offer order;
+//! * a record survives the merge iff fewer than `budget` records beat it globally —
+//!   the same records the sequential heap retains — and every score is computed by the
+//!   same pure probe, so even the float bits agree. The equivalence tests assert this
+//!   for workers ∈ {1, 2, 8} against the sequential engine.
+//!
+//! The sparse-data fallback keeps the same two-phase shape: the index pass is merged
+//! first (its merged size and found-id set are provably identical to the sequential
+//! engine's heap state at that point), then the degree-of-match scan is itself sharded
+//! over the remaining ids. Worker count comes from
+//! [`PartialMatchOptions::workers`] (`0` = auto-detect via
+//! `std::thread::available_parallelism`, staying sequential for small tables where
+//! spawn overhead would dominate).
+//!
 //! The seed's full-scan/full-sort pipeline is preserved behind
-//! [`PartialMatchOptions::full_scan`] as an ablation baseline; the
-//! `bench/benches/partial_topk.rs` bench measures the speedup of the bounded engine
-//! against it and the equivalence test asserts byte-identical output.
+//! [`PartialMatchOptions::full_scan`] as an ablation baseline, and
+//! [`PartialMatchOptions::pr1_baseline`] freezes the engine exactly as PR 1 shipped
+//! it (linear intersections, eager range materialization, hash-set exclusion,
+//! un-memoized scoring, one thread); `bench/benches/partial_topk.rs` and
+//! `bench/benches/parallel_topk.rs` measure the speedups of the bounded, galloping and
+//! parallel engines against those baselines, and the equivalence tests assert
+//! byte-identical output across all of them.
 
 use crate::domain::DomainSpec;
 use crate::error::CqadsResult;
-use crate::ranking::{CompiledProbe, SimilarityMeasure, SimilarityModel};
+use crate::ranking::{CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel};
 use crate::translate::Interpretation;
-use addb::{Executor, RecordId, Table};
+use addb::{ExecOptions, Executor, Query, RecordId, Table};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::ops::Range;
+
+/// Below this many records, auto worker detection stays sequential: thread spawn and
+/// heap-merge overhead would outweigh the scan itself.
+const PARALLEL_AUTO_MIN_RECORDS: usize = 4_096;
+
+/// Hard cap on worker threads (a fan-out wider than this only adds merge work).
+const MAX_WORKERS: usize = 64;
 
 /// One partially-matched answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +115,17 @@ pub struct PartialMatchOptions {
     /// top-k engine. Kept for the ablation bench and the equivalence test; both
     /// engines return byte-identical answers.
     pub full_scan: bool,
+    /// Worker threads for the bounded engine's id-sharded fan-out. `0` (the default)
+    /// auto-detects from `std::thread::available_parallelism`, falling back to
+    /// sequential on small tables; any explicit value is honoured as given (capped at
+    /// an internal maximum), which the equivalence tests use to force the parallel
+    /// path on tiny tables. Output is byte-identical for every worker count.
+    pub workers: usize,
+    /// Run the engine exactly as PR 1 shipped it: sequential, linear one-id-at-a-time
+    /// intersections in declaration order with eager range materialization, hash-set
+    /// exclusion checks and un-memoized per-candidate scoring. The frozen baseline
+    /// the `parallel_topk` bench measures against; results are identical either way.
+    pub pr1_baseline: bool,
 }
 
 /// Runs the N−1 strategy for one domain.
@@ -124,13 +178,219 @@ impl<'a> PartialMatcher<'a> {
         }
         if self.options.full_scan {
             self.partial_answers_full_scan(interpretation, table, exclude, budget)
+        } else if self.options.pr1_baseline {
+            self.partial_answers_pr1(interpretation, table, exclude, budget)
         } else {
             self.partial_answers_topk(interpretation, table, exclude, budget)
         }
     }
 
-    /// Index-driven bounded top-k engine (see the module docs for the cost model).
+    /// Index-driven bounded top-k engine (see the module docs for the cost model and
+    /// the determinism argument of the parallel fan-out): the one-question special
+    /// case of the batch engine.
     fn partial_answers_topk(
+        &self,
+        interpretation: &Interpretation,
+        table: &Table,
+        exclude: &HashSet<RecordId>,
+        budget: usize,
+    ) -> CqadsResult<Vec<PartialAnswer>> {
+        let mut results = self.batch_topk(
+            &[PartialBatchRequest {
+                interpretation,
+                exclude,
+                budget,
+            }],
+            table,
+        )?;
+        Ok(results.pop().expect("one request, one result"))
+    }
+
+    /// Answer a whole batch of questions in one parallel fan-out.
+    ///
+    /// Element-wise identical to calling [`PartialMatcher::partial_answers`] per
+    /// request, but all questions share one set of scoped worker threads per pass —
+    /// the serving shape for query bursts, and what the `parallel_topk` bench
+    /// measures (per-question spawning would otherwise dominate at high worker
+    /// counts). Ablation engines (`full_scan`, `pr1_baseline`) simply loop.
+    pub fn partial_answers_batch(
+        &self,
+        requests: &[PartialBatchRequest<'_>],
+        table: &Table,
+    ) -> CqadsResult<Vec<Vec<PartialAnswer>>> {
+        if self.options.full_scan || self.options.pr1_baseline {
+            return requests
+                .iter()
+                .map(|r| self.partial_answers(r.interpretation, table, r.exclude, r.budget))
+                .collect();
+        }
+        self.batch_topk(requests, table)
+    }
+
+    /// The batch top-k engine.
+    ///
+    /// The per-candidate hot loop avoids every avoidable cost: relaxation plans
+    /// (query + compiled probe) are built once and shared read-only across workers,
+    /// exclusion is a binary search over a small sorted slice instead of a hash-set
+    /// probe, text scoring is memoized per distinct column value
+    /// ([`ProbeScorer`](crate::ranking::ProbeScorer)) and the top-k heap rejects
+    /// below-threshold candidates with two comparisons.
+    fn batch_topk(
+        &self,
+        requests: &[PartialBatchRequest<'_>],
+        table: &Table,
+    ) -> CqadsResult<Vec<Vec<PartialAnswer>>> {
+        let shards = shard_bounds(table.len() as u32, self.resolve_workers(table.len()));
+        let prepared: Vec<PreparedQuestion<'_>> = requests
+            .iter()
+            .map(|r| self.prepare_question(r, table))
+            .collect();
+        let mut heaps: Vec<TopK> = prepared.iter().map(|p| TopK::new(p.budget)).collect();
+
+        // Phase 1: index-driven pass, all questions per worker.
+        run_sharded(&mut heaps, &shards, |shard, heaps| {
+            let executor = Executor::new(table);
+            let whole_table = shard.start == 0 && shard.end as usize >= table.len();
+            for (prep, topk) in prepared.iter().zip(heaps.iter_mut()) {
+                match &prep.kind {
+                    PreparedKind::Inert => {}
+                    PreparedKind::Single(probe) => {
+                        // Single-condition question: apply similarity matching
+                        // directly over the table (Section 4.3.1, last paragraph).
+                        // Inherently O(table), but scoring is allocation-free,
+                        // ranking memory stays O(budget) and the scan shards across
+                        // workers like every other pass.
+                        let mut scorer = ProbeScorer::new(probe);
+                        for id in shard.clone().map(RecordId) {
+                            if prep.excluded(id) {
+                                continue;
+                            }
+                            let (score, measure) = scorer.rank_sim(prep.n, id);
+                            topk.offer(id, score, measure, 0);
+                        }
+                    }
+                    PreparedKind::Multi(plans) => {
+                        for plan in plans {
+                            let stream = match executor.execute_stream(&plan.query) {
+                                Ok(s) => s,
+                                Err(_) => continue,
+                            };
+                            // One galloping seek enters the worker's shard; the
+                            // sequential (single-shard) case skips the wrapper.
+                            let stream = if whole_table {
+                                stream
+                            } else {
+                                stream.restrict(shard.clone())
+                            };
+                            let mut scorer = ProbeScorer::new(&plan.probe);
+                            // `for_each` funnels through the stream's specialized
+                            // `fold`: posting-list tails, flattened intersections and
+                            // wide-range filters run as tight slice/range loops.
+                            stream.for_each(|id| {
+                                if prep.excluded(id) {
+                                    return;
+                                }
+                                let (score, measure) = scorer.rank_sim(prep.n, id);
+                                topk.offer(id, score, measure, plan.skip);
+                            });
+                        }
+                    }
+                }
+            }
+        });
+
+        // Phase 2: degree-of-match fallback for sparse questions. A heap below
+        // budget was never full in any worker, so it holds exactly the candidates
+        // the index pass found — the same state the sequential engine has here.
+        let fallback: Vec<Option<(Vec<RecordId>, Vec<CompiledProbe<'_>>)>> = prepared
+            .iter()
+            .zip(heaps.iter())
+            .zip(requests.iter())
+            .map(|((prep, topk), request)| {
+                let sparse =
+                    matches!(prep.kind, PreparedKind::Multi(_)) && topk.len() < prep.budget;
+                sparse.then(|| {
+                    let mut found: Vec<RecordId> = topk.live_ids().collect();
+                    found.sort_unstable();
+                    let probes = request
+                        .interpretation
+                        .all_sketches()
+                        .iter()
+                        .map(|s| self.similarity.compile(s, table))
+                        .collect();
+                    (found, probes)
+                })
+            })
+            .collect();
+        if fallback.iter().any(Option::is_some) {
+            run_sharded(&mut heaps, &shards, |shard, heaps| {
+                for ((prep, fb), topk) in prepared.iter().zip(&fallback).zip(heaps.iter_mut()) {
+                    let Some((found, probes)) = fb else { continue };
+                    let mut scorers: Vec<ProbeScorer<'_, '_>> =
+                        probes.iter().map(ProbeScorer::new).collect();
+                    for id in shard.clone().map(RecordId) {
+                        if prep.excluded(id) || found.binary_search(&id).is_ok() {
+                            continue;
+                        }
+                        let fb = degree_of_match(&mut scorers, prep.n, id);
+                        topk.offer(id, fb.rank_sim, fb.measure, fb.relaxed_condition);
+                    }
+                }
+            });
+        }
+        Ok(heaps.into_iter().map(TopK::into_sorted).collect())
+    }
+
+    /// Compile one request into shared, worker-ready state.
+    fn prepare_question<'m>(
+        &'m self,
+        request: &PartialBatchRequest<'_>,
+        table: &'m Table,
+    ) -> PreparedQuestion<'m> {
+        let interpretation = request.interpretation;
+        let sketches = interpretation.all_sketches();
+        let mut exclude_sorted: Vec<RecordId> = request.exclude.iter().copied().collect();
+        exclude_sorted.sort_unstable();
+        let kind = if request.budget == 0 || interpretation.is_empty() {
+            PreparedKind::Inert
+        } else if sketches.len() <= 1 {
+            match sketches.first() {
+                Some(sketch) => PreparedKind::Single(self.similarity.compile(sketch, table)),
+                None => PreparedKind::Inert,
+            }
+        } else {
+            // Build each relaxation's plan once; workers share them read-only.
+            // Interpretation errors for a particular relaxation (e.g. the removed
+            // condition resolved a contradiction) simply skip that relaxation.
+            PreparedKind::Multi(
+                sketches
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(skip, relaxed)| {
+                        let query = interpretation.to_query_excluding(self.spec, skip).ok()?;
+                        Some(RelaxationPlan {
+                            skip,
+                            query,
+                            probe: self.similarity.compile(relaxed, table),
+                        })
+                    })
+                    .collect(),
+            )
+        };
+        PreparedQuestion {
+            n: interpretation.condition_count(),
+            budget: request.budget,
+            exclude_sorted,
+            kind,
+        }
+    }
+
+    /// The engine exactly as PR 1 shipped it, frozen as the sequential baseline of the
+    /// `parallel_topk` bench: linear declaration-order intersections (eager range
+    /// materialization included, via [`ExecOptions::linear_intersect`]), hash-set
+    /// exclusion probes and a fresh un-memoized probe lookup per candidate, one
+    /// thread. Byte-identical output, PR 1 cost profile.
+    fn partial_answers_pr1(
         &self,
         interpretation: &Interpretation,
         table: &Table,
@@ -139,13 +399,16 @@ impl<'a> PartialMatcher<'a> {
     ) -> CqadsResult<Vec<PartialAnswer>> {
         let sketches = interpretation.all_sketches();
         let n = interpretation.condition_count();
-        let executor = Executor::new(table);
+        let executor = Executor::with_options(
+            table,
+            ExecOptions {
+                linear_intersect: true,
+                ..ExecOptions::default()
+            },
+        );
         let mut topk = TopK::new(budget);
 
         if sketches.len() <= 1 {
-            // Single-condition question: apply similarity matching directly over the
-            // table (Section 4.3.1, last paragraph). Inherently O(table), but scoring
-            // is allocation-free and ranking memory stays O(budget).
             if let Some(sketch) = sketches.first() {
                 let probe = self.similarity.compile(sketch, table);
                 for id in (0..table.len() as u32).map(RecordId) {
@@ -158,9 +421,6 @@ impl<'a> PartialMatcher<'a> {
             }
         } else {
             for (skip, relaxed) in sketches.iter().enumerate() {
-                // Build the query with one condition removed; interpretation errors for
-                // a particular relaxation (e.g. the removed condition resolved a
-                // contradiction) simply skip that relaxation.
                 let query = match interpretation.to_query_excluding(self.spec, skip) {
                     Ok(q) => q,
                     Err(_) => continue,
@@ -179,18 +439,18 @@ impl<'a> PartialMatcher<'a> {
                 }
             }
             if topk.len() < budget {
-                // Sparse data: the heap was never filled, so it currently holds every
-                // candidate the index-driven pass found. Top up by degree of match.
                 let probes: Vec<CompiledProbe<'_>> = sketches
                     .iter()
                     .map(|s| self.similarity.compile(s, table))
                     .collect();
+                let mut scorers: Vec<ProbeScorer<'_, '_>> =
+                    probes.iter().map(ProbeScorer::new).collect();
                 let found: HashSet<RecordId> = topk.live_ids().collect();
                 for id in (0..table.len() as u32).map(RecordId) {
                     if exclude.contains(&id) || found.contains(&id) {
                         continue;
                     }
-                    let fallback = degree_of_match(&probes, n, id);
+                    let fallback = degree_of_match(&mut scorers, n, id);
                     topk.offer(
                         id,
                         fallback.rank_sim,
@@ -201,6 +461,28 @@ impl<'a> PartialMatcher<'a> {
             }
         }
         Ok(topk.into_sorted())
+    }
+
+    /// Worker count for a table: explicit options win, `0` auto-detects (sequential
+    /// for small tables, `available_parallelism` otherwise). The PR 1 baseline is
+    /// sequential by definition.
+    fn resolve_workers(&self, table_len: usize) -> usize {
+        if self.options.pr1_baseline {
+            return 1;
+        }
+        match self.options.workers {
+            0 => {
+                if table_len < PARALLEL_AUTO_MIN_RECORDS {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                        .min(MAX_WORKERS)
+                }
+            }
+            explicit => explicit.min(MAX_WORKERS),
+        }
     }
 
     /// The seed's full-scan/full-sort pipeline, kept verbatim as the ablation
@@ -274,11 +556,13 @@ impl<'a> PartialMatcher<'a> {
                     .iter()
                     .map(|s| self.similarity.compile(s, table))
                     .collect();
+                let mut scorers: Vec<ProbeScorer<'_, '_>> =
+                    probes.iter().map(ProbeScorer::new).collect();
                 for id in (0..table.len() as u32).map(RecordId) {
                     if exclude.contains(&id) || best.contains_key(&id) {
                         continue;
                     }
-                    best.insert(id, degree_of_match(&probes, n, id));
+                    best.insert(id, degree_of_match(&mut scorers, n, id));
                 }
             }
         }
@@ -298,9 +582,10 @@ impl<'a> PartialMatcher<'a> {
 /// Degree-of-match score for the sparse-data fallback:
 /// `min(#matched, N−1) + best similarity over the unmatched conditions`, reporting the
 /// measure and index of the best unmatched condition. Matches `Rank_Sim` exactly for
-/// records matching exactly N−1 conditions.
+/// records matching exactly N−1 conditions. Takes scorers (not bare probes) because
+/// the fallback scans whole tables — memoized text scores matter most here.
 fn degree_of_match(
-    probes: &[CompiledProbe<'_>],
+    scorers: &mut [ProbeScorer<'_, '_>],
     condition_count: usize,
     id: RecordId,
 ) -> PartialAnswer {
@@ -309,11 +594,11 @@ fn degree_of_match(
     let mut best_measure = SimilarityMeasure::None;
     let mut best_idx = 0usize;
     let mut any_unmatched = false;
-    for (idx, probe) in probes.iter().enumerate() {
-        if probe.satisfied(id) {
+    for (idx, scorer) in scorers.iter_mut().enumerate() {
+        if scorer.probe().satisfied(id) {
             matched += 1;
         } else {
-            let (sim, measure) = probe.similarity(id);
+            let (sim, measure) = scorer.similarity(id);
             if !any_unmatched || sim > best_sim {
                 best_sim = sim;
                 best_measure = measure;
@@ -329,6 +614,119 @@ fn degree_of_match(
         rank_sim: base + if any_unmatched { best_sim } else { 0.0 },
         measure: best_measure,
         relaxed_condition: best_idx,
+    }
+}
+
+/// One relaxation, fully planned: the query with the condition removed and the
+/// compiled probe that scores the removed condition. Built once per question and
+/// shared read-only across all workers (both members are `Sync`).
+#[derive(Debug)]
+struct RelaxationPlan<'m> {
+    skip: usize,
+    query: Query,
+    probe: CompiledProbe<'m>,
+}
+
+/// One question of a [`PartialMatcher::partial_answers_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialBatchRequest<'q> {
+    /// The interpreted question.
+    pub interpretation: &'q Interpretation,
+    /// Record ids already returned as exact answers.
+    pub exclude: &'q HashSet<RecordId>,
+    /// Maximum number of partial answers for this question.
+    pub budget: usize,
+}
+
+/// A question prepared for the sharded passes: plans/probes compiled once, exclusion
+/// set sorted once — workers share all of it read-only.
+struct PreparedQuestion<'m> {
+    n: usize,
+    budget: usize,
+    exclude_sorted: Vec<RecordId>,
+    kind: PreparedKind<'m>,
+}
+
+enum PreparedKind<'m> {
+    /// Empty interpretation or zero budget: nothing to do.
+    Inert,
+    /// Single-condition question: direct similarity scan with this probe.
+    Single(CompiledProbe<'m>),
+    /// N−1 relaxations over the index.
+    Multi(Vec<RelaxationPlan<'m>>),
+}
+
+impl PreparedQuestion<'_> {
+    fn excluded(&self, id: RecordId) -> bool {
+        self.exclude_sorted.binary_search(&id).is_ok()
+    }
+}
+
+/// Split `[0, len)` into at most `workers` contiguous, near-equal id ranges. Record
+/// ids are assigned densely in insertion order, so equal ranges are a good proxy for
+/// equal work; a single (possibly empty) shard means "run sequentially".
+fn shard_bounds(len: u32, workers: usize) -> Vec<Range<u32>> {
+    let workers = workers.clamp(1, len.max(1) as usize) as u32;
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers as usize);
+    let mut start = 0u32;
+    for w in 0..workers {
+        let size = base + u32::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Run one scoring pass over every shard and merge the results into the per-question
+/// heaps.
+///
+/// A single shard runs inline on the caller's heaps (no thread, no merge). Multiple
+/// shards run on scoped worker threads — one spawn per worker for the *whole batch*
+/// of questions — each with a private heap per question; because shards partition the
+/// id space, the surviving entries are disjoint by record id and re-offering them
+/// into the main heaps reconstructs exactly the global top-`budget` per question (see
+/// the module docs for the full determinism argument).
+fn run_sharded<F>(heaps: &mut [TopK], shards: &[Range<u32>], pass: F)
+where
+    F: Fn(Range<u32>, &mut [TopK]) + Sync,
+{
+    if let [only] = shards {
+        pass(only.clone(), heaps);
+        return;
+    }
+    let budgets: Vec<usize> = heaps.iter().map(|t| t.budget).collect();
+    let parts: Vec<Vec<TopK>> = std::thread::scope(|scope| {
+        let pass = &pass;
+        let budgets = &budgets;
+        let handles: Vec<_> = shards
+            .iter()
+            .cloned()
+            .map(|shard| {
+                scope.spawn(move || {
+                    let mut local: Vec<TopK> = budgets.iter().map(|&b| TopK::new(b)).collect();
+                    pass(shard, &mut local);
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partial-match worker panicked"))
+            .collect()
+    });
+    for part in parts {
+        for (topk, local) in heaps.iter_mut().zip(part) {
+            for answer in local.into_entries() {
+                topk.offer(
+                    answer.id,
+                    answer.rank_sim,
+                    answer.measure,
+                    answer.relaxed_condition,
+                );
+            }
+        }
     }
 }
 
@@ -356,9 +754,14 @@ struct TopK {
     budget: usize,
     heap: BinaryHeap<std::cmp::Reverse<HeapEntry>>,
     /// id -> (current generation, best answer so far). Only ids currently in the top-k
-    /// are tracked.
-    live: HashMap<RecordId, (u32, PartialAnswer)>,
+    /// are tracked. Keyed by the fast symbol hasher — record ids are internal, dense
+    /// `u32`s, so DoS-resistant hashing buys nothing on this per-candidate path.
+    live: HashMap<RecordId, (u32, PartialAnswer), cqads_text::intern::SymHashBuilder>,
     next_gen: u32,
+    /// `(score, id)` of the worst live entry, maintained whenever the heap is full —
+    /// lets `offer` reject a below-threshold candidate with two comparisons and no
+    /// hash or heap access at all. `None` while the heap is below budget.
+    cached_worst: Option<(f64, RecordId)>,
 }
 
 /// Heap key ordered so that the *worst* candidate is the minimum: lower score is
@@ -398,8 +801,9 @@ impl TopK {
         TopK {
             budget,
             heap: BinaryHeap::with_capacity(budget + 1),
-            live: HashMap::with_capacity(budget),
+            live: HashMap::with_capacity_and_hasher(budget, Default::default()),
             next_gen: 0,
+            cached_worst: None,
         }
     }
 
@@ -411,16 +815,21 @@ impl TopK {
         self.live.keys().copied()
     }
 
-    /// Is `candidate` strictly better than the current worst live entry?
-    fn beats_worst(&mut self, score: f64, id: RecordId) -> bool {
-        match self.peek_worst() {
-            Some(worst) => match score.partial_cmp(&worst.score).unwrap_or(Ordering::Equal) {
-                Ordering::Greater => true,
-                Ordering::Less => false,
-                Ordering::Equal => id < worst.id,
-            },
-            None => true,
-        }
+    /// Drain the surviving entries in arbitrary order (the parallel merge re-offers
+    /// them into another heap, which restores ordering).
+    fn into_entries(self) -> impl Iterator<Item = PartialAnswer> {
+        self.live.into_values().map(|(_, answer)| answer)
+    }
+
+    /// Recompute [`TopK::cached_worst`] after a mutation (cheap: the heap top is
+    /// usually live; stale entries are popped lazily).
+    fn refresh_worst(&mut self) {
+        let worst = if self.budget > 0 && self.live.len() >= self.budget {
+            self.peek_worst().map(|entry| (entry.score, entry.id))
+        } else {
+            None
+        };
+        self.cached_worst = worst;
     }
 
     /// Pop stale entries until the heap top is live, then peek it.
@@ -442,6 +851,20 @@ impl TopK {
         if self.budget == 0 {
             return;
         }
+        // Threshold fast path: once the heap is full, a candidate at or below the
+        // cached worst live entry (in `(score, id)` order) can neither enter as a new
+        // record nor improve a live one — every live score is `>=` the worst score,
+        // and an improvement must be *strictly* greater than its record's current
+        // score. Rejecting here costs two comparisons and touches neither the hash
+        // map nor the heap, which is the common case once the top-k stabilizes.
+        if let Some((worst_score, worst_id)) = self.cached_worst {
+            match score.partial_cmp(&worst_score).unwrap_or(Ordering::Equal) {
+                Ordering::Less => return,
+                Ordering::Equal if id >= worst_id => return,
+                _ => {}
+            }
+        }
+        let full = self.live.len() >= self.budget;
         if let Some((gen, existing)) = self.live.get_mut(&id) {
             // Per-record dedup: keep the best relaxation; ties keep the first seen,
             // matching the original pipeline's `consider`.
@@ -456,14 +879,16 @@ impl TopK {
                     gen: self.next_gen,
                 }));
                 self.next_gen += 1;
+                // The improved entry may have been the worst; re-cache.
+                self.refresh_worst();
             }
             return;
         }
-        if self.live.len() >= self.budget {
-            if !self.beats_worst(score, id) {
-                return;
-            }
-            // Evict the current worst (guaranteed live by `beats_worst`).
+        if full {
+            // Evict the current worst: clean stale heap entries first so the pop is
+            // guaranteed to remove a live record (the threshold fast path no longer
+            // keeps the top clean on rejects).
+            self.peek_worst();
             if let Some(std::cmp::Reverse(worst)) = self.heap.pop() {
                 self.live.remove(&worst.id);
             }
@@ -488,6 +913,7 @@ impl TopK {
         if self.heap.len() > 4 * self.budget + 16 {
             self.compact();
         }
+        self.refresh_worst();
     }
 
     fn compact(&mut self) {
@@ -666,8 +1092,14 @@ mod tests {
         let (spec, table, sim) = setup();
         let tagger = Tagger::new(&spec);
         let fast = PartialMatcher::new(&spec, &sim);
-        let slow =
-            PartialMatcher::with_options(&spec, &sim, PartialMatchOptions { full_scan: true });
+        let slow = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                full_scan: true,
+                ..PartialMatchOptions::default()
+            },
+        );
         for question in [
             "Find Honda Accord blue less than 15,000 dollars",
             "blue honda accord under 20000 dollars",
@@ -750,5 +1182,98 @@ mod tests {
         let mut topk = TopK::new(0);
         topk.offer(RecordId(0), 1.0, SimilarityMeasure::None, 0);
         assert!(topk.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn shard_bounds_partition_the_id_space() {
+        for (len, workers) in [(0u32, 4usize), (1, 4), (7, 3), (100, 1), (100, 7), (5, 64)] {
+            let shards = shard_bounds(len, workers);
+            assert!(!shards.is_empty());
+            assert!(shards.len() <= workers.max(1));
+            assert_eq!(shards.first().unwrap().start, 0);
+            assert_eq!(shards.last().unwrap().end, len);
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "shards must be contiguous");
+            }
+            // Near-equal sizes: largest and smallest differ by at most one.
+            let sizes: Vec<u32> = shards.iter().map(|s| s.end - s.start).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shards: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_workers_return_byte_identical_answers() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let sequential = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                workers: 1,
+                ..PartialMatchOptions::default()
+            },
+        );
+        for question in [
+            "Find Honda Accord blue less than 15,000 dollars",
+            "blue honda accord under 20000 dollars",
+            "mustang",
+            "red honda accord under 3000 dollars",
+        ] {
+            let interp = interpret(&tagger.tag(question), &spec).unwrap();
+            for workers in [2usize, 3, 8] {
+                let parallel = PartialMatcher::with_options(
+                    &spec,
+                    &sim,
+                    PartialMatchOptions {
+                        workers,
+                        ..PartialMatchOptions::default()
+                    },
+                );
+                for budget in [1usize, 2, 30] {
+                    let a = sequential
+                        .partial_answers(&interp, &table, &HashSet::new(), budget)
+                        .unwrap();
+                    let b = parallel
+                        .partial_answers(&interp, &table, &HashSet::new(), budget)
+                        .unwrap();
+                    assert_eq!(a.len(), b.len(), "{question:?} workers {workers}");
+                    for (x, y) in a.iter().zip(&b) {
+                        assert_eq!(x.id, y.id);
+                        assert_eq!(x.rank_sim.to_bits(), y.rank_sim.to_bits());
+                        assert_eq!(x.measure, y.measure);
+                        assert_eq!(x.relaxed_condition, y.relaxed_condition);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pr1_baseline_ablation_agrees_with_current_engine() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let gallop = PartialMatcher::new(&spec, &sim);
+        let linear = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                pr1_baseline: true,
+                ..PartialMatchOptions::default()
+            },
+        );
+        for question in [
+            "Find Honda Accord blue less than 15,000 dollars",
+            "blue toyota camry",
+        ] {
+            let interp = interpret(&tagger.tag(question), &spec).unwrap();
+            let a = gallop
+                .partial_answers(&interp, &table, &HashSet::new(), 30)
+                .unwrap();
+            let b = linear
+                .partial_answers(&interp, &table, &HashSet::new(), 30)
+                .unwrap();
+            assert_eq!(a, b);
+        }
     }
 }

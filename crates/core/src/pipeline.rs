@@ -8,7 +8,7 @@
 
 use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
-use crate::partial::PartialMatcher;
+use crate::partial::{PartialMatchOptions, PartialMatcher};
 use crate::ranking::{SimilarityMeasure, SimilarityModel};
 use crate::tagging::{TaggedQuestion, Tagger};
 use crate::translate::{interpret, Interpretation};
@@ -85,6 +85,11 @@ pub struct CqadsConfig {
     /// Retrieve partial answers whenever fewer exact answers than this threshold exist.
     /// The paper tops up to the full answer limit, so the default equals `answer_limit`.
     pub partial_threshold: usize,
+    /// Worker threads for the partial-match fan-out
+    /// ([`PartialMatchOptions::workers`](crate::PartialMatchOptions)): `0` auto-detects
+    /// from the machine's available parallelism (and stays sequential on small
+    /// tables); answers are byte-identical for every setting.
+    pub partial_workers: usize,
 }
 
 impl Default for CqadsConfig {
@@ -92,6 +97,7 @@ impl Default for CqadsConfig {
         CqadsConfig {
             answer_limit: addb::DEFAULT_ANSWER_LIMIT,
             partial_threshold: addb::DEFAULT_ANSWER_LIMIT,
+            partial_workers: 0,
         }
     }
 }
@@ -258,7 +264,14 @@ impl CqadsSystem {
         // Top up with partially-matched answers when exact answers are scarce.
         if answers.len() < self.config.partial_threshold.min(self.config.answer_limit) {
             let budget = self.config.answer_limit - answers.len();
-            let matcher = PartialMatcher::new(&runtime.spec, &runtime.similarity);
+            let matcher = PartialMatcher::with_options(
+                &runtime.spec,
+                &runtime.similarity,
+                PartialMatchOptions {
+                    workers: self.config.partial_workers,
+                    ..PartialMatchOptions::default()
+                },
+            );
             let partial = matcher.partial_answers(&interpretation, table, &exact_ids, budget)?;
             for p in partial {
                 if let Some(record) = table.get_shared(p.id) {
@@ -479,6 +492,7 @@ mod tests {
         let mut sys = CqadsSystem::with_config(CqadsConfig {
             answer_limit: 10,
             partial_threshold: 10,
+            ..CqadsConfig::default()
         });
         sys.add_domain(spec, table, TIMatrix::default());
         let result = sys.answer_in_domain("blue honda accord", "cars").unwrap();

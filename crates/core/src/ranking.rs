@@ -420,6 +420,86 @@ impl CompiledProbe<'_> {
     }
 }
 
+/// A mutable scoring cursor over one [`CompiledProbe`]: memoizes text-cell scores by
+/// interned value symbol.
+///
+/// Within one relaxation stream the probe is fixed, so a categorical cell's
+/// similarity depends *only* on the cell's value symbol (the stems a `Feat_Sim` probe
+/// walks are derived from that same value). Candidate streams are typically thousands
+/// of records drawn from a column with a few dozen distinct values, so after warm-up
+/// every score is one integer-keyed map probe instead of a matrix walk. Memoized
+/// results are the exact tuples the probe computed, so scores stay bit-identical.
+/// Numeric probes score continuous values and pass straight through.
+///
+/// Each worker thread owns its scorers (the shared [`CompiledProbe`] stays immutable
+/// and `Sync`); the memo is intentionally per-stream, not global, so no
+/// synchronization is ever needed on the hot path.
+#[derive(Debug)]
+pub struct ProbeScorer<'p, 'm> {
+    probe: &'p CompiledProbe<'m>,
+    memo: std::collections::HashMap<Sym, (f64, SimilarityMeasure), intern::SymHashBuilder>,
+    memoize: bool,
+}
+
+impl<'p, 'm> ProbeScorer<'p, 'm> {
+    /// Wrap a compiled probe (memoization enabled for categorical probes).
+    pub fn new(probe: &'p CompiledProbe<'m>) -> Self {
+        ProbeScorer {
+            probe,
+            memo: std::collections::HashMap::default(),
+            memoize: matches!(probe.kind, ProbeKind::Text { .. }),
+        }
+    }
+
+    /// The wrapped probe (for satisfaction checks, which need no memo).
+    pub fn probe(&self) -> &'p CompiledProbe<'m> {
+        self.probe
+    }
+
+    /// Memoized equivalent of [`CompiledProbe::similarity`].
+    pub fn similarity(&mut self, id: RecordId) -> (f64, SimilarityMeasure) {
+        if !self.memoize {
+            return self.probe.similarity(id);
+        }
+        let ProbeKind::Text { column, .. } = &self.probe.kind else {
+            return self.probe.similarity(id);
+        };
+        // Dense symbol mirror: the only per-candidate memory touch on a memo hit.
+        let Some(sym) = column.and_then(|c| c.sym(id)) else {
+            return (0.0, SimilarityMeasure::None);
+        };
+        match self.memo.get(&sym) {
+            Some(hit) => *hit,
+            None => {
+                let computed = self.probe.similarity(id);
+                self.memo.insert(sym, computed);
+                computed
+            }
+        }
+    }
+
+    /// Memoized equivalent of [`CompiledProbe::rank_sim`].
+    pub fn rank_sim(&mut self, condition_count: usize, id: RecordId) -> (f64, SimilarityMeasure) {
+        let (sim, measure) = self.similarity(id);
+        ((condition_count.saturating_sub(1)) as f64 + sim, measure)
+    }
+}
+
+// The parallel partial matcher shares the similarity model, its compiled probes'
+// borrow sources (table columns, matrices) and the interner across scoped worker
+// threads. Everything here is plain read-only data behind `Arc`/`&`, so `Send + Sync`
+// hold structurally; these compile-time assertions pin that down so a future field
+// (say, a `RefCell` memo cache) cannot silently break the fan-out.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimilarityModel>();
+    assert_send_sync::<CompiledProbe<'static>>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<TIMatrix>();
+    assert_send_sync::<WordSimMatrix>();
+    assert_send_sync::<Sym>();
+};
+
 /// Numeric boundary satisfaction: does `actual` meet the boundary described by `op`,
 /// `value` and (for ranges) `value2`? Shared by the degree-of-match fallback scorer
 /// and the baseline rankers' sketch-satisfaction helper.

@@ -1,11 +1,12 @@
 //! Workspace-level property-based tests over the public API: arbitrary questions must
 //! never panic, and core invariants must hold for whatever the generators produce.
 
-use cqads_suite::addb::Executor;
+use cqads_suite::addb::{Executor, IdStream, PostingList, RecordId};
 use cqads_suite::cqads::CqadsSystem;
 use cqads_suite::datagen::{blueprint, generate_questions, generate_table, QuestionMix};
 use cqads_suite::querylog::TIMatrix;
 use proptest::prelude::*;
+use std::collections::HashSet;
 use std::sync::OnceLock;
 
 fn car_system() -> &'static CqadsSystem {
@@ -52,6 +53,108 @@ proptest! {
             let expected_ids: Vec<_> = expected.iter().map(|a| a.id).collect();
             for answer in set.exact() {
                 prop_assert!(expected_ids.contains(&answer.id));
+            }
+        }
+    }
+}
+
+/// Ascending posting list from an arbitrary id set.
+fn posting(ids: &HashSet<u32>) -> PostingList {
+    let mut sorted: Vec<RecordId> = ids.iter().copied().map(RecordId).collect();
+    sorted.sort_unstable();
+    PostingList::from_sorted(sorted)
+}
+
+/// Reference implementation: one-id-at-a-time two-pointer merge over the raw slices.
+fn naive_intersect(a: &PostingList, b: &PostingList) -> Vec<RecordId> {
+    let (xs, ys) = (a.ids(), b.ids());
+    let (mut i, mut j) = (0, 0);
+    let mut out = Vec::new();
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The galloping, block-max-skipping intersection yields exactly the same id
+    /// sequence as the naive sorted merge, for arbitrary (including skewed and
+    /// disjoint) posting lists — and stays correct when nested and restricted.
+    #[test]
+    fn galloping_intersection_matches_naive_merge(
+        a in prop::collection::hash_set(0u32..4_000, 0..600),
+        b in prop::collection::hash_set(0u32..4_000, 0..60),
+        c in prop::collection::hash_set(0u32..4_000, 0..300),
+        lo in 0u32..4_000,
+        span in 0u32..4_000,
+    ) {
+        let (pa, pb, pc) = (posting(&a), posting(&b), posting(&c));
+        // Two-way, both drive orders.
+        let ab: Vec<RecordId> = IdStream::postings(&pa).intersect(IdStream::postings(&pb)).collect();
+        let ba: Vec<RecordId> = IdStream::postings(&pb).intersect(IdStream::postings(&pa)).collect();
+        let expected = naive_intersect(&pa, &pb);
+        prop_assert_eq!(&ab, &expected);
+        prop_assert_eq!(&ba, &expected);
+        // Nested three-way intersection composes.
+        let abc: Vec<RecordId> = IdStream::postings(&pa)
+            .intersect(IdStream::postings(&pb))
+            .intersect(IdStream::postings(&pc))
+            .collect();
+        let expected3: Vec<RecordId> = expected
+            .iter()
+            .copied()
+            .filter(|id| pc.ids().binary_search(id).is_ok())
+            .collect();
+        prop_assert_eq!(&abc, &expected3);
+        // Restriction to an id range is exactly a filter on the bounds.
+        let hi = lo.saturating_add(span);
+        let restricted: Vec<RecordId> = IdStream::postings(&pa)
+            .intersect(IdStream::postings(&pb))
+            .restrict(lo..hi)
+            .collect();
+        let expected_r: Vec<RecordId> = expected
+            .iter()
+            .copied()
+            .filter(|id| id.0 >= lo && id.0 < hi)
+            .collect();
+        prop_assert_eq!(&restricted, &expected_r);
+    }
+
+    /// seek_ge always yields the first remaining id >= target and never goes backwards.
+    #[test]
+    fn seek_ge_matches_linear_scan(
+        ids in prop::collection::hash_set(0u32..2_000, 1..400),
+        targets in prop::collection::vec(0u32..2_200, 1..30),
+    ) {
+        let list = posting(&ids);
+        let mut targets = targets;
+        targets.sort_unstable();
+        let mut stream = IdStream::postings(&list);
+        let mut consumed_up_to: Option<u32> = None;
+        for t in targets {
+            let expected = list
+                .ids()
+                .iter()
+                .copied()
+                .find(|id| id.0 >= t && consumed_up_to.is_none_or(|c| id.0 > c));
+            let got = stream.seek_ge(RecordId(t));
+            prop_assert_eq!(got, expected);
+            if let Some(id) = got {
+                consumed_up_to = Some(id.0);
+            } else {
+                // Exhausted: stays exhausted.
+                prop_assert_eq!(stream.seek_ge(RecordId(0)), None);
+                break;
             }
         }
     }

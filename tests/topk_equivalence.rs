@@ -1,5 +1,6 @@
 //! Equivalence of the bounded top-k partial-match engine with the original
-//! full-scan/full-sort pipeline (kept behind `PartialMatchOptions { full_scan: true }`).
+//! full-scan/full-sort pipeline (kept behind `PartialMatchOptions::full_scan`), and of
+//! the id-sharded parallel engine with the sequential one.
 //!
 //! The deterministic randomized sweep below generates seeded datagen tables and
 //! question workloads across several domains, interprets every question exactly as the
@@ -77,8 +78,14 @@ fn topk_engine_matches_full_sort_across_seeded_workloads() {
         let tagger = Tagger::new(&spec);
 
         let fast = PartialMatcher::new(&spec, &sim);
-        let slow =
-            PartialMatcher::with_options(&spec, &sim, PartialMatchOptions { full_scan: true });
+        let slow = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                full_scan: true,
+                ..PartialMatchOptions::default()
+            },
+        );
 
         let questions = generate_questions(&bp, &table, 60, question_seed, &QuestionMix::default());
         let mut compared = 0usize;
@@ -116,6 +123,156 @@ fn topk_engine_matches_full_sort_across_seeded_workloads() {
     }
 }
 
+/// The id-sharded parallel engine is byte-identical to the sequential engine for
+/// every worker count, across randomized datagen tables and question workloads —
+/// including sparse questions that trigger the degree-of-match fallback and workers
+/// far exceeding any shard's useful size.
+#[test]
+fn parallel_workers_match_sequential_across_seeded_workloads() {
+    for (domain, table_seed, question_seed) in [("cars", 31_u64, 41_u64), ("jewellery", 32, 42)] {
+        let bp = blueprint(domain);
+        let table = generate_table(&bp, 350, table_seed);
+        let log = generate_log(
+            &affinity_model(&bp),
+            &LogGeneratorConfig {
+                sessions: 120,
+                seed: table_seed ^ 0x5A5A,
+                ..Default::default()
+            },
+        );
+        let ti = TIMatrix::build(&log);
+        let corpus = SyntheticCorpus::generate(
+            &topic_groups(&bp),
+            &CorpusSpec {
+                documents: 60,
+                ..CorpusSpec::default()
+            },
+        );
+        let ws = WordSimMatrix::build(&corpus);
+        let spec = bp.to_spec();
+        let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+        let tagger = Tagger::new(&spec);
+
+        let sequential = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                workers: 1,
+                ..PartialMatchOptions::default()
+            },
+        );
+        let questions = generate_questions(&bp, &table, 40, question_seed, &QuestionMix::default());
+        let mut compared = 0usize;
+        for q in &questions {
+            let Ok(interp) = interpret(&tagger.tag(&q.text), &spec) else {
+                continue;
+            };
+            let exact: HashSet<RecordId> = {
+                let query = interp.to_query_with_limit(&spec, 30).unwrap();
+                cqads_suite::addb::Executor::new(&table)
+                    .execute(&query)
+                    .map(|answers| answers.into_iter().map(|a| a.id).collect())
+                    .unwrap_or_default()
+            };
+            for workers in [2usize, 8] {
+                let parallel = PartialMatcher::with_options(
+                    &spec,
+                    &sim,
+                    PartialMatchOptions {
+                        workers,
+                        ..PartialMatchOptions::default()
+                    },
+                );
+                for budget in [1usize, 7, 30] {
+                    let a = parallel
+                        .partial_answers(&interp, &table, &exact, budget)
+                        .unwrap();
+                    let b = sequential
+                        .partial_answers(&interp, &table, &exact, budget)
+                        .unwrap();
+                    assert_identical(
+                        &a,
+                        &b,
+                        &format!(
+                            "domain {domain}, question {:?}, workers {workers}, budget {budget}",
+                            q.text
+                        ),
+                    );
+                    compared += 1;
+                }
+            }
+        }
+        assert!(
+            compared >= 100,
+            "expected a substantive parallel sweep for {domain}, compared only {compared}"
+        );
+    }
+}
+
+/// The batch API is element-wise byte-identical to per-question calls, for every
+/// worker count and across mixed budgets (including zero).
+#[test]
+fn batch_api_matches_per_question_calls() {
+    use cqads_suite::cqads::PartialBatchRequest;
+    let bp = blueprint("cars");
+    let table = generate_table(&bp, 300, 17);
+    let log = generate_log(
+        &affinity_model(&bp),
+        &LogGeneratorConfig {
+            sessions: 100,
+            seed: 23,
+            ..Default::default()
+        },
+    );
+    let ti = TIMatrix::build(&log);
+    let spec = bp.to_spec();
+    let sim = SimilarityModel::new(
+        Arc::new(ti),
+        Arc::new(WordSimMatrix::default()),
+        spec.schema.clone(),
+    );
+    let tagger = Tagger::new(&spec);
+    let questions = generate_questions(&bp, &table, 20, 29, &QuestionMix::default());
+    let interps: Vec<_> = questions
+        .iter()
+        .filter_map(|q| interpret(&tagger.tag(&q.text), &spec).ok())
+        .collect();
+    assert!(interps.len() >= 8, "workload too small");
+    let none = HashSet::new();
+    let some: HashSet<RecordId> = [RecordId(1), RecordId(5)].into_iter().collect();
+    let requests: Vec<PartialBatchRequest<'_>> = interps
+        .iter()
+        .enumerate()
+        .map(|(i, interp)| PartialBatchRequest {
+            interpretation: interp,
+            exclude: if i % 2 == 0 { &none } else { &some },
+            budget: [0usize, 1, 7, 30][i % 4],
+        })
+        .collect();
+    for workers in [1usize, 2, 8] {
+        let matcher = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                workers,
+                ..PartialMatchOptions::default()
+            },
+        );
+        let batched = matcher.partial_answers_batch(&requests, &table).unwrap();
+        assert_eq!(batched.len(), requests.len());
+        for (r, batch_answers) in requests.iter().zip(&batched) {
+            let single = matcher
+                .partial_answers(r.interpretation, &table, r.exclude, r.budget)
+                .unwrap();
+            assert_identical(
+                batch_answers,
+                &single,
+                &format!("batch vs single, workers {workers}, budget {}", r.budget),
+            );
+        }
+    }
+}
+
 #[test]
 fn edge_cases_budget_zero_oversized_and_all_excluded() {
     let bp = blueprint("cars");
@@ -129,7 +286,14 @@ fn edge_cases_budget_zero_oversized_and_all_excluded() {
     let tagger = Tagger::new(&spec);
     let interp = interpret(&tagger.tag("blue honda accord under 20000 dollars"), &spec).unwrap();
     let fast = PartialMatcher::new(&spec, &sim);
-    let slow = PartialMatcher::with_options(&spec, &sim, PartialMatchOptions { full_scan: true });
+    let slow = PartialMatcher::with_options(
+        &spec,
+        &sim,
+        PartialMatchOptions {
+            full_scan: true,
+            ..PartialMatchOptions::default()
+        },
+    );
 
     // Budget 0 returns nothing from either engine.
     let none = HashSet::new();
