@@ -6,6 +6,7 @@ use crate::exec::{ExecOptions, Executor, QueryAnswer};
 use crate::query::Query;
 use crate::schema::Schema;
 use crate::table::Table;
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
 /// Collection of ads domain tables.
@@ -20,15 +21,35 @@ impl Database {
         Self::default()
     }
 
-    /// Create (or replace) the table for a domain schema and return a mutable handle.
+    /// Create the table for a domain schema and return a mutable handle.
+    ///
+    /// If a table is already registered under the schema's name it is **replaced** by
+    /// the new, empty table — an explicit reload semantic, not an accident: the old
+    /// records and indexes are dropped, and the new table's [`Table::generation`]
+    /// starts strictly above the old one's so any serving-layer cache entry stamped
+    /// against the replaced table is invalidated.
     pub fn create_table(&mut self, schema: Schema) -> &mut Table {
         let name = schema.name.clone();
-        self.tables.insert(name.clone(), Table::new(schema));
-        self.tables.get_mut(&name).expect("just inserted")
+        match self.tables.entry(name) {
+            Entry::Occupied(mut occupied) => {
+                let floor = occupied.get().generation() + 1;
+                let mut table = Table::new(schema);
+                table.raise_generation(floor);
+                occupied.insert(table);
+                occupied.into_mut()
+            }
+            Entry::Vacant(vacant) => vacant.insert(Table::new(schema)),
+        }
     }
 
-    /// Add an already-populated table (used by the data generators).
-    pub fn add_table(&mut self, table: Table) {
+    /// Add an already-populated table (used by the data generators). Like
+    /// [`Database::create_table`], registering a name that already exists is an
+    /// explicit replace, and the incoming table's generation is raised above the
+    /// replaced table's so per-domain generations stay monotonic.
+    pub fn add_table(&mut self, mut table: Table) {
+        if let Some(old) = self.tables.get(table.name()) {
+            table.raise_generation(old.generation() + 1);
+        }
         self.tables.insert(table.name().to_string(), table);
     }
 
@@ -66,6 +87,12 @@ impl Database {
     /// Total number of records across every domain.
     pub fn total_records(&self) -> usize {
         self.tables.values().map(Table::len).sum()
+    }
+
+    /// Mutation generation of one domain's table (see [`Table::generation`]).
+    /// `None` when the domain has no table.
+    pub fn generation(&self, name: &str) -> Option<u64> {
+        self.table(name).map(Table::generation)
     }
 
     /// Execute a query against the domain it names.
@@ -161,6 +188,36 @@ mod tests {
             )
             .unwrap();
         assert_eq!(db.table("cars").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn create_table_replace_is_explicit_and_generation_monotonic() {
+        let mut db = db();
+        let gen_before = db.generation("cars").unwrap();
+        assert_eq!(gen_before, 1); // one record inserted by db()
+
+        // Re-registering the same name replaces the table: records are dropped,
+        // but the per-domain generation keeps rising so cached answers stamped
+        // against the old table can never be mistaken for fresh ones.
+        let cars_again = Schema::builder("cars")
+            .type1("make")
+            .type1("model")
+            .type2("color")
+            .type3("price", 500.0, 120_000.0, Some("usd"))
+            .build()
+            .unwrap();
+        let t = db.create_table(cars_again);
+        assert!(t.is_empty());
+        assert!(db.generation("cars").unwrap() > gen_before);
+        assert_eq!(db.len(), 2);
+
+        // add_table replacement carries the generation forward too.
+        let replacement = Table::new(Schema::builder("jobs").type1("title").build().unwrap());
+        let jobs_gen = db.generation("jobs").unwrap();
+        db.add_table(replacement);
+        assert!(db.generation("jobs").unwrap() > jobs_gen);
+        assert!(db.table("jobs").unwrap().is_empty());
+        assert_eq!(db.generation("boats"), None);
     }
 
     #[test]

@@ -150,6 +150,11 @@ impl NumericColumn {
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
+    /// Monotonic mutation counter: bumped on every successful [`Table::insert`].
+    /// Serving-layer caches stamp entries with the generation observed *before*
+    /// computing an answer; a stamp that trails the current generation proves a
+    /// mutation happened in between, so the entry can never be served stale.
+    generation: u64,
     records: Vec<Arc<Record>>,
     /// attribute -> text value -> block-max posting list (Type I).
     primary: HashMap<String, HashMap<String, PostingList>>,
@@ -190,6 +195,7 @@ impl Table {
         }
         Table {
             schema,
+            generation: 0,
             records: Vec::new(),
             primary,
             secondary,
@@ -218,6 +224,21 @@ impl Table {
     /// True if the table holds no records.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
+    }
+
+    /// Current mutation generation: `0` for a fresh table, incremented by every
+    /// successful [`Table::insert`] (failed inserts leave it untouched). Strictly
+    /// monotonic for the lifetime of the table; [`crate::Database`] carries it
+    /// forward when a domain's table is replaced, so a generation observed for a
+    /// domain name never goes backwards either.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Raise the generation to at least `floor` (used by [`crate::Database`] to keep
+    /// per-domain generations monotonic across table replacement; never lowers it).
+    pub(crate) fn raise_generation(&mut self, floor: u64) {
+        self.generation = self.generation.max(floor);
     }
 
     /// Access to the substring index (used by the shorthand-matching code path).
@@ -298,6 +319,7 @@ impl Table {
             col.values.push(record.get_number(name).unwrap_or(f64::NAN));
         }
         self.records.push(Arc::new(record));
+        self.generation += 1;
         Ok(id)
     }
 
@@ -640,6 +662,28 @@ mod tests {
         assert_eq!(t.extreme_all("nonexistent", true), None);
         let empty = Table::new(car_schema());
         assert_eq!(empty.extreme_all("price", false), None);
+    }
+
+    #[test]
+    fn generation_advances_only_on_successful_inserts() {
+        let mut t = Table::new(car_schema());
+        assert_eq!(t.generation(), 0);
+        t.insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0))
+            .unwrap();
+        assert_eq!(t.generation(), 1);
+        // A rejected record leaves the generation untouched.
+        assert!(t
+            .insert(Record::builder().text("make", "honda").build())
+            .is_err());
+        assert_eq!(t.generation(), 1);
+        t.insert(car("ford", "focus", "blue", "manual", 6795.0, 2005.0))
+            .unwrap();
+        assert_eq!(t.generation(), 2);
+        // raise_generation never lowers.
+        t.raise_generation(1);
+        assert_eq!(t.generation(), 2);
+        t.raise_generation(10);
+        assert_eq!(t.generation(), 10);
     }
 
     #[test]

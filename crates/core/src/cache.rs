@@ -1,0 +1,403 @@
+//! Generation-invalidated answer cache for the serving front-end.
+//!
+//! Real ad-search traffic is heavily repetitive: the same normalized questions arrive
+//! over and over, while the underlying ads tables change only occasionally (new
+//! listings). [`AnswerCache`] memoizes whole [`AnswerSet`]s so a repeated question
+//! costs one hash lookup instead of a full classify → tag → interpret → execute →
+//! partial-match pass.
+//!
+//! # Key
+//!
+//! Entries are keyed by [`CacheKey`]: the domain name plus the question's normalized
+//! token stream (plain strings — see the [`CacheKey`] docs for why user-controlled
+//! text is deliberately *not* interned). Normalization is exactly the
+//! pipeline's own [`cqads_text::tokenize`] (lowercasing, punctuation trimming,
+//! numeric-shorthand expansion), so `"Blue Honda?"` and `"blue honda"` share an
+//! entry. The key is *conservative by construction*: the tagger — and therefore the
+//! whole downstream pipeline — is a pure function of the token stream, and every
+//! token is itself a pure function of its normalized text, so two questions with
+//! equal keys are guaranteed to produce identical answer sets against the same table
+//! state. Questions that differ only in ways the pipeline ignores (e.g. `"20k"` vs
+//! `"20000"`) may still occupy two entries; that costs an extra miss, never a wrong
+//! hit.
+//!
+//! # Generation-stamp invalidation protocol
+//!
+//! Every [`addb::Table`] carries a monotonic mutation generation, bumped on each
+//! successful insert ([`addb::Table::generation`]). The cache never observes inserts
+//! directly; instead each entry is **stamped** with the generation of the domain's
+//! table, and staleness is proven arithmetically at lookup time:
+//!
+//! 1. A filler reads the table generation `G` **before** computing the answer and
+//!    stamps the entry with `G`. If an insert raced the computation, the entry is
+//!    stamped with the *pre-insert* generation — deliberately too old.
+//! 2. A reader passes the *current* generation `G'` to [`AnswerCache::lookup`]. An
+//!    entry whose stamp trails `G'` predates at least one insert; it is evicted on
+//!    the spot and reported as a miss.
+//!
+//! Consequently a stale answer can never be served after an insert: once the
+//! generation has advanced, every entry filled before (or concurrently with) the
+//! insert fails the stamp comparison. There is no invalidation walk, no epoch fence
+//! and no coordination with writers — replacing a whole table stays correct too,
+//! because [`addb::Database`] carries generations forward across replacement. The
+//! cost is that an insert invalidates the domain's *entire* cached set (stamps are
+//! per-table, not per-record); for ads workloads, where inserts are rare relative to
+//! queries, that trade is the right one.
+//!
+//! # Concurrency
+//!
+//! The cache is **lock-striped**: keys hash onto [`CacheStats::shards`] independent
+//! shards, each behind its own [`Mutex`], so concurrent readers of different
+//! questions do not serialize on one lock. Within a shard, entries form a bounded
+//! LRU: each hit refreshes a per-shard tick, and a fill that overflows the shard's
+//! capacity evicts the least-recently-used entry (an `O(shard capacity)` scan —
+//! shards are deliberately small, and eviction runs only on overflow, so this beats
+//! the pointer-chasing of a linked-list LRU on every touch).
+
+use crate::pipeline::AnswerSet;
+use std::collections::hash_map::RandomState;
+use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: domain name plus the question's normalized token stream.
+///
+/// The tokens are kept as plain strings, **not** interned: question text is
+/// user-controlled and unbounded, and the process-global interner
+/// (`cqads_text::intern`) never evicts — interning every incoming token would grow
+/// memory with traffic diversity forever, while the cache itself is bounded and
+/// evicts. Keys also hash with the default DoS-resistant hasher for the same
+/// reason (the fast `SymHasher` is reserved for internally-assigned symbols).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    domain: Box<str>,
+    question: Box<[Box<str>]>,
+}
+
+impl CacheKey {
+    /// Build the key for a question in a domain, normalizing the question exactly the
+    /// way the tagging pipeline does.
+    pub fn new(domain: &str, question: &str) -> Self {
+        CacheKey {
+            domain: domain.into(),
+            question: cqads_text::tokenize(question)
+                .into_iter()
+                .map(|t| t.text.into_boxed_str())
+                .collect(),
+        }
+    }
+}
+
+/// One cached answer set, stamped with the table generation observed before it was
+/// computed.
+#[derive(Debug)]
+struct CacheEntry {
+    generation: u64,
+    answer: Arc<AnswerSet>,
+    /// Last-touched tick of the owning shard (LRU ordering).
+    used: u64,
+}
+
+/// One lock stripe: a bounded map plus its LRU tick counter.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<CacheKey, CacheEntry>,
+    tick: u64,
+}
+
+/// Point-in-time counters of cache behaviour (see [`AnswerCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing usable (includes stale evictions).
+    pub misses: u64,
+    /// Misses caused specifically by a generation-stamp mismatch.
+    pub stale_evictions: u64,
+    /// Entries evicted to keep a shard within its capacity bound.
+    pub capacity_evictions: u64,
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Number of lock stripes.
+    pub shards: usize,
+}
+
+/// Sharded, capacity-bounded, generation-invalidated LRU cache of answer sets.
+///
+/// See the [module docs](self) for the invalidation protocol. A capacity of `0`
+/// disables the cache entirely: lookups miss and fills are dropped.
+#[derive(Debug)]
+pub struct AnswerCache {
+    shards: Box<[Mutex<Shard>]>,
+    shard_capacity: usize,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl AnswerCache {
+    /// Create a cache holding at most `capacity` answer sets spread over `shards`
+    /// lock stripes (both clamped to sensible minimums; `capacity == 0` disables the
+    /// cache). Each shard is bounded by `ceil(capacity / shards)`.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(capacity.max(1));
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        AnswerCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// True when the cache can hold entries at all (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        self.shard_capacity > 0
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let hash = self.hasher.hash_one(key);
+        &self.shards[(hash as usize) % self.shards.len()]
+    }
+
+    /// Look up a question, treating any entry whose stamp trails `generation` as a
+    /// miss (the stale entry is evicted on the spot). Callers must pass the *current*
+    /// generation of the domain's table.
+    pub fn lookup(&self, key: &CacheKey, generation: u64) -> Option<Arc<AnswerSet>> {
+        if !self.is_enabled() {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        enum Outcome {
+            Hit(Arc<AnswerSet>),
+            Stale,
+            Miss,
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let Shard { map, tick } = &mut *shard;
+        let outcome = match map.get_mut(key) {
+            Some(entry) if entry.generation >= generation => {
+                *tick += 1;
+                entry.used = *tick;
+                Outcome::Hit(Arc::clone(&entry.answer))
+            }
+            Some(_) => {
+                map.remove(key);
+                Outcome::Stale
+            }
+            None => Outcome::Miss,
+        };
+        drop(shard);
+        match outcome {
+            Outcome::Hit(answer) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(answer)
+            }
+            Outcome::Stale => {
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Outcome::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) an answer stamped with the table generation that was read
+    /// **before** the answer was computed — never the generation read afterwards, or
+    /// an insert racing the computation could be masked (see the module docs).
+    pub fn fill(&self, key: CacheKey, generation: u64, answer: Arc<AnswerSet>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        // A concurrent filler may have raced us with a *newer* stamp; keep the
+        // freshest stamp for the key rather than blindly overwriting.
+        match shard.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let entry = occupied.get_mut();
+                if generation >= entry.generation {
+                    entry.generation = generation;
+                    entry.answer = answer;
+                }
+                entry.used = tick;
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(CacheEntry {
+                    generation,
+                    answer,
+                    used: tick,
+                });
+            }
+        }
+        if shard.map.len() > self.shard_capacity {
+            // Overflow by exactly one entry: drop the least recently used.
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&lru);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (counters are preserved).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().expect("cache shard poisoned").map.clear();
+        }
+    }
+
+    /// Snapshot of the hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale_evictions: self.stale.load(Ordering::Relaxed),
+            capacity_evictions: self.evicted.load(Ordering::Relaxed),
+            entries: self.len(),
+            shards: self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnswerSet;
+    use crate::tagging::TaggedQuestion;
+    use crate::translate::Interpretation;
+    use std::time::Duration;
+
+    fn answer_set(domain: &str) -> Arc<AnswerSet> {
+        Arc::new(AnswerSet {
+            domain: domain.to_string(),
+            tagged: TaggedQuestion::default(),
+            interpretation: Interpretation::default(),
+            sql: String::new(),
+            answers: Vec::new(),
+            exact_count: 0,
+            elapsed: Duration::ZERO,
+        })
+    }
+
+    #[test]
+    fn keys_normalize_like_the_tokenizer() {
+        assert_eq!(
+            CacheKey::new("cars", "Blue Honda?"),
+            CacheKey::new("cars", "blue honda")
+        );
+        assert_ne!(
+            CacheKey::new("cars", "blue honda"),
+            CacheKey::new("jobs", "blue honda")
+        );
+        assert_ne!(
+            CacheKey::new("cars", "blue honda"),
+            CacheKey::new("cars", "gold honda")
+        );
+    }
+
+    #[test]
+    fn lookup_hits_until_the_generation_advances() {
+        let cache = AnswerCache::new(64, 4);
+        let key = CacheKey::new("cars", "blue honda");
+        assert!(cache.lookup(&key, 5).is_none());
+        cache.fill(key.clone(), 5, answer_set("cars"));
+        assert!(cache.lookup(&key, 5).is_some());
+        // An insert bumps the table generation: the stamp now trails and the entry
+        // must be evicted, not served.
+        assert!(cache.lookup(&key, 6).is_none());
+        assert!(cache.lookup(&key, 6).is_none(), "stale entry was evicted");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.stale_evictions, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn racing_fill_with_older_stamp_does_not_mask_a_newer_one() {
+        let cache = AnswerCache::new(64, 1);
+        let key = CacheKey::new("cars", "blue honda");
+        cache.fill(key.clone(), 7, answer_set("fresh"));
+        // A slow filler that started before the insert arrives late with an older
+        // stamp; the fresher entry must survive.
+        cache.fill(key.clone(), 6, answer_set("stale"));
+        let hit = cache.lookup(&key, 7).expect("fresh entry survives");
+        assert_eq!(hit.domain, "fresh");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = AnswerCache::new(2, 1);
+        let a = CacheKey::new("cars", "question a");
+        let b = CacheKey::new("cars", "question b");
+        let c = CacheKey::new("cars", "question c");
+        cache.fill(a.clone(), 1, answer_set("a"));
+        cache.fill(b.clone(), 1, answer_set("b"));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.lookup(&a, 1).is_some());
+        cache.fill(c.clone(), 1, answer_set("c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&a, 1).is_some());
+        assert!(cache.lookup(&b, 1).is_none(), "LRU entry evicted");
+        assert!(cache.lookup(&c, 1).is_some());
+        assert_eq!(cache.stats().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let cache = AnswerCache::new(0, 8);
+        assert!(!cache.is_enabled());
+        let key = CacheKey::new("cars", "blue honda");
+        cache.fill(key.clone(), 1, answer_set("cars"));
+        assert!(cache.lookup(&key, 1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = AnswerCache::new(8, 2);
+        let key = CacheKey::new("cars", "blue honda");
+        cache.fill(key.clone(), 1, answer_set("cars"));
+        assert!(cache.lookup(&key, 1).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnswerCache>();
+    }
+}

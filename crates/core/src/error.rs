@@ -14,6 +14,10 @@ pub enum CqadsError {
     NoDomain,
     /// The question names a domain that is not loaded in the system.
     UnknownDomain(String),
+    /// The domain *is* registered (spec, tagger and similarity model exist) but its
+    /// table is missing from the database — a wiring fault, distinct from asking for
+    /// a domain the system has never heard of.
+    MissingTable(String),
     /// Two numeric constraints on the same attribute do not overlap; per Rule 1c the
     /// evaluation terminates with "search retrieved no results".
     ContradictoryRange {
@@ -30,6 +34,10 @@ impl fmt::Display for CqadsError {
             CqadsError::EmptyQuestion => write!(f, "the question contains no selection criteria"),
             CqadsError::NoDomain => write!(f, "no ads domain is registered"),
             CqadsError::UnknownDomain(d) => write!(f, "unknown ads domain `{d}`"),
+            CqadsError::MissingTable(d) => write!(
+                f,
+                "domain `{d}` is registered but its table is missing from the database"
+            ),
             CqadsError::ContradictoryRange { attribute } => write!(
                 f,
                 "contradictory constraints on `{attribute}`: search retrieved no results"

@@ -28,11 +28,22 @@
 //!
 //! The [`pipeline::CqadsSystem`] type wires all of this together behind a single
 //! `answer(question)` call; the `examples/` directory of the workspace shows it in use.
+//!
+//! For repetitive serving traffic there is a cached front-end on top of the same
+//! pipeline: [`CqadsSystem::answer_batch`](pipeline::CqadsSystem::answer_batch)
+//! normalizes and dedups a question burst, serves repeats from a sharded,
+//! generation-invalidated answer cache ([`cache`]) and fans the residual misses'
+//! partial-match phases through one set of worker threads per domain
+//! ([`PartialMatcher::partial_answers_batch`](partial::PartialMatcher::partial_answers_batch)).
+//! Inserting into a table bumps its mutation generation, which invalidates every
+//! cached answer for the domain without any flush — see the [`cache`] module docs
+//! for the protocol.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod boolean;
+pub mod cache;
 pub mod domain;
 pub mod error;
 pub mod identifiers;
@@ -44,11 +55,12 @@ pub mod tagging;
 pub mod translate;
 
 pub use boolean::combine_conditions;
+pub use cache::{AnswerCache, CacheKey, CacheStats};
 pub use domain::DomainSpec;
 pub use error::{CqadsError, CqadsResult};
 pub use identifiers::{BoundaryOp, Tag};
 pub use partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
-pub use pipeline::{Answer, AnswerSet, CqadsConfig, CqadsSystem, MatchKind};
+pub use pipeline::{Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, MatchKind};
 pub use ranking::{
     boundary_matches, CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel,
 };

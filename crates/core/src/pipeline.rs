@@ -6,9 +6,10 @@
 //! interpret → translate to SQL → execute exactly → top up with ranked
 //! partially-matched answers when fewer than 30 exact answers exist.
 
+use crate::cache::{AnswerCache, CacheKey, CacheStats};
 use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
-use crate::partial::{PartialMatchOptions, PartialMatcher};
+use crate::partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
 use crate::ranking::{SimilarityMeasure, SimilarityModel};
 use crate::tagging::{TaggedQuestion, Tagger};
 use crate::translate::{interpret, Interpretation};
@@ -16,7 +17,7 @@ use addb::{Database, Executor, Record, RecordId, Table};
 use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
 use cqads_querylog::TIMatrix;
 use cqads_wordsim::WordSimMatrix;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -90,6 +91,13 @@ pub struct CqadsConfig {
     /// from the machine's available parallelism (and stays sequential on small
     /// tables); answers are byte-identical for every setting.
     pub partial_workers: usize,
+    /// Total answer sets held by the serving cache ([`AnswerCache`]); `0` disables
+    /// caching entirely (every [`CqadsSystem::answer_batch`] question recomputes).
+    pub cache_capacity: usize,
+    /// Lock stripes of the serving cache: concurrent readers of different questions
+    /// contend only within a stripe. Clamped to at least 1 (and at most the
+    /// capacity) by the cache itself.
+    pub cache_shards: usize,
 }
 
 impl Default for CqadsConfig {
@@ -98,7 +106,53 @@ impl Default for CqadsConfig {
             answer_limit: addb::DEFAULT_ANSWER_LIMIT,
             partial_threshold: addb::DEFAULT_ANSWER_LIMIT,
             partial_workers: 0,
+            cache_capacity: 4096,
+            cache_shards: 16,
         }
+    }
+}
+
+/// How [`CqadsSystem::classify`] arrived at its domain: a genuine classifier
+/// prediction, or one of the two fallback paths (which used to be silent — callers
+/// debugging routing could not tell a confident prediction from a shrug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifyOutcome {
+    /// The trained classifier predicted a registered domain.
+    Classified(String),
+    /// The classifier produced no prediction at all (not trained, or the question
+    /// shares no vocabulary with the training set); fell back to the first
+    /// registered domain.
+    FallbackUntrained(String),
+    /// The classifier predicted a domain that was never registered with
+    /// [`CqadsSystem::add_domain`]; fell back to the first registered domain.
+    FallbackUnknownDomain {
+        /// What the classifier emitted.
+        predicted: String,
+        /// The registered domain actually used.
+        fallback: String,
+    },
+}
+
+impl ClassifyOutcome {
+    /// The domain the question will be answered in, however it was chosen.
+    pub fn domain(&self) -> &str {
+        match self {
+            ClassifyOutcome::Classified(d) | ClassifyOutcome::FallbackUntrained(d) => d,
+            ClassifyOutcome::FallbackUnknownDomain { fallback, .. } => fallback,
+        }
+    }
+
+    /// Consume the outcome, keeping only the chosen domain.
+    pub fn into_domain(self) -> String {
+        match self {
+            ClassifyOutcome::Classified(d) | ClassifyOutcome::FallbackUntrained(d) => d,
+            ClassifyOutcome::FallbackUnknownDomain { fallback, .. } => fallback,
+        }
+    }
+
+    /// True when either fallback path fired instead of a real prediction.
+    pub fn is_fallback(&self) -> bool {
+        !matches!(self, ClassifyOutcome::Classified(_))
     }
 }
 
@@ -118,6 +172,7 @@ pub struct CqadsSystem {
     classifier: BetaBinomialNb,
     word_sim: Arc<WordSimMatrix>,
     config: CqadsConfig,
+    cache: AnswerCache,
 }
 
 impl CqadsSystem {
@@ -128,12 +183,14 @@ impl CqadsSystem {
 
     /// Create an empty system with an explicit configuration.
     pub fn with_config(config: CqadsConfig) -> Self {
+        let cache = AnswerCache::new(config.cache_capacity, config.cache_shards);
         CqadsSystem {
             database: Database::new(),
             domains: BTreeMap::new(),
             classifier: BetaBinomialNb::new(),
             word_sim: Arc::new(WordSimMatrix::default()),
             config,
+            cache,
         }
     }
 
@@ -202,22 +259,37 @@ impl CqadsSystem {
     }
 
     /// Classify a question into a registered domain (Equation 2). Falls back to the
-    /// first registered domain when the classifier has not been trained.
+    /// first registered domain when the classifier has not been trained or emits an
+    /// unregistered domain; use [`CqadsSystem::classify_outcome`] to observe which
+    /// path fired.
     pub fn classify(&self, question: &str) -> CqadsResult<String> {
+        Ok(self.classify_outcome(question)?.into_domain())
+    }
+
+    /// Like [`CqadsSystem::classify`], but reports *how* the domain was chosen: a
+    /// genuine prediction, the untrained fallback, or — previously invisible — the
+    /// classifier emitting a domain that was never registered.
+    pub fn classify_outcome(&self, question: &str) -> CqadsResult<ClassifyOutcome> {
         if self.domains.is_empty() {
             return Err(CqadsError::NoDomain);
         }
-        if let Some(domain) = self.classifier.classify_text(question) {
-            if self.domains.contains_key(&domain) {
-                return Ok(domain);
+        let first = || {
+            self.domains
+                .keys()
+                .next()
+                .expect("non-empty checked above")
+                .clone()
+        };
+        Ok(match self.classifier.classify_text(question) {
+            Some(domain) if self.domains.contains_key(&domain) => {
+                ClassifyOutcome::Classified(domain)
             }
-        }
-        Ok(self
-            .domains
-            .keys()
-            .next()
-            .expect("non-empty checked above")
-            .clone())
+            Some(predicted) => ClassifyOutcome::FallbackUnknownDomain {
+                predicted,
+                fallback: first(),
+            },
+            None => ClassifyOutcome::FallbackUntrained(first()),
+        })
     }
 
     /// Answer a question end to end, classifying it first.
@@ -227,9 +299,29 @@ impl CqadsSystem {
     }
 
     /// Answer a question against an explicitly chosen domain (used by the evaluation
-    /// harness when the gold domain is known).
+    /// harness when the gold domain is known). Always computes from scratch — the
+    /// cached serving front-end is [`CqadsSystem::answer_batch`] /
+    /// [`CqadsSystem::answer_in_domain_cached`].
     pub fn answer_in_domain(&self, question: &str, domain: &str) -> CqadsResult<AnswerSet> {
-        let start = Instant::now();
+        let (runtime, table) = self.domain_runtime(domain)?;
+        let mut pending = self.begin_answer(runtime, table, question, domain)?;
+        let partial = match pending.partial_budget {
+            0 => Vec::new(),
+            budget => self.matcher(runtime).partial_answers(
+                &pending.interpretation,
+                table,
+                &pending.exact_ids,
+                budget,
+            )?,
+        };
+        pending.absorb_partial(partial, table);
+        Ok(pending.finish(self.config.answer_limit))
+    }
+
+    /// Resolve a domain to its runtime and table, distinguishing an unregistered
+    /// domain ([`CqadsError::UnknownDomain`]) from a registered domain whose table is
+    /// missing from the database ([`CqadsError::MissingTable`]).
+    fn domain_runtime(&self, domain: &str) -> CqadsResult<(&DomainRuntime, &Table)> {
         let runtime = self
             .domains
             .get(domain)
@@ -237,8 +329,34 @@ impl CqadsSystem {
         let table = self
             .database
             .table(domain)
-            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+            .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
+        Ok((runtime, table))
+    }
 
+    /// The partial matcher configured the way every answering path uses it.
+    fn matcher<'s>(&self, runtime: &'s DomainRuntime) -> PartialMatcher<'s> {
+        PartialMatcher::with_options(
+            &runtime.spec,
+            &runtime.similarity,
+            PartialMatchOptions {
+                workers: self.config.partial_workers,
+                ..PartialMatchOptions::default()
+            },
+        )
+    }
+
+    /// Run the pre-partial pipeline stages (tag → interpret → translate → exact
+    /// execution) for one question. The partial phase is left to the caller so that
+    /// [`CqadsSystem::answer_batch`] can fan a whole burst of these through
+    /// [`PartialMatcher::partial_answers_batch`] on one thread scope.
+    fn begin_answer(
+        &self,
+        runtime: &DomainRuntime,
+        table: &Table,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<PendingAnswer> {
+        let start = Instant::now();
         let tagged = runtime.tagger.tag(question);
         let interpretation = interpret(&tagged, &runtime.spec)?;
         let query = interpretation.to_query_with_limit(&runtime.spec, self.config.answer_limit)?;
@@ -249,7 +367,7 @@ impl CqadsSystem {
         let exact_ids: HashSet<RecordId> = exact.iter().map(|a| a.id).collect();
         let n = interpretation.condition_count();
 
-        let mut answers: Vec<Answer> = exact
+        let answers: Vec<Answer> = exact
             .iter()
             .filter_map(|a| table.get_shared(a.id).map(|r| (a.id, r)))
             .map(|(id, record)| Answer {
@@ -262,40 +380,257 @@ impl CqadsSystem {
             .collect();
 
         // Top up with partially-matched answers when exact answers are scarce.
-        if answers.len() < self.config.partial_threshold.min(self.config.answer_limit) {
-            let budget = self.config.answer_limit - answers.len();
-            let matcher = PartialMatcher::with_options(
-                &runtime.spec,
-                &runtime.similarity,
-                PartialMatchOptions {
-                    workers: self.config.partial_workers,
-                    ..PartialMatchOptions::default()
-                },
-            );
-            let partial = matcher.partial_answers(&interpretation, table, &exact_ids, budget)?;
-            for p in partial {
-                if let Some(record) = table.get_shared(p.id) {
-                    answers.push(Answer {
-                        id: p.id,
-                        record,
-                        kind: MatchKind::Partial,
-                        rank_sim: p.rank_sim,
-                        measure: p.measure,
-                    });
-                }
-            }
-        }
-        answers.truncate(self.config.answer_limit);
+        let partial_budget =
+            if answers.len() < self.config.partial_threshold.min(self.config.answer_limit) {
+                self.config.answer_limit - answers.len()
+            } else {
+                0
+            };
 
-        Ok(AnswerSet {
+        Ok(PendingAnswer {
             domain: domain.to_string(),
-            exact_count: exact_ids.len().min(answers.len()),
             tagged,
             interpretation,
             sql,
             answers,
-            elapsed: start.elapsed(),
+            exact_ids,
+            partial_budget,
+            start,
         })
+    }
+
+    /// Answer a question through the serving cache, classifying it first. A repeated
+    /// question costs one classification plus one cache lookup; see
+    /// [`CqadsSystem::answer_batch`] for the burst-oriented form and
+    /// [`cache`](crate::cache) for the invalidation protocol.
+    pub fn answer_cached(&self, question: &str) -> CqadsResult<Arc<AnswerSet>> {
+        let domain = self.classify(question)?;
+        self.answer_in_domain_cached(question, &domain)
+    }
+
+    /// Read-through cached variant of [`CqadsSystem::answer_in_domain`]: identical
+    /// answers (the cache key is conservative and entries are generation-checked),
+    /// shared behind an [`Arc`] so hits clone nothing.
+    pub fn answer_in_domain_cached(
+        &self,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<Arc<AnswerSet>> {
+        if !self.cache.is_enabled() {
+            return Ok(Arc::new(self.answer_in_domain(question, domain)?));
+        }
+        // The generation is read *before* computing so a racing insert leaves the
+        // filled entry conservatively stale (see the cache module docs).
+        let generation = self.database.generation(domain);
+        let key = CacheKey::new(domain, question);
+        if let Some(generation) = generation {
+            if let Some(hit) = self.cache.lookup(&key, generation) {
+                return Ok(hit);
+            }
+        }
+        let answer = Arc::new(self.answer_in_domain(question, domain)?);
+        if let Some(generation) = generation {
+            self.cache.fill(key, generation, Arc::clone(&answer));
+        }
+        Ok(answer)
+    }
+
+    /// Serve a burst of questions: classify + normalize + dedup, serve repeats from
+    /// the cache, and fan the residual misses' partial-match phases through
+    /// [`PartialMatcher::partial_answers_batch`] on one thread scope per domain,
+    /// back-filling the cache for the next burst.
+    ///
+    /// Results are positional (`results[i]` answers `questions[i]`) and element-wise
+    /// identical to calling [`CqadsSystem::answer_in_domain`] per question with the
+    /// classified domain — duplicate questions within the burst share one
+    /// computation and one `Arc`. Per-question failures (empty question,
+    /// contradictory ranges, ...) are reported in place and never cached.
+    pub fn answer_batch<S: AsRef<str>>(&self, questions: &[S]) -> Vec<CqadsResult<Arc<AnswerSet>>> {
+        let mut results: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = vec![None; questions.len()];
+        let cache_on = self.cache.is_enabled();
+
+        // Classify + normalize + dedup: one slot per distinct (domain, normalized
+        // question) key; repeats within the burst attach to the same slot.
+        struct Slot<'q> {
+            key: CacheKey,
+            domain: String,
+            question: &'q str,
+            indices: Vec<usize>,
+        }
+        // Byte-identical repeats are collapsed *before* classification so a hot
+        // burst pays the classifier + tokenizer once per distinct string, not once
+        // per element; the key then also merges case/punctuation variants.
+        let mut raw: Vec<(&str, Vec<usize>)> = Vec::new();
+        let mut by_raw: HashMap<&str, usize> = HashMap::new();
+        for (i, question) in questions.iter().enumerate() {
+            let question = question.as_ref();
+            match by_raw.get(question) {
+                Some(&r) => raw[r].1.push(i),
+                None => {
+                    by_raw.insert(question, raw.len());
+                    raw.push((question, vec![i]));
+                }
+            }
+        }
+        let mut slots: Vec<Slot<'_>> = Vec::new();
+        let mut by_key: HashMap<CacheKey, usize> = HashMap::new();
+        for (question, indices) in raw {
+            match self.classify(question) {
+                Err(e) => {
+                    for &i in &indices {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
+                Ok(domain) => {
+                    let key = CacheKey::new(&domain, question);
+                    match by_key.get(&key) {
+                        Some(&slot) => slots[slot].indices.extend(indices),
+                        None => {
+                            by_key.insert(key.clone(), slots.len());
+                            slots.push(Slot {
+                                key,
+                                domain,
+                                question,
+                                indices,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Serve hits; group the residual misses by domain.
+        let mut misses_by_domain: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut outcomes: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = Vec::new();
+        for (slot_idx, slot) in slots.iter().enumerate() {
+            outcomes.push(None);
+            let generation = self.database.generation(&slot.domain);
+            if let (true, Some(generation)) = (cache_on, generation) {
+                if let Some(hit) = self.cache.lookup(&slot.key, generation) {
+                    outcomes[slot_idx] = Some(Ok(hit));
+                    continue;
+                }
+            }
+            misses_by_domain
+                .entry(slot.domain.as_str())
+                .or_default()
+                .push(slot_idx);
+        }
+
+        // Per domain: run the pre-partial stages per miss, then one batched
+        // partial-match fan-out (a single set of scoped worker threads serves every
+        // question of the domain), then assemble + back-fill.
+        for (domain, slot_indices) in misses_by_domain {
+            let (runtime, table) = match self.domain_runtime(domain) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    for &slot_idx in &slot_indices {
+                        outcomes[slot_idx] = Some(Err(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            // Stamp read before any computation: a racing insert can only make the
+            // filled entries look *older* than the post-insert generation.
+            let generation = table.generation();
+
+            let mut pendings: Vec<(usize, PendingAnswer)> = Vec::new();
+            for &slot_idx in &slot_indices {
+                match self.begin_answer(runtime, table, slots[slot_idx].question, domain) {
+                    Ok(pending) => pendings.push((slot_idx, pending)),
+                    Err(e) => outcomes[slot_idx] = Some(Err(e)),
+                }
+            }
+
+            let needs_partial: Vec<usize> = (0..pendings.len())
+                .filter(|&p| pendings[p].1.partial_budget > 0)
+                .collect();
+            let partial_results: CqadsResult<Vec<Vec<PartialAnswer>>> = if needs_partial.is_empty()
+            {
+                Ok(Vec::new())
+            } else {
+                let requests: Vec<PartialBatchRequest<'_>> = needs_partial
+                    .iter()
+                    .map(|&p| {
+                        let pending = &pendings[p].1;
+                        PartialBatchRequest {
+                            interpretation: &pending.interpretation,
+                            exclude: &pending.exact_ids,
+                            budget: pending.partial_budget,
+                        }
+                    })
+                    .collect();
+                self.matcher(runtime)
+                    .partial_answers_batch(&requests, table)
+            };
+            match partial_results {
+                Ok(mut partial_results) => {
+                    // Scatter the batch results back (batch output is positional).
+                    for (&p, partial) in needs_partial.iter().zip(partial_results.drain(..)) {
+                        pendings[p].1.absorb_partial(partial, table);
+                    }
+                    for (slot_idx, pending) in pendings {
+                        let answer = Arc::new(pending.finish(self.config.answer_limit));
+                        if cache_on {
+                            self.cache.fill(
+                                slots[slot_idx].key.clone(),
+                                generation,
+                                Arc::clone(&answer),
+                            );
+                        }
+                        outcomes[slot_idx] = Some(Ok(answer));
+                    }
+                }
+                Err(e) => {
+                    for (slot_idx, _) in pendings {
+                        outcomes[slot_idx] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        // Scatter slot outcomes to every question index that mapped onto the slot.
+        for (slot, outcome) in slots.iter().zip(outcomes) {
+            let outcome = outcome.expect("every slot resolved");
+            for &i in &slot.indices {
+                results[i] = Some(outcome.clone());
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every question resolved"))
+            .collect()
+    }
+
+    /// Insert a record into a registered domain's table. The table's mutation
+    /// generation advances, which atomically invalidates every cached answer for the
+    /// domain — no explicit cache flush happens or is needed.
+    pub fn insert_record(&mut self, domain: &str, record: Record) -> CqadsResult<RecordId> {
+        if !self.domains.contains_key(domain) {
+            return Err(CqadsError::UnknownDomain(domain.to_string()));
+        }
+        let table = self
+            .database
+            .table_mut(domain)
+            .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
+        Ok(table.insert(record)?)
+    }
+
+    /// Mutable access to the underlying database. Inserts through this handle bump
+    /// the owning table's generation exactly like [`CqadsSystem::insert_record`], so
+    /// cached answers still invalidate correctly.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.database
+    }
+
+    /// The serving cache (stats, clearing; filled by the `*_cached` / batch paths).
+    pub fn cache(&self) -> &AnswerCache {
+        &self.cache
+    }
+
+    /// Snapshot of the serving cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// Produce only the interpretation of a question in a given domain (used by the
@@ -320,6 +655,53 @@ impl CqadsSystem {
 impl Default for CqadsSystem {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// One question after the pre-partial stages: exact answers collected, partial-match
+/// budget decided, partial answers not yet merged. [`CqadsSystem::answer_in_domain`]
+/// completes it immediately; [`CqadsSystem::answer_batch`] completes a whole burst of
+/// these through one batched partial-match fan-out per domain.
+struct PendingAnswer {
+    domain: String,
+    tagged: TaggedQuestion,
+    interpretation: Interpretation,
+    sql: String,
+    answers: Vec<Answer>,
+    exact_ids: HashSet<RecordId>,
+    /// `0` when the exact answers already satisfy the partial threshold.
+    partial_budget: usize,
+    start: Instant,
+}
+
+impl PendingAnswer {
+    /// Merge the partial-match phase's answers (exactly as the sequential path does).
+    fn absorb_partial(&mut self, partial: Vec<PartialAnswer>, table: &Table) {
+        for p in partial {
+            if let Some(record) = table.get_shared(p.id) {
+                self.answers.push(Answer {
+                    id: p.id,
+                    record,
+                    kind: MatchKind::Partial,
+                    rank_sim: p.rank_sim,
+                    measure: p.measure,
+                });
+            }
+        }
+    }
+
+    /// Cap to the answer limit and seal the set.
+    fn finish(mut self, answer_limit: usize) -> AnswerSet {
+        self.answers.truncate(answer_limit);
+        AnswerSet {
+            domain: self.domain,
+            exact_count: self.exact_ids.len().min(self.answers.len()),
+            tagged: self.tagged,
+            interpretation: self.interpretation,
+            sql: self.sql,
+            answers: self.answers,
+            elapsed: self.start.elapsed(),
+        }
     }
 }
 
@@ -447,6 +829,169 @@ mod tests {
             empty.classify("anything"),
             Err(CqadsError::NoDomain)
         ));
+    }
+
+    #[test]
+    fn unknown_domain_and_missing_table_are_distinct_failures() {
+        let mut sys = system();
+        // Path 1: the domain was never registered at all.
+        assert!(matches!(
+            sys.answer_in_domain("blue honda", "boats"),
+            Err(CqadsError::UnknownDomain(d)) if d == "boats"
+        ));
+        // Path 2: the domain IS registered, but its table is missing from the
+        // database (here: a spec registered under a name whose table was stored
+        // under a different one).
+        let mut other = toy_car_domain();
+        other.schema.name = "wrecked-cars".to_string();
+        let orphan_table = Table::new(toy_car_domain().schema.clone());
+        sys.add_domain(other, orphan_table, TIMatrix::default());
+        // The spec is registered under "wrecked-cars" but the table kept its schema
+        // name ("cars"), so the database has no "wrecked-cars" table.
+        assert!(sys.domain_names().contains(&"wrecked-cars"));
+        assert!(sys.database().table("wrecked-cars").is_none());
+        assert!(matches!(
+            sys.answer_in_domain("blue honda", "wrecked-cars"),
+            Err(CqadsError::MissingTable(d)) if d == "wrecked-cars"
+        ));
+        // The cached path reports the same distinction.
+        assert!(matches!(
+            sys.answer_in_domain_cached("blue honda", "boats"),
+            Err(CqadsError::UnknownDomain(_))
+        ));
+        assert!(matches!(
+            sys.answer_in_domain_cached("blue honda", "wrecked-cars"),
+            Err(CqadsError::MissingTable(_))
+        ));
+        // insert_record distinguishes them too.
+        assert!(matches!(
+            sys.insert_record("boats", Record::builder().build()),
+            Err(CqadsError::UnknownDomain(_))
+        ));
+        assert!(matches!(
+            sys.insert_record("wrecked-cars", Record::builder().build()),
+            Err(CqadsError::MissingTable(_))
+        ));
+    }
+
+    #[test]
+    fn classify_outcome_surfaces_both_fallback_paths() {
+        let mut sys = system();
+        // Untrained classifier: fallback to the first registered domain, visibly.
+        let outcome = sys.classify_outcome("blue honda").unwrap();
+        assert_eq!(outcome, ClassifyOutcome::FallbackUntrained("cars".into()));
+        assert!(outcome.is_fallback());
+        assert_eq!(outcome.domain(), "cars");
+
+        // Train with a label that is NOT a registered domain: the classifier's
+        // prediction cannot be served, and the fallback now says so instead of
+        // silently routing to the first domain.
+        sys.train_classifier(&[
+            LabelledDoc::from_text("boats", "blue sailing boat with a honda outboard"),
+            LabelledDoc::from_text("boats", "cheap honda jetski blue"),
+        ]);
+        let outcome = sys.classify_outcome("blue honda").unwrap();
+        assert_eq!(
+            outcome,
+            ClassifyOutcome::FallbackUnknownDomain {
+                predicted: "boats".into(),
+                fallback: "cars".into(),
+            }
+        );
+        assert!(outcome.is_fallback());
+        assert_eq!(outcome.domain(), "cars");
+        // classify() keeps its historical contract: it returns the served domain.
+        assert_eq!(sys.classify("blue honda").unwrap(), "cars");
+
+        // A genuine prediction reports Classified.
+        let mut trained = system();
+        trained.train_classifier(&[LabelledDoc::from_text("cars", "blue honda accord price")]);
+        assert_eq!(
+            trained.classify_outcome("blue honda").unwrap(),
+            ClassifyOutcome::Classified("cars".into())
+        );
+    }
+
+    #[test]
+    fn cached_answers_hit_until_an_insert_invalidates() {
+        let mut sys = system();
+        let question = "Do you have automatic blue cars?";
+        let first = sys.answer_in_domain_cached(question, "cars").unwrap();
+        assert_eq!(first.exact_count, 2);
+        assert_eq!(sys.cache_stats().hits, 0);
+        // Same question (modulo case/punctuation) is a hit sharing the same Arc.
+        let second = sys.answer_in_domain_cached("do you have AUTOMATIC blue cars", "cars");
+        let second = second.unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(sys.cache_stats().hits, 1);
+
+        // Insert a matching record: the table generation advances, so the cached
+        // answer must not be served again.
+        sys.insert_record(
+            "cars",
+            car("honda", "civic", "blue", "automatic", 7200.0, 2007.0),
+        )
+        .unwrap();
+        let third = sys.answer_in_domain_cached(question, "cars").unwrap();
+        assert!(!Arc::ptr_eq(&first, &third), "stale answer served");
+        assert_eq!(
+            third.exact_count, 3,
+            "post-insert answer reflects the insert"
+        );
+        assert_eq!(sys.cache_stats().stale_evictions, 1);
+
+        // answer_cached routes through classification then the same cache.
+        let fourth = sys.answer_cached(question).unwrap();
+        assert!(Arc::ptr_eq(&third, &fourth));
+    }
+
+    #[test]
+    fn answer_batch_dedups_serves_hits_and_reports_errors_in_place() {
+        let sys = system();
+        let burst = [
+            "Do you have automatic blue cars?",
+            "hello there",                     // EmptyQuestion, reported in place
+            "do you have automatic blue cars", // duplicate of [0] modulo case
+            "cheapest honda",
+            "Do you have automatic blue cars?", // exact duplicate of [0]
+        ];
+        let results = sys.answer_batch(&burst);
+        assert_eq!(results.len(), burst.len());
+        let a0 = results[0].as_ref().unwrap();
+        assert!(matches!(results[1], Err(CqadsError::EmptyQuestion)));
+        // Duplicates share one computation and one Arc.
+        assert!(Arc::ptr_eq(a0, results[2].as_ref().unwrap()));
+        assert!(Arc::ptr_eq(a0, results[4].as_ref().unwrap()));
+        assert_eq!(a0.exact_count, 2);
+        assert!(results[3].as_ref().unwrap().exact_count >= 1);
+        // Errors are never cached; the two distinct questions were.
+        assert_eq!(sys.cache_stats().entries, 2);
+
+        // A second burst is served entirely from the cache.
+        let again = sys.answer_batch(&["cheapest honda"]);
+        assert!(Arc::ptr_eq(
+            results[3].as_ref().unwrap(),
+            again[0].as_ref().unwrap()
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_config_disables_the_serving_cache() {
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        table
+            .insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0))
+            .unwrap();
+        let mut sys = CqadsSystem::with_config(CqadsConfig {
+            cache_capacity: 0,
+            ..CqadsConfig::default()
+        });
+        sys.add_domain(spec, table, TIMatrix::default());
+        let a = sys.answer_in_domain_cached("blue honda", "cars").unwrap();
+        let b = sys.answer_in_domain_cached("blue honda", "cars").unwrap();
+        assert!(!Arc::ptr_eq(&a, &b), "disabled cache must not share");
+        assert_eq!(sys.cache_stats().entries, 0);
+        assert_eq!(sys.cache_stats().hits, 0);
     }
 
     #[test]

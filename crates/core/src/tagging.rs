@@ -93,7 +93,7 @@ impl TaggedToken {
 }
 
 /// A fully tagged question.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TaggedQuestion {
     /// The original question text.
     pub original: String,

@@ -68,7 +68,7 @@ impl ConditionSketch {
 
 /// The interpreted question: OR-separated segments of condition sketches plus
 /// superlatives, ready to be combined into a query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Interpretation {
     /// Domain (table) the question runs against.
     pub domain: String,

@@ -1,0 +1,189 @@
+//! Serving-layer tests: the generation-invalidated answer cache under concurrent
+//! readers and interleaved inserts.
+//!
+//! The load-bearing property: once a table's mutation generation has advanced past
+//! the generation a cached answer was stamped with, that answer is **never served
+//! again** — a reader that observes generation `G` (under a read lock, so no writer
+//! is mid-insert) always receives an answer computed against exactly the first `G`
+//! records. The tests build tables where every record matches the probe question
+//! exactly, so `exact_count == generation` is the precise freshness oracle.
+
+use cqads_suite::addb::{Record, Table};
+use cqads_suite::cqads::domain::toy_car_domain;
+use cqads_suite::cqads::CqadsSystem;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+fn car(price: f64) -> Record {
+    Record::builder()
+        .text("make", "honda")
+        .text("model", "accord")
+        .text("color", "blue")
+        .text("transmission", "automatic")
+        .number("price", price)
+        .number("year", 2005.0)
+        .number("mileage", 60_000.0)
+        .build()
+}
+
+/// A system whose "cars" table holds `initial` records, every one an exact match for
+/// `PROBE` — so an answer's `exact_count` equals the generation it was computed at.
+fn all_match_system(initial: usize) -> CqadsSystem {
+    let spec = toy_car_domain();
+    let mut table = Table::new(spec.schema.clone());
+    for i in 0..initial {
+        table.insert(car(5_000.0 + i as f64)).unwrap();
+    }
+    let mut system = CqadsSystem::new();
+    system.add_domain(spec, table, Default::default());
+    system
+}
+
+const PROBE: &str = "blue automatic honda accord";
+
+#[test]
+fn insert_invalidates_cached_answers_even_when_the_record_is_unrelated() {
+    let mut sys = all_match_system(3);
+    let first = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert_eq!(first.exact_count, 3);
+    let hit = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert!(Arc::ptr_eq(&first, &hit));
+
+    // Insert a record that does NOT match the probe: the cache has no way to know
+    // that, so the generation stamp must still force a recompute (conservative,
+    // never stale).
+    sys.insert_record(
+        "cars",
+        Record::builder()
+            .text("make", "ford")
+            .text("model", "focus")
+            .text("color", "red")
+            .text("transmission", "manual")
+            .number("price", 4_000.0)
+            .build(),
+    )
+    .unwrap();
+    let refreshed = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert!(!Arc::ptr_eq(&first, &refreshed), "stale answer served");
+    assert_eq!(refreshed.exact_count, 3, "unrelated record must not match");
+    assert_eq!(sys.cache_stats().stale_evictions, 1);
+
+    // Inserting through database_mut() (bypassing insert_record) invalidates too:
+    // the generation lives on the table itself.
+    sys.database_mut()
+        .table_mut("cars")
+        .unwrap()
+        .insert(car(9_999.0))
+        .unwrap();
+    let after = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert_eq!(after.exact_count, 4, "insert via database_mut not observed");
+}
+
+#[test]
+fn answer_batch_reflects_inserts_between_bursts() {
+    let mut sys = all_match_system(2);
+    let burst = [PROBE, "cheapest honda", PROBE];
+    let cold = sys.answer_batch(&burst);
+    assert_eq!(cold[0].as_ref().unwrap().exact_count, 2);
+    assert!(Arc::ptr_eq(
+        cold[0].as_ref().unwrap(),
+        cold[2].as_ref().unwrap()
+    ));
+
+    // Warm burst: pure hits.
+    let hits_before = sys.cache_stats().hits;
+    let warm = sys.answer_batch(&burst);
+    assert!(Arc::ptr_eq(
+        cold[0].as_ref().unwrap(),
+        warm[0].as_ref().unwrap()
+    ));
+    assert!(sys.cache_stats().hits > hits_before);
+
+    // Insert between bursts: every answer of the next burst must see 3 records.
+    sys.insert_record("cars", car(8_888.0)).unwrap();
+    let fresh = sys.answer_batch(&burst);
+    assert_eq!(fresh[0].as_ref().unwrap().exact_count, 3);
+    assert!(!Arc::ptr_eq(
+        cold[0].as_ref().unwrap(),
+        fresh[0].as_ref().unwrap()
+    ));
+    // The cheapest-honda answer was also recomputed (generation is per-table, so the
+    // whole domain's cached set invalidates).
+    assert!(!Arc::ptr_eq(
+        cold[1].as_ref().unwrap(),
+        fresh[1].as_ref().unwrap()
+    ));
+}
+
+/// Parallel readers racing a writer never observe a pre-insert answer once the
+/// generation has advanced: each reader snapshots the generation under a read lock
+/// (no writer mid-insert) and requires `exact_count == generation`, for both the
+/// single-question cached path and the batch front-end.
+#[test]
+fn concurrent_readers_never_observe_stale_answers_across_inserts() {
+    const INITIAL: usize = 4;
+    const INSERTS: usize = 12;
+    const READERS: usize = 4;
+
+    let system = Arc::new(RwLock::new(all_match_system(INITIAL)));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let system = Arc::clone(&system);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut iterations = 0usize;
+                let mut hits_seen = 0u64;
+                while !done.load(Ordering::Acquire) || iterations < 3 {
+                    let sys = system.read().expect("reader lock");
+                    // Snapshot the generation while holding the read lock: the
+                    // answer we get must reflect exactly this many inserts.
+                    let generation = sys.database().generation("cars").unwrap();
+                    let answer = if r % 2 == 0 {
+                        sys.answer_in_domain_cached(PROBE, "cars").unwrap()
+                    } else {
+                        sys.answer_batch(&[PROBE]).remove(0).unwrap()
+                    };
+                    assert_eq!(
+                        answer.exact_count, generation as usize,
+                        "reader {r} observed an answer from a different generation"
+                    );
+                    hits_seen = sys.cache_stats().hits;
+                    drop(sys);
+                    iterations += 1;
+                    std::thread::yield_now();
+                }
+                (iterations, hits_seen)
+            })
+        })
+        .collect();
+
+    for i in 0..INSERTS {
+        {
+            let mut sys = system.write().expect("writer lock");
+            sys.insert_record("cars", car(10_000.0 + i as f64)).unwrap();
+        }
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+
+    let mut total_iterations = 0usize;
+    let mut hits = 0u64;
+    for handle in readers {
+        let (iterations, hits_seen) = handle.join().expect("reader panicked");
+        assert!(iterations >= 3);
+        total_iterations += iterations;
+        hits = hits.max(hits_seen);
+    }
+    assert!(total_iterations >= READERS * 3);
+    // The cache did real work during the run (repeat questions between inserts hit).
+    assert!(hits > 0, "cache never hit during the concurrent run");
+
+    let sys = system.read().unwrap();
+    let final_answer = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert_eq!(final_answer.exact_count, INITIAL + INSERTS);
+    // No stale answer was ever *served*; stale entries were evicted by stamp checks.
+    let stats = sys.cache_stats();
+    assert!(stats.stale_evictions > 0 || stats.misses > stats.hits);
+}

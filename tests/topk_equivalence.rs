@@ -273,6 +273,116 @@ fn batch_api_matches_per_question_calls() {
     }
 }
 
+/// The serving front-end (`CqadsSystem::answer_batch`) is byte-identical to
+/// per-question `answer_in_domain` calls — for the full answer sets (exact + partial,
+/// sql, counts), across worker counts, with the cache cold and hot.
+#[test]
+fn answer_batch_matches_per_question_answer_in_domain() {
+    use cqads_suite::cqads::{CqadsConfig, CqadsSystem};
+
+    fn assert_sets_identical(
+        batch: &cqads_suite::cqads::AnswerSet,
+        single: &cqads_suite::cqads::AnswerSet,
+        context: &str,
+    ) {
+        assert_eq!(batch.domain, single.domain, "domain diverged: {context}");
+        assert_eq!(batch.sql, single.sql, "sql diverged: {context}");
+        assert_eq!(
+            batch.exact_count, single.exact_count,
+            "exact count diverged: {context}"
+        );
+        assert_eq!(
+            batch.answers.len(),
+            single.answers.len(),
+            "answer count diverged: {context}"
+        );
+        for (i, (a, b)) in batch.answers.iter().zip(&single.answers).enumerate() {
+            assert_eq!(a.id, b.id, "id diverged at rank {i}: {context}");
+            assert_eq!(a.kind, b.kind, "kind diverged at rank {i}: {context}");
+            assert_eq!(
+                a.rank_sim.to_bits(),
+                b.rank_sim.to_bits(),
+                "rank_sim diverged at rank {i}: {context}"
+            );
+            assert_eq!(
+                a.measure, b.measure,
+                "measure diverged at rank {i}: {context}"
+            );
+        }
+    }
+
+    for workers in [0usize, 2] {
+        let mut system = CqadsSystem::with_config(CqadsConfig {
+            partial_workers: workers,
+            ..CqadsConfig::default()
+        });
+        let bp = blueprint("cars");
+        let table = generate_table(&bp, 400, 51);
+        let log = generate_log(
+            &affinity_model(&bp),
+            &LogGeneratorConfig {
+                sessions: 150,
+                seed: 52,
+                ..Default::default()
+            },
+        );
+        let corpus = SyntheticCorpus::generate(
+            &topic_groups(&bp),
+            &CorpusSpec {
+                documents: 80,
+                ..CorpusSpec::default()
+            },
+        );
+        system.set_word_sim(WordSimMatrix::build(&corpus));
+        system.add_domain(bp.to_spec(), table, TIMatrix::build(&log));
+
+        let table_ref = system.database().table("cars").unwrap();
+        let questions: Vec<String> =
+            generate_questions(&bp, table_ref, 40, 53, &QuestionMix::default())
+                .into_iter()
+                .map(|q| q.text)
+                .collect();
+        // Burst with deliberate repeats so the dedup path is exercised.
+        let mut burst: Vec<&str> = questions.iter().map(String::as_str).collect();
+        burst.extend(questions.iter().take(10).map(String::as_str));
+
+        let batched = system.answer_batch(&burst);
+        assert_eq!(batched.len(), burst.len());
+        let mut compared = 0usize;
+        for (q, outcome) in burst.iter().zip(&batched) {
+            let domain = system.classify(q).unwrap();
+            let single = system.answer_in_domain(q, &domain);
+            match (outcome, single) {
+                (Ok(batch_set), Ok(single_set)) => {
+                    assert_sets_identical(
+                        batch_set,
+                        &single_set,
+                        &format!("workers {workers}, question {q:?}"),
+                    );
+                    compared += 1;
+                }
+                (Err(a), Err(b)) => assert_eq!(a, &b, "errors diverged for {q:?}"),
+                (a, b) => panic!("outcome mismatch for {q:?}: batch {a:?} vs single {b:?}"),
+            }
+        }
+        assert!(compared >= 20, "sweep too small: {compared}");
+
+        // A hot second burst (pure cache hits) still matches the uncached path.
+        let hot = system.answer_batch(&burst[..10]);
+        for (q, outcome) in burst[..10].iter().zip(&hot) {
+            if let Ok(batch_set) = outcome {
+                let domain = system.classify(q).unwrap();
+                let single = system.answer_in_domain(q, &domain).unwrap();
+                assert_sets_identical(batch_set, &single, &format!("hot, question {q:?}"));
+            }
+        }
+        assert!(
+            system.cache_stats().hits > 0,
+            "hot burst never hit the cache"
+        );
+    }
+}
+
 #[test]
 fn edge_cases_budget_zero_oversized_and_all_excluded() {
     let bp = blueprint("cars");
