@@ -49,6 +49,16 @@
 //! to its shard in `O(log n)` and stops at its upper bound). [`Executor::execute`]
 //! collects the same stream, applies superlatives last (over a sorted candidate
 //! slice, membership by binary search) and truncates to the query limit.
+//!
+//! ## Scored unions
+//!
+//! The value-ordered (WAND-style) partial scorer additionally merges *tagged*
+//! per-value posting streams through [`ScoredUnion`]: a k-way `seek_ge`-capable merge
+//! whose yielded tag identifies the constituent — and therefore the pre-computed
+//! score — an id came from. Because it exposes the same skip primitive, a union
+//! leapfrogs against galloping conjunctions and id-range shards exactly like any
+//! other stream; see `cqads::partial` for the traversal, its threshold pruning and
+//! the upper-bound contract that makes the pruning lossless.
 
 use crate::error::{DbError, DbResult};
 use crate::query::{BoolExpr, Comparison, Condition, Query, Superlative, SuperlativeKind};
@@ -503,6 +513,89 @@ impl<'a> IdStream<'a> {
             Box::new(self),
             IntersectMode::Gallop,
         )
+    }
+}
+
+/// A k-way merge over *tagged* sorted id streams: yields `(id, tag)` with ids
+/// strictly ascending, where `tag` is the index of the constituent stream the id came
+/// from. Built by the value-ordered (WAND-style) partial scorer to merge the
+/// **surviving per-value posting streams** of a relaxed attribute — each constituent
+/// carries the (pre-computed, exact) score of its value, so the consumer scores a
+/// candidate by `tag` lookup instead of a matrix probe.
+///
+/// Like every [`IdStream`], it exposes [`ScoredUnion::seek_ge`], so it composes with
+/// the galloping machinery: the partial matcher leapfrogs a union against the
+/// conjunction stream of the remaining conditions and against the id-range shards of
+/// the parallel workers, and each `seek_ge` lets every constituent skip whole
+/// posting-list blocks via their block-max metadata.
+///
+/// Constituents drawn from one column's [`crate::table::ValueIndex`] are disjoint by
+/// construction (a record holds one value per attribute). Should overlapping streams
+/// ever be merged, a duplicate id is yielded **once**, with the smallest tag — tags
+/// are assigned in descending score order, so the best score wins.
+#[derive(Debug)]
+pub struct ScoredUnion<'a> {
+    branches: Vec<IdStream<'a>>,
+    /// Min-heap over `(next undelivered id, tag)` of each non-exhausted branch.
+    heads: std::collections::BinaryHeap<std::cmp::Reverse<(RecordId, u32)>>,
+}
+
+impl<'a> ScoredUnion<'a> {
+    /// Merge `parts`; the tag of each yielded id is its stream's index in `parts`.
+    pub fn new(parts: Vec<IdStream<'a>>) -> Self {
+        let mut branches = parts;
+        let mut heads = std::collections::BinaryHeap::with_capacity(branches.len());
+        for (tag, branch) in branches.iter_mut().enumerate() {
+            if let Some(id) = branch.seek_ge(RecordId(0)) {
+                heads.push(std::cmp::Reverse((id, tag as u32)));
+            }
+        }
+        ScoredUnion { branches, heads }
+    }
+
+    /// Yield the next `(id, tag)` with `id >= target`, consuming it. Constituents
+    /// positioned before `target` are advanced with their own galloping `seek_ge`
+    /// first, so skipped ids are never touched.
+    pub fn seek_ge(&mut self, target: RecordId) -> Option<(RecordId, u32)> {
+        loop {
+            let std::cmp::Reverse((id, tag)) = self.heads.peek().copied()?;
+            self.heads.pop();
+            if id < target {
+                // Behind the bar: gallop this branch forward and re-enter it.
+                if let Some(next) = self.branches[tag as usize].seek_ge(target) {
+                    self.heads.push(std::cmp::Reverse((next, tag)));
+                }
+                continue;
+            }
+            // Deliver `id`: advance its branch, and drain any other branch holding
+            // the same id (duplicates collapse onto the smallest tag, popped first).
+            if let Some(next) = self.branches[tag as usize].seek_ge(RecordId(0)) {
+                self.heads.push(std::cmp::Reverse((next, tag)));
+            }
+            while let Some(&std::cmp::Reverse((dup, dup_tag))) = self.heads.peek() {
+                if dup != id {
+                    break;
+                }
+                self.heads.pop();
+                if let Some(next) = self.branches[dup_tag as usize].seek_ge(RecordId(0)) {
+                    self.heads.push(std::cmp::Reverse((next, dup_tag)));
+                }
+            }
+            return Some((id, tag));
+        }
+    }
+
+    /// True when every constituent is exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.heads.is_empty()
+    }
+}
+
+impl Iterator for ScoredUnion<'_> {
+    type Item = (RecordId, u32);
+
+    fn next(&mut self) -> Option<(RecordId, u32)> {
+        self.seek_ge(RecordId(0))
     }
 }
 
@@ -1227,6 +1320,60 @@ mod tests {
         assert_eq!(collect(5..41), rec(&[5, 9, 11, 40]));
         assert_eq!(collect(12..40), Vec::<RecordId>::new());
         assert_eq!(collect(91..1000), Vec::<RecordId>::new());
+    }
+
+    #[test]
+    fn scored_union_merges_tagged_streams_in_id_order() {
+        let a = PostingList::from_sorted(rec(&[1, 5, 9]));
+        let b = PostingList::from_sorted(rec(&[2, 5, 40]));
+        let c = PostingList::from_sorted(rec(&[0, 100]));
+        let union = ScoredUnion::new(vec![
+            IdStream::postings(&a),
+            IdStream::postings(&b),
+            IdStream::postings(&c),
+        ]);
+        let merged: Vec<(u32, u32)> = union.map(|(id, tag)| (id.0, tag)).collect();
+        // Ascending ids; the duplicate id 5 collapses onto the smallest tag (0).
+        assert_eq!(
+            merged,
+            vec![(0, 2), (1, 0), (2, 1), (5, 0), (9, 0), (40, 1), (100, 2)]
+        );
+    }
+
+    #[test]
+    fn scored_union_seek_ge_skips_and_exhausts() {
+        let a = PostingList::from_sorted(rec(&[1, 5, 9, 300]));
+        let b = PostingList::from_sorted(rec(&[2, 7, 200]));
+        let mut union = ScoredUnion::new(vec![IdStream::postings(&a), IdStream::postings(&b)]);
+        assert_eq!(union.seek_ge(RecordId(4)), Some((RecordId(5), 0)));
+        assert_eq!(union.seek_ge(RecordId(6)), Some((RecordId(7), 1)));
+        // Seeking past both tails leaves only the far ids.
+        assert_eq!(union.seek_ge(RecordId(150)), Some((RecordId(200), 1)));
+        assert!(!union.is_exhausted());
+        assert_eq!(union.seek_ge(RecordId(301)), None);
+        assert!(union.is_exhausted());
+        assert_eq!(union.next(), None);
+
+        // Empty constituents and an empty union are handled.
+        let empty = PostingList::from_sorted(Vec::new());
+        let mut union = ScoredUnion::new(vec![IdStream::postings(&empty)]);
+        assert!(union.is_exhausted());
+        assert_eq!(union.seek_ge(RecordId(0)), None);
+        let mut union = ScoredUnion::new(Vec::new());
+        assert_eq!(union.next(), None);
+    }
+
+    #[test]
+    fn scored_union_matches_naive_union_of_disjoint_lists() {
+        // The shape the WAND scorer builds: disjoint per-value posting lists.
+        let lists: Vec<PostingList> = (0..5)
+            .map(|k| PostingList::from_sorted((0..200u32).map(|i| RecordId(i * 5 + k)).collect()))
+            .collect();
+        let union = ScoredUnion::new(lists.iter().map(IdStream::postings).collect());
+        let got: Vec<RecordId> = union.map(|(id, _)| id).collect();
+        let mut expected: Vec<RecordId> = lists.iter().flat_map(|l| l.ids().to_vec()).collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -77,12 +77,14 @@ pub mod value;
 
 pub use database::Database;
 pub use error::{DbError, DbResult};
-pub use exec::{ExecOptions, Executor, IdStream, QueryAnswer};
+pub use exec::{ExecOptions, Executor, IdStream, QueryAnswer, ScoredUnion};
 pub use query::{BoolExpr, Comparison, Condition, Query, Superlative, SuperlativeKind};
 pub use record::{Record, RecordBuilder, RecordId};
 pub use schema::{AttrType, AttributeDef, Schema, SchemaBuilder};
 pub use substring::SubstringIndex;
-pub use table::{NumericColumn, PostingList, Table, TextCell, TextColumn, POSTING_BLOCK};
+pub use table::{
+    NumericColumn, PostingList, Table, TextCell, TextColumn, ValueIndex, POSTING_BLOCK,
+};
 pub use value::Value;
 
 /// Convenience re-exports for downstream crates and doctests.

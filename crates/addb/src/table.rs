@@ -92,6 +92,70 @@ impl PostingList {
     }
 }
 
+/// Per-attribute directory of distinct categorical values: interned value symbol →
+/// posting list, plus the **value directory** — every distinct value in first-seen
+/// (insertion) order with its document frequency (`postings.len()`).
+///
+/// This is the substrate of the value-ordered (WAND-style) partial scorer: a
+/// relaxed-attribute plan walks [`ValueIndex::entries`] once, scores each distinct
+/// value exactly, and then drains only the posting lists whose score can still beat
+/// the current top-k threshold — the ids of sub-threshold values are never touched.
+/// Keying by [`Sym`] keeps the equality lookup a single integer hash probe (values
+/// are normalized and interned at insert time), and the first-seen entry order makes
+/// score-tie ordering deterministic across runs.
+#[derive(Debug, Clone, Default)]
+pub struct ValueIndex {
+    /// Value symbol → slot in `entries`.
+    by_sym: HashMap<Sym, u32, intern::SymHashBuilder>,
+    /// Distinct values in first-seen order.
+    entries: Vec<(Sym, PostingList)>,
+}
+
+impl ValueIndex {
+    /// Append `id` to the posting list of `sym` (ids arrive monotonically increasing,
+    /// so lists stay sorted and their block maxima current — see [`PostingList`]).
+    fn push(&mut self, sym: Sym, id: RecordId) {
+        let slot = match self.by_sym.get(&sym) {
+            Some(&slot) => slot as usize,
+            None => {
+                let slot = self.entries.len();
+                self.by_sym.insert(sym, slot as u32);
+                self.entries.push((sym, PostingList::default()));
+                slot
+            }
+        };
+        self.entries[slot].1.push(id);
+    }
+
+    /// Posting list of one value, `None` when the value never occurs in the column.
+    pub fn get(&self, sym: Sym) -> Option<&PostingList> {
+        self.by_sym
+            .get(&sym)
+            .map(|&slot| &self.entries[slot as usize].1)
+    }
+
+    /// The value directory: every distinct value with its posting list, in first-seen
+    /// order. Document frequency of a value is `postings.len()`.
+    pub fn entries(&self) -> impl Iterator<Item = (Sym, &PostingList)> {
+        self.entries.iter().map(|(sym, list)| (*sym, list))
+    }
+
+    /// How many records carry `sym` in this column (0 when the value never occurs).
+    pub fn doc_frequency(&self, sym: Sym) -> usize {
+        self.get(sym).map_or(0, PostingList::len)
+    }
+
+    /// Number of distinct values in the column.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the column holds no values at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Interned form of one categorical cell, computed once at insert time.
 #[derive(Debug, Clone)]
 pub struct TextCell {
@@ -156,10 +220,10 @@ pub struct Table {
     /// mutation happened in between, so the entry can never be served stale.
     generation: u64,
     records: Vec<Arc<Record>>,
-    /// attribute -> text value -> block-max posting list (Type I).
-    primary: HashMap<String, HashMap<String, PostingList>>,
-    /// attribute -> text value -> block-max posting list (Type II).
-    secondary: HashMap<String, HashMap<String, PostingList>>,
+    /// attribute -> value directory + sym-keyed block-max posting lists (Type I).
+    primary: HashMap<String, ValueIndex>,
+    /// attribute -> value directory + sym-keyed block-max posting lists (Type II).
+    secondary: HashMap<String, ValueIndex>,
     /// attribute -> (value, record id) sorted by value (Type III).
     numeric: HashMap<String, Vec<(f64, RecordId)>>,
     /// attribute -> interned cells by record id (Type I and Type II).
@@ -180,11 +244,11 @@ impl Table {
         for attr in schema.attributes() {
             match attr.attr_type {
                 AttrType::TypeI => {
-                    primary.insert(attr.name.clone(), HashMap::new());
+                    primary.insert(attr.name.clone(), ValueIndex::default());
                     text_cols.insert(attr.name.clone(), TextColumn::default());
                 }
                 AttrType::TypeII => {
-                    secondary.insert(attr.name.clone(), HashMap::new());
+                    secondary.insert(attr.name.clone(), ValueIndex::default());
                     text_cols.insert(attr.name.clone(), TextColumn::default());
                 }
                 AttrType::TypeIII => {
@@ -288,8 +352,9 @@ impl Table {
                     if let Some(index) = target {
                         // `id` is monotonically increasing, so posting lists stay
                         // sorted ascending (and their block maxima current) without an
-                        // explicit sort.
-                        index.entry(text.clone()).or_default().push(id);
+                        // explicit sort. Values were normalized by `Value::text`, so
+                        // this symbol is exactly the one the text columns store.
+                        index.push(intern::intern(text), id);
                     }
                 }
                 Value::Number(n) => {
@@ -368,11 +433,20 @@ impl Table {
     /// sorted ascending plus block-max skip metadata. `None` when the attribute has no
     /// index entry for the value.
     pub fn posting_list(&self, attribute: &str, value: &str) -> Option<&PostingList> {
-        let value = crate::value::normalize_text(value);
+        // A value whose normalized form was never interned anywhere in the process
+        // cannot occur in any column, so the lookup can fail fast without allocating
+        // a map key.
+        let sym = intern::lookup(&crate::value::normalize_text(value))?;
+        self.value_index(attribute).and_then(|index| index.get(sym))
+    }
+
+    /// The value directory of a categorical attribute (Type I / Type II): every
+    /// distinct value with its posting list and document frequency. `None` for
+    /// numeric or unknown attributes.
+    pub fn value_index(&self, attribute: &str) -> Option<&ValueIndex> {
         self.primary
             .get(attribute)
             .or_else(|| self.secondary.get(attribute))
-            .and_then(|m| m.get(&value))
     }
 
     /// How many records hold numeric `attribute` in `[low, high]` — two binary
@@ -648,6 +722,34 @@ mod tests {
         let rebuilt = PostingList::from_sorted(blue.ids().to_vec());
         assert_eq!(rebuilt.block_max(), blue.block_max());
         assert!(PostingList::from_sorted(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn value_index_tracks_directory_order_and_doc_frequencies() {
+        let t = sample_table();
+        let makes = t.value_index("make").unwrap();
+        // First-seen order: honda (id 0), toyota (id 2), ford (id 3).
+        let names: Vec<String> = makes
+            .entries()
+            .map(|(sym, _)| intern::resolve(sym))
+            .collect();
+        assert_eq!(names, vec!["honda", "toyota", "ford"]);
+        assert_eq!(makes.len(), 3);
+        assert!(!makes.is_empty());
+        // Doc frequencies match the posting lists, which match lookup_eq.
+        for (sym, list) in makes.entries() {
+            assert_eq!(makes.doc_frequency(sym), list.len());
+            let value = intern::resolve(sym);
+            assert_eq!(t.lookup_eq("make", &value), list.ids().to_vec());
+        }
+        assert_eq!(makes.doc_frequency(intern::intern("nonexistent-make")), 0);
+        // Secondary (Type II) attributes carry a directory too; numeric ones do not.
+        assert!(t.value_index("color").is_some());
+        assert!(t.value_index("price").is_none());
+        assert!(t.value_index("wheels").is_none());
+        // An empty table has an empty (but present) directory per text attribute.
+        let empty = Table::new(car_schema());
+        assert!(empty.value_index("make").unwrap().is_empty());
     }
 
     #[test]

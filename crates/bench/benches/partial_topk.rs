@@ -163,6 +163,7 @@ fn bench(c: &mut Criterion) {
         );
         let json = serde_json::json!({
             "bench": "partial_topk",
+            "hardware_threads": std::thread::available_parallelism().map(usize::from).unwrap_or(1),
             "records": workload.table.len(),
             "questions": workload.questions.len(),
             "budget": BUDGET,

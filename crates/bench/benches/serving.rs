@@ -280,6 +280,7 @@ fn bench(c: &mut Criterion) {
         });
         let json = serde_json::json!({
             "bench": "serving",
+            "hardware_threads": std::thread::available_parallelism().map(usize::from).unwrap_or(1),
             "records": sys.database().total_records(),
             "distinct_questions": workload.questions.len(),
             "burst_len": repeated.len(),

@@ -1,0 +1,368 @@
+//! Tentpole bench for PR 4: value-ordered (WAND-style) threshold-pruned partial
+//! scoring vs the frozen PR 2 exhaustive engine
+//! (`PartialMatchOptions::pr2_exhaustive`).
+//!
+//! Two ~100k-record tables share one schema and question set but differ in the
+//! **value distribution of the relaxed column**:
+//!
+//! * **skewed** — model values drawn Zipf-style (value `k` with weight `1/(k+1)`):
+//!   the TI-related values the questions probe sit on large posting lists, so the
+//!   top-k threshold saturates after a handful of value runs and the long tail of
+//!   sub-threshold values is never scanned. This is the distribution real ad
+//!   inventories follow and where WAND pruning pays.
+//! * **uniform** — the same distinct values spread evenly: every posting list is the
+//!   same size, the worst case for pruning (the threshold still cuts the scan after
+//!   the budget saturates, but no single value fills it quickly).
+//!
+//! The question mix covers the traversal's three shapes: single-condition questions
+//! (the direct similarity scan collapses to pruned posting-list draining),
+//! conjunctive questions (per-value streams leapfrog the remaining conditions) and
+//! numeric-boundary questions (whose numeric relaxation falls back to the exhaustive
+//! scan, keeping the comparison honest). Answers of both engines are asserted
+//! byte-identical before anything is timed; medians and speedups land in
+//! `BENCH_wand_topk.json` at the workspace root (skipped in `--test` smoke mode).
+
+use addb::{Executor, Record, RecordId, Schema, Table};
+use cqads::tagging::Tagger;
+use cqads::translate::{interpret, Interpretation};
+use cqads::{
+    DomainSpec, PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher,
+    SimilarityModel,
+};
+use cqads_querylog::TIMatrix;
+use cqads_wordsim::WordSimMatrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TABLE_SIZE: usize = 100_000;
+const BUDGET: usize = 30;
+const MAKES: usize = 12;
+const MODELS: usize = 300;
+const COLORS: usize = 24;
+
+/// Deterministic xorshift so both distributions are reproducible without a rand dep.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn uniform(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn make_name(i: usize) -> String {
+    format!("zeta{i}")
+}
+
+fn model_name(i: usize) -> String {
+    format!("karma{i}")
+}
+
+fn color_name(i: usize) -> String {
+    format!("teal{i}")
+}
+
+fn schema() -> Schema {
+    Schema::builder("ads")
+        .type1("make")
+        .type1("model")
+        .type2("color")
+        .type3("price", 500.0, 120_000.0, Some("usd"))
+        .build()
+        .unwrap()
+}
+
+fn spec() -> DomainSpec {
+    let mut spec = DomainSpec::new(schema());
+    for i in 0..MAKES {
+        spec.add_type1_value("make", &make_name(i));
+    }
+    for i in 0..MODELS {
+        spec.add_type1_value("model", &model_name(i));
+    }
+    for i in 0..COLORS {
+        spec.add_type2_value("color", &color_name(i));
+    }
+    spec.add_type3_keyword("price", "dollars");
+    spec.set_price_attribute("price");
+    spec
+}
+
+/// Zipf-ish cumulative weights over `n` values (weight of value `k` is `1/(k+1)`).
+fn zipf_cdf(n: usize) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf = Vec::with_capacity(n);
+    for k in 0..n {
+        acc += 1.0 / (k + 1) as f64;
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+fn build_table(rows: usize, skewed: bool, seed: u64) -> Table {
+    let mut table = Table::new(schema());
+    let mut rng = Rng(seed | 1);
+    let model_cdf = zipf_cdf(MODELS);
+    let color_cdf = zipf_cdf(COLORS);
+    let pick = |cdf: &[f64], rng: &mut Rng| -> usize {
+        let u = rng.f64();
+        cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+    };
+    for _ in 0..rows {
+        let model = if skewed {
+            pick(&model_cdf, &mut rng)
+        } else {
+            rng.uniform(MODELS)
+        };
+        let color = if skewed {
+            pick(&color_cdf, &mut rng)
+        } else {
+            rng.uniform(COLORS)
+        };
+        table
+            .insert(
+                Record::builder()
+                    .text("make", make_name(rng.uniform(MAKES)))
+                    .text("model", model_name(model))
+                    .text("color", color_name(color))
+                    .number("price", 500.0 + rng.f64() * 119_500.0)
+                    .build(),
+            )
+            .unwrap();
+    }
+    table
+}
+
+/// TI/WS matrices relating the question values to a spread of others, so the value
+/// orders contain genuinely graded similarities (a dozen related values per probe,
+/// everything else at zero).
+fn similarity_model(spec: &DomainSpec) -> SimilarityModel {
+    let mut ti = TIMatrix::default();
+    for &q in QUESTION_MODELS {
+        for step in 1..=12usize {
+            let other = (q + step * 7) % MODELS;
+            let weight = 4.8 - 0.35 * step as f64;
+            ti.insert(&model_name(q), &model_name(other), weight.max(0.1));
+        }
+    }
+    for a in 0..MAKES {
+        ti.insert(&make_name(a), &make_name((a + 1) % MAKES), 2.0);
+    }
+    let mut ws = WordSimMatrix::default();
+    for c in 0..COLORS {
+        ws.insert(&color_name(c), &color_name((c + 1) % COLORS), 0.8);
+        ws.insert(&color_name(c), &color_name((c + 2) % COLORS), 0.4);
+    }
+    SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone())
+}
+
+/// Models the questions probe: spread across the skew so posting-list sizes differ.
+const QUESTION_MODELS: &[usize] = &[0, 1, 3, 9, 40, 120, 250];
+
+struct Workload {
+    spec: DomainSpec,
+    sim: SimilarityModel,
+    table: Table,
+    questions: Vec<(Interpretation, HashSet<RecordId>)>,
+}
+
+fn build_workload(rows: usize, skewed: bool) -> Workload {
+    let spec = spec();
+    let table = build_table(rows, skewed, 0x5EED_1234);
+    let sim = similarity_model(&spec);
+    let tagger = Tagger::new(&spec);
+    let executor = Executor::new(&table);
+    let mut texts = Vec::new();
+    for &m in QUESTION_MODELS {
+        // Single condition: the direct similarity scan, WAND's marquee case.
+        texts.push(model_name(m));
+        // Two equality conditions: per-value streams leapfrog the make conjunction.
+        texts.push(format!("{} {}", make_name(m % MAKES), model_name(m)));
+        // Color + model: Type II relaxation scores through the WS matrix.
+        texts.push(format!("{} {}", color_name(m % COLORS), model_name(m)));
+        // Numeric boundary: the price relaxation takes the exhaustive fallback.
+        texts.push(format!(
+            "{} {} under 60000 dollars",
+            make_name((m + 3) % MAKES),
+            model_name(m)
+        ));
+    }
+    let mut questions = Vec::new();
+    for text in &texts {
+        let interp = interpret(&tagger.tag(text), &spec)
+            .unwrap_or_else(|e| panic!("question {text:?} failed to interpret: {e:?}"));
+        let exact: HashSet<RecordId> = interp
+            .to_query_with_limit(&spec, BUDGET)
+            .ok()
+            .and_then(|q| executor.execute(&q).ok())
+            .map(|answers| answers.into_iter().map(|a| a.id).collect())
+            .unwrap_or_default();
+        questions.push((interp, exact));
+    }
+    assert!(questions.len() >= 20, "workload too small");
+    Workload {
+        spec,
+        sim,
+        table,
+        questions,
+    }
+}
+
+fn matcher_with<'a>(workload: &'a Workload, options: PartialMatchOptions) -> PartialMatcher<'a> {
+    PartialMatcher::with_options(&workload.spec, &workload.sim, options)
+}
+
+fn run_all(matcher: &PartialMatcher<'_>, workload: &Workload) -> Vec<Vec<PartialAnswer>> {
+    let requests: Vec<PartialBatchRequest<'_>> = workload
+        .questions
+        .iter()
+        .map(|(interp, exact)| PartialBatchRequest {
+            interpretation: interp,
+            exclude: exact,
+            budget: BUDGET,
+        })
+        .collect();
+    matcher
+        .partial_answers_batch(&requests, &workload.table)
+        .expect("partial matching succeeds")
+}
+
+fn assert_identical(a: &[Vec<PartialAnswer>], b: &[Vec<PartialAnswer>], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: question count");
+    for (q, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.len(), y.len(), "{context}: question {q} answer count");
+        for (p, r) in x.iter().zip(y) {
+            // `bits_eq` is the shared byte-identity contract of the engine ablations.
+            assert!(p.bits_eq(r), "{context}: question {q}: {p:?} != {r:?}");
+        }
+    }
+}
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
+}
+
+fn time_median(iterations: usize, mut pass: impl FnMut()) -> f64 {
+    pass(); // warmup
+    let samples: Vec<f64> = (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    median_secs(samples)
+}
+
+fn bench(c: &mut Criterion) {
+    let test_mode = c.is_test_mode();
+    let rows = if test_mode { 5_000 } else { TABLE_SIZE };
+    let skewed = build_workload(rows, true);
+    let uniform = build_workload(rows, false);
+
+    let wand_opts = PartialMatchOptions {
+        workers: 1,
+        ..PartialMatchOptions::default()
+    };
+    let exhaustive_opts = PartialMatchOptions {
+        workers: 1,
+        pr2_exhaustive: true,
+        ..PartialMatchOptions::default()
+    };
+
+    // Byte-identity of the pruned traversal is a precondition of the measurement.
+    for (name, workload) in [("skewed", &skewed), ("uniform", &uniform)] {
+        let wand = run_all(&matcher_with(workload, wand_opts), workload);
+        let exhaustive = run_all(&matcher_with(workload, exhaustive_opts), workload);
+        assert_identical(&wand, &exhaustive, name);
+    }
+
+    if !test_mode {
+        let iterations = 7usize;
+        let mut stats = Vec::new();
+        for (name, workload) in [("skewed", &skewed), ("uniform", &uniform)] {
+            let wand = matcher_with(workload, wand_opts);
+            let exhaustive = matcher_with(workload, exhaustive_opts);
+            let wand_secs = time_median(iterations, || {
+                std::hint::black_box(run_all(&wand, workload));
+            });
+            let exhaustive_secs = time_median(iterations, || {
+                std::hint::black_box(run_all(&exhaustive, workload));
+            });
+            println!(
+                "wand_topk[{name}]: {} records, {} questions: exhaustive {:.2} ms/pass, \
+                 wand {:.2} ms/pass ({:.1}x)",
+                workload.table.len(),
+                workload.questions.len(),
+                exhaustive_secs * 1e3,
+                wand_secs * 1e3,
+                exhaustive_secs / wand_secs,
+            );
+            stats.push((name, wand_secs, exhaustive_secs));
+        }
+        let json_for = |&(name, wand, exhaustive): &(&str, f64, f64)| {
+            (
+                name.to_string(),
+                serde_json::json!({
+                    "exhaustive_ms_per_pass": exhaustive * 1e3,
+                    "wand_ms_per_pass": wand * 1e3,
+                    "speedup": exhaustive / wand,
+                }),
+            )
+        };
+        let json = serde_json::json!({
+            "bench": "wand_topk",
+            "records": skewed.table.len(),
+            "questions": skewed.questions.len(),
+            "budget": BUDGET,
+            "distinct_models": MODELS,
+            "iterations": iterations,
+            "hardware_threads": std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+            "skewed": json_for(&stats[0]).1,
+            "uniform": json_for(&stats[1]).1,
+        });
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wand_topk.json");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&json).expect("serializable"),
+        )
+        .expect("write BENCH_wand_topk.json");
+        println!("wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("wand_topk");
+    group.sample_size(10);
+    for (name, workload) in [("skewed", &skewed), ("uniform", &uniform)] {
+        let wand = matcher_with(workload, wand_opts);
+        let exhaustive = matcher_with(workload, exhaustive_opts);
+        group.bench_function(format!("{name}_exhaustive"), |b| {
+            b.iter(|| std::hint::black_box(run_all(&exhaustive, workload)))
+        });
+        group.bench_function(format!("{name}_wand"), |b| {
+            b.iter(|| std::hint::black_box(run_all(&wand, workload)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

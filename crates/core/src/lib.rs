@@ -62,7 +62,8 @@ pub use identifiers::{BoundaryOp, Tag};
 pub use partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
 pub use pipeline::{Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, MatchKind};
 pub use ranking::{
-    boundary_matches, CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel,
+    boundary_matches, CompiledProbe, ProbeScorer, ScoredValue, SimilarityMeasure, SimilarityModel,
+    ValueOrder,
 };
 pub use tagging::{TaggedQuestion, TaggedToken, Tagger};
 pub use translate::{ConditionSketch, Interpretation};

@@ -9,7 +9,7 @@
 //!
 //! # Execution model and complexity
 //!
-//! The default engine is **index-driven and bounded**:
+//! The default engine is **index-driven, bounded and value-ordered**:
 //!
 //! * Each relaxation executes through [`Executor::execute_stream`], a lazy sorted-merge
 //!   over index posting lists — candidate ids arrive one at a time and no per-relaxation
@@ -22,13 +22,62 @@
 //!   dedup (lazy deletion). Memory is `O(budget)` and the final ordering costs
 //!   `O(budget · log budget)`, independent of table size — the original pipeline held a
 //!   HashMap over *every* candidate and globally sorted it.
+//! * Categorical relaxations traverse the relaxed column **value by value in
+//!   descending similarity order** with threshold pruning — WAND-style — instead of
+//!   scoring every candidate (next section).
 //!
 //! For a question with `k` relaxations whose candidate streams total `C` ids, the
 //! engine runs in `O(C · (log budget + s))` time and `O(budget)` extra space, where `s`
 //! is the per-candidate scoring cost (a constant number of hash probes). The seed
 //! pipeline cost `O(C · a + D log D)` where `a` includes two string allocations
 //! (`to_lowercase` + `porter_stem`) per similarity lookup and `D ≤ C` is the number of
-//! distinct candidates, all of which were buffered and sorted.
+//! distinct candidates, all of which were buffered and sorted. Value-ordered pruning
+//! reduces the `C` that is ever visited: only the candidates of values whose score can
+//! still enter the top-k are streamed at all.
+//!
+//! # Value-ordered (WAND-style) traversal and the upper-bound contract
+//!
+//! A relaxed categorical condition scores a candidate as `(N−1) + sim(T, V)` where `V`
+//! is the candidate's value for the relaxed attribute — the score depends **only on
+//! `V`**, never on the rest of the record. The engine exploits this:
+//!
+//! 1. [`CompiledProbe::value_order`](crate::ranking::CompiledProbe::value_order) walks
+//!    the column's value directory ([`addb::ValueIndex`]) once and scores every
+//!    distinct value **exactly**, sorting descending. The per-value similarity is
+//!    therefore a *tight upper bound*: every record carrying `v` scores exactly
+//!    `(N−1) + sim(v)`, bit for bit.
+//! 2. The traversal visits values best-first. Before each run of equal-similarity
+//!    values it asks the heap whether `(N−1) + sim` can still beat the current worst
+//!    live entry ([`TopK::can_beat`]). Because later values bound lower and the worst
+//!    live score of a full heap never decreases, a failed check ends the relaxation:
+//!    the posting lists of all remaining values — and the zero-similarity residual —
+//!    are **never opened**.
+//! 3. A surviving single value drains `rest ∩ postings(v)` through the galloping
+//!    intersection; an equal-similarity run merges its posting lists with one
+//!    [`ScoredUnion`] and leapfrogs it against `rest` in a single pass. `rest` is the
+//!    stream of the remaining `N−1` conditions (the whole table for single-condition
+//!    questions, whose O(table) similarity scan collapses to the same pruned
+//!    traversal).
+//! 4. The residual pass (zero-similarity values plus records missing the attribute,
+//!    all scoring exactly `N−1`) runs only when the threshold still admits a zero
+//!    similarity, as the plain exhaustive scan.
+//!
+//! **Why pruning is lossless (byte-identical answers).** The final heap content is
+//! invariant under the order in which `(id, score)` pairs are offered within one
+//! relaxation: scores are per-value constants, the `(rank_sim desc, id asc)` order is
+//! total, and per-record dedup across relaxations keeps the first relaxation achieving
+//! the record's best score — which only depends on relaxations being visited in `skip`
+//! order, preserved here. A pruned offer is one that scores strictly below the current
+//! worst of a *full* heap; since that worst never decreases, the offer would be
+//! rejected now and at every later point, so skipping it changes nothing. The residual
+//! pass may re-offer ids already offered by a value run at the same score; an equal
+//! re-offer is provably a no-op ([`TopK::offer`] updates only on strict improvement,
+//! and an evicted or rejected entry stays below the monotone threshold). The same
+//! holds per worker in the sharded fan-out — each worker's private heap prunes against
+//! its own (lower, hence still admissible) threshold. The `wand_topk` bench and the
+//! equivalence tests assert byte-identity against the frozen PR 2 engine
+//! ([`PartialMatchOptions::pr2_exhaustive`]) across skewed and uniform value
+//! distributions.
 //!
 //! When the index-driven pass cannot fill the budget (sparse data: every relaxation
 //! collapses to the already-returned exact answers), both engines fall back to a
@@ -80,9 +129,9 @@
 
 use crate::domain::DomainSpec;
 use crate::error::CqadsResult;
-use crate::ranking::{CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel};
+use crate::ranking::{CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel, ValueOrder};
 use crate::translate::Interpretation;
-use addb::{ExecOptions, Executor, Query, RecordId, Table};
+use addb::{ExecOptions, Executor, IdStream, PostingList, Query, RecordId, ScoredUnion, Table};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::ops::Range;
@@ -107,6 +156,19 @@ pub struct PartialAnswer {
     pub relaxed_condition: usize,
 }
 
+impl PartialAnswer {
+    /// Bit-exact equality (`rank_sim` compared by its float bits, every other field
+    /// by value). This is the *byte-identical answers* contract every engine
+    /// ablation (`full_scan`, `pr1_baseline`, `pr2_exhaustive`, worker counts) is
+    /// held to — the single definition the equivalence tests and benches share.
+    pub fn bits_eq(&self, other: &PartialAnswer) -> bool {
+        self.id == other.id
+            && self.rank_sim.to_bits() == other.rank_sim.to_bits()
+            && self.measure == other.measure
+            && self.relaxed_condition == other.relaxed_condition
+    }
+}
+
 /// Engine selection for [`PartialMatcher`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PartialMatchOptions {
@@ -126,6 +188,12 @@ pub struct PartialMatchOptions {
     /// exclusion checks and un-memoized per-candidate scoring. The frozen baseline
     /// the `parallel_topk` bench measures against; results are identical either way.
     pub pr1_baseline: bool,
+    /// Disable the value-ordered (WAND-style) pruned traversal and score every
+    /// candidate of every relaxation stream exhaustively — the engine exactly as
+    /// PR 2 shipped it, frozen as the baseline the `wand_topk` bench measures
+    /// against. Answers are byte-identical either way (pruning is lossless; see the
+    /// module docs).
+    pub pr2_exhaustive: bool,
 }
 
 /// Runs the N−1 strategy for one domain.
@@ -254,45 +322,109 @@ impl<'a> PartialMatcher<'a> {
             for (prep, topk) in prepared.iter().zip(heaps.iter_mut()) {
                 match &prep.kind {
                     PreparedKind::Inert => {}
-                    PreparedKind::Single(probe) => {
-                        // Single-condition question: apply similarity matching
-                        // directly over the table (Section 4.3.1, last paragraph).
-                        // Inherently O(table), but scoring is allocation-free,
-                        // ranking memory stays O(budget) and the scan shards across
-                        // workers like every other pass.
-                        let mut scorer = ProbeScorer::new(probe);
-                        for id in shard.clone().map(RecordId) {
-                            if prep.excluded(id) {
-                                continue;
-                            }
-                            let (score, measure) = scorer.rank_sim(prep.n, id);
-                            topk.offer(id, score, measure, 0);
+                    PreparedKind::Single { probe, values } => match values {
+                        // Value-ordered traversal: the "rest of the conditions" of a
+                        // single-condition question is the whole table, so each
+                        // value's posting list drains directly — the O(table) scan
+                        // collapses to the few posting lists whose similarity can
+                        // still beat the threshold.
+                        Some(order) => {
+                            let len = table.len() as u32;
+                            wand_relaxation(
+                                prep,
+                                topk,
+                                &shard,
+                                whole_table,
+                                order,
+                                probe,
+                                0,
+                                || Some(IdStream::All(0..len)),
+                            );
                         }
-                    }
-                    PreparedKind::Multi(plans) => {
-                        for plan in plans {
-                            let stream = match executor.execute_stream(&plan.query) {
-                                Ok(s) => s,
-                                Err(_) => continue,
-                            };
-                            // One galloping seek enters the worker's shard; the
-                            // sequential (single-shard) case skips the wrapper.
-                            let stream = if whole_table {
-                                stream
-                            } else {
-                                stream.restrict(shard.clone())
-                            };
-                            let mut scorer = ProbeScorer::new(&plan.probe);
-                            // `for_each` funnels through the stream's specialized
-                            // `fold`: posting-list tails, flattened intersections and
-                            // wide-range filters run as tight slice/range loops.
-                            stream.for_each(|id| {
+                        // Exhaustive (PR 2) scan: apply similarity matching directly
+                        // over the table (Section 4.3.1, last paragraph). Inherently
+                        // O(table), but scoring is allocation-free, ranking memory
+                        // stays O(budget) and the scan shards across workers like
+                        // every other pass.
+                        None => {
+                            let mut scorer = ProbeScorer::new(probe);
+                            for id in shard.clone().map(RecordId) {
                                 if prep.excluded(id) {
-                                    return;
+                                    continue;
                                 }
                                 let (score, measure) = scorer.rank_sim(prep.n, id);
-                                topk.offer(id, score, measure, plan.skip);
-                            });
+                                topk.offer(id, score, measure, 0);
+                            }
+                        }
+                    },
+                    PreparedKind::Multi(plans) => {
+                        for plan in plans {
+                            match &plan.values {
+                                Some(order) => {
+                                    // Superlative queries re-apply their superlative
+                                    // filter on every stream construction, so
+                                    // materialize the relaxation's candidate set once
+                                    // per worker. The sharded fan-out materializes
+                                    // too (restricted to the worker's shard, so the
+                                    // summed cost is one full pass): per-value-run
+                                    // re-planning would otherwise multiply by the
+                                    // worker count. The sequential engine keeps the
+                                    // lazy form — construction borrows posting lists
+                                    // and only the runs actually drained pay it.
+                                    let cached: Option<Option<PostingList>> =
+                                        (plan.materialize_rest || !whole_table).then(|| {
+                                            executor.execute_stream(&plan.query).ok().map(|s| {
+                                                let s = if whole_table {
+                                                    s
+                                                } else {
+                                                    s.restrict(shard.clone())
+                                                };
+                                                PostingList::from_sorted(s.collect())
+                                            })
+                                        });
+                                    let make_rest = || match &cached {
+                                        Some(Some(list)) => Some(IdStream::postings(list)),
+                                        Some(None) => None,
+                                        None => executor.execute_stream(&plan.query).ok(),
+                                    };
+                                    wand_relaxation(
+                                        prep,
+                                        topk,
+                                        &shard,
+                                        whole_table,
+                                        order,
+                                        &plan.probe,
+                                        plan.skip,
+                                        make_rest,
+                                    );
+                                }
+                                None => {
+                                    let stream = match executor.execute_stream(&plan.query) {
+                                        Ok(s) => s,
+                                        Err(_) => continue,
+                                    };
+                                    // One galloping seek enters the worker's shard;
+                                    // the sequential (single-shard) case skips the
+                                    // wrapper.
+                                    let stream = if whole_table {
+                                        stream
+                                    } else {
+                                        stream.restrict(shard.clone())
+                                    };
+                                    let mut scorer = ProbeScorer::new(&plan.probe);
+                                    // `for_each` funnels through the stream's
+                                    // specialized `fold`: posting-list tails,
+                                    // flattened intersections and wide-range filters
+                                    // run as tight slice/range loops.
+                                    stream.for_each(|id| {
+                                        if prep.excluded(id) {
+                                            return;
+                                        }
+                                        let (score, measure) = scorer.rank_sim(prep.n, id);
+                                        topk.offer(id, score, measure, plan.skip);
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -351,11 +483,24 @@ impl<'a> PartialMatcher<'a> {
         let sketches = interpretation.all_sketches();
         let mut exclude_sorted: Vec<RecordId> = request.exclude.iter().copied().collect();
         exclude_sorted.sort_unstable();
+        // Value orders power the WAND traversal; the PR 2 ablation never builds them
+        // (`None` routes every relaxation through the exhaustive scan).
+        let value_order = |probe: &CompiledProbe<'m>| {
+            if self.options.pr2_exhaustive {
+                None
+            } else {
+                probe.value_order()
+            }
+        };
         let kind = if request.budget == 0 || interpretation.is_empty() {
             PreparedKind::Inert
         } else if sketches.len() <= 1 {
             match sketches.first() {
-                Some(sketch) => PreparedKind::Single(self.similarity.compile(sketch, table)),
+                Some(sketch) => {
+                    let probe = self.similarity.compile(sketch, table);
+                    let values = value_order(&probe);
+                    PreparedKind::Single { probe, values }
+                }
                 None => PreparedKind::Inert,
             }
         } else {
@@ -368,10 +513,15 @@ impl<'a> PartialMatcher<'a> {
                     .enumerate()
                     .filter_map(|(skip, relaxed)| {
                         let query = interpretation.to_query_excluding(self.spec, skip).ok()?;
+                        let probe = self.similarity.compile(relaxed, table);
+                        let values = value_order(&probe);
+                        let materialize_rest = !query.superlatives.is_empty();
                         Some(RelaxationPlan {
                             skip,
                             query,
-                            probe: self.similarity.compile(relaxed, table),
+                            probe,
+                            values,
+                            materialize_rest,
                         })
                     })
                     .collect(),
@@ -617,14 +767,176 @@ fn degree_of_match(
     }
 }
 
-/// One relaxation, fully planned: the query with the condition removed and the
-/// compiled probe that scores the removed condition. Built once per question and
-/// shared read-only across all workers (both members are `Sync`).
+/// The value-ordered (WAND-style) traversal of one relaxation.
+///
+/// Values of the relaxed column are visited in descending exact-similarity order
+/// ([`ValueOrder`]); before each run of equal-similarity values the current top-k
+/// threshold is consulted ([`TopK::can_beat`]) and, because every later value (and
+/// the zero-similarity residual) bounds at most the current similarity, a failed
+/// check ends the whole relaxation — the posting lists of sub-threshold values are
+/// never opened. A run of one value drains `rest ∩ postings(v)` through the
+/// galloping/flattening machinery; a longer run (score ties) merges its posting
+/// lists with a [`ScoredUnion`] and leapfrogs it against `rest` inside the worker's
+/// shard. The residual pass — zero-similarity values plus records missing the
+/// attribute — is the plain exhaustive scan; any id it re-offers was already offered
+/// at the same score, which the top-k provably ignores (see the module docs).
+///
+/// `make_rest` produces the candidate stream of the remaining conditions (the whole
+/// table for single-condition questions); it is called once per drained run, so
+/// pruned runs never pay for stream construction. `None` means the relaxation's
+/// query cannot execute — the relaxation is skipped, exactly like the exhaustive
+/// engine's `continue`.
+#[allow(clippy::too_many_arguments)]
+fn wand_relaxation<'s>(
+    prep: &PreparedQuestion<'_>,
+    topk: &mut TopK,
+    shard: &Range<u32>,
+    whole_table: bool,
+    order: &ValueOrder<'s>,
+    probe: &CompiledProbe<'_>,
+    skip: usize,
+    mut make_rest: impl FnMut() -> Option<IdStream<'s>>,
+) {
+    let base = (prep.n.saturating_sub(1)) as f64;
+    let entries = order.entries();
+    let measure = order.measure();
+    let mut i = 0;
+    while i < order.positive_len() {
+        let sim = entries[i].sim;
+        if !topk.can_beat(base + sim) {
+            // Every remaining value scores <= sim, and the residual scores exactly
+            // `base`: nothing below this point can enter the heap. Lossless stop.
+            return;
+        }
+        let score = base + sim;
+        let mut j = i + 1;
+        while j < order.positive_len() && entries[j].sim == sim {
+            j += 1;
+        }
+        let Some(rest) = make_rest() else { return };
+        if j - i == 1 {
+            let stream = rest.intersect(IdStream::postings(entries[i].postings));
+            let mut stream = if whole_table {
+                stream
+            } else {
+                stream.restrict(shard.clone())
+            };
+            // A run yields ascending ids at one constant score, so the drain can
+            // stop as soon as the heap proves no later id of the run can enter —
+            // this caps an exact-match mega value at ~budget visited ids.
+            for id in stream.by_ref() {
+                if !prep.excluded(id) {
+                    topk.offer(id, score, measure, skip);
+                }
+                if !topk.ascending_run_alive(score, id) {
+                    break;
+                }
+            }
+        } else {
+            // Equal-similarity run: one union, one pass over `rest`.
+            let mut union = ScoredUnion::new(
+                entries[i..j]
+                    .iter()
+                    .map(|e| IdStream::postings(e.postings))
+                    .collect(),
+            );
+            let mut rest = rest;
+            drain_union(&mut union, &mut rest, shard, |id| {
+                if !prep.excluded(id) {
+                    topk.offer(id, score, measure, skip);
+                }
+                topk.ascending_run_alive(score, id)
+            });
+        }
+        i = j;
+    }
+    // Residual: zero-similarity values and records missing the attribute, all of
+    // which score exactly `base`.
+    if !topk.can_beat(base) {
+        return;
+    }
+    let Some(rest) = make_rest() else { return };
+    let mut rest = if whole_table {
+        rest
+    } else {
+        rest.restrict(shard.clone())
+    };
+    let mut scorer = ProbeScorer::new(probe);
+    // The residual is also breakable at the constant `base`: new candidates here
+    // score exactly `base` (zero similarity), and any higher-scoring id it meets is
+    // a re-offer of an already-drained (or provably-rejected) value run — a no-op
+    // either way. Once `base` can no longer enter, nothing downstream can change.
+    for id in rest.by_ref() {
+        if !prep.excluded(id) {
+            let (score, measure) = scorer.rank_sim(prep.n, id);
+            topk.offer(id, score, measure, skip);
+        }
+        if !topk.ascending_run_alive(base, id) {
+            break;
+        }
+    }
+}
+
+/// Leapfrog a [`ScoredUnion`] against the remaining-conditions stream inside
+/// `[shard.start, shard.end)`, calling `f` for every id present in both; `f` returns
+/// whether the drain is still worth continuing (ids arrive ascending at one constant
+/// score, so the heap can prove the tail unable to enter). `rest` is forward-only,
+/// so the last id it yielded is remembered — the union re-reaching it is a match
+/// without a second (impossible) seek.
+fn drain_union(
+    union: &mut ScoredUnion<'_>,
+    rest: &mut IdStream<'_>,
+    shard: &Range<u32>,
+    mut f: impl FnMut(RecordId) -> bool,
+) {
+    let mut target = RecordId(shard.start);
+    let mut rest_at: Option<RecordId> = None;
+    while let Some((id, _)) = union.seek_ge(target) {
+        if id.0 >= shard.end {
+            return;
+        }
+        if rest_at == Some(id) {
+            if !f(id) {
+                return;
+            }
+            target = RecordId(id.0 + 1);
+            continue;
+        }
+        match rest.seek_ge(id) {
+            None => return,
+            Some(m) => {
+                rest_at = Some(m);
+                if m == id {
+                    if !f(id) {
+                        return;
+                    }
+                    target = RecordId(id.0 + 1);
+                } else if m.0 >= shard.end {
+                    return;
+                } else {
+                    target = m;
+                }
+            }
+        }
+    }
+}
+
+/// One relaxation, fully planned: the query with the condition removed, the compiled
+/// probe that scores the removed condition, and — for categorical relaxed conditions —
+/// the value-ordered traversal plan (`None` routes the relaxation through the
+/// exhaustive scan). Built once per question and shared read-only across all workers
+/// (every member is `Sync`).
 #[derive(Debug)]
 struct RelaxationPlan<'m> {
     skip: usize,
     query: Query,
     probe: CompiledProbe<'m>,
+    /// Distinct values of the relaxed column, scored exactly and sorted descending.
+    values: Option<ValueOrder<'m>>,
+    /// Materialize the relaxation's candidate stream once per worker instead of
+    /// re-planning it per drained value run (set for superlative queries, whose
+    /// stream construction re-applies the superlative filter every time).
+    materialize_rest: bool,
 }
 
 /// One question of a [`PartialMatcher::partial_answers_batch`] call.
@@ -650,8 +962,12 @@ struct PreparedQuestion<'m> {
 enum PreparedKind<'m> {
     /// Empty interpretation or zero budget: nothing to do.
     Inert,
-    /// Single-condition question: direct similarity scan with this probe.
-    Single(CompiledProbe<'m>),
+    /// Single-condition question: direct similarity matching with this probe —
+    /// value-ordered when an order exists, a full scan otherwise.
+    Single {
+        probe: CompiledProbe<'m>,
+        values: Option<ValueOrder<'m>>,
+    },
     /// N−1 relaxations over the index.
     Multi(Vec<RelaxationPlan<'m>>),
 }
@@ -809,6 +1125,40 @@ impl TopK {
 
     fn len(&self) -> usize {
         self.live.len()
+    }
+
+    /// Could a candidate scoring at most `upper` still enter the heap or improve a
+    /// live entry? `false` only when the heap is full and `upper` lies strictly below
+    /// the worst live score — an *equal* score can still win its tie-break on a
+    /// smaller record id, so equality must keep scanning. This is the threshold the
+    /// value-ordered traversal prunes on: since the worst live score never decreases,
+    /// a candidate rejected here would be rejected by [`TopK::offer`] now and at any
+    /// later point, which makes skipping it lossless.
+    fn can_beat(&self, upper: f64) -> bool {
+        match self.cached_worst {
+            None => true,
+            Some((worst, _)) => upper >= worst,
+        }
+    }
+
+    /// For a drain that yields **ascending** ids all scoring exactly `score`: after
+    /// seeing `last_id`, can any later id of the drain still enter the heap? `false`
+    /// once the heap is full and its worst live entry already beats `(score,
+    /// any id > last_id)` — i.e. the worst scores higher, or ties at an id `<=
+    /// last_id`. Every later candidate of the run then loses the `(rank_sim desc,
+    /// id asc)` tie-break against a worst that never gets worse, so it would be
+    /// rejected by [`TopK::offer`] now and forever: breaking the drain is lossless.
+    /// This is what caps a mega posting list (an exact-match value over a skewed
+    /// column) at ~`budget` visited ids instead of its full length.
+    fn ascending_run_alive(&self, score: f64, last_id: RecordId) -> bool {
+        match self.cached_worst {
+            None => true,
+            Some((worst, worst_id)) => match score.partial_cmp(&worst).unwrap_or(Ordering::Equal) {
+                Ordering::Less => false,
+                Ordering::Equal => worst_id > last_id,
+                Ordering::Greater => true,
+            },
+        }
     }
 
     fn live_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
@@ -1247,6 +1597,134 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn assert_bit_identical(a: &[PartialAnswer], b: &[PartialAnswer], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}");
+        for (x, y) in a.iter().zip(b) {
+            assert!(x.bits_eq(y), "{context}: {x:?} != {y:?}");
+        }
+    }
+
+    #[test]
+    fn wand_matches_exhaustive_engine_on_every_toy_question() {
+        let (spec, table, sim) = setup();
+        let tagger = Tagger::new(&spec);
+        let wand = PartialMatcher::new(&spec, &sim);
+        let exhaustive = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                pr2_exhaustive: true,
+                ..PartialMatchOptions::default()
+            },
+        );
+        for question in [
+            "Find Honda Accord blue less than 15,000 dollars",
+            "blue honda accord under 20000 dollars",
+            "mustang",
+            "blue toyota camry",
+            "red honda accord under 3000 dollars",
+            "cheapest blue honda",
+        ] {
+            let interp = interpret(&tagger.tag(question), &spec).unwrap();
+            // Budgets cover: all-sub-threshold pruning (1), typical (2/30) and
+            // k-larger-than-table (100).
+            for budget in [1usize, 2, 30, 100] {
+                for exclude in [
+                    HashSet::new(),
+                    [RecordId(0), RecordId(2)].into_iter().collect(),
+                ] {
+                    let a = wand
+                        .partial_answers(&interp, &table, &exclude, budget)
+                        .unwrap();
+                    let b = exhaustive
+                        .partial_answers(&interp, &table, &exclude, budget)
+                        .unwrap();
+                    assert_bit_identical(&a, &b, &format!("{question:?} budget {budget}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wand_early_stop_edge_cases_match_exhaustive() {
+        let spec = toy_car_domain();
+        let sim = {
+            let mut ti = TIMatrix::default();
+            ti.insert("accord", "camry", 4.0);
+            SimilarityModel::new(
+                Arc::new(ti),
+                Arc::new(WordSimMatrix::default()),
+                spec.schema.clone(),
+            )
+        };
+        let tagger = Tagger::new(&spec);
+        let wand = PartialMatcher::new(&spec, &sim);
+        let exhaustive = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                pr2_exhaustive: true,
+                ..PartialMatchOptions::default()
+            },
+        );
+        let compare = |table: &Table, question: &str, context: &str| {
+            let interp = interpret(&tagger.tag(question), &spec).unwrap();
+            for budget in [1usize, 30, 500] {
+                let a = wand
+                    .partial_answers(&interp, table, &HashSet::new(), budget)
+                    .unwrap();
+                let b = exhaustive
+                    .partial_answers(&interp, table, &HashSet::new(), budget)
+                    .unwrap();
+                assert_bit_identical(&a, &b, &format!("{context}: {question:?} @ {budget}"));
+            }
+        };
+
+        // Empty table: every relaxation's column directory is empty.
+        let empty = Table::new(spec.schema.clone());
+        compare(&empty, "blue honda accord", "empty table");
+        compare(&empty, "mustang", "empty table, single condition");
+
+        // Empty relaxed column: no record carries the (optional, Type II) color, so
+        // the relaxed color condition scores through the residual pass only.
+        let mut colorless = Table::new(spec.schema.clone());
+        for i in 0..5 {
+            colorless
+                .insert(
+                    Record::builder()
+                        .text("make", "honda")
+                        .text("model", "accord")
+                        .number("price", 5_000.0 + 100.0 * i as f64)
+                        .build(),
+                )
+                .unwrap();
+        }
+        compare(&colorless, "blue honda accord", "empty relaxed column");
+
+        // All-sub-threshold: with budget 1 the exact-model accords saturate the heap
+        // at sim 1.0 and every other model value must be pruned, including the
+        // zero-similarity tail.
+        let (_, table, sim2) = setup();
+        let wand2 = PartialMatcher::new(&spec, &sim2);
+        let exhaustive2 = PartialMatcher::with_options(
+            &spec,
+            &sim2,
+            PartialMatchOptions {
+                pr2_exhaustive: true,
+                ..PartialMatchOptions::default()
+            },
+        );
+        let interp = interpret(&tagger.tag("blue honda accord"), &spec).unwrap();
+        let a = wand2
+            .partial_answers(&interp, &table, &HashSet::new(), 1)
+            .unwrap();
+        let b = exhaustive2
+            .partial_answers(&interp, &table, &HashSet::new(), 1)
+            .unwrap();
+        assert_bit_identical(&a, &b, "all-sub-threshold");
+        assert_eq!(a.len(), 1);
     }
 
     #[test]

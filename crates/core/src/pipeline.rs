@@ -91,6 +91,11 @@ pub struct CqadsConfig {
     /// from the machine's available parallelism (and stays sequential on small
     /// tables); answers are byte-identical for every setting.
     pub partial_workers: usize,
+    /// Run the partial matcher's frozen PR 2 engine (exhaustive per-candidate
+    /// scoring of every relaxation stream) instead of the default value-ordered
+    /// (WAND-style) pruned traversal. Answers are byte-identical either way; the
+    /// knob exists for ablation benches and for debugging the pruning itself.
+    pub partial_exhaustive: bool,
     /// Total answer sets held by the serving cache ([`AnswerCache`]); `0` disables
     /// caching entirely (every [`CqadsSystem::answer_batch`] question recomputes).
     pub cache_capacity: usize,
@@ -106,6 +111,7 @@ impl Default for CqadsConfig {
             answer_limit: addb::DEFAULT_ANSWER_LIMIT,
             partial_threshold: addb::DEFAULT_ANSWER_LIMIT,
             partial_workers: 0,
+            partial_exhaustive: false,
             cache_capacity: 4096,
             cache_shards: 16,
         }
@@ -340,6 +346,7 @@ impl CqadsSystem {
             &runtime.similarity,
             PartialMatchOptions {
                 workers: self.config.partial_workers,
+                pr2_exhaustive: self.config.partial_exhaustive,
                 ..PartialMatchOptions::default()
             },
         )
@@ -731,7 +738,7 @@ mod tests {
             .build()
     }
 
-    fn system() -> CqadsSystem {
+    fn system_with(config: CqadsConfig) -> CqadsSystem {
         let spec = toy_car_domain();
         let mut table = Table::new(spec.schema.clone());
         table
@@ -752,12 +759,16 @@ mod tests {
         let mut ti = TIMatrix::default();
         ti.insert("accord", "camry", 4.0);
         ti.insert("accord", "focus", 2.0);
-        let mut system = CqadsSystem::new();
+        let mut system = CqadsSystem::with_config(config);
         let mut ws = WordSimMatrix::default();
         ws.insert("blue", "gold", 0.5);
         system.set_word_sim(ws);
         system.add_domain(spec, table, ti);
         system
+    }
+
+    fn system() -> CqadsSystem {
+        system_with(CqadsConfig::default())
     }
 
     #[test]
@@ -992,6 +1003,31 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b), "disabled cache must not share");
         assert_eq!(sys.cache_stats().entries, 0);
         assert_eq!(sys.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn exhaustive_partial_knob_returns_identical_answers() {
+        let wand = system();
+        let exhaustive = system_with(CqadsConfig {
+            partial_exhaustive: true,
+            ..CqadsConfig::default()
+        });
+        for question in [
+            "Find Honda Accord blue less than 5000 dollars",
+            "Do you have automatic blue cars?",
+            "cheapest honda",
+            "camry",
+        ] {
+            let a = wand.answer_in_domain(question, "cars").unwrap();
+            let b = exhaustive.answer_in_domain(question, "cars").unwrap();
+            assert_eq!(a.exact_count, b.exact_count, "{question}");
+            assert_eq!(a.answers.len(), b.answers.len(), "{question}");
+            for (x, y) in a.answers.iter().zip(&b.answers) {
+                assert_eq!(x.id, y.id, "{question}");
+                assert_eq!(x.rank_sim.to_bits(), y.rank_sim.to_bits(), "{question}");
+                assert_eq!(x.measure, y.measure, "{question}");
+            }
+        }
     }
 
     #[test]

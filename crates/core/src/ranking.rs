@@ -18,11 +18,12 @@
 
 use crate::identifiers::BoundaryOp;
 use crate::translate::ConditionSketch;
-use addb::{NumericColumn, Record, RecordId, Schema, Table, TextColumn};
+use addb::{NumericColumn, PostingList, Record, RecordId, Schema, Table, TextColumn, ValueIndex};
 use cqads_querylog::TIMatrix;
 use cqads_text::intern::{self, Sym};
 use cqads_text::porter_stem;
 use cqads_wordsim::WordSimMatrix;
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Which similarity measure produced a partial-match score — reported in the answer so
@@ -200,6 +201,7 @@ impl SimilarityModel {
                 negated,
             } => ProbeKind::Text {
                 column: table.text_column(attribute),
+                values: table.value_index(attribute),
                 // Exact-equality symbol of the question value *as written* (used by
                 // negation and by the satisfaction check, which compare raw strings).
                 raw_qsym: intern::lookup(value),
@@ -285,6 +287,7 @@ pub struct CompiledProbe<'m> {
 enum ProbeKind<'m> {
     Text {
         column: Option<&'m TextColumn>,
+        values: Option<&'m ValueIndex>,
         raw_qsym: Option<Sym>,
         qsym: Option<Sym>,
         qstems: Vec<Option<Sym>>,
@@ -308,7 +311,7 @@ struct NumericCandidate<'m> {
     range: f64,
 }
 
-impl CompiledProbe<'_> {
+impl<'m> CompiledProbe<'m> {
     /// Similarity contribution of the compiled (relaxed) condition against record
     /// `id`, with the measure that produced it — allocation-free equivalent of
     /// [`SimilarityModel::condition_similarity`].
@@ -321,6 +324,7 @@ impl CompiledProbe<'_> {
                 qstems,
                 is_type1,
                 negated,
+                ..
             } => {
                 let Some(cell) = column.and_then(|c| c.cell(id)) else {
                     return (0.0, SimilarityMeasure::None);
@@ -417,6 +421,128 @@ impl CompiledProbe<'_> {
                 held != *negated
             }
         }
+    }
+
+    /// The value-ordered scoring plan of this probe: every **distinct value** of the
+    /// probed column, scored exactly, sorted by descending similarity — the traversal
+    /// order of the WAND-style partial scorer.
+    ///
+    /// The per-value similarities double as **upper bounds** for threshold pruning,
+    /// and they are *tight*: a categorical cell's similarity depends only on its
+    /// value symbol (the stems a `Feat_Sim` probe walks are derived from that same
+    /// value), so every record carrying value `v` scores exactly `entry(v).sim` —
+    /// bit-identical to [`CompiledProbe::similarity`]. Pruning on these bounds is
+    /// therefore lossless (admissibility is asserted by the unit tests below).
+    ///
+    /// Returns `None` when value ordering cannot help and the caller should fall back
+    /// to the exhaustive per-candidate scan:
+    ///
+    /// * numeric (Type III) probes — similarity varies continuously per record, not
+    ///   per distinct value;
+    /// * negated categorical probes — every value except the excluded one scores the
+    ///   constant `1.0`, one giant tie that degenerates into the flat scan anyway.
+    ///
+    /// A probe over an attribute the table does not index yields an *empty* order
+    /// (every record is scored `(0.0, None)` by the residual pass).
+    pub fn value_order(&self) -> Option<ValueOrder<'m>> {
+        let ProbeKind::Text {
+            column,
+            values,
+            qsym,
+            qstems,
+            is_type1,
+            negated,
+            ..
+        } = &self.kind
+        else {
+            return None;
+        };
+        if *negated {
+            return None;
+        }
+        let measure = if *is_type1 {
+            SimilarityMeasure::TiSim
+        } else {
+            SimilarityMeasure::FeatSim
+        };
+        let (Some(column), Some(values)) = (column, values) else {
+            return Some(ValueOrder {
+                entries: Vec::new(),
+                positive_len: 0,
+                measure,
+            });
+        };
+        let mut entries: Vec<ScoredValue<'m>> = values
+            .entries()
+            .map(|(sym, postings)| {
+                let sim = if *is_type1 {
+                    self.model.ti.normalized_sym(*qsym, sym)
+                } else {
+                    // Every record carrying this value shares the same stems
+                    // (computed from the same normalized text at insert), so the
+                    // first posting's cell stands for the whole value.
+                    let first = postings.ids()[0];
+                    match column.cell(first) {
+                        Some(cell) => self.model.ws.value_similarity_syms(qstems, &cell.stems),
+                        None => 0.0,
+                    }
+                };
+                ScoredValue { sym, sim, postings }
+            })
+            .collect();
+        // Stable sort: equal similarities keep the directory's first-seen order, so
+        // the traversal order is deterministic across runs and worker counts.
+        entries.sort_by(|a, b| b.sim.partial_cmp(&a.sim).unwrap_or(Ordering::Equal));
+        let positive_len = entries.partition_point(|e| e.sim > 0.0);
+        Some(ValueOrder {
+            entries,
+            positive_len,
+            measure,
+        })
+    }
+}
+
+/// One distinct column value in a [`ValueOrder`]: its interned symbol, its exact
+/// similarity against the (relaxed) question value, and its posting list.
+#[derive(Debug)]
+pub struct ScoredValue<'m> {
+    /// Interned symbol of the value.
+    pub sym: Sym,
+    /// Exact similarity of the value against the question value — also the
+    /// (tight) upper bound used for threshold pruning.
+    pub sim: f64,
+    /// All records carrying the value, sorted by id with block-max metadata.
+    pub postings: &'m PostingList,
+}
+
+/// The value-ordered scoring plan of one categorical relaxed condition: the probed
+/// column's distinct values sorted by descending exact similarity (ties in first-seen
+/// directory order). Built once per question by [`CompiledProbe::value_order`] and
+/// shared read-only across the partial matcher's worker threads.
+#[derive(Debug)]
+pub struct ValueOrder<'m> {
+    entries: Vec<ScoredValue<'m>>,
+    /// Entries `[..positive_len]` have `sim > 0`; the zero-similarity tail is never
+    /// drained value-by-value (the residual scan covers it together with the records
+    /// missing the attribute, whenever the threshold still admits a zero score).
+    positive_len: usize,
+    measure: SimilarityMeasure,
+}
+
+impl<'m> ValueOrder<'m> {
+    /// The scored values, best first (full directory, including the zero tail).
+    pub fn entries(&self) -> &[ScoredValue<'m>] {
+        &self.entries
+    }
+
+    /// How many leading entries have strictly positive similarity.
+    pub fn positive_len(&self) -> usize {
+        self.positive_len
+    }
+
+    /// The similarity measure every present value of this column scores under.
+    pub fn measure(&self) -> SimilarityMeasure {
+        self.measure
     }
 }
 
@@ -655,6 +781,105 @@ mod tests {
         assert!((score - 4.0).abs() < 1e-9); // (4-1) + 1.0
         let (score_low_n, _) = m.rank_sim(2, &relaxed, &record);
         assert!(score_low_n < score);
+    }
+
+    #[test]
+    fn value_order_bounds_are_admissible_and_tight() {
+        use addb::{Record, Table};
+        let m = model();
+        let mut table = Table::new(schema());
+        for (make, model_v, color, price) in [
+            ("honda", "accord", "blue", 6_000.0),
+            ("honda", "accord", "gold", 9_000.0),
+            ("toyota", "camry", "silver", 8_000.0),
+            ("ford", "mustang", "silver", 7_000.0),
+            ("ford", "mustang", "green", 3_000.0),
+        ] {
+            table
+                .insert(
+                    Record::builder()
+                        .text("make", make)
+                        .text("model", model_v)
+                        .text("color", color)
+                        .number("price", price)
+                        .build(),
+                )
+                .unwrap();
+        }
+        let sketches = [
+            ConditionSketch::Categorical {
+                attribute: "model".into(),
+                value: "accord".into(),
+                is_type1: true,
+                negated: false,
+            },
+            ConditionSketch::Categorical {
+                attribute: "color".into(),
+                value: "blue".into(),
+                is_type1: false,
+                negated: false,
+            },
+        ];
+        for sketch in &sketches {
+            let probe = m.compile(sketch, &table);
+            let order = probe.value_order().expect("categorical probes have orders");
+            // Sorted descending, zero tail identified, all bounds in [0, 1].
+            let entries = order.entries();
+            for pair in entries.windows(2) {
+                assert!(pair[0].sim >= pair[1].sim, "order not descending");
+            }
+            for (i, e) in entries.iter().enumerate() {
+                assert!((0.0..=1.0).contains(&e.sim));
+                assert_eq!(i < order.positive_len(), e.sim > 0.0);
+                // Admissibility + tightness: the bound equals (so in particular is
+                // never below) the true similarity of every record carrying the
+                // value, bit for bit.
+                for &id in e.postings.ids() {
+                    let (sim, measure) = probe.similarity(id);
+                    assert_eq!(sim.to_bits(), e.sim.to_bits(), "bound not tight");
+                    assert_eq!(measure, order.measure());
+                }
+            }
+            // Every record is covered by exactly one value entry (columns partition
+            // their records by value).
+            let covered: usize = entries.iter().map(|e| e.postings.len()).sum();
+            assert_eq!(covered, table.len());
+        }
+
+        // Numeric probes decline value ordering but their implied cap (1.0) is
+        // admissible for every record.
+        let numeric = ConditionSketch::Numeric {
+            attribute: Some("price".into()),
+            op: BoundaryOp::Lt,
+            value: 6_500.0,
+            value2: None,
+            negated: false,
+        };
+        let probe = m.compile(&numeric, &table);
+        assert!(probe.value_order().is_none());
+        for id in 0..table.len() as u32 {
+            assert!(probe.similarity(RecordId(id)).0 <= 1.0);
+        }
+
+        // Negated categorical probes decline too (one giant 1.0-tie).
+        let negated = ConditionSketch::Categorical {
+            attribute: "color".into(),
+            value: "blue".into(),
+            is_type1: false,
+            negated: true,
+        };
+        assert!(m.compile(&negated, &table).value_order().is_none());
+
+        // A probe over an unknown attribute yields an empty order.
+        let unknown = ConditionSketch::Categorical {
+            attribute: "bodystyle".into(),
+            value: "coupe".into(),
+            is_type1: false,
+            negated: false,
+        };
+        let order = m.compile(&unknown, &table).value_order().unwrap();
+        assert!(order.entries().is_empty());
+        assert_eq!(order.positive_len(), 0);
     }
 
     #[test]

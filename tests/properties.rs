@@ -1,12 +1,18 @@
 //! Workspace-level property-based tests over the public API: arbitrary questions must
 //! never panic, and core invariants must hold for whatever the generators produce.
 
-use cqads_suite::addb::{Executor, IdStream, PostingList, RecordId};
-use cqads_suite::cqads::CqadsSystem;
-use cqads_suite::datagen::{blueprint, generate_questions, generate_table, QuestionMix};
-use cqads_suite::querylog::TIMatrix;
+use cqads_suite::addb::{Executor, IdStream, PostingList, RecordId, ScoredUnion};
+use cqads_suite::cqads::tagging::Tagger;
+use cqads_suite::cqads::translate::interpret;
+use cqads_suite::cqads::{CqadsSystem, PartialMatchOptions, PartialMatcher, SimilarityModel};
+use cqads_suite::datagen::{
+    affinity_model, blueprint, generate_questions, generate_table, topic_groups, QuestionMix,
+};
+use cqads_suite::querylog::{generate_log, LogGeneratorConfig, TIMatrix};
+use cqads_suite::wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
 use proptest::prelude::*;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 fn car_system() -> &'static CqadsSystem {
@@ -128,6 +134,119 @@ proptest! {
             .filter(|id| id.0 >= lo && id.0 < hi)
             .collect();
         prop_assert_eq!(&restricted, &expected_r);
+    }
+
+    /// The value-ordered (WAND-style) pruned traversal returns byte-identical answers
+    /// to the frozen PR 2 exhaustive engine across random tables, questions, budgets
+    /// (the pruning thresholds) and worker counts. Tables and question workloads come
+    /// from the seeded generators, so every proptest case explores a different
+    /// value distribution and relaxation mix.
+    #[test]
+    fn wand_traversal_matches_exhaustive_engine(
+        domain_idx in 0usize..3,
+        table_seed in 0u64..1_000_000,
+        question_seed in 0u64..1_000_000,
+        table_size in 20usize..180,
+        workers in 1usize..4,
+    ) {
+        let domain = ["cars", "jewellery", "furniture"][domain_idx];
+        let bp = blueprint(domain);
+        let table = generate_table(&bp, table_size, table_seed);
+        let log = generate_log(
+            &affinity_model(&bp),
+            &LogGeneratorConfig { sessions: 40, seed: table_seed ^ 0x77, ..Default::default() },
+        );
+        let ti = TIMatrix::build(&log);
+        let corpus = SyntheticCorpus::generate(
+            &topic_groups(&bp),
+            &CorpusSpec { documents: 30, ..CorpusSpec::default() },
+        );
+        let ws = WordSimMatrix::build(&corpus);
+        let spec = bp.to_spec();
+        let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+        let tagger = Tagger::new(&spec);
+
+        let wand = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions { workers, ..PartialMatchOptions::default() },
+        );
+        let exhaustive = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions { pr2_exhaustive: true, ..PartialMatchOptions::default() },
+        );
+
+        let questions = generate_questions(&bp, &table, 8, question_seed, &QuestionMix::default());
+        for q in &questions {
+            let Ok(interp) = interpret(&tagger.tag(&q.text), &spec) else { continue };
+            let exact: HashSet<RecordId> = interp
+                .to_query_with_limit(&spec, 30)
+                .ok()
+                .and_then(|query| Executor::new(&table).execute(&query).ok())
+                .map(|answers| answers.into_iter().map(|a| a.id).collect())
+                .unwrap_or_default();
+            // Budgets double as pruning thresholds: 1 saturates instantly (maximal
+            // pruning), table_size+10 never saturates (no pruning at all).
+            for budget in [1usize, 7, 30, table_size + 10] {
+                let a = wand.partial_answers(&interp, &table, &exact, budget).unwrap();
+                let b = exhaustive.partial_answers(&interp, &table, &exact, budget).unwrap();
+                prop_assert_eq!(a.len(), b.len(), "count: {} budget {}", q.text, budget);
+                for (x, y) in a.iter().zip(&b) {
+                    prop_assert!(
+                        x.bits_eq(y),
+                        "diverged on {:?} budget {}: {:?} != {:?}", q.text, budget, x, y
+                    );
+                }
+            }
+        }
+    }
+
+    /// A ScoredUnion over arbitrary (overlapping, skewed, empty) id sets yields the
+    /// sorted union of its constituents exactly once each, tagged with the smallest
+    /// contributing stream index, and its seek_ge agrees with filtering.
+    #[test]
+    fn scored_union_matches_naive_union(
+        sets in prop::collection::vec(
+            prop::collection::hash_set(0u32..2_000, 0..200),
+            1..6
+        ),
+        lo in 0u32..2_000,
+    ) {
+        let lists: Vec<PostingList> = sets.iter().map(posting).collect();
+        let union = ScoredUnion::new(lists.iter().map(IdStream::postings).collect());
+        let got: Vec<(RecordId, u32)> = union.collect();
+        // Expected: sorted distinct ids, each tagged with the first set containing it.
+        let mut all: Vec<RecordId> = sets
+            .iter()
+            .flatten()
+            .copied()
+            .map(RecordId)
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        let expected: Vec<(RecordId, u32)> = all
+            .iter()
+            .map(|id| {
+                let tag = sets.iter().position(|s| s.contains(&id.0)).unwrap() as u32;
+                (*id, tag)
+            })
+            .collect();
+        prop_assert_eq!(&got, &expected);
+        // seek_ge from `lo` yields exactly the tail of the union.
+        let mut union = ScoredUnion::new(lists.iter().map(IdStream::postings).collect());
+        let mut tail = Vec::new();
+        let mut target = RecordId(lo);
+        while let Some((id, tag)) = union.seek_ge(target) {
+            tail.push((id, tag));
+            target = RecordId(id.0 + 1);
+        }
+        let expected_tail: Vec<(RecordId, u32)> = expected
+            .iter()
+            .copied()
+            .filter(|(id, _)| id.0 >= lo)
+            .collect();
+        prop_assert_eq!(tail, expected_tail);
     }
 
     /// seek_ge always yields the first remaining id >= target and never goes backwards.

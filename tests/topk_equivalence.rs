@@ -21,7 +21,8 @@ use cqads_suite::wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
 use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Compare two answer sequences for *byte* equality of the score.
+/// Compare two answer sequences for *byte* equality of the score
+/// ([`cqads_suite::cqads::PartialAnswer::bits_eq`], the shared contract).
 fn assert_identical(
     fast: &[cqads_suite::cqads::PartialAnswer],
     slow: &[cqads_suite::cqads::PartialAnswer],
@@ -29,20 +30,9 @@ fn assert_identical(
 ) {
     assert_eq!(fast.len(), slow.len(), "answer count diverged: {context}");
     for (i, (a, b)) in fast.iter().zip(slow).enumerate() {
-        assert_eq!(a.id, b.id, "id diverged at rank {i}: {context}");
-        assert_eq!(
-            a.rank_sim.to_bits(),
-            b.rank_sim.to_bits(),
-            "rank_sim diverged at rank {i} (record {}): {context}",
-            a.id
-        );
-        assert_eq!(
-            a.measure, b.measure,
-            "measure diverged at rank {i}: {context}"
-        );
-        assert_eq!(
-            a.relaxed_condition, b.relaxed_condition,
-            "relaxed condition diverged at rank {i}: {context}"
+        assert!(
+            a.bits_eq(b),
+            "diverged at rank {i}: {context}: {a:?} != {b:?}"
         );
     }
 }
@@ -119,6 +109,93 @@ fn topk_engine_matches_full_sort_across_seeded_workloads() {
         assert!(
             compared >= 100,
             "expected a substantive sweep for {domain}, compared only {compared}"
+        );
+    }
+}
+
+/// The value-ordered (WAND-style) pruned traversal is byte-identical to the frozen
+/// PR 2 exhaustive engine (`PartialMatchOptions::pr2_exhaustive`) across seeded
+/// workloads, budgets (the pruning thresholds) and worker counts — the sharded
+/// variant prunes against each worker's private (lower) threshold, which must still
+/// be lossless.
+#[test]
+fn wand_traversal_matches_pr2_exhaustive_across_seeded_workloads() {
+    for (domain, table_seed, question_seed) in [("cars", 61_u64, 71_u64), ("furniture", 62, 72)] {
+        let bp = blueprint(domain);
+        let table = generate_table(&bp, 400, table_seed);
+        let log = generate_log(
+            &affinity_model(&bp),
+            &LogGeneratorConfig {
+                sessions: 120,
+                seed: table_seed ^ 0x3C3C,
+                ..Default::default()
+            },
+        );
+        let ti = TIMatrix::build(&log);
+        let corpus = SyntheticCorpus::generate(
+            &topic_groups(&bp),
+            &CorpusSpec {
+                documents: 60,
+                ..CorpusSpec::default()
+            },
+        );
+        let ws = WordSimMatrix::build(&corpus);
+        let spec = bp.to_spec();
+        let sim = SimilarityModel::new(Arc::new(ti), Arc::new(ws), spec.schema.clone());
+        let tagger = Tagger::new(&spec);
+
+        let exhaustive = PartialMatcher::with_options(
+            &spec,
+            &sim,
+            PartialMatchOptions {
+                pr2_exhaustive: true,
+                ..PartialMatchOptions::default()
+            },
+        );
+        let questions = generate_questions(&bp, &table, 40, question_seed, &QuestionMix::default());
+        let mut compared = 0usize;
+        for q in &questions {
+            let Ok(interp) = interpret(&tagger.tag(&q.text), &spec) else {
+                continue;
+            };
+            let exact: HashSet<RecordId> = {
+                let query = interp.to_query_with_limit(&spec, 30).unwrap();
+                cqads_suite::addb::Executor::new(&table)
+                    .execute(&query)
+                    .map(|answers| answers.into_iter().map(|a| a.id).collect())
+                    .unwrap_or_default()
+            };
+            for workers in [1usize, 3] {
+                let wand = PartialMatcher::with_options(
+                    &spec,
+                    &sim,
+                    PartialMatchOptions {
+                        workers,
+                        ..PartialMatchOptions::default()
+                    },
+                );
+                for budget in [1usize, 7, 30, 500] {
+                    let a = wand
+                        .partial_answers(&interp, &table, &exact, budget)
+                        .unwrap();
+                    let b = exhaustive
+                        .partial_answers(&interp, &table, &exact, budget)
+                        .unwrap();
+                    assert_identical(
+                        &a,
+                        &b,
+                        &format!(
+                            "domain {domain}, question {:?}, workers {workers}, budget {budget}",
+                            q.text
+                        ),
+                    );
+                    compared += 1;
+                }
+            }
+        }
+        assert!(
+            compared >= 100,
+            "expected a substantive WAND sweep for {domain}, compared only {compared}"
         );
     }
 }

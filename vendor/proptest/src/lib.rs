@@ -481,6 +481,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)*),
+                lhs,
+                rhs
+            )));
+        }
+    }};
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }` becomes a

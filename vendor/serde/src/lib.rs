@@ -27,6 +27,30 @@ pub enum Value {
 }
 
 impl Value {
+    /// Field of an object by key (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number carried by a [`Value::Number`], `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string carried by a [`Value::String`], `None` otherwise.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
     /// Render compact JSON.
     pub fn render(&self, out: &mut String) {
         self.render_indent(out, None, 0);

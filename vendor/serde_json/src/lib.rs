@@ -36,6 +36,182 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     Ok(out)
 }
 
+/// Parse a JSON document into a [`Value`].
+///
+/// A plain recursive-descent parser over the grammar the workspace emits (objects,
+/// arrays, strings with the standard escapes, f64 numbers, booleans, null) — enough
+/// to read back the `BENCH_*.json` reports the benches write, which is what the CI
+/// bench-regression gate does.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error);
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error)
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek().ok_or(Error)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or(Error)? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or(Error)?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4).ok_or(Error)?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| Error)?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| Error)?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or(Error)?);
+                        }
+                        _ => return Err(Error),
+                    }
+                }
+                _ => {
+                    // Copy one UTF-8 scalar (multi-byte sequences pass through).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    let chunk =
+                        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error)?;
+        text.parse::<f64>().map(Value::Number).map_err(|_| Error)
+    }
+}
+
 /// Build a JSON [`Value`] from literal-ish syntax. Supports objects with string-literal
 /// keys, arrays, `null`, and arbitrary `Serialize` expressions as values.
 #[macro_export]
@@ -54,6 +230,39 @@ macro_rules! json {
 
 #[cfg(test)]
 mod tests {
+    use crate::Value;
+
+    #[test]
+    fn from_str_round_trips_bench_shaped_documents() {
+        let text = r#"{
+  "bench": "wand_topk",
+  "records": 100000,
+  "nested": { "speedup": 6.25, "ok": true, "none": null },
+  "samples": [1, 2.5, -3e2],
+  "escaped": "a\"b\\c\ndA"
+}"#;
+        let v = crate::from_str(text).expect("parses");
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("wand_topk"));
+        assert_eq!(v.get("records").and_then(Value::as_f64), Some(100000.0));
+        let nested = v.get("nested").expect("nested object");
+        assert_eq!(nested.get("speedup").and_then(Value::as_f64), Some(6.25));
+        assert!(matches!(nested.get("ok"), Some(Value::Bool(true))));
+        assert!(matches!(nested.get("none"), Some(Value::Null)));
+        assert!(matches!(v.get("samples"), Some(Value::Array(items)) if items.len() == 3));
+        assert_eq!(
+            v.get("escaped").and_then(Value::as_str),
+            Some("a\"b\\c\ndA")
+        );
+        // Render → parse → render is a fixed point.
+        let rendered = crate::to_string(&v).unwrap();
+        let reparsed = crate::from_str(&rendered).unwrap();
+        assert_eq!(crate::to_string(&reparsed).unwrap(), rendered);
+        // Malformed documents error instead of panicking.
+        for bad in ["{", "[1,", "\"unterminated", "{\"a\" 1}", "tru", "1 2"] {
+            assert!(crate::from_str(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
     #[test]
     fn json_macro_builds_objects() {
         let v = json!({ "a": 1u32, "b": "x", "c": vec![1u32, 2u32] });
