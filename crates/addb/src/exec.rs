@@ -175,6 +175,18 @@ pub enum IntersectMode {
 /// never pays for the tail. All variants support [`IdStream::seek_ge`], so nested
 /// intersections compose: an outer intersection seeking the whole subtree makes every
 /// leaf cursor gallop.
+///
+/// ```
+/// use addb::{IdStream, RecordId};
+///
+/// let evens = IdStream::from_sorted_ids((0..10).map(|i| RecordId(i * 2)).collect());
+/// let tail = IdStream::from_sorted_ids((5..15).map(RecordId).collect());
+/// let mut both = evens.intersect(tail);
+/// assert_eq!(both.seek_ge(RecordId(0)), Some(RecordId(6)));  // first common id
+/// assert_eq!(both.seek_ge(RecordId(11)), Some(RecordId(12))); // skip ahead
+/// let rest: Vec<RecordId> = both.collect();                   // drain the remainder
+/// assert_eq!(rest, vec![RecordId(14)]);
+/// ```
 #[derive(Debug)]
 pub enum IdStream<'a> {
     /// No matches.

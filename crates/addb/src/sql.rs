@@ -1,4 +1,4 @@
-//! Render a [`Query`](crate::query::Query) as the SQL statement CQAds would ship to the
+//! Render a [`crate::query::Query`] as the SQL statement CQAds would ship to the
 //! relational backend (the paper uses MySQL; Example 7 shows the nested
 //! `SELECT ... WHERE Car_ID IN (...)` shape that this module reproduces).
 

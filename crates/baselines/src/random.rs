@@ -1,4 +1,4 @@
-//! Random ranking baseline (Meng et al., cited as [13] in the paper).
+//! Random ranking baseline (Meng et al., cited as \[13\] in the paper).
 //!
 //! Presents partially-matched answers in a random order. It provides the floor used to
 //! judge how much better a real ranking strategy meets user expectations — and, because

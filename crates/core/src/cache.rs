@@ -11,7 +11,7 @@
 //! Entries are keyed by [`CacheKey`]: the domain name plus the question's normalized
 //! token stream (plain strings — see the [`CacheKey`] docs for why user-controlled
 //! text is deliberately *not* interned). Normalization is exactly the
-//! pipeline's own [`cqads_text::tokenize`] (lowercasing, punctuation trimming,
+//! pipeline's own [`cqads_text::tokenize()`] (lowercasing, punctuation trimming,
 //! numeric-shorthand expansion), so `"Blue Honda?"` and `"blue honda"` share an
 //! entry. The key is *conservative by construction*: the tagger — and therefore the
 //! whole downstream pipeline — is a pure function of the token stream, and every
@@ -23,26 +23,35 @@
 //!
 //! # Generation-stamp invalidation protocol
 //!
-//! Every [`addb::Table`] carries a monotonic mutation generation, bumped on each
-//! successful insert ([`addb::Table::generation`]). The cache never observes inserts
-//! directly; instead each entry is **stamped** with the generation of the domain's
-//! table, and staleness is proven arithmetically at lookup time:
+//! An answer depends on two mutable inputs: the domain's **table** (which records
+//! exist) and the domain's **similarity model** (how partial answers are ranked —
+//! the TI-matrix learned from the query log plus the WS-matrix). Both carry
+//! monotonic mutation generations: [`addb::Table::generation`] bumps on each
+//! successful insert, and
+//! [`SimilarityModel::generation`](crate::ranking::SimilarityModel::generation)
+//! bumps whenever a query-log delta is ingested or the WS-matrix is swapped. The
+//! cache never observes those mutations directly; instead each entry is **stamped**
+//! with a [`GenerationStamp`] — the *(table, model)* generation pair — and
+//! staleness is proven arithmetically at lookup time:
 //!
-//! 1. A filler reads the table generation `G` **before** computing the answer and
-//!    stamps the entry with `G`. If an insert raced the computation, the entry is
-//!    stamped with the *pre-insert* generation — deliberately too old.
-//! 2. A reader passes the *current* generation `G'` to [`AnswerCache::lookup`]. An
-//!    entry whose stamp trails `G'` predates at least one insert; it is evicted on
-//!    the spot and reported as a miss.
+//! 1. A filler reads the stamp `S` **before** computing the answer and stamps the
+//!    entry with `S`. If an insert or a model update raced the computation, the
+//!    entry is stamped with the *pre-mutation* component — deliberately too old.
+//! 2. A reader passes the *current* stamp `S'` to [`AnswerCache::lookup`]. An entry
+//!    whose stamp trails `S'` in **either** component predates at least one
+//!    mutation of that input; it is evicted on the spot and reported as a miss.
 //!
-//! Consequently a stale answer can never be served after an insert: once the
-//! generation has advanced, every entry filled before (or concurrently with) the
-//! insert fails the stamp comparison. There is no invalidation walk, no epoch fence
-//! and no coordination with writers — replacing a whole table stays correct too,
-//! because [`addb::Database`] carries generations forward across replacement. The
-//! cost is that an insert invalidates the domain's *entire* cached set (stamps are
-//! per-table, not per-record); for ads workloads, where inserts are rare relative to
-//! queries, that trade is the right one.
+//! Consequently a stale answer can never be served after an insert *or* after a
+//! live TI-matrix update: once either generation has advanced, every entry filled
+//! before (or concurrently with) the mutation fails the component-wise stamp
+//! comparison. There is no invalidation walk, no epoch fence and no coordination
+//! with writers — replacing a whole table stays correct too, because
+//! [`addb::Database`] carries generations forward across replacement, and the
+//! pipeline does the same for a domain's model generation across WS-matrix swaps
+//! and re-registration. The cost is that a mutation invalidates the domain's
+//! *entire* cached set (stamps are per-table and per-model, not per-record or
+//! per-value-pair); for ads workloads, where inserts and model refreshes are rare
+//! relative to queries, that trade is the right one.
 //!
 //! # Concurrency
 //!
@@ -89,11 +98,48 @@ impl CacheKey {
     }
 }
 
-/// One cached answer set, stamped with the table generation observed before it was
-/// computed.
+/// The freshness stamp of a cached answer: the generations of both mutable inputs
+/// the answer was computed against.
+///
+/// Freshness is component-wise ([`GenerationStamp::covers`]): an entry is served
+/// only when its stamp is at least the current stamp in *both* components, so a
+/// table insert and a live model update each invalidate independently.
+///
+/// ```
+/// use cqads::cache::GenerationStamp;
+///
+/// let entry = GenerationStamp::new(3, 1);
+/// assert!(entry.covers(GenerationStamp::new(3, 1)));
+/// assert!(!entry.covers(GenerationStamp::new(4, 1))); // a record was inserted
+/// assert!(!entry.covers(GenerationStamp::new(3, 2))); // the TI-matrix learned
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerationStamp {
+    /// [`addb::Table::generation`] of the domain's table.
+    pub table: u64,
+    /// [`SimilarityModel::generation`](crate::ranking::SimilarityModel::generation)
+    /// of the domain's similarity model.
+    pub model: u64,
+}
+
+impl GenerationStamp {
+    /// Pair a table generation with a model generation.
+    pub fn new(table: u64, model: u64) -> Self {
+        GenerationStamp { table, model }
+    }
+
+    /// True when an entry stamped `self` is still fresh under the `current` stamp:
+    /// neither the table nor the model has advanced past what the entry saw.
+    pub fn covers(self, current: GenerationStamp) -> bool {
+        self.table >= current.table && self.model >= current.model
+    }
+}
+
+/// One cached answer set, stamped with the (table, model) generations observed
+/// before it was computed.
 #[derive(Debug)]
 struct CacheEntry {
-    generation: u64,
+    stamp: GenerationStamp,
     answer: Arc<AnswerSet>,
     /// Last-touched tick of the owning shard (LRU ordering).
     used: u64,
@@ -127,6 +173,33 @@ pub struct CacheStats {
 ///
 /// See the [module docs](self) for the invalidation protocol. A capacity of `0`
 /// disables the cache entirely: lookups miss and fills are dropped.
+///
+/// ```
+/// use cqads::cache::{AnswerCache, CacheKey, GenerationStamp};
+/// use cqads::pipeline::AnswerSet;
+/// use std::sync::Arc;
+///
+/// let cache = AnswerCache::new(64, 4);
+/// let key = CacheKey::new("cars", "Blue Honda?");
+/// let stamp = GenerationStamp::new(1, 0); // read *before* computing the answer
+/// assert!(cache.lookup(&key, stamp).is_none());
+///
+/// let answer = Arc::new(AnswerSet {
+///     domain: "cars".into(),
+///     tagged: Default::default(),
+///     interpretation: Default::default(),
+///     sql: String::new(),
+///     answers: Vec::new(),
+///     exact_count: 0,
+///     elapsed: std::time::Duration::ZERO,
+/// });
+/// cache.fill(key.clone(), stamp, answer);
+///
+/// // Case/punctuation variants share the entry; both stamp components gate it.
+/// let variant = CacheKey::new("cars", "blue honda");
+/// assert!(cache.lookup(&variant, stamp).is_some());
+/// assert!(cache.lookup(&variant, GenerationStamp::new(2, 0)).is_none()); // insert
+/// ```
 #[derive(Debug)]
 pub struct AnswerCache {
     shards: Box<[Mutex<Shard>]>,
@@ -170,10 +243,12 @@ impl AnswerCache {
         &self.shards[(hash as usize) % self.shards.len()]
     }
 
-    /// Look up a question, treating any entry whose stamp trails `generation` as a
-    /// miss (the stale entry is evicted on the spot). Callers must pass the *current*
-    /// generation of the domain's table.
-    pub fn lookup(&self, key: &CacheKey, generation: u64) -> Option<Arc<AnswerSet>> {
+    /// Look up a question, treating any entry whose stamp trails `current` in
+    /// **either** component as a miss (the stale entry is evicted on the spot).
+    /// Callers must pass the *current* [`GenerationStamp`] of the domain — table
+    /// generation and model generation, both read while the caller's view of the
+    /// domain is consistent (under the read lock in a concurrent deployment).
+    pub fn lookup(&self, key: &CacheKey, current: GenerationStamp) -> Option<Arc<AnswerSet>> {
         if !self.is_enabled() {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -186,7 +261,7 @@ impl AnswerCache {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
         let Shard { map, tick } = &mut *shard;
         let outcome = match map.get_mut(key) {
-            Some(entry) if entry.generation >= generation => {
+            Some(entry) if entry.stamp.covers(current) => {
                 *tick += 1;
                 entry.used = *tick;
                 Outcome::Hit(Arc::clone(&entry.answer))
@@ -215,10 +290,10 @@ impl AnswerCache {
         }
     }
 
-    /// Insert (or refresh) an answer stamped with the table generation that was read
-    /// **before** the answer was computed — never the generation read afterwards, or
-    /// an insert racing the computation could be masked (see the module docs).
-    pub fn fill(&self, key: CacheKey, generation: u64, answer: Arc<AnswerSet>) {
+    /// Insert (or refresh) an answer stamped with the [`GenerationStamp`] that was
+    /// read **before** the answer was computed — never the stamp read afterwards, or
+    /// a mutation racing the computation could be masked (see the module docs).
+    pub fn fill(&self, key: CacheKey, stamp: GenerationStamp, answer: Arc<AnswerSet>) {
         if !self.is_enabled() {
             return;
         }
@@ -226,19 +301,22 @@ impl AnswerCache {
         shard.tick += 1;
         let tick = shard.tick;
         // A concurrent filler may have raced us with a *newer* stamp; keep the
-        // freshest stamp for the key rather than blindly overwriting.
+        // freshest stamp for the key rather than blindly overwriting. (If the two
+        // stamps are component-wise incomparable — one saw a later insert, the
+        // other a later model update — either choice is safe: lookup re-checks
+        // both components against the current stamp and evicts on any shortfall.)
         match shard.map.entry(key) {
             std::collections::hash_map::Entry::Occupied(mut occupied) => {
                 let entry = occupied.get_mut();
-                if generation >= entry.generation {
-                    entry.generation = generation;
+                if stamp.covers(entry.stamp) {
+                    entry.stamp = stamp;
                     entry.answer = answer;
                 }
                 entry.used = tick;
             }
             std::collections::hash_map::Entry::Vacant(vacant) => {
                 vacant.insert(CacheEntry {
-                    generation,
+                    stamp,
                     answer,
                     used: tick,
                 });
@@ -327,17 +405,26 @@ mod tests {
         );
     }
 
+    /// A stamp with the given table generation and model generation 0 (most tests
+    /// vary one component at a time).
+    fn table_stamp(table: u64) -> GenerationStamp {
+        GenerationStamp::new(table, 0)
+    }
+
     #[test]
-    fn lookup_hits_until_the_generation_advances() {
+    fn lookup_hits_until_the_table_generation_advances() {
         let cache = AnswerCache::new(64, 4);
         let key = CacheKey::new("cars", "blue honda");
-        assert!(cache.lookup(&key, 5).is_none());
-        cache.fill(key.clone(), 5, answer_set("cars"));
-        assert!(cache.lookup(&key, 5).is_some());
+        assert!(cache.lookup(&key, table_stamp(5)).is_none());
+        cache.fill(key.clone(), table_stamp(5), answer_set("cars"));
+        assert!(cache.lookup(&key, table_stamp(5)).is_some());
         // An insert bumps the table generation: the stamp now trails and the entry
         // must be evicted, not served.
-        assert!(cache.lookup(&key, 6).is_none());
-        assert!(cache.lookup(&key, 6).is_none(), "stale entry was evicted");
+        assert!(cache.lookup(&key, table_stamp(6)).is_none());
+        assert!(
+            cache.lookup(&key, table_stamp(6)).is_none(),
+            "stale entry was evicted"
+        );
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.stale_evictions, 1);
@@ -345,15 +432,40 @@ mod tests {
     }
 
     #[test]
+    fn lookup_misses_when_the_model_generation_advances() {
+        let cache = AnswerCache::new(64, 4);
+        let key = CacheKey::new("cars", "blue honda");
+        cache.fill(key.clone(), GenerationStamp::new(5, 1), answer_set("cars"));
+        assert!(cache.lookup(&key, GenerationStamp::new(5, 1)).is_some());
+        // A live TI-matrix update bumps the model generation while the table stays
+        // put: the cached ranking is stale and must not be served.
+        assert!(
+            cache.lookup(&key, GenerationStamp::new(5, 2)).is_none(),
+            "model update must invalidate"
+        );
+        assert_eq!(cache.stats().stale_evictions, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
     fn racing_fill_with_older_stamp_does_not_mask_a_newer_one() {
         let cache = AnswerCache::new(64, 1);
         let key = CacheKey::new("cars", "blue honda");
-        cache.fill(key.clone(), 7, answer_set("fresh"));
+        cache.fill(key.clone(), table_stamp(7), answer_set("fresh"));
         // A slow filler that started before the insert arrives late with an older
         // stamp; the fresher entry must survive.
-        cache.fill(key.clone(), 6, answer_set("stale"));
-        let hit = cache.lookup(&key, 7).expect("fresh entry survives");
+        cache.fill(key.clone(), table_stamp(6), answer_set("stale"));
+        let hit = cache
+            .lookup(&key, table_stamp(7))
+            .expect("fresh entry survives");
         assert_eq!(hit.domain, "fresh");
+        // Same race on the model component.
+        cache.fill(key.clone(), GenerationStamp::new(7, 3), answer_set("newer"));
+        cache.fill(key.clone(), GenerationStamp::new(7, 2), answer_set("older"));
+        let hit = cache
+            .lookup(&key, GenerationStamp::new(7, 3))
+            .expect("newer-model entry survives");
+        assert_eq!(hit.domain, "newer");
     }
 
     #[test]
@@ -362,15 +474,15 @@ mod tests {
         let a = CacheKey::new("cars", "question a");
         let b = CacheKey::new("cars", "question b");
         let c = CacheKey::new("cars", "question c");
-        cache.fill(a.clone(), 1, answer_set("a"));
-        cache.fill(b.clone(), 1, answer_set("b"));
+        cache.fill(a.clone(), table_stamp(1), answer_set("a"));
+        cache.fill(b.clone(), table_stamp(1), answer_set("b"));
         // Touch `a` so `b` becomes the LRU victim.
-        assert!(cache.lookup(&a, 1).is_some());
-        cache.fill(c.clone(), 1, answer_set("c"));
+        assert!(cache.lookup(&a, table_stamp(1)).is_some());
+        cache.fill(c.clone(), table_stamp(1), answer_set("c"));
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(&a, 1).is_some());
-        assert!(cache.lookup(&b, 1).is_none(), "LRU entry evicted");
-        assert!(cache.lookup(&c, 1).is_some());
+        assert!(cache.lookup(&a, table_stamp(1)).is_some());
+        assert!(cache.lookup(&b, table_stamp(1)).is_none(), "LRU evicted");
+        assert!(cache.lookup(&c, table_stamp(1)).is_some());
         assert_eq!(cache.stats().capacity_evictions, 1);
     }
 
@@ -379,8 +491,8 @@ mod tests {
         let cache = AnswerCache::new(0, 8);
         assert!(!cache.is_enabled());
         let key = CacheKey::new("cars", "blue honda");
-        cache.fill(key.clone(), 1, answer_set("cars"));
-        assert!(cache.lookup(&key, 1).is_none());
+        cache.fill(key.clone(), table_stamp(1), answer_set("cars"));
+        assert!(cache.lookup(&key, table_stamp(1)).is_none());
         assert!(cache.is_empty());
     }
 
@@ -388,8 +500,8 @@ mod tests {
     fn clear_preserves_counters() {
         let cache = AnswerCache::new(8, 2);
         let key = CacheKey::new("cars", "blue honda");
-        cache.fill(key.clone(), 1, answer_set("cars"));
-        assert!(cache.lookup(&key, 1).is_some());
+        cache.fill(key.clone(), table_stamp(1), answer_set("cars"));
+        assert!(cache.lookup(&key, table_stamp(1)).is_some());
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);

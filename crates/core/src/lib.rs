@@ -35,9 +35,11 @@
 //! generation-invalidated answer cache ([`cache`]) and fans the residual misses'
 //! partial-match phases through one set of worker threads per domain
 //! ([`PartialMatcher::partial_answers_batch`](partial::PartialMatcher::partial_answers_batch)).
-//! Inserting into a table bumps its mutation generation, which invalidates every
-//! cached answer for the domain without any flush — see the [`cache`] module docs
-//! for the protocol.
+//! Inserting into a table bumps its mutation generation, and ingesting a query-log
+//! delta ([`CqadsSystem::ingest_query_log`](pipeline::CqadsSystem::ingest_query_log))
+//! bumps the domain's *model* generation; cached answers are stamped with both, so
+//! either mutation invalidates every affected cached answer without any flush — see
+//! the [`cache`] module docs for the protocol.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -55,12 +57,14 @@ pub mod tagging;
 pub mod translate;
 
 pub use boolean::combine_conditions;
-pub use cache::{AnswerCache, CacheKey, CacheStats};
+pub use cache::{AnswerCache, CacheKey, CacheStats, GenerationStamp};
 pub use domain::DomainSpec;
 pub use error::{CqadsError, CqadsResult};
 pub use identifiers::{BoundaryOp, Tag};
 pub use partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
-pub use pipeline::{Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, MatchKind};
+pub use pipeline::{
+    Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, IngestReport, MatchKind,
+};
 pub use ranking::{
     boundary_matches, CompiledProbe, ProbeScorer, ScoredValue, SimilarityMeasure, SimilarityModel,
     ValueOrder,

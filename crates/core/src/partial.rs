@@ -18,7 +18,7 @@
 //!   ([`SimilarityModel::compile`](crate::ranking::SimilarityModel::compile)) so that
 //!   scoring a candidate is integer-keyed matrix lookups against the table's interned
 //!   columns — zero string allocation per probe.
-//! * Candidates feed a `budget`-sized min-heap ([`TopK`]) with per-record best-score
+//! * Candidates feed a `budget`-sized min-heap (`TopK`) with per-record best-score
 //!   dedup (lazy deletion). Memory is `O(budget)` and the final ordering costs
 //!   `O(budget · log budget)`, independent of table size — the original pipeline held a
 //!   HashMap over *every* candidate and globally sorted it.
@@ -48,7 +48,7 @@
 //!    `(N−1) + sim(v)`, bit for bit.
 //! 2. The traversal visits values best-first. Before each run of equal-similarity
 //!    values it asks the heap whether `(N−1) + sim` can still beat the current worst
-//!    live entry ([`TopK::can_beat`]). Because later values bound lower and the worst
+//!    live entry (`TopK::can_beat`). Because later values bound lower and the worst
 //!    live score of a full heap never decreases, a failed check ends the relaxation:
 //!    the posting lists of all remaining values — and the zero-similarity residual —
 //!    are **never opened**.
@@ -71,7 +71,7 @@
 //! worst of a *full* heap; since that worst never decreases, the offer would be
 //! rejected now and at every later point, so skipping it changes nothing. The residual
 //! pass may re-offer ids already offered by a value run at the same score; an equal
-//! re-offer is provably a no-op ([`TopK::offer`] updates only on strict improvement,
+//! re-offer is provably a no-op (`TopK::offer` updates only on strict improvement,
 //! and an evicted or rejected entry stays below the monotone threshold). The same
 //! holds per worker in the sharded fan-out — each worker's private heap prunes against
 //! its own (lower, hence still admissible) threshold. The `wand_topk` bench and the
@@ -93,7 +93,7 @@
 //! record-id space**: worker `w` re-runs *every* relaxation stream restricted
 //! ([`IdStream::restrict`](addb::IdStream::restrict)) to its contiguous id range, so
 //! it enters each posting list with one `O(log n)` galloping seek and pays only for
-//! the candidates inside its shard. Each worker scores into a private [`TopK`]; the
+//! the candidates inside its shard. Each worker scores into a private `TopK`; the
 //! heaps are then merged by re-offering every surviving entry into the main heap.
 //!
 //! Sharding by id (rather than by relaxation) keeps the merge **deterministic and
@@ -170,6 +170,18 @@ impl PartialAnswer {
 }
 
 /// Engine selection for [`PartialMatcher`].
+///
+/// The default (all flags off, `workers: 0`) is the fastest engine: value-ordered
+/// pruned traversal, galloping intersections, auto-detected parallelism. Every
+/// other combination exists as a frozen ablation baseline and returns answers
+/// byte-identical to the default.
+///
+/// ```
+/// use cqads::PartialMatchOptions;
+///
+/// let options = PartialMatchOptions { workers: 4, ..PartialMatchOptions::default() };
+/// assert!(!options.full_scan && !options.pr1_baseline && !options.pr2_exhaustive);
+/// ```
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PartialMatchOptions {
     /// Run the original full-scan/full-sort pipeline (unbounded HashMap of candidates,

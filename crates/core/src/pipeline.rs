@@ -5,8 +5,15 @@
 //! classifier. `answer(question)` runs the full paper pipeline: classify → tag →
 //! interpret → translate to SQL → execute exactly → top up with ranked
 //! partially-matched answers when fewer than 30 exact answers exist.
+//!
+//! The system also **learns from live traffic**: [`CqadsSystem::ingest_query_log`]
+//! streams freshly recorded query-log deltas into a domain's TI-matrix
+//! incrementally (no full rebuild, bit-identical result) and advances the domain's
+//! *model generation*, which — together with the table generation — stamps every
+//! cached answer so stale rankings are provably never served (see
+//! [`crate::cache`]).
 
-use crate::cache::{AnswerCache, CacheKey, CacheStats};
+use crate::cache::{AnswerCache, CacheKey, CacheStats, GenerationStamp};
 use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
 use crate::partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
@@ -15,7 +22,7 @@ use crate::tagging::{TaggedQuestion, Tagger};
 use crate::translate::{interpret, Interpretation};
 use addb::{Database, Executor, Record, RecordId, Table};
 use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
-use cqads_querylog::TIMatrix;
+use cqads_querylog::{QueryLogDelta, TIMatrix};
 use cqads_wordsim::WordSimMatrix;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -79,6 +86,15 @@ impl AnswerSet {
 }
 
 /// Pipeline configuration.
+///
+/// ```
+/// use cqads::CqadsConfig;
+///
+/// // Tune one knob, keep the paper-mandated defaults for the rest.
+/// let config = CqadsConfig { answer_limit: 10, ..CqadsConfig::default() };
+/// assert_eq!(config.partial_threshold, 30); // paper's answer budget
+/// assert_eq!(config.cache_capacity, 4096);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CqadsConfig {
     /// Total answers returned per question (exact + partial). The paper uses 30.
@@ -162,6 +178,20 @@ impl ClassifyOutcome {
     }
 }
 
+/// What one [`CqadsSystem::ingest_query_log`] (or batch) call absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Sessions applied to the TI-matrix.
+    pub sessions: usize,
+    /// Submitted queries across those sessions.
+    pub queries: usize,
+    /// The domain's model generation *after* the ingest — every cached answer
+    /// stamped with an older model generation is now unservable.
+    pub model_generation: u64,
+    /// Distinct value pairs the TI-matrix holds after the ingest.
+    pub ti_pairs: usize,
+}
+
 /// Everything the system holds for one registered domain.
 #[derive(Debug, Clone)]
 struct DomainRuntime {
@@ -171,6 +201,35 @@ struct DomainRuntime {
 }
 
 /// The CQAds question-answering system.
+///
+/// Owns the ads database, one tagger/TI-matrix/similarity model per registered
+/// domain, the shared WS-matrix, the domain classifier and the serving cache.
+///
+/// ```
+/// use addb::{Record, Table};
+/// use cqads::domain::toy_car_domain;
+/// use cqads::CqadsSystem;
+/// use cqads_querylog::TIMatrix;
+///
+/// let spec = toy_car_domain();
+/// let mut table = Table::new(spec.schema.clone());
+/// table
+///     .insert(
+///         Record::builder()
+///             .text("make", "honda")
+///             .text("model", "accord")
+///             .text("color", "blue")
+///             .text("transmission", "automatic")
+///             .number("price", 6_600.0)
+///             .number("year", 2004.0)
+///             .build(),
+///     )
+///     .unwrap();
+/// let mut system = CqadsSystem::new();
+/// system.add_domain(spec, table, TIMatrix::default());
+/// let answers = system.answer_in_domain("blue honda", "cars").unwrap();
+/// assert_eq!(answers.exact_count, 1);
+/// ```
 #[derive(Debug)]
 pub struct CqadsSystem {
     database: Database,
@@ -200,7 +259,9 @@ impl CqadsSystem {
         }
     }
 
-    /// Install the shared WS word-correlation matrix used by `Feat_Sim`.
+    /// Install the shared WS word-correlation matrix used by `Feat_Sim`. Every
+    /// domain's model generation advances past its previous value, so cached
+    /// answers ranked under the old matrix are invalidated (see [`crate::cache`]).
     pub fn set_word_sim(&mut self, matrix: WordSimMatrix) {
         self.word_sim = Arc::new(matrix);
         // Rebuild the per-domain similarity models with the new matrix.
@@ -209,7 +270,8 @@ impl CqadsSystem {
             let runtime = self.domains.get(&name).expect("key from map").clone();
             let ti = runtime.similarity_ti();
             let schema = runtime.spec.schema.clone();
-            let similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
+            let mut similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
+            similarity.raise_generation(runtime.similarity.generation() + 1);
             self.domains.insert(
                 name,
                 DomainRuntime {
@@ -224,15 +286,23 @@ impl CqadsSystem {
     /// Register an ads domain: its specification, its populated table and its TI-matrix
     /// (pass an empty [`TIMatrix`] when no query log is available — `TI_Sim` then falls
     /// back to exact-match-only behaviour).
+    ///
+    /// Re-registering an existing domain replaces its table and model; both the
+    /// table generation ([`addb::Database`] carries it forward) and the model
+    /// generation advance past their previous values, so no cached answer of the
+    /// old registration can ever be served against the new one.
     pub fn add_domain(&mut self, spec: DomainSpec, table: Table, ti_matrix: TIMatrix) {
         let name = spec.name().to_string();
         let spec = Arc::new(spec);
         let tagger = Tagger::from_arc(Arc::clone(&spec));
-        let similarity = SimilarityModel::new(
+        let mut similarity = SimilarityModel::new(
             Arc::new(ti_matrix),
             Arc::clone(&self.word_sim),
             spec.schema.clone(),
         );
+        if let Some(previous) = self.domains.get(&name) {
+            similarity.raise_generation(previous.similarity.generation() + 1);
+        }
         self.database.add_table(table);
         self.domains.insert(
             name,
@@ -426,20 +496,29 @@ impl CqadsSystem {
         if !self.cache.is_enabled() {
             return Ok(Arc::new(self.answer_in_domain(question, domain)?));
         }
-        // The generation is read *before* computing so a racing insert leaves the
-        // filled entry conservatively stale (see the cache module docs).
-        let generation = self.database.generation(domain);
+        // The stamp is read *before* computing so a racing insert or model update
+        // leaves the filled entry conservatively stale (see the cache module docs).
+        let stamp = self.current_stamp(domain);
         let key = CacheKey::new(domain, question);
-        if let Some(generation) = generation {
-            if let Some(hit) = self.cache.lookup(&key, generation) {
+        if let Some(stamp) = stamp {
+            if let Some(hit) = self.cache.lookup(&key, stamp) {
                 return Ok(hit);
             }
         }
         let answer = Arc::new(self.answer_in_domain(question, domain)?);
-        if let Some(generation) = generation {
-            self.cache.fill(key, generation, Arc::clone(&answer));
+        if let Some(stamp) = stamp {
+            self.cache.fill(key, stamp, Arc::clone(&answer));
         }
         Ok(answer)
+    }
+
+    /// The domain's current [`GenerationStamp`]: its table generation paired with
+    /// its similarity-model generation. `None` when the domain is unregistered or
+    /// its table is missing (the uncached path then reports the precise error).
+    fn current_stamp(&self, domain: &str) -> Option<GenerationStamp> {
+        let table = self.database.generation(domain)?;
+        let model = self.domains.get(domain)?.similarity.generation();
+        Some(GenerationStamp::new(table, model))
     }
 
     /// Serve a burst of questions: classify + normalize + dedup, serve repeats from
@@ -511,9 +590,9 @@ impl CqadsSystem {
         let mut outcomes: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = Vec::new();
         for (slot_idx, slot) in slots.iter().enumerate() {
             outcomes.push(None);
-            let generation = self.database.generation(&slot.domain);
-            if let (true, Some(generation)) = (cache_on, generation) {
-                if let Some(hit) = self.cache.lookup(&slot.key, generation) {
+            let stamp = self.current_stamp(&slot.domain);
+            if let (true, Some(stamp)) = (cache_on, stamp) {
+                if let Some(hit) = self.cache.lookup(&slot.key, stamp) {
                     outcomes[slot_idx] = Some(Ok(hit));
                     continue;
                 }
@@ -537,9 +616,10 @@ impl CqadsSystem {
                     continue;
                 }
             };
-            // Stamp read before any computation: a racing insert can only make the
-            // filled entries look *older* than the post-insert generation.
-            let generation = table.generation();
+            // Stamp read before any computation: a racing insert or model update
+            // can only make the filled entries look *older* than the post-mutation
+            // stamp.
+            let stamp = GenerationStamp::new(table.generation(), runtime.similarity.generation());
 
             let mut pendings: Vec<(usize, PendingAnswer)> = Vec::new();
             for &slot_idx in &slot_indices {
@@ -581,7 +661,7 @@ impl CqadsSystem {
                         if cache_on {
                             self.cache.fill(
                                 slots[slot_idx].key.clone(),
-                                generation,
+                                stamp,
                                 Arc::clone(&answer),
                             );
                         }
@@ -628,6 +708,67 @@ impl CqadsSystem {
     /// cached answers still invalidate correctly.
     pub fn database_mut(&mut self) -> &mut Database {
         &mut self.database
+    }
+
+    /// Absorb one batch of freshly recorded query-log sessions into a domain's
+    /// TI-matrix — the live-learning path. The delta is applied incrementally
+    /// ([`cqads_querylog::TIMatrix::apply`]: `O(delta)` accumulation plus a cheap
+    /// renormalization, bit-identical to a full rebuild over the whole log), and
+    /// the domain's model generation advances, which atomically invalidates every
+    /// cached answer ranked under the old matrix — no flush happens or is needed.
+    ///
+    /// Requires `&mut self`, the same lock discipline as [`CqadsSystem::insert_record`]:
+    /// concurrent deployments wrap the system in an `RwLock` and ingest under the
+    /// write lock, while readers serve under read locks. In-flight readers of the
+    /// old matrix are unaffected (they hold an `Arc` snapshot); questions answered
+    /// after the ingest compile their probes against the updated matrix.
+    ///
+    /// **Vocabulary contract:** the delta's query/ad values are interned into the
+    /// process-global string pool (which never evicts) exactly as
+    /// [`TIMatrix::build`](cqads_querylog::TIMatrix::build) has always interned
+    /// its log. Feed it the domain's **Type I attribute values** (the paper's
+    /// query-log shape, already matched against the ads vocabulary upstream), not
+    /// raw user text — a caller streaming unbounded free text here would grow the
+    /// interner with traffic diversity, which is precisely what the answer cache's
+    /// plain-string keys avoid (see [`crate::cache::CacheKey`]).
+    pub fn ingest_query_log(
+        &mut self,
+        domain: &str,
+        delta: &QueryLogDelta,
+    ) -> CqadsResult<IngestReport> {
+        self.ingest_query_log_batch(domain, std::slice::from_ref(delta))
+    }
+
+    /// Batch form of [`CqadsSystem::ingest_query_log`]: apply several deltas with a
+    /// **single** renormalization and a **single** model-generation bump, so a
+    /// backlog of collected deltas (e.g. after a maintenance window) costs one
+    /// invalidation, not one per delta.
+    pub fn ingest_query_log_batch(
+        &mut self,
+        domain: &str,
+        deltas: &[QueryLogDelta],
+    ) -> CqadsResult<IngestReport> {
+        let runtime = self
+            .domains
+            .get_mut(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let sessions = deltas.iter().map(QueryLogDelta::len).sum();
+        let queries = deltas.iter().map(QueryLogDelta::query_count).sum();
+        let model_generation = runtime.similarity.apply_log_deltas(deltas);
+        Ok(IngestReport {
+            sessions,
+            queries,
+            model_generation,
+            ti_pairs: runtime.similarity.ti_matrix().len(),
+        })
+    }
+
+    /// The current model generation of a registered domain (bumped by
+    /// [`CqadsSystem::ingest_query_log`] and [`CqadsSystem::set_word_sim`]); `None`
+    /// for unregistered domains. The table-side counterpart is
+    /// [`addb::Database::generation`].
+    pub fn model_generation(&self, domain: &str) -> Option<u64> {
+        self.domains.get(domain).map(|r| r.similarity.generation())
     }
 
     /// The serving cache (stats, clearing; filled by the `*_cached` / batch paths).
@@ -954,6 +1095,88 @@ mod tests {
         // answer_cached routes through classification then the same cache.
         let fourth = sys.answer_cached(question).unwrap();
         assert!(Arc::ptr_eq(&third, &fourth));
+    }
+
+    #[test]
+    fn ingesting_a_query_log_delta_invalidates_cached_answers() {
+        use cqads_querylog::{QueryLogDelta, Session, SubmittedQuery};
+
+        let mut sys = system();
+        // A question with no exact match: its answers are partial, ranked by the
+        // TI-matrix — exactly what a live log update can change.
+        let question = "Find Honda Accord blue less than 5000 dollars";
+        let first = sys.answer_in_domain_cached(question, "cars").unwrap();
+        let hit = sys.answer_in_domain_cached(question, "cars").unwrap();
+        assert!(Arc::ptr_eq(&first, &hit));
+        assert_eq!(sys.model_generation("cars"), Some(0));
+
+        // Stream in a delta: users reformulating accord -> camry.
+        let delta = QueryLogDelta::from_sessions(vec![Session {
+            user_id: 1,
+            queries: vec![
+                SubmittedQuery {
+                    value: "accord".into(),
+                    at_seconds: 0.0,
+                    clicks: vec![],
+                    shown: vec!["accord".into(), "camry".into()],
+                },
+                SubmittedQuery {
+                    value: "camry".into(),
+                    at_seconds: 30.0,
+                    clicks: vec![],
+                    shown: vec!["camry".into()],
+                },
+            ],
+        }]);
+        let report = sys.ingest_query_log("cars", &delta).unwrap();
+        assert_eq!(report.sessions, 1);
+        assert_eq!(report.queries, 2);
+        assert_eq!(report.model_generation, 1);
+        assert!(report.ti_pairs >= 1);
+        assert_eq!(sys.model_generation("cars"), Some(1));
+
+        // The cached answer was ranked by the pre-delta matrix: it must not be
+        // served again, even though the table never changed.
+        let refreshed = sys.answer_in_domain_cached(question, "cars").unwrap();
+        assert!(!Arc::ptr_eq(&first, &refreshed), "stale ranking served");
+        assert_eq!(sys.cache_stats().stale_evictions, 1);
+        // The recomputed answer equals a from-scratch computation.
+        let scratch = sys.answer_in_domain(question, "cars").unwrap();
+        assert_eq!(refreshed.answers.len(), scratch.answers.len());
+        for (a, b) in refreshed.answers.iter().zip(&scratch.answers) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.rank_sim.to_bits(), b.rank_sim.to_bits());
+        }
+
+        // Unknown domains are rejected; the batch form bumps the generation once.
+        assert!(matches!(
+            sys.ingest_query_log("boats", &delta),
+            Err(CqadsError::UnknownDomain(_))
+        ));
+        let report = sys
+            .ingest_query_log_batch("cars", &[delta.clone(), delta])
+            .unwrap();
+        assert_eq!(report.sessions, 2);
+        assert_eq!(report.model_generation, 2);
+    }
+
+    #[test]
+    fn word_sim_swap_and_domain_reregistration_never_regress_the_model_generation() {
+        let mut sys = system();
+        assert_eq!(sys.model_generation("cars"), Some(0));
+        // Swapping the WS-matrix re-ranks Feat_Sim answers: generation advances.
+        let mut ws = WordSimMatrix::default();
+        ws.insert("blue", "silver", 0.9);
+        sys.set_word_sim(ws);
+        assert_eq!(sys.model_generation("cars"), Some(1));
+
+        // Re-registering the domain with a fresh (generation-0) model must not
+        // regress the observable generation.
+        let spec = toy_car_domain();
+        let table = Table::new(spec.schema.clone());
+        sys.add_domain(spec, table, TIMatrix::default());
+        assert_eq!(sys.model_generation("cars"), Some(2));
+        assert_eq!(sys.model_generation("boats"), None);
     }
 
     #[test]

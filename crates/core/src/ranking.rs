@@ -19,7 +19,7 @@
 use crate::identifiers::BoundaryOp;
 use crate::translate::ConditionSketch;
 use addb::{NumericColumn, PostingList, Record, RecordId, Schema, Table, TextColumn, ValueIndex};
-use cqads_querylog::TIMatrix;
+use cqads_querylog::{QueryLogDelta, TIMatrix};
 use cqads_text::intern::{self, Sym};
 use cqads_text::porter_stem;
 use cqads_wordsim::WordSimMatrix;
@@ -51,24 +51,71 @@ impl std::fmt::Display for SimilarityMeasure {
     }
 }
 
-/// The per-domain similarity model: TI-matrix + WS-matrix + schema ranges.
+/// The per-domain similarity model: TI-matrix + WS-matrix + schema ranges, plus a
+/// monotonic **model generation** that advances whenever the model's behaviour can
+/// change (a query-log delta applied to the TI-matrix, a WS-matrix swap).
+///
+/// The generation is the model-side analogue of [`addb::Table::generation`]: cached
+/// answers are stamped with the generation of the model they were ranked by, so a
+/// live TI-matrix update provably invalidates them without any flush — see the
+/// [`cache`](crate::cache) module docs for the protocol.
 #[derive(Debug, Clone)]
 pub struct SimilarityModel {
     ti: Arc<TIMatrix>,
     ws: Arc<WordSimMatrix>,
     schema: Schema,
+    /// Bumped on every mutation that can change a similarity score.
+    generation: u64,
 }
 
 impl SimilarityModel {
     /// Build a model from the domain's TI-matrix, the shared WS-matrix and the schema.
+    /// A fresh model starts at generation 0; the pipeline raises it when replacing a
+    /// domain's model so generations never regress.
     pub fn new(ti: Arc<TIMatrix>, ws: Arc<WordSimMatrix>, schema: Schema) -> Self {
-        SimilarityModel { ti, ws, schema }
+        SimilarityModel {
+            ti,
+            ws,
+            schema,
+            generation: 0,
+        }
     }
 
     /// Shared handle to the TI-matrix (used when the pipeline rebuilds the model after
     /// the WS-matrix changes).
     pub fn ti_matrix(&self) -> Arc<TIMatrix> {
         Arc::clone(&self.ti)
+    }
+
+    /// The model's mutation generation (see the type-level docs).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Never let the generation regress below `floor` — the model analogue of
+    /// `addb::Table::raise_generation`, used when a domain's model is replaced
+    /// wholesale (WS-matrix swap, domain re-registration).
+    pub(crate) fn raise_generation(&mut self, floor: u64) {
+        self.generation = self.generation.max(floor);
+    }
+
+    /// Apply freshly collected query-log deltas to the TI-matrix in place
+    /// (`O(delta)` accumulation + one renormalization — see
+    /// [`TIMatrix::apply_all`]) and advance the model generation. Returns the new
+    /// generation.
+    ///
+    /// In-flight questions are unaffected: they hold the previous `Arc` snapshot of
+    /// the matrix ([`Arc::make_mut`] clones when a snapshot is still referenced), and
+    /// compiled probes ([`SimilarityModel::compile`]) are built per question, so the
+    /// next question lazily "recompiles" against the updated matrix with no
+    /// coordination.
+    pub fn apply_log_deltas<'d, I>(&mut self, deltas: I) -> u64
+    where
+        I: IntoIterator<Item = &'d QueryLogDelta>,
+    {
+        Arc::make_mut(&mut self.ti).apply_all(deltas);
+        self.generation += 1;
+        self.generation
     }
 
     /// Normalized `TI_Sim` between two Type I values.

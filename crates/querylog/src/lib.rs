@@ -30,5 +30,5 @@ pub mod log;
 pub mod ti_matrix;
 
 pub use generator::{generate_log, AffinityModel, LogGeneratorConfig};
-pub use log::{ClickEvent, QueryLog, Session, SubmittedQuery};
+pub use log::{ClickEvent, QueryLog, QueryLogDelta, QueryLogStream, Session, SubmittedQuery};
 pub use ti_matrix::TIMatrix;

@@ -81,6 +81,137 @@ impl QueryLog {
             .map(|q| q.clicks.len())
             .sum()
     }
+
+    /// Append one finished session to the log.
+    pub fn push(&mut self, session: Session) {
+        self.sessions.push(session);
+    }
+
+    /// Append every session of a delta to the log, in delta order. After
+    /// `log.extend(&delta)` the log is session-for-session equal to the log a batch
+    /// collector would have produced had the delta's sessions been recorded directly —
+    /// the identity [`TIMatrix::build`](crate::TIMatrix::build)`(log ++ delta)` ==
+    /// [`TIMatrix::apply`](crate::TIMatrix::apply) relies on exactly this ordering.
+    pub fn extend(&mut self, delta: &QueryLogDelta) {
+        self.sessions.extend(delta.sessions.iter().cloned());
+    }
+
+    /// The concatenation `self ++ delta` as a new log (the "ground truth" a full
+    /// rebuild would see; used by the equivalence tests and benches).
+    pub fn concat(&self, delta: &QueryLogDelta) -> QueryLog {
+        let mut combined = self.clone();
+        combined.extend(delta);
+        combined
+    }
+}
+
+/// A batch of **new** query-log sessions: the unit of incremental TI-matrix learning.
+///
+/// A live serving system does not re-read its whole query log on every refresh; it
+/// collects freshly finished sessions into deltas (see [`QueryLogStream`]) and feeds
+/// each delta to [`TIMatrix::apply`](crate::TIMatrix::apply), which updates the
+/// matrix in time proportional to the delta, not the log.
+///
+/// ```
+/// use cqads_querylog::{QueryLog, QueryLogDelta, Session};
+///
+/// let mut log = QueryLog::default();
+/// let delta = QueryLogDelta::from_sessions(vec![Session::default()]);
+/// log.extend(&delta);
+/// assert_eq!(log.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryLogDelta {
+    /// Newly finished sessions, in the order they completed.
+    pub sessions: Vec<Session>,
+}
+
+impl QueryLogDelta {
+    /// Wrap finished sessions as a delta.
+    pub fn from_sessions(sessions: Vec<Session>) -> Self {
+        QueryLogDelta { sessions }
+    }
+
+    /// Number of sessions in the delta.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when the delta carries no sessions (applying it is a no-op on the
+    /// matrix entries, though it still re-finalizes).
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Total number of submitted queries across the delta's sessions.
+    pub fn query_count(&self) -> usize {
+        self.sessions.iter().map(|s| s.queries.len()).sum()
+    }
+}
+
+/// Collects live-traffic sessions and batches them into [`QueryLogDelta`]s.
+///
+/// The serving path appends each finished session with [`QueryLogStream::push`];
+/// once `batch_size` sessions have accumulated the push returns a ready delta for
+/// [`CqadsSystem::ingest_query_log`-style](crate::TIMatrix::apply) application.
+/// [`QueryLogStream::flush`] drains a partial batch (e.g. on a timer tick), so no
+/// session is ever lost to the buffer.
+///
+/// ```
+/// use cqads_querylog::{QueryLogStream, Session};
+///
+/// let mut stream = QueryLogStream::new(2);
+/// assert!(stream.push(Session::default()).is_none()); // buffered
+/// let delta = stream.push(Session::default()).expect("batch full");
+/// assert_eq!(delta.len(), 2);
+/// assert!(stream.flush().is_none()); // nothing pending
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryLogStream {
+    buffer: Vec<Session>,
+    batch_size: usize,
+}
+
+impl QueryLogStream {
+    /// Create a stream that emits a delta every `batch_size` sessions (clamped to at
+    /// least 1).
+    pub fn new(batch_size: usize) -> Self {
+        QueryLogStream {
+            buffer: Vec::new(),
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Record one finished session. Returns a full delta once `batch_size` sessions
+    /// have accumulated, `None` while the batch is still filling.
+    pub fn push(&mut self, session: Session) -> Option<QueryLogDelta> {
+        self.buffer.push(session);
+        if self.buffer.len() >= self.batch_size {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Drain whatever is buffered as a (possibly short) delta; `None` when empty.
+    pub fn flush(&mut self) -> Option<QueryLogDelta> {
+        if self.buffer.is_empty() {
+            return None;
+        }
+        Some(QueryLogDelta::from_sessions(std::mem::take(
+            &mut self.buffer,
+        )))
+    }
+
+    /// Sessions currently buffered (not yet emitted as a delta).
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +259,50 @@ mod tests {
         assert_eq!(log.query_count(), 4);
         assert_eq!(log.click_count(), 2);
         assert!(QueryLog::default().is_empty());
+    }
+
+    #[test]
+    fn extend_and_concat_append_delta_sessions_in_order() {
+        let mut log = QueryLog {
+            sessions: vec![session()],
+        };
+        let delta = QueryLogDelta::from_sessions(vec![session(), Session::default()]);
+        assert_eq!(delta.len(), 2);
+        assert_eq!(delta.query_count(), 2);
+        assert!(!delta.is_empty());
+
+        let combined = log.concat(&delta);
+        log.extend(&delta);
+        assert_eq!(log.sessions, combined.sessions);
+        assert_eq!(log.len(), 3);
+        // Order: base sessions first, then delta sessions in delta order.
+        assert_eq!(log.sessions[2], Session::default());
+
+        log.push(session());
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn stream_batches_sessions_into_deltas() {
+        let mut stream = QueryLogStream::new(3);
+        assert_eq!(stream.batch_size(), 3);
+        assert!(stream.push(session()).is_none());
+        assert!(stream.push(session()).is_none());
+        assert_eq!(stream.pending(), 2);
+        let delta = stream.push(session()).expect("third push fills the batch");
+        assert_eq!(delta.len(), 3);
+        assert_eq!(stream.pending(), 0);
+
+        // flush drains partial batches and is a no-op when empty.
+        assert!(stream.flush().is_none());
+        stream.push(session());
+        let partial = stream.flush().expect("one buffered session");
+        assert_eq!(partial.len(), 1);
+        assert_eq!(stream.pending(), 0);
+
+        // batch_size is clamped to at least 1: every push emits.
+        let mut unit = QueryLogStream::new(0);
+        assert_eq!(unit.batch_size(), 1);
+        assert!(unit.push(session()).is_some());
     }
 }

@@ -1,4 +1,4 @@
-//! TI-matrix construction (Equation 3 of the paper).
+//! TI-matrix construction (Equation 3 of the paper) and incremental live-log updates.
 //!
 //! The TI-matrix stores `TI_Sim(A, B)` for every pair of distinct Type I attribute
 //! values of a domain. Each of the five features is computed over the whole query log
@@ -13,45 +13,160 @@
 //! * `Rank(A, B)` — average rank of an ad containing B when A was searched, inverted
 //!   (rank 1 is best: "the higher B is ranked, the more likely B is similar to A"),
 //! * `Click(A, B)` — number of clicks on ads containing B when A was searched.
+//!
+//! # Incremental updates (`build` vs [`TIMatrix::apply`])
+//!
+//! Construction is split into two phases, and the matrix **retains** the output of
+//! the first:
+//!
+//! 1. **Accumulate** — a single pass over sessions updates the raw per-pair feature
+//!    accumulators (`Mod`/`Click` counts, `Time`/`Ad_Time`/`Rank` sums with their
+//!    observation counts). Cost: `O(events in the sessions)`.
+//! 2. **Finalize** — per-feature maxima are recomputed over the accumulators and
+//!    every pair's normalized `TI_Sim` entry is rebuilt. Cost: `O(distinct pairs)`,
+//!    which is bounded by the square of the domain's Type I vocabulary — orders of
+//!    magnitude below the log size a production system accumulates.
+//!
+//! [`TIMatrix::build`] runs both phases over a whole log; [`TIMatrix::apply`]
+//! accumulates only a [`QueryLogDelta`] of fresh sessions and re-finalizes, so a
+//! live system learns from traffic without ever re-reading its log.
+//!
+//! **Why `apply` is bit-identical to a full rebuild.** Every raw accumulator field
+//! is a sum (or count) over the log's events *in log order*. `build(log ++ delta)`
+//! adds the base log's events first and the delta's events second; `build(log)`
+//! followed by `apply(delta)` performs the *same float additions in the same order*
+//! on the retained accumulators — IEEE 754 addition is deterministic, so the raw
+//! sums agree bit for bit. Finalization is a pure per-pair function of the raw
+//! accumulators plus per-feature maxima, and a maximum over finite floats is
+//! order-independent; both paths therefore produce identical entries and an
+//! identical `max_value`. The `tests/properties.rs` proptest asserts this equality
+//! (entry bits, pair sets, maxima) over random logs and deltas, and the
+//! `live_learning` bench re-asserts it before timing.
+//!
+//! Manually [`insert`](TIMatrix::insert)ed pairs live in a separate overlay that
+//! finalization re-applies on top of the log-derived entries, so test fixtures and
+//! hand-built matrices survive an `apply`.
+//!
+//! **Vocabulary contract:** log values are interned into the process-global string
+//! pool (`cqads_text::intern`, which never evicts) — by `build` since PR 1, and now
+//! by every `apply`. The values of a query log are the domain's Type I attribute
+//! values (car models, job titles, ...), a vocabulary bounded by the ads tables
+//! themselves, so the pool stays bounded too. Do **not** feed raw, unnormalized
+//! user text through a live delta stream; match it against the domain vocabulary
+//! first, the way the paper's log pipeline (and the synthetic [`generator`
+//! ](crate::generator)) does.
 
-use crate::log::QueryLog;
+use crate::log::{QueryLog, QueryLogDelta, Session};
 use cqads_text::intern::{self, sym_pair, Sym, SymHashBuilder};
 use std::collections::HashMap;
 
-/// Symmetric matrix of `TI_Sim` values over Type I attribute values.
+/// Raw (un-normalized) feature accumulators for one value pair. Sums and counts
+/// only — everything normalization needs is recomputed from these in
+/// `O(distinct pairs)` at finalize time.
+#[derive(Debug, Clone, Copy, Default)]
+struct PairStats {
+    /// `Mod(A, B)`: number of reformulations between the values.
+    mod_count: f64,
+    /// Sum and count of within-session submission gaps (`Time` feature).
+    time_sum: f64,
+    time_n: f64,
+    /// Sum and count of ad dwell times (`Ad_Time` feature).
+    ad_time_sum: f64,
+    ad_time_n: f64,
+    /// Sum and count of shown ranks (`Rank` feature).
+    rank_sum: f64,
+    rank_n: f64,
+    /// `Click(A, B)`: number of clicks.
+    click_count: f64,
+}
+
+/// Symmetric matrix of `TI_Sim` values over Type I attribute values, incrementally
+/// updatable from a live query-log stream.
 ///
 /// Entries are keyed by interned symbols of the *lowercased* values, so the hot-path
 /// lookup ([`TIMatrix::normalized_sym`]) is a pure integer-pair hash probe with zero
 /// string allocation; the string-based accessors remain for construction, tests and
 /// reports and normalize (allocate) on the way in.
+///
+/// The matrix retains its raw per-pair feature accumulators, so
+/// [`TIMatrix::apply`] can absorb a [`QueryLogDelta`] in time proportional to the
+/// delta (plus a cheap `O(distinct pairs)` renormalization) while staying
+/// bit-identical to a full [`TIMatrix::build`] over the concatenated log — see the
+/// [module docs](self) for the argument.
+///
+/// ```
+/// use cqads_querylog::{generate_log, AffinityModel, LogGeneratorConfig};
+/// use cqads_querylog::{QueryLogDelta, TIMatrix};
+///
+/// let mut model = AffinityModel::new(&["accord", "camry"]);
+/// model.set_affinity("accord", "camry", 0.9);
+/// let base = generate_log(&model, &LogGeneratorConfig { sessions: 50, ..Default::default() });
+/// let fresh = generate_log(&model, &LogGeneratorConfig { sessions: 5, seed: 9, ..Default::default() });
+/// let delta = QueryLogDelta::from_sessions(fresh.sessions);
+///
+/// let mut live = TIMatrix::build(&base);
+/// live.apply(&delta); // O(delta) accumulation, no log re-read
+/// assert_eq!(live.len(), TIMatrix::build(&base.concat(&delta)).len());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct TIMatrix {
     entries: HashMap<(Sym, Sym), f64, SymHashBuilder>,
     max_value: f64,
+    /// Retained raw accumulators (phase 1 output) — the state `apply` extends.
+    stats: HashMap<(Sym, Sym), PairStats, SymHashBuilder>,
+    /// Manually inserted pairs, overlaid onto the log-derived entries at finalize.
+    manual: HashMap<(Sym, Sym), f64, SymHashBuilder>,
 }
 
 impl TIMatrix {
-    /// Estimate the matrix from a query log.
+    /// Estimate the matrix from a query log (accumulate every session, then
+    /// finalize). Equivalent to `TIMatrix::default()` followed by one
+    /// [`apply`](TIMatrix::apply) of the whole log as a delta.
     pub fn build(log: &QueryLog) -> Self {
-        let mut mod_count: HashMap<(String, String), f64> = HashMap::new();
-        let mut time_sum: HashMap<(String, String), (f64, f64)> = HashMap::new();
-        let mut ad_time_sum: HashMap<(String, String), (f64, f64)> = HashMap::new();
-        let mut rank_sum: HashMap<(String, String), (f64, f64)> = HashMap::new();
-        let mut click_count: HashMap<(String, String), f64> = HashMap::new();
+        let mut matrix = TIMatrix::default();
+        matrix.accumulate(&log.sessions);
+        matrix.finalize();
+        matrix
+    }
 
-        for session in &log.sessions {
+    /// Absorb a delta of freshly recorded sessions: `O(delta events)` accumulator
+    /// updates plus an `O(distinct pairs)` renormalization. The result is
+    /// bit-identical to a full [`TIMatrix::build`] over `log ++ delta` (see the
+    /// [module docs](self)).
+    pub fn apply(&mut self, delta: &QueryLogDelta) {
+        self.accumulate(&delta.sessions);
+        self.finalize();
+    }
+
+    /// Absorb several deltas with a single renormalization at the end — the batch
+    /// form used by `CqadsSystem::ingest_query_log_batch`. Identical to applying
+    /// the deltas one by one (intermediate finalizations are pure functions of the
+    /// accumulators and leave them untouched), but pays the `O(distinct pairs)`
+    /// finalize cost once.
+    pub fn apply_all<'d, I>(&mut self, deltas: I)
+    where
+        I: IntoIterator<Item = &'d QueryLogDelta>,
+    {
+        for delta in deltas {
+            self.accumulate(&delta.sessions);
+        }
+        self.finalize();
+    }
+
+    /// Phase 1: fold sessions into the raw per-pair accumulators, in session order.
+    fn accumulate(&mut self, sessions: &[Session]) {
+        for session in sessions {
             // Mod + Time features from reformulations within the session.
             for pair in session.queries.windows(2) {
                 let (a, b) = (&pair[0].value, &pair[1].value);
                 if a == b {
                     continue;
                 }
-                let k = key(a, b);
-                *mod_count.entry(k.clone()).or_insert(0.0) += 1.0;
+                let e = self.stats.entry(sym_key(a, b)).or_default();
+                e.mod_count += 1.0;
                 let dt = (pair[1].at_seconds - pair[0].at_seconds).abs();
-                let e = time_sum.entry(k).or_insert((0.0, 0.0));
-                e.0 += dt;
-                e.1 += 1.0;
+                e.time_sum += dt;
+                e.time_n += 1.0;
             }
             // Ad_Time, Rank, Click features from result pages and clicks.
             for q in &session.queries {
@@ -59,64 +174,57 @@ impl TIMatrix {
                     if shown == &q.value {
                         continue;
                     }
-                    let k = key(&q.value, shown);
-                    let e = rank_sum.entry(k).or_insert((0.0, 0.0));
-                    e.0 += (idx + 1) as f64;
-                    e.1 += 1.0;
+                    let e = self.stats.entry(sym_key(&q.value, shown)).or_default();
+                    e.rank_sum += (idx + 1) as f64;
+                    e.rank_n += 1.0;
                 }
                 for click in &q.clicks {
                     if click.ad_value == q.value {
                         continue;
                     }
-                    let k = key(&q.value, &click.ad_value);
-                    *click_count.entry(k.clone()).or_insert(0.0) += 1.0;
-                    let e = ad_time_sum.entry(k).or_insert((0.0, 0.0));
-                    e.0 += click.dwell_seconds;
-                    e.1 += 1.0;
+                    let e = self
+                        .stats
+                        .entry(sym_key(&q.value, &click.ad_value))
+                        .or_default();
+                    e.click_count += 1.0;
+                    e.ad_time_sum += click.dwell_seconds;
+                    e.ad_time_n += 1.0;
                 }
             }
         }
+    }
 
-        // Collect the union of pairs seen by any feature.
-        let mut pairs: Vec<(String, String)> = mod_count
-            .keys()
-            .chain(time_sum.keys())
-            .chain(ad_time_sum.keys())
-            .chain(rank_sum.keys())
-            .chain(click_count.keys())
-            .cloned()
-            .collect();
-        pairs.sort();
-        pairs.dedup();
+    /// Phase 2: recompute per-feature maxima and rebuild every normalized entry
+    /// from the raw accumulators, then re-apply the manual overlay. A pure function
+    /// of `stats` + `manual`: running it twice in a row changes nothing.
+    fn finalize(&mut self) {
+        // Raw per-pair feature values: [Mod, Time, Ad_Time, Rank, Click].
+        let raw = |s: &PairStats| -> [f64; 5] {
+            let avg = |sum: f64, n: f64| if n > 0.0 { sum / n } else { 0.0 };
+            [
+                s.mod_count,
+                avg(s.time_sum, s.time_n),
+                avg(s.ad_time_sum, s.ad_time_n),
+                avg(s.rank_sum, s.rank_n),
+                s.click_count,
+            ]
+        };
 
-        let avg =
-            |m: &HashMap<(String, String), (f64, f64)>, k: &(String, String)| -> Option<f64> {
-                m.get(k)
-                    .map(|(sum, n)| if *n > 0.0 { sum / n } else { 0.0 })
-            };
-
-        // Raw feature values per pair.
-        let mut raw: HashMap<(String, String), [f64; 5]> = HashMap::new();
-        for k in &pairs {
-            let modf = mod_count.get(k).copied().unwrap_or(0.0);
-            let timef = avg(&time_sum, k).unwrap_or(0.0);
-            let adtimef = avg(&ad_time_sum, k).unwrap_or(0.0);
-            let rankf = avg(&rank_sum, k).unwrap_or(0.0);
-            let clickf = click_count.get(k).copied().unwrap_or(0.0);
-            raw.insert(k.clone(), [modf, timef, adtimef, rankf, clickf]);
-        }
-
-        // Per-feature maxima for normalization.
+        // Per-feature maxima for normalization (max over finite floats is
+        // order-independent, so map iteration order cannot leak into the result).
         let mut maxima = [0.0_f64; 5];
-        for v in raw.values() {
+        for s in self.stats.values() {
+            let v = raw(s);
             for i in 0..5 {
                 maxima[i] = maxima[i].max(v[i]);
             }
         }
 
-        let mut entries = HashMap::with_capacity_and_hasher(raw.len(), SymHashBuilder);
+        let mut entries =
+            HashMap::with_capacity_and_hasher(self.stats.len() + self.manual.len(), SymHashBuilder);
         let mut max_value = 0.0_f64;
-        for (k, v) in raw {
+        for (k, s) in &self.stats {
+            let v = raw(s);
             let norm = |i: usize| {
                 if maxima[i] > 0.0 {
                     v[i] / maxima[i]
@@ -135,9 +243,16 @@ impl TIMatrix {
             };
             let ti = norm(0) + time_feat + norm(2) + rank_feat + norm(4);
             max_value = max_value.max(ti);
-            entries.insert(sym_key(&k.0, &k.1), ti);
+            entries.insert(*k, ti);
         }
-        TIMatrix { entries, max_value }
+        // Manual overlay wins over log-derived entries (test fixtures, hand-built
+        // matrices) and participates in the normalization maximum like before.
+        for (k, v) in &self.manual {
+            entries.insert(*k, *v);
+            max_value = max_value.max(*v);
+        }
+        self.entries = entries;
+        self.max_value = max_value;
     }
 
     /// `TI_Sim(a, b)` in `[0, 5]`; identical values score the maximum observed value
@@ -198,9 +313,13 @@ impl TIMatrix {
         self.max_value
     }
 
-    /// Manually insert a similarity (used in unit tests and examples).
+    /// Manually insert a similarity (used in unit tests and examples). The pair is
+    /// kept in a separate overlay, so it survives later [`TIMatrix::apply`] calls
+    /// (the overlay is re-applied on top of the log-derived entries).
     pub fn insert(&mut self, a: &str, b: &str, value: f64) {
-        self.entries.insert(sym_key(a, b), value.max(0.0));
+        let value = value.max(0.0);
+        self.manual.insert(sym_key(a, b), value);
+        self.entries.insert(sym_key(a, b), value);
         self.max_value = self.max_value.max(value);
     }
 }
@@ -211,17 +330,6 @@ fn sym_key(a: &str, b: &str) -> (Sym, Sym) {
         intern::intern(&a.to_lowercase()),
         intern::intern(&b.to_lowercase()),
     )
-}
-
-/// String-ordered pair key used only during [`TIMatrix::build`] feature accumulation.
-fn key(a: &str, b: &str) -> (String, String) {
-    let a = a.to_lowercase();
-    let b = b.to_lowercase();
-    if a <= b {
-        (a, b)
-    } else {
-        (b, a)
-    }
 }
 
 #[cfg(test)]
@@ -305,6 +413,102 @@ mod tests {
         assert!(!ti.is_empty());
         assert_eq!(ti.normalized("a", "b"), 1.0);
         assert_eq!(ti.normalized("a", "c"), 0.5);
+    }
+
+    /// Bit-level equality of two matrices: same pair set, same entry bits, same
+    /// normalization maximum.
+    fn assert_bit_identical(a: &TIMatrix, b: &TIMatrix) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.max_value().to_bits(), b.max_value().to_bits());
+        for (k, v) in &a.entries {
+            let other = b.entries.get(k).unwrap_or_else(|| panic!("missing {k:?}"));
+            assert_eq!(v.to_bits(), other.to_bits(), "entry {k:?} diverged");
+        }
+    }
+
+    #[test]
+    fn apply_matches_full_rebuild_bit_for_bit() {
+        let (model, _) = built_matrix();
+        let base = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 300,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let fresh = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 40,
+                seed: 6,
+                ..Default::default()
+            },
+        );
+        let delta = crate::QueryLogDelta::from_sessions(fresh.sessions);
+
+        let full = TIMatrix::build(&base.concat(&delta));
+        let mut incremental = TIMatrix::build(&base);
+        incremental.apply(&delta);
+        assert_bit_identical(&full, &incremental);
+
+        // Batch form: splitting the delta and finalizing once is identical too.
+        let mid = delta.sessions.len() / 2;
+        let first = crate::QueryLogDelta::from_sessions(delta.sessions[..mid].to_vec());
+        let second = crate::QueryLogDelta::from_sessions(delta.sessions[mid..].to_vec());
+        let mut batched = TIMatrix::build(&base);
+        batched.apply_all([&first, &second]);
+        assert_bit_identical(&full, &batched);
+
+        // An empty delta is a no-op on the entries.
+        let before = incremental.clone();
+        incremental.apply(&crate::QueryLogDelta::default());
+        assert_bit_identical(&before, &incremental);
+    }
+
+    #[test]
+    fn apply_absorbs_new_evidence() {
+        let (model, _) = built_matrix();
+        let base = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 200,
+                seed: 31,
+                ..Default::default()
+            },
+        );
+        let mut ti = TIMatrix::build(&base);
+        // A delta with heavy accord<->camry traffic must not lower their ordering
+        // over the barely-related accord<->mustang pair.
+        let fresh = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 100,
+                seed: 32,
+                ..Default::default()
+            },
+        );
+        ti.apply(&crate::QueryLogDelta::from_sessions(fresh.sessions));
+        assert!(ti.ti_sim("accord", "camry") > ti.ti_sim("accord", "mustang"));
+        assert!(!ti.is_empty());
+    }
+
+    #[test]
+    fn manual_inserts_survive_apply() {
+        let (model, _) = built_matrix();
+        let mut ti = TIMatrix::default();
+        ti.insert("zzz-custom", "qqq-custom", 4.5);
+        let fresh = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 30,
+                seed: 8,
+                ..Default::default()
+            },
+        );
+        ti.apply(&crate::QueryLogDelta::from_sessions(fresh.sessions));
+        assert_eq!(ti.ti_sim("zzz-custom", "qqq-custom"), 4.5);
+        assert!(ti.max_value() >= 4.5);
     }
 
     proptest! {

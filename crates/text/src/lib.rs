@@ -4,13 +4,13 @@
 //! tools. None of them existed as reusable components in the paper's description, so
 //! this crate builds them from scratch:
 //!
-//! * [`tokenize`] — question tokenization and number/unit splitting ("20k miles",
+//! * [`mod@tokenize`] — question tokenization and number/unit splitting ("20k miles",
 //!   "$5000", "2dr").
 //! * [`stopwords`] — the stop-word list used to drop non-essential keywords
 //!   (Section 4.1.4 and Example 2).
 //! * [`stem`] — a Porter stemmer; the WS word-correlation matrix stores *stemmed*
 //!   words, and negation keywords are matched on their stemmed versions.
-//! * [`similar_text`] — the PHP-style `similar_text` percentage used by the spelling
+//! * [`mod@similar_text`] — the PHP-style `similar_text` percentage used by the spelling
 //!   corrector (Section 4.2.1).
 //! * [`shorthand`] — the ordered-subsequence rule that detects shorthand notations such
 //!   as "4dr" for "4 door" (Section 4.2.3).

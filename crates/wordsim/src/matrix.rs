@@ -31,13 +31,27 @@ pub struct WordSimMatrix {
 }
 
 impl WordSimMatrix {
-    /// Build the matrix from a corpus with the default window.
+    /// Build the matrix from a corpus with the default window. Thin wrapper over
+    /// [`WordSimMatrix::build_with_window`] — there is exactly one construction
+    /// path (accumulate co-occurrences, then normalize), and both entry points
+    /// share it.
     pub fn build(corpus: &SyntheticCorpus) -> Self {
         Self::build_with_window(corpus, DEFAULT_WINDOW)
     }
 
-    /// Build the matrix from a corpus with an explicit co-occurrence window.
+    /// Build the matrix from a corpus with an explicit co-occurrence window: one
+    /// `accumulate` pass over the documents, then one `normalize` over the raw
+    /// scores (the same accumulate/finalize shape as `cqads_querylog::TIMatrix`).
     pub fn build_with_window(corpus: &SyntheticCorpus, window: usize) -> Self {
+        Self::normalize(Self::accumulate(corpus, window))
+    }
+
+    /// Accumulation phase: `score(w1, w2) += 1/d` for every co-occurrence of two
+    /// distinct non-stop stems at token distance `d ≤ window`, over every document.
+    fn accumulate(
+        corpus: &SyntheticCorpus,
+        window: usize,
+    ) -> HashMap<(Sym, Sym), f64, SymHashBuilder> {
         let mut raw: HashMap<(Sym, Sym), f64, SymHashBuilder> = HashMap::default();
         for doc in &corpus.documents {
             let stems: Vec<Sym> = doc
@@ -56,6 +70,12 @@ impl WordSimMatrix {
                 }
             }
         }
+        raw
+    }
+
+    /// Normalization phase: divide every raw accumulation by the largest one so
+    /// entries lie in `[0, 1]` (an empty accumulation normalizes to itself).
+    fn normalize(raw: HashMap<(Sym, Sym), f64, SymHashBuilder>) -> Self {
         let max_raw = raw.values().cloned().fold(0.0_f64, f64::max);
         let entries = if max_raw > 0.0 {
             raw.into_iter().map(|(k, v)| (k, v / max_raw)).collect()

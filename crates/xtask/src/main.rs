@@ -92,6 +92,22 @@ const GATED: &[BenchSpec] = &[
             },
         ],
     },
+    BenchSpec {
+        bench: "live_learning",
+        report: "BENCH_live_learning.json",
+        metrics: &[
+            // A ratio of two timings on the same box, so it transfers across
+            // machine classes better than absolute throughput does.
+            Metric {
+                path: &["apply_speedup_vs_rebuild"],
+                direction: Direction::HigherIsBetter,
+            },
+            Metric {
+                path: &["serving", "qps_under_updates"],
+                direction: Direction::HigherIsBetter,
+            },
+        ],
+    },
 ];
 
 fn workspace_root() -> PathBuf {

@@ -8,9 +8,13 @@ use cqads_suite::cqads::{CqadsSystem, PartialMatchOptions, PartialMatcher, Simil
 use cqads_suite::datagen::{
     affinity_model, blueprint, generate_questions, generate_table, topic_groups, QuestionMix,
 };
-use cqads_suite::querylog::{generate_log, LogGeneratorConfig, TIMatrix};
+use cqads_suite::querylog::{
+    generate_log, AffinityModel, ClickEvent, LogGeneratorConfig, QueryLogDelta, Session,
+    SubmittedQuery, TIMatrix,
+};
 use cqads_suite::wordsim::{CorpusSpec, SyntheticCorpus, WordSimMatrix};
 use proptest::prelude::*;
+use proptest::TestCaseError;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -289,4 +293,147 @@ fn generated_workloads_are_reproducible() {
         a.iter().map(|q| q.text.clone()).collect::<Vec<_>>(),
         b.iter().map(|q| q.text.clone()).collect::<Vec<_>>()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Incremental TI-matrix learning: apply == full rebuild, bit for bit
+// ---------------------------------------------------------------------------
+
+/// The Type I vocabulary the random logs draw from (kept small so pairs repeat and
+/// every feature accumulates real evidence).
+const TI_VALUES: [&str; 5] = ["accord", "camry", "civic", "corolla", "mustang"];
+
+fn ti_affinities() -> AffinityModel {
+    let mut m = AffinityModel::new(&TI_VALUES);
+    m.set_affinity("accord", "camry", 0.9);
+    m.set_affinity("civic", "corolla", 0.8);
+    m.set_affinity("accord", "mustang", 0.1);
+    m
+}
+
+/// A hand-built session exercising the estimator's edge cases: repeated identical
+/// queries (no Mod/Time evidence), a result page showing the searched value itself,
+/// clicks on the searched value (skipped), zero-dwell clicks and an empty tail query.
+fn adversarial_session(user_id: u64, a: &str, b: &str) -> Session {
+    Session {
+        user_id,
+        queries: vec![
+            SubmittedQuery {
+                value: a.to_string(),
+                at_seconds: 0.0,
+                clicks: vec![
+                    ClickEvent {
+                        ad_value: a.to_string(), // click on itself: ignored
+                        rank: 1,
+                        dwell_seconds: 50.0,
+                    },
+                    ClickEvent {
+                        ad_value: b.to_string(),
+                        rank: 2,
+                        dwell_seconds: 0.0, // zero dwell still counts as a click
+                    },
+                ],
+                shown: vec![a.to_string(), a.to_string(), b.to_string()],
+            },
+            SubmittedQuery {
+                value: a.to_string(), // identical reformulation: ignored
+                at_seconds: 5.0,
+                clicks: vec![],
+                shown: vec![],
+            },
+            SubmittedQuery {
+                value: b.to_string(),
+                at_seconds: 5.0, // zero gap to the previous query
+                clicks: vec![],
+                shown: vec![],
+            },
+        ],
+    }
+}
+
+/// Every vocabulary pair (and self-pair) must agree bit-for-bit, as must the
+/// normalization maximum and the stored pair count.
+fn assert_ti_bit_identical(full: &TIMatrix, incremental: &TIMatrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(full.len(), incremental.len());
+    prop_assert_eq!(
+        full.max_value().to_bits(),
+        incremental.max_value().to_bits()
+    );
+    for a in TI_VALUES {
+        for b in TI_VALUES {
+            prop_assert_eq!(
+                full.ti_sim(a, b).to_bits(),
+                incremental.ti_sim(a, b).to_bits(),
+                "ti_sim({}, {}) diverged",
+                a,
+                b
+            );
+            prop_assert_eq!(
+                full.normalized(a, b).to_bits(),
+                incremental.normalized(a, b).to_bits(),
+                "normalized({}, {}) diverged",
+                a,
+                b
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `TIMatrix::build(log ++ delta)` == `TIMatrix::build(log).apply(delta)`, bit
+    /// for bit, for random logs and deltas of any size (either may be empty) —
+    /// including deltas spliced with adversarial hand-built sessions. Also checks
+    /// the batch form (`apply_all` over a split delta, one renormalization).
+    #[test]
+    fn ti_apply_is_bit_identical_to_full_rebuild(
+        base_sessions in 0usize..50,
+        delta_sessions in 0usize..20,
+        base_seed in 0u64..10_000,
+        delta_seed in 0u64..10_000,
+        weird in 0usize..3,
+        pair in prop::sample::select(vec![(0usize, 1usize), (1, 4), (2, 3), (3, 3)]),
+    ) {
+        let model = ti_affinities();
+        let base = generate_log(
+            &model,
+            &LogGeneratorConfig { sessions: base_sessions, seed: base_seed, ..Default::default() },
+        );
+        let mut fresh = generate_log(
+            &model,
+            &LogGeneratorConfig { sessions: delta_sessions, seed: delta_seed, ..Default::default() },
+        )
+        .sessions;
+        for w in 0..weird {
+            fresh.push(adversarial_session(
+                1_000 + w as u64,
+                TI_VALUES[pair.0],
+                TI_VALUES[pair.1],
+            ));
+        }
+        let delta = QueryLogDelta::from_sessions(fresh);
+
+        let full = TIMatrix::build(&base.concat(&delta));
+
+        let mut incremental = TIMatrix::build(&base);
+        incremental.apply(&delta);
+        assert_ti_bit_identical(&full, &incremental)?;
+
+        // Batch form: split the delta in two, finalize once.
+        let mid = delta.sessions.len() / 2;
+        let head = QueryLogDelta::from_sessions(delta.sessions[..mid].to_vec());
+        let tail = QueryLogDelta::from_sessions(delta.sessions[mid..].to_vec());
+        let mut batched = TIMatrix::build(&base);
+        batched.apply_all([&head, &tail]);
+        assert_ti_bit_identical(&full, &batched)?;
+
+        // Applying the two halves one at a time is identical too (intermediate
+        // finalizations are pure).
+        let mut stepwise = TIMatrix::build(&base);
+        stepwise.apply(&head);
+        stepwise.apply(&tail);
+        assert_ti_bit_identical(&full, &stepwise)?;
+    }
 }

@@ -11,6 +11,7 @@
 use cqads_suite::addb::{Record, Table};
 use cqads_suite::cqads::domain::toy_car_domain;
 use cqads_suite::cqads::CqadsSystem;
+use cqads_suite::querylog::{QueryLogDelta, QueryLogStream, Session, SubmittedQuery};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -77,6 +78,80 @@ fn insert_invalidates_cached_answers_even_when_the_record_is_unrelated() {
         .unwrap();
     let after = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
     assert_eq!(after.exact_count, 4, "insert via database_mut not observed");
+}
+
+/// Mirror of the insert-invalidation test for the *model* side of the stamp: a
+/// streamed query-log delta must invalidate cached answers even though the table
+/// never changed — the cached ranking was computed by an older TI-matrix.
+#[test]
+fn ingested_query_log_delta_invalidates_cached_answers() {
+    let mut sys = all_match_system(3);
+    let first = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    let hit = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert!(Arc::ptr_eq(&first, &hit));
+    let stale_before = sys.cache_stats().stale_evictions;
+
+    // Live traffic arrives session by session; the stream batches it into deltas.
+    let mut stream = QueryLogStream::new(2);
+    let session = |user_id: u64, from: &str, to: &str| Session {
+        user_id,
+        queries: vec![
+            SubmittedQuery {
+                value: from.into(),
+                at_seconds: 0.0,
+                clicks: vec![],
+                shown: vec![from.into(), to.into()],
+            },
+            SubmittedQuery {
+                value: to.into(),
+                at_seconds: 45.0,
+                clicks: vec![],
+                shown: vec![to.into()],
+            },
+        ],
+    };
+    assert!(stream.push(session(1, "accord", "camry")).is_none());
+    let delta = stream
+        .push(session(2, "accord", "civic"))
+        .expect("second session fills the batch");
+
+    let report = sys.ingest_query_log("cars", &delta).unwrap();
+    assert_eq!(report.sessions, 2);
+    assert_eq!(sys.model_generation("cars"), Some(report.model_generation));
+    // The table is untouched: only the model component of the stamp advanced.
+    assert_eq!(sys.database().generation("cars"), Some(3));
+
+    // The cached entry must be evicted as stale, not served.
+    let refreshed = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    assert!(!Arc::ptr_eq(&first, &refreshed), "stale ranking served");
+    assert_eq!(sys.cache_stats().stale_evictions, stale_before + 1);
+    // Recompute equals a from-scratch answer under the updated matrix.
+    let scratch = sys.answer_in_domain(PROBE, "cars").unwrap();
+    assert_eq!(refreshed.exact_count, scratch.exact_count);
+    assert_eq!(refreshed.answers.len(), scratch.answers.len());
+
+    // The batch front-end observes the new generation too: warm it, ingest the
+    // flushed remainder of the stream, and require a recompute.
+    let warm = sys.answer_batch(&[PROBE]).remove(0).unwrap();
+    stream.push(session(3, "camry", "corolla"));
+    let tail = stream.flush().expect("one buffered session");
+    assert_eq!(tail.len(), 1);
+    sys.ingest_query_log("cars", &tail).unwrap();
+    let fresh = sys.answer_batch(&[PROBE]).remove(0).unwrap();
+    assert!(
+        !Arc::ptr_eq(&warm, &fresh),
+        "answer_batch served a stale-model answer"
+    );
+
+    // An empty delta still bumps the generation (conservative) — and errors on
+    // unknown domains.
+    let generation = sys.model_generation("cars").unwrap();
+    sys.ingest_query_log("cars", &QueryLogDelta::default())
+        .unwrap();
+    assert_eq!(sys.model_generation("cars"), Some(generation + 1));
+    assert!(sys
+        .ingest_query_log("boats", &QueryLogDelta::default())
+        .is_err());
 }
 
 #[test]
