@@ -26,6 +26,10 @@ pub enum CqadsError {
     },
     /// The underlying database reported an error.
     Database(addb::DbError),
+    /// The durable storage engine reported an error (I/O failure, corruption,
+    /// codec mismatch — see [`cqads_storage::StorageError`] for the file and
+    /// byte-offset context it carries).
+    Storage(cqads_storage::StorageError),
 }
 
 impl fmt::Display for CqadsError {
@@ -43,6 +47,7 @@ impl fmt::Display for CqadsError {
                 "contradictory constraints on `{attribute}`: search retrieved no results"
             ),
             CqadsError::Database(e) => write!(f, "database error: {e}"),
+            CqadsError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -57,6 +62,12 @@ impl From<addb::DbError> for CqadsError {
             }
             other => CqadsError::Database(other),
         }
+    }
+}
+
+impl From<cqads_storage::StorageError> for CqadsError {
+    fn from(e: cqads_storage::StorageError) -> Self {
+        CqadsError::Storage(e)
     }
 }
 
@@ -87,5 +98,18 @@ mod tests {
         );
         let db = addb::DbError::UnknownTable("x".into());
         assert!(matches!(CqadsError::from(db), CqadsError::Database(_)));
+    }
+
+    #[test]
+    fn storage_errors_wrap_with_context() {
+        let s = cqads_storage::StorageError::Corrupt {
+            path: "wal-000001.log".into(),
+            offset: 17,
+            detail: "crc mismatch".into(),
+        };
+        let e = CqadsError::from(s.clone());
+        assert_eq!(e, CqadsError::Storage(s));
+        let msg = e.to_string();
+        assert!(msg.contains("storage") && msg.contains("wal-000001.log") && msg.contains("17"));
     }
 }

@@ -53,6 +53,7 @@ pub mod partial;
 pub mod pipeline;
 pub mod ranking;
 pub mod spell;
+pub mod storage;
 pub mod tagging;
 pub mod translate;
 
@@ -69,5 +70,6 @@ pub use ranking::{
     boundary_matches, CompiledProbe, ProbeScorer, ScoredValue, SimilarityMeasure, SimilarityModel,
     ValueOrder,
 };
+pub use storage::StorageOptions;
 pub use tagging::{TaggedQuestion, TaggedToken, Tagger};
 pub use translate::{ConditionSketch, Interpretation};

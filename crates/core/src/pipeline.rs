@@ -18,13 +18,22 @@ use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
 use crate::partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
 use crate::ranking::{SimilarityMeasure, SimilarityModel};
-use crate::tagging::{TaggedQuestion, Tagger};
+use crate::storage::{
+    apply_snap_to_config, config_to_snap, data_to_spec, spec_to_data, DurableStorage,
+    StorageOptions,
+};
+use crate::tagging::{TaggedQuestion, TaggedToken, Tagger};
 use crate::translate::{interpret, Interpretation};
 use addb::{Database, Executor, Record, RecordId, Table};
 use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
-use cqads_querylog::{QueryLogDelta, TIMatrix};
+use cqads_querylog::{QueryLogDelta, Session, SubmittedQuery, TIMatrix};
+use cqads_storage::{
+    AuditRecord, DomainSnap, Recovered, RecoveryReport, SnapshotData, StorageEngine, StorageError,
+    WalRecord,
+};
 use cqads_wordsim::WordSimMatrix;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -119,6 +128,14 @@ pub struct CqadsConfig {
     /// contend only within a stripe. Clamped to at least 1 (and at most the
     /// capacity) by the cache itself.
     pub cache_shards: usize,
+    /// Durable storage. `None` (the default) keeps the system purely in
+    /// memory — bit-identical to the behaviour before persistence existed.
+    /// `Some` write-ahead-logs every mutation (domain registration, record
+    /// insert, query-log ingest, WS-matrix swap) with a CRC-checksummed,
+    /// generation-stamped frame under [`StorageOptions::dir`], rotates
+    /// periodic snapshots, and optionally records an audit frame per served
+    /// question; [`CqadsSystem::open`] recovers the state after a crash.
+    pub storage: Option<StorageOptions>,
 }
 
 impl Default for CqadsConfig {
@@ -130,6 +147,7 @@ impl Default for CqadsConfig {
             partial_exhaustive: false,
             cache_capacity: 4096,
             cache_shards: 16,
+            storage: None,
         }
     }
 }
@@ -238,6 +256,7 @@ pub struct CqadsSystem {
     word_sim: Arc<WordSimMatrix>,
     config: CqadsConfig,
     cache: AnswerCache,
+    storage: Option<DurableStorage>,
 }
 
 impl CqadsSystem {
@@ -247,7 +266,55 @@ impl CqadsSystem {
     }
 
     /// Create an empty system with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`CqadsConfig::storage`] is set and the store cannot be opened or
+    /// recovered; use [`CqadsSystem::try_with_config`] to handle that error.
+    /// Memory-only configurations (`storage: None`) never panic.
     pub fn with_config(config: CqadsConfig) -> Self {
+        match Self::try_with_config(config) {
+            Ok(system) => system,
+            Err(e) => panic!(
+                "failed to open durable storage \
+                 (use CqadsSystem::try_with_config to handle this): {e}"
+            ),
+        }
+    }
+
+    /// Fallible form of [`CqadsSystem::with_config`]. With
+    /// [`CqadsConfig::storage`] set this opens the directory, recovers the
+    /// newest valid snapshot plus the WAL tail (truncating a torn suffix),
+    /// and resumes appending; the config's scalar knobs are kept exactly as
+    /// passed. [`CqadsSystem::open`] is the variant that restores the
+    /// persisted knobs from the snapshot instead.
+    pub fn try_with_config(config: CqadsConfig) -> CqadsResult<Self> {
+        Self::open_internal(config, false)
+    }
+
+    /// Open (or create) a durable system rooted at `dir` with
+    /// [`StorageOptions::at`]'s defaults: load the newest valid snapshot,
+    /// replay the WAL tail, truncate any torn suffix at the last valid frame,
+    /// and raise every generation counter far enough that no
+    /// [`GenerationStamp`] handed out before the crash can ever be re-issued
+    /// for different state. Scalar config knobs persisted by the snapshot
+    /// (answer limit, cache sizing, ...) are restored;
+    /// [`CqadsSystem::storage_report`] describes what recovery found.
+    pub fn open(dir: impl Into<PathBuf>) -> CqadsResult<Self> {
+        Self::open_with(StorageOptions::at(dir))
+    }
+
+    /// [`CqadsSystem::open`] with explicit [`StorageOptions`] (fsync policy,
+    /// snapshot cadence, injected filesystem).
+    pub fn open_with(opts: StorageOptions) -> CqadsResult<Self> {
+        let config = CqadsConfig {
+            storage: Some(opts),
+            ..CqadsConfig::default()
+        };
+        Self::open_internal(config, true)
+    }
+
+    fn in_memory(config: CqadsConfig) -> Self {
         let cache = AnswerCache::new(config.cache_capacity, config.cache_shards);
         CqadsSystem {
             database: Database::new(),
@@ -256,22 +323,243 @@ impl CqadsSystem {
             word_sim: Arc::new(WordSimMatrix::default()),
             config,
             cache,
+            storage: None,
         }
+    }
+
+    fn open_internal(mut config: CqadsConfig, prefer_snapshot_config: bool) -> CqadsResult<Self> {
+        let Some(opts) = config.storage.clone() else {
+            return Ok(Self::in_memory(config));
+        };
+        let (mut engine, recovered) =
+            StorageEngine::open(Arc::clone(&opts.vfs), &opts.dir, opts.fsync)
+                .map_err(CqadsError::Storage)?;
+        let Recovered {
+            snapshot,
+            records,
+            report,
+        } = recovered;
+        if prefer_snapshot_config {
+            if let Some(snap) = &snapshot {
+                apply_snap_to_config(&mut config, &snap.config);
+            }
+        }
+        let mut system = Self::in_memory(config);
+
+        // Highest (table, model) generation per domain that any persisted
+        // artifact proves was observable before the crash. Recovery must end
+        // with every live counter at or above its target — the
+        // generation-never-regresses invariant the answer cache depends on.
+        let mut targets: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        fn observe(targets: &mut BTreeMap<String, (u64, u64)>, name: &str, table: u64, model: u64) {
+            let entry = targets.entry(name.to_string()).or_insert((0, 0));
+            entry.0 = entry.0.max(table);
+            entry.1 = entry.1.max(model);
+        }
+
+        if let Some(snap) = &snapshot {
+            system.word_sim = Arc::new(WordSimMatrix::from_state(&snap.ws));
+            for d in &snap.domains {
+                let name = system.restore_domain(d)?;
+                observe(&mut targets, &name, d.table_gen, d.model_gen);
+            }
+        }
+
+        // Replay the WAL tail. Registrations and inserts apply eagerly;
+        // query-log deltas are buffered and applied in ONE batch per domain
+        // at the end (one O(pairs) renormalization instead of one per tiny
+        // delta); of several WS swaps only the final one can matter.
+        let mut buffered_deltas: BTreeMap<String, Vec<QueryLogDelta>> = BTreeMap::new();
+        let mut pending_ws: Option<cqads_wordsim::WsMatrixState> = None;
+        for record in records {
+            match record {
+                WalRecord::RegisterDomain {
+                    spec,
+                    records,
+                    ti,
+                    table_gen,
+                    model_gen,
+                } => {
+                    let snap = DomainSnap {
+                        spec: *spec,
+                        records,
+                        table_gen,
+                        ti,
+                        model_gen,
+                    };
+                    let name = system.restore_domain(&snap)?;
+                    // Re-registration replaced the TI-matrix: deltas logged
+                    // against the previous registration are already folded
+                    // into the `ti` state this frame carries.
+                    buffered_deltas.remove(&name);
+                    observe(&mut targets, &name, table_gen, model_gen);
+                }
+                WalRecord::Insert {
+                    domain,
+                    record,
+                    table_gen,
+                } => {
+                    let table = system
+                        .database
+                        .table_mut(&domain)
+                        .ok_or_else(|| CqadsError::MissingTable(domain.clone()))?;
+                    table.insert(record)?;
+                    table.raise_generation(table_gen);
+                    observe(&mut targets, &domain, table_gen, 0);
+                }
+                WalRecord::LogDelta {
+                    domain,
+                    delta,
+                    model_gen,
+                } => {
+                    buffered_deltas
+                        .entry(domain.clone())
+                        .or_default()
+                        .push(delta);
+                    observe(&mut targets, &domain, 0, model_gen);
+                }
+                WalRecord::SetWordSim { ws, model_gens } => {
+                    for (name, model_gen) in &model_gens {
+                        observe(&mut targets, name, 0, *model_gen);
+                    }
+                    pending_ws = Some(ws);
+                }
+                WalRecord::Audit(_) => {}
+                WalRecord::Floors { floors } => {
+                    for (name, table, model) in &floors {
+                        observe(&mut targets, name, *table, *model);
+                    }
+                }
+            }
+        }
+        for (domain, deltas) in buffered_deltas {
+            if let Some(runtime) = system.domains.get_mut(&domain) {
+                runtime.similarity.apply_log_deltas(&deltas);
+            }
+        }
+        if let Some(ws) = pending_ws {
+            system.rebuild_models_with_word_sim(WordSimMatrix::from_state(&ws), false);
+        }
+
+        // Raise every counter to its proven floor, plus a safety margin when
+        // recovery dropped bytes it could not decode: each dropped frame can
+        // have advanced a counter by at most one, so targets + bump bounds
+        // every stamp the crashed process can possibly have handed out.
+        let bump = report.generation_safety_bump;
+        for (name, (table_target, model_target)) in &targets {
+            if let Some(table) = system.database.table_mut(name) {
+                table.raise_generation(table_target + bump);
+            }
+            if let Some(runtime) = system.domains.get_mut(name) {
+                runtime.similarity.raise_generation(model_target + bump);
+            }
+        }
+        if bump > 0 {
+            // Persist the raised floors so a second recovery (which sees a
+            // clean, already-truncated log and computes bump = 0) lands on
+            // the same generations — recovery is idempotent.
+            let floors: Vec<(String, u64, u64)> = targets
+                .keys()
+                .map(|name| {
+                    (
+                        name.clone(),
+                        system.database.generation(name).unwrap_or(0),
+                        system.model_generation(name).unwrap_or(0),
+                    )
+                })
+                .collect();
+            engine
+                .append(&WalRecord::Floors { floors })
+                .map_err(CqadsError::Storage)?;
+        }
+        system.storage = Some(DurableStorage::new(engine, opts, report));
+        Ok(system)
+    }
+
+    /// Rebuild one domain from its persisted form with its *exact* persisted
+    /// generations — no WAL writes, no extra bumps (recovery controls the
+    /// floors itself). Returns the domain name.
+    fn restore_domain(&mut self, snap: &DomainSnap) -> CqadsResult<String> {
+        let spec = data_to_spec(&snap.spec);
+        let name = spec.name().to_string();
+        let table = Table::from_records(
+            snap.spec.schema.clone(),
+            snap.records.iter().cloned(),
+            snap.table_gen,
+        )?;
+        let spec = Arc::new(spec);
+        let tagger = Tagger::from_arc(Arc::clone(&spec));
+        let mut similarity = SimilarityModel::new(
+            Arc::new(TIMatrix::from_state(&snap.ti)),
+            Arc::clone(&self.word_sim),
+            spec.schema.clone(),
+        );
+        similarity.raise_generation(snap.model_gen);
+        self.database.add_table(table);
+        self.domains.insert(
+            name.clone(),
+            DomainRuntime {
+                spec,
+                tagger,
+                similarity,
+            },
+        );
+        Ok(name)
     }
 
     /// Install the shared WS word-correlation matrix used by `Feat_Sim`. Every
     /// domain's model generation advances past its previous value, so cached
     /// answers ranked under the old matrix are invalidated (see [`crate::cache`]).
+    ///
+    /// On a durable system a storage failure here is *deferred*: the swap
+    /// still happens in memory and the error surfaces from the next fallible
+    /// mutation (or [`CqadsSystem::take_deferred_storage_error`]). Use
+    /// [`CqadsSystem::try_set_word_sim`] to observe it immediately.
     pub fn set_word_sim(&mut self, matrix: WordSimMatrix) {
+        if let Err(CqadsError::Storage(e)) = self.set_word_sim_inner(matrix) {
+            if let Some(storage) = &self.storage {
+                storage.defer_error(e);
+            }
+        }
+    }
+
+    /// Fallible form of [`CqadsSystem::set_word_sim`]: surfaces any deferred
+    /// storage error first, then reports an append failure immediately (the
+    /// in-memory swap has happened either way — the matrix is installed but
+    /// not persisted).
+    pub fn try_set_word_sim(&mut self, matrix: WordSimMatrix) -> CqadsResult<()> {
+        self.surface_deferred()?;
+        self.set_word_sim_inner(matrix)
+    }
+
+    fn set_word_sim_inner(&mut self, matrix: WordSimMatrix) -> CqadsResult<()> {
+        let ws_state = self.storage.as_ref().map(|_| matrix.export_state());
+        self.rebuild_models_with_word_sim(matrix, true);
+        if let Some(ws) = ws_state {
+            let model_gens: Vec<(String, u64)> = self
+                .domains
+                .iter()
+                .map(|(name, runtime)| (name.clone(), runtime.similarity.generation()))
+                .collect();
+            self.append_mutations(vec![WalRecord::SetWordSim { ws, model_gens }])?;
+        }
+        Ok(())
+    }
+
+    /// Swap in a WS matrix and rebuild every per-domain similarity model
+    /// against it. With `bump` set each model's generation moves past its
+    /// previous value (the matrix changed ranking semantics); recovery passes
+    /// `false` because it restores exact persisted generations and controls
+    /// the floors itself.
+    fn rebuild_models_with_word_sim(&mut self, matrix: WordSimMatrix, bump: bool) {
         self.word_sim = Arc::new(matrix);
-        // Rebuild the per-domain similarity models with the new matrix.
         let domains: Vec<String> = self.domains.keys().cloned().collect();
         for name in domains {
             let runtime = self.domains.get(&name).expect("key from map").clone();
             let ti = runtime.similarity_ti();
             let schema = runtime.spec.schema.clone();
             let mut similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
-            similarity.raise_generation(runtime.similarity.generation() + 1);
+            similarity.raise_generation(runtime.similarity.generation() + u64::from(bump));
             self.domains.insert(
                 name,
                 DomainRuntime {
@@ -291,7 +579,46 @@ impl CqadsSystem {
     /// table generation ([`addb::Database`] carries it forward) and the model
     /// generation advance past their previous values, so no cached answer of the
     /// old registration can ever be served against the new one.
+    ///
+    /// On a durable system the registration (spec, records, TI state and both
+    /// generations) is appended to the WAL; a storage failure is *deferred*
+    /// exactly as for [`CqadsSystem::set_word_sim`] — use
+    /// [`CqadsSystem::try_add_domain`] to observe it immediately.
     pub fn add_domain(&mut self, spec: DomainSpec, table: Table, ti_matrix: TIMatrix) {
+        if let Err(CqadsError::Storage(e)) = self.add_domain_inner(spec, table, ti_matrix) {
+            if let Some(storage) = &self.storage {
+                storage.defer_error(e);
+            }
+        }
+    }
+
+    /// Fallible form of [`CqadsSystem::add_domain`]: surfaces any deferred
+    /// storage error first, then reports an append failure immediately (the
+    /// domain is registered in memory either way, but not persisted).
+    pub fn try_add_domain(
+        &mut self,
+        spec: DomainSpec,
+        table: Table,
+        ti_matrix: TIMatrix,
+    ) -> CqadsResult<()> {
+        self.surface_deferred()?;
+        self.add_domain_inner(spec, table, ti_matrix)
+    }
+
+    fn add_domain_inner(
+        &mut self,
+        spec: DomainSpec,
+        table: Table,
+        ti_matrix: TIMatrix,
+    ) -> CqadsResult<()> {
+        // Capture the persisted mirror before the moves below consume the args.
+        let persisted = self.storage.as_ref().map(|_| {
+            (
+                spec_to_data(&spec),
+                table.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+                ti_matrix.export_state(),
+            )
+        });
         let name = spec.name().to_string();
         let spec = Arc::new(spec);
         let tagger = Tagger::from_arc(Arc::clone(&spec));
@@ -303,15 +630,103 @@ impl CqadsSystem {
         if let Some(previous) = self.domains.get(&name) {
             similarity.raise_generation(previous.similarity.generation() + 1);
         }
+        let model_gen = similarity.generation();
         self.database.add_table(table);
         self.domains.insert(
-            name,
+            name.clone(),
             DomainRuntime {
                 spec,
                 tagger,
                 similarity,
             },
         );
+        if let Some((spec, records, ti)) = persisted {
+            let table_gen = self.database.generation(&name).unwrap_or(0);
+            self.append_mutations(vec![WalRecord::RegisterDomain {
+                spec: Box::new(spec),
+                records,
+                ti,
+                table_gen,
+                model_gen,
+            }])?;
+        }
+        Ok(())
+    }
+
+    /// Surface (and clear) a storage error deferred by an infallible entry
+    /// point — every fallible mutation path calls this first so a deferred
+    /// failure cannot go unnoticed for longer than one mutation.
+    fn surface_deferred(&self) -> CqadsResult<()> {
+        match self.storage.as_ref().and_then(|s| s.take_deferred_error()) {
+            Some(e) => Err(CqadsError::Storage(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Persist mutation frames in one WAL append (one fsync), then run the
+    /// auto-snapshot check. No-op on a memory-only system.
+    fn append_mutations(&mut self, records: Vec<WalRecord>) -> CqadsResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let Some(storage) = &self.storage else {
+            return Ok(());
+        };
+        storage.append_mutations(&records)?;
+        let due = storage.opts.snapshot_every > 0
+            && storage.with_engine(|e| Ok(e.mutation_frames()))? >= storage.opts.snapshot_every;
+        if due {
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Write a point-in-time snapshot (database records, per-domain TI
+    /// accumulators, WS matrix, config and all generations) and rotate to a
+    /// fresh WAL epoch; the previous epoch is kept as a fallback and older
+    /// ones are pruned. Returns the new epoch number, or `None` on a
+    /// memory-only system. Runs automatically every
+    /// [`StorageOptions::snapshot_every`] mutation frames.
+    pub fn snapshot(&mut self) -> CqadsResult<Option<u64>> {
+        let Some(storage) = &self.storage else {
+            return Ok(None);
+        };
+        let data = self.snapshot_data();
+        storage
+            .with_engine(|engine| {
+                engine.install_snapshot(data)?;
+                Ok(engine.seq())
+            })
+            .map(Some)
+    }
+
+    fn snapshot_data(&self) -> SnapshotData {
+        let domains = self
+            .domains
+            .iter()
+            .map(|(name, runtime)| {
+                let (table_gen, records) = match self.database.table(name) {
+                    Some(table) => (
+                        table.generation(),
+                        table.iter().map(|(_, r)| r.clone()).collect(),
+                    ),
+                    None => (0, Vec::new()),
+                };
+                DomainSnap {
+                    spec: spec_to_data(&runtime.spec),
+                    records,
+                    table_gen,
+                    ti: runtime.similarity.ti_matrix().export_state(),
+                    model_gen: runtime.similarity.generation(),
+                }
+            })
+            .collect();
+        SnapshotData {
+            seq: 0, // assigned by the engine on install
+            domains,
+            ws: self.word_sim.export_state(),
+            config: config_to_snap(&self.config),
+        }
     }
 
     /// Train the JBBSM domain classifier on labelled example questions.
@@ -493,8 +908,14 @@ impl CqadsSystem {
         question: &str,
         domain: &str,
     ) -> CqadsResult<Arc<AnswerSet>> {
+        // Timing exists only for the audit trail; a memory-only (or
+        // audit-off) system must not pay a clock read per hit.
+        let start = self.audit_enabled().then(Instant::now);
+        let took = |start: Option<Instant>| start.map(|s| s.elapsed()).unwrap_or_default();
         if !self.cache.is_enabled() {
-            return Ok(Arc::new(self.answer_in_domain(question, domain)?));
+            let answer = Arc::new(self.answer_in_domain(question, domain)?);
+            self.audit(question, domain, false, took(start));
+            return Ok(answer);
         }
         // The stamp is read *before* computing so a racing insert or model update
         // leaves the filled entry conservatively stale (see the cache module docs).
@@ -502,6 +923,7 @@ impl CqadsSystem {
         let key = CacheKey::new(domain, question);
         if let Some(stamp) = stamp {
             if let Some(hit) = self.cache.lookup(&key, stamp) {
+                self.audit(question, domain, true, took(start));
                 return Ok(hit);
             }
         }
@@ -509,7 +931,31 @@ impl CqadsSystem {
         if let Some(stamp) = stamp {
             self.cache.fill(key, stamp, Arc::clone(&answer));
         }
+        self.audit(question, domain, false, took(start));
         Ok(answer)
+    }
+
+    /// Whether served questions are appended to the audit trail: durable
+    /// system with [`StorageOptions::audit_queries`] on.
+    fn audit_enabled(&self) -> bool {
+        self.storage.as_ref().is_some_and(|s| s.opts.audit_queries)
+    }
+
+    /// Best-effort audit append for the single-question cached path: never
+    /// fails the serving path (failures count in
+    /// [`CqadsSystem::audit_failures`]), no-op unless the system is durable
+    /// and [`StorageOptions::audit_queries`] is on.
+    fn audit(&self, question: &str, domain: &str, hit: bool, elapsed: Duration) {
+        let Some(storage) = &self.storage else {
+            return;
+        };
+        if !storage.opts.audit_queries {
+            return;
+        }
+        let stamp = self
+            .current_stamp(domain)
+            .unwrap_or(GenerationStamp::new(0, 0));
+        storage.append_audit(audit_record(question, domain, hit, stamp, elapsed));
     }
 
     /// The domain's current [`GenerationStamp`]: its table generation paired with
@@ -586,13 +1032,27 @@ impl CqadsSystem {
         }
 
         // Serve hits; group the residual misses by domain.
+        let audit_on = self.audit_enabled();
+        let mut audits: Vec<WalRecord> = Vec::new();
         let mut misses_by_domain: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         let mut outcomes: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = Vec::new();
         for (slot_idx, slot) in slots.iter().enumerate() {
             outcomes.push(None);
+            // Clock reads exist only for the audit trail; the hot hit path
+            // must not pay one when auditing is off.
+            let lookup_start = audit_on.then(Instant::now);
             let stamp = self.current_stamp(&slot.domain);
             if let (true, Some(stamp)) = (cache_on, stamp) {
                 if let Some(hit) = self.cache.lookup(&slot.key, stamp) {
+                    if let Some(lookup_start) = lookup_start {
+                        audits.push(audit_record(
+                            slot.question,
+                            &slot.domain,
+                            true,
+                            stamp,
+                            lookup_start.elapsed(),
+                        ));
+                    }
                     outcomes[slot_idx] = Some(Ok(hit));
                     continue;
                 }
@@ -665,6 +1125,15 @@ impl CqadsSystem {
                                 Arc::clone(&answer),
                             );
                         }
+                        if audit_on {
+                            audits.push(audit_record(
+                                slots[slot_idx].question,
+                                domain,
+                                false,
+                                stamp,
+                                answer.elapsed,
+                            ));
+                        }
                         outcomes[slot_idx] = Some(Ok(answer));
                     }
                 }
@@ -673,6 +1142,13 @@ impl CqadsSystem {
                         outcomes[slot_idx] = Some(Err(e.clone()));
                     }
                 }
+            }
+        }
+
+        // One best-effort write + sync for the whole burst's audit frames.
+        if !audits.is_empty() {
+            if let Some(storage) = &self.storage {
+                storage.append_audit_batch(&audits);
             }
         }
 
@@ -692,15 +1168,69 @@ impl CqadsSystem {
     /// Insert a record into a registered domain's table. The table's mutation
     /// generation advances, which atomically invalidates every cached answer for the
     /// domain — no explicit cache flush happens or is needed.
+    ///
+    /// On a durable system the insert is appended to the WAL before
+    /// returning; a storage failure is returned as [`CqadsError::Storage`]
+    /// (the in-memory insert has happened but was not persisted).
     pub fn insert_record(&mut self, domain: &str, record: Record) -> CqadsResult<RecordId> {
+        let mut ids = self.insert_record_batch(domain, vec![record])?;
+        Ok(ids.pop().expect("a successful batch of one yields one id"))
+    }
+
+    /// Insert a batch of records into a registered domain's table, returning
+    /// their ids in order. Records are validated and inserted sequentially; on
+    /// the first invalid record the batch stops and that error is returned —
+    /// records inserted before it remain (and, on a durable system, are
+    /// persisted).
+    ///
+    /// On a durable system the whole successful prefix is written to the WAL
+    /// in a **single** append (one fsync under [`StorageOptions::fsync`]),
+    /// which is the cheap way to bulk-load: `n` calls to
+    /// [`CqadsSystem::insert_record`] pay `n` syncs instead of one.
+    pub fn insert_record_batch(
+        &mut self,
+        domain: &str,
+        records: Vec<Record>,
+    ) -> CqadsResult<Vec<RecordId>> {
+        self.surface_deferred()?;
         if !self.domains.contains_key(domain) {
             return Err(CqadsError::UnknownDomain(domain.to_string()));
         }
+        let durable = self.storage.is_some();
         let table = self
             .database
             .table_mut(domain)
             .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
-        Ok(table.insert(record)?)
+        let mut ids = Vec::with_capacity(records.len());
+        let mut frames = Vec::new();
+        let mut failure: Option<CqadsError> = None;
+        for record in records {
+            let persisted = if durable { Some(record.clone()) } else { None };
+            match table.insert(record) {
+                Ok(id) => {
+                    ids.push(id);
+                    if let Some(record) = persisted {
+                        // One frame per record: a single frame never advances
+                        // the table generation by more than one, which the
+                        // torn-tail safety margin of recovery relies on.
+                        frames.push(WalRecord::Insert {
+                            domain: domain.to_string(),
+                            record,
+                            table_gen: table.generation(),
+                        });
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e.into());
+                    break;
+                }
+            }
+        }
+        self.append_mutations(frames)?;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(ids),
+        }
     }
 
     /// Mutable access to the underlying database. Inserts through this handle bump
@@ -748,6 +1278,8 @@ impl CqadsSystem {
         domain: &str,
         deltas: &[QueryLogDelta],
     ) -> CqadsResult<IngestReport> {
+        self.surface_deferred()?;
+        let durable = self.storage.is_some();
         let runtime = self
             .domains
             .get_mut(domain)
@@ -755,11 +1287,26 @@ impl CqadsSystem {
         let sessions = deltas.iter().map(QueryLogDelta::len).sum();
         let queries = deltas.iter().map(QueryLogDelta::query_count).sum();
         let model_generation = runtime.similarity.apply_log_deltas(deltas);
+        let ti_pairs = runtime.similarity.ti_matrix().len();
+        if durable {
+            // Each frame carries the post-batch generation: the whole batch
+            // performed ONE bump, and recovery re-applies buffered deltas as
+            // one batch per domain, so the stamps line up exactly.
+            let frames: Vec<WalRecord> = deltas
+                .iter()
+                .map(|delta| WalRecord::LogDelta {
+                    domain: domain.to_string(),
+                    delta: delta.clone(),
+                    model_gen: model_generation,
+                })
+                .collect();
+            self.append_mutations(frames)?;
+        }
         Ok(IngestReport {
             sessions,
             queries,
             model_generation,
-            ti_pairs: runtime.similarity.ti_matrix().len(),
+            ti_pairs,
         })
     }
 
@@ -798,6 +1345,106 @@ impl CqadsSystem {
         let sql = interpretation.to_sql(&runtime.spec)?;
         Ok((tagged, interpretation, sql))
     }
+
+    /// Whether this system persists to durable storage.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// What recovery found when this durable system was opened (`None` on a
+    /// memory-only system): the snapshot used, frames replayed, defects
+    /// encountered, bytes dropped from a torn tail and the generation safety
+    /// margin applied on top of the recovered counters.
+    pub fn storage_report(&self) -> Option<&RecoveryReport> {
+        self.storage.as_ref().map(|s| &s.report)
+    }
+
+    /// Audit frames that failed to persist since open. Audit appends are
+    /// best-effort — an I/O failure counts here instead of failing the
+    /// serving path. Always `0` on a memory-only system.
+    pub fn audit_failures(&self) -> u64 {
+        self.storage.as_ref().map_or(0, |s| s.audit_failures())
+    }
+
+    /// The most recent audit-append failure, if any.
+    pub fn last_audit_error(&self) -> Option<StorageError> {
+        self.storage.as_ref().and_then(|s| s.last_audit_error())
+    }
+
+    /// Take (and clear) a storage error deferred by an infallible mutation
+    /// entry point ([`CqadsSystem::add_domain`],
+    /// [`CqadsSystem::set_word_sim`]). The fallible mutation entry points
+    /// surface it automatically, so polling this is only needed when no
+    /// further mutation is coming.
+    pub fn take_deferred_storage_error(&self) -> Option<StorageError> {
+        self.storage.as_ref().and_then(|s| s.take_deferred_error())
+    }
+
+    /// Replay the persisted audit trail of one domain as query-log
+    /// [`Session`]s — the WAL doubling as a
+    /// [`QueryLogStream`](cqads_querylog::QueryLogStream) source. Each
+    /// audited question is re-tagged with the domain's tagger; its first
+    /// Type I value (the paper's query-log shape) becomes one
+    /// [`SubmittedQuery`], timed by the cumulative audited serving time, and
+    /// the whole trail forms one session. Questions without a Type I value
+    /// are skipped; a memory-only system yields no sessions.
+    pub fn audit_sessions(&self, domain: &str) -> CqadsResult<Vec<Session>> {
+        let Some(storage) = &self.storage else {
+            return Ok(Vec::new());
+        };
+        let runtime = self
+            .domains
+            .get(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let audits = storage.with_engine(|engine| engine.scan_audits())?;
+        let mut queries = Vec::new();
+        let mut clock = 0.0_f64;
+        for audit in audits.iter().filter(|a| a.domain == domain) {
+            clock += audit.micros as f64 / 1_000_000.0;
+            let tagged = runtime.tagger.tag(&audit.question);
+            let value = tagged.tokens.iter().find_map(|t| match t {
+                TaggedToken::Value {
+                    value,
+                    is_type1: true,
+                    ..
+                } => Some(value.clone()),
+                _ => None,
+            });
+            if let Some(value) = value {
+                queries.push(SubmittedQuery {
+                    value,
+                    at_seconds: clock,
+                    clicks: Vec::new(),
+                    shown: Vec::new(),
+                });
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![Session {
+            user_id: 0,
+            queries,
+        }])
+    }
+}
+
+/// Build one WAL audit frame for a served question.
+fn audit_record(
+    question: &str,
+    domain: &str,
+    hit: bool,
+    stamp: GenerationStamp,
+    elapsed: Duration,
+) -> WalRecord {
+    WalRecord::Audit(AuditRecord {
+        question: question.to_string(),
+        domain: domain.to_string(),
+        hit,
+        table_gen: stamp.table,
+        model_gen: stamp.model,
+        micros: elapsed.as_micros() as u64,
+    })
 }
 
 impl Default for CqadsSystem {
@@ -1303,5 +1950,285 @@ mod tests {
         assert_eq!(result.answers.len(), 10);
         assert_eq!(result.exact_count, 10);
         assert!(result.partial().is_empty());
+    }
+
+    // ---------------------------------------------------------------- durability
+
+    use cqads_storage::{FaultFs, FaultPlan, MemFs};
+
+    fn durable_config(fs: &Arc<MemFs>) -> CqadsConfig {
+        CqadsConfig {
+            storage: Some(StorageOptions::with_vfs("db", Arc::clone(fs) as _)),
+            ..CqadsConfig::default()
+        }
+    }
+
+    /// Compare the observable state of two systems for one domain: answers to
+    /// a probe question, generations, TI/WS exports and record contents.
+    fn assert_same_state(a: &CqadsSystem, b: &CqadsSystem, domain: &str, probe: &str) {
+        assert_eq!(a.domain_names(), b.domain_names());
+        assert_eq!(
+            a.database().generation(domain),
+            b.database().generation(domain)
+        );
+        assert_eq!(a.model_generation(domain), b.model_generation(domain));
+        let (ta, tb) = (
+            a.database().table(domain).unwrap(),
+            b.database().table(domain).unwrap(),
+        );
+        let rows = |t: &Table| t.iter().map(|(id, r)| (id, r.clone())).collect::<Vec<_>>();
+        assert_eq!(rows(ta), rows(tb));
+        let ti = |s: &CqadsSystem| s.domains[domain].similarity.ti_matrix().export_state();
+        assert_eq!(ti(a), ti(b));
+        assert_eq!(a.word_sim.export_state(), b.word_sim.export_state());
+        let ans_a = a.answer_in_domain(probe, domain).unwrap();
+        let ans_b = b.answer_in_domain(probe, domain).unwrap();
+        assert_eq!(ans_a.sql, ans_b.sql);
+        let key = |r: &AnswerSet| {
+            r.answers
+                .iter()
+                .map(|x| (x.id, x.kind, x.rank_sim.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&ans_a), key(&ans_b));
+    }
+
+    #[test]
+    fn durable_system_round_trips_through_reopen() {
+        let fs = Arc::new(MemFs::default());
+        let mut sys = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        assert!(sys.is_durable());
+        assert!(sys.storage_report().unwrap().is_clean());
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        table
+            .insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0))
+            .unwrap();
+        let mut ti = TIMatrix::default();
+        ti.insert("accord", "camry", 4.0);
+        sys.try_add_domain(spec, table, ti).unwrap();
+        let mut ws = WordSimMatrix::default();
+        ws.insert("blue", "gold", 0.5);
+        sys.try_set_word_sim(ws).unwrap();
+        sys.insert_record(
+            "cars",
+            car("toyota", "camry", "blue", "automatic", 8561.0, 2006.0),
+        )
+        .unwrap();
+        let ids = sys
+            .insert_record_batch(
+                "cars",
+                vec![
+                    car("honda", "civic", "red", "automatic", 4500.0, 2001.0),
+                    car("ford", "focus", "blue", "manual", 6795.0, 2005.0),
+                ],
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 2);
+        let delta = QueryLogDelta::from_sessions(vec![Session {
+            user_id: 7,
+            queries: vec![
+                SubmittedQuery {
+                    value: "accord".into(),
+                    at_seconds: 0.0,
+                    clicks: vec![],
+                    shown: vec![],
+                },
+                SubmittedQuery {
+                    value: "camry".into(),
+                    at_seconds: 5.0,
+                    clicks: vec![],
+                    shown: vec![],
+                },
+            ],
+        }]);
+        sys.ingest_query_log("cars", &delta).unwrap();
+
+        let reopened = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        assert!(reopened.storage_report().unwrap().is_clean());
+        assert_same_state(&sys, &reopened, "cars", "blue automatic cars");
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_recovers_prefix_and_generations_never_regress() {
+        let fs = Arc::new(MemFs::default());
+        let mut sys = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        let spec = toy_car_domain();
+        let table = Table::new(spec.schema.clone());
+        sys.try_add_domain(spec, table, TIMatrix::default())
+            .unwrap();
+        for i in 0..4 {
+            sys.insert_record(
+                "cars",
+                car(
+                    "honda",
+                    "accord",
+                    "blue",
+                    "automatic",
+                    6000.0 + i as f64,
+                    2004.0,
+                ),
+            )
+            .unwrap();
+        }
+        let stamp_before = (
+            sys.database().generation("cars").unwrap(),
+            sys.model_generation("cars").unwrap(),
+        );
+        // Tear the last WAL frame mid-payload.
+        let wal = std::path::Path::new("db/wal-000000.log");
+        let len = fs.file_bytes(wal).unwrap().len() as u64;
+        fs.truncate_file(wal, len - 3).unwrap();
+
+        let reopened = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        let report = reopened.storage_report().unwrap();
+        assert!(!report.is_clean());
+        assert!(report.dropped_bytes > 0);
+        // The torn insert is gone...
+        let table = reopened.database().table("cars").unwrap();
+        assert_eq!(table.iter().count(), 3);
+        // ...but no generation the old process handed out can regress.
+        assert!(reopened.database().generation("cars").unwrap() >= stamp_before.0);
+        assert!(reopened.model_generation("cars").unwrap() >= stamp_before.1);
+
+        // Double recovery is idempotent: a third open replays a clean log and
+        // lands on the same state.
+        let again = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        assert_same_state(&reopened, &again, "cars", "blue automatic cars");
+    }
+
+    #[test]
+    fn snapshot_rotation_survives_reopen_and_open_restores_config() {
+        let fs = Arc::new(MemFs::default());
+        let mut opts = StorageOptions::with_vfs("db", Arc::clone(&fs) as _);
+        opts.snapshot_every = 2; // rotate aggressively
+        let config = CqadsConfig {
+            answer_limit: 7,
+            partial_threshold: 7,
+            storage: Some(opts.clone()),
+            ..CqadsConfig::default()
+        };
+        let mut sys = CqadsSystem::try_with_config(config).unwrap();
+        let spec = toy_car_domain();
+        let table = Table::new(spec.schema.clone());
+        sys.try_add_domain(spec, table, TIMatrix::default())
+            .unwrap();
+        for i in 0..5 {
+            sys.insert_record(
+                "cars",
+                car(
+                    "honda",
+                    "accord",
+                    "blue",
+                    "automatic",
+                    6000.0 + i as f64,
+                    2004.0,
+                ),
+            )
+            .unwrap();
+        }
+        // Rotation happened at least once and pruned old epochs down to two.
+        let snapshots = fs
+            .paths()
+            .into_iter()
+            .filter(|p| p.to_string_lossy().contains("snapshot-"))
+            .count();
+        assert!((1..=2).contains(&snapshots), "snapshots: {snapshots}");
+
+        // `open_with` restores the persisted scalar knobs from the snapshot.
+        let reopened = CqadsSystem::open_with(opts).unwrap();
+        assert_eq!(reopened.config.answer_limit, 7);
+        assert_eq!(reopened.database().table("cars").unwrap().iter().count(), 5);
+        assert_same_state(&sys, &reopened, "cars", "blue automatic cars");
+    }
+
+    #[test]
+    fn deferred_storage_errors_surface_on_the_next_fallible_mutation() {
+        let fs = Arc::new(MemFs::default());
+        let fault = Arc::new(FaultFs::new(Arc::new(MemFs::default())));
+        // Build durable system over the fault layer.
+        let inner: Arc<FaultFs> = Arc::clone(&fault);
+        let config = CqadsConfig {
+            storage: Some(StorageOptions::with_vfs("db", inner as _)),
+            ..CqadsConfig::default()
+        };
+        let mut sys = CqadsSystem::try_with_config(config).unwrap();
+        drop(fs);
+        // Every append from now on fails.
+        fault.set_plan(FaultPlan {
+            append_budget: Some(0),
+            ..FaultPlan::default()
+        });
+        let spec = toy_car_domain();
+        let table = Table::new(spec.schema.clone());
+        // Infallible entry point: error is deferred, domain still registered.
+        sys.add_domain(spec, table, TIMatrix::default());
+        assert_eq!(sys.domain_names(), vec!["cars"]);
+        // The next fallible mutation surfaces it.
+        fault.set_plan(FaultPlan::default());
+        let err = sys
+            .insert_record(
+                "cars",
+                car("honda", "accord", "blue", "automatic", 1.0, 2004.0),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CqadsError::Storage(_)), "{err:?}");
+        // Cleared after surfacing: the retry succeeds.
+        sys.insert_record(
+            "cars",
+            car("honda", "accord", "blue", "automatic", 1.0, 2004.0),
+        )
+        .unwrap();
+        assert!(sys.take_deferred_storage_error().is_none());
+    }
+
+    #[test]
+    fn audit_trail_is_written_and_replays_as_sessions() {
+        let fs = Arc::new(MemFs::default());
+        let mut sys = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        let spec = toy_car_domain();
+        let mut table = Table::new(spec.schema.clone());
+        table
+            .insert(car("honda", "accord", "blue", "automatic", 6600.0, 2004.0))
+            .unwrap();
+        sys.try_add_domain(spec, table, TIMatrix::default())
+            .unwrap();
+        // Miss, then hit, plus a batch (one miss + one repeat).
+        sys.answer_in_domain_cached("blue accord", "cars").unwrap();
+        sys.answer_in_domain_cached("blue accord", "cars").unwrap();
+        let results = sys.answer_batch(&["civic please", "civic please"]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(sys.audit_failures(), 0);
+
+        let sessions = sys.audit_sessions("cars").unwrap();
+        assert_eq!(sessions.len(), 1);
+        let values: Vec<&str> = sessions[0]
+            .queries
+            .iter()
+            .map(|q| q.value.as_str())
+            .collect();
+        // Both cached calls audited (miss + hit) and the batch audited its
+        // one distinct question; "civic please" tags the Type I value civic.
+        assert_eq!(values, vec!["accord", "accord", "civic"]);
+        // Timing clock is cumulative and non-decreasing.
+        let times: Vec<f64> = sessions[0].queries.iter().map(|q| q.at_seconds).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+        // The audit trail survives a reopen and is ignored by state recovery.
+        let reopened = CqadsSystem::try_with_config(durable_config(&fs)).unwrap();
+        let sessions2 = reopened.audit_sessions("cars").unwrap();
+        assert_eq!(sessions2[0].queries.len(), 3);
+    }
+
+    #[test]
+    fn memory_only_system_reports_no_storage() {
+        let mut sys = system();
+        assert!(!sys.is_durable());
+        assert!(sys.storage_report().is_none());
+        assert_eq!(sys.audit_failures(), 0);
+        assert!(sys.last_audit_error().is_none());
+        assert!(sys.take_deferred_storage_error().is_none());
+        assert_eq!(sys.snapshot().unwrap(), None);
+        assert_eq!(sys.audit_sessions("cars").unwrap(), Vec::<Session>::new());
     }
 }

@@ -31,4 +31,4 @@ pub mod ti_matrix;
 
 pub use generator::{generate_log, AffinityModel, LogGeneratorConfig};
 pub use log::{ClickEvent, QueryLog, QueryLogDelta, QueryLogStream, Session, SubmittedQuery};
-pub use ti_matrix::TIMatrix;
+pub use ti_matrix::{PairState, TIMatrix, TiMatrixState};

@@ -332,6 +332,121 @@ fn sym_key(a: &str, b: &str) -> (Sym, Sym) {
     )
 }
 
+/// Raw accumulator state of one value pair with the pair's values resolved to
+/// strings — interned symbols are process-local and do not survive a restart,
+/// so a persisted matrix must carry the strings themselves.
+///
+/// The eight `f64` fields mirror the private per-pair accumulators exactly;
+/// persisting them bit-for-bit (e.g. via `f64::to_bits`) and re-finalizing
+/// reproduces the live matrix bit-identically, because finalization is a pure
+/// function of the accumulators (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairState {
+    /// First value of the pair (lowercased, canonical order not guaranteed
+    /// to match the in-memory symbol order — restore re-canonicalizes).
+    pub a: String,
+    /// Second value of the pair (lowercased).
+    pub b: String,
+    /// `Mod(A, B)` reformulation count.
+    pub mod_count: f64,
+    /// Sum of within-session submission gaps.
+    pub time_sum: f64,
+    /// Number of submission-gap observations.
+    pub time_n: f64,
+    /// Sum of ad dwell times.
+    pub ad_time_sum: f64,
+    /// Number of dwell-time observations.
+    pub ad_time_n: f64,
+    /// Sum of shown ranks.
+    pub rank_sum: f64,
+    /// Number of rank observations.
+    pub rank_n: f64,
+    /// `Click(A, B)` click count.
+    pub click_count: f64,
+}
+
+/// Portable snapshot of a [`TIMatrix`]'s retained raw state: the log-derived
+/// accumulators plus the manual overlay. Produced by
+/// [`TIMatrix::export_state`], consumed by [`TIMatrix::from_state`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TiMatrixState {
+    /// One entry per observed value pair, sorted by `(a, b)` for deterministic
+    /// serialization.
+    pub pairs: Vec<PairState>,
+    /// Manually inserted `(a, b, value)` overlay entries, sorted likewise.
+    pub manual: Vec<(String, String, f64)>,
+}
+
+impl TIMatrix {
+    /// Export the retained raw state (accumulators + manual overlay) with
+    /// every interned symbol resolved back to its string, sorted for
+    /// deterministic bytes. The normalized entries are *not* exported — they
+    /// are a pure function of this state and are rebuilt on restore.
+    pub fn export_state(&self) -> TiMatrixState {
+        let mut pairs: Vec<PairState> = self
+            .stats
+            .iter()
+            .map(|(&(a, b), s)| PairState {
+                a: intern::resolve(a),
+                b: intern::resolve(b),
+                mod_count: s.mod_count,
+                time_sum: s.time_sum,
+                time_n: s.time_n,
+                ad_time_sum: s.ad_time_sum,
+                ad_time_n: s.ad_time_n,
+                rank_sum: s.rank_sum,
+                rank_n: s.rank_n,
+                click_count: s.click_count,
+            })
+            .collect();
+        pairs.sort_by(|x, y| (x.a.as_str(), x.b.as_str()).cmp(&(y.a.as_str(), y.b.as_str())));
+        let mut manual: Vec<(String, String, f64)> = self
+            .manual
+            .iter()
+            .map(|(&(a, b), &v)| (intern::resolve(a), intern::resolve(b), v))
+            .collect();
+        manual.sort_by(|x, y| (x.0.as_str(), x.1.as_str()).cmp(&(y.0.as_str(), y.1.as_str())));
+        TiMatrixState { pairs, manual }
+    }
+
+    /// Rebuild a matrix from exported state: re-intern every value (fresh
+    /// process, fresh symbols), restore the raw accumulators bit-for-bit and
+    /// run one finalization. The result's entries and normalization maximum
+    /// are bit-identical to the matrix the state was exported from, because
+    /// finalization is a pure, iteration-order-independent function of the
+    /// accumulators and the overlay.
+    pub fn from_state(state: &TiMatrixState) -> Self {
+        let mut stats: HashMap<(Sym, Sym), PairStats, SymHashBuilder> = HashMap::default();
+        for p in &state.pairs {
+            stats.insert(
+                sym_key(&p.a, &p.b),
+                PairStats {
+                    mod_count: p.mod_count,
+                    time_sum: p.time_sum,
+                    time_n: p.time_n,
+                    ad_time_sum: p.ad_time_sum,
+                    ad_time_n: p.ad_time_n,
+                    rank_sum: p.rank_sum,
+                    rank_n: p.rank_n,
+                    click_count: p.click_count,
+                },
+            );
+        }
+        let mut manual: HashMap<(Sym, Sym), f64, SymHashBuilder> = HashMap::default();
+        for (a, b, v) in &state.manual {
+            manual.insert(sym_key(a, b), *v);
+        }
+        let mut matrix = TIMatrix {
+            entries: HashMap::default(),
+            max_value: 0.0,
+            stats,
+            manual,
+        };
+        matrix.finalize();
+        matrix
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +624,53 @@ mod tests {
         ti.apply(&crate::QueryLogDelta::from_sessions(fresh.sessions));
         assert_eq!(ti.ti_sim("zzz-custom", "qqq-custom"), 4.5);
         assert!(ti.max_value() >= 4.5);
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_bit_identical() {
+        let (model, _) = built_matrix();
+        let base = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 150,
+                seed: 44,
+                ..Default::default()
+            },
+        );
+        let mut live = TIMatrix::build(&base);
+        live.insert("zzz-manual", "qqq-manual", 4.25);
+
+        let state = live.export_state();
+        assert_eq!(state.pairs.len(), live.stats.len());
+        assert_eq!(state.manual.len(), 1);
+        // Deterministic export: sorted, and stable across repeated calls.
+        assert_eq!(state, live.export_state());
+
+        let restored = TIMatrix::from_state(&state);
+        assert_bit_identical(&live, &restored);
+
+        // The restored matrix keeps learning identically: applying the same
+        // delta to both sides stays bit-identical (accumulators round-tripped
+        // exactly, not just the normalized entries).
+        let fresh = generate_log(
+            model,
+            &LogGeneratorConfig {
+                sessions: 25,
+                seed: 45,
+                ..Default::default()
+            },
+        );
+        let delta = crate::QueryLogDelta::from_sessions(fresh.sessions);
+        let mut a = live;
+        let mut b = restored;
+        a.apply(&delta);
+        b.apply(&delta);
+        assert_bit_identical(&a, &b);
+
+        // Empty state restores an empty matrix.
+        let empty = TIMatrix::from_state(&TiMatrixState::default());
+        assert!(empty.is_empty());
+        assert_eq!(empty.max_value(), 0.0);
     }
 
     proptest! {

@@ -1,0 +1,272 @@
+//! Hand-rolled binary codec and CRC-32.
+//!
+//! The WAL and snapshots use a fixed little-endian binary layout rather than a
+//! general serialization framework: the durability argument leans on byte-level
+//! control (`f64` round-trips via `to_bits`, so restored accumulators are
+//! bit-identical to the live ones) and on every frame being checksummable as an
+//! opaque byte string. The [`Encoder`]/[`Decoder`] pair is deliberately tiny —
+//! fixed-width integers, IEEE-754 bit patterns, length-prefixed strings and the
+//! few composites built from them.
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Append-only byte buffer with typed put methods.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh, empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append an optional string (presence byte + payload).
+    pub fn put_opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.put_bool(true);
+                self.put_str(s);
+            }
+            None => self.put_bool(false),
+        }
+    }
+}
+
+/// Cursor over an encoded byte slice; every accessor checks bounds and reports
+/// a description of what was expected on failure (mapped to
+/// [`StorageError::Codec`](crate::StorageError::Codec) by the callers that know
+/// the file and offset).
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Decoder-level failure: what the decoder expected and where it ran out.
+pub type DecodeResult<T> = Result<T, String>;
+
+impl<'a> Decoder<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte was consumed (decoders assert this at the end so a
+    /// frame with trailing garbage is rejected rather than silently accepted).
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> DecodeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated payload: needed {n} bytes for {what}, {} left",
+                self.remaining()
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self, what: &str) -> DecodeResult<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self, what: &str) -> DecodeResult<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self, what: &str) -> DecodeResult<u64> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self, what: &str) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.get_u64(what)?))
+    }
+
+    /// Read a bool byte (anything other than 0/1 is a decode error).
+    pub fn get_bool(&mut self, what: &str) -> DecodeResult<bool> {
+        match self.get_u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("invalid bool byte {other} for {what}")),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self, what: &str) -> DecodeResult<String> {
+        let len = self.get_u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| format!("invalid UTF-8 in {what}"))
+    }
+
+    /// Read an optional string written by [`Encoder::put_opt_str`].
+    pub fn get_opt_str(&mut self, what: &str) -> DecodeResult<Option<String>> {
+        if self.get_bool(what)? {
+            Ok(Some(self.get_str(what)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Read a `u32` count, sanity-bounded so a corrupt length cannot trigger an
+    /// absurd allocation. The bound is generous (the payload is already capped
+    /// by the frame size) — each element needs at least one byte.
+    pub fn get_count(&mut self, what: &str) -> DecodeResult<usize> {
+        let n = self.get_u32(what)? as usize;
+        if n > self.remaining() {
+            return Err(format!(
+                "implausible count {n} for {what} ({} bytes remain)",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 3);
+        e.put_f64(-0.0);
+        e.put_f64(f64::NAN);
+        e.put_bool(true);
+        e.put_str("héllo");
+        e.put_opt_str(None);
+        e.put_opt_str(Some("x"));
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8("a").unwrap(), 7);
+        assert_eq!(d.get_u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64("c").unwrap(), u64::MAX - 3);
+        assert_eq!(d.get_f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.get_f64("e").unwrap().is_nan());
+        assert!(d.get_bool("f").unwrap());
+        assert_eq!(d.get_str("g").unwrap(), "héllo");
+        assert_eq!(d.get_opt_str("h").unwrap(), None);
+        assert_eq!(d.get_opt_str("i").unwrap(), Some("x".into()));
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn truncated_and_invalid_inputs_error_gracefully() {
+        let mut d = Decoder::new(&[1, 2]);
+        assert!(d.get_u32("int").unwrap_err().contains("truncated"));
+
+        // String length prefix pointing past the end.
+        let mut e = Encoder::new();
+        e.put_u32(1000);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_str("s").is_err());
+
+        // Bad bool byte.
+        let mut d = Decoder::new(&[9]);
+        assert!(d.get_bool("flag").unwrap_err().contains("invalid bool"));
+
+        // Invalid UTF-8.
+        let mut e = Encoder::new();
+        e.put_u32(2);
+        let mut bytes = e.finish();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_str("s").unwrap_err().contains("UTF-8"));
+
+        // Implausible element count.
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.get_count("items").unwrap_err().contains("implausible"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Virtual filesystem behind the storage engine.
+//!
+//! The engine talks to storage exclusively through the [`Vfs`] trait, so the
+//! same recovery code runs against the real filesystem ([`RealFs`]), an
+//! in-memory store ([`MemFs`], which tests share across simulated crashes and
+//! tamper with at byte granularity), and the fault-injecting wrapper
+//! ([`FaultFs`](crate::FaultFs)).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Filesystem operations the storage engine needs. All methods are
+/// whole-file or append-oriented — the engine never seeks.
+pub trait Vfs: Send + Sync + std::fmt::Debug {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Replace a file's contents atomically (write to a sibling temp file,
+    /// then rename over the target).
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Append bytes to a file, creating it if missing.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Force file contents to stable storage (`fsync`).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// File names (not full paths) directly inside a directory.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Delete a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and its parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+    /// Length of a file in bytes, `None` when it does not exist.
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>>;
+}
+
+/// The real operating-system filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl Vfs for RealFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Persist the rename itself; a directory fsync failing is reported, not
+        // ignored — the caller decides how to degrade.
+        if let Some(dir) = path.parent() {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)?
+            .sync_all()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>> {
+        match std::fs::metadata(path) {
+            Ok(m) => Ok(Some(m.len())),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// In-memory filesystem shared behind an `Arc`.
+///
+/// Crash simulation: the test drops the engine (losing every in-memory
+/// structure) while keeping the `Arc<MemFs>`, optionally cuts or flips bytes
+/// with the tamper helpers below, and reopens the engine over the same store —
+/// exactly what a process kill followed by a restart does to a real disk.
+#[derive(Debug, Default)]
+pub struct MemFs {
+    files: Mutex<BTreeMap<PathBuf, Vec<u8>>>,
+}
+
+impl MemFs {
+    /// Fresh, empty store.
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    fn with_files<T>(&self, f: impl FnOnce(&mut BTreeMap<PathBuf, Vec<u8>>) -> T) -> T {
+        let mut guard = match self.files.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut guard)
+    }
+
+    /// Tamper helper: cut a file to `len` bytes (simulates a crash mid-write /
+    /// lost tail). No-op when the file is already shorter; error when missing.
+    pub fn truncate_file(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.with_files(|files| match files.get_mut(path) {
+            Some(data) => {
+                data.truncate(len as usize);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        })
+    }
+
+    /// Tamper helper: flip one bit of a file (simulates bit rot).
+    pub fn flip_bit(&self, path: &Path, byte_offset: u64) -> io::Result<()> {
+        self.with_files(|files| match files.get_mut(path) {
+            Some(data) => match data.get_mut(byte_offset as usize) {
+                Some(b) => {
+                    *b ^= 0x01;
+                    Ok(())
+                }
+                None => Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "offset past end",
+                )),
+            },
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        })
+    }
+
+    /// Tamper helper: current contents of a file, if present.
+    pub fn file_bytes(&self, path: &Path) -> Option<Vec<u8>> {
+        self.with_files(|files| files.get(path).cloned())
+    }
+
+    /// Full paths of every stored file (sorted).
+    pub fn paths(&self) -> Vec<PathBuf> {
+        self.with_files(|files| files.keys().cloned().collect())
+    }
+}
+
+impl Vfs for MemFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.with_files(|files| {
+            files
+                .get(path)
+                .cloned()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+        })
+    }
+
+    fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.with_files(|files| {
+            files.insert(path.to_path_buf(), data.to_vec());
+            Ok(())
+        })
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.with_files(|files| {
+            files
+                .entry(path.to_path_buf())
+                .or_default()
+                .extend_from_slice(data);
+            Ok(())
+        })
+    }
+
+    fn sync(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.with_files(|files| {
+            let mut names: Vec<String> = files
+                .keys()
+                .filter(|p| p.parent() == Some(dir))
+                .filter_map(|p| p.file_name().and_then(|n| n.to_str()).map(String::from))
+                .collect();
+            names.sort();
+            Ok(names)
+        })
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.with_files(|files| match files.remove(path) {
+            Some(_) => Ok(()),
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        })
+    }
+
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<Option<u64>> {
+        self.with_files(|files| Ok(files.get(path).map(|d| d.len() as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_append_read_list_and_remove() {
+        let fs = MemFs::new();
+        let dir = Path::new("/db");
+        let file = dir.join("wal-000000.log");
+        fs.create_dir_all(dir).unwrap();
+        assert_eq!(fs.file_len(&file).unwrap(), None);
+        fs.append(&file, b"abc").unwrap();
+        fs.append(&file, b"def").unwrap();
+        assert_eq!(fs.read(&file).unwrap(), b"abcdef");
+        assert_eq!(fs.file_len(&file).unwrap(), Some(6));
+        assert_eq!(fs.list(dir).unwrap(), vec!["wal-000000.log"]);
+        fs.sync(&file).unwrap();
+
+        fs.write_atomic(&file, b"xy").unwrap();
+        assert_eq!(fs.read(&file).unwrap(), b"xy");
+
+        fs.remove_file(&file).unwrap();
+        assert!(fs.read(&file).is_err());
+        assert!(fs.remove_file(&file).is_err());
+    }
+
+    #[test]
+    fn memfs_tamper_helpers_cut_and_flip() {
+        let fs = MemFs::new();
+        let file = Path::new("/db/wal-000000.log");
+        fs.append(file, &[0b0000_0000, 0b1111_1111]).unwrap();
+        fs.flip_bit(file, 0).unwrap();
+        assert_eq!(fs.file_bytes(file).unwrap(), vec![0b0000_0001, 0b1111_1111]);
+        fs.truncate_file(file, 1).unwrap();
+        assert_eq!(fs.read(file).unwrap(), vec![0b0000_0001]);
+        assert!(fs.flip_bit(file, 9).is_err());
+        assert!(fs.truncate_file(Path::new("/nope"), 0).is_err());
+        assert_eq!(fs.paths(), vec![PathBuf::from("/db/wal-000000.log")]);
+    }
+
+    #[test]
+    fn realfs_round_trips_in_temp_dir() {
+        let dir = std::env::temp_dir().join(format!(
+            "cqads-vfs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let file = dir.join("wal-000000.log");
+        fs.append(&file, b"hello ").unwrap();
+        fs.append(&file, b"world").unwrap();
+        fs.sync(&file).unwrap();
+        assert_eq!(fs.read(&file).unwrap(), b"hello world");
+        assert_eq!(fs.file_len(&file).unwrap(), Some(11));
+        assert!(fs.list(&dir).unwrap().contains(&"wal-000000.log".into()));
+        fs.write_atomic(&file, b"replaced").unwrap();
+        assert_eq!(fs.read(&file).unwrap(), b"replaced");
+        fs.remove_file(&file).unwrap();
+        assert_eq!(fs.file_len(&file).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -29,4 +29,4 @@ pub mod corpus;
 pub mod matrix;
 
 pub use corpus::{CorpusSpec, SyntheticCorpus, TopicGroup};
-pub use matrix::WordSimMatrix;
+pub use matrix::{WordSimMatrix, WsMatrixState};

@@ -167,6 +167,49 @@ impl WordSimMatrix {
         self.entries.insert(sym_pair(sa, sb), value.clamp(0.0, 1.0));
         self.max_raw = self.max_raw.max(value);
     }
+
+    /// Export the matrix with every stem symbol resolved to its string, sorted
+    /// for deterministic serialization. Interned symbols are process-local, so
+    /// a persisted matrix must carry the stems themselves.
+    pub fn export_state(&self) -> WsMatrixState {
+        let mut entries: Vec<(String, String, f64)> = self
+            .entries
+            .iter()
+            .map(|(&(a, b), &v)| (intern::resolve(a), intern::resolve(b), v))
+            .collect();
+        entries.sort_by(|x, y| (x.0.as_str(), x.1.as_str()).cmp(&(y.0.as_str(), y.1.as_str())));
+        WsMatrixState {
+            entries,
+            max_raw: self.max_raw,
+        }
+    }
+
+    /// Rebuild a matrix from exported state. The stored strings are **already
+    /// stems** (stemming happened on the way into the live matrix), so they
+    /// are interned verbatim — re-stemming a stem is not guaranteed to be a
+    /// no-op and would corrupt the keys. Similarity values and `max_raw` are
+    /// restored bit-for-bit.
+    pub fn from_state(state: &WsMatrixState) -> Self {
+        let mut entries: HashMap<(Sym, Sym), f64, SymHashBuilder> = HashMap::default();
+        for (a, b, v) in &state.entries {
+            entries.insert(sym_pair(intern::intern(a), intern::intern(b)), *v);
+        }
+        WordSimMatrix {
+            entries,
+            max_raw: state.max_raw,
+        }
+    }
+}
+
+/// Portable snapshot of a [`WordSimMatrix`]: `(stem, stem, similarity)` triples
+/// plus the raw normalization maximum. Produced by
+/// [`WordSimMatrix::export_state`], consumed by [`WordSimMatrix::from_state`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WsMatrixState {
+    /// Stem-pair similarities, sorted by the stem strings.
+    pub entries: Vec<(String, String, f64)>,
+    /// Largest raw (pre-normalization) accumulation of the live matrix.
+    pub max_raw: f64,
 }
 
 #[cfg(test)]
@@ -237,6 +280,33 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.max_raw(), 0.0);
         assert_eq!(m.similarity("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn export_restore_round_trip_is_bit_identical() {
+        let m = sample_matrix();
+        let state = m.export_state();
+        assert_eq!(state.entries.len(), m.len());
+        // Deterministic export: sorted and stable.
+        assert_eq!(state, m.export_state());
+
+        let restored = WordSimMatrix::from_state(&state);
+        assert_eq!(restored.len(), m.len());
+        assert_eq!(restored.max_raw().to_bits(), m.max_raw().to_bits());
+        for (k, v) in &m.entries {
+            let r = restored.entries.get(k).expect("pair survives restore");
+            assert_eq!(v.to_bits(), r.to_bits());
+        }
+        // Lookups behave identically (the stored strings are stems, interned
+        // verbatim — no double stemming).
+        assert_eq!(
+            m.similarity("blue", "silver").to_bits(),
+            restored.similarity("blue", "silver").to_bits()
+        );
+
+        let empty = WordSimMatrix::from_state(&WsMatrixState::default());
+        assert!(empty.is_empty());
+        assert_eq!(empty.max_raw(), 0.0);
     }
 
     proptest! {

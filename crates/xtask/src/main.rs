@@ -108,6 +108,22 @@ const GATED: &[BenchSpec] = &[
             },
         ],
     },
+    BenchSpec {
+        bench: "durability",
+        report: "BENCH_durability.json",
+        metrics: &[
+            // CPU-bound columns only: the fsync column and the snapshot write
+            // time track disk hardware, not engine regressions.
+            Metric {
+                path: &["wal", "appends_per_sec_nofsync"],
+                direction: Direction::HigherIsBetter,
+            },
+            Metric {
+                path: &["recovery_ms_per_1k_frames"],
+                direction: Direction::LowerIsBetter,
+            },
+        ],
+    },
 ];
 
 fn workspace_root() -> PathBuf {

@@ -12,5 +12,6 @@ pub use cqads_classifier as classifier;
 pub use cqads_datagen as datagen;
 pub use cqads_eval as eval;
 pub use cqads_querylog as querylog;
+pub use cqads_storage as storage;
 pub use cqads_text as text;
 pub use cqads_wordsim as wordsim;
