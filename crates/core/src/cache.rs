@@ -191,6 +191,7 @@ pub struct CacheStats {
 ///     sql: String::new(),
 ///     answers: Vec::new(),
 ///     exact_count: 0,
+///     quality: Default::default(),
 ///     elapsed: std::time::Duration::ZERO,
 /// });
 /// cache.fill(key.clone(), stamp, answer);
@@ -290,6 +291,21 @@ impl AnswerCache {
         }
     }
 
+    /// Look up a question **ignoring freshness**: return whatever entry exists
+    /// for the key, however stale, without evicting it and without touching
+    /// the hit/miss counters. This is the graceful-degradation fallback — when
+    /// the fresh path misses its deadline, the pipeline may serve this entry
+    /// flagged [`Stale`](crate::AnswerQuality::Stale) rather than a deeply
+    /// truncated fresh answer. Never use it on a healthy path: freshness is
+    /// exactly what [`AnswerCache::lookup`] exists to prove.
+    pub fn peek_stale(&self, key: &CacheKey) -> Option<Arc<AnswerSet>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.map.get(key).map(|entry| Arc::clone(&entry.answer))
+    }
+
     /// Insert (or refresh) an answer stamped with the [`GenerationStamp`] that was
     /// read **before** the answer was computed — never the stamp read afterwards, or
     /// a mutation racing the computation could be masked (see the module docs).
@@ -385,6 +401,7 @@ mod tests {
             sql: String::new(),
             answers: Vec::new(),
             exact_count: 0,
+            quality: Default::default(),
             elapsed: Duration::ZERO,
         })
     }
@@ -484,6 +501,24 @@ mod tests {
         assert!(cache.lookup(&b, table_stamp(1)).is_none(), "LRU evicted");
         assert!(cache.lookup(&c, table_stamp(1)).is_some());
         assert_eq!(cache.stats().capacity_evictions, 1);
+    }
+
+    #[test]
+    fn peek_stale_serves_outdated_entries_without_evicting() {
+        let cache = AnswerCache::new(8, 2);
+        let key = CacheKey::new("cars", "blue honda");
+        assert!(cache.peek_stale(&key).is_none());
+        cache.fill(key.clone(), table_stamp(5), answer_set("cars"));
+        let before = cache.stats();
+        // The entry is stale under generation 6, but peek still returns it…
+        assert!(cache.peek_stale(&key).is_some());
+        // …without counting a hit or a miss, and without evicting.
+        let after = cache.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+        assert_eq!(cache.len(), 1);
+        // The strict path still evicts it as usual afterwards.
+        assert!(cache.lookup(&key, table_stamp(6)).is_none());
+        assert!(cache.peek_stale(&key).is_none(), "eviction is shared state");
     }
 
     #[test]

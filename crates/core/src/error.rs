@@ -30,6 +30,10 @@ pub enum CqadsError {
     /// codec mismatch — see [`cqads_storage::StorageError`] for the file and
     /// byte-offset context it carries).
     Storage(cqads_storage::StorageError),
+    /// The admission controller shed this request: the configured in-flight
+    /// bound ([`ResilienceOptions::max_in_flight`](crate::ResilienceOptions))
+    /// was saturated. The request did no work; retrying after backoff is safe.
+    Overloaded,
 }
 
 impl fmt::Display for CqadsError {
@@ -48,6 +52,10 @@ impl fmt::Display for CqadsError {
             ),
             CqadsError::Database(e) => write!(f, "database error: {e}"),
             CqadsError::Storage(e) => write!(f, "storage error: {e}"),
+            CqadsError::Overloaded => write!(
+                f,
+                "system overloaded: the admission controller shed this request"
+            ),
         }
     }
 }

@@ -52,6 +52,7 @@ pub mod identifiers;
 pub mod partial;
 pub mod pipeline;
 pub mod ranking;
+pub mod resilience;
 pub mod spell;
 pub mod storage;
 pub mod tagging;
@@ -62,7 +63,9 @@ pub use cache::{AnswerCache, CacheKey, CacheStats, GenerationStamp};
 pub use domain::DomainSpec;
 pub use error::{CqadsError, CqadsResult};
 pub use identifiers::{BoundaryOp, Tag};
-pub use partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
+pub use partial::{
+    PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher, PartialOutcome,
+};
 pub use pipeline::{
     Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, IngestReport, MatchKind,
 };
@@ -70,6 +73,7 @@ pub use ranking::{
     boundary_matches, CompiledProbe, ProbeScorer, ScoredValue, SimilarityMeasure, SimilarityModel,
     ValueOrder,
 };
+pub use resilience::{AnswerQuality, QueryBudget, ResilienceOptions, ServingStats};
 pub use storage::StorageOptions;
 pub use tagging::{TaggedQuestion, TaggedToken, Tagger};
 pub use translate::{ConditionSketch, Interpretation};

@@ -74,10 +74,25 @@
 //! re-offer is provably a no-op (`TopK::offer` updates only on strict improvement,
 //! and an evicted or rejected entry stays below the monotone threshold). The same
 //! holds per worker in the sharded fan-out — each worker's private heap prunes against
-//! its own (lower, hence still admissible) threshold. The `wand_topk` bench and the
+//! its own (lower, hence still admissible) threshold, *raised* by a shared atomic
+//! threshold published across workers (next paragraph). The `wand_topk` bench and the
 //! equivalence tests assert byte-identity against the frozen PR 2 engine
 //! ([`PartialMatchOptions::pr2_exhaustive`]) across skewed and uniform value
 //! distributions.
+//!
+//! **The shared WAND threshold.** In the sharded fan-out each worker additionally
+//! publishes the worst live score of its *full* heap into one atomic cell per
+//! question (monotone max), and every worker prunes candidates **strictly below**
+//! the published value. This is admissible: the global top-`b` worst is at least
+//! the `b`-th best of any subset of the offers, so a full worker heap's worst is a
+//! lower bound on the final global threshold — a candidate strictly below it can
+//! never appear in the merged output. Pruning is on *strict* inequality only, so
+//! id tie-breaks at the threshold are untouched. Byte-identity survives the racy
+//! publication order because every offer at a surviving record's best score is at
+//! least the final global worst, hence at least any published value at any earlier
+//! time — such offers are never pruned, so per-record dedup ("first relaxation
+//! achieving the best score") resolves exactly as in the sequential engine, no
+//! matter how the atomic raises interleave.
 //!
 //! When the index-driven pass cannot fill the budget (sparse data: every relaxation
 //! collapses to the already-returned exact answers), both engines fall back to a
@@ -126,15 +141,59 @@
 //! `bench/benches/parallel_topk.rs` measure the speedups of the bounded, galloping and
 //! parallel engines against those baselines, and the equivalence tests assert
 //! byte-identical output across all of them.
+//!
+//! # Deadlines and degradation
+//!
+//! [`PartialMatcher::partial_answers_batch_budgeted`] threads an optional
+//! [`QueryBudget`] through every worker loop. Workers poll it cooperatively —
+//! between questions, between relaxation plans, and every [`BUDGET_CHECK_EVERY`]
+//! scored candidates inside a drain — so cancellation needs no thread signals and
+//! costs one predictable branch per candidate when armed (and nothing at all when
+//! the budget is `None`: the unbudgeted arms are the exact pre-existing loops,
+//! fold specialization included).
+//!
+//! A cut must never *silently* truncate: the contract is that a degraded answer
+//! list is a **certified prefix** of the answer list the undegraded engine would
+//! have returned, bit for bit, and is explicitly flagged
+//! ([`PartialOutcome::degraded`]). The certificate is an upper bound `B` on every
+//! score the engine could still have offered after the cut, maintained per
+//! question per worker and merged by max:
+//!
+//! * cut before a question starts → the question's precomputed maximum possible
+//!   score (`(N−1) +` the best value similarity, or `(N−1) + 1` for exhaustive
+//!   arms);
+//! * cut before relaxation plan `i` → the suffix maximum of the remaining plans'
+//!   start bounds;
+//! * cut inside a value run at similarity `s` → `(N−1) + s` (later runs bound
+//!   lower, the residual bounds at `(N−1)`), maxed with the remaining plans'
+//!   suffix bound;
+//! * cut inside the residual → `(N−1)` (unvisited residual candidates score
+//!   exactly the base; any higher-scoring id the residual could meet is a re-offer
+//!   the heap provably ignores), again maxed with the remaining plans;
+//! * any cut that touches the degree-of-match fallback → `N` (its scores are
+//!   bounded by `min(matched, N−1) + 1`).
+//!
+//! Every heap entry scoring **strictly above** the merged `B` already beat every
+//! offer the cut skipped — its score, measure and relaxed-condition index are the
+//! ones the undegraded engine computes, and since the output order
+//! `(rank_sim desc, id asc)` ranks all certified entries ahead of every possible
+//! uncertified one, keeping exactly the `score > B` prefix yields a literal
+//! element-wise prefix of the undegraded answer list. Entries at or below `B` are
+//! dropped, never guessed at. Overestimating `B` only shrinks the certified
+//! prefix; it can never certify a wrong entry.
 
 use crate::domain::DomainSpec;
 use crate::error::CqadsResult;
 use crate::ranking::{CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel, ValueOrder};
+use crate::resilience::QueryBudget;
 use crate::translate::Interpretation;
 use addb::{ExecOptions, Executor, IdStream, PostingList, Query, RecordId, ScoredUnion, Table};
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::ops::Range;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 
 /// Below this many records, auto worker detection stays sequential: thread spawn and
 /// heap-merge overhead would outweigh the scan itself.
@@ -142,6 +201,14 @@ const PARALLEL_AUTO_MIN_RECORDS: usize = 4_096;
 
 /// Hard cap on worker threads (a fan-out wider than this only adds merge work).
 const MAX_WORKERS: usize = 64;
+
+/// How many visited candidates a worker scores between deadline polls. A
+/// [`QueryBudget`] is checked at this granularity (plus once between every
+/// relaxation plan and every question), so a deadline overshoots by at most one
+/// block of scoring work per worker — cheap enough that the unbudgeted fast
+/// path stays branch-predictable, fine enough that cancellation latency stays
+/// microseconds even on mega posting lists.
+pub const BUDGET_CHECK_EVERY: u64 = 256;
 
 /// One partially-matched answer.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,6 +233,119 @@ impl PartialAnswer {
             && self.rank_sim.to_bits() == other.rank_sim.to_bits()
             && self.measure == other.measure
             && self.relaxed_condition == other.relaxed_condition
+    }
+}
+
+/// The result of one question in a budgeted batch
+/// ([`PartialMatcher::partial_answers_batch_budgeted`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialOutcome {
+    /// The ranked partial answers. When `degraded` is set this is a *certified
+    /// prefix* of the list the undegraded engine would have returned — entries the
+    /// cut left uncertain are dropped, never silently included (see the
+    /// [module docs](self#deadlines-and-degradation)).
+    pub answers: Vec<PartialAnswer>,
+    /// Candidates the whole batch had visited when the outcomes were assembled
+    /// (the batch shares one [`QueryBudget`], so this is a batch-wide figure, not
+    /// a per-question one). `0` when no budget was armed.
+    pub visited: u64,
+    /// Whether the deadline cut this question's computation. `false` means
+    /// `answers` is complete and bit-identical to the unbudgeted engine's output.
+    pub degraded: bool,
+}
+
+/// One worker's view of a [`QueryBudget`]: a local visit counter flushed into the
+/// shared atomic every [`BUDGET_CHECK_EVERY`] candidates (when the deadline is also
+/// polled), plus a latched cut flag so that once a worker observes expiry it stops
+/// paying for clock reads entirely.
+struct BudgetProbe<'b> {
+    budget: &'b QueryBudget,
+    since_flush: Cell<u64>,
+    cut: Cell<bool>,
+}
+
+impl BudgetProbe<'_> {
+    fn new(budget: &QueryBudget) -> BudgetProbe<'_> {
+        BudgetProbe {
+            budget,
+            since_flush: Cell::new(0),
+            cut: Cell::new(budget.expired()),
+        }
+    }
+
+    /// Count one visited candidate; `true` once the budget is gone (the candidate
+    /// must then *not* be offered — it is covered by the caller's cut bound).
+    fn visit(&self) -> bool {
+        if self.cut.get() {
+            return true;
+        }
+        let n = self.since_flush.get() + 1;
+        if n >= BUDGET_CHECK_EVERY {
+            self.since_flush.set(n);
+            self.flush();
+            if self.budget.expired() {
+                self.cut.set(true);
+                return true;
+            }
+        } else {
+            self.since_flush.set(n);
+        }
+        false
+    }
+
+    /// Poll between plans/questions without counting a visit.
+    fn cut(&self) -> bool {
+        if self.cut.get() {
+            return true;
+        }
+        if self.budget.expired() {
+            self.cut.set(true);
+            return true;
+        }
+        false
+    }
+
+    /// Publish any locally-counted visits into the shared budget.
+    fn flush(&self) {
+        let n = self.since_flush.get();
+        if n > 0 {
+            self.budget.add_visited(n);
+            self.since_flush.set(0);
+        }
+    }
+}
+
+/// The shared WAND threshold of one question in the sharded fan-out: the monotone
+/// maximum of every worker's full-heap worst score, stored as `f64` bits. Pruning
+/// strictly below this value is admissible — see the module docs for the proof
+/// that byte-identity survives the racy publication order.
+struct SharedThreshold(AtomicU64);
+
+impl SharedThreshold {
+    fn new() -> Self {
+        SharedThreshold(AtomicU64::new(f64::NEG_INFINITY.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Raise the threshold to `score` if it is not already higher (lock-free
+    /// monotone max; `Relaxed` suffices — the value is a pruning *hint* whose
+    /// timing never affects the output).
+    fn raise(&self, score: f64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let bits = score.to_bits();
+        let mut current = self.0.load(Relaxed);
+        while f64::from_bits(current) < score {
+            match self
+                .0
+                .compare_exchange_weak(current, bits, Relaxed, Relaxed)
+            {
+                Ok(_) => return,
+                Err(changed) => current = changed,
+            }
+        }
     }
 }
 
@@ -282,8 +462,9 @@ impl<'a> PartialMatcher<'a> {
                 budget,
             }],
             table,
+            None,
         )?;
-        Ok(results.pop().expect("one request, one result"))
+        Ok(results.pop().expect("one request, one result").answers)
     }
 
     /// Answer a whole batch of questions in one parallel fan-out.
@@ -304,7 +485,50 @@ impl<'a> PartialMatcher<'a> {
                 .map(|r| self.partial_answers(r.interpretation, table, r.exclude, r.budget))
                 .collect();
         }
-        self.batch_topk(requests, table)
+        Ok(self
+            .batch_topk(requests, table, None)?
+            .into_iter()
+            .map(|outcome| outcome.answers)
+            .collect())
+    }
+
+    /// [`PartialMatcher::partial_answers_batch`] with an optional cooperative
+    /// deadline.
+    ///
+    /// With `budget: None` this is element-wise identical (bit for bit) to the
+    /// unbudgeted batch call. With a [`QueryBudget`] armed, workers poll it at
+    /// [`BUDGET_CHECK_EVERY`]-candidate granularity; on expiry each question
+    /// returns its best-so-far answers truncated to the *certified prefix* of the
+    /// undegraded answer list and explicitly flagged
+    /// [`degraded`](PartialOutcome::degraded) — see the
+    /// [module docs](self#deadlines-and-degradation) for the certification
+    /// argument. The ablation engines (`full_scan`, `pr1_baseline`) are frozen
+    /// baselines and ignore the deadline: their outcomes always come back
+    /// complete.
+    pub fn partial_answers_batch_budgeted(
+        &self,
+        requests: &[PartialBatchRequest<'_>],
+        table: &Table,
+        budget: Option<&QueryBudget>,
+    ) -> CqadsResult<Vec<PartialOutcome>> {
+        if self.options.full_scan || self.options.pr1_baseline {
+            return requests
+                .iter()
+                .map(|r| {
+                    Ok(PartialOutcome {
+                        answers: self.partial_answers(
+                            r.interpretation,
+                            table,
+                            r.exclude,
+                            r.budget,
+                        )?,
+                        visited: 0,
+                        degraded: false,
+                    })
+                })
+                .collect();
+        }
+        self.batch_topk(requests, table, budget)
     }
 
     /// The batch top-k engine.
@@ -319,19 +543,43 @@ impl<'a> PartialMatcher<'a> {
         &self,
         requests: &[PartialBatchRequest<'_>],
         table: &Table,
-    ) -> CqadsResult<Vec<Vec<PartialAnswer>>> {
+        budget: Option<&QueryBudget>,
+    ) -> CqadsResult<Vec<PartialOutcome>> {
         let shards = shard_bounds(table.len() as u32, self.resolve_workers(table.len()));
         let prepared: Vec<PreparedQuestion<'_>> = requests
             .iter()
             .map(|r| self.prepare_question(r, table))
             .collect();
-        let mut heaps: Vec<TopK> = prepared.iter().map(|p| TopK::new(p.budget)).collect();
+        // In the multi-shard fan-out every question additionally gets a shared
+        // atomic WAND threshold the workers publish into (lossless; see the
+        // module docs). Sequential runs skip it — no atomics on that path.
+        let multi_shard = shards.len() > 1;
+        let mut heaps: Vec<TopK> = prepared
+            .iter()
+            .map(|p| {
+                let shared = multi_shard.then(|| Arc::new(SharedThreshold::new()));
+                TopK::with_shared(p.budget, shared)
+            })
+            .collect();
+        // Per-question upper bound on every score a deadline cut could still have
+        // offered; `NEG_INFINITY` = the question completed losslessly. Workers
+        // record their own bound, merged by max.
+        let mut bounds = vec![f64::NEG_INFINITY; requests.len()];
 
         // Phase 1: index-driven pass, all questions per worker.
-        run_sharded(&mut heaps, &shards, |shard, heaps| {
+        run_sharded(&mut heaps, &mut bounds, &shards, |shard, heaps, bounds| {
+            let meter = budget.map(BudgetProbe::new);
             let executor = Executor::new(table);
             let whole_table = shard.start == 0 && shard.end as usize >= table.len();
-            for (prep, topk) in prepared.iter().zip(heaps.iter_mut()) {
+            for (q, (prep, topk)) in prepared.iter().zip(heaps.iter_mut()).enumerate() {
+                if let Some(m) = &meter {
+                    if m.cut() {
+                        // Cut before the question started: everything it could
+                        // have offered is covered by its precomputed maximum.
+                        bounds[q] = bounds[q].max(prep.max_start_bound);
+                        continue;
+                    }
+                }
                 match &prep.kind {
                     PreparedKind::Inert => {}
                     PreparedKind::Single { probe, values } => match values {
@@ -342,7 +590,7 @@ impl<'a> PartialMatcher<'a> {
                         // still beat the threshold.
                         Some(order) => {
                             let len = table.len() as u32;
-                            wand_relaxation(
+                            if let Some(cut_at) = wand_relaxation(
                                 prep,
                                 topk,
                                 &shard,
@@ -351,7 +599,10 @@ impl<'a> PartialMatcher<'a> {
                                 probe,
                                 0,
                                 || Some(IdStream::All(0..len)),
-                            );
+                                meter.as_ref(),
+                            ) {
+                                bounds[q] = bounds[q].max(cut_at);
+                            }
                         }
                         // Exhaustive (PR 2) scan: apply similarity matching directly
                         // over the table (Section 4.3.1, last paragraph). Inherently
@@ -361,6 +612,12 @@ impl<'a> PartialMatcher<'a> {
                         None => {
                             let mut scorer = ProbeScorer::new(probe);
                             for id in shard.clone().map(RecordId) {
+                                if let Some(m) = &meter {
+                                    if m.visit() {
+                                        bounds[q] = bounds[q].max(prep.max_start_bound);
+                                        break;
+                                    }
+                                }
                                 if prep.excluded(id) {
                                     continue;
                                 }
@@ -370,7 +627,21 @@ impl<'a> PartialMatcher<'a> {
                         }
                     },
                     PreparedKind::Multi(plans) => {
-                        for plan in plans {
+                        'plans: for (pi, plan) in plans.iter().enumerate() {
+                            if let Some(m) = &meter {
+                                if m.cut() {
+                                    // Cut between plans: the suffix maximum of the
+                                    // remaining plans' start bounds covers every
+                                    // offer they could have made.
+                                    bounds[q] = bounds[q].max(plan.tail_bound);
+                                    break 'plans;
+                                }
+                            }
+                            let later_bound = || {
+                                plans
+                                    .get(pi + 1)
+                                    .map_or(f64::NEG_INFINITY, |p| p.tail_bound)
+                            };
                             match &plan.values {
                                 Some(order) => {
                                     // Superlative queries re-apply their superlative
@@ -399,7 +670,7 @@ impl<'a> PartialMatcher<'a> {
                                         Some(None) => None,
                                         None => executor.execute_stream(&plan.query).ok(),
                                     };
-                                    wand_relaxation(
+                                    if let Some(cut_at) = wand_relaxation(
                                         prep,
                                         topk,
                                         &shard,
@@ -408,7 +679,11 @@ impl<'a> PartialMatcher<'a> {
                                         &plan.probe,
                                         plan.skip,
                                         make_rest,
-                                    );
+                                        meter.as_ref(),
+                                    ) {
+                                        bounds[q] = bounds[q].max(cut_at.max(later_bound()));
+                                        break 'plans;
+                                    }
                                 }
                                 None => {
                                     let stream = match executor.execute_stream(&plan.query) {
@@ -424,35 +699,72 @@ impl<'a> PartialMatcher<'a> {
                                         stream.restrict(shard.clone())
                                     };
                                     let mut scorer = ProbeScorer::new(&plan.probe);
-                                    // `for_each` funnels through the stream's
-                                    // specialized `fold`: posting-list tails,
-                                    // flattened intersections and wide-range filters
-                                    // run as tight slice/range loops.
-                                    stream.for_each(|id| {
-                                        if prep.excluded(id) {
-                                            return;
+                                    match &meter {
+                                        // `for_each` funnels through the stream's
+                                        // specialized `fold`: posting-list tails,
+                                        // flattened intersections and wide-range
+                                        // filters run as tight slice/range loops.
+                                        // The unbudgeted arm keeps that exact shape.
+                                        None => stream.for_each(|id| {
+                                            if prep.excluded(id) {
+                                                return;
+                                            }
+                                            let (score, measure) = scorer.rank_sim(prep.n, id);
+                                            topk.offer(id, score, measure, plan.skip);
+                                        }),
+                                        Some(m) => {
+                                            let mut cut = false;
+                                            for id in stream {
+                                                if m.visit() {
+                                                    cut = true;
+                                                    break;
+                                                }
+                                                if prep.excluded(id) {
+                                                    continue;
+                                                }
+                                                let (score, measure) = scorer.rank_sim(prep.n, id);
+                                                topk.offer(id, score, measure, plan.skip);
+                                            }
+                                            if cut {
+                                                // Mid-stream cut: the stream is
+                                                // unordered in score, so the whole
+                                                // plan's start bound (⊆ tail_bound)
+                                                // must cover the remainder.
+                                                bounds[q] = bounds[q].max(plan.tail_bound);
+                                                break 'plans;
+                                            }
                                         }
-                                        let (score, measure) = scorer.rank_sim(prep.n, id);
-                                        topk.offer(id, score, measure, plan.skip);
-                                    });
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
+            if let Some(m) = &meter {
+                m.flush();
+            }
         });
 
         // Phase 2: degree-of-match fallback for sparse questions. A heap below
         // budget was never full in any worker, so it holds exactly the candidates
         // the index pass found — the same state the sequential engine has here.
+        // A question cut in phase 1 skips the fallback outright: the fallback can
+        // offer scores up to N, so its bound becomes N (a full heap cut in phase 1
+        // implies the undegraded heap is full too, i.e. the undegraded engine
+        // would not have run the fallback either — the phase-1 bound stands).
         let fallback: Vec<Option<(Vec<RecordId>, Vec<CompiledProbe<'_>>)>> = prepared
             .iter()
             .zip(heaps.iter())
             .zip(requests.iter())
-            .map(|((prep, topk), request)| {
+            .enumerate()
+            .map(|(q, ((prep, topk), request))| {
                 let sparse =
                     matches!(prep.kind, PreparedKind::Multi(_)) && topk.len() < prep.budget;
+                if sparse && bounds[q] > f64::NEG_INFINITY {
+                    bounds[q] = bounds[q].max(prep.n as f64);
+                    return None;
+                }
                 sparse.then(|| {
                     let mut found: Vec<RecordId> = topk.live_ids().collect();
                     found.sort_unstable();
@@ -467,12 +779,31 @@ impl<'a> PartialMatcher<'a> {
             })
             .collect();
         if fallback.iter().any(Option::is_some) {
-            run_sharded(&mut heaps, &shards, |shard, heaps| {
-                for ((prep, fb), topk) in prepared.iter().zip(&fallback).zip(heaps.iter_mut()) {
+            run_sharded(&mut heaps, &mut bounds, &shards, |shard, heaps, bounds| {
+                let meter = budget.map(BudgetProbe::new);
+                for (q, ((prep, fb), topk)) in prepared
+                    .iter()
+                    .zip(&fallback)
+                    .zip(heaps.iter_mut())
+                    .enumerate()
+                {
                     let Some((found, probes)) = fb else { continue };
+                    if let Some(m) = &meter {
+                        if m.cut() {
+                            bounds[q] = bounds[q].max(prep.n as f64);
+                            continue;
+                        }
+                    }
                     let mut scorers: Vec<ProbeScorer<'_, '_>> =
                         probes.iter().map(ProbeScorer::new).collect();
                     for id in shard.clone().map(RecordId) {
+                        if let Some(m) = &meter {
+                            if m.visit() {
+                                // Degree-of-match scores bound at N.
+                                bounds[q] = bounds[q].max(prep.n as f64);
+                                break;
+                            }
+                        }
                         if prep.excluded(id) || found.binary_search(&id).is_ok() {
                             continue;
                         }
@@ -480,9 +811,31 @@ impl<'a> PartialMatcher<'a> {
                         topk.offer(id, fb.rank_sim, fb.measure, fb.relaxed_condition);
                     }
                 }
+                if let Some(m) = &meter {
+                    m.flush();
+                }
             });
         }
-        Ok(heaps.into_iter().map(TopK::into_sorted).collect())
+        let visited = budget.map_or(0, |b| b.visited());
+        Ok(heaps
+            .into_iter()
+            .zip(bounds)
+            .map(|(topk, bound)| {
+                let mut answers = topk.into_sorted();
+                let degraded = bound > f64::NEG_INFINITY;
+                if degraded {
+                    // Keep exactly the certified prefix: entries scoring strictly
+                    // above the cut bound already beat everything the cut skipped.
+                    let keep = answers.iter().take_while(|a| a.rank_sim > bound).count();
+                    answers.truncate(keep);
+                }
+                PartialOutcome {
+                    answers,
+                    visited,
+                    degraded,
+                }
+            })
+            .collect())
     }
 
     /// Compile one request into shared, worker-ready state.
@@ -504,6 +857,16 @@ impl<'a> PartialMatcher<'a> {
                 probe.value_order()
             }
         };
+        let n = interpretation.condition_count();
+        let base = (n.saturating_sub(1)) as f64;
+        // Upper bound on every score one relaxation arm can offer: the best value
+        // similarity when a value order exists (entries are sorted descending and
+        // the residual scores at most the base), `base + 1` for exhaustive arms.
+        let arm_bound = |values: &Option<ValueOrder<'m>>| {
+            base + values
+                .as_ref()
+                .map_or(1.0, |o| o.entries().first().map_or(0.0, |e| e.sim))
+        };
         let kind = if request.budget == 0 || interpretation.is_empty() {
             PreparedKind::Inert
         } else if sketches.len() <= 1 {
@@ -519,31 +882,47 @@ impl<'a> PartialMatcher<'a> {
             // Build each relaxation's plan once; workers share them read-only.
             // Interpretation errors for a particular relaxation (e.g. the removed
             // condition resolved a contradiction) simply skip that relaxation.
-            PreparedKind::Multi(
-                sketches
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(skip, relaxed)| {
-                        let query = interpretation.to_query_excluding(self.spec, skip).ok()?;
-                        let probe = self.similarity.compile(relaxed, table);
-                        let values = value_order(&probe);
-                        let materialize_rest = !query.superlatives.is_empty();
-                        Some(RelaxationPlan {
-                            skip,
-                            query,
-                            probe,
-                            values,
-                            materialize_rest,
-                        })
+            let mut plans: Vec<RelaxationPlan<'m>> = sketches
+                .iter()
+                .enumerate()
+                .filter_map(|(skip, relaxed)| {
+                    let query = interpretation.to_query_excluding(self.spec, skip).ok()?;
+                    let probe = self.similarity.compile(relaxed, table);
+                    let values = value_order(&probe);
+                    let materialize_rest = !query.superlatives.is_empty();
+                    let start_bound = arm_bound(&values);
+                    Some(RelaxationPlan {
+                        skip,
+                        query,
+                        probe,
+                        values,
+                        materialize_rest,
+                        start_bound,
+                        tail_bound: f64::NEG_INFINITY,
                     })
-                    .collect(),
-            )
+                })
+                .collect();
+            // Suffix maxima: `tail_bound` of plan `i` covers every offer plans
+            // `i..` could make — what a deadline cut before plan `i` certifies
+            // against.
+            let mut tail = f64::NEG_INFINITY;
+            for plan in plans.iter_mut().rev() {
+                tail = tail.max(plan.start_bound);
+                plan.tail_bound = tail;
+            }
+            PreparedKind::Multi(plans)
+        };
+        let max_start_bound = match &kind {
+            PreparedKind::Inert => f64::NEG_INFINITY,
+            PreparedKind::Single { values, .. } => arm_bound(values),
+            PreparedKind::Multi(plans) => plans.first().map_or(f64::NEG_INFINITY, |p| p.tail_bound),
         };
         PreparedQuestion {
-            n: interpretation.condition_count(),
+            n,
             budget: request.budget,
             exclude_sorted,
             kind,
+            max_start_bound,
         }
     }
 
@@ -798,6 +1177,15 @@ fn degree_of_match(
 /// pruned runs never pay for stream construction. `None` means the relaxation's
 /// query cannot execute — the relaxation is skipped, exactly like the exhaustive
 /// engine's `continue`.
+///
+/// `meter` is the worker's deadline probe, polled per visited candidate. Returns
+/// `None` when the relaxation finished losslessly (pruned stops included) and
+/// `Some(bound)` when the deadline cut it — `bound` then covers every score the
+/// rest of *this* relaxation could have offered: the current run's constant score
+/// for a mid-run cut (later runs bound lower, the residual at `base`), and `base`
+/// for a cut inside the residual (unvisited residual candidates score exactly
+/// `base`; anything higher the residual meets is a re-offer the heap provably
+/// ignores — see the module docs).
 #[allow(clippy::too_many_arguments)]
 fn wand_relaxation<'s>(
     prep: &PreparedQuestion<'_>,
@@ -808,7 +1196,8 @@ fn wand_relaxation<'s>(
     probe: &CompiledProbe<'_>,
     skip: usize,
     mut make_rest: impl FnMut() -> Option<IdStream<'s>>,
-) {
+    meter: Option<&BudgetProbe<'_>>,
+) -> Option<f64> {
     let base = (prep.n.saturating_sub(1)) as f64;
     let entries = order.entries();
     let measure = order.measure();
@@ -818,14 +1207,14 @@ fn wand_relaxation<'s>(
         if !topk.can_beat(base + sim) {
             // Every remaining value scores <= sim, and the residual scores exactly
             // `base`: nothing below this point can enter the heap. Lossless stop.
-            return;
+            return None;
         }
         let score = base + sim;
         let mut j = i + 1;
         while j < order.positive_len() && entries[j].sim == sim {
             j += 1;
         }
-        let Some(rest) = make_rest() else { return };
+        let rest = make_rest()?;
         if j - i == 1 {
             let stream = rest.intersect(IdStream::postings(entries[i].postings));
             let mut stream = if whole_table {
@@ -837,6 +1226,11 @@ fn wand_relaxation<'s>(
             // stop as soon as the heap proves no later id of the run can enter —
             // this caps an exact-match mega value at ~budget visited ids.
             for id in stream.by_ref() {
+                if let Some(m) = meter {
+                    if m.visit() {
+                        return Some(score);
+                    }
+                }
                 if !prep.excluded(id) {
                     topk.offer(id, score, measure, skip);
                 }
@@ -853,21 +1247,31 @@ fn wand_relaxation<'s>(
                     .collect(),
             );
             let mut rest = rest;
+            let mut cut = false;
             drain_union(&mut union, &mut rest, shard, |id| {
+                if let Some(m) = meter {
+                    if m.visit() {
+                        cut = true;
+                        return false;
+                    }
+                }
                 if !prep.excluded(id) {
                     topk.offer(id, score, measure, skip);
                 }
                 topk.ascending_run_alive(score, id)
             });
+            if cut {
+                return Some(score);
+            }
         }
         i = j;
     }
     // Residual: zero-similarity values and records missing the attribute, all of
     // which score exactly `base`.
     if !topk.can_beat(base) {
-        return;
+        return None;
     }
-    let Some(rest) = make_rest() else { return };
+    let rest = make_rest()?;
     let mut rest = if whole_table {
         rest
     } else {
@@ -879,6 +1283,11 @@ fn wand_relaxation<'s>(
     // a re-offer of an already-drained (or provably-rejected) value run — a no-op
     // either way. Once `base` can no longer enter, nothing downstream can change.
     for id in rest.by_ref() {
+        if let Some(m) = meter {
+            if m.visit() {
+                return Some(base);
+            }
+        }
         if !prep.excluded(id) {
             let (score, measure) = scorer.rank_sim(prep.n, id);
             topk.offer(id, score, measure, skip);
@@ -887,6 +1296,7 @@ fn wand_relaxation<'s>(
             break;
         }
     }
+    None
 }
 
 /// Leapfrog a [`ScoredUnion`] against the remaining-conditions stream inside
@@ -949,6 +1359,12 @@ struct RelaxationPlan<'m> {
     /// re-planning it per drained value run (set for superlative queries, whose
     /// stream construction re-applies the superlative filter every time).
     materialize_rest: bool,
+    /// Upper bound on every score this plan can offer (its best value similarity
+    /// over the base, or `base + 1` for the exhaustive arm).
+    start_bound: f64,
+    /// Suffix maximum of `start_bound` over this plan and every later one — the
+    /// certification bound for a deadline cut landing before this plan.
+    tail_bound: f64,
 }
 
 /// One question of a [`PartialMatcher::partial_answers_batch`] call.
@@ -969,6 +1385,10 @@ struct PreparedQuestion<'m> {
     budget: usize,
     exclude_sorted: Vec<RecordId>,
     kind: PreparedKind<'m>,
+    /// Upper bound on every score the phase-1 pass can offer for this question —
+    /// the certification bound for a deadline cut landing before it starts
+    /// (`NEG_INFINITY` for inert questions, which offer nothing).
+    max_start_bound: f64,
 }
 
 enum PreparedKind<'m> {
@@ -1008,34 +1428,42 @@ fn shard_bounds(len: u32, workers: usize) -> Vec<Range<u32>> {
 }
 
 /// Run one scoring pass over every shard and merge the results into the per-question
-/// heaps.
+/// heaps and cut bounds.
 ///
 /// A single shard runs inline on the caller's heaps (no thread, no merge). Multiple
 /// shards run on scoped worker threads — one spawn per worker for the *whole batch*
-/// of questions — each with a private heap per question; because shards partition the
-/// id space, the surviving entries are disjoint by record id and re-offering them
-/// into the main heaps reconstructs exactly the global top-`budget` per question (see
-/// the module docs for the full determinism argument).
-fn run_sharded<F>(heaps: &mut [TopK], shards: &[Range<u32>], pass: F)
+/// of questions — each with a private heap per question (sharing the main heap's
+/// [`SharedThreshold`], so full worker heaps raise each other's pruning floor);
+/// because shards partition the id space, the surviving entries are disjoint by
+/// record id and re-offering them into the main heaps reconstructs exactly the
+/// global top-`budget` per question (see the module docs for the full determinism
+/// argument). Each worker also reports a per-question deadline-cut bound
+/// (`NEG_INFINITY` = processed losslessly), merged into `bounds` by max.
+fn run_sharded<F>(heaps: &mut [TopK], bounds: &mut [f64], shards: &[Range<u32>], pass: F)
 where
-    F: Fn(Range<u32>, &mut [TopK]) + Sync,
+    F: Fn(Range<u32>, &mut [TopK], &mut [f64]) + Sync,
 {
     if let [only] = shards {
-        pass(only.clone(), heaps);
+        pass(only.clone(), heaps, bounds);
         return;
     }
-    let budgets: Vec<usize> = heaps.iter().map(|t| t.budget).collect();
-    let parts: Vec<Vec<TopK>> = std::thread::scope(|scope| {
+    let templates: Vec<(usize, Option<Arc<SharedThreshold>>)> =
+        heaps.iter().map(|t| (t.budget, t.shared.clone())).collect();
+    let parts: Vec<(Vec<TopK>, Vec<f64>)> = std::thread::scope(|scope| {
         let pass = &pass;
-        let budgets = &budgets;
+        let templates = &templates;
         let handles: Vec<_> = shards
             .iter()
             .cloned()
             .map(|shard| {
                 scope.spawn(move || {
-                    let mut local: Vec<TopK> = budgets.iter().map(|&b| TopK::new(b)).collect();
-                    pass(shard, &mut local);
-                    local
+                    let mut local: Vec<TopK> = templates
+                        .iter()
+                        .map(|(b, s)| TopK::with_shared(*b, s.clone()))
+                        .collect();
+                    let mut local_bounds = vec![f64::NEG_INFINITY; templates.len()];
+                    pass(shard, &mut local, &mut local_bounds);
+                    (local, local_bounds)
                 })
             })
             .collect();
@@ -1044,8 +1472,13 @@ where
             .map(|h| h.join().expect("partial-match worker panicked"))
             .collect()
     });
-    for part in parts {
-        for (topk, local) in heaps.iter_mut().zip(part) {
+    for (part, part_bounds) in parts {
+        for ((topk, local), (bound, local_bound)) in heaps
+            .iter_mut()
+            .zip(part)
+            .zip(bounds.iter_mut().zip(part_bounds))
+        {
+            *bound = bound.max(local_bound);
             for answer in local.into_entries() {
                 topk.offer(
                     answer.id,
@@ -1090,6 +1523,12 @@ struct TopK {
     /// lets `offer` reject a below-threshold candidate with two comparisons and no
     /// hash or heap access at all. `None` while the heap is below budget.
     cached_worst: Option<(f64, RecordId)>,
+    /// The question's cross-worker WAND threshold in the sharded fan-out (`None`
+    /// on the sequential path). This heap *publishes* its full-heap worst into it
+    /// and *prunes* candidates strictly below it — admissible because a full
+    /// worker heap's worst lower-bounds the final global worst (see the module
+    /// docs).
+    shared: Option<Arc<SharedThreshold>>,
 }
 
 /// Heap key ordered so that the *worst* candidate is the minimum: lower score is
@@ -1126,12 +1565,17 @@ impl Ord for HeapEntry {
 
 impl TopK {
     fn new(budget: usize) -> Self {
+        TopK::with_shared(budget, None)
+    }
+
+    fn with_shared(budget: usize, shared: Option<Arc<SharedThreshold>>) -> Self {
         TopK {
             budget,
             heap: BinaryHeap::with_capacity(budget + 1),
             live: HashMap::with_capacity_and_hasher(budget, Default::default()),
             next_gen: 0,
             cached_worst: None,
+            shared,
         }
     }
 
@@ -1147,6 +1591,13 @@ impl TopK {
     /// a candidate rejected here would be rejected by [`TopK::offer`] now and at any
     /// later point, which makes skipping it lossless.
     fn can_beat(&self, upper: f64) -> bool {
+        if let Some(shared) = &self.shared {
+            // A candidate strictly below the cross-worker threshold cannot enter
+            // the *merged* top-k even if this worker's private heap would take it.
+            if upper < shared.load() {
+                return false;
+            }
+        }
         match self.cached_worst {
             None => true,
             Some((worst, _)) => upper >= worst,
@@ -1163,6 +1614,13 @@ impl TopK {
     /// This is what caps a mega posting list (an exact-match value over a skewed
     /// column) at ~`budget` visited ids instead of its full length.
     fn ascending_run_alive(&self, score: f64, last_id: RecordId) -> bool {
+        if let Some(shared) = &self.shared {
+            // Strictly below the cross-worker threshold: the rest of the run is
+            // unmergeable regardless of this worker's private heap state.
+            if score < shared.load() {
+                return false;
+            }
+        }
         match self.cached_worst {
             None => true,
             Some((worst, worst_id)) => match score.partial_cmp(&worst).unwrap_or(Ordering::Equal) {
@@ -1192,6 +1650,11 @@ impl TopK {
             None
         };
         self.cached_worst = worst;
+        if let (Some(shared), Some((score, _))) = (&self.shared, worst) {
+            // Publish the full-heap worst: a monotone lower bound on the final
+            // merged worst, so every worker may prune strictly below it.
+            shared.raise(score);
+        }
     }
 
     /// Pop stale entries until the heap top is live, then peek it.
@@ -1212,6 +1675,16 @@ impl TopK {
     fn offer(&mut self, id: RecordId, score: f64, measure: SimilarityMeasure, relaxed: usize) {
         if self.budget == 0 {
             return;
+        }
+        // Cross-worker fast path: strictly below the shared threshold the
+        // candidate cannot survive the merge (and cannot be a surviving record's
+        // best-score improvement either — such scores are always >= the shared
+        // threshold; see the module docs), so it is dropped before touching the
+        // private heap.
+        if let Some(shared) = &self.shared {
+            if score < shared.load() {
+                return;
+            }
         }
         // Threshold fast path: once the heap is full, a candidate at or below the
         // cached worst live entry (in `(score, id)` order) can neither enter as a new
@@ -1764,6 +2237,213 @@ mod tests {
                 .partial_answers(&interp, &table, &HashSet::new(), 30)
                 .unwrap();
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn shared_threshold_raises_monotonically() {
+        let shared = SharedThreshold::new();
+        assert_eq!(shared.load(), f64::NEG_INFINITY);
+        shared.raise(0.5);
+        assert_eq!(shared.load(), 0.5);
+        shared.raise(0.3);
+        assert_eq!(shared.load(), 0.5, "raise never lowers");
+        shared.raise(0.9);
+        assert_eq!(shared.load(), 0.9);
+    }
+
+    const BATCH_QUESTIONS: [&str; 4] = [
+        "Find Honda Accord blue less than 15,000 dollars",
+        "mustang",
+        "blue toyota camry",
+        "red honda accord under 3000 dollars",
+    ];
+
+    fn batch_interps(spec: &crate::domain::DomainSpec) -> Vec<crate::translate::Interpretation> {
+        let tagger = Tagger::new(spec);
+        BATCH_QUESTIONS
+            .iter()
+            .map(|q| interpret(&tagger.tag(q), spec).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn budgeted_batch_without_budget_is_byte_identical() {
+        let (spec, table, sim) = setup();
+        let interps = batch_interps(&spec);
+        let exclude = HashSet::new();
+        let requests: Vec<PartialBatchRequest<'_>> = interps
+            .iter()
+            .map(|interpretation| PartialBatchRequest {
+                interpretation,
+                exclude: &exclude,
+                budget: 30,
+            })
+            .collect();
+        for workers in [1usize, 3] {
+            let matcher = PartialMatcher::with_options(
+                &spec,
+                &sim,
+                PartialMatchOptions {
+                    workers,
+                    ..PartialMatchOptions::default()
+                },
+            );
+            let plain = matcher.partial_answers_batch(&requests, &table).unwrap();
+            let budgeted = matcher
+                .partial_answers_batch_budgeted(&requests, &table, None)
+                .unwrap();
+            for (p, outcome) in plain.iter().zip(&budgeted) {
+                assert!(!outcome.degraded);
+                assert_eq!(outcome.visited, 0);
+                assert_bit_identical(p, &outcome.answers, "budget=None");
+            }
+        }
+    }
+
+    #[test]
+    fn generous_budget_never_degrades_and_stays_byte_identical() {
+        use cqads_storage::{ManualClock, RetryClock};
+        let (spec, table, sim) = setup();
+        let interps = batch_interps(&spec);
+        let exclude = HashSet::new();
+        let requests: Vec<PartialBatchRequest<'_>> = interps
+            .iter()
+            .map(|interpretation| PartialBatchRequest {
+                interpretation,
+                exclude: &exclude,
+                budget: 30,
+            })
+            .collect();
+        for workers in [1usize, 3] {
+            let matcher = PartialMatcher::with_options(
+                &spec,
+                &sim,
+                PartialMatchOptions {
+                    workers,
+                    ..PartialMatchOptions::default()
+                },
+            );
+            let plain = matcher.partial_answers_batch(&requests, &table).unwrap();
+            let clock = Arc::new(ManualClock::new());
+            let budget = QueryBudget::new(clock as Arc<dyn RetryClock>, u64::MAX);
+            let budgeted = matcher
+                .partial_answers_batch_budgeted(&requests, &table, Some(&budget))
+                .unwrap();
+            for (p, outcome) in plain.iter().zip(&budgeted) {
+                assert!(!outcome.degraded, "nothing expires under a huge deadline");
+                assert_bit_identical(p, &outcome.answers, "generous budget");
+            }
+        }
+    }
+
+    /// A clock that jumps forward on every read: the batch starts inside its
+    /// deadline and expires after a fixed number of polls, cutting the batch
+    /// mid-flight deterministically.
+    #[derive(Debug)]
+    struct SteppingClock {
+        now: std::sync::atomic::AtomicU64,
+        step: u64,
+    }
+
+    impl cqads_storage::RetryClock for SteppingClock {
+        fn now_micros(&self) -> u64 {
+            self.now
+                .fetch_add(self.step, std::sync::atomic::Ordering::Relaxed)
+        }
+        fn sleep_micros(&self, micros: u64) {
+            self.now
+                .fetch_add(micros, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn deadline_cut_answers_are_flagged_certified_prefixes() {
+        use cqads_storage::RetryClock;
+        let (spec, table, sim) = setup();
+        let interps = batch_interps(&spec);
+        let exclude = HashSet::new();
+        let requests: Vec<PartialBatchRequest<'_>> = interps
+            .iter()
+            .map(|interpretation| PartialBatchRequest {
+                interpretation,
+                exclude: &exclude,
+                budget: 30,
+            })
+            .collect();
+        for workers in [1usize, 3] {
+            let matcher = PartialMatcher::with_options(
+                &spec,
+                &sim,
+                PartialMatchOptions {
+                    workers,
+                    ..PartialMatchOptions::default()
+                },
+            );
+            let full = matcher.partial_answers_batch(&requests, &table).unwrap();
+            // Sweep the number of clock reads the batch survives, from "cut
+            // immediately" to "cut near the end".
+            for deadline in [0u64, 1, 3, 7, 15, 40] {
+                let clock = Arc::new(SteppingClock {
+                    now: std::sync::atomic::AtomicU64::new(0),
+                    step: 1,
+                });
+                let budget = QueryBudget::new(clock as Arc<dyn RetryClock>, deadline);
+                let outcomes = matcher
+                    .partial_answers_batch_budgeted(&requests, &table, Some(&budget))
+                    .unwrap();
+                for (q, (outcome, full_answers)) in outcomes.iter().zip(&full).enumerate() {
+                    let got = &outcome.answers;
+                    assert!(
+                        got.len() <= full_answers.len(),
+                        "deadline {deadline} q{q}: degraded cannot exceed complete"
+                    );
+                    if got.len() < full_answers.len() {
+                        assert!(
+                            outcome.degraded,
+                            "deadline {deadline} q{q}: a short answer must be flagged"
+                        );
+                    }
+                    // Certified prefix: whatever survives is bit-identical to
+                    // the front of the complete answer.
+                    assert_bit_identical(
+                        got,
+                        &full_answers[..got.len()],
+                        &format!("deadline {deadline} q{q} workers {workers}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deadline_cuts_every_question_immediately() {
+        use cqads_storage::{ManualClock, RetryClock};
+        let (spec, table, sim) = setup();
+        let interps = batch_interps(&spec);
+        let exclude = HashSet::new();
+        let requests: Vec<PartialBatchRequest<'_>> = interps
+            .iter()
+            .map(|interpretation| PartialBatchRequest {
+                interpretation,
+                exclude: &exclude,
+                budget: 30,
+            })
+            .collect();
+        let matcher = PartialMatcher::new(&spec, &sim);
+        let clock = Arc::new(ManualClock::new());
+        clock.advance(10);
+        let budget = QueryBudget::new(Arc::clone(&clock) as Arc<dyn RetryClock>, 0);
+        assert!(budget.expired());
+        let outcomes = matcher
+            .partial_answers_batch_budgeted(&requests, &table, Some(&budget))
+            .unwrap();
+        for outcome in &outcomes {
+            assert!(
+                outcome.degraded,
+                "expired before start must flag every question"
+            );
+            assert!(outcome.answers.is_empty(), "nothing was certified");
         }
     }
 }

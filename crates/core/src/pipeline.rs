@@ -16,8 +16,13 @@
 use crate::cache::{AnswerCache, CacheKey, CacheStats, GenerationStamp};
 use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
-use crate::partial::{PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher};
+use crate::partial::{
+    PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher, PartialOutcome,
+};
 use crate::ranking::{SimilarityMeasure, SimilarityModel};
+use crate::resilience::{
+    AnswerQuality, QueryBudget, ResilienceOptions, ResilienceRuntime, ServingStats,
+};
 use crate::storage::{
     apply_snap_to_config, config_to_snap, data_to_spec, spec_to_data, DurableStorage,
     StorageOptions,
@@ -78,6 +83,13 @@ pub struct AnswerSet {
     pub answers: Vec<Answer>,
     /// Number of exact answers at the head of `answers`.
     pub exact_count: usize,
+    /// How this answer relates to the one an unbounded run would produce:
+    /// [`Complete`](AnswerQuality::Complete) on every path unless the
+    /// resilience layer ([`CqadsConfig::resilience`]) cut a deadline
+    /// ([`Degraded`](AnswerQuality::Degraded)) or served a generation-stale
+    /// cache entry ([`Stale`](AnswerQuality::Stale)). Degradation is always
+    /// explicit — a short or stale answer never carries `Complete`.
+    pub quality: AnswerQuality,
     /// Wall-clock time spent answering.
     pub elapsed: Duration,
 }
@@ -136,6 +148,13 @@ pub struct CqadsConfig {
     /// periodic snapshots, and optionally records an audit frame per served
     /// question; [`CqadsSystem::open`] recovers the state after a crash.
     pub storage: Option<StorageOptions>,
+    /// Serving resilience: admission control, deadline-cut partial matching
+    /// with explicit degradation, stale-on-timeout fallback and pressure
+    /// step-down. `None` (the default) disables the whole layer — every
+    /// answering path is then byte-identical to the system before it existed.
+    /// Like [`CqadsConfig::storage`], these knobs describe *this process* and
+    /// are never persisted in snapshots.
+    pub resilience: Option<ResilienceOptions>,
 }
 
 impl Default for CqadsConfig {
@@ -148,6 +167,7 @@ impl Default for CqadsConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             storage: None,
+            resilience: None,
         }
     }
 }
@@ -257,6 +277,7 @@ pub struct CqadsSystem {
     config: CqadsConfig,
     cache: AnswerCache,
     storage: Option<DurableStorage>,
+    resilience: Option<ResilienceRuntime>,
 }
 
 impl CqadsSystem {
@@ -316,6 +337,7 @@ impl CqadsSystem {
 
     fn in_memory(config: CqadsConfig) -> Self {
         let cache = AnswerCache::new(config.cache_capacity, config.cache_shards);
+        let resilience = config.resilience.clone().map(ResilienceRuntime::new);
         CqadsSystem {
             database: Database::new(),
             domains: BTreeMap::new(),
@@ -324,6 +346,7 @@ impl CqadsSystem {
             config,
             cache,
             storage: None,
+            resilience,
         }
     }
 
@@ -977,7 +1000,39 @@ impl CqadsSystem {
     /// classified domain — duplicate questions within the burst share one
     /// computation and one `Arc`. Per-question failures (empty question,
     /// contradictory ranges, ...) are reported in place and never cached.
+    /// With [`CqadsConfig::resilience`] configured the batch additionally runs
+    /// behind the resilience layer: it may be shed whole with
+    /// [`CqadsError::Overloaded`] when the in-flight bound is saturated, and a
+    /// configured deadline cuts the partial-match phase cooperatively — a cut
+    /// question's answer is the certified prefix of the complete one, flagged
+    /// [`AnswerQuality::Degraded`] (or replaced by a generation-stale cached
+    /// answer flagged [`AnswerQuality::Stale`] when
+    /// [`ResilienceOptions::serve_stale_on_timeout`] is on). Non-`Complete`
+    /// answers are never cached.
     pub fn answer_batch<S: AsRef<str>>(&self, questions: &[S]) -> Vec<CqadsResult<Arc<AnswerSet>>> {
+        // Admission control: shed the whole burst before doing any work when
+        // the in-flight bound is saturated. The permit's slot releases on drop.
+        let _permit = match &self.resilience {
+            Some(runtime) => match runtime.try_admit() {
+                Some(permit) => Some(permit),
+                None => {
+                    return questions
+                        .iter()
+                        .map(|_| Err(CqadsError::Overloaded))
+                        .collect()
+                }
+            },
+            None => None,
+        };
+        // One cooperative budget for the whole batch's partial-match work,
+        // after pressure step-down.
+        let budget: Option<QueryBudget> = self.resilience.as_ref().and_then(|runtime| {
+            runtime
+                .effective_deadline_micros()
+                .map(|micros| QueryBudget::new(Arc::clone(&runtime.opts.clock), micros))
+        });
+        let mut any_degraded = false;
+
         let mut results: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = vec![None; questions.len()];
         let cache_on = self.cache.is_enabled();
 
@@ -1036,12 +1091,25 @@ impl CqadsSystem {
         let mut audits: Vec<WalRecord> = Vec::new();
         let mut misses_by_domain: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
         let mut outcomes: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = Vec::new();
+        // When stale-serving is armed, capture each slot's cached entry
+        // *before* the lookup below — a generation-stale entry is evicted by
+        // the lookup itself, and it is exactly the answer the degradation
+        // path wants to fall back on.
+        let stale_ok = budget.is_some()
+            && self
+                .resilience
+                .as_ref()
+                .is_some_and(|r| r.opts.serve_stale_on_timeout);
+        let mut stale_fallback: Vec<Option<Arc<AnswerSet>>> = vec![None; slots.len()];
         for (slot_idx, slot) in slots.iter().enumerate() {
             outcomes.push(None);
             // Clock reads exist only for the audit trail; the hot hit path
             // must not pay one when auditing is off.
             let lookup_start = audit_on.then(Instant::now);
             let stamp = self.current_stamp(&slot.domain);
+            if cache_on && stale_ok {
+                stale_fallback[slot_idx] = self.cache.peek_stale(&slot.key);
+            }
             if let (true, Some(stamp)) = (cache_on, stamp) {
                 if let Some(hit) = self.cache.lookup(&slot.key, stamp) {
                     if let Some(lookup_start) = lookup_start {
@@ -1092,8 +1160,7 @@ impl CqadsSystem {
             let needs_partial: Vec<usize> = (0..pendings.len())
                 .filter(|&p| pendings[p].1.partial_budget > 0)
                 .collect();
-            let partial_results: CqadsResult<Vec<Vec<PartialAnswer>>> = if needs_partial.is_empty()
-            {
+            let partial_results: CqadsResult<Vec<PartialOutcome>> = if needs_partial.is_empty() {
                 Ok(Vec::new())
             } else {
                 let requests: Vec<PartialBatchRequest<'_>> = needs_partial
@@ -1107,18 +1174,50 @@ impl CqadsSystem {
                         }
                     })
                     .collect();
-                self.matcher(runtime)
-                    .partial_answers_batch(&requests, table)
+                self.matcher(runtime).partial_answers_batch_budgeted(
+                    &requests,
+                    table,
+                    budget.as_ref(),
+                )
             };
             match partial_results {
                 Ok(mut partial_results) => {
-                    // Scatter the batch results back (batch output is positional).
-                    for (&p, partial) in needs_partial.iter().zip(partial_results.drain(..)) {
-                        pendings[p].1.absorb_partial(partial, table);
+                    // Scatter the batch results back (batch output is positional),
+                    // remembering which questions the deadline cut.
+                    let mut qualities: Vec<AnswerQuality> =
+                        vec![AnswerQuality::Complete; pendings.len()];
+                    for (&p, outcome) in needs_partial.iter().zip(partial_results.drain(..)) {
+                        if outcome.degraded {
+                            qualities[p] = AnswerQuality::Degraded {
+                                visited: outcome.visited,
+                                budget_exhausted: true,
+                            };
+                        }
+                        pendings[p].1.absorb_partial(outcome.answers, table);
                     }
-                    for (slot_idx, pending) in pendings {
-                        let answer = Arc::new(pending.finish(self.config.answer_limit));
-                        if cache_on {
+                    for ((slot_idx, pending), quality) in pendings.into_iter().zip(qualities) {
+                        let mut set = pending.finish(self.config.answer_limit);
+                        set.quality = quality;
+                        if !quality.is_complete() {
+                            any_degraded = true;
+                            if let Some(runtime) = &self.resilience {
+                                runtime.note_degraded(1);
+                                // Graceful degradation: a cached answer — even a
+                                // generation-stale one — is complete as of an
+                                // older generation, which can beat a cut fresh
+                                // answer. Serve it explicitly flagged `Stale`.
+                                if let Some(stale) = stale_fallback[slot_idx].take() {
+                                    let mut stale_set = (*stale).clone();
+                                    stale_set.quality = AnswerQuality::Stale;
+                                    runtime.note_stale(1);
+                                    set = stale_set;
+                                }
+                            }
+                        }
+                        let answer = Arc::new(set);
+                        // Only complete answers enter the cache: a degraded or
+                        // stale set must never be served later as if fresh.
+                        if cache_on && answer.quality.is_complete() {
                             self.cache.fill(
                                 slots[slot_idx].key.clone(),
                                 stamp,
@@ -1149,6 +1248,14 @@ impl CqadsSystem {
         if !audits.is_empty() {
             if let Some(storage) = &self.storage {
                 storage.append_audit_batch(&audits);
+            }
+        }
+
+        // Feed the pressure step-down controller: only batches that actually
+        // ran under a deadline count toward the streaks.
+        if budget.is_some() {
+            if let Some(runtime) = &self.resilience {
+                runtime.note_batch(any_degraded);
             }
         }
 
@@ -1328,6 +1435,25 @@ impl CqadsSystem {
         self.cache.stats()
     }
 
+    /// One operator-facing snapshot of the serving path's health: cache
+    /// counters plus every degradation signal — shed batches, deadline-cut
+    /// questions, stale answers served, WAL retries and circuit-breaker
+    /// activity, and the current pressure step-down level. All zeros on a
+    /// system with neither resilience nor durable storage configured.
+    pub fn serving_stats(&self) -> ServingStats {
+        ServingStats {
+            cache: self.cache.stats(),
+            audit_failures: self.audit_failures(),
+            shed: self.resilience.as_ref().map_or(0, |r| r.shed()),
+            degraded: self.resilience.as_ref().map_or(0, |r| r.degraded()),
+            stale_served: self.resilience.as_ref().map_or(0, |r| r.stale_served()),
+            wal_retries: self.storage.as_ref().map_or(0, |s| s.wal_retries()),
+            breaker_opens: self.storage.as_ref().map_or(0, |s| s.breaker_opens()),
+            breaker_rejections: self.storage.as_ref().map_or(0, |s| s.breaker_rejections()),
+            pressure_level: self.resilience.as_ref().map_or(0, |r| r.pressure_level()),
+        }
+    }
+
     /// Produce only the interpretation of a question in a given domain (used by the
     /// Boolean-interpretation experiment, which compares interpretations rather than
     /// answers).
@@ -1495,6 +1621,7 @@ impl PendingAnswer {
             interpretation: self.interpretation,
             sql: self.sql,
             answers: self.answers,
+            quality: AnswerQuality::Complete,
             elapsed: self.start.elapsed(),
         }
     }

@@ -14,8 +14,8 @@
 use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
 use cqads_storage::{
-    ConfigSnap, RecoveryReport, SpecData, StorageEngine, StorageError, StorageResult, Vfs,
-    WalRecord,
+    CircuitBreaker, ConfigSnap, RecoveryReport, RetryOptions, SpecData, StorageEngine,
+    StorageError, StorageResult, Vfs, WalRecord,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +49,12 @@ pub struct StorageOptions {
     /// Filesystem implementation. Defaults to the real one; tests inject
     /// [`MemFs`](cqads_storage::MemFs) or [`FaultFs`](cqads_storage::FaultFs).
     pub vfs: Arc<dyn Vfs>,
+    /// Retry-with-backoff + circuit breaking around WAL appends (mutations
+    /// *and* audit frames). `None` (the default) keeps the pre-existing
+    /// behavior: one attempt, first error surfaces. Between attempts the
+    /// engine rewinds the WAL to its last acknowledged length, so a retried
+    /// append lands **exactly once** — never as a duplicated frame.
+    pub retry: Option<RetryOptions>,
 }
 
 impl StorageOptions {
@@ -61,6 +67,7 @@ impl StorageOptions {
             snapshot_every: 1024,
             audit_queries: true,
             vfs: Arc::new(cqads_storage::RealFs),
+            retry: None,
         }
     }
 
@@ -83,6 +90,17 @@ pub(crate) struct DurableStorage {
     audit_failures: AtomicU64,
     last_audit_error: Mutex<Option<StorageError>>,
     pending_error: Mutex<Option<StorageError>>,
+    retry: Option<RetryState>,
+}
+
+/// Live retry machinery built from [`StorageOptions::retry`]: the breaker and
+/// the operator-facing counters ([`ServingStats`](crate::ServingStats)).
+#[derive(Debug)]
+struct RetryState {
+    opts: RetryOptions,
+    breaker: CircuitBreaker,
+    retries: AtomicU64,
+    rejections: AtomicU64,
 }
 
 fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -96,6 +114,12 @@ fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 impl DurableStorage {
     pub(crate) fn new(engine: StorageEngine, opts: StorageOptions, report: RecoveryReport) -> Self {
+        let retry = opts.retry.clone().map(|r| RetryState {
+            breaker: CircuitBreaker::new(r.breaker_threshold, r.breaker_cooldown_micros),
+            retries: AtomicU64::new(0),
+            rejections: AtomicU64::new(0),
+            opts: r,
+        });
         DurableStorage {
             engine: Mutex::new(engine),
             opts,
@@ -103,6 +127,7 @@ impl DurableStorage {
             audit_failures: AtomicU64::new(0),
             last_audit_error: Mutex::new(None),
             pending_error: Mutex::new(None),
+            retry,
         }
     }
 
@@ -114,22 +139,74 @@ impl DurableStorage {
         f(&mut relock(&self.engine)).map_err(CqadsError::Storage)
     }
 
+    /// Append a batch through the retry layer (when configured): rejected fast
+    /// while the circuit breaker is open, otherwise attempted up to
+    /// `policy.attempts` times with exponential backoff, rewinding the WAL to
+    /// its last acknowledged length between attempts so the retried records
+    /// land exactly once. Without [`StorageOptions::retry`] this is a plain
+    /// single-attempt append — byte-identical to the pre-retry behavior.
+    fn append_resilient(
+        &self,
+        engine: &mut StorageEngine,
+        records: &[WalRecord],
+    ) -> StorageResult<()> {
+        let Some(state) = &self.retry else {
+            return engine.append_batch(records);
+        };
+        if !state.breaker.allows(state.opts.clock.now_micros()) {
+            state.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Unavailable {
+                detail: format!(
+                    "{} consecutive append failures; cooling down",
+                    state.opts.breaker_threshold
+                ),
+            });
+        }
+        let mut attempt = 1u32;
+        loop {
+            match engine.append_batch(records) {
+                Ok(()) => {
+                    state.breaker.record_success();
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= state.opts.policy.attempts.max(1) {
+                        state.breaker.record_failure(state.opts.clock.now_micros());
+                        return Err(e);
+                    }
+                    // Drop whatever the failed attempt left past the
+                    // acknowledged length; if even the rewind fails the
+                    // backend is not transiently sick and retrying would risk
+                    // duplicated frames — surface the original error.
+                    if engine.rewind_wal().is_err() {
+                        state.breaker.record_failure(state.opts.clock.now_micros());
+                        return Err(e);
+                    }
+                    state.retries.fetch_add(1, Ordering::Relaxed);
+                    state
+                        .opts
+                        .clock
+                        .sleep_micros(state.opts.policy.backoff_micros(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
     /// Append mutation frames, surfacing failures as typed errors. Callers
     /// invoke this *after* updating in-memory state; on error the in-memory
     /// mutation has happened but was not persisted (documented on each entry
     /// point).
     pub(crate) fn append_mutations(&self, records: &[WalRecord]) -> CqadsResult<()> {
-        self.with_engine(|engine| engine.append_batch(records))
+        self.append_resilient(&mut relock(&self.engine), records)
+            .map_err(CqadsError::Storage)
     }
 
     /// Best-effort audit append from the `&self` serving paths: failures are
     /// counted and remembered, never returned — audit I/O must not take the
     /// serving path down.
     pub(crate) fn append_audit(&self, record: WalRecord) {
-        if let Err(e) = relock(&self.engine).append(&record) {
-            self.audit_failures.fetch_add(1, Ordering::Relaxed);
-            *relock(&self.last_audit_error) = Some(e);
-        }
+        self.append_audit_batch(std::slice::from_ref(&record));
     }
 
     /// Batch form of [`DurableStorage::append_audit`]: one write and one sync
@@ -138,7 +215,7 @@ impl DurableStorage {
         if records.is_empty() {
             return;
         }
-        if let Err(e) = relock(&self.engine).append_batch(records) {
+        if let Err(e) = self.append_resilient(&mut relock(&self.engine), records) {
             self.audit_failures
                 .fetch_add(records.len() as u64, Ordering::Relaxed);
             *relock(&self.last_audit_error) = Some(e);
@@ -148,6 +225,25 @@ impl DurableStorage {
     /// Audit frames that failed to persist since open.
     pub(crate) fn audit_failures(&self) -> u64 {
         self.audit_failures.load(Ordering::Relaxed)
+    }
+
+    /// WAL append attempts retried after a transient failure.
+    pub(crate) fn wal_retries(&self) -> u64 {
+        self.retry
+            .as_ref()
+            .map_or(0, |s| s.retries.load(Ordering::Relaxed))
+    }
+
+    /// Times the append circuit breaker has opened.
+    pub(crate) fn breaker_opens(&self) -> u64 {
+        self.retry.as_ref().map_or(0, |s| s.breaker.times_opened())
+    }
+
+    /// Appends rejected outright because the breaker was open.
+    pub(crate) fn breaker_rejections(&self) -> u64 {
+        self.retry
+            .as_ref()
+            .map_or(0, |s| s.rejections.load(Ordering::Relaxed))
     }
 
     /// The most recent audit-append failure, if any.

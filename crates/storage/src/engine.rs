@@ -87,6 +87,11 @@ pub struct StorageEngine {
     fsync: bool,
     seq: u64,
     mutation_frames: u64,
+    /// Bytes of the current WAL file covered by *acknowledged* appends. A
+    /// failed append may leave bytes past this point (a torn frame, or a whole
+    /// frame whose fsync failed); [`StorageEngine::rewind_wal`] rolls the file
+    /// back here so the caller can retry the same records exactly once.
+    wal_len: u64,
 }
 
 fn wal_name(seq: u64) -> String {
@@ -163,6 +168,7 @@ impl StorageEngine {
         let mut records = Vec::new();
         let mut current_seq = base_seq;
         let mut current_mutations = 0u64;
+        let mut current_len = 0u64;
         let mut stopped = false;
         for seq in base_seq.. {
             let path = root.join(wal_name(seq));
@@ -180,6 +186,7 @@ impl StorageEngine {
             let bytes = vfs
                 .read(&path)
                 .map_err(|e| StorageError::io(&path, "read", &e))?;
+            current_len = bytes.len() as u64;
             let scan = scan_frames(&bytes);
             let mut valid_len = scan.valid_len;
             let mut defect = scan
@@ -211,6 +218,7 @@ impl StorageEngine {
                 report.defects.push(detail);
                 vfs.write_atomic(&path, &bytes[..valid_len as usize])
                     .map_err(|e| StorageError::io(&path, "truncate", &e))?;
+                current_len = valid_len;
                 stopped = true;
                 break;
             }
@@ -243,6 +251,7 @@ impl StorageEngine {
             fsync,
             seq: current_seq,
             mutation_frames: current_mutations,
+            wal_len: current_len,
         };
         Ok((
             engine,
@@ -306,6 +315,42 @@ impl StorageEngine {
                 .map_err(|e| StorageError::io(&path, "fsync", &e))?;
         }
         self.mutation_frames += mutations;
+        self.wal_len += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes of the current WAL file covered by acknowledged appends.
+    pub fn wal_len(&self) -> u64 {
+        self.wal_len
+    }
+
+    /// Roll the current WAL file back to the end of the last acknowledged
+    /// append, discarding whatever a failed append left behind (a torn frame,
+    /// or whole frames whose fsync failed). After a successful rewind the same
+    /// records can be re-appended without any risk of frame duplication —
+    /// which is exactly what the retry layer does between attempts. A no-op
+    /// when nothing dangles.
+    pub fn rewind_wal(&mut self) -> StorageResult<()> {
+        let path = self.wal_path();
+        let on_disk = self
+            .vfs
+            .file_len(&path)
+            .map_err(|e| StorageError::io(&path, "stat", &e))?;
+        let Some(on_disk) = on_disk else {
+            // The file does not exist: nothing was ever appended this epoch.
+            return Ok(());
+        };
+        if on_disk <= self.wal_len {
+            return Ok(());
+        }
+        let bytes = self
+            .vfs
+            .read(&path)
+            .map_err(|e| StorageError::io(&path, "read", &e))?;
+        let keep = (self.wal_len as usize).min(bytes.len());
+        self.vfs
+            .write_atomic(&path, &bytes[..keep])
+            .map_err(|e| StorageError::io(&path, "truncate", &e))?;
         Ok(())
     }
 
@@ -323,6 +368,7 @@ impl StorageEngine {
             .map_err(|e| StorageError::io(&path, "write_atomic", &e))?;
         self.seq = new_seq;
         self.mutation_frames = 0;
+        self.wal_len = 0;
 
         // Retention: keep the previous epoch (snapshot + WAL) as fallback,
         // prune everything older. Pruning is best-effort cleanup — the files
@@ -452,6 +498,64 @@ mod tests {
         assert!(rec.report.is_clean());
         assert_eq!(rec.report.frames_replayed, 3);
         assert_eq!(engine.mutation_frames(), 2);
+    }
+
+    #[test]
+    fn rewind_after_torn_append_makes_retry_exactly_once() {
+        let mem = Arc::new(MemFs::new());
+        let fault = Arc::new(FaultFs::new(Arc::clone(&mem) as Arc<dyn Vfs>));
+        let (mut engine, _) =
+            StorageEngine::open(Arc::clone(&fault) as Arc<dyn Vfs>, "/db", false).unwrap();
+        engine.append(&insert(1)).unwrap();
+        let acked = engine.wal_len();
+
+        // Tear the next append mid-frame: bytes land past the acknowledged
+        // length, the call errors, and the counter does not advance.
+        fault.set_plan(FaultPlan {
+            append_budget: Some(5),
+            ..FaultPlan::default()
+        });
+        engine.append(&insert(2)).unwrap_err();
+        assert_eq!(engine.wal_len(), acked);
+        let wal = Path::new("/db/wal-000000.log");
+        assert_eq!(mem.read(wal).unwrap().len() as u64, acked + 5);
+
+        // Rewind drops the torn bytes; the retried append then lands whole,
+        // with no duplicate of frame 1 and exactly one copy of frame 2.
+        fault.set_plan(FaultPlan::default());
+        engine.rewind_wal().unwrap();
+        assert_eq!(mem.read(wal).unwrap().len() as u64, acked);
+        engine.append(&insert(2)).unwrap();
+        let (_, rec) = open_mem(&mem);
+        assert_eq!(rec.records, vec![insert(1), insert(2)]);
+        assert!(rec.report.is_clean());
+
+        // Rewind with nothing dangling is a no-op.
+        let before = mem.read(wal).unwrap();
+        engine.rewind_wal().unwrap();
+        assert_eq!(mem.read(wal).unwrap(), before);
+    }
+
+    #[test]
+    fn rewind_covers_fsync_failure_after_a_landed_append() {
+        // fsync-on engine: the append lands but the sync fails, so the frame
+        // is on disk yet unacknowledged. Rewind must remove it or a retry
+        // would duplicate the frame.
+        let mem = Arc::new(MemFs::new());
+        let fault = Arc::new(FaultFs::new(Arc::clone(&mem) as Arc<dyn Vfs>));
+        let (mut engine, _) =
+            StorageEngine::open(Arc::clone(&fault) as Arc<dyn Vfs>, "/db", true).unwrap();
+        engine.append(&insert(1)).unwrap();
+        fault.set_plan(FaultPlan {
+            fail_sync: true,
+            ..FaultPlan::default()
+        });
+        engine.append(&insert(2)).unwrap_err();
+        fault.set_plan(FaultPlan::default());
+        engine.rewind_wal().unwrap();
+        engine.append(&insert(2)).unwrap();
+        let (_, rec) = open_mem(&mem);
+        assert_eq!(rec.records, vec![insert(1), insert(2)]);
     }
 
     #[test]

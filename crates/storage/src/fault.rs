@@ -19,6 +19,11 @@ pub struct FaultPlan {
     /// disables the fault. When an append does not fit, the part that fits is
     /// written (a torn frame) and the append reports `WriteZero`.
     pub append_budget: Option<u64>,
+    /// Fail the next this-many `append` calls *cleanly* — no bytes reach the
+    /// inner filesystem, the caller sees `Other` — then let appends through
+    /// again. This is the transient-blip shape the retry layer absorbs
+    /// (`1` = fail-once; pair with a large value for fail-always sweeps).
+    pub fail_appends: u32,
     /// Fail every `sync` call with `Other`.
     pub fail_sync: bool,
     /// Fail every `write_atomic` (snapshot writes) with `Other`, writing
@@ -84,6 +89,10 @@ impl Vfs for FaultFs {
     fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         let allowed = {
             let mut plan = self.lock_plan();
+            if plan.fail_appends > 0 {
+                plan.fail_appends -= 1;
+                return Err(Self::injected("append"));
+            }
             match plan.append_budget {
                 None => None,
                 Some(budget) => {
@@ -159,6 +168,26 @@ mod tests {
         // Budget exhausted: even a 1-byte append tears at zero.
         assert!(fs.append(file, b"x").is_err());
         assert_eq!(mem.read(file).unwrap(), b"fullabc");
+    }
+
+    #[test]
+    fn clean_append_failures_write_nothing_then_clear() {
+        let mem = Arc::new(MemFs::new());
+        let fs = FaultFs::new(Arc::clone(&mem) as Arc<dyn Vfs>);
+        let file = Path::new("/db/wal-000000.log");
+        fs.append(file, b"ok").unwrap();
+        fs.set_plan(FaultPlan {
+            fail_appends: 2,
+            ..FaultPlan::default()
+        });
+        assert!(fs.append(file, b"a").is_err());
+        assert!(fs.append(file, b"b").is_err());
+        // Unlike a torn append, nothing landed on the inner filesystem…
+        assert_eq!(mem.read(file).unwrap(), b"ok");
+        // …and the fault self-clears after the planned count.
+        fs.append(file, b"c").unwrap();
+        assert_eq!(mem.read(file).unwrap(), b"okc");
+        assert_eq!(fs.plan().fail_appends, 0);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   through the [`Vfs`] trait, so tests crash it at arbitrary byte offsets
 //!   ([`MemFs`] tamper helpers) or through an injected torn append
 //!   ([`FaultFs`]) and verify recovery byte for byte.
+//! * **Retry & circuit breaking** ([`retry`]) — a deterministic
+//!   retry-with-backoff policy plus a consecutive-failure circuit breaker for
+//!   transient append faults; the engine's
+//!   [`rewind_wal`](StorageEngine::rewind_wal) rolls a failed append's bytes
+//!   back so a retry can never duplicate a frame.
 //!
 //! The crate is self-contained below the core pipeline: it depends on the data
 //! crates (`addb`, `cqads-querylog`, `cqads-wordsim`) for the state it
@@ -33,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod records;
+pub mod retry;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;
@@ -41,6 +47,7 @@ pub use engine::{Recovered, RecoveryReport, StorageEngine};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultFs, FaultPlan};
 pub use records::{AuditRecord, SpecData, WalRecord};
+pub use retry::{CircuitBreaker, ManualClock, RealClock, RetryClock, RetryOptions, RetryPolicy};
 pub use snapshot::{ConfigSnap, DomainSnap, SnapshotData, SNAPSHOT_MAGIC};
 pub use vfs::{MemFs, RealFs, Vfs};
 pub use wal::{

@@ -1,0 +1,334 @@
+//! Retry-with-backoff and circuit breaking for transient [`Vfs`](crate::Vfs)
+//! failures.
+//!
+//! The WAL append path is the one place where a *transient* I/O failure (a
+//! full pipe, an EINTR-ish hiccup from a network filesystem, an injected
+//! fault) is worth absorbing instead of surfacing: the frame bytes are still
+//! in memory and the engine can roll the file back to its last acknowledged
+//! length ([`StorageEngine::rewind_wal`](crate::StorageEngine::rewind_wal))
+//! and try again without ever duplicating a frame.
+//!
+//! Everything here is deterministic under test: time comes from an injected
+//! [`RetryClock`] (the [`ManualClock`] advances only when something sleeps),
+//! and the backoff jitter is a seeded xorshift — the same plan replays to the
+//! same delays, byte for byte.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic clock the retry layer can sleep against.
+///
+/// Production uses [`RealClock`]; tests inject [`ManualClock`] so a
+/// fail-once/fail-always sweep runs in microseconds of wall time while still
+/// exercising every backoff and cooldown branch.
+pub trait RetryClock: Send + Sync + fmt::Debug {
+    /// Microseconds since this clock's origin.
+    fn now_micros(&self) -> u64;
+    /// Block (or pretend to) for `micros` microseconds.
+    fn sleep_micros(&self, micros: u64);
+}
+
+/// Wall-clock implementation of [`RetryClock`].
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RetryClock for RealClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+    fn sleep_micros(&self, micros: u64) {
+        std::thread::sleep(std::time::Duration::from_micros(micros));
+    }
+}
+
+/// Deterministic test clock: time advances only via [`ManualClock::advance`]
+/// or when the retry layer "sleeps" against it.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at microsecond 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `micros` microseconds.
+    pub fn advance(&self, micros: u64) {
+        self.now.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+impl RetryClock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+    fn sleep_micros(&self, micros: u64) {
+        // Sleeping *is* advancing: backoff waits move virtual time forward so
+        // cooldown expiry is observable without real delays.
+        self.advance(micros);
+    }
+}
+
+/// How many times to try, and how long to wait between tries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (`1` = no retries).
+    pub attempts: u32,
+    /// Backoff before retry `k` (1-based) is `base_delay_micros << (k - 1)`
+    /// plus jitter, capped at [`max_delay_micros`](RetryPolicy::max_delay_micros).
+    pub base_delay_micros: u64,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay_micros: u64,
+    /// Seed for the deterministic jitter stream (xorshift over seed ⊕ attempt).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay_micros: 1_000,
+            max_delay_micros: 100_000,
+            jitter_seed: 0x5eed_cafe_f00d,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before 1-based retry `attempt`: exponential in the attempt
+    /// number with a deterministic jitter in `[0, base_delay_micros)`.
+    pub fn backoff_micros(&self, attempt: u32) -> u64 {
+        let shift = (attempt.saturating_sub(1)).min(32);
+        let base = self.base_delay_micros.saturating_shl(shift);
+        let jitter = if self.base_delay_micros == 0 {
+            0
+        } else {
+            xorshift(self.jitter_seed ^ u64::from(attempt)) % self.base_delay_micros
+        };
+        base.saturating_add(jitter).min(self.max_delay_micros)
+    }
+}
+
+/// One round of xorshift64 — enough mixing for backoff jitter, and fully
+/// reproducible from the seed.
+fn xorshift(mut x: u64) -> u64 {
+    x ^= x.wrapping_add(1) << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        if shift >= 64 || self.leading_zeros() < shift {
+            u64::MAX
+        } else {
+            self << shift
+        }
+    }
+}
+
+/// A consecutive-failure circuit breaker.
+///
+/// After `threshold` consecutive *exhausted* retry sequences the breaker
+/// opens: calls are rejected without touching the filesystem until
+/// `cooldown_micros` has passed, at which point the next call probes the
+/// backend (half-open). A success closes the breaker; a failure re-opens it
+/// for another cooldown.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_micros: u64,
+    consecutive: AtomicU32,
+    /// Clock-micros until which the breaker rejects; 0 = closed.
+    open_until: AtomicU64,
+    opened: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive failures and
+    /// stays open for `cooldown_micros`. `threshold == 0` disables opening.
+    pub fn new(threshold: u32, cooldown_micros: u64) -> Self {
+        CircuitBreaker {
+            threshold,
+            cooldown_micros,
+            consecutive: AtomicU32::new(0),
+            open_until: AtomicU64::new(0),
+            opened: AtomicU64::new(0),
+        }
+    }
+
+    /// May a call proceed at clock time `now_micros`? `false` means the
+    /// breaker is open and the caller should fail fast.
+    pub fn allows(&self, now_micros: u64) -> bool {
+        now_micros >= self.open_until.load(Ordering::Relaxed)
+    }
+
+    /// Record a successful call: the breaker closes fully.
+    pub fn record_success(&self) {
+        self.consecutive.store(0, Ordering::Relaxed);
+        self.open_until.store(0, Ordering::Relaxed);
+    }
+
+    /// Record a failed call (after its retries were exhausted); may open the
+    /// breaker.
+    pub fn record_failure(&self, now_micros: u64) {
+        let failures = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.threshold > 0 && failures >= self.threshold {
+            self.open_until.store(
+                now_micros.saturating_add(self.cooldown_micros),
+                Ordering::Relaxed,
+            );
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// How many times the breaker has opened since construction.
+    pub fn times_opened(&self) -> u64 {
+        self.opened.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything the durable layer needs to retry WAL appends: policy, breaker
+/// settings and a time source.
+#[derive(Debug, Clone)]
+pub struct RetryOptions {
+    /// Per-call retry policy.
+    pub policy: RetryPolicy,
+    /// Consecutive exhausted calls before the breaker opens (`0` = never).
+    pub breaker_threshold: u32,
+    /// How long an open breaker rejects before half-opening, in microseconds.
+    pub breaker_cooldown_micros: u64,
+    /// Time source for backoff sleeps and cooldown expiry.
+    pub clock: Arc<dyn RetryClock>,
+}
+
+impl Default for RetryOptions {
+    fn default() -> Self {
+        RetryOptions {
+            policy: RetryPolicy::default(),
+            breaker_threshold: 5,
+            breaker_cooldown_micros: 1_000_000,
+            clock: Arc::new(RealClock::new()),
+        }
+    }
+}
+
+impl RetryOptions {
+    /// Defaults over an injected clock (tests).
+    pub fn with_clock(clock: Arc<dyn RetryClock>) -> Self {
+        RetryOptions {
+            clock,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay_micros: 100,
+            max_delay_micros: 350,
+            jitter_seed: 7,
+        };
+        let a = policy.backoff_micros(1);
+        let b = policy.backoff_micros(2);
+        // Jitter stays below one base step, so attempt 2 strictly dominates.
+        assert!((100..200).contains(&a), "attempt 1 backoff {a}");
+        assert!((200..350).contains(&b), "attempt 2 backoff {b}");
+        assert_eq!(policy.backoff_micros(4), 350, "cap applies");
+        // Same seed, same delays.
+        assert_eq!(a, policy.backoff_micros(1));
+    }
+
+    #[test]
+    fn zero_base_delay_never_divides_by_zero() {
+        let policy = RetryPolicy {
+            base_delay_micros: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_micros(1), 0);
+    }
+
+    #[test]
+    fn breaker_opens_on_threshold_and_half_opens_after_cooldown() {
+        let clock = ManualClock::new();
+        let breaker = CircuitBreaker::new(2, 1_000);
+        assert!(breaker.allows(clock.now_micros()));
+        breaker.record_failure(clock.now_micros());
+        assert!(
+            breaker.allows(clock.now_micros()),
+            "one failure keeps it closed"
+        );
+        breaker.record_failure(clock.now_micros());
+        assert!(!breaker.allows(clock.now_micros()), "threshold opens it");
+        assert_eq!(breaker.times_opened(), 1);
+
+        clock.advance(999);
+        assert!(!breaker.allows(clock.now_micros()));
+        clock.advance(1);
+        assert!(breaker.allows(clock.now_micros()), "cooldown half-opens");
+
+        // A half-open probe that fails re-opens for another cooldown…
+        breaker.record_failure(clock.now_micros());
+        assert!(!breaker.allows(clock.now_micros()));
+        assert_eq!(breaker.times_opened(), 2);
+        // …and one that succeeds closes fully.
+        clock.advance(1_000);
+        breaker.record_success();
+        assert!(breaker.allows(clock.now_micros()));
+        breaker.record_failure(clock.now_micros());
+        assert!(
+            breaker.allows(clock.now_micros()),
+            "success reset the streak"
+        );
+    }
+
+    #[test]
+    fn zero_threshold_never_opens() {
+        let breaker = CircuitBreaker::new(0, 1_000);
+        for _ in 0..100 {
+            breaker.record_failure(0);
+        }
+        assert!(breaker.allows(0));
+        assert_eq!(breaker.times_opened(), 0);
+    }
+
+    #[test]
+    fn manual_clock_sleep_advances_time() {
+        let clock = ManualClock::new();
+        clock.sleep_micros(250);
+        clock.advance(50);
+        assert_eq!(clock.now_micros(), 300);
+    }
+}
