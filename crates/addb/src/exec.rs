@@ -711,15 +711,15 @@ impl<'a> Executor<'a> {
         self.validate(query)?;
 
         let mut ids: Vec<RecordId>;
-        if self.options.superlatives_first && !query.superlatives.is_empty() {
+        if let Some((first, rest)) = query
+            .superlatives
+            .split_first()
+            .filter(|_| self.options.superlatives_first)
+        {
             // Ablation: superlatives applied to the whole table, then filtered. The
             // first extreme is computed straight off the sorted column — no
             // table-sized id vector — and the (small) extreme set is then lazily
             // intersected with the WHERE stream, which gallops past everything else.
-            let (first, rest) = query
-                .superlatives
-                .split_first()
-                .expect("checked non-empty above");
             let mut extremes = self
                 .table
                 .extreme_all(&first.attribute, matches!(first.kind, SuperlativeKind::Max))
@@ -883,14 +883,13 @@ impl<'a> Executor<'a> {
                     // layers (the paper's step 3): when an equality stream exists, the
                     // boundary becomes a per-candidate column check instead of a
                     // materialized (and sorted) range-sized id vector.
-                    let next = match (&stream, self.range_predicate(c)) {
-                        (Some(_), Some(predicate)) => {
-                            let inner = stream.take().expect("checked above");
+                    let next = match (stream.take(), self.range_predicate(c)) {
+                        (Some(inner), Some(predicate)) => {
                             IdStream::Filter(Box::new(inner), predicate)
                         }
-                        _ => {
+                        (taken, _) => {
                             let next = self.stream_condition(c);
-                            match stream.take() {
+                            match taken {
                                 Some(acc) => acc.intersect_with(next, mode),
                                 None => next,
                             }

@@ -180,10 +180,13 @@ impl BoolExpr {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => BoolExpr::True,
-            1 => flat.pop().expect("len checked"),
-            _ => BoolExpr::And(flat),
+        match flat.pop() {
+            None => BoolExpr::True,
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                BoolExpr::And(flat)
+            }
         }
     }
 
@@ -196,10 +199,13 @@ impl BoolExpr {
                 other => flat.push(other),
             }
         }
-        match flat.len() {
-            0 => BoolExpr::True,
-            1 => flat.pop().expect("len checked"),
-            _ => BoolExpr::Or(flat),
+        match flat.pop() {
+            None => BoolExpr::True,
+            Some(only) if flat.is_empty() => only,
+            Some(last) => {
+                flat.push(last);
+                BoolExpr::Or(flat)
+            }
         }
     }
 

@@ -52,6 +52,7 @@ impl PostingList {
         debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be ascending");
         let block_max = ids
             .chunks(POSTING_BLOCK)
+            // lint: allow(no-panic) — slice::chunks never yields an empty chunk
             .map(|block| *block.last().expect("chunks are non-empty"))
             .collect();
         PostingList { ids, block_max }
@@ -66,6 +67,7 @@ impl PostingList {
             *self
                 .block_max
                 .last_mut()
+                // lint: allow(no-panic) — len not a block multiple implies a started block
                 .expect("non-empty list has blocks") = id;
         }
         self.ids.push(id);
@@ -371,6 +373,7 @@ impl Table {
             match value {
                 Value::Text(text) => {
                     self.substring.insert(name, text, id);
+                    // lint: allow(no-panic) — record validated against this schema at fn entry
                     let attr = self.schema.attribute(name).expect("validated above");
                     let target = match attr.attr_type {
                         AttrType::TypeI => self.primary.get_mut(name),

@@ -18,6 +18,9 @@
 //! Results land in `BENCH_durability.json` at the workspace root (full mode
 //! only).
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use addb::{Record, Table};
 use cqads::domain::toy_car_domain;
 use cqads::{CqadsConfig, CqadsSystem, StorageOptions};

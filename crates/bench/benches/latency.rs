@@ -21,6 +21,9 @@
 //! `--test` smoke mode). The gate holds `read.p50_micros` and
 //! `mixed.p50_micros` to the tolerance band; tails are recorded, not gated.
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use addb::{Record, Value};
 use cqads::{CqadsConfig, CqadsSystem, ResilienceOptions, StorageOptions};
 use cqads_datagen::{

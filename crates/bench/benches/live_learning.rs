@@ -24,6 +24,9 @@
 //! Results land in `BENCH_live_learning.json` at the workspace root (full mode
 //! only).
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use cqads::{CqadsConfig, CqadsSystem};
 use cqads_datagen::{affinity_model, blueprint, generate_questions, generate_table, QuestionMix};
 use cqads_querylog::{generate_log, AffinityModel, LogGeneratorConfig, QueryLogDelta, TIMatrix};

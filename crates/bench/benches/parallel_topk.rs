@@ -17,6 +17,9 @@
 //! `--test` smoke mode). Every engine's answers are checked identical before
 //! anything is timed.
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use addb::{Condition, ExecOptions, Executor, Query, Record, RecordId, Schema, Table};
 use cqads::tagging::Tagger;
 use cqads::translate::{interpret, Interpretation};

@@ -5,6 +5,9 @@
 //! wall-clock timing and writes `BENCH_partial_topk.json` at the workspace root with
 //! the observed speedup (skipped in `--test` smoke mode, which runs everything once).
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use addb::{Executor, RecordId, Table};
 use cqads::tagging::Tagger;
 use cqads::translate::{interpret, Interpretation};

@@ -18,6 +18,9 @@
 //! Results land in `BENCH_serving.json` at the workspace root (skipped in `--test`
 //! smoke mode).
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use addb::{Record, Value};
 use cqads::{CqadsConfig, CqadsSystem};
 use cqads_datagen::{

@@ -22,6 +22,9 @@
 //! byte-identical before anything is timed; medians and speedups land in
 //! `BENCH_wand_topk.json` at the workspace root (skipped in `--test` smoke mode).
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use addb::{Executor, Record, RecordId, Schema, Table};
 use cqads::tagging::Tagger;
 use cqads::translate::{interpret, Interpretation};

@@ -4,6 +4,8 @@
 //! timed harnesses (one bench per table/figure, plus the ablation benches called out in
 //! `DESIGN.md`). Shared setup helpers live here so every bench builds the same testbed.
 
+#![forbid(unsafe_code)]
+
 use cqads_eval::testbed::{Testbed, TestbedConfig};
 use std::sync::OnceLock;
 

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod jbbsm;
 pub mod multinomial;

@@ -67,10 +67,13 @@ pub fn combine_conditions(
         }
         // Mutually exclusive non-negated values of the same attribute are ORed
         // (Rule 2a: "blue, red Toyota" → blue OR red); a single value stays as-is.
-        let positive = match positive_parts.len() {
-            0 => None,
-            1 => Some(positive_parts.pop().expect("len checked")),
-            _ => Some(BoolExpr::or(positive_parts)),
+        let positive = match positive_parts.pop() {
+            None => None,
+            Some(only) if positive_parts.is_empty() => Some(only),
+            Some(last) => {
+                positive_parts.push(last);
+                Some(BoolExpr::or(positive_parts))
+            }
         };
         // Negated values are ANDed together and with the positive part.
         let mut parts: Vec<BoolExpr> = Vec::new();

@@ -64,11 +64,12 @@
 //! the pointer-chasing of a linked-list LRU on every touch).
 
 use crate::pipeline::AnswerSet;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::BuildHasher;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Cache key: domain name plus the question's normalized token stream.
 ///
@@ -251,6 +252,7 @@ impl AnswerCache {
     /// domain is consistent (under the read lock in a concurrent deployment).
     pub fn lookup(&self, key: &CacheKey, current: GenerationStamp) -> Option<Arc<AnswerSet>> {
         if !self.is_enabled() {
+            // ordering: monotone stats counter; nothing synchronizes through it.
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -259,7 +261,7 @@ impl AnswerCache {
             Stale,
             Miss,
         }
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key).lock();
         let Shard { map, tick } = &mut *shard;
         let outcome = match map.get_mut(key) {
             Some(entry) if entry.stamp.covers(current) => {
@@ -274,17 +276,23 @@ impl AnswerCache {
             None => Outcome::Miss,
         };
         drop(shard);
+        // ordering: all four outcome counters are monotone statistics read
+        // only by stats(); no other memory is published through them, so
+        // Relaxed increments cannot reorder anything that matters.
         match outcome {
             Outcome::Hit(answer) => {
+                // ordering: monotone stats counter (block comment above).
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(answer)
             }
             Outcome::Stale => {
+                // ordering: monotone stats counters (block comment above).
                 self.stale.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
             Outcome::Miss => {
+                // ordering: same monotone stats counter as above.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -302,7 +310,7 @@ impl AnswerCache {
         if !self.is_enabled() {
             return None;
         }
-        let shard = self.shard(key).lock().expect("cache shard poisoned");
+        let shard = self.shard(key).lock();
         shard.map.get(key).map(|entry| Arc::clone(&entry.answer))
     }
 
@@ -313,7 +321,7 @@ impl AnswerCache {
         if !self.is_enabled() {
             return;
         }
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(&key).lock();
         shard.tick += 1;
         let tick = shard.tick;
         // A concurrent filler may have raced us with a *newer* stamp; keep the
@@ -347,6 +355,8 @@ impl AnswerCache {
                 .map(|(k, _)| k.clone())
             {
                 shard.map.remove(&lru);
+                // ordering: monotone stats counter; the map change itself is
+                // protected by the shard lock.
                 self.evicted.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -354,10 +364,7 @@ impl AnswerCache {
 
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
-            .sum()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when no shard holds an entry.
@@ -368,15 +375,18 @@ impl AnswerCache {
     /// Drop every entry (counters are preserved).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.lock().expect("cache shard poisoned").map.clear();
+            shard.lock().map.clear();
         }
     }
 
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
+        // ordering: counters are independent monotone statistics; a snapshot
+        // is advisory and need not be a consistent cut across them.
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            // ordering: same advisory snapshot reads as above.
             stale_evictions: self.stale.load(Ordering::Relaxed),
             capacity_evictions: self.evicted.load(Ordering::Relaxed),
             entries: self.len(),

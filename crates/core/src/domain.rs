@@ -184,6 +184,7 @@ pub fn toy_car_domain() -> DomainSpec {
         .type3("year", 1985.0, 2011.0, None)
         .type3("mileage", 0.0, 300_000.0, Some("miles"))
         .build()
+        // lint: allow(no-panic) — static toy schema, validated by tests
         .expect("valid toy schema");
     let mut spec = DomainSpec::new(schema);
     for (make, models) in [

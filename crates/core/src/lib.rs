@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod boolean;
 pub mod cache;
@@ -55,6 +56,7 @@ pub mod ranking;
 pub mod resilience;
 pub mod spell;
 pub mod storage;
+pub mod sync;
 pub mod tagging;
 pub mod translate;
 

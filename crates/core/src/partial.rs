@@ -186,13 +186,13 @@ use crate::domain::DomainSpec;
 use crate::error::CqadsResult;
 use crate::ranking::{CompiledProbe, ProbeScorer, SimilarityMeasure, SimilarityModel, ValueOrder};
 use crate::resilience::QueryBudget;
+use crate::sync::atomic::AtomicU64;
 use crate::translate::Interpretation;
 use addb::{ExecOptions, Executor, IdStream, PostingList, Query, RecordId, ScoredUnion, Table};
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::ops::Range;
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Below this many records, auto worker detection stays sequential: thread spawn and
@@ -319,23 +319,45 @@ impl BudgetProbe<'_> {
 /// maximum of every worker's full-heap worst score, stored as `f64` bits. Pruning
 /// strictly below this value is admissible — see the module docs for the proof
 /// that byte-identity survives the racy publication order.
-struct SharedThreshold(AtomicU64);
+///
+/// The type is public so `tests/interleavings.rs` can model-check the
+/// monotone-max protocol as shipped (atomics are routed through
+/// [`crate::sync`], which becomes miniloom's model-aware shims under the
+/// `miniloom` cargo feature). Monotonicity under every 3-thread schedule —
+/// no raise is ever lost, loads never regress — is machine-checked there.
+#[derive(Debug)]
+pub struct SharedThreshold(AtomicU64);
+
+impl Default for SharedThreshold {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl SharedThreshold {
-    fn new() -> Self {
+    /// A threshold no score falls below (`-inf`): pruning starts disabled.
+    pub fn new() -> Self {
         SharedThreshold(AtomicU64::new(f64::NEG_INFINITY.to_bits()))
     }
 
-    fn load(&self) -> f64 {
-        f64::from_bits(self.0.load(std::sync::atomic::Ordering::Relaxed))
+    /// The current threshold. Pruning strictly below it is admissible.
+    pub fn load(&self) -> f64 {
+        // ordering: Relaxed — the threshold is a pruning *hint*: a stale read
+        // only prunes less tightly, never incorrectly (admissibility proof in
+        // the module docs), and no other memory is published through it.
+        f64::from_bits(self.0.load(crate::sync::atomic::Ordering::Relaxed))
     }
 
     /// Raise the threshold to `score` if it is not already higher (lock-free
     /// monotone max; `Relaxed` suffices — the value is a pruning *hint* whose
     /// timing never affects the output).
-    fn raise(&self, score: f64) {
-        use std::sync::atomic::Ordering::Relaxed;
+    pub fn raise(&self, score: f64) {
+        use crate::sync::atomic::Ordering::Relaxed; // ordering: justified at the CAS loop below
         let bits = score.to_bits();
+        // ordering: Relaxed on the load and both CAS orderings — the CAS loop
+        // needs only the atomicity of compare_exchange for monotonicity (a
+        // lost raise is impossible: a failed CAS reloads and retries unless
+        // already beaten); the value carries no cross-variable dependencies.
         let mut current = self.0.load(Relaxed);
         while f64::from_bits(current) < score {
             match self
@@ -464,6 +486,7 @@ impl<'a> PartialMatcher<'a> {
             table,
             None,
         )?;
+        // lint: allow(no-panic) — batch_topk returns one result per request by contract
         Ok(results.pop().expect("one request, one result").answers)
     }
 
@@ -1469,6 +1492,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: allow(no-panic) — propagates a worker panic instead of originating one
             .map(|h| h.join().expect("partial-match worker panicked"))
             .collect()
     });

@@ -33,14 +33,14 @@ use addb::{Database, Executor, Record, RecordId, Table};
 use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
 use cqads_querylog::{QueryLogDelta, Session, SubmittedQuery, TIMatrix};
 use cqads_storage::{
-    AuditRecord, DomainSnap, Recovered, RecoveryReport, SnapshotData, StorageEngine, StorageError,
-    WalRecord,
+    AuditRecord, DomainSnap, RealClock, Recovered, RecoveryReport, RetryClock, SnapshotData,
+    StorageEngine, StorageError, WalRecord,
 };
 use cqads_wordsim::WordSimMatrix;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Whether an answer matched every condition or was retrieved by the N−1 strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,6 +278,11 @@ pub struct CqadsSystem {
     cache: AnswerCache,
     storage: Option<DurableStorage>,
     resilience: Option<ResilienceRuntime>,
+    /// Time source for answer timing and audit frames. Shared with the
+    /// resilience layer's clock when one is configured, so an injected
+    /// [`ManualClock`](cqads_storage::ManualClock) governs *all* observable
+    /// time in the system; wall clock otherwise.
+    clock: Arc<dyn RetryClock>,
 }
 
 impl CqadsSystem {
@@ -296,6 +301,7 @@ impl CqadsSystem {
     pub fn with_config(config: CqadsConfig) -> Self {
         match Self::try_with_config(config) {
             Ok(system) => system,
+            // lint: allow(no-panic) — the documented panicking convenience; try_with_config is the fallible API
             Err(e) => panic!(
                 "failed to open durable storage \
                  (use CqadsSystem::try_with_config to handle this): {e}"
@@ -338,6 +344,10 @@ impl CqadsSystem {
     fn in_memory(config: CqadsConfig) -> Self {
         let cache = AnswerCache::new(config.cache_capacity, config.cache_shards);
         let resilience = config.resilience.clone().map(ResilienceRuntime::new);
+        let clock: Arc<dyn RetryClock> = match &config.resilience {
+            Some(opts) => Arc::clone(&opts.clock),
+            None => Arc::new(RealClock::new()),
+        };
         CqadsSystem {
             database: Database::new(),
             domains: BTreeMap::new(),
@@ -347,6 +357,7 @@ impl CqadsSystem {
             cache,
             storage: None,
             resilience,
+            clock,
         }
     }
 
@@ -576,9 +587,12 @@ impl CqadsSystem {
     /// the floors itself.
     fn rebuild_models_with_word_sim(&mut self, matrix: WordSimMatrix, bump: bool) {
         self.word_sim = Arc::new(matrix);
-        let domains: Vec<String> = self.domains.keys().cloned().collect();
-        for name in domains {
-            let runtime = self.domains.get(&name).expect("key from map").clone();
+        let runtimes: Vec<(String, DomainRuntime)> = self
+            .domains
+            .iter()
+            .map(|(name, runtime)| (name.clone(), runtime.clone()))
+            .collect();
+        for (name, runtime) in runtimes {
             let ti = runtime.similarity_ti();
             let schema = runtime.spec.schema.clone();
             let mut similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
@@ -791,6 +805,7 @@ impl CqadsSystem {
             self.domains
                 .keys()
                 .next()
+                // lint: allow(no-panic) — guarded by the NoDomain early return above
                 .expect("non-empty checked above")
                 .clone()
         };
@@ -829,7 +844,7 @@ impl CqadsSystem {
             )?,
         };
         pending.absorb_partial(partial, table);
-        Ok(pending.finish(self.config.answer_limit))
+        Ok(pending.finish(self.config.answer_limit, self.clock.now_micros()))
     }
 
     /// Resolve a domain to its runtime and table, distinguishing an unregistered
@@ -871,7 +886,7 @@ impl CqadsSystem {
         question: &str,
         domain: &str,
     ) -> CqadsResult<PendingAnswer> {
-        let start = Instant::now();
+        let start_micros = self.clock.now_micros();
         let tagged = runtime.tagger.tag(question);
         let interpretation = interpret(&tagged, &runtime.spec)?;
         let query = interpretation.to_query_with_limit(&runtime.spec, self.config.answer_limit)?;
@@ -910,7 +925,7 @@ impl CqadsSystem {
             answers,
             exact_ids,
             partial_budget,
-            start,
+            start_micros,
         })
     }
 
@@ -933,8 +948,12 @@ impl CqadsSystem {
     ) -> CqadsResult<Arc<AnswerSet>> {
         // Timing exists only for the audit trail; a memory-only (or
         // audit-off) system must not pay a clock read per hit.
-        let start = self.audit_enabled().then(Instant::now);
-        let took = |start: Option<Instant>| start.map(|s| s.elapsed()).unwrap_or_default();
+        let start = self.audit_enabled().then(|| self.clock.now_micros());
+        let took = |start: Option<u64>| {
+            start
+                .map(|s| Duration::from_micros(self.clock.now_micros().saturating_sub(s)))
+                .unwrap_or_default()
+        };
         if !self.cache.is_enabled() {
             let answer = Arc::new(self.answer_in_domain(question, domain)?);
             self.audit(question, domain, false, took(start));
@@ -1105,7 +1124,7 @@ impl CqadsSystem {
             outcomes.push(None);
             // Clock reads exist only for the audit trail; the hot hit path
             // must not pay one when auditing is off.
-            let lookup_start = audit_on.then(Instant::now);
+            let lookup_start = audit_on.then(|| self.clock.now_micros());
             let stamp = self.current_stamp(&slot.domain);
             if cache_on && stale_ok {
                 stale_fallback[slot_idx] = self.cache.peek_stale(&slot.key);
@@ -1118,7 +1137,9 @@ impl CqadsSystem {
                             &slot.domain,
                             true,
                             stamp,
-                            lookup_start.elapsed(),
+                            Duration::from_micros(
+                                self.clock.now_micros().saturating_sub(lookup_start),
+                            ),
                         ));
                     }
                     outcomes[slot_idx] = Some(Ok(hit));
@@ -1196,7 +1217,8 @@ impl CqadsSystem {
                         pendings[p].1.absorb_partial(outcome.answers, table);
                     }
                     for ((slot_idx, pending), quality) in pendings.into_iter().zip(qualities) {
-                        let mut set = pending.finish(self.config.answer_limit);
+                        let mut set =
+                            pending.finish(self.config.answer_limit, self.clock.now_micros());
                         set.quality = quality;
                         if !quality.is_complete() {
                             any_degraded = true;
@@ -1261,6 +1283,7 @@ impl CqadsSystem {
 
         // Scatter slot outcomes to every question index that mapped onto the slot.
         for (slot, outcome) in slots.iter().zip(outcomes) {
+            // lint: allow(no-panic) — the dispatch loop above fills every slot exactly once
             let outcome = outcome.expect("every slot resolved");
             for &i in &slot.indices {
                 results[i] = Some(outcome.clone());
@@ -1268,6 +1291,7 @@ impl CqadsSystem {
         }
         results
             .into_iter()
+            // lint: allow(no-panic) — every question index maps onto exactly one slot
             .map(|r| r.expect("every question resolved"))
             .collect()
     }
@@ -1281,6 +1305,7 @@ impl CqadsSystem {
     /// (the in-memory insert has happened but was not persisted).
     pub fn insert_record(&mut self, domain: &str, record: Record) -> CqadsResult<RecordId> {
         let mut ids = self.insert_record_batch(domain, vec![record])?;
+        // lint: allow(no-panic) — a successful batch of one yields exactly one id
         Ok(ids.pop().expect("a successful batch of one yields one id"))
     }
 
@@ -1592,7 +1617,8 @@ struct PendingAnswer {
     exact_ids: HashSet<RecordId>,
     /// `0` when the exact answers already satisfy the partial threshold.
     partial_budget: usize,
-    start: Instant,
+    /// Clock reading ([`RetryClock::now_micros`]) when the answer began.
+    start_micros: u64,
 }
 
 impl PendingAnswer {
@@ -1611,8 +1637,9 @@ impl PendingAnswer {
         }
     }
 
-    /// Cap to the answer limit and seal the set.
-    fn finish(mut self, answer_limit: usize) -> AnswerSet {
+    /// Cap to the answer limit and seal the set; `now_micros` is the caller's
+    /// reading of the same clock that stamped [`PendingAnswer::start_micros`].
+    fn finish(mut self, answer_limit: usize, now_micros: u64) -> AnswerSet {
         self.answers.truncate(answer_limit);
         AnswerSet {
             domain: self.domain,
@@ -1622,7 +1649,7 @@ impl PendingAnswer {
             sql: self.sql,
             answers: self.answers,
             quality: AnswerQuality::Complete,
-            elapsed: self.start.elapsed(),
+            elapsed: Duration::from_micros(now_micros.saturating_sub(self.start_micros)),
         }
     }
 }

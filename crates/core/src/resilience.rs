@@ -151,12 +151,16 @@ impl QueryBudget {
 
     /// Cancel cooperatively: every worker observes this at its next checkpoint.
     pub fn cancel(&self) {
+        // ordering: the flag is the entire message — no other memory is
+        // published with it, and a checkpoint reading it one iteration late
+        // only does a little extra (correct) work. Relaxed suffices.
         self.cancelled.store(true, Ordering::Relaxed);
     }
 
     /// Has the budget been cancelled or its deadline passed? Reads the clock
     /// only while the cancel flag is still clear (and latches it once set).
     pub fn expired(&self) -> bool {
+        // ordering: see cancel() — the latch is self-contained, Relaxed.
         if self.cancelled.load(Ordering::Relaxed) {
             return true;
         }
@@ -169,16 +173,19 @@ impl QueryBudget {
 
     /// Cheap check of the cancel flag alone (no clock read).
     pub fn is_cancelled(&self) -> bool {
+        // ordering: see cancel() — the latch is self-contained, Relaxed.
         self.cancelled.load(Ordering::Relaxed)
     }
 
     /// Add `n` visited candidates to the batch-wide tally.
     pub fn add_visited(&self, n: u64) {
+        // ordering: monotone stats tally read for reporting only; Relaxed.
         self.visited.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Candidates visited across the whole batch so far.
     pub fn visited(&self) -> u64 {
+        // ordering: advisory read of the monotone tally; Relaxed.
         self.visited.load(Ordering::Relaxed)
     }
 }
@@ -245,8 +252,13 @@ impl ResilienceRuntime {
     /// Try to admit one batch. `None` means the in-flight bound is saturated
     /// and the batch was shed (counted). The permit releases its slot on drop.
     pub(crate) fn try_admit(&self) -> Option<AdmissionPermit<'_>> {
+        // ordering: the in-flight bound needs only the *atomicity* of the
+        // RMWs (add-then-check-then-undo keeps the count exact); the permit
+        // guards no memory of its own, and shed is a monotone stats counter.
+        // Relaxed throughout.
         let prev = self.in_flight.fetch_add(1, Ordering::Relaxed);
         if self.opts.max_in_flight > 0 && prev >= self.opts.max_in_flight {
+            // ordering: undo + stats count, per the block comment above.
             self.in_flight.fetch_sub(1, Ordering::Relaxed);
             self.shed.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -257,6 +269,8 @@ impl ResilienceRuntime {
     /// The configured deadline after pressure step-down, if any.
     pub(crate) fn effective_deadline_micros(&self) -> Option<u64> {
         let deadline = self.opts.deadline_micros?;
+        // ordering: the pressure level is an independent tuning dial; a
+        // slightly stale read picks a slightly stale deadline. Relaxed.
         let level = self.pressure.load(Ordering::Relaxed).min(63);
         let floor = self.opts.min_deadline_micros.min(deadline).max(1);
         Some((deadline >> level).max(floor))
@@ -269,24 +283,32 @@ impl ResilienceRuntime {
         if self.opts.step_down_after == 0 {
             return;
         }
+        // ordering: streak bookkeeping is documented best-effort — racing
+        // batches may under-count a streak, which only delays a step, and
+        // the fetch_update RMWs keep the level itself exact and bounded.
+        // Nothing synchronizes through these fields: Relaxed throughout.
         if any_degraded {
+            // ordering: best-effort streak fields (block comment above).
             self.clean_streak.store(0, Ordering::Relaxed);
             let streak = self.degraded_streak.fetch_add(1, Ordering::Relaxed) + 1;
             if streak >= self.opts.step_down_after {
                 self.degraded_streak.store(0, Ordering::Relaxed);
                 let _ = self
                     .pressure
+                    // ordering: part of the best-effort controller above.
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |level| {
                         (level < self.opts.max_step_down).then_some(level + 1)
                     });
             }
         } else {
+            // ordering: best-effort streak controller, see above.
             self.degraded_streak.store(0, Ordering::Relaxed);
             let streak = self.clean_streak.fetch_add(1, Ordering::Relaxed) + 1;
             if streak >= self.opts.step_down_after {
                 self.clean_streak.store(0, Ordering::Relaxed);
                 let _ = self
                     .pressure
+                    // ordering: part of the best-effort controller above.
                     .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |level| {
                         level.checked_sub(1)
                     });
@@ -295,26 +317,32 @@ impl ResilienceRuntime {
     }
 
     pub(crate) fn note_degraded(&self, n: u64) {
+        // ordering: monotone stats counter; Relaxed.
         self.degraded.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn note_stale(&self, n: u64) {
+        // ordering: monotone stats counter; Relaxed.
         self.stale_served.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn shed(&self) -> u64 {
+        // ordering: advisory stats read; Relaxed.
         self.shed.load(Ordering::Relaxed)
     }
 
     pub(crate) fn degraded(&self) -> u64 {
+        // ordering: advisory stats read; Relaxed.
         self.degraded.load(Ordering::Relaxed)
     }
 
     pub(crate) fn stale_served(&self) -> u64 {
+        // ordering: advisory stats read; Relaxed.
         self.stale_served.load(Ordering::Relaxed)
     }
 
     pub(crate) fn pressure_level(&self) -> u32 {
+        // ordering: advisory stats read; Relaxed.
         self.pressure.load(Ordering::Relaxed)
     }
 }
@@ -327,6 +355,8 @@ pub(crate) struct AdmissionPermit<'a> {
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
+        // ordering: releases only the counted slot, not any memory — the
+        // batch's results were handed over before the permit drops. Relaxed.
         self.runtime.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }

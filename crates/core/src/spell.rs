@@ -76,13 +76,12 @@ pub fn split_keywords(trie: &Trie<Tag>, word: &str, depth: usize) -> Option<Vec<
     // are byte offsets at character boundaries, so multi-byte input cannot panic.
     let mut boundaries: Vec<usize> = word.char_indices().map(|(i, _)| i).skip(1).collect();
     boundaries.push(word.len());
-    let prefix_lengths: Vec<usize> = boundaries
+    let prefix_matches: Vec<(usize, Tag)> = boundaries
         .into_iter()
         .rev()
-        .filter(|&len| trie.lookup(&word[..len]).is_some())
+        .filter_map(|len| trie.lookup(&word[..len]).cloned().map(|tag| (len, tag)))
         .collect();
-    for len in prefix_lengths {
-        let tag = trie.lookup(&word[..len]).cloned().expect("checked above");
+    for (len, tag) in prefix_matches {
         if let Some(mut rest) = split_keywords(trie, &word[len..], depth + 1) {
             let mut out = vec![(word[..len].to_string(), tag)];
             out.append(&mut rest);

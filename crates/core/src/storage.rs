@@ -154,6 +154,7 @@ impl DurableStorage {
             return engine.append_batch(records);
         };
         if !state.breaker.allows(state.opts.clock.now_micros()) {
+            // ordering: monotone stats counter; nothing synchronizes through it.
             state.rejections.fetch_add(1, Ordering::Relaxed);
             return Err(StorageError::Unavailable {
                 detail: format!(
@@ -182,6 +183,7 @@ impl DurableStorage {
                         state.breaker.record_failure(state.opts.clock.now_micros());
                         return Err(e);
                     }
+                    // ordering: monotone stats counter; Relaxed.
                     state.retries.fetch_add(1, Ordering::Relaxed);
                     state
                         .opts
@@ -216,6 +218,8 @@ impl DurableStorage {
             return;
         }
         if let Err(e) = self.append_resilient(&mut relock(&self.engine), records) {
+            // ordering: monotone stats counter; the error itself travels
+            // under the last_audit_error lock, not through this atomic.
             self.audit_failures
                 .fetch_add(records.len() as u64, Ordering::Relaxed);
             *relock(&self.last_audit_error) = Some(e);
@@ -224,6 +228,7 @@ impl DurableStorage {
 
     /// Audit frames that failed to persist since open.
     pub(crate) fn audit_failures(&self) -> u64 {
+        // ordering: advisory stats read; Relaxed.
         self.audit_failures.load(Ordering::Relaxed)
     }
 
@@ -231,6 +236,7 @@ impl DurableStorage {
     pub(crate) fn wal_retries(&self) -> u64 {
         self.retry
             .as_ref()
+            // ordering: advisory stats read; Relaxed.
             .map_or(0, |s| s.retries.load(Ordering::Relaxed))
     }
 
@@ -243,6 +249,7 @@ impl DurableStorage {
     pub(crate) fn breaker_rejections(&self) -> u64 {
         self.retry
             .as_ref()
+            // ordering: advisory stats read; Relaxed.
             .map_or(0, |s| s.rejections.load(Ordering::Relaxed))
     }
 

@@ -133,10 +133,13 @@ impl Interpretation {
             let expr = combine_conditions(&kept, spec)?;
             segment_exprs.push(expr);
         }
-        let expr = match segment_exprs.len() {
-            0 => BoolExpr::True,
-            1 => segment_exprs.pop().expect("len checked"),
-            _ => BoolExpr::or(segment_exprs),
+        let expr = match segment_exprs.pop() {
+            None => BoolExpr::True,
+            Some(only) if segment_exprs.is_empty() => only,
+            Some(last) => {
+                segment_exprs.push(last);
+                BoolExpr::or(segment_exprs)
+            }
         };
         let mut query = Query::new(spec.name()).with_expr(expr);
         for s in &self.superlatives {

@@ -6,6 +6,8 @@
 //! cargo run --release -p cqads-eval --bin run_experiments -- --json out.json
 //! ```
 
+#![forbid(unsafe_code)]
+
 use cqads_eval::experiments::{
     fig2_classification, fig4_boolean, fig5_ranking, fig6_timing, sec53_exact_match,
     shorthand_accuracy, survey_stats, table2_partial,
@@ -31,6 +33,8 @@ fn main() {
         "building testbed: {} ads/domain, {} questions/domain pair, seed {:#x} ...",
         config.ads_per_domain, config.other_domain_questions, config.seed
     );
+    #[allow(clippy::disallowed_methods)]
+    // lint: allow(wall-clock) — operator progress report, not measured behavior
     let start = Instant::now();
     let bed = Testbed::build(config);
     eprintln!(

@@ -69,6 +69,8 @@ pub fn run_with_limit(bed: &Testbed, limit: Option<usize>) -> TimingResult {
     ];
 
     // CQAds end-to-end.
+    #[allow(clippy::disallowed_methods)]
+    // lint: allow(wall-clock) — this experiment measures real wall time (Fig 6)
     let start = Instant::now();
     for q in &questions {
         let _ = bed.system.answer_in_domain(&q.text, &q.domain);
@@ -82,6 +84,8 @@ pub fn run_with_limit(bed: &Testbed, limit: Option<usize>) -> TimingResult {
 
     // Baselines: interpretation + full-table ranking to the 30-answer budget.
     for ranker in &baselines {
+        #[allow(clippy::disallowed_methods)]
+        // lint: allow(wall-clock) — this experiment measures real wall time (Fig 6)
         let start = Instant::now();
         for q in &questions {
             let table = bed.system.database().table(&q.domain).expect("registered");

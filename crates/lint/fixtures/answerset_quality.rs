@@ -1,0 +1,36 @@
+//! Golden fixture: `answerset-quality` — an `AnswerSet` whose `quality` is
+//! left to a default silently masquerades as complete, so every literal
+//! must set it (or build on another set with `..`). Not compiled; consumed
+//! by the linter self-test.
+
+pub fn bad_literal(domain: String) -> AnswerSet {
+    AnswerSet { //~ ERROR answerset-quality
+        domain,
+        answers: Vec::new(),
+        elapsed: Duration::ZERO,
+    }
+}
+
+pub fn good_explicit(domain: String) -> AnswerSet {
+    AnswerSet {
+        domain,
+        answers: Vec::new(),
+        quality: AnswerQuality::Complete,
+        elapsed: Duration::ZERO,
+    }
+}
+
+pub fn good_functional_update(base: AnswerSet) -> AnswerSet {
+    AnswerSet {
+        answers: Vec::new(),
+        ..base
+    }
+}
+
+pub struct AnswerSet {
+    pub domain: String,
+}
+
+pub fn good_path_mention() -> usize {
+    AnswerSet::default().domain.len()
+}

@@ -1,0 +1,39 @@
+//! Golden fixture: `no-panic` — serving hot paths surface errors through
+//! `Result`, never by unwinding. Not compiled; consumed by the linter
+//! self-test.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ ERROR no-panic
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always present") //~ ERROR no-panic
+}
+
+pub fn bad_panic(flag: bool) {
+    if flag {
+        panic!("invariant broken"); //~ ERROR no-panic
+    }
+}
+
+pub fn good_fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+pub fn good_expect_err(v: Result<(), u32>) -> u32 {
+    v.expect_err("errors only here")
+}
+
+pub fn good_string_mention() -> &'static str {
+    "calling panic!() or .unwrap() here would be bad"
+}
+
+// A commented-out .unwrap() is not a violation either.
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        Some(1).unwrap();
+    }
+}

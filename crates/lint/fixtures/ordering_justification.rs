@@ -1,0 +1,36 @@
+//! Golden fixture: `ordering-justification` — every `Relaxed` / `Acquire` /
+//! `Release` use needs an adjacent `// ordering:` comment arguing why that
+//! strength suffices. Not compiled; consumed by the linter self-test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bad_load(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed) //~ ERROR ordering-justification
+}
+
+pub fn bad_store(counter: &AtomicU64) {
+    counter.store(1, Ordering::Release);
+    //~^ ERROR ordering-justification
+}
+
+pub fn bad_rmw(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::AcqRel) //~ ERROR ordering-justification
+}
+
+pub fn good_block_comment_above(counter: &AtomicU64) -> u64 {
+    // ordering: monotone statistics counter; nothing else is published
+    // through it, so Relaxed is enough.
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn good_same_line(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Acquire) // ordering: pairs with the Release in fill()
+}
+
+pub fn seqcst_needs_no_argument(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::SeqCst)
+}
+
+pub fn strings_do_not_count(name: &str) -> bool {
+    name == "Ordering::Relaxed"
+}

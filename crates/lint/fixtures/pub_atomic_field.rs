@@ -1,0 +1,23 @@
+//! Golden fixture: `pub-atomic-field` — a public atomic field is a
+//! concurrency protocol surface; it must carry a doc comment stating the
+//! protocol. Not compiled; consumed by the linter self-test.
+
+use std::sync::atomic::{AtomicBool, AtomicU64};
+
+pub struct Stats {
+    pub hits: AtomicU64, //~ ERROR pub-atomic-field
+    /// Monotone miss counter; incremented with `fetch_add`, read for reports.
+    pub misses: AtomicU64,
+    /// Crate-visible trip flag; set once, never cleared.
+    pub(crate) tripped: AtomicBool,
+    pub(crate) raced: AtomicBool, //~ ERROR pub-atomic-field
+    sealed: AtomicBool,
+}
+
+pub struct NotAtomic {
+    pub name: String,
+}
+
+pub fn pub_fn_returning_atomics_is_fine(stats: &Stats) -> &AtomicU64 {
+    &stats.misses
+}

@@ -1,0 +1,24 @@
+//! Golden fixture: suppression semantics — `// lint: allow(rule)` exempts a
+//! site only when a written reason follows, and only for the named rule.
+//! Not compiled; consumed by the linter self-test.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn suppressed_with_reason(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic) — configuration is validated once at startup
+    v.unwrap()
+}
+
+pub fn suppressed_same_line(v: Option<u32>) -> u32 {
+    v.unwrap() // lint: allow(no-panic) — length checked two lines up
+}
+
+pub fn reasonless_allow_does_not_suppress(v: Option<u32>) -> u32 {
+    // lint: allow(no-panic)
+    v.unwrap() //~ ERROR no-panic
+}
+
+pub fn wrong_rule_does_not_suppress(counter: &AtomicU64) -> u64 {
+    // lint: allow(no-panic) — names a different rule than the violation
+    counter.load(Ordering::Relaxed) //~ ERROR ordering-justification
+}

@@ -1,0 +1,28 @@
+//! Golden fixture: `wall-clock` — time a test cannot control is time a test
+//! cannot cover; production code reads an injectable clock. Not compiled;
+//! consumed by the linter self-test.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn bad_instant() -> Instant {
+    Instant::now() //~ ERROR wall-clock
+}
+
+pub fn bad_system_time() -> SystemTime {
+    SystemTime::now() //~ ERROR wall-clock
+}
+
+pub fn bad_sleep() {
+    std::thread::sleep(Duration::from_millis(1)); //~ ERROR wall-clock
+}
+
+pub fn good_clock_impl() -> u64 {
+    // The one legitimate shape: an injectable-clock implementation, exempted
+    // with a written reason.
+    let start = Instant::now(); // lint: allow(wall-clock) — this IS the RealClock impl
+    start.elapsed().as_micros() as u64
+}
+
+pub fn good_string_mention() -> &'static str {
+    "Instant::now in a string is no violation"
+}

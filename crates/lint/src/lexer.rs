@@ -1,0 +1,311 @@
+//! A hand-rolled, line-oriented Rust lexer: just enough to tell *code* from
+//! *comments* and *literals*, which is all the rules need.
+//!
+//! For every source line the lexer produces the code text with comments and
+//! string/char-literal **contents** blanked to spaces (so column positions
+//! survive), plus the raw comment text found on that line. The rules then
+//! match plain substrings against `code` without ever being fooled by a
+//! pattern inside a string literal or a commented-out line — and read
+//! suppressions/justifications out of `comment` without being fooled by code.
+//!
+//! Handled: line comments, nested block comments, doc comments, string
+//! literals with escapes, raw (and byte-raw) strings with `#` fences, char
+//! literals vs. lifetimes (heuristically: `'x'` / `'\..'` is a char,
+//! anything else after `'` is a lifetime).
+
+/// One source line, split into its code and comment parts.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code with comments and literal contents blanked to spaces.
+    /// Quotes themselves are kept, so `"…"` shows up as `"   "`.
+    pub code: String,
+    /// Raw text of every comment on the line, **including** its `//`, `///`,
+    /// `//!` or `/*` delimiter, concatenated in order.
+    pub comment: String,
+}
+
+impl Line {
+    /// Does this line carry any non-whitespace code?
+    pub fn has_code(&self) -> bool {
+        !self.code.trim().is_empty()
+    }
+
+    /// Is the comment on this line a doc comment (`///` or `//!`)?
+    pub fn has_doc_comment(&self) -> bool {
+        let c = self.comment.trim_start();
+        c.starts_with("///") || c.starts_with("//!")
+    }
+}
+
+/// What the cursor is inside of, carried across lines.
+enum State {
+    Code,
+    /// Nested block comment, with its current depth.
+    BlockComment(u32),
+    /// A normal `"…"` string.
+    Str,
+    /// A raw string terminated by `"` followed by this many `#`s.
+    RawStr(u32),
+}
+
+/// Lex `source` into per-line code/comment splits.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut state = State::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: the rest of the line, delimiter and all.
+                        comment.push_str(&chars[i..].iter().collect::<String>());
+                        code.extend(std::iter::repeat_n(' ', chars.len() - i));
+                        i = chars.len();
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        comment.push_str("/*");
+                        code.push_str("  ");
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        // Raw string? Look back over `r` / `br` plus `#` fences.
+                        let fences = raw_fences(&chars, i);
+                        state = match fences {
+                            Some(n) => State::RawStr(n),
+                            None => State::Str,
+                        };
+                        code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' {
+                        // Char literal or lifetime?
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // `'\..'`: skip to the closing quote.
+                            code.push('\'');
+                            i += 2;
+                            while i < chars.len() && chars[i] != '\'' {
+                                code.push(' ');
+                                i += 1;
+                            }
+                            if i < chars.len() {
+                                code.push('\'');
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        if chars.get(i + 2) == Some(&'\'') {
+                            // `'x'`: a plain char literal.
+                            code.push_str("' '");
+                            i += 3;
+                            continue;
+                        }
+                        // A lifetime — plain code.
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str("*/");
+                        code.push_str("  ");
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        comment.push_str("/*");
+                        code.push_str("  ");
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        code.push_str("  ");
+                        i += 2; // skip the escaped char, whatever it is
+                    } else if c == '"' {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::RawStr(fences) => {
+                    if c == '"' && closes_raw(&chars, i, fences) {
+                        code.push('"');
+                        code.extend(std::iter::repeat_n(' ', fences as usize));
+                        state = State::Code;
+                        i += 1 + fences as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A normal string can't span lines without a trailing `\`; treat an
+        // unterminated one as continuing (the blanking stays conservative).
+        out.push(Line {
+            number: idx + 1,
+            code,
+            comment,
+        });
+    }
+    out
+}
+
+/// If the `"` at `chars[at]` opens a raw string (`r"`, `br##"` …), the number
+/// of `#` fences; `None` for a normal string.
+fn raw_fences(chars: &[char], at: usize) -> Option<u32> {
+    let mut j = at;
+    let mut fences = 0u32;
+    while j > 0 && chars[j - 1] == '#' {
+        fences += 1;
+        j -= 1;
+    }
+    if j == 0 {
+        return None;
+    }
+    let intro = j - 1;
+    let is_r = chars[intro] == 'r';
+    let is_br = is_r && intro > 0 && chars[intro - 1] == 'b';
+    if !is_r {
+        return None;
+    }
+    // `r` must start the `r"…"` token, not end an identifier like `var"…`.
+    let before = if is_br {
+        intro.checked_sub(2)
+    } else {
+        intro.checked_sub(1)
+    };
+    match before {
+        Some(b) if chars[b].is_alphanumeric() || chars[b] == '_' => None,
+        _ => Some(fences),
+    }
+}
+
+/// Does the `"` at `chars[at]` close a raw string with `fences` `#`s?
+fn closes_raw(chars: &[char], at: usize, fences: u32) -> bool {
+    (1..=fences as usize).all(|k| chars.get(at + k) == Some(&'#'))
+}
+
+/// Mark every line that lives inside test-only code: a `#[cfg(test)]` /
+/// `#[cfg(all(test…))]` / `#[test]` attribute and the braced item it gates.
+///
+/// The tracker is a light parser, not a full one: it watches brace depth in
+/// the lexed code, arms on a test attribute, latches the depth where the
+/// gated item's block opens and stays "in test" until that block closes. A
+/// brace-less gated item (e.g. `#[cfg(test)] use …;`) disarms at its `;`.
+pub fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    // Depth above which everything is test code (latched block start).
+    let mut test_floor: Option<i32> = None;
+    let mut armed = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if test_floor.is_none()
+            && (code.contains("#[cfg(test)]")
+                || code.contains("#[cfg(all(test")
+                || code.contains("#[test]"))
+        {
+            armed = true;
+        }
+        if armed || test_floor.is_some() {
+            mask[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        test_floor = Some(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_floor.is_some_and(|floor| depth <= floor) {
+                        test_floor = None;
+                    }
+                }
+                ';'
+                    // `#[cfg(test)] use foo;` — gated item without a block.
+                    if armed && test_floor.is_none() => {
+                        armed = false;
+                    }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked_out_of_code() {
+        let lines = lex("let x = \"panic!()\"; // ordering: fine\nlet y = 1;");
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].comment.contains("ordering:"));
+        assert!(lines[0].code.contains("let x ="));
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let lines = lex("let p = r#\"Instant::now\"#; let c = '\"'; let l: &'a str = s;");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains("let c ="));
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn nested_block_comments_span_lines() {
+        let lines = lex("a /* one /* two */ still */ b\n/* open\nunwrap() */ c");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[2].code.contains("unwrap"));
+        assert!(lines[2].code.contains('c'));
+    }
+
+    #[test]
+    fn test_mask_latches_over_cfg_test_modules() {
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn prod2() {}";
+        let lines = lex(src);
+        let mask = test_mask(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_gated_item_disarms_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() {}";
+        let mask = test_mask(&lex(src));
+        assert_eq!(mask, vec![true, true, false]);
+    }
+}

@@ -1,0 +1,365 @@
+//! The named rules and their per-line checks.
+//!
+//! Every rule is individually suppressible at a site with
+//!
+//! ```text
+//! // lint: allow(rule-name) — why this site is exempt
+//! ```
+//!
+//! on the offending line or the line above. The reason text after the
+//! closing parenthesis is **required**: a bare `allow(...)` does not
+//! suppress anything, so every exemption in the tree documents itself.
+
+use crate::lexer::Line;
+use std::fmt;
+
+/// A workspace invariant the linter enforces. See each variant's doc for the
+/// exact predicate; [`Rule::name`] is the string used in suppressions,
+/// fixture markers and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `ordering-justification` — every `Ordering::Relaxed` / `Acquire` /
+    /// `Release` / `AcqRel` use needs an adjacent `// ordering:` comment
+    /// (same line or within the 4 lines above) arguing why that strength is
+    /// sufficient. `SeqCst` needs no argument: it is the conservative default.
+    OrderingJustification,
+    /// `no-panic` — no `.unwrap()` / `.expect(…)` / `panic!` in non-test
+    /// code of the serving hot paths (`crates/core`, `crates/storage`,
+    /// `crates/addb`). Errors there must flow through `Result`.
+    NoPanic,
+    /// `wall-clock` — no `Instant::now` / `SystemTime::now` /
+    /// `thread::sleep` outside the injectable-clock implementations: time a
+    /// test cannot control is time a test cannot cover.
+    WallClock,
+    /// `answerset-quality` — every `AnswerSet { … }` literal must set its
+    /// `quality` field (or build on another set with `..`): an answer whose
+    /// quality is defaulted silently masquerades as complete.
+    AnswersetQuality,
+    /// `pub-atomic-field` — a `pub` atomic struct field is a concurrency
+    /// protocol surface; it must carry a doc comment stating its protocol.
+    PubAtomicField,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::OrderingJustification,
+        Rule::NoPanic,
+        Rule::WallClock,
+        Rule::AnswersetQuality,
+        Rule::PubAtomicField,
+    ];
+
+    /// The rule's kebab-case name, as used in `lint: allow(...)` and
+    /// `//~ ERROR ...` markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::OrderingJustification => "ordering-justification",
+            Rule::NoPanic => "no-panic",
+            Rule::WallClock => "wall-clock",
+            Rule::AnswersetQuality => "answerset-quality",
+            Rule::PubAtomicField => "pub-atomic-field",
+        }
+    }
+
+    /// Parse a rule name (exact match).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation at one source line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description of the specific site.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Is `pattern` present in `code` starting at a non-identifier boundary?
+/// (Plain `contains` would let `dont_panic!` match `panic!`.)
+fn matches_word(code: &str, pattern: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pattern) {
+        let at = from + pos;
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        from = at + pattern.len();
+    }
+    false
+}
+
+/// How many lines above a site an `// ordering:` justification may sit.
+const ORDERING_LOOKBACK: usize = 4;
+
+/// Check `ordering-justification` at line `idx`.
+pub fn check_ordering(lines: &[Line], idx: usize) -> Option<String> {
+    const NEEDS_ARGUMENT: [&str; 4] = [
+        "Ordering::Relaxed",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+    ];
+    let used: Vec<&str> = NEEDS_ARGUMENT
+        .iter()
+        .filter(|p| lines[idx].code.contains(*p))
+        .copied()
+        .collect();
+    if used.is_empty() {
+        return None;
+    }
+    let justified = (idx.saturating_sub(ORDERING_LOOKBACK)..=idx)
+        .any(|j| lines[j].comment.contains("ordering:"));
+    if justified {
+        return None;
+    }
+    Some(format!(
+        "{} without an adjacent `// ordering:` justification",
+        used.join(" and ")
+    ))
+}
+
+/// Check `no-panic` at line `idx`.
+pub fn check_no_panic(lines: &[Line], idx: usize) -> Option<String> {
+    let code = &lines[idx].code;
+    let hit = if code.contains(".unwrap()") {
+        ".unwrap()"
+    } else if code.contains(".expect(") {
+        ".expect(…)"
+    } else if matches_word(code, "panic!") {
+        "panic!"
+    } else {
+        return None;
+    };
+    Some(format!(
+        "{hit} on a serving hot path — return a Result instead"
+    ))
+}
+
+/// Check `wall-clock` at line `idx`.
+pub fn check_wall_clock(lines: &[Line], idx: usize) -> Option<String> {
+    const SOURCES: [&str; 3] = ["Instant::now", "SystemTime::now", "thread::sleep"];
+    let code = &lines[idx].code;
+    SOURCES
+        .iter()
+        .find(|p| matches_word(code, p))
+        .map(|hit| format!("{hit} outside an injectable-clock module"))
+}
+
+/// Check `pub-atomic-field` at line `idx`: a `pub … : …Atomic…` field whose
+/// preceding line carries no doc comment.
+pub fn check_pub_atomic_field(lines: &[Line], idx: usize) -> Option<String> {
+    let code = lines[idx].code.trim_start();
+    let is_pub = code.starts_with("pub ") || code.starts_with("pub(");
+    if !is_pub || code.contains("fn ") {
+        return None;
+    }
+    // A field line: `pub name: Type,` — the type must be atomic.
+    let colon = code.find(':')?;
+    // Skip `pub(crate)`-style visibility paths (`::` inside the parens).
+    let after_vis = code.find(')').map_or(0, |p| p + 1);
+    if colon < after_vis {
+        return None;
+    }
+    let ty = &code[colon + 1..];
+    if !ty.contains("Atomic") {
+        return None;
+    }
+    if lines[idx].has_doc_comment()
+        || (idx > 0 && lines[idx - 1].has_doc_comment())
+        || code.contains("#[doc")
+    {
+        return None;
+    }
+    Some("pub atomic field without a doc comment stating its protocol".to_string())
+}
+
+/// Check `answerset-quality` for a literal *opening* at line `idx`: scans
+/// forward to the matching close brace and requires a `quality` field or a
+/// `..` functional-update base inside.
+pub fn check_answerset_quality(lines: &[Line], idx: usize) -> Option<String> {
+    let code = &lines[idx].code;
+    let at = find_answerset_literal(code)?;
+    // The span starts at the literal's `{`.
+    let open = code[at..].find('{').map(|p| at + p)?;
+    let mut depth = 0i32;
+    // Text of the literal at brace depth 1 only: fields of *this* literal,
+    // not of anything nested inside a field value.
+    let mut top = String::new();
+    let mut col = open;
+    for (j, line) in lines.iter().enumerate().skip(idx) {
+        let body = if j == idx {
+            &line.code[col..]
+        } else {
+            &line.code
+        };
+        for c in body.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (!has_quality_field(&top))
+                            .then(|| missing_quality_message().to_string());
+                    }
+                }
+                _ if depth == 1 => top.push(c),
+                _ => {}
+            }
+        }
+        top.push('\n');
+        col = 0;
+    }
+    // Unterminated literal (end of file) — flag it conservatively.
+    (!has_quality_field(&top)).then(|| missing_quality_message().to_string())
+}
+
+fn has_quality_field(top: &str) -> bool {
+    matches_word(top, "quality") || top.contains("..")
+}
+
+fn missing_quality_message() -> &'static str {
+    "AnswerSet literal without an explicit `quality` field"
+}
+
+/// Position of an `AnswerSet {` literal in `code`, if one opens here.
+/// Definitions (`struct AnswerSet`), paths (`AnswerSet::`) and mere type
+/// mentions don't count.
+fn find_answerset_literal(code: &str) -> Option<usize> {
+    if code.contains("struct AnswerSet") || code.contains("impl AnswerSet") {
+        return None;
+    }
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("AnswerSet") {
+        let at = from + pos;
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':');
+        let rest = &code[at + "AnswerSet".len()..];
+        // `fn f(...) -> AnswerSet {` is a signature whose body happens to
+        // open here, not a literal.
+        let is_return_type = code[..at].trim_end().ends_with("->");
+        if boundary && !is_return_type && rest.trim_start().starts_with('{') {
+            return Some(at);
+        }
+        from = at + "AnswerSet".len();
+    }
+    None
+}
+
+/// Rules suppressed at line `idx` by `// lint: allow(rule) — reason`
+/// comments on this line or the line above. Reason-less allows suppress
+/// nothing.
+pub fn suppressed_at(lines: &[Line], idx: usize) -> Vec<Rule> {
+    let mut rules = Vec::new();
+    for line in &lines[idx.saturating_sub(1)..=idx] {
+        collect_allows(&line.comment, &mut rules);
+    }
+    rules
+}
+
+fn collect_allows(comment: &str, rules: &mut Vec<Rule>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint: allow(") {
+        rest = &rest[pos + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else { return };
+        let name = rest[..close].trim();
+        let reason = rest[close + 1..]
+            .trim_start_matches([' ', '—', '-', '–', ':'])
+            .trim();
+        if reason.len() >= 3 {
+            if let Some(rule) = Rule::from_name(name) {
+                rules.push(rule);
+            }
+        }
+        rest = &rest[close + 1..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn ordering_requires_adjacent_justification() {
+        let lines = lex("x.load(Ordering::Relaxed);");
+        assert!(check_ordering(&lines, 0).is_some());
+        let lines = lex("// ordering: counter, no sync needed\nx.load(Ordering::Relaxed);");
+        assert!(check_ordering(&lines, 1).is_none());
+        let lines = lex("x.load(Ordering::SeqCst);");
+        assert!(check_ordering(&lines, 0).is_none());
+    }
+
+    #[test]
+    fn no_panic_catches_the_three_forms_only() {
+        for bad in ["a.unwrap();", "a.expect(\"m\");", "panic!(\"boom\")"] {
+            assert!(check_no_panic(&lex(bad), 0).is_some(), "{bad}");
+        }
+        for ok in [
+            "a.unwrap_or(0);",
+            "should_panic!();",
+            "a.expect_err(\"m\");",
+        ] {
+            assert!(check_no_panic(&lex(ok), 0).is_none(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn suppression_requires_a_reason() {
+        let lines = lex("a.unwrap(); // lint: allow(no-panic) — startup, config is static");
+        assert_eq!(suppressed_at(&lines, 0), vec![Rule::NoPanic]);
+        let lines = lex("a.unwrap(); // lint: allow(no-panic)");
+        assert!(suppressed_at(&lines, 0).is_empty());
+    }
+
+    #[test]
+    fn answerset_literal_needs_quality() {
+        let src = "let s = AnswerSet {\n    domain,\n    answers,\n};";
+        assert!(check_answerset_quality(&lex(src), 0).is_some());
+        let src = "let s = AnswerSet {\n    quality: AnswerQuality::Complete,\n};";
+        assert!(check_answerset_quality(&lex(src), 0).is_none());
+        let src = "let s = AnswerSet { answers, ..base };";
+        assert!(check_answerset_quality(&lex(src), 0).is_none());
+        assert!(check_answerset_quality(&lex("pub struct AnswerSet {"), 0).is_none());
+    }
+
+    #[test]
+    fn pub_atomic_field_needs_docs() {
+        let src = "pub hits: AtomicU64,";
+        assert!(check_pub_atomic_field(&lex(src), 0).is_some());
+        let src = "/// Monotone hit counter; written with Relaxed.\npub hits: AtomicU64,";
+        assert!(check_pub_atomic_field(&lex(src), 1).is_none());
+        assert!(check_pub_atomic_field(&lex("hits: AtomicU64,"), 0).is_none());
+        assert!(check_pub_atomic_field(&lex("pub fn hits() -> &AtomicU64 {"), 0).is_none());
+    }
+}

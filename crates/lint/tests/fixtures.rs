@@ -1,0 +1,70 @@
+//! The linter's self-test: every golden fixture under `crates/lint/fixtures`
+//! must produce **exactly** the violations its `//~ ERROR` markers claim —
+//! no silent rules, no extra noise.
+
+use cqads_lint::Rule;
+use std::path::{Path, PathBuf};
+
+fn fixtures() -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir must exist") {
+        let path: PathBuf = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path
+                .file_name()
+                .expect("fixture file name")
+                .to_string_lossy()
+                .into_owned();
+            let source = std::fs::read_to_string(&path).expect("read fixture");
+            out.push((name, source));
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 6, "fixture set shrank: {} files", out.len());
+    out
+}
+
+#[test]
+fn fixtures_match_their_markers_exactly() {
+    let mut failures = String::new();
+    for (name, source) in fixtures() {
+        if let Err(diff) = cqads_lint::verify_fixture(&name, &source) {
+            failures.push_str(&diff);
+        }
+    }
+    assert!(failures.is_empty(), "\n{failures}");
+}
+
+#[test]
+fn every_rule_is_exercised_by_some_fixture() {
+    let mut covered: Vec<Rule> = fixtures()
+        .iter()
+        .flat_map(|(_, source)| cqads_lint::expected_fixture_errors(source))
+        .map(|e| e.rule)
+        .collect();
+    covered.sort();
+    covered.dedup();
+    assert_eq!(
+        covered,
+        Rule::ALL.to_vec(),
+        "each rule needs at least one golden violation"
+    );
+}
+
+#[test]
+fn a_plain_lint_run_over_fixtures_fails() {
+    // The acceptance contract for `cargo xtask lint <fixture>`: a fixture
+    // with markers must come back with violations (nonzero exit in the CLI).
+    for (name, source) in fixtures() {
+        let expected = cqads_lint::expected_fixture_errors(&source);
+        let actual = cqads_lint::lint_fixture(&name, &source);
+        assert_eq!(
+            actual.is_empty(),
+            expected.is_empty(),
+            "{name}: plain lint found {} violations, markers say {}",
+            actual.len(),
+            expected.len()
+        );
+    }
+}

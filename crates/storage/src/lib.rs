@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod engine;
@@ -40,6 +41,7 @@ pub mod fault;
 pub mod records;
 pub mod retry;
 pub mod snapshot;
+pub mod sync;
 pub mod vfs;
 pub mod wal;
 

@@ -13,8 +13,8 @@
 //! and the backoff jitter is a seeded xorshift — the same plan replays to the
 //! same delays, byte for byte.
 
+use crate::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,6 +40,7 @@ impl RealClock {
     /// A clock whose origin is "now".
     pub fn new() -> Self {
         RealClock {
+            #[allow(clippy::disallowed_methods)] // lint: allow(wall-clock) — this IS the injectable clock's real impl
             origin: Instant::now(),
         }
     }
@@ -56,6 +57,8 @@ impl RetryClock for RealClock {
         self.origin.elapsed().as_micros() as u64
     }
     fn sleep_micros(&self, micros: u64) {
+        #[allow(clippy::disallowed_methods)]
+        // lint: allow(wall-clock) — this IS the injectable clock's real impl
         std::thread::sleep(std::time::Duration::from_micros(micros));
     }
 }
@@ -75,12 +78,16 @@ impl ManualClock {
 
     /// Advance the clock by `micros` microseconds.
     pub fn advance(&self, micros: u64) {
+        // ordering: virtual time is a lone monotone counter — concurrent
+        // advances need only the RMW's atomicity, and readers tolerate any
+        // interleaving (a clock is inherently racy to read). Relaxed.
         self.now.fetch_add(micros, Ordering::Relaxed);
     }
 }
 
 impl RetryClock for ManualClock {
     fn now_micros(&self) -> u64 {
+        // ordering: see advance() — reading a clock is inherently racy.
         self.now.load(Ordering::Relaxed)
     }
     fn sleep_micros(&self, micros: u64) {
@@ -186,11 +193,17 @@ impl CircuitBreaker {
     /// May a call proceed at clock time `now_micros`? `false` means the
     /// breaker is open and the caller should fail fast.
     pub fn allows(&self, now_micros: u64) -> bool {
+        // ordering: self-contained u64 deadline — a caller racing a trip may
+        // be admitted once more, which this advisory overload valve tolerates
+        // by design (races model-checked in tests/interleavings.rs). Relaxed.
         now_micros >= self.open_until.load(Ordering::Relaxed)
     }
 
     /// Record a successful call: the breaker closes fully.
     pub fn record_success(&self) {
+        // ordering: both fields are independent self-contained values (see
+        // allows()); a racing observer sees each reset individually, and
+        // every reachable pairing is a coherent breaker state. Relaxed.
         self.consecutive.store(0, Ordering::Relaxed);
         self.open_until.store(0, Ordering::Relaxed);
     }
@@ -198,18 +211,22 @@ impl CircuitBreaker {
     /// Record a failed call (after its retries were exhausted); may open the
     /// breaker.
     pub fn record_failure(&self, now_micros: u64) {
+        // ordering: the RMW's atomicity alone makes the streak exact, so the
+        // threshold crossing is observed by exactly one failure; the stores
+        // it gates publish self-contained values (see allows()). Relaxed.
         let failures = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
         if self.threshold > 0 && failures >= self.threshold {
-            self.open_until.store(
-                now_micros.saturating_add(self.cooldown_micros),
-                Ordering::Relaxed,
-            );
+            let until = now_micros.saturating_add(self.cooldown_micros);
+            // ordering: publishes a self-contained deadline (see allows()). Relaxed.
+            self.open_until.store(until, Ordering::Relaxed);
+            // ordering: monotone stats counter; Relaxed.
             self.opened.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// How many times the breaker has opened since construction.
     pub fn times_opened(&self) -> u64 {
+        // ordering: advisory stats read; Relaxed.
         self.opened.load(Ordering::Relaxed)
     }
 }

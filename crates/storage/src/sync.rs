@@ -1,0 +1,15 @@
+//! Concurrency-primitive facade: `std` atomics in production, miniloom shims
+//! under the `miniloom` cargo feature.
+//!
+//! The [`CircuitBreaker`](crate::retry::CircuitBreaker) imports its atomics
+//! from here. With the feature **off** (every production build) this is a
+//! plain re-export of [`std::sync::atomic`]; with it **on** (the root test
+//! targets — see `tests/interleavings.rs`) every atomic operation becomes a
+//! `miniloom::model` yield point, so the breaker's trip/half-open/close
+//! protocol is exhaustively interleaved exactly as shipped.
+
+#[cfg(feature = "miniloom")]
+pub use miniloom::sync::atomic;
+
+#[cfg(not(feature = "miniloom"))]
+pub use std::sync::atomic;

@@ -1,0 +1,132 @@
+//! `cargo xtask lint` — run the workspace invariant linter (`cqads-lint`).
+//!
+//! ```text
+//! cargo xtask lint                  lint the workspace; exit 1 on violations
+//! cargo xtask lint -- <file>...     lint explicit files with EVERY rule
+//!                                   (fixture scope); exit 1 on violations
+//! cargo xtask lint -- --self-test   verify each golden fixture produces
+//!                                   exactly its //~ ERROR markers
+//! ```
+//!
+//! The rule catalogue, suppression syntax and path scoping live in the
+//! `cqads-lint` crate docs; ARCHITECTURE.md § "Static guarantees" explains
+//! what each rule protects.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: cargo xtask lint [--self-test | <file>...]");
+        return ExitCode::SUCCESS;
+    }
+    let root = workspace_root();
+    if args.iter().any(|a| a == "--self-test") {
+        return self_test(&root);
+    }
+    if !args.is_empty() {
+        return lint_files(&root, &args);
+    }
+    lint_tree(&root)
+}
+
+/// Default mode: walk the workspace, report every violation.
+fn lint_tree(root: &Path) -> ExitCode {
+    let violations = match cqads_lint::lint_workspace(root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!(
+            "lint: workspace clean ({} rules)",
+            cqads_lint::Rule::ALL.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Explicit-file mode: every rule applies, regardless of path (this is how
+/// the committed fixtures demonstrably fail).
+fn lint_files(root: &Path, files: &[String]) -> ExitCode {
+    let mut total = 0;
+    for file in files {
+        let path = root.join(file);
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for v in cqads_lint::lint_fixture(file, &source) {
+            println!("{v}");
+            total += 1;
+        }
+    }
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {total} violation(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Fixture verification: each golden file must produce exactly its markers.
+fn self_test(root: &Path) -> ExitCode {
+    let dir = root.join("crates/lint/fixtures");
+    let mut entries: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect(),
+        Err(e) => {
+            eprintln!("lint: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    let mut ok = true;
+    for path in entries {
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match cqads_lint::verify_fixture(&name, &source) {
+            Ok(n) => eprintln!("lint: fixture {name}: {n} expected violation(s) ✓"),
+            Err(diff) => {
+                eprint!("{diff}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

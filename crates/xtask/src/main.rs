@@ -21,6 +21,8 @@
 //! thresholds; `BENCH_GATE_SKIP_RUN=1` compares the reports already on disk without
 //! re-running the benches (useful for iterating on the gate itself).
 
+#![forbid(unsafe_code)]
+
 use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};

@@ -5,6 +5,8 @@
 //! through a single dependency. Downstream users should normally depend on the
 //! individual crates (`cqads`, `addb`, ...) instead.
 
+#![forbid(unsafe_code)]
+
 pub use addb;
 pub use cqads;
 pub use cqads_baselines as baselines;

@@ -1,0 +1,300 @@
+//! Exhaustive-interleaving model checks of the workspace's hand-rolled
+//! concurrency protocols, run with the vendored `miniloom` checker.
+//!
+//! These tests exercise the **production types** — not re-implementations:
+//! `cqads`/`cqads-storage` are built here with their `miniloom` cargo
+//! feature, which swaps their `sync` facade modules to miniloom's
+//! model-aware shims (plain `std` passthrough outside a model). Inside
+//! [`miniloom::model`] every atomic/mutex operation becomes a scheduler
+//! yield point and the checker runs the closure once per distinct thread
+//! schedule, so an assertion here holds for **every** interleaving of the
+//! protocol's shimmed operations (under sequential consistency — the
+//! per-site ordering-strength arguments live in the `// ordering:` comments
+//! that `cargo xtask lint` enforces).
+//!
+//! Three protocols are checked, matching ARCHITECTURE.md invariant #7:
+//!
+//! 1. [`SharedThreshold`] — the cross-worker WAND threshold's monotone
+//!    atomic max: no concurrent raise is ever lost, loads never regress.
+//! 2. [`CircuitBreaker`] — trip exactly-once under concurrent threshold
+//!    crossing, and the half-open probe race leaves only expected states.
+//! 3. [`AnswerCache`] — the generation-stamp fill/lookup protocol: a racing
+//!    stale filler can never mask a fresher entry, and a lookup at the
+//!    current stamp never returns a provably-stale answer.
+
+use cqads::cache::{AnswerCache, CacheKey, GenerationStamp};
+use cqads::partial::SharedThreshold;
+use cqads::pipeline::AnswerSet;
+use cqads_storage::retry::CircuitBreaker;
+use std::sync::{Arc, Mutex};
+
+/// Floor asserted on every three-thread model: all `3! = 6` serial orders
+/// exist, so exploring fewer means the checker degenerated and proves
+/// nothing about races.
+const MIN_SCHEDULES_3T: u64 = 6;
+
+/// Floor for the two-thread models: strictly more than the two serial
+/// orders, i.e. at least one genuinely interleaved schedule was explored.
+const MIN_SCHEDULES_2T: u64 = 3;
+
+// ---------------------------------------------------------------------------
+// SharedThreshold — monotone atomic max (crates/core/src/partial.rs)
+// ---------------------------------------------------------------------------
+
+/// Three threads race `raise`: under every schedule the final threshold is
+/// the true maximum — the CAS loop never loses a concurrent raise. (A blind
+/// `store` version fails this: a slow writer overwrites a larger value.)
+#[test]
+fn shared_threshold_concurrent_raises_never_lose_the_max() {
+    let report = miniloom::model(|| {
+        let threshold = Arc::new(SharedThreshold::new());
+        let handles: Vec<_> = [1.5_f64, 3.25, 2.0]
+            .into_iter()
+            .map(|score| {
+                let threshold = Arc::clone(&threshold);
+                miniloom::thread::spawn(move || threshold.raise(score))
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(
+            threshold.load(),
+            3.25,
+            "a concurrent raise was lost — monotone max violated"
+        );
+    });
+    assert!(report.schedules >= MIN_SCHEDULES_3T, "explored {report}");
+    println!("shared_threshold max: {report}");
+}
+
+/// Publish/read monotonicity under 3 threads (two publishers, one reader):
+/// a reader's consecutive loads never regress, in any schedule — the
+/// admissibility argument for pruning against a *stale* threshold depends
+/// on exactly this.
+#[test]
+fn shared_threshold_reads_are_monotone_under_racing_publishers() {
+    let report = miniloom::model(|| {
+        let threshold = Arc::new(SharedThreshold::new());
+        let publishers: Vec<_> = [2.0_f64, 4.0]
+            .into_iter()
+            .map(|score| {
+                let threshold = Arc::clone(&threshold);
+                miniloom::thread::spawn(move || threshold.raise(score))
+            })
+            .collect();
+        let reader = {
+            let threshold = Arc::clone(&threshold);
+            miniloom::thread::spawn(move || {
+                let first = threshold.load();
+                let second = threshold.load();
+                assert!(
+                    second >= first,
+                    "threshold regressed between reads: {first} -> {second}"
+                );
+                (first, second)
+            })
+        };
+        let (first, second) = reader.join().unwrap();
+        for publisher in publishers {
+            publisher.join().unwrap();
+        }
+        // Reads only ever observe published values (or the -inf start).
+        for observed in [first, second] {
+            assert!(
+                observed == f64::NEG_INFINITY || observed == 2.0 || observed == 4.0,
+                "impossible threshold observed: {observed}"
+            );
+        }
+        assert_eq!(threshold.load(), 4.0);
+    });
+    assert!(report.schedules >= MIN_SCHEDULES_3T, "explored {report}");
+    println!("shared_threshold monotone reads: {report}");
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker — trip / half-open / close races (crates/storage/src/retry.rs)
+// ---------------------------------------------------------------------------
+
+/// Two workers exhaust their retries concurrently with `threshold = 2`:
+/// the `fetch_add` RMW guarantees the streak reaches 2 in every schedule, so
+/// the breaker must end **open** — and exactly one worker observes the
+/// crossing (`times_opened == 1`), so trip side effects never double-fire.
+#[test]
+fn circuit_breaker_concurrent_failures_trip_exactly_once() {
+    let report = miniloom::model(|| {
+        let breaker = Arc::new(CircuitBreaker::new(2, 1_000));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let breaker = Arc::clone(&breaker);
+                miniloom::thread::spawn(move || breaker.record_failure(0))
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        assert!(
+            !breaker.allows(999),
+            "two concurrent failures at threshold 2 must leave the breaker open"
+        );
+        assert!(breaker.allows(1_000), "cooldown expiry half-opens");
+        assert_eq!(
+            breaker.times_opened(),
+            1,
+            "the threshold crossing must be observed by exactly one failure"
+        );
+    });
+    assert!(report.schedules >= MIN_SCHEDULES_2T, "explored {report}");
+    println!("circuit_breaker trip: {report}");
+}
+
+/// The half-open probe race: after a cooldown, a succeeding probe races a
+/// failing one (`threshold = 1`). Both final states are legitimate — which
+/// ever bookkeeping lands last wins — but every schedule must end in exactly
+/// one of the two *coherent* states: fully closed (streak reset) or re-opened
+/// for a full cooldown; and both outcomes must actually be reachable.
+#[test]
+fn circuit_breaker_half_open_probe_race_reaches_only_coherent_states() {
+    let outcomes = Arc::new(Mutex::new(std::collections::BTreeSet::new()));
+    let sink = Arc::clone(&outcomes);
+    let report = miniloom::model(move || {
+        let breaker = Arc::new(CircuitBreaker::new(1, 1_000));
+        // Trip once; the probe race happens after the cooldown at t=1000.
+        breaker.record_failure(0);
+        assert!(!breaker.allows(999));
+        assert!(breaker.allows(1_000), "half-open");
+
+        let success = {
+            let breaker = Arc::clone(&breaker);
+            miniloom::thread::spawn(move || breaker.record_success())
+        };
+        let failure = {
+            let breaker = Arc::clone(&breaker);
+            miniloom::thread::spawn(move || breaker.record_failure(1_000))
+        };
+        success.join().unwrap();
+        failure.join().unwrap();
+
+        let open_now = !breaker.allows(1_000);
+        let open_after_cooldown = !breaker.allows(2_000);
+        assert!(
+            !open_after_cooldown,
+            "no schedule may leave the breaker open past a full cooldown"
+        );
+        sink.lock().unwrap().insert(open_now);
+    });
+    let outcomes = outcomes.lock().unwrap();
+    assert!(
+        outcomes.contains(&true) && outcomes.contains(&false),
+        "both race winners must be reachable, saw {outcomes:?}"
+    );
+    assert!(report.schedules >= MIN_SCHEDULES_2T, "explored {report}");
+    println!("circuit_breaker half-open race: {report}");
+}
+
+// ---------------------------------------------------------------------------
+// AnswerCache — generation-stamp fill/lookup races (crates/core/src/cache.rs)
+// ---------------------------------------------------------------------------
+
+/// An [`AnswerSet`] distinguishable by its domain label (the answer payload
+/// plays no role in the stamp protocol).
+fn labeled_answer(label: &str) -> Arc<AnswerSet> {
+    Arc::new(AnswerSet {
+        domain: label.to_string(),
+        tagged: Default::default(),
+        interpretation: Default::default(),
+        sql: String::new(),
+        answers: Vec::new(),
+        exact_count: 0,
+        quality: Default::default(),
+        elapsed: std::time::Duration::ZERO,
+    })
+}
+
+/// The racing-fillers protocol: a slow filler holding a **stale** stamp races
+/// a fresh filler and a reader at the current stamp. In every schedule:
+///
+/// * the reader never receives the stale answer (stamp `covers` gates it),
+/// * after both fills, the fresh entry survives (a stale fill can't mask it).
+#[test]
+fn answer_cache_stale_filler_never_masks_or_serves() {
+    let report = miniloom::model(|| {
+        let cache = Arc::new(AnswerCache::new(4, 1));
+        let key = CacheKey::new("cars", "blue honda");
+        let stale_stamp = GenerationStamp::new(6, 0); // read before an insert
+        let fresh_stamp = GenerationStamp::new(7, 0); // read after it
+
+        let stale_filler = {
+            let (cache, key) = (Arc::clone(&cache), key.clone());
+            miniloom::thread::spawn(move || cache.fill(key, stale_stamp, labeled_answer("stale")))
+        };
+        let fresh_filler = {
+            let (cache, key) = (Arc::clone(&cache), key.clone());
+            miniloom::thread::spawn(move || cache.fill(key, fresh_stamp, labeled_answer("fresh")))
+        };
+        let reader = {
+            let (cache, key) = (Arc::clone(&cache), key.clone());
+            miniloom::thread::spawn(move || cache.lookup(&key, fresh_stamp))
+        };
+
+        if let Some(hit) = reader.join().unwrap() {
+            assert_eq!(
+                hit.domain, "fresh",
+                "a lookup at the current stamp served a provably-stale answer"
+            );
+        }
+        stale_filler.join().unwrap();
+        fresh_filler.join().unwrap();
+
+        // Whatever the interleaving, the surviving entry must be the fresh
+        // one: fill only overwrites when the incoming stamp covers the
+        // resident one, and lookup evicts anything the current stamp beats.
+        let resident = cache
+            .lookup(&key, fresh_stamp)
+            .expect("the fresh fill must survive every race");
+        assert_eq!(resident.domain, "fresh");
+    });
+    assert!(report.schedules >= MIN_SCHEDULES_3T, "explored {report}");
+    println!("answer_cache stamp race: {report}");
+}
+
+/// Lookup-evicts-stale racing a stale re-fill: even when the stale filler
+/// lands *after* the eviction, a reader at the current stamp still never
+/// sees it — and the stale entry cannot permanently occupy the key (a fresh
+/// fill afterwards always wins).
+#[test]
+fn answer_cache_eviction_and_stale_refill_race_stays_conservative() {
+    let report = miniloom::model(|| {
+        let cache = Arc::new(AnswerCache::new(4, 1));
+        let key = CacheKey::new("cars", "blue honda");
+        let stale_stamp = GenerationStamp::new(1, 0);
+        let fresh_stamp = GenerationStamp::new(2, 0);
+        cache.fill(key.clone(), stale_stamp, labeled_answer("stale"));
+
+        let evicting_reader = {
+            let (cache, key) = (Arc::clone(&cache), key.clone());
+            miniloom::thread::spawn(move || cache.lookup(&key, fresh_stamp))
+        };
+        let stale_refiller = {
+            let (cache, key) = (Arc::clone(&cache), key.clone());
+            miniloom::thread::spawn(move || cache.fill(key, stale_stamp, labeled_answer("stale")))
+        };
+        assert!(
+            evicting_reader.join().unwrap().is_none(),
+            "a stale entry must never satisfy a current-stamp lookup"
+        );
+        stale_refiller.join().unwrap();
+
+        // The stale re-fill may legitimately re-occupy the key, but it can
+        // never be *served* at the current stamp, and a fresh fill displaces
+        // it in every schedule.
+        assert!(cache.lookup(&key, fresh_stamp).is_none());
+        cache.fill(key.clone(), fresh_stamp, labeled_answer("fresh"));
+        let resident = cache
+            .lookup(&key, fresh_stamp)
+            .expect("fresh fill must land");
+        assert_eq!(resident.domain, "fresh");
+    });
+    assert!(report.schedules >= MIN_SCHEDULES_2T, "explored {report}");
+    println!("answer_cache eviction race: {report}");
+}

@@ -7,6 +7,9 @@
 //! reporting on top. `--test` on the command line (the mode CI smoke-runs) executes
 //! every bench body exactly once without timing.
 
+// This target measures real wall time by design.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.

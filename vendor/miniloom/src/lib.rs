@@ -1,0 +1,78 @@
+//! # miniloom — a vendored, minimal exhaustive-interleaving model checker
+//!
+//! A small, offline stand-in for [`loom`](https://docs.rs/loom) used by
+//! `tests/interleavings.rs` to model-check the workspace's hand-rolled
+//! concurrency protocols (`SharedThreshold`, `CircuitBreaker`, the
+//! `AnswerCache` generation-stamp fill/lookup race).
+//!
+//! # What it checks
+//!
+//! [`model`] runs a closure over and over, once per distinct **thread
+//! schedule**. Inside the closure, threads spawned with
+//! [`thread::spawn`] and every operation on the shimmed
+//! primitives ([`sync::atomic`], [`sync::Mutex`]) become *yield points*: the
+//! scheduler serializes the whole execution and, at each yield point, chooses
+//! which runnable thread performs its next operation. A depth-first search
+//! over those choices enumerates **every interleaving** of the shimmed
+//! operations (optionally bounded — see [`Builder::preemption_bound`]). Any
+//! panic in any schedule is reported with the schedule that produced it, and
+//! a schedule in which every unfinished thread is blocked panics with a
+//! deadlock report.
+//!
+//! # What it does *not* check
+//!
+//! The exploration runs under **sequential consistency**: the `Ordering`
+//! argument of the shimmed atomics is accepted (so production code compiles
+//! unchanged) but every modeled operation is executed `SeqCst`. miniloom
+//! therefore proves/refutes *interleaving* (atomicity, lost-update,
+//! race-ordering, deadlock) properties, not weak-memory reordering ones —
+//! that is exactly the class of property the repo's protocols claim (monotone
+//! maxima, latching flags, stamp dominance), and the remaining
+//! ordering-strength arguments are carried by the `// ordering:` comments the
+//! `cqads-lint` rule enforces at every `Ordering::*` site. Like loom,
+//! `compare_exchange_weak` is modeled without spurious failures.
+//!
+//! # Outside a model
+//!
+//! Every shim **passes straight through to `std`** (same orderings, same
+//! poisoning-recovery behaviour, `#[inline]` delegation) when used outside
+//! [`model`]. That lets production types route their atomics through a
+//! `sync` facade module that re-exports these shims under a test-only cargo
+//! feature: the code that runs in the model is byte-for-byte the code that
+//! ships.
+//!
+//! ```
+//! use miniloom::sync::atomic::{AtomicU64, Ordering};
+//! use std::sync::Arc;
+//!
+//! // Two racing fetch_adds can never lose an update, in any schedule.
+//! let report = miniloom::model(|| {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = miniloom::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! });
+//! assert!(report.schedules >= 2, "both orders of the two RMWs explored");
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod scheduler;
+pub mod sync;
+pub mod thread;
+
+pub use scheduler::{Builder, Report};
+
+/// Exhaustively explore every interleaving of the shimmed operations in `f`,
+/// panicking (with the offending schedule) if any execution panics or
+/// deadlocks. Equivalent to [`Builder::default()`]`.check(f)`.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

@@ -1,0 +1,504 @@
+//! The cooperative scheduler and its depth-first schedule exploration.
+//!
+//! One **execution** runs the model closure with every model thread mapped
+//! onto a real OS thread that *parks itself* at each yield point (every
+//! shimmed atomic/mutex operation). A scheduling decision is taken only when
+//! no thread is running — i.e. every live thread is parked at a yield point
+//! or blocked — so the execution is fully serialized and deterministic for a
+//! given decision sequence, regardless of how the OS schedules the carrier
+//! threads.
+//!
+//! Exploration is a classic DFS over the decision tree: each execution
+//! follows the recorded decision prefix, extends it greedily (always picking
+//! the lowest runnable thread id at a fresh decision), and on completion the
+//! deepest decision with an untried alternative is advanced and everything
+//! after it discarded. The search terminates when the root decision has no
+//! untried alternative left.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Executing code between yield points; no decision may be taken.
+    Running,
+    /// Parked at a yield point, waiting to be granted a step.
+    Parked,
+    /// Waiting for a mutex (identified by address) to be released.
+    BlockedOnMutex(usize),
+    /// Waiting for another model thread to finish.
+    BlockedOnJoin(usize),
+    /// The thread's closure returned.
+    Finished,
+}
+
+/// One explored decision: which of the runnable threads was stepped.
+#[derive(Debug, Clone)]
+struct Decision {
+    /// Thread ids that were runnable at this point, ascending.
+    runnable: Vec<usize>,
+    /// Index into `runnable` of the thread that was stepped.
+    index: usize,
+}
+
+/// Mutable scheduler state, shared by every carrier thread of one execution.
+#[derive(Debug, Default)]
+struct SchedState {
+    threads: Vec<Status>,
+    /// Decision prefix being replayed/extended this execution.
+    path: Vec<Decision>,
+    /// Next decision index to consume.
+    cursor: usize,
+    /// First panic observed in any model thread (message), if any.
+    panicked: Option<String>,
+    /// Becomes true when every registered thread has finished.
+    done: bool,
+}
+
+impl SchedState {
+    fn live_unfinished(&self) -> bool {
+        self.threads.iter().any(|t| *t != Status::Finished)
+    }
+
+    /// Take a scheduling decision if no thread is running. Returns the woken
+    /// thread id (for bookkeeping); `None` when a thread is still running,
+    /// when everything is finished, or when the model deadlocked/panicked.
+    fn maybe_schedule(&mut self, preemption_bound: Option<u32>) -> Option<usize> {
+        if self.panicked.is_some() {
+            return None;
+        }
+        if self.threads.contains(&Status::Running) {
+            return None;
+        }
+        if !self.live_unfinished() {
+            self.done = true;
+            return None;
+        }
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == Status::Parked)
+            .map(|(id, _)| id)
+            .collect();
+        if runnable.is_empty() {
+            // Every unfinished thread is blocked: deadlock.
+            self.panicked = Some(format!(
+                "miniloom: deadlock — no runnable thread (threads: {:?}, schedule: {:?})",
+                self.threads,
+                self.chosen_prefix()
+            ));
+            return None;
+        }
+        let index = if self.cursor < self.path.len() {
+            let decision = &self.path[self.cursor];
+            if decision.runnable != runnable {
+                self.panicked = Some(format!(
+                    "miniloom: non-deterministic model — replaying decision {} expected \
+                     runnable set {:?} but found {:?}; model closures must be deterministic \
+                     apart from scheduling (no wall clocks, no ambient randomness)",
+                    self.cursor, decision.runnable, runnable
+                ));
+                return None;
+            }
+            decision.index
+        } else {
+            // Fresh decision: continue the previously-stepped thread when a
+            // preemption bound is active and already spent, else take the
+            // lowest runnable id. The alternatives are visited by `advance`.
+            let index = match preemption_bound {
+                Some(bound) if self.preemptions_of_prefix(self.cursor) >= bound => {
+                    self.forced_continuation(&runnable).unwrap_or(0)
+                }
+                _ => 0,
+            };
+            self.path.push(Decision {
+                runnable: runnable.clone(),
+                index,
+            });
+            index
+        };
+        self.cursor += 1;
+        let chosen = runnable[index];
+        self.threads[chosen] = Status::Running;
+        Some(chosen)
+    }
+
+    /// Thread ids actually chosen along the explored prefix (for reports).
+    fn chosen_prefix(&self) -> Vec<usize> {
+        self.path
+            .iter()
+            .take(self.cursor)
+            .map(|d| d.runnable[d.index])
+            .collect()
+    }
+
+    /// Number of preemptions in the first `len` decisions of the path: a
+    /// preemption is a decision that steps a different thread while the
+    /// previously-stepped thread was still runnable.
+    fn preemptions_of_prefix(&self, len: usize) -> u32 {
+        let mut preemptions = 0;
+        let mut previous: Option<usize> = None;
+        for decision in self.path.iter().take(len) {
+            let chosen = decision.runnable[decision.index];
+            if let Some(prev) = previous {
+                if prev != chosen && decision.runnable.contains(&prev) {
+                    preemptions += 1;
+                }
+            }
+            previous = Some(chosen);
+        }
+        preemptions
+    }
+
+    /// Index (into `runnable`) of the previously-stepped thread, when it is
+    /// still runnable — the only bound-free continuation.
+    fn forced_continuation(&self, runnable: &[usize]) -> Option<usize> {
+        let last = self.cursor.checked_sub(1)?;
+        let decision = self.path.get(last)?;
+        let prev = decision.runnable[decision.index];
+        runnable.iter().position(|id| *id == prev)
+    }
+}
+
+/// The shared scheduler of one [`Builder::check`] call.
+#[derive(Debug)]
+pub(crate) struct Controller {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    preemption_bound: Option<u32>,
+}
+
+/// Carrier threads recover the state lock on a peer's panic: the state is a
+/// plain table that is never left half-updated across an `await`-less
+/// critical section, and the first panic is already recorded for the report.
+fn lock_state(controller: &Controller) -> std::sync::MutexGuard<'_, SchedState> {
+    controller
+        .state
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Controller {
+    fn new(preemption_bound: Option<u32>) -> Self {
+        Controller {
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+            preemption_bound,
+        }
+    }
+
+    /// Register a new model thread (starts Running); returns its id.
+    pub(crate) fn register(&self) -> usize {
+        let mut state = lock_state(self);
+        state.threads.push(Status::Running);
+        state.threads.len() - 1
+    }
+
+    /// Park `me` at a yield point and wait to be stepped again.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut state = lock_state(self);
+        state.threads[me] = Status::Parked;
+        state.maybe_schedule(self.preemption_bound);
+        self.cv.notify_all();
+        while state.threads[me] != Status::Running {
+            if state.panicked.is_some() {
+                drop(state);
+                panic!("miniloom: model aborted (another thread panicked)");
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block `me` until the mutex identified by `addr` is released, then
+    /// wait to be stepped. The caller retries its `try_lock` afterwards.
+    pub(crate) fn block_on_mutex(&self, me: usize, addr: usize) {
+        let mut state = lock_state(self);
+        state.threads[me] = Status::BlockedOnMutex(addr);
+        state.maybe_schedule(self.preemption_bound);
+        self.cv.notify_all();
+        while state.threads[me] != Status::Running {
+            if state.panicked.is_some() {
+                drop(state);
+                panic!("miniloom: model aborted (another thread panicked)");
+            }
+            state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A mutex guard dropped: every thread blocked on `addr` becomes
+    /// runnable again (they re-attempt the lock when stepped).
+    pub(crate) fn mutex_released(&self, addr: usize) {
+        let mut state = lock_state(self);
+        for status in state.threads.iter_mut() {
+            if *status == Status::BlockedOnMutex(addr) {
+                *status = Status::Parked;
+            }
+        }
+        // The releasing thread is still Running; no decision is due yet.
+        self.cv.notify_all();
+    }
+
+    /// Block `me` until model thread `target` finishes, then wait to be
+    /// stepped again.
+    pub(crate) fn join(&self, me: usize, target: usize) {
+        let mut state = lock_state(self);
+        if state.threads[target] != Status::Finished {
+            state.threads[me] = Status::BlockedOnJoin(target);
+            state.maybe_schedule(self.preemption_bound);
+            self.cv.notify_all();
+            while state.threads[me] != Status::Running {
+                if state.panicked.is_some() {
+                    drop(state);
+                    panic!("miniloom: model aborted (another thread panicked)");
+                }
+                state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Mark `me` finished and wake joiners.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut state = lock_state(self);
+        state.threads[me] = Status::Finished;
+        for status in state.threads.iter_mut() {
+            if *status == Status::BlockedOnJoin(me) {
+                *status = Status::Parked;
+            }
+        }
+        state.maybe_schedule(self.preemption_bound);
+        self.cv.notify_all();
+    }
+
+    /// Record the first panic of a model thread and wake everyone so the
+    /// execution can unwind.
+    pub(crate) fn thread_panicked(&self, me: usize, message: String) {
+        let mut state = lock_state(self);
+        state.threads[me] = Status::Finished;
+        if state.panicked.is_none() {
+            state.panicked = Some(format!(
+                "miniloom: model thread {me} panicked under schedule {:?}: {message}",
+                state.chosen_prefix()
+            ));
+        }
+        // Unblock everything: parked/blocked threads observe `panicked` and
+        // unwind; the runner observes it and reports.
+        for status in state.threads.iter_mut() {
+            if *status != Status::Finished {
+                *status = Status::Parked;
+            }
+        }
+        state.done = true;
+        self.cv.notify_all();
+    }
+}
+
+thread_local! {
+    /// The controller + thread id of the current carrier thread, when it is
+    /// executing inside a model.
+    static CONTEXT: RefCell<Option<(Arc<Controller>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The current model context, if any. Shims call this to decide between the
+/// scheduled path and the `std` passthrough.
+pub(crate) fn current() -> Option<(Arc<Controller>, usize)> {
+    CONTEXT.with(|ctx| ctx.borrow().clone())
+}
+
+/// Install the model context for the duration of `f` (carrier-thread body).
+pub(crate) fn with_context<R>(controller: Arc<Controller>, id: usize, f: impl FnOnce() -> R) -> R {
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = Some((controller, id)));
+    // The carrier thread is dedicated to this model thread and exits right
+    // after `f`; clearing the slot on unwind is handled by thread exit.
+    let result = f();
+    CONTEXT.with(|ctx| *ctx.borrow_mut() = None);
+    result
+}
+
+/// Exploration statistics returned by [`model`](crate::model) /
+/// [`Builder::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Report {
+    /// Distinct schedules (executions) explored.
+    pub schedules: u64,
+    /// Total scheduling decisions taken across all executions.
+    pub decisions: u64,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedules explored ({} decisions)",
+            self.schedules, self.decisions
+        )
+    }
+}
+
+/// Configures a model-checking run. The default explores **exhaustively**.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Abort (panic) if more than this many schedules would be explored —
+    /// a guard rail that keeps accidental state-space blowups from hanging
+    /// the test suite. Defaults to `1_000_000`.
+    pub max_schedules: u64,
+    /// When `Some(n)`, only explore schedules with at most `n` preemptions
+    /// (context switches away from a still-runnable thread). `None` (the
+    /// default) explores every schedule.
+    pub preemption_bound: Option<u32>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_schedules: 1_000_000,
+            preemption_bound: None,
+        }
+    }
+}
+
+impl Builder {
+    /// Explore `f` under every (bounded) schedule; panic on any panic or
+    /// deadlock in any execution, re-raising the first one observed.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut path: Vec<Decision> = Vec::new();
+        let mut report = Report {
+            schedules: 0,
+            decisions: 0,
+        };
+        loop {
+            if report.schedules >= self.max_schedules {
+                panic!(
+                    "miniloom: exceeded max_schedules = {} — shrink the model \
+                     (fewer threads/operations) or set a preemption_bound",
+                    self.max_schedules
+                );
+            }
+            let controller = Arc::new(Controller::new(self.preemption_bound));
+            {
+                let mut state = lock_state(&controller);
+                state.path = std::mem::take(&mut path);
+            }
+            let explored = run_one(&controller, Arc::clone(&f));
+            report.schedules += 1;
+            report.decisions += explored.len() as u64;
+            if let Some(message) = {
+                let state = lock_state(&controller);
+                state.panicked.clone()
+            } {
+                panic!("{message}\n(after {} schedules)", report.schedules);
+            }
+            path = explored;
+            if !advance(&mut path, self.preemption_bound) {
+                return report;
+            }
+        }
+    }
+}
+
+/// Run one execution of the model under `controller`, returning the explored
+/// decision path.
+fn run_one(controller: &Arc<Controller>, f: Arc<dyn Fn() + Send + Sync>) -> Vec<Decision> {
+    let id = controller.register();
+    debug_assert_eq!(id, 0, "fresh controller starts with thread 0");
+    let carrier = {
+        let controller = Arc::clone(controller);
+        std::thread::Builder::new()
+            .name("miniloom-0".into())
+            .spawn(move || {
+                let sentinel = PanicSentinel {
+                    controller: Arc::clone(&controller),
+                    id,
+                };
+                with_context(Arc::clone(&controller), id, || f());
+                sentinel.disarm_and_finish();
+            })
+            .expect("miniloom: failed to spawn carrier thread")
+    };
+    // Wait until every model thread has finished (or the model panicked).
+    {
+        let mut state = lock_state(controller);
+        while !state.done {
+            state = controller
+                .cv
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let _ = carrier.join();
+    let state = lock_state(controller);
+    state.path.clone()
+}
+
+/// Reports a carrier thread's panic to the controller from `Drop`, so model
+/// panics abort the whole execution instead of hanging the scheduler. No
+/// `catch_unwind` needed (and none allowed under `forbid(unsafe_code)`'s
+/// spirit of simplicity): the sentinel is disarmed on the normal path.
+pub(crate) struct PanicSentinel {
+    pub(crate) controller: Arc<Controller>,
+    pub(crate) id: usize,
+}
+
+impl PanicSentinel {
+    pub(crate) fn disarm_and_finish(self) {
+        self.controller.finish(self.id);
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for PanicSentinel {
+    fn drop(&mut self) {
+        // Only reached when the model thread is unwinding.
+        let message = if std::thread::panicking() {
+            "panic in model thread (see stderr for the original message)".to_string()
+        } else {
+            "model thread exited without disarming its sentinel".to_string()
+        };
+        self.controller.thread_panicked(self.id, message);
+    }
+}
+
+/// Advance `path` to the next unexplored schedule (DFS backtrack). Returns
+/// false when the whole (bounded) tree has been explored.
+fn advance(path: &mut Vec<Decision>, preemption_bound: Option<u32>) -> bool {
+    while let Some(last) = path.pop() {
+        for index in (last.index + 1)..last.runnable.len() {
+            let candidate = Decision {
+                runnable: last.runnable.clone(),
+                index,
+            };
+            path.push(candidate);
+            match preemption_bound {
+                Some(bound) if prefix_preemptions(path) > bound => {
+                    path.pop();
+                    continue;
+                }
+                _ => return true,
+            }
+        }
+    }
+    false
+}
+
+/// Preemption count of a complete candidate prefix (see
+/// [`SchedState::preemptions_of_prefix`]).
+fn prefix_preemptions(path: &[Decision]) -> u32 {
+    let mut preemptions = 0;
+    let mut previous: Option<usize> = None;
+    for decision in path {
+        let chosen = decision.runnable[decision.index];
+        if let Some(prev) = previous {
+            if prev != chosen && decision.runnable.contains(&prev) {
+                preemptions += 1;
+            }
+        }
+        previous = Some(chosen);
+    }
+    preemptions
+}

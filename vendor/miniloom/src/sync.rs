@@ -1,0 +1,344 @@
+//! Shimmed synchronization primitives: model-aware atomics and a mutex.
+//!
+//! Inside a [`model`](crate::model) every operation is a scheduler yield
+//! point executed under sequential consistency; outside, every operation is
+//! an `#[inline]` passthrough to the `std` primitive with the caller's
+//! orderings, so production code routed through these types pays nothing and
+//! behaves identically.
+
+use crate::scheduler;
+
+/// Model-aware atomics mirroring `std::sync::atomic`.
+pub mod atomic {
+    use crate::scheduler;
+    pub use std::sync::atomic::Ordering;
+
+    /// Park at a scheduler yield point when executing inside a model.
+    #[inline]
+    fn maybe_yield() {
+        if let Some((controller, id)) = scheduler::current() {
+            controller.yield_point(id);
+        }
+    }
+
+    /// True when the calling thread is executing inside a model (each modeled
+    /// operation then runs `SeqCst` — see the crate docs).
+    #[inline]
+    fn modeled() -> bool {
+        scheduler::current().is_some()
+    }
+
+    #[inline]
+    fn upgrade(order: Ordering) -> Ordering {
+        if modeled() {
+            Ordering::SeqCst
+        } else {
+            order
+        }
+    }
+
+    /// Upgrade a compare-exchange ordering pair, keeping the failure ordering
+    /// legal (`SeqCst`/`SeqCst` is always a valid pair).
+    #[inline]
+    fn upgrade_pair(success: Ordering, failure: Ordering) -> (Ordering, Ordering) {
+        if modeled() {
+            (Ordering::SeqCst, Ordering::SeqCst)
+        } else {
+            (success, failure)
+        }
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $value:ty) => {
+            /// Model-aware shim of the std atomic of the same name. Every
+            /// operation is a scheduler yield point inside a model and an
+            /// `#[inline]` passthrough outside one.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Shim of the std constructor (usable in constants).
+                pub const fn new(value: $value) -> Self {
+                    $name {
+                        inner: <$std>::new(value),
+                    }
+                }
+
+                /// Shim of `load`.
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.load(upgrade(order))
+                }
+
+                /// Shim of `store`.
+                #[inline]
+                pub fn store(&self, value: $value, order: Ordering) {
+                    maybe_yield();
+                    self.inner.store(value, upgrade(order))
+                }
+
+                /// Shim of `swap`.
+                #[inline]
+                pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.swap(value, upgrade(order))
+                }
+
+                /// Shim of `compare_exchange` (one atomic step in a model).
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    maybe_yield();
+                    let (success, failure) = upgrade_pair(success, failure);
+                    self.inner.compare_exchange(current, new, success, failure)
+                }
+
+                /// Shim of `compare_exchange_weak`. Modeled without spurious
+                /// failures (like loom): in a model this is the strong form.
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $value,
+                    new: $value,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$value, $value> {
+                    if modeled() {
+                        self.compare_exchange(current, new, success, failure)
+                    } else {
+                        self.inner
+                            .compare_exchange_weak(current, new, success, failure)
+                    }
+                }
+
+                /// Shim of `fetch_update`. In a model this is honest about its
+                /// non-atomicity: the load and each compare-exchange attempt
+                /// are separate yield points, exactly like the std
+                /// implementation's load + CAS loop interleaves for real.
+                #[inline]
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    mut f: F,
+                ) -> Result<$value, $value>
+                where
+                    F: FnMut($value) -> Option<$value>,
+                {
+                    if modeled() {
+                        let mut current = self.load(fetch_order);
+                        loop {
+                            let Some(new) = f(current) else {
+                                return Err(current);
+                            };
+                            match self.compare_exchange(current, new, set_order, fetch_order) {
+                                Ok(previous) => return Ok(previous),
+                                Err(changed) => current = changed,
+                            }
+                        }
+                    } else {
+                        self.inner.fetch_update(set_order, fetch_order, f)
+                    }
+                }
+
+                /// Consume the shim, returning the contained value.
+                #[inline]
+                pub fn into_inner(self) -> $value {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! shim_atomic_arith {
+        ($name:ident, $value:ty) => {
+            impl $name {
+                /// Shim of `fetch_add`.
+                #[inline]
+                pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_add(value, upgrade(order))
+                }
+
+                /// Shim of `fetch_sub`.
+                #[inline]
+                pub fn fetch_sub(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_sub(value, upgrade(order))
+                }
+
+                /// Shim of `fetch_max`.
+                #[inline]
+                pub fn fetch_max(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_max(value, upgrade(order))
+                }
+
+                /// Shim of `fetch_min`.
+                #[inline]
+                pub fn fetch_min(&self, value: $value, order: Ordering) -> $value {
+                    maybe_yield();
+                    self.inner.fetch_min(value, upgrade(order))
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    shim_atomic_arith!(AtomicU32, u32);
+    shim_atomic_arith!(AtomicU64, u64);
+    shim_atomic_arith!(AtomicUsize, usize);
+
+    impl AtomicBool {
+        /// Shim of `fetch_or`.
+        #[inline]
+        pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+            maybe_yield();
+            self.inner.fetch_or(value, upgrade(order))
+        }
+
+        /// Shim of `fetch_and`.
+        #[inline]
+        pub fn fetch_and(&self, value: bool, order: Ordering) -> bool {
+            maybe_yield();
+            self.inner.fetch_and(value, upgrade(order))
+        }
+    }
+}
+
+/// A model-aware mutex with **poison-recovering** locking.
+///
+/// `lock` returns the guard directly instead of a `LockResult`: a poisoned
+/// inner mutex is recovered via [`std::sync::PoisonError::into_inner`]. The
+/// workspace uses this deliberately — every critical section protected by
+/// these mutexes leaves its data structurally consistent at every await-free
+/// point, so a panicked peer must degrade that one operation, not wedge every
+/// future access (a cache shard poisoned by one panicking filler would
+/// otherwise take down serving for good).
+///
+/// Inside a model, `lock` is a yield point and contention parks the thread
+/// until the holder's guard drops, so lock-ordering deadlocks are detected
+/// and reported with the schedule that produced them.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]. Dropping it unblocks model
+/// threads parked on the same mutex.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    /// `Option` only so `Drop` can release the std guard *before* notifying
+    /// the scheduler (a woken thread must be able to win the lock).
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// Set only inside a model: the mutex identity to notify on release.
+    released: Option<usize>,
+}
+
+impl<T> Mutex<T> {
+    /// Shim of the std constructor.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// The mutex identity used by the scheduler's blocked-thread bookkeeping.
+    /// Stable for the lifetime of the mutex (its address).
+    fn addr(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Acquire the lock (poison-recovering; see the type docs). Inside a
+    /// model this is a yield point and may park the thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some((controller, id)) = scheduler::current() {
+            controller.yield_point(id);
+            loop {
+                match self.inner.try_lock() {
+                    Ok(guard) => {
+                        return MutexGuard {
+                            inner: Some(guard),
+                            released: Some(self.addr()),
+                        }
+                    }
+                    Err(std::sync::TryLockError::Poisoned(poisoned)) => {
+                        return MutexGuard {
+                            inner: Some(poisoned.into_inner()),
+                            released: Some(self.addr()),
+                        }
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        controller.block_on_mutex(id, self.addr());
+                    }
+                }
+            }
+        } else {
+            MutexGuard {
+                inner: Some(
+                    self.inner
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                ),
+                released: None,
+            }
+        }
+    }
+
+    /// Consume the mutex, returning the protected value (poison-recovering).
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutable access without locking (requires exclusive ownership;
+    /// poison-recovering).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner
+            .as_deref()
+            .expect("guard accessed after release (unreachable before drop)")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard accessed after release (unreachable before drop)")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the std lock *first*, then wake parked model threads: a
+        // thread woken before the release would spuriously re-block.
+        drop(self.inner.take());
+        if let Some(addr) = self.released {
+            if let Some((controller, _)) = scheduler::current() {
+                controller.mutex_released(addr);
+            }
+        }
+    }
+}

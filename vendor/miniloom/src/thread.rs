@@ -1,0 +1,64 @@
+//! Model-aware `thread::spawn`/`JoinHandle` shims.
+//!
+//! Inside a [`model`](crate::model), spawning registers a new model thread
+//! with the scheduler and runs it on a dedicated carrier thread that parks at
+//! every shimmed operation; `join` blocks the joining model thread until the
+//! target finishes (a scheduler-visible blocking edge, so join cycles are
+//! reported as deadlocks). Outside a model both delegate to `std::thread`.
+
+use crate::scheduler::{self, PanicSentinel};
+use std::sync::Arc;
+
+/// Handle to a spawned (model or plain) thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    /// Model thread id when spawned inside a model.
+    model_id: Option<usize>,
+}
+
+/// Spawn a thread. Inside a model the child is scheduler-controlled; outside
+/// it is a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((controller, _me)) = scheduler::current() {
+        let id = controller.register();
+        let carrier_controller = Arc::clone(&controller);
+        let inner = std::thread::Builder::new()
+            .name(format!("miniloom-{id}"))
+            .spawn(move || {
+                let sentinel = PanicSentinel {
+                    controller: Arc::clone(&carrier_controller),
+                    id,
+                };
+                let result = scheduler::with_context(carrier_controller, id, f);
+                sentinel.disarm_and_finish();
+                result
+            })
+            .expect("miniloom: failed to spawn carrier thread");
+        JoinHandle {
+            inner,
+            model_id: Some(id),
+        }
+    } else {
+        JoinHandle {
+            inner: std::thread::spawn(f),
+            model_id: None,
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its result. Inside a model
+    /// this blocks the *model* thread via the scheduler first, so the wait
+    /// participates in deadlock detection; the underlying OS join then
+    /// completes immediately.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let (Some(target), Some((controller, me))) = (self.model_id, scheduler::current()) {
+            controller.join(me, target);
+        }
+        self.inner.join()
+    }
+}

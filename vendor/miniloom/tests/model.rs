@@ -1,0 +1,210 @@
+//! Self-tests of the miniloom checker: it must *find* the classic bugs
+//! (lost updates, ordering-dependent outcomes, deadlocks) and must *clear*
+//! the correct protocols, exploring every schedule of small models.
+
+use miniloom::sync::atomic::{AtomicU64, Ordering};
+use miniloom::sync::Mutex;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Two atomic RMW increments never lose an update, under every schedule.
+#[test]
+fn atomic_fetch_add_never_loses_updates() {
+    let report = miniloom::model(|| {
+        let counter = Arc::new(AtomicU64::new(0));
+        let other = Arc::clone(&counter);
+        let t = miniloom::thread::spawn(move || {
+            other.fetch_add(1, Ordering::Relaxed);
+        });
+        counter.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    // Two single-op threads (plus the join/load tail) have at least both
+    // relative orders of the RMWs; exploring only one would prove nothing.
+    assert!(report.schedules >= 2, "explored {report}");
+}
+
+/// A non-atomic load-then-store increment *does* lose updates — the checker
+/// must reach the interleaving where the final count is 1 (and also the one
+/// where it is 2).
+#[test]
+fn checker_finds_the_lost_update_interleaving() {
+    let outcomes = Arc::new(std::sync::Mutex::new(BTreeSet::new()));
+    let sink = Arc::clone(&outcomes);
+    miniloom::model(move || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let other = Arc::clone(&counter);
+        let t = miniloom::thread::spawn(move || {
+            let read = other.load(Ordering::SeqCst);
+            other.store(read + 1, Ordering::SeqCst);
+        });
+        let read = counter.load(Ordering::SeqCst);
+        counter.store(read + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        sink.lock().unwrap().insert(counter.load(Ordering::SeqCst));
+    });
+    assert_eq!(
+        *outcomes.lock().unwrap(),
+        BTreeSet::from([1, 2]),
+        "exhaustive exploration must reach both the lost-update and the clean outcome"
+    );
+}
+
+/// Mutexed read-modify-write is exclusive: no schedule loses an update.
+#[test]
+fn mutex_serializes_critical_sections() {
+    let report = miniloom::model(|| {
+        let counter = Arc::new(Mutex::new(0_u64));
+        let other = Arc::clone(&counter);
+        let t = miniloom::thread::spawn(move || {
+            let mut guard = other.lock();
+            *guard += 1;
+        });
+        {
+            let mut guard = counter.lock();
+            *guard += 1;
+        }
+        t.join().unwrap();
+        assert_eq!(*counter.lock(), 2);
+    });
+    assert!(report.schedules >= 2, "explored {report}");
+}
+
+/// AB–BA lock ordering deadlocks in some schedule; the checker must report
+/// it (as a panic naming the deadlock) rather than hang.
+#[test]
+fn checker_reports_lock_order_deadlock() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        miniloom::model(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = miniloom::thread::spawn(move || {
+                let _b = b2.lock();
+                let _a = a2.lock();
+            });
+            let _a = a.lock();
+            let _b = b.lock();
+            drop(_b);
+            drop(_a);
+            t.join().unwrap();
+        });
+    }));
+    let message = match result {
+        Ok(_) => panic!("deadlock went undetected"),
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default(),
+    };
+    assert!(
+        message.contains("deadlock"),
+        "panic should name the deadlock, got: {message}"
+    );
+}
+
+/// An assertion that only fails under one specific interleaving is found,
+/// and the report names a schedule.
+#[test]
+fn checker_finds_single_schedule_assertion_failures() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        miniloom::model(|| {
+            let flag = Arc::new(AtomicU64::new(0));
+            let flag2 = Arc::clone(&flag);
+            let t = miniloom::thread::spawn(move || {
+                flag2.store(1, Ordering::SeqCst);
+            });
+            // Bug under exactly one schedule: the child store may land first.
+            assert_eq!(flag.load(Ordering::SeqCst), 0, "intentional model bug");
+            t.join().unwrap();
+        });
+    }));
+    assert!(result.is_err(), "the buggy interleaving must be reached");
+}
+
+/// Exhaustive exploration enumerates exactly the multiset permutations of
+/// independent single-op threads: 3 threads × 1 op each = 3! orders of the
+/// three stores (later decisions about the main thread's tail ops don't
+/// branch, because only one thread is runnable once the others finished).
+#[test]
+fn exploration_counts_match_the_combinatorics() {
+    let orders = Arc::new(std::sync::Mutex::new(BTreeSet::new()));
+    let sink = Arc::clone(&orders);
+    let report = miniloom::model(move || {
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let trace = Arc::clone(&trace);
+                miniloom::thread::spawn(move || {
+                    trace.lock().push(i);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        sink.lock().unwrap().insert(trace.lock().clone());
+    });
+    assert_eq!(
+        orders.lock().unwrap().len(),
+        6,
+        "all 3! arrival orders must be observed ({report})"
+    );
+}
+
+/// The preemption bound prunes the schedule space but keeps bound-0 (the
+/// non-preemptive serializations) intact.
+#[test]
+fn preemption_bound_prunes_but_keeps_serial_schedules() {
+    let run = |bound: Option<u32>| {
+        let outcomes = Arc::new(std::sync::Mutex::new(BTreeSet::new()));
+        let sink = Arc::clone(&outcomes);
+        let report = miniloom::Builder {
+            preemption_bound: bound,
+            ..miniloom::Builder::default()
+        }
+        .check(move || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let other = Arc::clone(&counter);
+            let t = miniloom::thread::spawn(move || {
+                let read = other.load(Ordering::SeqCst);
+                other.store(read + 1, Ordering::SeqCst);
+            });
+            let read = counter.load(Ordering::SeqCst);
+            counter.store(read + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            sink.lock().unwrap().insert(counter.load(Ordering::SeqCst));
+        });
+        (
+            report.schedules,
+            Arc::try_unwrap(outcomes).unwrap().into_inner().unwrap(),
+        )
+    };
+    let (bounded_schedules, bounded_outcomes) = run(Some(0));
+    let (full_schedules, full_outcomes) = run(None);
+    assert!(bounded_schedules < full_schedules);
+    assert_eq!(
+        bounded_outcomes,
+        BTreeSet::from([2]),
+        "serial runs are clean"
+    );
+    assert_eq!(full_outcomes, BTreeSet::from([1, 2]));
+}
+
+/// Outside a model every shim passes through to std and just works.
+#[test]
+fn shims_pass_through_outside_a_model() {
+    let counter = Arc::new(AtomicU64::new(41));
+    assert_eq!(counter.fetch_add(1, Ordering::AcqRel), 41);
+    assert_eq!(counter.load(Ordering::Acquire), 42);
+    let mutex = Mutex::new(7);
+    {
+        let mut guard = mutex.lock();
+        *guard += 1;
+    }
+    assert_eq!(mutex.into_inner(), 8);
+    let handle = miniloom::thread::spawn(|| 3);
+    assert_eq!(handle.join().unwrap(), 3);
+}
