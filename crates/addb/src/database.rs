@@ -8,11 +8,19 @@ use crate::schema::Schema;
 use crate::table::Table;
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Collection of ads domain tables.
+///
+/// Tables are held behind `Arc` so that cloning a `Database` — the operation
+/// the serving layer performs on every snapshot publish — costs one refcount
+/// bump per domain instead of a deep copy of every record and index. Mutation
+/// goes through [`Database::table_mut`]/[`Database::create_table`], which use
+/// [`Arc::make_mut`]: a table still shared with a published snapshot is
+/// copied on first write, an unshared one is mutated in place.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Database {
@@ -30,16 +38,17 @@ impl Database {
     /// against the replaced table is invalidated.
     pub fn create_table(&mut self, schema: Schema) -> &mut Table {
         let name = schema.name.clone();
-        match self.tables.entry(name) {
+        let slot = match self.tables.entry(name) {
             Entry::Occupied(mut occupied) => {
                 let floor = occupied.get().generation() + 1;
                 let mut table = Table::new(schema);
                 table.raise_generation(floor);
-                occupied.insert(table);
+                occupied.insert(Arc::new(table));
                 occupied.into_mut()
             }
-            Entry::Vacant(vacant) => vacant.insert(Table::new(schema)),
-        }
+            Entry::Vacant(vacant) => vacant.insert(Arc::new(Table::new(schema))),
+        };
+        Arc::make_mut(slot)
     }
 
     /// Add an already-populated table (used by the data generators). Like
@@ -50,17 +59,27 @@ impl Database {
         if let Some(old) = self.tables.get(table.name()) {
             table.raise_generation(old.generation() + 1);
         }
-        self.tables.insert(table.name().to_string(), table);
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Get a table by domain name.
     pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name).map(Arc::as_ref)
+    }
+
+    /// Get a table's shared handle by domain name. Cloning the returned
+    /// `Arc` pins the table's current contents without copying them — this
+    /// is how snapshot publication shares tables with detached readers.
+    pub fn table_shared(&self, name: &str) -> Option<&Arc<Table>> {
         self.tables.get(name)
     }
 
-    /// Get a mutable table by domain name.
+    /// Get a mutable table by domain name. If the table is shared with a
+    /// published snapshot it is copied on this first write
+    /// ([`Arc::make_mut`]); otherwise this is in-place mutation as before.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(name)
+        self.tables.get_mut(name).map(Arc::make_mut)
     }
 
     /// Like [`Database::table`] but returns the crate error for unknown domains.
@@ -86,7 +105,7 @@ impl Database {
 
     /// Total number of records across every domain.
     pub fn total_records(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     /// Mutation generation of one domain's table (see [`Table::generation`]).

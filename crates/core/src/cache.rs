@@ -248,8 +248,9 @@ impl AnswerCache {
     /// Look up a question, treating any entry whose stamp trails `current` in
     /// **either** component as a miss (the stale entry is evicted on the spot).
     /// Callers must pass the *current* [`GenerationStamp`] of the domain — table
-    /// generation and model generation, both read while the caller's view of the
-    /// domain is consistent (under the read lock in a concurrent deployment).
+    /// generation and model generation, both read from one consistent view of
+    /// the domain (the caller's loaded snapshot in a concurrent deployment —
+    /// see [`crate::handle`]).
     pub fn lookup(&self, key: &CacheKey, current: GenerationStamp) -> Option<Arc<AnswerSet>> {
         if !self.is_enabled() {
             // ordering: monotone stats counter; nothing synchronizes through it.
@@ -261,6 +262,8 @@ impl AnswerCache {
             Stale,
             Miss,
         }
+        // lock: sharded stripe; the critical section is O(1) map ops plus one
+        // Arc clone — no answer computation ever happens under it.
         let mut shard = self.shard(key).lock();
         let Shard { map, tick } = &mut *shard;
         let outcome = match map.get_mut(key) {
@@ -310,6 +313,7 @@ impl AnswerCache {
         if !self.is_enabled() {
             return None;
         }
+        // lock: sharded stripe; O(1) lookup plus one Arc clone.
         let shard = self.shard(key).lock();
         shard.map.get(key).map(|entry| Arc::clone(&entry.answer))
     }
@@ -321,6 +325,8 @@ impl AnswerCache {
         if !self.is_enabled() {
             return;
         }
+        // lock: sharded stripe; the answer is already computed — the critical
+        // section only compares stamps and moves Arcs.
         let mut shard = self.shard(&key).lock();
         shard.tick += 1;
         let tick = shard.tick;
@@ -364,6 +370,7 @@ impl AnswerCache {
 
     /// Live entries across all shards.
     pub fn len(&self) -> usize {
+        // lock: per-stripe O(1) len read; stats path, not a serving call.
         self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
@@ -375,6 +382,7 @@ impl AnswerCache {
     /// Drop every entry (counters are preserved).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
+            // lock: operator path; clearing one stripe frees Arcs, no compute.
             shard.lock().map.clear();
         }
     }

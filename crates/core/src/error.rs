@@ -34,6 +34,11 @@ pub enum CqadsError {
     /// bound ([`ResilienceOptions::max_in_flight`](crate::ResilienceOptions))
     /// was saturated. The request did no work; retrying after backoff is safe.
     Overloaded,
+    /// A [`CqadsConfig`](crate::CqadsConfig) combination that cannot work,
+    /// rejected by [`CqadsConfigBuilder::build`](crate::CqadsConfigBuilder)
+    /// (or a direct [`CqadsConfig::validate`](crate::CqadsConfig::validate)
+    /// call). The message names the offending knob(s).
+    Config(String),
 }
 
 impl fmt::Display for CqadsError {
@@ -56,6 +61,7 @@ impl fmt::Display for CqadsError {
                 f,
                 "system overloaded: the admission controller shed this request"
             ),
+            CqadsError::Config(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }

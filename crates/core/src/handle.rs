@@ -1,0 +1,1711 @@
+//! The lock-free snapshot read path: reader/writer handle split over
+//! epoch-style snapshot publication.
+//!
+//! # Why
+//!
+//! Historically every read went through the monolithic
+//! [`CqadsSystem`], whose `&mut self` ingest methods
+//! forced concurrent deployments to wrap the whole system in an `RwLock` —
+//! one insert stalled every in-flight reader. This module moves the hot read
+//! state — the [`Database`] tables, the compiled [`SimilarityModel`]s behind
+//! each domain runtime, the domain registry, the classifier and the WS
+//! matrix, i.e. everything a [`GenerationStamp`] covers — into an immutable
+//! `Snapshot` behind an [`arcswap::ArcSwap`]. Writers rebuild-and-swap
+//! atomically; readers load once per call/batch and never block on a
+//! writer's work.
+//!
+//! # The protocol
+//!
+//! * `Snapshot` is a **cheap-to-clone** value: the database holds its
+//!   tables behind `Arc` ([`addb::Database`]), each domain runtime is behind
+//!   `Arc`, and the classifier and WS matrix are `Arc`s too. Cloning the
+//!   master snapshot for publication costs refcount bumps, not data copies.
+//! * [`CqadsWriter`] owns the **master** snapshot and mutates it with
+//!   `Arc::make_mut` copy-on-write: state still shared with a published
+//!   snapshot is copied on first write, unshared state is mutated in place.
+//!   After every mutation the writer republishes `master.clone()` — but only
+//!   when a reader handle actually exists ([`Arc::strong_count`] on the
+//!   shared block), so a single-handle deployment pays nothing for the
+//!   machinery.
+//! * [`CqadsReader`] is a cheap `Clone + Send + Sync` handle that loads the
+//!   published snapshot once per call and answers against it. A reader never
+//!   observes a torn snapshot and the generations it reads never regress
+//!   across a swap — `tests/interleavings.rs` model-checks both claims
+//!   against the vendored [`arcswap`] shim.
+//!
+//! Generation stamps and the answer cache compose with this the same way
+//! they always did, with one twist: a reader reads its stamp **from its own
+//! snapshot**, so stamp and data are consistent by construction. A reader on
+//! an older snapshot may be served a *newer* cached answer (the entry's
+//! stamp [`covers`](GenerationStamp::covers) the older current stamp) —
+//! fresher than requested is safe; staler is impossible.
+//!
+//! # Choosing a handle
+//!
+//! * One thread, or external synchronization: keep using
+//!   [`CqadsSystem`] — it is now a thin facade over a
+//!   [`CqadsWriter`] and behaves exactly as before.
+//! * Concurrent serving: call [`CqadsSystem::reader`](crate::CqadsSystem::reader)
+//!   (or [`CqadsWriter::reader`]) once per serving thread and keep mutating
+//!   through the writer — no outer lock required.
+
+use crate::cache::{CacheKey, CacheStats, GenerationStamp};
+use crate::domain::DomainSpec;
+use crate::error::{CqadsError, CqadsResult};
+use crate::partial::{PartialBatchRequest, PartialMatchOptions, PartialMatcher, PartialOutcome};
+use crate::pipeline::{
+    Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, IngestReport, MatchKind,
+    PendingAnswer,
+};
+use crate::ranking::{SimilarityMeasure, SimilarityModel};
+use crate::resilience::{AnswerQuality, QueryBudget, ResilienceRuntime, ServingStats};
+use crate::storage::{config_to_snap, data_to_spec, spec_to_data, DurableStorage};
+use crate::tagging::{TaggedQuestion, TaggedToken, Tagger};
+use crate::translate::{interpret, Interpretation};
+use addb::{Database, Executor, Record, RecordId, Table};
+use arcswap::ArcSwap;
+use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
+use cqads_querylog::{QueryLogDelta, Session, SubmittedQuery, TIMatrix};
+use cqads_storage::{
+    AuditRecord, DomainSnap, RealClock, Recovered, RecoveryReport, RetryClock, SnapshotData,
+    StorageEngine, StorageError, WalRecord,
+};
+use cqads_wordsim::WordSimMatrix;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the system holds for one registered domain.
+#[derive(Debug, Clone)]
+pub(crate) struct DomainRuntime {
+    pub(crate) spec: Arc<DomainSpec>,
+    pub(crate) tagger: Tagger,
+    pub(crate) similarity: SimilarityModel,
+}
+
+impl DomainRuntime {
+    pub(crate) fn similarity_ti(&self) -> Arc<TIMatrix> {
+        // The similarity model keeps the TI-matrix behind an Arc; recover a
+        // shared handle for rebuilds.
+        self.similarity.ti_matrix()
+    }
+}
+
+/// The immutable hot read state, published as a unit. Cloning is cheap by
+/// construction (every heavy member is behind an `Arc`), which is what makes
+/// per-mutation republication affordable.
+#[derive(Debug, Clone)]
+pub(crate) struct Snapshot {
+    pub(crate) database: Database,
+    pub(crate) domains: BTreeMap<String, Arc<DomainRuntime>>,
+    pub(crate) classifier: Arc<BetaBinomialNb>,
+    pub(crate) word_sim: Arc<WordSimMatrix>,
+}
+
+impl Snapshot {
+    fn empty() -> Self {
+        Snapshot {
+            database: Database::new(),
+            domains: BTreeMap::new(),
+            classifier: Arc::new(BetaBinomialNb::new()),
+            word_sim: Arc::new(WordSimMatrix::default()),
+        }
+    }
+
+    /// The current model generation of a registered domain.
+    pub(crate) fn model_generation(&self, domain: &str) -> Option<u64> {
+        self.domains.get(domain).map(|r| r.similarity.generation())
+    }
+
+    /// Rebuild one domain from its persisted form with its *exact* persisted
+    /// generations — no WAL writes, no extra bumps (recovery controls the
+    /// floors itself). Returns the domain name.
+    pub(crate) fn restore_domain(&mut self, snap: &DomainSnap) -> CqadsResult<String> {
+        let spec = data_to_spec(&snap.spec);
+        let name = spec.name().to_string();
+        let table = Table::from_records(
+            snap.spec.schema.clone(),
+            snap.records.iter().cloned(),
+            snap.table_gen,
+        )?;
+        let spec = Arc::new(spec);
+        let tagger = Tagger::from_arc(Arc::clone(&spec));
+        let mut similarity = SimilarityModel::new(
+            Arc::new(TIMatrix::from_state(&snap.ti)),
+            Arc::clone(&self.word_sim),
+            spec.schema.clone(),
+        );
+        similarity.raise_generation(snap.model_gen);
+        self.database.add_table(table);
+        self.domains.insert(
+            name.clone(),
+            Arc::new(DomainRuntime {
+                spec,
+                tagger,
+                similarity,
+            }),
+        );
+        Ok(name)
+    }
+
+    /// Swap in a WS matrix and rebuild every per-domain similarity model
+    /// against it. With `bump` set each model's generation moves past its
+    /// previous value (the matrix changed ranking semantics); recovery passes
+    /// `false` because it restores exact persisted generations and controls
+    /// the floors itself.
+    pub(crate) fn rebuild_models_with_word_sim(&mut self, matrix: WordSimMatrix, bump: bool) {
+        self.word_sim = Arc::new(matrix);
+        let runtimes: Vec<(String, Arc<DomainRuntime>)> = self
+            .domains
+            .iter()
+            .map(|(name, runtime)| (name.clone(), Arc::clone(runtime)))
+            .collect();
+        for (name, runtime) in runtimes {
+            let ti = runtime.similarity_ti();
+            let schema = runtime.spec.schema.clone();
+            let mut similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
+            similarity.raise_generation(runtime.similarity.generation() + u64::from(bump));
+            self.domains.insert(
+                name,
+                Arc::new(DomainRuntime {
+                    spec: Arc::clone(&runtime.spec),
+                    tagger: runtime.tagger.clone(),
+                    similarity,
+                }),
+            );
+        }
+    }
+}
+
+/// State shared by value between every handle: the published snapshot slot
+/// plus the interior-mutable serving infrastructure (cache, resilience,
+/// storage) that is already safe under concurrent `&self` access.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    /// The published snapshot. Readers load it; the writer swaps it.
+    pub(crate) snapshot: ArcSwap<Snapshot>,
+    pub(crate) config: CqadsConfig,
+    pub(crate) cache: crate::cache::AnswerCache,
+    pub(crate) storage: Option<DurableStorage>,
+    pub(crate) resilience: Option<ResilienceRuntime>,
+    /// Time source for answer timing and audit frames. Shared with the
+    /// resilience layer's clock when one is configured, so an injected
+    /// [`ManualClock`](cqads_storage::ManualClock) governs *all* observable
+    /// time in the system; wall clock otherwise.
+    pub(crate) clock: Arc<dyn RetryClock>,
+}
+
+impl Shared {
+    /// Audit frames that failed to persist since open.
+    pub(crate) fn audit_failures(&self) -> u64 {
+        self.storage.as_ref().map_or(0, |s| s.audit_failures())
+    }
+
+    /// One operator-facing snapshot of the serving path's health.
+    pub(crate) fn serving_stats(&self) -> ServingStats {
+        ServingStats {
+            cache: self.cache.stats(),
+            audit_failures: self.audit_failures(),
+            shed: self.resilience.as_ref().map_or(0, |r| r.shed()),
+            degraded: self.resilience.as_ref().map_or(0, |r| r.degraded()),
+            stale_served: self.resilience.as_ref().map_or(0, |r| r.stale_served()),
+            wal_retries: self.storage.as_ref().map_or(0, |s| s.wal_retries()),
+            breaker_opens: self.storage.as_ref().map_or(0, |s| s.breaker_opens()),
+            breaker_rejections: self.storage.as_ref().map_or(0, |s| s.breaker_rejections()),
+            pressure_level: self.resilience.as_ref().map_or(0, |r| r.pressure_level()),
+        }
+    }
+}
+
+/// One borrowed view for the whole read path: the shared serving
+/// infrastructure plus **one** snapshot, loaded once per call/batch. The
+/// writer passes its master snapshot here (so the facade sees its own
+/// mutations immediately); a reader passes the loaded published snapshot.
+/// Either way the answering code below is the same — byte-identical answers
+/// on both paths is a proptested invariant.
+#[derive(Clone, Copy)]
+pub(crate) struct ReadContext<'a> {
+    pub(crate) shared: &'a Shared,
+    pub(crate) snap: &'a Snapshot,
+}
+
+impl<'a> ReadContext<'a> {
+    /// Classify a question into a registered domain (Equation 2).
+    pub(crate) fn classify(self, question: &str) -> CqadsResult<String> {
+        Ok(self.classify_outcome(question)?.into_domain())
+    }
+
+    /// Like [`ReadContext::classify`], but reports *how* the domain was
+    /// chosen.
+    pub(crate) fn classify_outcome(self, question: &str) -> CqadsResult<ClassifyOutcome> {
+        if self.snap.domains.is_empty() {
+            return Err(CqadsError::NoDomain);
+        }
+        let first = || {
+            self.snap
+                .domains
+                .keys()
+                .next()
+                // lint: allow(no-panic) — guarded by the NoDomain early return above
+                .expect("non-empty checked above")
+                .clone()
+        };
+        Ok(match self.snap.classifier.classify_text(question) {
+            Some(domain) if self.snap.domains.contains_key(&domain) => {
+                ClassifyOutcome::Classified(domain)
+            }
+            Some(predicted) => ClassifyOutcome::FallbackUnknownDomain {
+                predicted,
+                fallback: first(),
+            },
+            None => ClassifyOutcome::FallbackUntrained(first()),
+        })
+    }
+
+    /// Answer a question end to end, classifying it first.
+    pub(crate) fn answer(self, question: &str) -> CqadsResult<AnswerSet> {
+        let domain = self.classify(question)?;
+        self.answer_in_domain(question, &domain)
+    }
+
+    /// Answer a question against an explicitly chosen domain, uncached.
+    pub(crate) fn answer_in_domain(self, question: &str, domain: &str) -> CqadsResult<AnswerSet> {
+        let (runtime, table) = self.domain_runtime(domain)?;
+        let mut pending = self.begin_answer(runtime, table, question, domain)?;
+        let partial = match pending.partial_budget {
+            0 => Vec::new(),
+            budget => self.matcher(runtime).partial_answers(
+                &pending.interpretation,
+                table,
+                &pending.exact_ids,
+                budget,
+            )?,
+        };
+        pending.absorb_partial(partial, table);
+        Ok(pending.finish(
+            self.shared.config.answer_limit,
+            self.shared.clock.now_micros(),
+        ))
+    }
+
+    /// Resolve a domain to its runtime and table, distinguishing an
+    /// unregistered domain ([`CqadsError::UnknownDomain`]) from a registered
+    /// domain whose table is missing ([`CqadsError::MissingTable`]).
+    fn domain_runtime(self, domain: &str) -> CqadsResult<(&'a DomainRuntime, &'a Table)> {
+        let runtime = self
+            .snap
+            .domains
+            .get(domain)
+            .map(Arc::as_ref)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let table = self
+            .snap
+            .database
+            .table(domain)
+            .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
+        Ok((runtime, table))
+    }
+
+    /// The partial matcher configured the way every answering path uses it.
+    fn matcher<'s>(self, runtime: &'s DomainRuntime) -> PartialMatcher<'s> {
+        PartialMatcher::with_options(
+            &runtime.spec,
+            &runtime.similarity,
+            PartialMatchOptions {
+                workers: self.shared.config.partial_workers,
+                pr2_exhaustive: self.shared.config.partial_exhaustive,
+                ..PartialMatchOptions::default()
+            },
+        )
+    }
+
+    /// Run the pre-partial pipeline stages (tag → interpret → translate →
+    /// exact execution) for one question. The partial phase is left to the
+    /// caller so that [`ReadContext::answer_batch`] can fan a whole burst of
+    /// these through [`PartialMatcher::partial_answers_batch`] on one thread
+    /// scope.
+    fn begin_answer(
+        self,
+        runtime: &DomainRuntime,
+        table: &Table,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<PendingAnswer> {
+        let start_micros = self.shared.clock.now_micros();
+        let tagged = runtime.tagger.tag(question);
+        let interpretation = interpret(&tagged, &runtime.spec)?;
+        let query =
+            interpretation.to_query_with_limit(&runtime.spec, self.shared.config.answer_limit)?;
+        let sql = addb::sql::render(&query);
+
+        let executor = Executor::new(table);
+        let exact = executor.execute(&query)?;
+        let exact_ids: HashSet<RecordId> = exact.iter().map(|a| a.id).collect();
+        let n = interpretation.condition_count();
+
+        let answers: Vec<Answer> = exact
+            .iter()
+            .filter_map(|a| table.get_shared(a.id).map(|r| (a.id, r)))
+            .map(|(id, record)| Answer {
+                id,
+                record,
+                kind: MatchKind::Exact,
+                rank_sim: n as f64,
+                measure: SimilarityMeasure::None,
+            })
+            .collect();
+
+        // Top up with partially-matched answers when exact answers are scarce.
+        let config = &self.shared.config;
+        let partial_budget = if answers.len() < config.partial_threshold.min(config.answer_limit) {
+            config.answer_limit - answers.len()
+        } else {
+            0
+        };
+
+        Ok(PendingAnswer {
+            domain: domain.to_string(),
+            tagged,
+            interpretation,
+            sql,
+            answers,
+            exact_ids,
+            partial_budget,
+            start_micros,
+        })
+    }
+
+    /// Answer through the serving cache, classifying first.
+    pub(crate) fn answer_cached(self, question: &str) -> CqadsResult<Arc<AnswerSet>> {
+        let domain = self.classify(question)?;
+        self.answer_in_domain_cached(question, &domain)
+    }
+
+    /// Read-through cached variant of [`ReadContext::answer_in_domain`].
+    pub(crate) fn answer_in_domain_cached(
+        self,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<Arc<AnswerSet>> {
+        // Timing exists only for the audit trail; a memory-only (or
+        // audit-off) system must not pay a clock read per hit.
+        let start = self.audit_enabled().then(|| self.shared.clock.now_micros());
+        let took = |start: Option<u64>| {
+            start
+                .map(|s| Duration::from_micros(self.shared.clock.now_micros().saturating_sub(s)))
+                .unwrap_or_default()
+        };
+        if !self.shared.cache.is_enabled() {
+            let answer = Arc::new(self.answer_in_domain(question, domain)?);
+            self.audit(question, domain, false, took(start));
+            return Ok(answer);
+        }
+        // The stamp is read from this call's snapshot *before* computing, so
+        // the stamp and the data it covers come from the same snapshot; a
+        // concurrently published mutation leaves the filled entry
+        // conservatively stale (see the cache module docs).
+        let stamp = self.current_stamp(domain);
+        let key = CacheKey::new(domain, question);
+        if let Some(stamp) = stamp {
+            if let Some(hit) = self.shared.cache.lookup(&key, stamp) {
+                self.audit(question, domain, true, took(start));
+                return Ok(hit);
+            }
+        }
+        let answer = Arc::new(self.answer_in_domain(question, domain)?);
+        if let Some(stamp) = stamp {
+            self.shared.cache.fill(key, stamp, Arc::clone(&answer));
+        }
+        self.audit(question, domain, false, took(start));
+        Ok(answer)
+    }
+
+    /// Whether served questions are appended to the audit trail.
+    fn audit_enabled(self) -> bool {
+        self.shared
+            .storage
+            .as_ref()
+            .is_some_and(|s| s.opts.audit_queries)
+    }
+
+    /// Best-effort audit append for the single-question cached path: never
+    /// fails the serving path (failures count in audit_failures), no-op
+    /// unless the system is durable and auditing is on.
+    fn audit(self, question: &str, domain: &str, hit: bool, elapsed: Duration) {
+        let Some(storage) = &self.shared.storage else {
+            return;
+        };
+        if !storage.opts.audit_queries {
+            return;
+        }
+        let stamp = self
+            .current_stamp(domain)
+            .unwrap_or(GenerationStamp::new(0, 0));
+        storage.append_audit(audit_record(question, domain, hit, stamp, elapsed));
+    }
+
+    /// The domain's current [`GenerationStamp`] **as of this context's
+    /// snapshot**: its table generation paired with its similarity-model
+    /// generation. `None` when the domain is unregistered or its table is
+    /// missing (the uncached path then reports the precise error).
+    fn current_stamp(self, domain: &str) -> Option<GenerationStamp> {
+        let table = self.snap.database.generation(domain)?;
+        let model = self.snap.domains.get(domain)?.similarity.generation();
+        Some(GenerationStamp::new(table, model))
+    }
+
+    /// Serve a burst of questions against this context's snapshot. See
+    /// [`CqadsSystem::answer_batch`](crate::CqadsSystem::answer_batch) for
+    /// the full contract — this is its engine, shared with
+    /// [`CqadsReader::answer_batch`].
+    pub(crate) fn answer_batch<S: AsRef<str>>(
+        self,
+        questions: &[S],
+    ) -> Vec<CqadsResult<Arc<AnswerSet>>> {
+        // Admission control: shed the whole burst before doing any work when
+        // the in-flight bound is saturated. The permit's slot releases on drop.
+        let _permit = match &self.shared.resilience {
+            Some(runtime) => match runtime.try_admit() {
+                Some(permit) => Some(permit),
+                None => {
+                    return questions
+                        .iter()
+                        .map(|_| Err(CqadsError::Overloaded))
+                        .collect()
+                }
+            },
+            None => None,
+        };
+        // One cooperative budget for the whole batch's partial-match work,
+        // after pressure step-down.
+        let budget: Option<QueryBudget> = self.shared.resilience.as_ref().and_then(|runtime| {
+            runtime
+                .effective_deadline_micros()
+                .map(|micros| QueryBudget::new(Arc::clone(&runtime.opts.clock), micros))
+        });
+        let mut any_degraded = false;
+
+        let mut results: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = vec![None; questions.len()];
+        let cache_on = self.shared.cache.is_enabled();
+
+        // Classify + normalize + dedup: one slot per distinct (domain,
+        // normalized question) key; repeats within the burst attach to the
+        // same slot.
+        struct Slot<'q> {
+            key: CacheKey,
+            domain: String,
+            question: &'q str,
+            indices: Vec<usize>,
+        }
+        // Byte-identical repeats are collapsed *before* classification so a
+        // hot burst pays the classifier + tokenizer once per distinct string,
+        // not once per element; the key then also merges case/punctuation
+        // variants.
+        let mut raw: Vec<(&str, Vec<usize>)> = Vec::new();
+        let mut by_raw: HashMap<&str, usize> = HashMap::new();
+        for (i, question) in questions.iter().enumerate() {
+            let question = question.as_ref();
+            match by_raw.get(question) {
+                Some(&r) => raw[r].1.push(i),
+                None => {
+                    by_raw.insert(question, raw.len());
+                    raw.push((question, vec![i]));
+                }
+            }
+        }
+        let mut slots: Vec<Slot<'_>> = Vec::new();
+        let mut by_key: HashMap<CacheKey, usize> = HashMap::new();
+        for (question, indices) in raw {
+            match self.classify(question) {
+                Err(e) => {
+                    for &i in &indices {
+                        results[i] = Some(Err(e.clone()));
+                    }
+                }
+                Ok(domain) => {
+                    let key = CacheKey::new(&domain, question);
+                    match by_key.get(&key) {
+                        Some(&slot) => slots[slot].indices.extend(indices),
+                        None => {
+                            by_key.insert(key.clone(), slots.len());
+                            slots.push(Slot {
+                                key,
+                                domain,
+                                question,
+                                indices,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Serve hits; group the residual misses by domain.
+        let audit_on = self.audit_enabled();
+        let mut audits: Vec<WalRecord> = Vec::new();
+        let mut misses_by_domain: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut outcomes: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = Vec::new();
+        // When stale-serving is armed, capture each slot's cached entry
+        // *before* the lookup below — a generation-stale entry is evicted by
+        // the lookup itself, and it is exactly the answer the degradation
+        // path wants to fall back on.
+        let stale_ok = budget.is_some()
+            && self
+                .shared
+                .resilience
+                .as_ref()
+                .is_some_and(|r| r.opts.serve_stale_on_timeout);
+        let mut stale_fallback: Vec<Option<Arc<AnswerSet>>> = vec![None; slots.len()];
+        for (slot_idx, slot) in slots.iter().enumerate() {
+            outcomes.push(None);
+            // Clock reads exist only for the audit trail; the hot hit path
+            // must not pay one when auditing is off.
+            let lookup_start = audit_on.then(|| self.shared.clock.now_micros());
+            let stamp = self.current_stamp(&slot.domain);
+            if cache_on && stale_ok {
+                stale_fallback[slot_idx] = self.shared.cache.peek_stale(&slot.key);
+            }
+            if let (true, Some(stamp)) = (cache_on, stamp) {
+                if let Some(hit) = self.shared.cache.lookup(&slot.key, stamp) {
+                    if let Some(lookup_start) = lookup_start {
+                        audits.push(audit_record(
+                            slot.question,
+                            &slot.domain,
+                            true,
+                            stamp,
+                            Duration::from_micros(
+                                self.shared.clock.now_micros().saturating_sub(lookup_start),
+                            ),
+                        ));
+                    }
+                    outcomes[slot_idx] = Some(Ok(hit));
+                    continue;
+                }
+            }
+            misses_by_domain
+                .entry(slot.domain.as_str())
+                .or_default()
+                .push(slot_idx);
+        }
+
+        // Per domain: run the pre-partial stages per miss, then one batched
+        // partial-match fan-out (a single set of scoped worker threads serves
+        // every question of the domain), then assemble + back-fill.
+        for (domain, slot_indices) in misses_by_domain {
+            let (runtime, table) = match self.domain_runtime(domain) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    for &slot_idx in &slot_indices {
+                        outcomes[slot_idx] = Some(Err(e.clone()));
+                    }
+                    continue;
+                }
+            };
+            // Stamp read from this snapshot before any computation: a
+            // concurrently published mutation can only make the filled
+            // entries look *older* than the post-mutation stamp.
+            let stamp = GenerationStamp::new(table.generation(), runtime.similarity.generation());
+
+            let mut pendings: Vec<(usize, PendingAnswer)> = Vec::new();
+            for &slot_idx in &slot_indices {
+                match self.begin_answer(runtime, table, slots[slot_idx].question, domain) {
+                    Ok(pending) => pendings.push((slot_idx, pending)),
+                    Err(e) => outcomes[slot_idx] = Some(Err(e)),
+                }
+            }
+
+            let needs_partial: Vec<usize> = (0..pendings.len())
+                .filter(|&p| pendings[p].1.partial_budget > 0)
+                .collect();
+            let partial_results: CqadsResult<Vec<PartialOutcome>> = if needs_partial.is_empty() {
+                Ok(Vec::new())
+            } else {
+                let requests: Vec<PartialBatchRequest<'_>> = needs_partial
+                    .iter()
+                    .map(|&p| {
+                        let pending = &pendings[p].1;
+                        PartialBatchRequest {
+                            interpretation: &pending.interpretation,
+                            exclude: &pending.exact_ids,
+                            budget: pending.partial_budget,
+                        }
+                    })
+                    .collect();
+                self.matcher(runtime).partial_answers_batch_budgeted(
+                    &requests,
+                    table,
+                    budget.as_ref(),
+                )
+            };
+            match partial_results {
+                Ok(mut partial_results) => {
+                    // Scatter the batch results back (batch output is
+                    // positional), remembering which questions the deadline
+                    // cut.
+                    let mut qualities: Vec<AnswerQuality> =
+                        vec![AnswerQuality::Complete; pendings.len()];
+                    for (&p, outcome) in needs_partial.iter().zip(partial_results.drain(..)) {
+                        if outcome.degraded {
+                            qualities[p] = AnswerQuality::Degraded {
+                                visited: outcome.visited,
+                                budget_exhausted: true,
+                            };
+                        }
+                        pendings[p].1.absorb_partial(outcome.answers, table);
+                    }
+                    for ((slot_idx, pending), quality) in pendings.into_iter().zip(qualities) {
+                        let mut set = pending.finish(
+                            self.shared.config.answer_limit,
+                            self.shared.clock.now_micros(),
+                        );
+                        set.quality = quality;
+                        if !quality.is_complete() {
+                            any_degraded = true;
+                            if let Some(runtime) = &self.shared.resilience {
+                                runtime.note_degraded(1);
+                                // Graceful degradation: a cached answer —
+                                // even a generation-stale one — is complete
+                                // as of an older generation, which can beat a
+                                // cut fresh answer. Serve it explicitly
+                                // flagged `Stale`.
+                                if let Some(stale) = stale_fallback[slot_idx].take() {
+                                    let mut stale_set = (*stale).clone();
+                                    stale_set.quality = AnswerQuality::Stale;
+                                    runtime.note_stale(1);
+                                    set = stale_set;
+                                }
+                            }
+                        }
+                        let answer = Arc::new(set);
+                        // Only complete answers enter the cache: a degraded
+                        // or stale set must never be served later as if
+                        // fresh.
+                        if cache_on && answer.quality.is_complete() {
+                            self.shared.cache.fill(
+                                slots[slot_idx].key.clone(),
+                                stamp,
+                                Arc::clone(&answer),
+                            );
+                        }
+                        if audit_on {
+                            audits.push(audit_record(
+                                slots[slot_idx].question,
+                                domain,
+                                false,
+                                stamp,
+                                answer.elapsed,
+                            ));
+                        }
+                        outcomes[slot_idx] = Some(Ok(answer));
+                    }
+                }
+                Err(e) => {
+                    for (slot_idx, _) in pendings {
+                        outcomes[slot_idx] = Some(Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        // One best-effort write + sync for the whole burst's audit frames.
+        if !audits.is_empty() {
+            if let Some(storage) = &self.shared.storage {
+                storage.append_audit_batch(&audits);
+            }
+        }
+
+        // Feed the pressure step-down controller: only batches that actually
+        // ran under a deadline count toward the streaks.
+        if budget.is_some() {
+            if let Some(runtime) = &self.shared.resilience {
+                runtime.note_batch(any_degraded);
+            }
+        }
+
+        // Scatter slot outcomes to every question index that mapped onto the
+        // slot.
+        for (slot, outcome) in slots.iter().zip(outcomes) {
+            // lint: allow(no-panic) — the dispatch loop above fills every slot exactly once
+            let outcome = outcome.expect("every slot resolved");
+            for &i in &slot.indices {
+                results[i] = Some(outcome.clone());
+            }
+        }
+        results
+            .into_iter()
+            // lint: allow(no-panic) — every question index maps onto exactly one slot
+            .map(|r| r.expect("every question resolved"))
+            .collect()
+    }
+
+    /// Produce only the interpretation of a question in a given domain.
+    pub(crate) fn interpret_in_domain(
+        self,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<(TaggedQuestion, Interpretation, String)> {
+        let runtime = self
+            .snap
+            .domains
+            .get(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let tagged = runtime.tagger.tag(question);
+        let interpretation = interpret(&tagged, &runtime.spec)?;
+        let sql = interpretation.to_sql(&runtime.spec)?;
+        Ok((tagged, interpretation, sql))
+    }
+
+    /// Replay the persisted audit trail of one domain as query-log
+    /// [`Session`]s.
+    pub(crate) fn audit_sessions(self, domain: &str) -> CqadsResult<Vec<Session>> {
+        let Some(storage) = &self.shared.storage else {
+            return Ok(Vec::new());
+        };
+        let runtime = self
+            .snap
+            .domains
+            .get(domain)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let audits = storage.with_engine(|engine| engine.scan_audits())?;
+        let mut queries = Vec::new();
+        let mut clock = 0.0_f64;
+        for audit in audits.iter().filter(|a| a.domain == domain) {
+            clock += audit.micros as f64 / 1_000_000.0;
+            let tagged = runtime.tagger.tag(&audit.question);
+            let value = tagged.tokens.iter().find_map(|t| match t {
+                TaggedToken::Value {
+                    value,
+                    is_type1: true,
+                    ..
+                } => Some(value.clone()),
+                _ => None,
+            });
+            if let Some(value) = value {
+                queries.push(SubmittedQuery {
+                    value,
+                    at_seconds: clock,
+                    clicks: Vec::new(),
+                    shown: Vec::new(),
+                });
+            }
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        Ok(vec![Session {
+            user_id: 0,
+            queries,
+        }])
+    }
+}
+
+/// Build one WAL audit frame for a served question.
+fn audit_record(
+    question: &str,
+    domain: &str,
+    hit: bool,
+    stamp: GenerationStamp,
+    elapsed: Duration,
+) -> WalRecord {
+    WalRecord::Audit(AuditRecord {
+        question: question.to_string(),
+        domain: domain.to_string(),
+        hit,
+        table_gen: stamp.table,
+        model_gen: stamp.model,
+        micros: elapsed.as_micros() as u64,
+    })
+}
+
+/// The write half of the handle split: owns the master `Snapshot`, applies
+/// every mutation to it copy-on-write, appends to durable storage, and
+/// republishes after each mutation so detached [`CqadsReader`]s observe it.
+///
+/// Obtained from [`CqadsSystem::into_writer`](crate::CqadsSystem::into_writer)
+/// or built directly with [`CqadsWriter::with_config`]. All the read methods
+/// remain available through [`CqadsWriter::reader`] — or keep using the
+/// [`CqadsSystem`] facade, which wraps a writer and
+/// serves reads from the master state directly.
+///
+/// # Error model
+///
+/// Primary mutation entry points ([`CqadsWriter::try_add_domain`],
+/// [`CqadsWriter::try_set_word_sim`], [`CqadsWriter::insert_record`],
+/// [`CqadsWriter::ingest_query_log`], ...) are **fallible** and surface
+/// storage errors immediately. The infallible convenience forms
+/// ([`CqadsWriter::add_domain`], [`CqadsWriter::set_word_sim`]) are
+/// **best-effort**: the in-memory mutation always happens, and a storage
+/// failure is parked for the next fallible call (or
+/// [`CqadsWriter::take_deferred_storage_error`]).
+#[derive(Debug)]
+pub struct CqadsWriter {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) master: Snapshot,
+}
+
+impl CqadsWriter {
+    /// Create an empty writer with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(CqadsConfig::default())
+    }
+
+    /// Create an empty writer with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`CqadsConfig::storage`] is set and the store cannot be opened or
+    /// recovered; use [`CqadsWriter::try_with_config`] to handle that error.
+    pub fn with_config(config: CqadsConfig) -> Self {
+        match Self::try_with_config(config) {
+            Ok(writer) => writer,
+            // lint: allow(no-panic) — the documented panicking convenience; try_with_config is the fallible API
+            Err(e) => panic!(
+                "failed to open durable storage \
+                 (use try_with_config to handle this): {e}"
+            ),
+        }
+    }
+
+    /// Fallible form of [`CqadsWriter::with_config`].
+    pub fn try_with_config(config: CqadsConfig) -> CqadsResult<Self> {
+        Self::open_internal(config, false)
+    }
+
+    fn assemble(master: Snapshot, config: CqadsConfig, storage: Option<DurableStorage>) -> Self {
+        let cache = crate::cache::AnswerCache::new(config.cache_capacity, config.cache_shards);
+        let resilience = config.resilience.clone().map(ResilienceRuntime::new);
+        let clock: Arc<dyn RetryClock> = match &config.resilience {
+            Some(opts) => Arc::clone(&opts.clock),
+            None => Arc::new(RealClock::new()),
+        };
+        let shared = Arc::new(Shared {
+            // The first published snapshot: recovery (or emptiness) is
+            // visible to readers before any post-open mutation.
+            snapshot: ArcSwap::new(Arc::new(master.clone())),
+            config,
+            cache,
+            storage,
+            resilience,
+            clock,
+        });
+        CqadsWriter { shared, master }
+    }
+
+    pub(crate) fn open_internal(
+        mut config: CqadsConfig,
+        prefer_snapshot_config: bool,
+    ) -> CqadsResult<Self> {
+        let Some(opts) = config.storage.clone() else {
+            return Ok(Self::assemble(Snapshot::empty(), config, None));
+        };
+        let (mut engine, recovered) =
+            StorageEngine::open(Arc::clone(&opts.vfs), &opts.dir, opts.fsync)
+                .map_err(CqadsError::Storage)?;
+        let Recovered {
+            snapshot,
+            records,
+            report,
+        } = recovered;
+        if prefer_snapshot_config {
+            if let Some(snap) = &snapshot {
+                crate::storage::apply_snap_to_config(&mut config, &snap.config);
+            }
+        }
+        let mut master = Snapshot::empty();
+
+        // Highest (table, model) generation per domain that any persisted
+        // artifact proves was observable before the crash. Recovery must end
+        // with every live counter at or above its target — the
+        // generation-never-regresses invariant the answer cache depends on.
+        let mut targets: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        fn observe(targets: &mut BTreeMap<String, (u64, u64)>, name: &str, table: u64, model: u64) {
+            let entry = targets.entry(name.to_string()).or_insert((0, 0));
+            entry.0 = entry.0.max(table);
+            entry.1 = entry.1.max(model);
+        }
+
+        if let Some(snap) = &snapshot {
+            master.word_sim = Arc::new(WordSimMatrix::from_state(&snap.ws));
+            for d in &snap.domains {
+                let name = master.restore_domain(d)?;
+                observe(&mut targets, &name, d.table_gen, d.model_gen);
+            }
+        }
+
+        // Replay the WAL tail. Registrations and inserts apply eagerly;
+        // query-log deltas are buffered and applied in ONE batch per domain
+        // at the end (one O(pairs) renormalization instead of one per tiny
+        // delta); of several WS swaps only the final one can matter.
+        let mut buffered_deltas: BTreeMap<String, Vec<QueryLogDelta>> = BTreeMap::new();
+        let mut pending_ws: Option<cqads_wordsim::WsMatrixState> = None;
+        for record in records {
+            match record {
+                WalRecord::RegisterDomain {
+                    spec,
+                    records,
+                    ti,
+                    table_gen,
+                    model_gen,
+                } => {
+                    let snap = DomainSnap {
+                        spec: *spec,
+                        records,
+                        table_gen,
+                        ti,
+                        model_gen,
+                    };
+                    let name = master.restore_domain(&snap)?;
+                    // Re-registration replaced the TI-matrix: deltas logged
+                    // against the previous registration are already folded
+                    // into the `ti` state this frame carries.
+                    buffered_deltas.remove(&name);
+                    observe(&mut targets, &name, table_gen, model_gen);
+                }
+                WalRecord::Insert {
+                    domain,
+                    record,
+                    table_gen,
+                } => {
+                    let table = master
+                        .database
+                        .table_mut(&domain)
+                        .ok_or_else(|| CqadsError::MissingTable(domain.clone()))?;
+                    table.insert(record)?;
+                    table.raise_generation(table_gen);
+                    observe(&mut targets, &domain, table_gen, 0);
+                }
+                WalRecord::LogDelta {
+                    domain,
+                    delta,
+                    model_gen,
+                } => {
+                    buffered_deltas
+                        .entry(domain.clone())
+                        .or_default()
+                        .push(delta);
+                    observe(&mut targets, &domain, 0, model_gen);
+                }
+                WalRecord::SetWordSim { ws, model_gens } => {
+                    for (name, model_gen) in &model_gens {
+                        observe(&mut targets, name, 0, *model_gen);
+                    }
+                    pending_ws = Some(ws);
+                }
+                WalRecord::Audit(_) => {}
+                WalRecord::Floors { floors } => {
+                    for (name, table, model) in &floors {
+                        observe(&mut targets, name, *table, *model);
+                    }
+                }
+            }
+        }
+        for (domain, deltas) in buffered_deltas {
+            if let Some(runtime) = master.domains.get_mut(&domain) {
+                Arc::make_mut(runtime).similarity.apply_log_deltas(&deltas);
+            }
+        }
+        if let Some(ws) = pending_ws {
+            master.rebuild_models_with_word_sim(WordSimMatrix::from_state(&ws), false);
+        }
+
+        // Raise every counter to its proven floor, plus a safety margin when
+        // recovery dropped bytes it could not decode: each dropped frame can
+        // have advanced a counter by at most one, so targets + bump bounds
+        // every stamp the crashed process can possibly have handed out.
+        let bump = report.generation_safety_bump;
+        for (name, (table_target, model_target)) in &targets {
+            if let Some(table) = master.database.table_mut(name) {
+                table.raise_generation(table_target + bump);
+            }
+            if let Some(runtime) = master.domains.get_mut(name) {
+                Arc::make_mut(runtime)
+                    .similarity
+                    .raise_generation(model_target + bump);
+            }
+        }
+        if bump > 0 {
+            // Persist the raised floors so a second recovery (which sees a
+            // clean, already-truncated log and computes bump = 0) lands on
+            // the same generations — recovery is idempotent.
+            let floors: Vec<(String, u64, u64)> = targets
+                .keys()
+                .map(|name| {
+                    (
+                        name.clone(),
+                        master.database.generation(name).unwrap_or(0),
+                        master.model_generation(name).unwrap_or(0),
+                    )
+                })
+                .collect();
+            engine
+                .append(&WalRecord::Floors { floors })
+                .map_err(CqadsError::Storage)?;
+        }
+        let storage = Some(DurableStorage::new(engine, opts, report));
+        Ok(Self::assemble(master, config, storage))
+    }
+
+    /// Publish the master state: detached readers observe every mutation up
+    /// to this point on their next load. Called automatically after every
+    /// mutation method; the one reason to call it explicitly is after
+    /// mutating through [`CqadsWriter::database_mut`], which hands out a raw
+    /// `&mut` the writer cannot observe.
+    pub fn publish(&self) {
+        self.shared.snapshot.store(Arc::new(self.master.clone()));
+    }
+
+    /// Publish only when a detached handle can observe it. A single-handle
+    /// deployment (the [`CqadsSystem`] facade with no
+    /// reader minted) then never pays the copy-on-write tax: nothing shares
+    /// the master's `Arc`s, so every mutation stays in-place exactly as
+    /// before the handle split.
+    fn publish_if_observed(&self) {
+        if Arc::strong_count(&self.shared) > 1 {
+            self.publish();
+        }
+    }
+
+    /// Mint a detached read handle. Publishes first, so the reader starts at
+    /// the writer's current state. Readers are cheap to clone and `Send +
+    /// Sync`; mint one per serving thread or clone one freely.
+    pub fn reader(&self) -> CqadsReader {
+        self.publish();
+        CqadsReader {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The writer's view for the read path: always the master snapshot, so a
+    /// facade read observes every mutation immediately (no publish needed).
+    pub(crate) fn ctx(&self) -> ReadContext<'_> {
+        ReadContext {
+            shared: &self.shared,
+            snap: &self.master,
+        }
+    }
+
+    /// The pipeline configuration this system was built with.
+    pub fn config(&self) -> &CqadsConfig {
+        &self.shared.config
+    }
+
+    /// Install the shared WS word-correlation matrix used by `Feat_Sim`.
+    /// Best-effort on a durable system: a storage failure is *deferred* (see
+    /// the [type docs](CqadsWriter) on the error model);
+    /// [`CqadsWriter::try_set_word_sim`] observes it immediately.
+    pub fn set_word_sim(&mut self, matrix: WordSimMatrix) {
+        if let Err(CqadsError::Storage(e)) = self.set_word_sim_inner(matrix) {
+            if let Some(storage) = &self.shared.storage {
+                storage.defer_error(e);
+            }
+        }
+        self.publish_if_observed();
+    }
+
+    /// Fallible form of [`CqadsWriter::set_word_sim`]: surfaces any deferred
+    /// storage error first, then reports an append failure immediately (the
+    /// in-memory swap has happened either way — the matrix is installed but
+    /// not persisted).
+    pub fn try_set_word_sim(&mut self, matrix: WordSimMatrix) -> CqadsResult<()> {
+        let result = self
+            .surface_deferred()
+            .and_then(|()| self.set_word_sim_inner(matrix));
+        self.publish_if_observed();
+        result
+    }
+
+    fn set_word_sim_inner(&mut self, matrix: WordSimMatrix) -> CqadsResult<()> {
+        let ws_state = self.shared.storage.as_ref().map(|_| matrix.export_state());
+        self.master.rebuild_models_with_word_sim(matrix, true);
+        if let Some(ws) = ws_state {
+            let model_gens: Vec<(String, u64)> = self
+                .master
+                .domains
+                .iter()
+                .map(|(name, runtime)| (name.clone(), runtime.similarity.generation()))
+                .collect();
+            self.append_mutations(vec![WalRecord::SetWordSim { ws, model_gens }])?;
+        }
+        Ok(())
+    }
+
+    /// Register an ads domain. Best-effort on a durable system (see the
+    /// [type docs](CqadsWriter) on the error model);
+    /// [`CqadsWriter::try_add_domain`] observes storage failures immediately.
+    pub fn add_domain(&mut self, spec: DomainSpec, table: Table, ti_matrix: TIMatrix) {
+        if let Err(CqadsError::Storage(e)) = self.add_domain_inner(spec, table, ti_matrix) {
+            if let Some(storage) = &self.shared.storage {
+                storage.defer_error(e);
+            }
+        }
+        self.publish_if_observed();
+    }
+
+    /// Fallible form of [`CqadsWriter::add_domain`]: surfaces any deferred
+    /// storage error first, then reports an append failure immediately (the
+    /// domain is registered in memory either way, but not persisted).
+    pub fn try_add_domain(
+        &mut self,
+        spec: DomainSpec,
+        table: Table,
+        ti_matrix: TIMatrix,
+    ) -> CqadsResult<()> {
+        let result = self
+            .surface_deferred()
+            .and_then(|()| self.add_domain_inner(spec, table, ti_matrix));
+        self.publish_if_observed();
+        result
+    }
+
+    fn add_domain_inner(
+        &mut self,
+        spec: DomainSpec,
+        table: Table,
+        ti_matrix: TIMatrix,
+    ) -> CqadsResult<()> {
+        // Capture the persisted mirror before the moves below consume the
+        // args.
+        let persisted = self.shared.storage.as_ref().map(|_| {
+            (
+                spec_to_data(&spec),
+                table.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
+                ti_matrix.export_state(),
+            )
+        });
+        let name = spec.name().to_string();
+        let spec = Arc::new(spec);
+        let tagger = Tagger::from_arc(Arc::clone(&spec));
+        let mut similarity = SimilarityModel::new(
+            Arc::new(ti_matrix),
+            Arc::clone(&self.master.word_sim),
+            spec.schema.clone(),
+        );
+        if let Some(previous) = self.master.domains.get(&name) {
+            similarity.raise_generation(previous.similarity.generation() + 1);
+        }
+        let model_gen = similarity.generation();
+        self.master.database.add_table(table);
+        self.master.domains.insert(
+            name.clone(),
+            Arc::new(DomainRuntime {
+                spec,
+                tagger,
+                similarity,
+            }),
+        );
+        if let Some((spec, records, ti)) = persisted {
+            let table_gen = self.master.database.generation(&name).unwrap_or(0);
+            self.append_mutations(vec![WalRecord::RegisterDomain {
+                spec: Box::new(spec),
+                records,
+                ti,
+                table_gen,
+                model_gen,
+            }])?;
+        }
+        Ok(())
+    }
+
+    /// Surface (and clear) a storage error deferred by an infallible entry
+    /// point — every fallible mutation path calls this first so a deferred
+    /// failure cannot go unnoticed for longer than one mutation.
+    fn surface_deferred(&self) -> CqadsResult<()> {
+        match self
+            .shared
+            .storage
+            .as_ref()
+            .and_then(|s| s.take_deferred_error())
+        {
+            Some(e) => Err(CqadsError::Storage(e)),
+            None => Ok(()),
+        }
+    }
+
+    /// Persist mutation frames in one WAL append (one fsync), then run the
+    /// auto-snapshot check. No-op on a memory-only system.
+    fn append_mutations(&mut self, records: Vec<WalRecord>) -> CqadsResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let Some(storage) = &self.shared.storage else {
+            return Ok(());
+        };
+        storage.append_mutations(&records)?;
+        let due = storage.opts.snapshot_every > 0
+            && storage.with_engine(|e| Ok(e.mutation_frames()))? >= storage.opts.snapshot_every;
+        if due {
+            self.write_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Write a point-in-time durable snapshot and rotate to a fresh WAL
+    /// epoch. Returns the new epoch number, or `None` on a memory-only
+    /// system.
+    pub fn write_snapshot(&self) -> CqadsResult<Option<u64>> {
+        let Some(storage) = &self.shared.storage else {
+            return Ok(None);
+        };
+        let data = self.snapshot_data();
+        storage
+            .with_engine(|engine| {
+                engine.install_snapshot(data)?;
+                Ok(engine.seq())
+            })
+            .map(Some)
+    }
+
+    fn snapshot_data(&self) -> SnapshotData {
+        let domains = self
+            .master
+            .domains
+            .iter()
+            .map(|(name, runtime)| {
+                let (table_gen, records) = match self.master.database.table(name) {
+                    Some(table) => (
+                        table.generation(),
+                        table.iter().map(|(_, r)| r.clone()).collect(),
+                    ),
+                    None => (0, Vec::new()),
+                };
+                DomainSnap {
+                    spec: spec_to_data(&runtime.spec),
+                    records,
+                    table_gen,
+                    ti: runtime.similarity.ti_matrix().export_state(),
+                    model_gen: runtime.similarity.generation(),
+                }
+            })
+            .collect();
+        SnapshotData {
+            seq: 0, // assigned by the engine on install
+            domains,
+            ws: self.master.word_sim.export_state(),
+            config: config_to_snap(&self.shared.config),
+        }
+    }
+
+    /// Train the JBBSM domain classifier on labelled example questions.
+    pub fn train_classifier(&mut self, docs: &[LabelledDoc]) {
+        Arc::make_mut(&mut self.master.classifier).train(docs);
+        self.publish_if_observed();
+    }
+
+    /// Insert a record into a registered domain's table. Fallible primary
+    /// form — storage errors surface immediately.
+    pub fn insert_record(&mut self, domain: &str, record: Record) -> CqadsResult<RecordId> {
+        let mut ids = self.insert_record_batch(domain, vec![record])?;
+        // lint: allow(no-panic) — a successful batch of one yields exactly one id
+        Ok(ids.pop().expect("a successful batch of one yields one id"))
+    }
+
+    /// Insert a batch of records, returning their ids in order. One WAL
+    /// append (one fsync) for the whole successful prefix, and — with
+    /// readers attached — one snapshot publication for the whole batch,
+    /// which is also why bulk loads should prefer this over `n` single
+    /// inserts: `n` publications each pay one copy-on-write table copy.
+    pub fn insert_record_batch(
+        &mut self,
+        domain: &str,
+        records: Vec<Record>,
+    ) -> CqadsResult<Vec<RecordId>> {
+        let result = self.insert_record_batch_inner(domain, records);
+        self.publish_if_observed();
+        result
+    }
+
+    fn insert_record_batch_inner(
+        &mut self,
+        domain: &str,
+        records: Vec<Record>,
+    ) -> CqadsResult<Vec<RecordId>> {
+        self.surface_deferred()?;
+        if !self.master.domains.contains_key(domain) {
+            return Err(CqadsError::UnknownDomain(domain.to_string()));
+        }
+        let durable = self.shared.storage.is_some();
+        let table = self
+            .master
+            .database
+            .table_mut(domain)
+            .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
+        let mut ids = Vec::with_capacity(records.len());
+        let mut frames = Vec::new();
+        let mut failure: Option<CqadsError> = None;
+        for record in records {
+            let persisted = if durable { Some(record.clone()) } else { None };
+            match table.insert(record) {
+                Ok(id) => {
+                    ids.push(id);
+                    if let Some(record) = persisted {
+                        // One frame per record: a single frame never advances
+                        // the table generation by more than one, which the
+                        // torn-tail safety margin of recovery relies on.
+                        frames.push(WalRecord::Insert {
+                            domain: domain.to_string(),
+                            record,
+                            table_gen: table.generation(),
+                        });
+                    }
+                }
+                Err(e) => {
+                    failure = Some(e.into());
+                    break;
+                }
+            }
+        }
+        self.append_mutations(frames)?;
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(ids),
+        }
+    }
+
+    /// Mutable access to the underlying database. Inserts through this
+    /// handle bump the owning table's generation exactly like
+    /// [`CqadsWriter::insert_record`], so cached answers still invalidate
+    /// correctly — but the writer cannot see the mutation happen, so
+    /// detached readers only observe it after the next mutation method or an
+    /// explicit [`CqadsWriter::publish`]. Nothing is written to durable
+    /// storage through this handle.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.master.database
+    }
+
+    /// Absorb one batch of freshly recorded query-log sessions into a
+    /// domain's TI-matrix — the live-learning path. Fallible primary form.
+    pub fn ingest_query_log(
+        &mut self,
+        domain: &str,
+        delta: &QueryLogDelta,
+    ) -> CqadsResult<IngestReport> {
+        self.ingest_query_log_batch(domain, std::slice::from_ref(delta))
+    }
+
+    /// Batch form of [`CqadsWriter::ingest_query_log`]: apply several deltas
+    /// with a **single** renormalization, a **single** model-generation bump
+    /// and a single snapshot publication.
+    pub fn ingest_query_log_batch(
+        &mut self,
+        domain: &str,
+        deltas: &[QueryLogDelta],
+    ) -> CqadsResult<IngestReport> {
+        let result = self.ingest_query_log_batch_inner(domain, deltas);
+        self.publish_if_observed();
+        result
+    }
+
+    fn ingest_query_log_batch_inner(
+        &mut self,
+        domain: &str,
+        deltas: &[QueryLogDelta],
+    ) -> CqadsResult<IngestReport> {
+        self.surface_deferred()?;
+        let durable = self.shared.storage.is_some();
+        let runtime = self
+            .master
+            .domains
+            .get_mut(domain)
+            .map(Arc::make_mut)
+            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
+        let sessions = deltas.iter().map(QueryLogDelta::len).sum();
+        let queries = deltas.iter().map(QueryLogDelta::query_count).sum();
+        let model_generation = runtime.similarity.apply_log_deltas(deltas);
+        let ti_pairs = runtime.similarity.ti_matrix().len();
+        if durable {
+            // Each frame carries the post-batch generation: the whole batch
+            // performed ONE bump, and recovery re-applies buffered deltas as
+            // one batch per domain, so the stamps line up exactly.
+            let frames: Vec<WalRecord> = deltas
+                .iter()
+                .map(|delta| WalRecord::LogDelta {
+                    domain: domain.to_string(),
+                    delta: delta.clone(),
+                    model_gen: model_generation,
+                })
+                .collect();
+            self.append_mutations(frames)?;
+        }
+        Ok(IngestReport {
+            sessions,
+            queries,
+            model_generation,
+            ti_pairs,
+        })
+    }
+
+    /// Whether this system persists to durable storage.
+    pub fn is_durable(&self) -> bool {
+        self.shared.storage.is_some()
+    }
+
+    /// What recovery found when this durable system was opened.
+    pub fn storage_report(&self) -> Option<&RecoveryReport> {
+        self.shared.storage.as_ref().map(|s| &s.report)
+    }
+
+    /// Audit frames that failed to persist since open.
+    pub fn audit_failures(&self) -> u64 {
+        self.shared.audit_failures()
+    }
+
+    /// The most recent audit-append failure, if any.
+    pub fn last_audit_error(&self) -> Option<StorageError> {
+        self.shared
+            .storage
+            .as_ref()
+            .and_then(|s| s.last_audit_error())
+    }
+
+    /// Take (and clear) a storage error deferred by a best-effort mutation
+    /// entry point.
+    pub fn take_deferred_storage_error(&self) -> Option<StorageError> {
+        self.shared
+            .storage
+            .as_ref()
+            .and_then(|s| s.take_deferred_error())
+    }
+}
+
+impl Default for CqadsWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The read half of the handle split: a cheap `Clone + Send + Sync` handle
+/// that answers against the snapshot published by its [`CqadsWriter`].
+///
+/// Every call loads the published `Snapshot` exactly once and serves the
+/// whole call (or batch) from it — the load never blocks on a writer's work
+/// (see the [module docs](self)), so readers on other threads keep serving
+/// at full throughput while a writer ingests.
+///
+/// Mint one with [`CqadsWriter::reader`] or
+/// [`CqadsSystem::reader`](crate::CqadsSystem::reader); clone it freely.
+///
+/// ```
+/// use addb::{Record, Table};
+/// use cqads::domain::toy_car_domain;
+/// use cqads::CqadsSystem;
+/// use cqads_querylog::TIMatrix;
+///
+/// let spec = toy_car_domain();
+/// let mut table = Table::new(spec.schema.clone());
+/// table
+///     .insert(
+///         Record::builder()
+///             .text("make", "honda")
+///             .text("model", "accord")
+///             .text("color", "blue")
+///             .text("transmission", "automatic")
+///             .number("price", 6_600.0)
+///             .build(),
+///     )
+///     .unwrap();
+/// let mut system = CqadsSystem::new();
+/// system.add_domain(spec, table, TIMatrix::default());
+///
+/// let reader = system.reader(); // Clone + Send + Sync: one per thread
+/// let answers = reader.ask("blue honda").domain("cars").get().unwrap();
+/// assert_eq!(answers.exact_count, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CqadsReader {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl CqadsReader {
+    /// Classify a question into a registered domain.
+    pub fn classify(&self, question: &str) -> CqadsResult<String> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).classify(question)
+    }
+
+    /// Like [`CqadsReader::classify`], but reports *how* the domain was
+    /// chosen.
+    pub fn classify_outcome(&self, question: &str) -> CqadsResult<ClassifyOutcome> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).classify_outcome(question)
+    }
+
+    /// Start building an answer request — the one entry point behind the
+    /// historical `answer*` quartet. See [`AnswerRequest`].
+    pub fn ask<'a>(&'a self, question: &'a str) -> AnswerRequest<'a> {
+        AnswerRequest::new(RequestTarget::Reader(self), question)
+    }
+
+    /// Answer a question end to end, classifying it first, uncached. Thin
+    /// wrapper over [`CqadsReader::ask`] + `.uncached()`.
+    pub fn answer(&self, question: &str) -> CqadsResult<AnswerSet> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).answer(question)
+    }
+
+    /// Answer against an explicitly chosen domain, uncached. Thin wrapper
+    /// over [`CqadsReader::ask`] + `.domain(..)` + `.uncached()`.
+    pub fn answer_in_domain(&self, question: &str, domain: &str) -> CqadsResult<AnswerSet> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).answer_in_domain(question, domain)
+    }
+
+    /// Answer through the serving cache, classifying first. Thin wrapper
+    /// over [`CqadsReader::ask`].
+    pub fn answer_cached(&self, question: &str) -> CqadsResult<Arc<AnswerSet>> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).answer_cached(question)
+    }
+
+    /// Cached answer against an explicit domain. Thin wrapper over
+    /// [`CqadsReader::ask`] + `.domain(..)`.
+    pub fn answer_in_domain_cached(
+        &self,
+        question: &str,
+        domain: &str,
+    ) -> CqadsResult<Arc<AnswerSet>> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).answer_in_domain_cached(question, domain)
+    }
+
+    /// Serve a burst of questions against one snapshot load. Same contract
+    /// as [`CqadsSystem::answer_batch`](crate::CqadsSystem::answer_batch).
+    pub fn answer_batch<S: AsRef<str>>(&self, questions: &[S]) -> Vec<CqadsResult<Arc<AnswerSet>>> {
+        let snap = self.shared.snapshot.load();
+        self.ctx(&snap).answer_batch(questions)
+    }
+
+    /// Registered domain names, as of the published snapshot.
+    pub fn domain_names(&self) -> Vec<String> {
+        let snap = self.shared.snapshot.load();
+        snap.domains.keys().cloned().collect()
+    }
+
+    /// The current model generation of a registered domain, as of the
+    /// published snapshot.
+    pub fn model_generation(&self, domain: &str) -> Option<u64> {
+        let snap = self.shared.snapshot.load();
+        snap.model_generation(domain)
+    }
+
+    /// The table generation of a registered domain, as of the published
+    /// snapshot.
+    pub fn table_generation(&self, domain: &str) -> Option<u64> {
+        let snap = self.shared.snapshot.load();
+        snap.database.generation(domain)
+    }
+
+    /// The pipeline configuration this system was built with.
+    pub fn config(&self) -> &CqadsConfig {
+        &self.shared.config
+    }
+
+    /// Snapshot of the serving cache's hit/miss/eviction counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// One operator-facing snapshot of the serving path's health.
+    pub fn serving_stats(&self) -> ServingStats {
+        self.shared.serving_stats()
+    }
+
+    fn ctx<'a>(&'a self, snap: &'a arcswap::Guard<Snapshot>) -> ReadContext<'a> {
+        ReadContext {
+            shared: &self.shared,
+            snap,
+        }
+    }
+}
+
+/// Where an [`AnswerRequest`] resolves its snapshot from.
+enum RequestTarget<'a> {
+    /// A detached reader: load the published snapshot.
+    Reader(&'a CqadsReader),
+    /// The facade: serve from the writer's master state.
+    System(&'a CqadsSystem),
+}
+
+/// A builder collapsing the historical `answer` / `answer_cached` /
+/// `answer_in_domain` / `answer_in_domain_cached` quartet into one fluent
+/// entry point:
+///
+/// ```
+/// # use addb::{Record, Table};
+/// # use cqads::domain::toy_car_domain;
+/// # use cqads::CqadsSystem;
+/// # use cqads_querylog::TIMatrix;
+/// # let spec = toy_car_domain();
+/// # let mut table = Table::new(spec.schema.clone());
+/// # table.insert(Record::builder().text("make", "honda").text("model", "accord").text("color", "blue").number("price", 6600.0).build()).unwrap();
+/// # let mut system = CqadsSystem::new();
+/// # system.add_domain(spec, table, TIMatrix::default());
+/// let reader = system.reader();
+/// // Cached (the default), classified automatically:
+/// let a = reader.ask("blue honda").get().unwrap();
+/// // Uncached, against an explicit domain:
+/// let b = reader.ask("blue honda").domain("cars").uncached().get().unwrap();
+/// assert_eq!(a.answers.len(), b.answers.len());
+/// ```
+///
+/// Requests default to **cached** (the serving front-end behaviour);
+/// [`AnswerRequest::uncached`] forces a from-scratch computation. Without
+/// [`AnswerRequest::domain`] the question is classified first.
+#[must_use = "an AnswerRequest does nothing until .get() is called"]
+pub struct AnswerRequest<'a> {
+    target: RequestTarget<'a>,
+    question: &'a str,
+    domain: Option<&'a str>,
+    cached: bool,
+}
+
+impl<'a> AnswerRequest<'a> {
+    fn new(target: RequestTarget<'a>, question: &'a str) -> Self {
+        AnswerRequest {
+            target,
+            question,
+            domain: None,
+            cached: true,
+        }
+    }
+
+    pub(crate) fn for_system(system: &'a CqadsSystem, question: &'a str) -> Self {
+        Self::new(RequestTarget::System(system), question)
+    }
+
+    /// Answer against this domain instead of classifying the question.
+    pub fn domain(mut self, domain: &'a str) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// Skip the serving cache: compute from scratch and fill nothing.
+    pub fn uncached(mut self) -> Self {
+        self.cached = false;
+        self
+    }
+
+    /// Execute the request. Exactly one snapshot is loaded for the whole
+    /// call; cached answers come back sharing their `Arc`, uncached ones are
+    /// freshly computed (and wrapped, so the return type is uniform).
+    pub fn get(self) -> CqadsResult<Arc<AnswerSet>> {
+        let AnswerRequest {
+            target,
+            question,
+            domain,
+            cached,
+        } = self;
+        let run = |ctx: ReadContext<'_>| match (domain, cached) {
+            (Some(d), true) => ctx.answer_in_domain_cached(question, d),
+            (Some(d), false) => ctx.answer_in_domain(question, d).map(Arc::new),
+            (None, true) => ctx.answer_cached(question),
+            (None, false) => ctx.answer(question).map(Arc::new),
+        };
+        match target {
+            RequestTarget::Reader(reader) => {
+                let snap = reader.shared.snapshot.load();
+                run(reader.ctx(&snap))
+            }
+            RequestTarget::System(system) => run(system.ctx()),
+        }
+    }
+}

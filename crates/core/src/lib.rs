@@ -40,6 +40,14 @@
 //! bumps the domain's *model* generation; cached answers are stamped with both, so
 //! either mutation invalidates every affected cached answer without any flush — see
 //! the [`cache`] module docs for the protocol.
+//!
+//! **Concurrent serving** uses the reader/writer handle split ([`handle`]):
+//! [`CqadsSystem::reader`](pipeline::CqadsSystem::reader) mints detached
+//! [`CqadsReader`] handles (`Clone + Send + Sync`) that
+//! answer against an atomically published immutable snapshot while the owner
+//! keeps ingesting — readers never block on a mutation's work and never
+//! observe a half-applied one. No lock around the system is required (or
+//! wanted) anymore; see `ARCHITECTURE.md` invariant #8.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -49,6 +57,7 @@ pub mod boolean;
 pub mod cache;
 pub mod domain;
 pub mod error;
+pub mod handle;
 pub mod identifiers;
 pub mod partial;
 pub mod pipeline;
@@ -64,12 +73,14 @@ pub use boolean::combine_conditions;
 pub use cache::{AnswerCache, CacheKey, CacheStats, GenerationStamp};
 pub use domain::DomainSpec;
 pub use error::{CqadsError, CqadsResult};
+pub use handle::{AnswerRequest, CqadsReader, CqadsWriter};
 pub use identifiers::{BoundaryOp, Tag};
 pub use partial::{
     PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher, PartialOutcome,
 };
 pub use pipeline::{
-    Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsSystem, IngestReport, MatchKind,
+    Answer, AnswerSet, ClassifyOutcome, CqadsConfig, CqadsConfigBuilder, CqadsSystem, IngestReport,
+    MatchKind,
 };
 pub use ranking::{
     boundary_matches, CompiledProbe, ProbeScorer, ScoredValue, SimilarityMeasure, SimilarityModel,

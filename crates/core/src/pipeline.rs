@@ -1,6 +1,6 @@
 //! The end-to-end CQAds pipeline.
 //!
-//! [`CqadsSystem`] owns the ads database, one [`DomainSpec`]/[`Tagger`]/TI-matrix per
+//! [`CqadsSystem`] owns the ads database, one [`DomainSpec`]/tagger/TI-matrix per
 //! registered domain, the shared WS word-correlation matrix and the JBBSM question
 //! classifier. `answer(question)` runs the full paper pipeline: classify → tag →
 //! interpret → translate to SQL → execute exactly → top up with ranked
@@ -12,32 +12,29 @@
 //! *model generation*, which — together with the table generation — stamps every
 //! cached answer so stale rankings are provably never served (see
 //! [`crate::cache`]).
+//!
+//! Since the reader/writer handle split ([`crate::handle`]), `CqadsSystem` is a
+//! thin facade over a [`CqadsWriter`]: every historical method keeps its exact
+//! signature and semantics, and [`CqadsSystem::reader`] mints detached
+//! [`CqadsReader`] handles that serve concurrently with mutations — no outer
+//! lock around the system required anymore.
 
-use crate::cache::{AnswerCache, CacheKey, CacheStats, GenerationStamp};
+use crate::cache::{AnswerCache, CacheStats};
 use crate::domain::DomainSpec;
 use crate::error::{CqadsError, CqadsResult};
-use crate::partial::{
-    PartialAnswer, PartialBatchRequest, PartialMatchOptions, PartialMatcher, PartialOutcome,
-};
-use crate::ranking::{SimilarityMeasure, SimilarityModel};
-use crate::resilience::{
-    AnswerQuality, QueryBudget, ResilienceOptions, ResilienceRuntime, ServingStats,
-};
-use crate::storage::{
-    apply_snap_to_config, config_to_snap, data_to_spec, spec_to_data, DurableStorage,
-    StorageOptions,
-};
-use crate::tagging::{TaggedQuestion, TaggedToken, Tagger};
-use crate::translate::{interpret, Interpretation};
-use addb::{Database, Executor, Record, RecordId, Table};
-use cqads_classifier::{BetaBinomialNb, Classifier, LabelledDoc};
-use cqads_querylog::{QueryLogDelta, Session, SubmittedQuery, TIMatrix};
-use cqads_storage::{
-    AuditRecord, DomainSnap, RealClock, Recovered, RecoveryReport, RetryClock, SnapshotData,
-    StorageEngine, StorageError, WalRecord,
-};
+use crate::handle::{AnswerRequest, CqadsReader, CqadsWriter, ReadContext};
+use crate::partial::PartialAnswer;
+use crate::ranking::SimilarityMeasure;
+use crate::resilience::{AnswerQuality, ResilienceOptions, ServingStats};
+use crate::storage::StorageOptions;
+use crate::tagging::TaggedQuestion;
+use crate::translate::Interpretation;
+use addb::{Database, Record, RecordId, Table};
+use cqads_classifier::LabelledDoc;
+use cqads_querylog::{QueryLogDelta, Session, TIMatrix};
+use cqads_storage::{RecoveryReport, StorageError};
 use cqads_wordsim::WordSimMatrix;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::HashSet;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -108,6 +105,11 @@ impl AnswerSet {
 
 /// Pipeline configuration.
 ///
+/// The struct remains plainly constructible (every knob is public, functional
+/// update works as it always did); [`CqadsConfig::builder`] is the validating
+/// front door that rejects nonsensical combinations with
+/// [`CqadsError::Config`] instead of letting them fail obscurely later.
+///
 /// ```
 /// use cqads::CqadsConfig;
 ///
@@ -115,6 +117,11 @@ impl AnswerSet {
 /// let config = CqadsConfig { answer_limit: 10, ..CqadsConfig::default() };
 /// assert_eq!(config.partial_threshold, 30); // paper's answer budget
 /// assert_eq!(config.cache_capacity, 4096);
+///
+/// // Or go through the validating builder:
+/// let config = CqadsConfig::builder().answer_limit(10).build().unwrap();
+/// assert_eq!(config.partial_threshold, 10); // follows answer_limit unless set
+/// assert!(CqadsConfig::builder().cache_shards(0).build().is_err());
 /// ```
 #[derive(Debug, Clone)]
 pub struct CqadsConfig {
@@ -169,6 +176,132 @@ impl Default for CqadsConfig {
             storage: None,
             resilience: None,
         }
+    }
+}
+
+impl CqadsConfig {
+    /// Start a validating [`CqadsConfigBuilder`] seeded with the defaults.
+    pub fn builder() -> CqadsConfigBuilder {
+        CqadsConfigBuilder {
+            config: CqadsConfig::default(),
+            partial_threshold: None,
+        }
+    }
+
+    /// Check this configuration for combinations that cannot work:
+    /// a zero answer limit, a partial threshold above the answer limit,
+    /// zero cache shards with a non-zero cache capacity, or a resilience
+    /// deadline floor above the deadline itself. [`CqadsConfigBuilder::build`]
+    /// runs this automatically; call it directly when constructing the struct
+    /// by hand.
+    pub fn validate(&self) -> CqadsResult<()> {
+        if self.answer_limit == 0 {
+            return Err(CqadsError::Config(
+                "answer_limit must be at least 1 (the paper uses 30)".to_string(),
+            ));
+        }
+        if self.partial_threshold > self.answer_limit {
+            return Err(CqadsError::Config(format!(
+                "partial_threshold ({}) exceeds answer_limit ({}): the threshold is \
+                 clamped to the limit, so the extra headroom can never take effect",
+                self.partial_threshold, self.answer_limit
+            )));
+        }
+        if self.cache_capacity > 0 && self.cache_shards == 0 {
+            return Err(CqadsError::Config(
+                "cache_shards must be at least 1 when the cache is enabled \
+                 (set cache_capacity to 0 to disable caching)"
+                    .to_string(),
+            ));
+        }
+        if let Some(resilience) = &self.resilience {
+            if let Some(deadline) = resilience.deadline_micros {
+                if resilience.min_deadline_micros > deadline {
+                    return Err(CqadsError::Config(format!(
+                        "resilience.min_deadline_micros ({}) exceeds deadline_micros ({}): \
+                         the step-down floor can never be above the starting deadline",
+                        resilience.min_deadline_micros, deadline
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`CqadsConfig`] — see [`CqadsConfig::builder`].
+///
+/// Unset knobs keep their defaults, with one dependent default:
+/// `partial_threshold` follows `answer_limit` (the paper tops partial answers
+/// up to the full budget) unless set explicitly. [`CqadsConfigBuilder::build`]
+/// rejects invalid combinations with [`CqadsError::Config`].
+///
+/// Marked `#[non_exhaustive]` so future knobs never break downstream matches
+/// or construction; the only way to obtain one is [`CqadsConfig::builder`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CqadsConfigBuilder {
+    config: CqadsConfig,
+    /// Explicit override; `None` follows `answer_limit`.
+    partial_threshold: Option<usize>,
+}
+
+impl CqadsConfigBuilder {
+    /// Total answers returned per question (exact + partial).
+    pub fn answer_limit(mut self, answer_limit: usize) -> Self {
+        self.config.answer_limit = answer_limit;
+        self
+    }
+
+    /// Retrieve partial answers whenever fewer exact answers than this exist.
+    pub fn partial_threshold(mut self, partial_threshold: usize) -> Self {
+        self.partial_threshold = Some(partial_threshold);
+        self
+    }
+
+    /// Worker threads for the partial-match fan-out (`0` auto-detects).
+    pub fn partial_workers(mut self, partial_workers: usize) -> Self {
+        self.config.partial_workers = partial_workers;
+        self
+    }
+
+    /// Use the frozen exhaustive PR 2 partial-match engine.
+    pub fn partial_exhaustive(mut self, partial_exhaustive: bool) -> Self {
+        self.config.partial_exhaustive = partial_exhaustive;
+        self
+    }
+
+    /// Total answer sets held by the serving cache (`0` disables caching).
+    pub fn cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.config.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Lock stripes of the serving cache.
+    pub fn cache_shards(mut self, cache_shards: usize) -> Self {
+        self.config.cache_shards = cache_shards;
+        self
+    }
+
+    /// Enable durable storage with these options.
+    pub fn storage(mut self, storage: StorageOptions) -> Self {
+        self.config.storage = Some(storage);
+        self
+    }
+
+    /// Enable the serving-resilience layer with these options.
+    pub fn resilience(mut self, resilience: ResilienceOptions) -> Self {
+        self.config.resilience = Some(resilience);
+        self
+    }
+
+    /// Validate and produce the configuration; [`CqadsError::Config`] names
+    /// the offending knob combination.
+    pub fn build(self) -> CqadsResult<CqadsConfig> {
+        let mut config = self.config;
+        config.partial_threshold = self.partial_threshold.unwrap_or(config.answer_limit);
+        config.validate()?;
+        Ok(config)
     }
 }
 
@@ -230,18 +363,17 @@ pub struct IngestReport {
     pub ti_pairs: usize,
 }
 
-/// Everything the system holds for one registered domain.
-#[derive(Debug, Clone)]
-struct DomainRuntime {
-    spec: Arc<DomainSpec>,
-    tagger: Tagger,
-    similarity: SimilarityModel,
-}
-
 /// The CQAds question-answering system.
 ///
 /// Owns the ads database, one tagger/TI-matrix/similarity model per registered
 /// domain, the shared WS-matrix, the domain classifier and the serving cache.
+///
+/// This type is a thin compatibility facade over the reader/writer handle
+/// split ([`crate::handle`]): it wraps a [`CqadsWriter`] and serves every
+/// read directly from the writer's master state, so single-handle usage is
+/// exactly as fast (and exactly as immediate — `database_mut` edits are
+/// visible to the next `answer`) as before the split. For concurrent serving
+/// mint detached [`CqadsReader`]s with [`CqadsSystem::reader`].
 ///
 /// ```
 /// use addb::{Record, Table};
@@ -270,25 +402,15 @@ struct DomainRuntime {
 /// ```
 #[derive(Debug)]
 pub struct CqadsSystem {
-    database: Database,
-    domains: BTreeMap<String, DomainRuntime>,
-    classifier: BetaBinomialNb,
-    word_sim: Arc<WordSimMatrix>,
-    config: CqadsConfig,
-    cache: AnswerCache,
-    storage: Option<DurableStorage>,
-    resilience: Option<ResilienceRuntime>,
-    /// Time source for answer timing and audit frames. Shared with the
-    /// resilience layer's clock when one is configured, so an injected
-    /// [`ManualClock`](cqads_storage::ManualClock) governs *all* observable
-    /// time in the system; wall clock otherwise.
-    clock: Arc<dyn RetryClock>,
+    pub(crate) inner: CqadsWriter,
 }
 
 impl CqadsSystem {
     /// Create an empty system with the default configuration and an empty WS-matrix.
     pub fn new() -> Self {
-        Self::with_config(CqadsConfig::default())
+        CqadsSystem {
+            inner: CqadsWriter::new(),
+        }
     }
 
     /// Create an empty system with an explicit configuration.
@@ -299,13 +421,8 @@ impl CqadsSystem {
     /// recovered; use [`CqadsSystem::try_with_config`] to handle that error.
     /// Memory-only configurations (`storage: None`) never panic.
     pub fn with_config(config: CqadsConfig) -> Self {
-        match Self::try_with_config(config) {
-            Ok(system) => system,
-            // lint: allow(no-panic) — the documented panicking convenience; try_with_config is the fallible API
-            Err(e) => panic!(
-                "failed to open durable storage \
-                 (use CqadsSystem::try_with_config to handle this): {e}"
-            ),
+        CqadsSystem {
+            inner: CqadsWriter::with_config(config),
         }
     }
 
@@ -316,17 +433,20 @@ impl CqadsSystem {
     /// passed. [`CqadsSystem::open`] is the variant that restores the
     /// persisted knobs from the snapshot instead.
     pub fn try_with_config(config: CqadsConfig) -> CqadsResult<Self> {
-        Self::open_internal(config, false)
+        Ok(CqadsSystem {
+            inner: CqadsWriter::try_with_config(config)?,
+        })
     }
 
     /// Open (or create) a durable system rooted at `dir` with
     /// [`StorageOptions::at`]'s defaults: load the newest valid snapshot,
     /// replay the WAL tail, truncate any torn suffix at the last valid frame,
     /// and raise every generation counter far enough that no
-    /// [`GenerationStamp`] handed out before the crash can ever be re-issued
-    /// for different state. Scalar config knobs persisted by the snapshot
-    /// (answer limit, cache sizing, ...) are restored;
-    /// [`CqadsSystem::storage_report`] describes what recovery found.
+    /// [`GenerationStamp`](crate::cache::GenerationStamp) handed out before
+    /// the crash can ever be re-issued for different state. Scalar config
+    /// knobs persisted by the snapshot (answer limit, cache sizing, ...) are
+    /// restored; [`CqadsSystem::storage_report`] describes what recovery
+    /// found.
     pub fn open(dir: impl Into<PathBuf>) -> CqadsResult<Self> {
         Self::open_with(StorageOptions::at(dir))
     }
@@ -338,223 +458,66 @@ impl CqadsSystem {
             storage: Some(opts),
             ..CqadsConfig::default()
         };
-        Self::open_internal(config, true)
+        Ok(CqadsSystem {
+            inner: CqadsWriter::open_internal(config, true)?,
+        })
     }
 
-    fn in_memory(config: CqadsConfig) -> Self {
-        let cache = AnswerCache::new(config.cache_capacity, config.cache_shards);
-        let resilience = config.resilience.clone().map(ResilienceRuntime::new);
-        let clock: Arc<dyn RetryClock> = match &config.resilience {
-            Some(opts) => Arc::clone(&opts.clock),
-            None => Arc::new(RealClock::new()),
-        };
-        CqadsSystem {
-            database: Database::new(),
-            domains: BTreeMap::new(),
-            classifier: BetaBinomialNb::new(),
-            word_sim: Arc::new(WordSimMatrix::default()),
-            config,
-            cache,
-            storage: None,
-            resilience,
-            clock,
-        }
+    /// Mint a detached read handle (`Clone + Send + Sync`): it serves
+    /// [`CqadsReader::answer_batch`] and friends against the published
+    /// snapshot while this system keeps mutating — readers never block on a
+    /// mutation's work and never observe a half-applied one. Every mutation
+    /// through this system is republished automatically; only
+    /// [`CqadsSystem::database_mut`] edits need an explicit
+    /// [`CqadsSystem::publish`].
+    pub fn reader(&self) -> CqadsReader {
+        self.inner.reader()
     }
 
-    fn open_internal(mut config: CqadsConfig, prefer_snapshot_config: bool) -> CqadsResult<Self> {
-        let Some(opts) = config.storage.clone() else {
-            return Ok(Self::in_memory(config));
-        };
-        let (mut engine, recovered) =
-            StorageEngine::open(Arc::clone(&opts.vfs), &opts.dir, opts.fsync)
-                .map_err(CqadsError::Storage)?;
-        let Recovered {
-            snapshot,
-            records,
-            report,
-        } = recovered;
-        if prefer_snapshot_config {
-            if let Some(snap) = &snapshot {
-                apply_snap_to_config(&mut config, &snap.config);
-            }
-        }
-        let mut system = Self::in_memory(config);
-
-        // Highest (table, model) generation per domain that any persisted
-        // artifact proves was observable before the crash. Recovery must end
-        // with every live counter at or above its target — the
-        // generation-never-regresses invariant the answer cache depends on.
-        let mut targets: BTreeMap<String, (u64, u64)> = BTreeMap::new();
-        fn observe(targets: &mut BTreeMap<String, (u64, u64)>, name: &str, table: u64, model: u64) {
-            let entry = targets.entry(name.to_string()).or_insert((0, 0));
-            entry.0 = entry.0.max(table);
-            entry.1 = entry.1.max(model);
-        }
-
-        if let Some(snap) = &snapshot {
-            system.word_sim = Arc::new(WordSimMatrix::from_state(&snap.ws));
-            for d in &snap.domains {
-                let name = system.restore_domain(d)?;
-                observe(&mut targets, &name, d.table_gen, d.model_gen);
-            }
-        }
-
-        // Replay the WAL tail. Registrations and inserts apply eagerly;
-        // query-log deltas are buffered and applied in ONE batch per domain
-        // at the end (one O(pairs) renormalization instead of one per tiny
-        // delta); of several WS swaps only the final one can matter.
-        let mut buffered_deltas: BTreeMap<String, Vec<QueryLogDelta>> = BTreeMap::new();
-        let mut pending_ws: Option<cqads_wordsim::WsMatrixState> = None;
-        for record in records {
-            match record {
-                WalRecord::RegisterDomain {
-                    spec,
-                    records,
-                    ti,
-                    table_gen,
-                    model_gen,
-                } => {
-                    let snap = DomainSnap {
-                        spec: *spec,
-                        records,
-                        table_gen,
-                        ti,
-                        model_gen,
-                    };
-                    let name = system.restore_domain(&snap)?;
-                    // Re-registration replaced the TI-matrix: deltas logged
-                    // against the previous registration are already folded
-                    // into the `ti` state this frame carries.
-                    buffered_deltas.remove(&name);
-                    observe(&mut targets, &name, table_gen, model_gen);
-                }
-                WalRecord::Insert {
-                    domain,
-                    record,
-                    table_gen,
-                } => {
-                    let table = system
-                        .database
-                        .table_mut(&domain)
-                        .ok_or_else(|| CqadsError::MissingTable(domain.clone()))?;
-                    table.insert(record)?;
-                    table.raise_generation(table_gen);
-                    observe(&mut targets, &domain, table_gen, 0);
-                }
-                WalRecord::LogDelta {
-                    domain,
-                    delta,
-                    model_gen,
-                } => {
-                    buffered_deltas
-                        .entry(domain.clone())
-                        .or_default()
-                        .push(delta);
-                    observe(&mut targets, &domain, 0, model_gen);
-                }
-                WalRecord::SetWordSim { ws, model_gens } => {
-                    for (name, model_gen) in &model_gens {
-                        observe(&mut targets, name, 0, *model_gen);
-                    }
-                    pending_ws = Some(ws);
-                }
-                WalRecord::Audit(_) => {}
-                WalRecord::Floors { floors } => {
-                    for (name, table, model) in &floors {
-                        observe(&mut targets, name, *table, *model);
-                    }
-                }
-            }
-        }
-        for (domain, deltas) in buffered_deltas {
-            if let Some(runtime) = system.domains.get_mut(&domain) {
-                runtime.similarity.apply_log_deltas(&deltas);
-            }
-        }
-        if let Some(ws) = pending_ws {
-            system.rebuild_models_with_word_sim(WordSimMatrix::from_state(&ws), false);
-        }
-
-        // Raise every counter to its proven floor, plus a safety margin when
-        // recovery dropped bytes it could not decode: each dropped frame can
-        // have advanced a counter by at most one, so targets + bump bounds
-        // every stamp the crashed process can possibly have handed out.
-        let bump = report.generation_safety_bump;
-        for (name, (table_target, model_target)) in &targets {
-            if let Some(table) = system.database.table_mut(name) {
-                table.raise_generation(table_target + bump);
-            }
-            if let Some(runtime) = system.domains.get_mut(name) {
-                runtime.similarity.raise_generation(model_target + bump);
-            }
-        }
-        if bump > 0 {
-            // Persist the raised floors so a second recovery (which sees a
-            // clean, already-truncated log and computes bump = 0) lands on
-            // the same generations — recovery is idempotent.
-            let floors: Vec<(String, u64, u64)> = targets
-                .keys()
-                .map(|name| {
-                    (
-                        name.clone(),
-                        system.database.generation(name).unwrap_or(0),
-                        system.model_generation(name).unwrap_or(0),
-                    )
-                })
-                .collect();
-            engine
-                .append(&WalRecord::Floors { floors })
-                .map_err(CqadsError::Storage)?;
-        }
-        system.storage = Some(DurableStorage::new(engine, opts, report));
-        Ok(system)
+    /// Publish the current state to detached readers. Mutation methods do
+    /// this automatically; call it after mutating through
+    /// [`CqadsSystem::database_mut`].
+    pub fn publish(&self) {
+        self.inner.publish()
     }
 
-    /// Rebuild one domain from its persisted form with its *exact* persisted
-    /// generations — no WAL writes, no extra bumps (recovery controls the
-    /// floors itself). Returns the domain name.
-    fn restore_domain(&mut self, snap: &DomainSnap) -> CqadsResult<String> {
-        let spec = data_to_spec(&snap.spec);
-        let name = spec.name().to_string();
-        let table = Table::from_records(
-            snap.spec.schema.clone(),
-            snap.records.iter().cloned(),
-            snap.table_gen,
-        )?;
-        let spec = Arc::new(spec);
-        let tagger = Tagger::from_arc(Arc::clone(&spec));
-        let mut similarity = SimilarityModel::new(
-            Arc::new(TIMatrix::from_state(&snap.ti)),
-            Arc::clone(&self.word_sim),
-            spec.schema.clone(),
-        );
-        similarity.raise_generation(snap.model_gen);
-        self.database.add_table(table);
-        self.domains.insert(
-            name.clone(),
-            DomainRuntime {
-                spec,
-                tagger,
-                similarity,
-            },
-        );
-        Ok(name)
+    /// Unwrap the facade into its [`CqadsWriter`] — the explicit write half
+    /// of the handle split. Reads then go through [`CqadsWriter::reader`]
+    /// handles.
+    pub fn into_writer(self) -> CqadsWriter {
+        self.inner
+    }
+
+    /// Start building an answer request — one fluent entry point behind the
+    /// `answer` / `answer_cached` / `answer_in_domain` /
+    /// `answer_in_domain_cached` quartet. See [`AnswerRequest`].
+    pub fn ask<'a>(&'a self, question: &'a str) -> AnswerRequest<'a> {
+        AnswerRequest::for_system(self, question)
+    }
+
+    /// The writer's read view over the master state (immediate visibility of
+    /// every mutation, including raw `database_mut` edits).
+    pub(crate) fn ctx(&self) -> ReadContext<'_> {
+        self.inner.ctx()
+    }
+
+    /// The pipeline configuration this system was built with (after
+    /// [`CqadsSystem::open`] restored persisted knobs, if it did).
+    pub fn config(&self) -> &CqadsConfig {
+        self.inner.config()
     }
 
     /// Install the shared WS word-correlation matrix used by `Feat_Sim`. Every
     /// domain's model generation advances past its previous value, so cached
     /// answers ranked under the old matrix are invalidated (see [`crate::cache`]).
     ///
-    /// On a durable system a storage failure here is *deferred*: the swap
-    /// still happens in memory and the error surfaces from the next fallible
-    /// mutation (or [`CqadsSystem::take_deferred_storage_error`]). Use
+    /// **Best-effort** on a durable system: the swap always happens in
+    /// memory, and a storage failure is *deferred* — it surfaces from the
+    /// next fallible mutation (or
+    /// [`CqadsSystem::take_deferred_storage_error`]). Use
     /// [`CqadsSystem::try_set_word_sim`] to observe it immediately.
     pub fn set_word_sim(&mut self, matrix: WordSimMatrix) {
-        if let Err(CqadsError::Storage(e)) = self.set_word_sim_inner(matrix) {
-            if let Some(storage) = &self.storage {
-                storage.defer_error(e);
-            }
-        }
+        self.inner.set_word_sim(matrix)
     }
 
     /// Fallible form of [`CqadsSystem::set_word_sim`]: surfaces any deferred
@@ -562,50 +525,7 @@ impl CqadsSystem {
     /// in-memory swap has happened either way — the matrix is installed but
     /// not persisted).
     pub fn try_set_word_sim(&mut self, matrix: WordSimMatrix) -> CqadsResult<()> {
-        self.surface_deferred()?;
-        self.set_word_sim_inner(matrix)
-    }
-
-    fn set_word_sim_inner(&mut self, matrix: WordSimMatrix) -> CqadsResult<()> {
-        let ws_state = self.storage.as_ref().map(|_| matrix.export_state());
-        self.rebuild_models_with_word_sim(matrix, true);
-        if let Some(ws) = ws_state {
-            let model_gens: Vec<(String, u64)> = self
-                .domains
-                .iter()
-                .map(|(name, runtime)| (name.clone(), runtime.similarity.generation()))
-                .collect();
-            self.append_mutations(vec![WalRecord::SetWordSim { ws, model_gens }])?;
-        }
-        Ok(())
-    }
-
-    /// Swap in a WS matrix and rebuild every per-domain similarity model
-    /// against it. With `bump` set each model's generation moves past its
-    /// previous value (the matrix changed ranking semantics); recovery passes
-    /// `false` because it restores exact persisted generations and controls
-    /// the floors itself.
-    fn rebuild_models_with_word_sim(&mut self, matrix: WordSimMatrix, bump: bool) {
-        self.word_sim = Arc::new(matrix);
-        let runtimes: Vec<(String, DomainRuntime)> = self
-            .domains
-            .iter()
-            .map(|(name, runtime)| (name.clone(), runtime.clone()))
-            .collect();
-        for (name, runtime) in runtimes {
-            let ti = runtime.similarity_ti();
-            let schema = runtime.spec.schema.clone();
-            let mut similarity = SimilarityModel::new(ti, Arc::clone(&self.word_sim), schema);
-            similarity.raise_generation(runtime.similarity.generation() + u64::from(bump));
-            self.domains.insert(
-                name,
-                DomainRuntime {
-                    spec: runtime.spec,
-                    tagger: runtime.tagger,
-                    similarity,
-                },
-            );
-        }
+        self.inner.try_set_word_sim(matrix)
     }
 
     /// Register an ads domain: its specification, its populated table and its TI-matrix
@@ -617,16 +537,12 @@ impl CqadsSystem {
     /// generation advance past their previous values, so no cached answer of the
     /// old registration can ever be served against the new one.
     ///
-    /// On a durable system the registration (spec, records, TI state and both
-    /// generations) is appended to the WAL; a storage failure is *deferred*
-    /// exactly as for [`CqadsSystem::set_word_sim`] — use
+    /// **Best-effort** on a durable system: the registration (spec, records, TI
+    /// state and both generations) is appended to the WAL and a storage failure
+    /// is *deferred* exactly as for [`CqadsSystem::set_word_sim`] — use
     /// [`CqadsSystem::try_add_domain`] to observe it immediately.
     pub fn add_domain(&mut self, spec: DomainSpec, table: Table, ti_matrix: TIMatrix) {
-        if let Err(CqadsError::Storage(e)) = self.add_domain_inner(spec, table, ti_matrix) {
-            if let Some(storage) = &self.storage {
-                storage.defer_error(e);
-            }
-        }
+        self.inner.add_domain(spec, table, ti_matrix)
     }
 
     /// Fallible form of [`CqadsSystem::add_domain`]: surfaces any deferred
@@ -638,84 +554,7 @@ impl CqadsSystem {
         table: Table,
         ti_matrix: TIMatrix,
     ) -> CqadsResult<()> {
-        self.surface_deferred()?;
-        self.add_domain_inner(spec, table, ti_matrix)
-    }
-
-    fn add_domain_inner(
-        &mut self,
-        spec: DomainSpec,
-        table: Table,
-        ti_matrix: TIMatrix,
-    ) -> CqadsResult<()> {
-        // Capture the persisted mirror before the moves below consume the args.
-        let persisted = self.storage.as_ref().map(|_| {
-            (
-                spec_to_data(&spec),
-                table.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>(),
-                ti_matrix.export_state(),
-            )
-        });
-        let name = spec.name().to_string();
-        let spec = Arc::new(spec);
-        let tagger = Tagger::from_arc(Arc::clone(&spec));
-        let mut similarity = SimilarityModel::new(
-            Arc::new(ti_matrix),
-            Arc::clone(&self.word_sim),
-            spec.schema.clone(),
-        );
-        if let Some(previous) = self.domains.get(&name) {
-            similarity.raise_generation(previous.similarity.generation() + 1);
-        }
-        let model_gen = similarity.generation();
-        self.database.add_table(table);
-        self.domains.insert(
-            name.clone(),
-            DomainRuntime {
-                spec,
-                tagger,
-                similarity,
-            },
-        );
-        if let Some((spec, records, ti)) = persisted {
-            let table_gen = self.database.generation(&name).unwrap_or(0);
-            self.append_mutations(vec![WalRecord::RegisterDomain {
-                spec: Box::new(spec),
-                records,
-                ti,
-                table_gen,
-                model_gen,
-            }])?;
-        }
-        Ok(())
-    }
-
-    /// Surface (and clear) a storage error deferred by an infallible entry
-    /// point — every fallible mutation path calls this first so a deferred
-    /// failure cannot go unnoticed for longer than one mutation.
-    fn surface_deferred(&self) -> CqadsResult<()> {
-        match self.storage.as_ref().and_then(|s| s.take_deferred_error()) {
-            Some(e) => Err(CqadsError::Storage(e)),
-            None => Ok(()),
-        }
-    }
-
-    /// Persist mutation frames in one WAL append (one fsync), then run the
-    /// auto-snapshot check. No-op on a memory-only system.
-    fn append_mutations(&mut self, records: Vec<WalRecord>) -> CqadsResult<()> {
-        if records.is_empty() {
-            return Ok(());
-        }
-        let Some(storage) = &self.storage else {
-            return Ok(());
-        };
-        storage.append_mutations(&records)?;
-        let due = storage.opts.snapshot_every > 0
-            && storage.with_engine(|e| Ok(e.mutation_frames()))? >= storage.opts.snapshot_every;
-        if due {
-            self.snapshot()?;
-        }
-        Ok(())
+        self.inner.try_add_domain(spec, table, ti_matrix)
     }
 
     /// Write a point-in-time snapshot (database records, per-domain TI
@@ -724,66 +563,37 @@ impl CqadsSystem {
     /// ones are pruned. Returns the new epoch number, or `None` on a
     /// memory-only system. Runs automatically every
     /// [`StorageOptions::snapshot_every`] mutation frames.
-    pub fn snapshot(&mut self) -> CqadsResult<Option<u64>> {
-        let Some(storage) = &self.storage else {
-            return Ok(None);
-        };
-        let data = self.snapshot_data();
-        storage
-            .with_engine(|engine| {
-                engine.install_snapshot(data)?;
-                Ok(engine.seq())
-            })
-            .map(Some)
-    }
-
-    fn snapshot_data(&self) -> SnapshotData {
-        let domains = self
-            .domains
-            .iter()
-            .map(|(name, runtime)| {
-                let (table_gen, records) = match self.database.table(name) {
-                    Some(table) => (
-                        table.generation(),
-                        table.iter().map(|(_, r)| r.clone()).collect(),
-                    ),
-                    None => (0, Vec::new()),
-                };
-                DomainSnap {
-                    spec: spec_to_data(&runtime.spec),
-                    records,
-                    table_gen,
-                    ti: runtime.similarity.ti_matrix().export_state(),
-                    model_gen: runtime.similarity.generation(),
-                }
-            })
-            .collect();
-        SnapshotData {
-            seq: 0, // assigned by the engine on install
-            domains,
-            ws: self.word_sim.export_state(),
-            config: config_to_snap(&self.config),
-        }
+    pub fn snapshot(&self) -> CqadsResult<Option<u64>> {
+        self.inner.write_snapshot()
     }
 
     /// Train the JBBSM domain classifier on labelled example questions.
     pub fn train_classifier(&mut self, docs: &[LabelledDoc]) {
-        self.classifier.train(docs);
+        self.inner.train_classifier(docs)
     }
 
     /// Registered domain names.
     pub fn domain_names(&self) -> Vec<&str> {
-        self.domains.keys().map(String::as_str).collect()
+        self.inner
+            .master
+            .domains
+            .keys()
+            .map(String::as_str)
+            .collect()
     }
 
     /// The underlying ads database.
     pub fn database(&self) -> &Database {
-        &self.database
+        &self.inner.master.database
     }
 
     /// The domain specification of a registered domain.
     pub fn domain_spec(&self, domain: &str) -> Option<&DomainSpec> {
-        self.domains.get(domain).map(|r| r.spec.as_ref())
+        self.inner
+            .master
+            .domains
+            .get(domain)
+            .map(|r| r.spec.as_ref())
     }
 
     /// Classify a question into a registered domain (Equation 2). Falls back to the
@@ -791,40 +601,20 @@ impl CqadsSystem {
     /// unregistered domain; use [`CqadsSystem::classify_outcome`] to observe which
     /// path fired.
     pub fn classify(&self, question: &str) -> CqadsResult<String> {
-        Ok(self.classify_outcome(question)?.into_domain())
+        self.ctx().classify(question)
     }
 
     /// Like [`CqadsSystem::classify`], but reports *how* the domain was chosen: a
     /// genuine prediction, the untrained fallback, or — previously invisible — the
     /// classifier emitting a domain that was never registered.
     pub fn classify_outcome(&self, question: &str) -> CqadsResult<ClassifyOutcome> {
-        if self.domains.is_empty() {
-            return Err(CqadsError::NoDomain);
-        }
-        let first = || {
-            self.domains
-                .keys()
-                .next()
-                // lint: allow(no-panic) — guarded by the NoDomain early return above
-                .expect("non-empty checked above")
-                .clone()
-        };
-        Ok(match self.classifier.classify_text(question) {
-            Some(domain) if self.domains.contains_key(&domain) => {
-                ClassifyOutcome::Classified(domain)
-            }
-            Some(predicted) => ClassifyOutcome::FallbackUnknownDomain {
-                predicted,
-                fallback: first(),
-            },
-            None => ClassifyOutcome::FallbackUntrained(first()),
-        })
+        self.ctx().classify_outcome(question)
     }
 
-    /// Answer a question end to end, classifying it first.
+    /// Answer a question end to end, classifying it first. Thin uncached
+    /// wrapper over the same engine as [`CqadsSystem::ask`].
     pub fn answer(&self, question: &str) -> CqadsResult<AnswerSet> {
-        let domain = self.classify(question)?;
-        self.answer_in_domain(question, &domain)
+        self.ctx().answer(question)
     }
 
     /// Answer a question against an explicitly chosen domain (used by the evaluation
@@ -832,101 +622,7 @@ impl CqadsSystem {
     /// cached serving front-end is [`CqadsSystem::answer_batch`] /
     /// [`CqadsSystem::answer_in_domain_cached`].
     pub fn answer_in_domain(&self, question: &str, domain: &str) -> CqadsResult<AnswerSet> {
-        let (runtime, table) = self.domain_runtime(domain)?;
-        let mut pending = self.begin_answer(runtime, table, question, domain)?;
-        let partial = match pending.partial_budget {
-            0 => Vec::new(),
-            budget => self.matcher(runtime).partial_answers(
-                &pending.interpretation,
-                table,
-                &pending.exact_ids,
-                budget,
-            )?,
-        };
-        pending.absorb_partial(partial, table);
-        Ok(pending.finish(self.config.answer_limit, self.clock.now_micros()))
-    }
-
-    /// Resolve a domain to its runtime and table, distinguishing an unregistered
-    /// domain ([`CqadsError::UnknownDomain`]) from a registered domain whose table is
-    /// missing from the database ([`CqadsError::MissingTable`]).
-    fn domain_runtime(&self, domain: &str) -> CqadsResult<(&DomainRuntime, &Table)> {
-        let runtime = self
-            .domains
-            .get(domain)
-            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
-        let table = self
-            .database
-            .table(domain)
-            .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
-        Ok((runtime, table))
-    }
-
-    /// The partial matcher configured the way every answering path uses it.
-    fn matcher<'s>(&self, runtime: &'s DomainRuntime) -> PartialMatcher<'s> {
-        PartialMatcher::with_options(
-            &runtime.spec,
-            &runtime.similarity,
-            PartialMatchOptions {
-                workers: self.config.partial_workers,
-                pr2_exhaustive: self.config.partial_exhaustive,
-                ..PartialMatchOptions::default()
-            },
-        )
-    }
-
-    /// Run the pre-partial pipeline stages (tag → interpret → translate → exact
-    /// execution) for one question. The partial phase is left to the caller so that
-    /// [`CqadsSystem::answer_batch`] can fan a whole burst of these through
-    /// [`PartialMatcher::partial_answers_batch`] on one thread scope.
-    fn begin_answer(
-        &self,
-        runtime: &DomainRuntime,
-        table: &Table,
-        question: &str,
-        domain: &str,
-    ) -> CqadsResult<PendingAnswer> {
-        let start_micros = self.clock.now_micros();
-        let tagged = runtime.tagger.tag(question);
-        let interpretation = interpret(&tagged, &runtime.spec)?;
-        let query = interpretation.to_query_with_limit(&runtime.spec, self.config.answer_limit)?;
-        let sql = addb::sql::render(&query);
-
-        let executor = Executor::new(table);
-        let exact = executor.execute(&query)?;
-        let exact_ids: HashSet<RecordId> = exact.iter().map(|a| a.id).collect();
-        let n = interpretation.condition_count();
-
-        let answers: Vec<Answer> = exact
-            .iter()
-            .filter_map(|a| table.get_shared(a.id).map(|r| (a.id, r)))
-            .map(|(id, record)| Answer {
-                id,
-                record,
-                kind: MatchKind::Exact,
-                rank_sim: n as f64,
-                measure: SimilarityMeasure::None,
-            })
-            .collect();
-
-        // Top up with partially-matched answers when exact answers are scarce.
-        let partial_budget =
-            if answers.len() < self.config.partial_threshold.min(self.config.answer_limit) {
-                self.config.answer_limit - answers.len()
-            } else {
-                0
-            };
-
-        Ok(PendingAnswer {
-            domain: domain.to_string(),
-            tagged,
-            interpretation,
-            sql,
-            answers,
-            exact_ids,
-            partial_budget,
-            start_micros,
-        })
+        self.ctx().answer_in_domain(question, domain)
     }
 
     /// Answer a question through the serving cache, classifying it first. A repeated
@@ -934,8 +630,7 @@ impl CqadsSystem {
     /// [`CqadsSystem::answer_batch`] for the burst-oriented form and
     /// [`cache`](crate::cache) for the invalidation protocol.
     pub fn answer_cached(&self, question: &str) -> CqadsResult<Arc<AnswerSet>> {
-        let domain = self.classify(question)?;
-        self.answer_in_domain_cached(question, &domain)
+        self.ctx().answer_cached(question)
     }
 
     /// Read-through cached variant of [`CqadsSystem::answer_in_domain`]: identical
@@ -946,73 +641,13 @@ impl CqadsSystem {
         question: &str,
         domain: &str,
     ) -> CqadsResult<Arc<AnswerSet>> {
-        // Timing exists only for the audit trail; a memory-only (or
-        // audit-off) system must not pay a clock read per hit.
-        let start = self.audit_enabled().then(|| self.clock.now_micros());
-        let took = |start: Option<u64>| {
-            start
-                .map(|s| Duration::from_micros(self.clock.now_micros().saturating_sub(s)))
-                .unwrap_or_default()
-        };
-        if !self.cache.is_enabled() {
-            let answer = Arc::new(self.answer_in_domain(question, domain)?);
-            self.audit(question, domain, false, took(start));
-            return Ok(answer);
-        }
-        // The stamp is read *before* computing so a racing insert or model update
-        // leaves the filled entry conservatively stale (see the cache module docs).
-        let stamp = self.current_stamp(domain);
-        let key = CacheKey::new(domain, question);
-        if let Some(stamp) = stamp {
-            if let Some(hit) = self.cache.lookup(&key, stamp) {
-                self.audit(question, domain, true, took(start));
-                return Ok(hit);
-            }
-        }
-        let answer = Arc::new(self.answer_in_domain(question, domain)?);
-        if let Some(stamp) = stamp {
-            self.cache.fill(key, stamp, Arc::clone(&answer));
-        }
-        self.audit(question, domain, false, took(start));
-        Ok(answer)
-    }
-
-    /// Whether served questions are appended to the audit trail: durable
-    /// system with [`StorageOptions::audit_queries`] on.
-    fn audit_enabled(&self) -> bool {
-        self.storage.as_ref().is_some_and(|s| s.opts.audit_queries)
-    }
-
-    /// Best-effort audit append for the single-question cached path: never
-    /// fails the serving path (failures count in
-    /// [`CqadsSystem::audit_failures`]), no-op unless the system is durable
-    /// and [`StorageOptions::audit_queries`] is on.
-    fn audit(&self, question: &str, domain: &str, hit: bool, elapsed: Duration) {
-        let Some(storage) = &self.storage else {
-            return;
-        };
-        if !storage.opts.audit_queries {
-            return;
-        }
-        let stamp = self
-            .current_stamp(domain)
-            .unwrap_or(GenerationStamp::new(0, 0));
-        storage.append_audit(audit_record(question, domain, hit, stamp, elapsed));
-    }
-
-    /// The domain's current [`GenerationStamp`]: its table generation paired with
-    /// its similarity-model generation. `None` when the domain is unregistered or
-    /// its table is missing (the uncached path then reports the precise error).
-    fn current_stamp(&self, domain: &str) -> Option<GenerationStamp> {
-        let table = self.database.generation(domain)?;
-        let model = self.domains.get(domain)?.similarity.generation();
-        Some(GenerationStamp::new(table, model))
+        self.ctx().answer_in_domain_cached(question, domain)
     }
 
     /// Serve a burst of questions: classify + normalize + dedup, serve repeats from
     /// the cache, and fan the residual misses' partial-match phases through
-    /// [`PartialMatcher::partial_answers_batch`] on one thread scope per domain,
-    /// back-filling the cache for the next burst.
+    /// [`PartialMatcher::partial_answers_batch`](crate::PartialMatcher::partial_answers_batch)
+    /// on one thread scope per domain, back-filling the cache for the next burst.
     ///
     /// Results are positional (`results[i]` answers `questions[i]`) and element-wise
     /// identical to calling [`CqadsSystem::answer_in_domain`] per question with the
@@ -1029,271 +664,7 @@ impl CqadsSystem {
     /// [`ResilienceOptions::serve_stale_on_timeout`] is on). Non-`Complete`
     /// answers are never cached.
     pub fn answer_batch<S: AsRef<str>>(&self, questions: &[S]) -> Vec<CqadsResult<Arc<AnswerSet>>> {
-        // Admission control: shed the whole burst before doing any work when
-        // the in-flight bound is saturated. The permit's slot releases on drop.
-        let _permit = match &self.resilience {
-            Some(runtime) => match runtime.try_admit() {
-                Some(permit) => Some(permit),
-                None => {
-                    return questions
-                        .iter()
-                        .map(|_| Err(CqadsError::Overloaded))
-                        .collect()
-                }
-            },
-            None => None,
-        };
-        // One cooperative budget for the whole batch's partial-match work,
-        // after pressure step-down.
-        let budget: Option<QueryBudget> = self.resilience.as_ref().and_then(|runtime| {
-            runtime
-                .effective_deadline_micros()
-                .map(|micros| QueryBudget::new(Arc::clone(&runtime.opts.clock), micros))
-        });
-        let mut any_degraded = false;
-
-        let mut results: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = vec![None; questions.len()];
-        let cache_on = self.cache.is_enabled();
-
-        // Classify + normalize + dedup: one slot per distinct (domain, normalized
-        // question) key; repeats within the burst attach to the same slot.
-        struct Slot<'q> {
-            key: CacheKey,
-            domain: String,
-            question: &'q str,
-            indices: Vec<usize>,
-        }
-        // Byte-identical repeats are collapsed *before* classification so a hot
-        // burst pays the classifier + tokenizer once per distinct string, not once
-        // per element; the key then also merges case/punctuation variants.
-        let mut raw: Vec<(&str, Vec<usize>)> = Vec::new();
-        let mut by_raw: HashMap<&str, usize> = HashMap::new();
-        for (i, question) in questions.iter().enumerate() {
-            let question = question.as_ref();
-            match by_raw.get(question) {
-                Some(&r) => raw[r].1.push(i),
-                None => {
-                    by_raw.insert(question, raw.len());
-                    raw.push((question, vec![i]));
-                }
-            }
-        }
-        let mut slots: Vec<Slot<'_>> = Vec::new();
-        let mut by_key: HashMap<CacheKey, usize> = HashMap::new();
-        for (question, indices) in raw {
-            match self.classify(question) {
-                Err(e) => {
-                    for &i in &indices {
-                        results[i] = Some(Err(e.clone()));
-                    }
-                }
-                Ok(domain) => {
-                    let key = CacheKey::new(&domain, question);
-                    match by_key.get(&key) {
-                        Some(&slot) => slots[slot].indices.extend(indices),
-                        None => {
-                            by_key.insert(key.clone(), slots.len());
-                            slots.push(Slot {
-                                key,
-                                domain,
-                                question,
-                                indices,
-                            });
-                        }
-                    }
-                }
-            }
-        }
-
-        // Serve hits; group the residual misses by domain.
-        let audit_on = self.audit_enabled();
-        let mut audits: Vec<WalRecord> = Vec::new();
-        let mut misses_by_domain: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
-        let mut outcomes: Vec<Option<CqadsResult<Arc<AnswerSet>>>> = Vec::new();
-        // When stale-serving is armed, capture each slot's cached entry
-        // *before* the lookup below — a generation-stale entry is evicted by
-        // the lookup itself, and it is exactly the answer the degradation
-        // path wants to fall back on.
-        let stale_ok = budget.is_some()
-            && self
-                .resilience
-                .as_ref()
-                .is_some_and(|r| r.opts.serve_stale_on_timeout);
-        let mut stale_fallback: Vec<Option<Arc<AnswerSet>>> = vec![None; slots.len()];
-        for (slot_idx, slot) in slots.iter().enumerate() {
-            outcomes.push(None);
-            // Clock reads exist only for the audit trail; the hot hit path
-            // must not pay one when auditing is off.
-            let lookup_start = audit_on.then(|| self.clock.now_micros());
-            let stamp = self.current_stamp(&slot.domain);
-            if cache_on && stale_ok {
-                stale_fallback[slot_idx] = self.cache.peek_stale(&slot.key);
-            }
-            if let (true, Some(stamp)) = (cache_on, stamp) {
-                if let Some(hit) = self.cache.lookup(&slot.key, stamp) {
-                    if let Some(lookup_start) = lookup_start {
-                        audits.push(audit_record(
-                            slot.question,
-                            &slot.domain,
-                            true,
-                            stamp,
-                            Duration::from_micros(
-                                self.clock.now_micros().saturating_sub(lookup_start),
-                            ),
-                        ));
-                    }
-                    outcomes[slot_idx] = Some(Ok(hit));
-                    continue;
-                }
-            }
-            misses_by_domain
-                .entry(slot.domain.as_str())
-                .or_default()
-                .push(slot_idx);
-        }
-
-        // Per domain: run the pre-partial stages per miss, then one batched
-        // partial-match fan-out (a single set of scoped worker threads serves every
-        // question of the domain), then assemble + back-fill.
-        for (domain, slot_indices) in misses_by_domain {
-            let (runtime, table) = match self.domain_runtime(domain) {
-                Ok(pair) => pair,
-                Err(e) => {
-                    for &slot_idx in &slot_indices {
-                        outcomes[slot_idx] = Some(Err(e.clone()));
-                    }
-                    continue;
-                }
-            };
-            // Stamp read before any computation: a racing insert or model update
-            // can only make the filled entries look *older* than the post-mutation
-            // stamp.
-            let stamp = GenerationStamp::new(table.generation(), runtime.similarity.generation());
-
-            let mut pendings: Vec<(usize, PendingAnswer)> = Vec::new();
-            for &slot_idx in &slot_indices {
-                match self.begin_answer(runtime, table, slots[slot_idx].question, domain) {
-                    Ok(pending) => pendings.push((slot_idx, pending)),
-                    Err(e) => outcomes[slot_idx] = Some(Err(e)),
-                }
-            }
-
-            let needs_partial: Vec<usize> = (0..pendings.len())
-                .filter(|&p| pendings[p].1.partial_budget > 0)
-                .collect();
-            let partial_results: CqadsResult<Vec<PartialOutcome>> = if needs_partial.is_empty() {
-                Ok(Vec::new())
-            } else {
-                let requests: Vec<PartialBatchRequest<'_>> = needs_partial
-                    .iter()
-                    .map(|&p| {
-                        let pending = &pendings[p].1;
-                        PartialBatchRequest {
-                            interpretation: &pending.interpretation,
-                            exclude: &pending.exact_ids,
-                            budget: pending.partial_budget,
-                        }
-                    })
-                    .collect();
-                self.matcher(runtime).partial_answers_batch_budgeted(
-                    &requests,
-                    table,
-                    budget.as_ref(),
-                )
-            };
-            match partial_results {
-                Ok(mut partial_results) => {
-                    // Scatter the batch results back (batch output is positional),
-                    // remembering which questions the deadline cut.
-                    let mut qualities: Vec<AnswerQuality> =
-                        vec![AnswerQuality::Complete; pendings.len()];
-                    for (&p, outcome) in needs_partial.iter().zip(partial_results.drain(..)) {
-                        if outcome.degraded {
-                            qualities[p] = AnswerQuality::Degraded {
-                                visited: outcome.visited,
-                                budget_exhausted: true,
-                            };
-                        }
-                        pendings[p].1.absorb_partial(outcome.answers, table);
-                    }
-                    for ((slot_idx, pending), quality) in pendings.into_iter().zip(qualities) {
-                        let mut set =
-                            pending.finish(self.config.answer_limit, self.clock.now_micros());
-                        set.quality = quality;
-                        if !quality.is_complete() {
-                            any_degraded = true;
-                            if let Some(runtime) = &self.resilience {
-                                runtime.note_degraded(1);
-                                // Graceful degradation: a cached answer — even a
-                                // generation-stale one — is complete as of an
-                                // older generation, which can beat a cut fresh
-                                // answer. Serve it explicitly flagged `Stale`.
-                                if let Some(stale) = stale_fallback[slot_idx].take() {
-                                    let mut stale_set = (*stale).clone();
-                                    stale_set.quality = AnswerQuality::Stale;
-                                    runtime.note_stale(1);
-                                    set = stale_set;
-                                }
-                            }
-                        }
-                        let answer = Arc::new(set);
-                        // Only complete answers enter the cache: a degraded or
-                        // stale set must never be served later as if fresh.
-                        if cache_on && answer.quality.is_complete() {
-                            self.cache.fill(
-                                slots[slot_idx].key.clone(),
-                                stamp,
-                                Arc::clone(&answer),
-                            );
-                        }
-                        if audit_on {
-                            audits.push(audit_record(
-                                slots[slot_idx].question,
-                                domain,
-                                false,
-                                stamp,
-                                answer.elapsed,
-                            ));
-                        }
-                        outcomes[slot_idx] = Some(Ok(answer));
-                    }
-                }
-                Err(e) => {
-                    for (slot_idx, _) in pendings {
-                        outcomes[slot_idx] = Some(Err(e.clone()));
-                    }
-                }
-            }
-        }
-
-        // One best-effort write + sync for the whole burst's audit frames.
-        if !audits.is_empty() {
-            if let Some(storage) = &self.storage {
-                storage.append_audit_batch(&audits);
-            }
-        }
-
-        // Feed the pressure step-down controller: only batches that actually
-        // ran under a deadline count toward the streaks.
-        if budget.is_some() {
-            if let Some(runtime) = &self.resilience {
-                runtime.note_batch(any_degraded);
-            }
-        }
-
-        // Scatter slot outcomes to every question index that mapped onto the slot.
-        for (slot, outcome) in slots.iter().zip(outcomes) {
-            // lint: allow(no-panic) — the dispatch loop above fills every slot exactly once
-            let outcome = outcome.expect("every slot resolved");
-            for &i in &slot.indices {
-                results[i] = Some(outcome.clone());
-            }
-        }
-        results
-            .into_iter()
-            // lint: allow(no-panic) — every question index maps onto exactly one slot
-            .map(|r| r.expect("every question resolved"))
-            .collect()
+        self.ctx().answer_batch(questions)
     }
 
     /// Insert a record into a registered domain's table. The table's mutation
@@ -1304,9 +675,7 @@ impl CqadsSystem {
     /// returning; a storage failure is returned as [`CqadsError::Storage`]
     /// (the in-memory insert has happened but was not persisted).
     pub fn insert_record(&mut self, domain: &str, record: Record) -> CqadsResult<RecordId> {
-        let mut ids = self.insert_record_batch(domain, vec![record])?;
-        // lint: allow(no-panic) — a successful batch of one yields exactly one id
-        Ok(ids.pop().expect("a successful batch of one yields one id"))
+        self.inner.insert_record(domain, record)
     }
 
     /// Insert a batch of records into a registered domain's table, returning
@@ -1324,52 +693,17 @@ impl CqadsSystem {
         domain: &str,
         records: Vec<Record>,
     ) -> CqadsResult<Vec<RecordId>> {
-        self.surface_deferred()?;
-        if !self.domains.contains_key(domain) {
-            return Err(CqadsError::UnknownDomain(domain.to_string()));
-        }
-        let durable = self.storage.is_some();
-        let table = self
-            .database
-            .table_mut(domain)
-            .ok_or_else(|| CqadsError::MissingTable(domain.to_string()))?;
-        let mut ids = Vec::with_capacity(records.len());
-        let mut frames = Vec::new();
-        let mut failure: Option<CqadsError> = None;
-        for record in records {
-            let persisted = if durable { Some(record.clone()) } else { None };
-            match table.insert(record) {
-                Ok(id) => {
-                    ids.push(id);
-                    if let Some(record) = persisted {
-                        // One frame per record: a single frame never advances
-                        // the table generation by more than one, which the
-                        // torn-tail safety margin of recovery relies on.
-                        frames.push(WalRecord::Insert {
-                            domain: domain.to_string(),
-                            record,
-                            table_gen: table.generation(),
-                        });
-                    }
-                }
-                Err(e) => {
-                    failure = Some(e.into());
-                    break;
-                }
-            }
-        }
-        self.append_mutations(frames)?;
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(ids),
-        }
+        self.inner.insert_record_batch(domain, records)
     }
 
     /// Mutable access to the underlying database. Inserts through this handle bump
     /// the owning table's generation exactly like [`CqadsSystem::insert_record`], so
-    /// cached answers still invalidate correctly.
+    /// cached answers still invalidate correctly. Detached readers observe
+    /// these edits only after the next mutation method or an explicit
+    /// [`CqadsSystem::publish`]; reads through this system see them
+    /// immediately.
     pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.database
+        self.inner.database_mut()
     }
 
     /// Absorb one batch of freshly recorded query-log sessions into a domain's
@@ -1379,11 +713,11 @@ impl CqadsSystem {
     /// the domain's model generation advances, which atomically invalidates every
     /// cached answer ranked under the old matrix — no flush happens or is needed.
     ///
-    /// Requires `&mut self`, the same lock discipline as [`CqadsSystem::insert_record`]:
-    /// concurrent deployments wrap the system in an `RwLock` and ingest under the
-    /// write lock, while readers serve under read locks. In-flight readers of the
-    /// old matrix are unaffected (they hold an `Arc` snapshot); questions answered
-    /// after the ingest compile their probes against the updated matrix.
+    /// Requires `&mut self`. Concurrent deployments no longer wrap the system
+    /// in an `RwLock`: mint [`CqadsReader`]s with [`CqadsSystem::reader`] and
+    /// ingest here while they serve — the mutation is applied copy-on-write
+    /// against the published snapshot and republished atomically, so in-flight
+    /// readers keep their snapshot and later calls see the updated matrix.
     ///
     /// **Vocabulary contract:** the delta's query/ad values are interned into the
     /// process-global string pool (which never evicts) exactly as
@@ -1398,7 +732,7 @@ impl CqadsSystem {
         domain: &str,
         delta: &QueryLogDelta,
     ) -> CqadsResult<IngestReport> {
-        self.ingest_query_log_batch(domain, std::slice::from_ref(delta))
+        self.inner.ingest_query_log(domain, delta)
     }
 
     /// Batch form of [`CqadsSystem::ingest_query_log`]: apply several deltas with a
@@ -1410,36 +744,7 @@ impl CqadsSystem {
         domain: &str,
         deltas: &[QueryLogDelta],
     ) -> CqadsResult<IngestReport> {
-        self.surface_deferred()?;
-        let durable = self.storage.is_some();
-        let runtime = self
-            .domains
-            .get_mut(domain)
-            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
-        let sessions = deltas.iter().map(QueryLogDelta::len).sum();
-        let queries = deltas.iter().map(QueryLogDelta::query_count).sum();
-        let model_generation = runtime.similarity.apply_log_deltas(deltas);
-        let ti_pairs = runtime.similarity.ti_matrix().len();
-        if durable {
-            // Each frame carries the post-batch generation: the whole batch
-            // performed ONE bump, and recovery re-applies buffered deltas as
-            // one batch per domain, so the stamps line up exactly.
-            let frames: Vec<WalRecord> = deltas
-                .iter()
-                .map(|delta| WalRecord::LogDelta {
-                    domain: domain.to_string(),
-                    delta: delta.clone(),
-                    model_gen: model_generation,
-                })
-                .collect();
-            self.append_mutations(frames)?;
-        }
-        Ok(IngestReport {
-            sessions,
-            queries,
-            model_generation,
-            ti_pairs,
-        })
+        self.inner.ingest_query_log_batch(domain, deltas)
     }
 
     /// The current model generation of a registered domain (bumped by
@@ -1447,17 +752,17 @@ impl CqadsSystem {
     /// for unregistered domains. The table-side counterpart is
     /// [`addb::Database::generation`].
     pub fn model_generation(&self, domain: &str) -> Option<u64> {
-        self.domains.get(domain).map(|r| r.similarity.generation())
+        self.inner.master.model_generation(domain)
     }
 
     /// The serving cache (stats, clearing; filled by the `*_cached` / batch paths).
     pub fn cache(&self) -> &AnswerCache {
-        &self.cache
+        &self.inner.shared.cache
     }
 
     /// Snapshot of the serving cache's hit/miss/eviction counters.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.inner.shared.cache.stats()
     }
 
     /// One operator-facing snapshot of the serving path's health: cache
@@ -1466,17 +771,7 @@ impl CqadsSystem {
     /// activity, and the current pressure step-down level. All zeros on a
     /// system with neither resilience nor durable storage configured.
     pub fn serving_stats(&self) -> ServingStats {
-        ServingStats {
-            cache: self.cache.stats(),
-            audit_failures: self.audit_failures(),
-            shed: self.resilience.as_ref().map_or(0, |r| r.shed()),
-            degraded: self.resilience.as_ref().map_or(0, |r| r.degraded()),
-            stale_served: self.resilience.as_ref().map_or(0, |r| r.stale_served()),
-            wal_retries: self.storage.as_ref().map_or(0, |s| s.wal_retries()),
-            breaker_opens: self.storage.as_ref().map_or(0, |s| s.breaker_opens()),
-            breaker_rejections: self.storage.as_ref().map_or(0, |s| s.breaker_rejections()),
-            pressure_level: self.resilience.as_ref().map_or(0, |r| r.pressure_level()),
-        }
+        self.inner.shared.serving_stats()
     }
 
     /// Produce only the interpretation of a question in a given domain (used by the
@@ -1487,19 +782,12 @@ impl CqadsSystem {
         question: &str,
         domain: &str,
     ) -> CqadsResult<(TaggedQuestion, Interpretation, String)> {
-        let runtime = self
-            .domains
-            .get(domain)
-            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
-        let tagged = runtime.tagger.tag(question);
-        let interpretation = interpret(&tagged, &runtime.spec)?;
-        let sql = interpretation.to_sql(&runtime.spec)?;
-        Ok((tagged, interpretation, sql))
+        self.ctx().interpret_in_domain(question, domain)
     }
 
     /// Whether this system persists to durable storage.
     pub fn is_durable(&self) -> bool {
-        self.storage.is_some()
+        self.inner.is_durable()
     }
 
     /// What recovery found when this durable system was opened (`None` on a
@@ -1507,28 +795,28 @@ impl CqadsSystem {
     /// encountered, bytes dropped from a torn tail and the generation safety
     /// margin applied on top of the recovered counters.
     pub fn storage_report(&self) -> Option<&RecoveryReport> {
-        self.storage.as_ref().map(|s| &s.report)
+        self.inner.storage_report()
     }
 
     /// Audit frames that failed to persist since open. Audit appends are
     /// best-effort — an I/O failure counts here instead of failing the
     /// serving path. Always `0` on a memory-only system.
     pub fn audit_failures(&self) -> u64 {
-        self.storage.as_ref().map_or(0, |s| s.audit_failures())
+        self.inner.audit_failures()
     }
 
     /// The most recent audit-append failure, if any.
     pub fn last_audit_error(&self) -> Option<StorageError> {
-        self.storage.as_ref().and_then(|s| s.last_audit_error())
+        self.inner.last_audit_error()
     }
 
-    /// Take (and clear) a storage error deferred by an infallible mutation
+    /// Take (and clear) a storage error deferred by a best-effort mutation
     /// entry point ([`CqadsSystem::add_domain`],
     /// [`CqadsSystem::set_word_sim`]). The fallible mutation entry points
     /// surface it automatically, so polling this is only needed when no
     /// further mutation is coming.
     pub fn take_deferred_storage_error(&self) -> Option<StorageError> {
-        self.storage.as_ref().and_then(|s| s.take_deferred_error())
+        self.inner.take_deferred_storage_error()
     }
 
     /// Replay the persisted audit trail of one domain as query-log
@@ -1536,66 +824,13 @@ impl CqadsSystem {
     /// [`QueryLogStream`](cqads_querylog::QueryLogStream) source. Each
     /// audited question is re-tagged with the domain's tagger; its first
     /// Type I value (the paper's query-log shape) becomes one
-    /// [`SubmittedQuery`], timed by the cumulative audited serving time, and
-    /// the whole trail forms one session. Questions without a Type I value
-    /// are skipped; a memory-only system yields no sessions.
+    /// [`SubmittedQuery`](cqads_querylog::SubmittedQuery), timed by the
+    /// cumulative audited serving time, and the whole trail forms one
+    /// session. Questions without a Type I value are skipped; a memory-only
+    /// system yields no sessions.
     pub fn audit_sessions(&self, domain: &str) -> CqadsResult<Vec<Session>> {
-        let Some(storage) = &self.storage else {
-            return Ok(Vec::new());
-        };
-        let runtime = self
-            .domains
-            .get(domain)
-            .ok_or_else(|| CqadsError::UnknownDomain(domain.to_string()))?;
-        let audits = storage.with_engine(|engine| engine.scan_audits())?;
-        let mut queries = Vec::new();
-        let mut clock = 0.0_f64;
-        for audit in audits.iter().filter(|a| a.domain == domain) {
-            clock += audit.micros as f64 / 1_000_000.0;
-            let tagged = runtime.tagger.tag(&audit.question);
-            let value = tagged.tokens.iter().find_map(|t| match t {
-                TaggedToken::Value {
-                    value,
-                    is_type1: true,
-                    ..
-                } => Some(value.clone()),
-                _ => None,
-            });
-            if let Some(value) = value {
-                queries.push(SubmittedQuery {
-                    value,
-                    at_seconds: clock,
-                    clicks: Vec::new(),
-                    shown: Vec::new(),
-                });
-            }
-        }
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
-        Ok(vec![Session {
-            user_id: 0,
-            queries,
-        }])
+        self.ctx().audit_sessions(domain)
     }
-}
-
-/// Build one WAL audit frame for a served question.
-fn audit_record(
-    question: &str,
-    domain: &str,
-    hit: bool,
-    stamp: GenerationStamp,
-    elapsed: Duration,
-) -> WalRecord {
-    WalRecord::Audit(AuditRecord {
-        question: question.to_string(),
-        domain: domain.to_string(),
-        hit,
-        table_gen: stamp.table,
-        model_gen: stamp.model,
-        micros: elapsed.as_micros() as u64,
-    })
 }
 
 impl Default for CqadsSystem {
@@ -1604,26 +839,33 @@ impl Default for CqadsSystem {
     }
 }
 
+impl From<CqadsWriter> for CqadsSystem {
+    fn from(inner: CqadsWriter) -> Self {
+        CqadsSystem { inner }
+    }
+}
+
 /// One question after the pre-partial stages: exact answers collected, partial-match
 /// budget decided, partial answers not yet merged. [`CqadsSystem::answer_in_domain`]
 /// completes it immediately; [`CqadsSystem::answer_batch`] completes a whole burst of
 /// these through one batched partial-match fan-out per domain.
-struct PendingAnswer {
-    domain: String,
-    tagged: TaggedQuestion,
-    interpretation: Interpretation,
-    sql: String,
-    answers: Vec<Answer>,
-    exact_ids: HashSet<RecordId>,
+pub(crate) struct PendingAnswer {
+    pub(crate) domain: String,
+    pub(crate) tagged: TaggedQuestion,
+    pub(crate) interpretation: Interpretation,
+    pub(crate) sql: String,
+    pub(crate) answers: Vec<Answer>,
+    pub(crate) exact_ids: HashSet<RecordId>,
     /// `0` when the exact answers already satisfy the partial threshold.
-    partial_budget: usize,
-    /// Clock reading ([`RetryClock::now_micros`]) when the answer began.
-    start_micros: u64,
+    pub(crate) partial_budget: usize,
+    /// Clock reading ([`RetryClock::now_micros`](cqads_storage::RetryClock::now_micros))
+    /// when the answer began.
+    pub(crate) start_micros: u64,
 }
 
 impl PendingAnswer {
     /// Merge the partial-match phase's answers (exactly as the sequential path does).
-    fn absorb_partial(&mut self, partial: Vec<PartialAnswer>, table: &Table) {
+    pub(crate) fn absorb_partial(&mut self, partial: Vec<PartialAnswer>, table: &Table) {
         for p in partial {
             if let Some(record) = table.get_shared(p.id) {
                 self.answers.push(Answer {
@@ -1639,7 +881,7 @@ impl PendingAnswer {
 
     /// Cap to the answer limit and seal the set; `now_micros` is the caller's
     /// reading of the same clock that stamped [`PendingAnswer::start_micros`].
-    fn finish(mut self, answer_limit: usize, now_micros: u64) -> AnswerSet {
+    pub(crate) fn finish(mut self, answer_limit: usize, now_micros: u64) -> AnswerSet {
         self.answers.truncate(answer_limit);
         AnswerSet {
             domain: self.domain,
@@ -1654,19 +896,11 @@ impl PendingAnswer {
     }
 }
 
-impl DomainRuntime {
-    fn similarity_ti(&self) -> Arc<TIMatrix> {
-        // The similarity model owns the TI-matrix; recover a shared handle for rebuilds.
-        // SimilarityModel keeps it behind an Arc, so cloning the model is cheap; we
-        // simply rebuild from a fresh reference.
-        self.similarity.ti_matrix()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::domain::toy_car_domain;
+    use cqads_querylog::SubmittedQuery;
 
     fn car(make: &str, model: &str, color: &str, trans: &str, price: f64, year: f64) -> Record {
         Record::builder()
@@ -2106,6 +1340,145 @@ mod tests {
         assert!(result.partial().is_empty());
     }
 
+    // ------------------------------------------------------------ api redesign
+
+    #[test]
+    fn config_builder_validates_and_defaults_the_threshold() {
+        // partial_threshold follows answer_limit unless set explicitly.
+        let c = CqadsConfig::builder().answer_limit(12).build().unwrap();
+        assert_eq!(c.partial_threshold, 12);
+        let c = CqadsConfig::builder()
+            .answer_limit(12)
+            .partial_threshold(5)
+            .build()
+            .unwrap();
+        assert_eq!(c.partial_threshold, 5);
+
+        // Rejections carry the Config variant and name the offending knob.
+        for (builder, needle) in [
+            (CqadsConfig::builder().answer_limit(0), "answer_limit"),
+            (
+                CqadsConfig::builder().answer_limit(5).partial_threshold(6),
+                "partial_threshold",
+            ),
+            (CqadsConfig::builder().cache_shards(0), "cache_shards"),
+        ] {
+            match builder.build() {
+                Err(CqadsError::Config(msg)) => assert!(msg.contains(needle), "{msg}"),
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        }
+        // A shardless cache is fine when the cache is disabled outright.
+        assert!(CqadsConfig::builder()
+            .cache_capacity(0)
+            .cache_shards(0)
+            .build()
+            .is_ok());
+
+        // The resilience floor must not exceed the deadline.
+        let bad = ResilienceOptions {
+            deadline_micros: Some(100),
+            min_deadline_micros: 200,
+            ..ResilienceOptions::default()
+        };
+        assert!(matches!(
+            CqadsConfig::builder().resilience(bad).build(),
+            Err(CqadsError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn ask_builder_matches_the_answer_quartet() {
+        let sys = system();
+        let question = "Do you have automatic blue cars?";
+
+        // Uncached, explicit domain == answer_in_domain.
+        let via_ask = sys.ask(question).domain("cars").uncached().get().unwrap();
+        let direct = sys.answer_in_domain(question, "cars").unwrap();
+        assert_eq!(via_ask.sql, direct.sql);
+        assert_eq!(via_ask.answers.len(), direct.answers.len());
+        for (a, b) in via_ask.answers.iter().zip(&direct.answers) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.rank_sim.to_bits(), b.rank_sim.to_bits());
+        }
+
+        // Cached (the default) fills and then shares the same Arc.
+        let filled = sys.ask(question).domain("cars").get().unwrap();
+        let hit = sys.answer_in_domain_cached(question, "cars").unwrap();
+        assert!(Arc::ptr_eq(&filled, &hit));
+
+        // Classified forms route identically.
+        let classified = sys.ask(question).get().unwrap();
+        assert_eq!(classified.domain, "cars");
+        assert!(Arc::ptr_eq(&classified, &hit));
+
+        // The reader handle serves the same builder.
+        let reader = sys.reader();
+        let via_reader = reader.ask(question).domain("cars").get().unwrap();
+        assert_eq!(via_reader.sql, hit.sql);
+    }
+
+    #[test]
+    fn detached_readers_observe_published_mutations_only() {
+        let mut sys = system();
+        let reader = sys.reader();
+        assert_eq!(reader.domain_names(), vec!["cars".to_string()]);
+        let before = reader
+            .answer_in_domain("Do you have automatic blue cars?", "cars")
+            .unwrap();
+        assert_eq!(before.exact_count, 2);
+
+        // A mutation through the system republishes: the same reader handle
+        // sees it on its next call, and generations advance monotonically.
+        let gen_before = reader.table_generation("cars").unwrap();
+        sys.insert_record(
+            "cars",
+            car("honda", "civic", "blue", "automatic", 7200.0, 2007.0),
+        )
+        .unwrap();
+        let after = reader
+            .answer_in_domain("Do you have automatic blue cars?", "cars")
+            .unwrap();
+        assert_eq!(after.exact_count, 3);
+        assert!(reader.table_generation("cars").unwrap() > gen_before);
+
+        // Raw database_mut edits are invisible to detached readers until an
+        // explicit publish — the facade itself sees them immediately.
+        sys.database_mut()
+            .table_mut("cars")
+            .unwrap()
+            .insert(car("kia", "rio", "blue", "automatic", 3000.0, 2010.0))
+            .unwrap();
+        assert_eq!(
+            sys.answer_in_domain("Do you have automatic blue cars?", "cars")
+                .unwrap()
+                .exact_count,
+            4
+        );
+        assert_eq!(
+            reader
+                .answer_in_domain("Do you have automatic blue cars?", "cars")
+                .unwrap()
+                .exact_count,
+            3
+        );
+        sys.publish();
+        assert_eq!(
+            reader
+                .answer_in_domain("Do you have automatic blue cars?", "cars")
+                .unwrap()
+                .exact_count,
+            4
+        );
+
+        // Reader handles clone cheaply and agree with each other.
+        let clone = reader.clone();
+        assert_eq!(
+            clone.table_generation("cars"),
+            reader.table_generation("cars")
+        );
+    }
+
     // ---------------------------------------------------------------- durability
 
     use cqads_storage::{FaultFs, FaultPlan, MemFs};
@@ -2132,9 +1505,17 @@ mod tests {
         );
         let rows = |t: &Table| t.iter().map(|(id, r)| (id, r.clone())).collect::<Vec<_>>();
         assert_eq!(rows(ta), rows(tb));
-        let ti = |s: &CqadsSystem| s.domains[domain].similarity.ti_matrix().export_state();
+        let ti = |s: &CqadsSystem| {
+            s.inner.master.domains[domain]
+                .similarity
+                .ti_matrix()
+                .export_state()
+        };
         assert_eq!(ti(a), ti(b));
-        assert_eq!(a.word_sim.export_state(), b.word_sim.export_state());
+        assert_eq!(
+            a.inner.master.word_sim.export_state(),
+            b.inner.master.word_sim.export_state()
+        );
         let ans_a = a.answer_in_domain(probe, domain).unwrap();
         let ans_b = b.answer_in_domain(probe, domain).unwrap();
         assert_eq!(ans_a.sql, ans_b.sql);
@@ -2291,7 +1672,7 @@ mod tests {
 
         // `open_with` restores the persisted scalar knobs from the snapshot.
         let reopened = CqadsSystem::open_with(opts).unwrap();
-        assert_eq!(reopened.config.answer_limit, 7);
+        assert_eq!(reopened.config().answer_limit, 7);
         assert_eq!(reopened.database().table("cars").unwrap().iter().count(), 5);
         assert_same_state(&sys, &reopened, "cars", "blue automatic cars");
     }
@@ -2376,7 +1757,7 @@ mod tests {
 
     #[test]
     fn memory_only_system_reports_no_storage() {
-        let mut sys = system();
+        let sys = system();
         assert!(!sys.is_durable());
         assert!(sys.storage_report().is_none());
         assert_eq!(sys.audit_failures(), 0);

@@ -72,6 +72,10 @@ impl RuleSet {
 ///   atomic-field docs apply.
 /// * `no-panic` additionally applies on the serving hot paths —
 ///   `crates/core`, `crates/storage` and `crates/addb` sources.
+/// * `hot-path-lock` additionally applies to the hot *read* path — the
+///   `crates/core` files that serve `answer*` calls ([`HOT_READ_PATH`]):
+///   reads there go through the published snapshot, so every residual lock
+///   acquisition must justify its O(1) critical section with `// lock:`.
 /// * Test trees (`tests/`), examples, benches (`crates/bench`), generated
 ///   `target/`, vendored code and the lint fixtures are out of scope; the
 ///   `#[cfg(test)]` mask exempts inline test modules inside scoped files.
@@ -103,8 +107,24 @@ pub fn rules_for_path(rel: &Path) -> RuleSet {
     if hot_path.iter().any(|d| p.starts_with(d)) {
         set = set.with(Rule::NoPanic);
     }
+    if HOT_READ_PATH.contains(&p.as_str()) {
+        set = set.with(Rule::HotPathLock);
+    }
     set
 }
+
+/// The files on the hot *read* path: everything an `answer`/`answer_batch`
+/// call touches between loading the published snapshot and returning. The
+/// `hot-path-lock` rule holds these to the wait-free-reads invariant
+/// (ARCHITECTURE.md #8) — any lock acquired here must argue its O(1) bound.
+pub const HOT_READ_PATH: [&str; 6] = [
+    "crates/core/src/cache.rs",
+    "crates/core/src/handle.rs",
+    "crates/core/src/partial.rs",
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/ranking.rs",
+    "crates/core/src/resilience.rs",
+];
 
 /// Lint one file's source under a rule scope. `path` is only used for
 /// reporting.
@@ -146,6 +166,7 @@ pub fn lint_source(path: &str, source: &str, scope: &RuleSet) -> Vec<Violation> 
             Rule::PubAtomicField,
             rules::check_pub_atomic_field(&lines, idx),
         );
+        push(Rule::HotPathLock, rules::check_hot_path_lock(&lines, idx));
     }
     out
 }
@@ -273,6 +294,12 @@ mod tests {
     #[test]
     fn scoping_matches_the_tree_layout() {
         assert!(rules_for_path(Path::new("crates/core/src/cache.rs")).contains(Rule::NoPanic));
+        assert!(rules_for_path(Path::new("crates/core/src/cache.rs")).contains(Rule::HotPathLock));
+        assert!(rules_for_path(Path::new("crates/core/src/handle.rs")).contains(Rule::HotPathLock));
+        assert!(
+            !rules_for_path(Path::new("crates/core/src/storage.rs")).contains(Rule::HotPathLock),
+            "the write/recovery path may lock freely"
+        );
         assert!(
             !rules_for_path(Path::new("crates/eval/src/main.rs")).contains(Rule::NoPanic),
             "eval is not a hot path"

@@ -38,16 +38,24 @@ pub enum Rule {
     /// `pub-atomic-field` — a `pub` atomic struct field is a concurrency
     /// protocol surface; it must carry a doc comment stating its protocol.
     PubAtomicField,
+    /// `hot-path-lock` — no `.lock()` acquisition or `RwLock` use in the hot
+    /// *read* path (the files serving `answer*` calls) without an adjacent
+    /// `// lock:` comment (same line or within the 4 lines above) justifying
+    /// the critical section's O(1) bound. Reads are supposed to go through
+    /// the published snapshot (`ArcSwap`), never block on a writer's work —
+    /// an unjustified lock here is how that invariant erodes.
+    HotPathLock,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::OrderingJustification,
         Rule::NoPanic,
         Rule::WallClock,
         Rule::AnswersetQuality,
         Rule::PubAtomicField,
+        Rule::HotPathLock,
     ];
 
     /// The rule's kebab-case name, as used in `lint: allow(...)` and
@@ -59,6 +67,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::AnswersetQuality => "answerset-quality",
             Rule::PubAtomicField => "pub-atomic-field",
+            Rule::HotPathLock => "hot-path-lock",
         }
     }
 
@@ -171,6 +180,31 @@ pub fn check_wall_clock(lines: &[Line], idx: usize) -> Option<String> {
         .iter()
         .find(|p| matches_word(code, p))
         .map(|hit| format!("{hit} outside an injectable-clock module"))
+}
+
+/// How many lines above a lock acquisition a `// lock:` justification may sit.
+const LOCK_LOOKBACK: usize = 4;
+
+/// Check `hot-path-lock` at line `idx`: a `.lock()` call or `RwLock` use
+/// without an adjacent `// lock:` comment bounding the critical section.
+pub fn check_hot_path_lock(lines: &[Line], idx: usize) -> Option<String> {
+    let code = &lines[idx].code;
+    let hit = if code.contains(".lock()") {
+        ".lock()"
+    } else if matches_word(code, "RwLock") {
+        "RwLock"
+    } else {
+        return None;
+    };
+    let justified =
+        (idx.saturating_sub(LOCK_LOOKBACK)..=idx).any(|j| lines[j].comment.contains("lock:"));
+    if justified {
+        return None;
+    }
+    Some(format!(
+        "{hit} on the hot read path without an adjacent `// lock:` justification — \
+         serve reads from the published snapshot, or argue the critical section is O(1)"
+    ))
 }
 
 /// Check `pub-atomic-field` at line `idx`: a `pub … : …Atomic…` field whose
@@ -351,6 +385,25 @@ mod tests {
         let src = "let s = AnswerSet { answers, ..base };";
         assert!(check_answerset_quality(&lex(src), 0).is_none());
         assert!(check_answerset_quality(&lex("pub struct AnswerSet {"), 0).is_none());
+    }
+
+    #[test]
+    fn hot_path_lock_requires_adjacent_justification() {
+        let lines = lex("let shard = self.shard(key).lock();");
+        assert!(check_hot_path_lock(&lines, 0).is_some());
+        let lines = lex("let map = RwLock::new(BTreeMap::new());");
+        assert!(check_hot_path_lock(&lines, 0).is_some());
+        // Same-line and lookback justifications both clear it.
+        let lines = lex("let shard = self.shard(key).lock(); // lock: O(1) Arc clone");
+        assert!(check_hot_path_lock(&lines, 0).is_none());
+        let lines = lex("// lock: sharded stripe, O(1) critical section\nlet s = m.lock();");
+        assert!(check_hot_path_lock(&lines, 1).is_none());
+        // Identifier suffixes don't match the RwLock word.
+        let lines = lex("let x = NotAnRwLock::new();");
+        assert!(check_hot_path_lock(&lines, 0).is_none());
+        // try_lock / lock_api idioms aren't the bare `.lock()` pattern.
+        let lines = lex("let s = m.try_lock();");
+        assert!(check_hot_path_lock(&lines, 0).is_none());
     }
 
     #[test]

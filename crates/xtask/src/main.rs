@@ -127,6 +127,19 @@ const GATED: &[BenchSpec] = &[
         ],
     },
     BenchSpec {
+        bench: "concurrency",
+        report: "BENCH_concurrency.json",
+        metrics: &[
+            // Reader qps under concurrent ingest over reader-only qps, both
+            // measured in the same run, so the ratio transfers across machine
+            // classes the way absolute throughput cannot.
+            Metric {
+                path: &["contention_ratio"],
+                direction: Direction::HigherIsBetter,
+            },
+        ],
+    },
+    BenchSpec {
         bench: "durability",
         report: "BENCH_durability.json",
         metrics: &[

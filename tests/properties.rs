@@ -43,6 +43,33 @@ proptest! {
         }
     }
 
+    /// The snapshot read path (a detached [`CqadsReader`] serving from the
+    /// published snapshot) is byte-identical to the facade path (the writer's
+    /// master state) for arbitrary questions: same error variant or same SQL,
+    /// ids, match kinds and bit-exact `Rank_Sim` scores. This is the handle
+    /// split's core contract — publication must never change an answer.
+    #[test]
+    fn snapshot_read_path_is_byte_identical_to_the_facade_path(question in ".{0,80}") {
+        let sys = car_system();
+        let reader = sys.reader();
+        let direct = sys.answer_in_domain(&question, "cars");
+        let snapped = reader.ask(&question).domain("cars").uncached().get();
+        match (direct, snapped) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.sql, &b.sql);
+                prop_assert_eq!(a.exact_count, b.exact_count);
+                prop_assert_eq!(a.answers.len(), b.answers.len());
+                for (x, y) in a.answers.iter().zip(&b.answers) {
+                    prop_assert_eq!(x.id, y.id);
+                    prop_assert_eq!(x.kind, y.kind);
+                    prop_assert_eq!(x.measure, y.measure);
+                    prop_assert_eq!(x.rank_sim.to_bits(), y.rank_sim.to_bits());
+                }
+            }
+            (direct, snapped) => prop_assert_eq!(direct.err(), snapped.err()),
+        }
+    }
+
     /// Whatever mix of words and numbers the user writes, every exact answer CQAds
     /// returns also satisfies the query it generated (internal consistency between the
     /// SQL translation and the executor).

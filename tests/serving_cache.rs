@@ -3,17 +3,21 @@
 //!
 //! The load-bearing property: once a table's mutation generation has advanced past
 //! the generation a cached answer was stamped with, that answer is **never served
-//! again** — a reader that observes generation `G` (under a read lock, so no writer
-//! is mid-insert) always receives an answer computed against exactly the first `G`
-//! records. The tests build tables where every record matches the probe question
-//! exactly, so `exact_count == generation` is the precise freshness oracle.
+//! again**. The tests build tables where every record matches the probe question
+//! exactly, so `exact_count == generation` is the precise freshness oracle: an
+//! answer computed against a snapshot at generation `G` has exactly `G` exact
+//! answers. Concurrent serving uses the reader/writer handle split — detached
+//! [`CqadsReader`]s race a mutating [`CqadsWriter`] with **no lock around the
+//! system** — so a reader brackets each answer between two snapshot-generation
+//! reads and requires `gen_before <= exact_count <= gen_after` (snapshots are
+//! monotone: fresher than requested is possible, staler is not).
 
 use cqads_suite::addb::{Record, Table};
 use cqads_suite::cqads::domain::toy_car_domain;
-use cqads_suite::cqads::CqadsSystem;
+use cqads_suite::cqads::{CqadsReader, CqadsSystem, CqadsWriter};
 use cqads_suite::querylog::{QueryLogDelta, QueryLogStream, Session, SubmittedQuery};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 fn car(price: f64) -> Record {
     Record::builder()
@@ -191,8 +195,12 @@ fn answer_batch_reflects_inserts_between_bursts() {
 }
 
 /// Parallel readers racing a writer never observe a pre-insert answer once the
-/// generation has advanced: each reader snapshots the generation under a read lock
-/// (no writer mid-insert) and requires `exact_count == generation`, for both the
+/// generation has advanced — with **no lock around the system**: each reader is a
+/// detached [`CqadsReader`] serving from the published snapshot while the
+/// [`CqadsWriter`] ingests. Snapshots are monotone, so each reader brackets its
+/// answer between two generation reads and requires
+/// `gen_before <= exact_count <= gen_after` (staler than requested is impossible;
+/// fresher — a newer snapshot or a newer cached answer — is fine), for both the
 /// single-question cached path and the batch front-end.
 #[test]
 fn concurrent_readers_never_observe_stale_answers_across_inserts() {
@@ -200,32 +208,40 @@ fn concurrent_readers_never_observe_stale_answers_across_inserts() {
     const INSERTS: usize = 12;
     const READERS: usize = 4;
 
-    let system = Arc::new(RwLock::new(all_match_system(INITIAL)));
+    let mut writer: CqadsWriter = all_match_system(INITIAL).into_writer();
+    let reader = writer.reader();
     let done = Arc::new(AtomicBool::new(false));
 
     let readers: Vec<_> = (0..READERS)
         .map(|r| {
-            let system = Arc::clone(&system);
+            let reader: CqadsReader = reader.clone();
             let done = Arc::clone(&done);
             std::thread::spawn(move || {
                 let mut iterations = 0usize;
                 let mut hits_seen = 0u64;
+                let mut last_gen = 0u64;
                 while !done.load(Ordering::Acquire) || iterations < 3 {
-                    let sys = system.read().expect("reader lock");
-                    // Snapshot the generation while holding the read lock: the
-                    // answer we get must reflect exactly this many inserts.
-                    let generation = sys.database().generation("cars").unwrap();
-                    let answer = if r % 2 == 0 {
-                        sys.answer_in_domain_cached(PROBE, "cars").unwrap()
-                    } else {
-                        sys.answer_batch(&[PROBE]).remove(0).unwrap()
-                    };
-                    assert_eq!(
-                        answer.exact_count, generation as usize,
-                        "reader {r} observed an answer from a different generation"
+                    // Bracket the answer between two snapshot loads: the answer's
+                    // generation must fall inside the bracket.
+                    let gen_before = reader.table_generation("cars").unwrap();
+                    assert!(
+                        gen_before >= last_gen,
+                        "reader {r} saw the snapshot generation regress: {last_gen} -> {gen_before}"
                     );
-                    hits_seen = sys.cache_stats().hits;
-                    drop(sys);
+                    last_gen = gen_before;
+                    let answer = if r % 2 == 0 {
+                        reader.answer_in_domain_cached(PROBE, "cars").unwrap()
+                    } else {
+                        reader.answer_batch(&[PROBE]).remove(0).unwrap()
+                    };
+                    let gen_after = reader.table_generation("cars").unwrap();
+                    assert!(
+                        (gen_before..=gen_after).contains(&(answer.exact_count as u64)),
+                        "reader {r} observed an answer outside its snapshot bracket: \
+                         {} not in {gen_before}..={gen_after}",
+                        answer.exact_count
+                    );
+                    hits_seen = reader.cache_stats().hits;
                     iterations += 1;
                     std::thread::yield_now();
                 }
@@ -235,10 +251,11 @@ fn concurrent_readers_never_observe_stale_answers_across_inserts() {
         .collect();
 
     for i in 0..INSERTS {
-        {
-            let mut sys = system.write().expect("writer lock");
-            sys.insert_record("cars", car(10_000.0 + i as f64)).unwrap();
-        }
+        // Each insert republishes the snapshot; readers pick it up on their
+        // next load without ever blocking on the insert's work.
+        writer
+            .insert_record("cars", car(10_000.0 + i as f64))
+            .unwrap();
         std::thread::yield_now();
     }
     done.store(true, Ordering::Release);
@@ -255,10 +272,9 @@ fn concurrent_readers_never_observe_stale_answers_across_inserts() {
     // The cache did real work during the run (repeat questions between inserts hit).
     assert!(hits > 0, "cache never hit during the concurrent run");
 
-    let sys = system.read().unwrap();
-    let final_answer = sys.answer_in_domain_cached(PROBE, "cars").unwrap();
+    let final_answer = reader.answer_in_domain_cached(PROBE, "cars").unwrap();
     assert_eq!(final_answer.exact_count, INITIAL + INSERTS);
     // No stale answer was ever *served*; stale entries were evicted by stamp checks.
-    let stats = sys.cache_stats();
+    let stats = reader.cache_stats();
     assert!(stats.stale_evictions > 0 || stats.misses > stats.hits);
 }

@@ -1,0 +1,283 @@
+//! # arcswap — a vendored, offline stand-in for the `arc-swap` crate
+//!
+//! An [`ArcSwap<T>`] holds an `Arc<T>` that writers replace atomically while
+//! readers keep loading without ever waiting on a writer's *work*. The API is
+//! compatible with the subset of the real [`arc-swap`](https://docs.rs/arc-swap)
+//! crate this workspace uses — [`ArcSwap::new`], [`load`](ArcSwap::load)
+//! (returning a [`Guard`] that derefs to the `Arc`),
+//! [`load_full`](ArcSwap::load_full), [`store`](ArcSwap::store) and
+//! [`swap`](ArcSwap::swap)
+//! — so swapping in the registry crate later is a one-line `Cargo.toml` edit.
+//!
+//! # How it stays safe without `unsafe`
+//!
+//! The real crate juggles raw pointers and deferred reference counts; this
+//! workspace forbids `unsafe_code`, so the shim uses a **slot ring** instead:
+//!
+//! * `SLOTS` mutex-guarded slots each hold an `Arc<T>`.
+//! * An atomic `current` index names the published slot.
+//! * [`load`](ArcSwap::load) reads `current` (`Acquire`) and locks *that slot
+//!   only* for the O(1) duration of an `Arc::clone`.
+//! * A writer serializes on a cursor mutex, installs the new `Arc` into the
+//!   **next** slot (whose mutex is uncontended unless a reader has been
+//!   lapped), then publishes the new index with a `Release` store.
+//!
+//! A reader therefore never blocks on snapshot *construction* — the writer
+//! builds the new value before touching the ring — and can only contend on a
+//! mutex held for a single refcount increment. That is the precise sense in
+//! which readers are "wait-free against writers": the unbounded work happens
+//! outside every lock a reader can touch.
+//!
+//! Readers are **monotone**: the slot a reader locks can only ever be
+//! overwritten by a writer that already published *newer* values, so a load
+//! returns the value current at the index read or a newer one — never an
+//! older or partially-written ("torn") one. `tests/interleavings.rs` at the
+//! workspace root model-checks exactly this claim under the `miniloom`
+//! feature, which reroutes the primitives below through the vendored
+//! model checker's shims.
+//!
+//! ```
+//! use arcswap::ArcSwap;
+//! use std::sync::Arc;
+//!
+//! let swap = ArcSwap::new(Arc::new(1u64));
+//! let before = swap.load();
+//! swap.store(Arc::new(2));
+//! assert_eq!(**before, 1, "guards pin the value they loaded");
+//! assert_eq!(**swap.load(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use sync::atomic::{AtomicUsize, Ordering};
+use sync::Mutex;
+
+#[cfg(feature = "miniloom")]
+use miniloom::sync;
+
+#[cfg(not(feature = "miniloom"))]
+mod sync {
+    //! Production facade: `std` atomics plus a poison-recovering mutex,
+    //! API-identical to `miniloom::sync` so the `miniloom` cargo feature can
+    //! swap the whole module and model-check the *shipping* swap protocol.
+
+    pub use std::sync::atomic;
+    use std::sync::PoisonError;
+
+    /// Thin wrapper over [`std::sync::Mutex`] whose `lock` recovers from
+    /// poisoning. Slot critical sections only clone or replace an `Arc`, so
+    /// a panicked peer cannot leave a slot structurally inconsistent.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T> {
+        inner: std::sync::Mutex<T>,
+    }
+
+    /// Guard returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        /// Wrap `value`.
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: std::sync::Mutex::new(value),
+            }
+        }
+
+        /// Acquire the lock, recovering the guard from a poisoned peer.
+        #[inline]
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Ring size. Two would be correct; four keeps the writer from lapping a
+/// reader (and momentarily blocking it on the slot mutex) unless the writer
+/// publishes three times inside the reader's two-instruction load window.
+const SLOTS: usize = 4;
+
+/// An atomically swappable `Arc<T>`. See the [crate docs](crate) for the
+/// slot-ring design and the guarantees readers get.
+pub struct ArcSwap<T> {
+    /// The ring; every slot always holds a fully-constructed snapshot.
+    slots: [Mutex<Arc<T>>; SLOTS],
+    /// Index of the published slot. Written only by writers holding
+    /// `cursor`, read lock-free by every `load`.
+    current: AtomicUsize,
+    /// Serializes writers; never touched by readers.
+    cursor: Mutex<()>,
+}
+
+/// A loaded snapshot, pinning the `Arc` current at load time (or a newer
+/// one — see the [crate docs](crate) on monotonicity). Derefs to the `Arc`,
+/// matching the real crate's `Guard`.
+pub struct Guard<T> {
+    inner: Arc<T>,
+}
+
+impl<T> ArcSwap<T> {
+    /// Wrap `value` as the initially published snapshot.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            slots: [
+                Mutex::new(Arc::clone(&value)),
+                Mutex::new(Arc::clone(&value)),
+                Mutex::new(Arc::clone(&value)),
+                Mutex::new(value),
+            ],
+            current: AtomicUsize::new(0),
+            cursor: Mutex::new(()),
+        }
+    }
+
+    /// Construct from a bare value (`arc-swap` convenience constructor).
+    pub fn from_pointee(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Load the published snapshot. Lock-free except for the O(1) clone
+    /// under the published slot's mutex; never waits on a writer building a
+    /// new snapshot.
+    pub fn load(&self) -> Guard<T> {
+        // ordering: Acquire pairs with the writer's Release publish of
+        // `current`, so the slot it names already holds the new Arc.
+        let idx = self.current.load(Ordering::Acquire);
+        let inner = Arc::clone(&self.slots[idx].lock());
+        Guard { inner }
+    }
+
+    /// Load and return an owned `Arc` (a [`load`](ArcSwap::load) without the
+    /// guard wrapper).
+    pub fn load_full(&self) -> Arc<T> {
+        self.load().inner
+    }
+
+    /// Publish `new`, dropping the replaced snapshot's ring reference.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Publish `new` and return the snapshot it replaced.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let cursor = self.cursor.lock();
+        // ordering: Relaxed suffices under the cursor mutex — only writers
+        // store `current`, and they are serialized right here.
+        let cur = self.current.load(Ordering::Relaxed);
+        let next = (cur + 1) % SLOTS;
+        let previous = Arc::clone(&self.slots[cur].lock());
+        let lapped = {
+            let mut slot = self.slots[next].lock();
+            std::mem::replace(&mut *slot, new)
+        };
+        // ordering: Release publishes the slot write above to every reader
+        // that Acquire-loads the new index.
+        self.current.store(next, Ordering::Release);
+        drop(cursor);
+        // The ring reference from SLOTS publishes ago dies outside every
+        // lock a reader can touch.
+        drop(lapped);
+        previous
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcSwap")
+            .field("current", &self.load_full())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> From<Arc<T>> for ArcSwap<T> {
+    fn from(value: Arc<T>) -> Self {
+        ArcSwap::new(value)
+    }
+}
+
+impl<T> std::ops::Deref for Guard<T> {
+    type Target = Arc<T>;
+
+    fn deref(&self) -> &Arc<T> {
+        &self.inner
+    }
+}
+
+impl<T> Guard<T> {
+    /// Unwrap into the pinned `Arc`.
+    pub fn into_inner(self) -> Arc<T> {
+        self.inner
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Guard<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.inner, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sees_the_latest_store() {
+        let swap = ArcSwap::from_pointee(0u32);
+        for i in 1..=10 {
+            swap.store(Arc::new(i));
+            assert_eq!(**swap.load(), i);
+        }
+    }
+
+    #[test]
+    fn guards_pin_across_swaps() {
+        let swap = ArcSwap::from_pointee(String::from("old"));
+        let pinned = swap.load();
+        let previous = swap.swap(Arc::new(String::from("new")));
+        assert_eq!(**pinned, "old");
+        assert_eq!(*previous, "old");
+        assert_eq!(**swap.load(), "new");
+    }
+
+    #[test]
+    fn writer_laps_never_tear_or_regress() {
+        let swap = ArcSwap::from_pointee(0usize);
+        // Publish far more than SLOTS values; every load between publishes
+        // must observe exactly the latest.
+        for i in 1..(SLOTS * 8) {
+            swap.store(Arc::new(i));
+            assert_eq!(**swap.load(), i);
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_observe_monotone_values() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let swap = Arc::new(ArcSwap::from_pointee(0u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let swap = Arc::clone(&swap);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let seen = **swap.load();
+                        assert!(seen >= last, "regressed from {last} to {seen}");
+                        last = seen;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=1000 {
+            swap.store(Arc::new(i));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+    }
+}
