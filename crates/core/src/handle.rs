@@ -291,7 +291,10 @@ impl<'a> ReadContext<'a> {
     /// Resolve a domain to its runtime and table, distinguishing an
     /// unregistered domain ([`CqadsError::UnknownDomain`]) from a registered
     /// domain whose table is missing ([`CqadsError::MissingTable`]).
-    fn domain_runtime(self, domain: &str) -> CqadsResult<(&'a DomainRuntime, &'a Table)> {
+    pub(crate) fn domain_runtime(
+        self,
+        domain: &str,
+    ) -> CqadsResult<(&'a DomainRuntime, &'a Table)> {
         let runtime = self
             .snap
             .domains
@@ -307,7 +310,7 @@ impl<'a> ReadContext<'a> {
     }
 
     /// The partial matcher configured the way every answering path uses it.
-    fn matcher<'s>(self, runtime: &'s DomainRuntime) -> PartialMatcher<'s> {
+    pub(crate) fn matcher<'s>(self, runtime: &'s DomainRuntime) -> PartialMatcher<'s> {
         PartialMatcher::with_options(
             &runtime.spec,
             &runtime.similarity,

@@ -48,6 +48,14 @@
 //! keeps ingesting — readers never block on a mutation's work and never
 //! observe a half-applied one. No lock around the system is required (or
 //! wanted) anymore; see `ARCHITECTURE.md` invariant #8.
+//!
+//! **Sharded serving** ([`shard`]) partitions every domain's records across N
+//! independent writer/reader pairs behind one [`ShardedCqads`] front-end:
+//! reads scatter to every shard's snapshot and gather through the same
+//! deterministic top-k merge the partial-match workers use, so the sharded
+//! answer is byte-identical to the unsharded one; writes route to exactly one
+//! shard and bump only that shard's generations — see `ARCHITECTURE.md`
+//! invariant #9.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -63,6 +71,7 @@ pub mod partial;
 pub mod pipeline;
 pub mod ranking;
 pub mod resilience;
+pub mod shard;
 pub mod spell;
 pub mod storage;
 pub mod sync;
@@ -87,6 +96,7 @@ pub use ranking::{
     ValueOrder,
 };
 pub use resilience::{AnswerQuality, QueryBudget, ResilienceOptions, ServingStats};
+pub use shard::{RecordRouter, ShardedCqads};
 pub use storage::StorageOptions;
 pub use tagging::{TaggedQuestion, TaggedToken, Tagger};
 pub use translate::{ConditionSketch, Interpretation};

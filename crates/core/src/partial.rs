@@ -252,6 +252,14 @@ pub struct PartialOutcome {
     /// Whether the deadline cut this question's computation. `false` means
     /// `answers` is complete and bit-identical to the unbudgeted engine's output.
     pub degraded: bool,
+    /// The certification bound `B` this outcome was truncated at
+    /// (`f64::NEG_INFINITY` when the question completed losslessly, i.e. whenever
+    /// `degraded` is `false`). A scatter-gather merge over per-shard outcomes
+    /// takes the max of the shard bounds and re-truncates the merged list at it —
+    /// every entry scoring strictly above `max(B_shard)` beats anything *any*
+    /// shard's cut skipped, so the global certified-prefix argument composes from
+    /// the per-shard ones (see `crate::shard`).
+    pub cut_bound: f64,
 }
 
 /// One worker's view of a [`QueryBudget`]: a local visit counter flushed into the
@@ -485,6 +493,8 @@ impl<'a> PartialMatcher<'a> {
             }],
             table,
             None,
+            false,
+            None,
         )?;
         // lint: allow(no-panic) — batch_topk returns one result per request by contract
         Ok(results.pop().expect("one request, one result").answers)
@@ -509,7 +519,7 @@ impl<'a> PartialMatcher<'a> {
                 .collect();
         }
         Ok(self
-            .batch_topk(requests, table, None)?
+            .batch_topk(requests, table, None, false, None)?
             .into_iter()
             .map(|outcome| outcome.answers)
             .collect())
@@ -547,11 +557,32 @@ impl<'a> PartialMatcher<'a> {
                         )?,
                         visited: 0,
                         degraded: false,
+                        cut_bound: f64::NEG_INFINITY,
                     })
                 })
                 .collect();
         }
-        self.batch_topk(requests, table, budget)
+        self.batch_topk(requests, table, budget, false, None)
+    }
+
+    /// One shard's phase-1 contribution to a scatter-gather answer
+    /// (`crate::shard`): the index-driven top-k pass over *this* shard's table,
+    /// with the degree-of-match fallback suppressed (the gather layer decides
+    /// globally whether the fallback is needed — a per-shard sparse heap says
+    /// nothing about the whole table) and the WAND thresholds injected so every
+    /// shard of the fan-out prunes against the *cross-shard* full-heap worst.
+    /// `shared` is indexed like `requests`; pruning against a threshold another
+    /// shard raised is admissible for the gathered top-k by the same argument as
+    /// the in-table worker fan-out (module docs), because a published value is
+    /// the worst of *some* full heap of the same budget.
+    pub(crate) fn partial_answers_batch_scatter(
+        &self,
+        requests: &[PartialBatchRequest<'_>],
+        table: &Table,
+        budget: Option<&QueryBudget>,
+        shared: &[Arc<SharedThreshold>],
+    ) -> CqadsResult<Vec<PartialOutcome>> {
+        self.batch_topk(requests, table, budget, true, Some(shared))
     }
 
     /// The batch top-k engine.
@@ -567,6 +598,8 @@ impl<'a> PartialMatcher<'a> {
         requests: &[PartialBatchRequest<'_>],
         table: &Table,
         budget: Option<&QueryBudget>,
+        suppress_fallback: bool,
+        shared_thresholds: Option<&[Arc<SharedThreshold>]>,
     ) -> CqadsResult<Vec<PartialOutcome>> {
         let shards = shard_bounds(table.len() as u32, self.resolve_workers(table.len()));
         let prepared: Vec<PreparedQuestion<'_>> = requests
@@ -575,12 +608,18 @@ impl<'a> PartialMatcher<'a> {
             .collect();
         // In the multi-shard fan-out every question additionally gets a shared
         // atomic WAND threshold the workers publish into (lossless; see the
-        // module docs). Sequential runs skip it — no atomics on that path.
+        // module docs). Sequential runs skip it — no atomics on that path —
+        // unless the caller injected thresholds shared *across tables* (the
+        // scatter-gather path), which must be honored even single-worker.
         let multi_shard = shards.len() > 1;
         let mut heaps: Vec<TopK> = prepared
             .iter()
-            .map(|p| {
-                let shared = multi_shard.then(|| Arc::new(SharedThreshold::new()));
+            .enumerate()
+            .map(|(q, p)| {
+                let shared = match shared_thresholds {
+                    Some(ts) => ts.get(q).cloned(),
+                    None => multi_shard.then(|| Arc::new(SharedThreshold::new())),
+                };
                 TopK::with_shared(p.budget, shared)
             })
             .collect();
@@ -776,12 +815,19 @@ impl<'a> PartialMatcher<'a> {
         // offer scores up to N, so its bound becomes N (a full heap cut in phase 1
         // implies the undegraded heap is full too, i.e. the undegraded engine
         // would not have run the fallback either — the phase-1 bound stands).
+        // A scatter-gather caller suppresses the fallback outright (bounds
+        // untouched): whether the *global* heap is sparse is only known after the
+        // gather, which re-runs the plain per-shard engine at the real budget in
+        // that case — see `crate::shard`.
         let fallback: Vec<Option<(Vec<RecordId>, Vec<CompiledProbe<'_>>)>> = prepared
             .iter()
             .zip(heaps.iter())
             .zip(requests.iter())
             .enumerate()
             .map(|(q, ((prep, topk), request))| {
+                if suppress_fallback {
+                    return None;
+                }
                 let sparse =
                     matches!(prep.kind, PreparedKind::Multi(_)) && topk.len() < prep.budget;
                 if sparse && bounds[q] > f64::NEG_INFINITY {
@@ -856,6 +902,7 @@ impl<'a> PartialMatcher<'a> {
                     answers,
                     visited,
                     degraded,
+                    cut_bound: bound,
                 }
             })
             .collect())
@@ -1523,6 +1570,24 @@ fn consider(best: &mut HashMap<RecordId, PartialAnswer>, candidate: PartialAnswe
             }
         })
         .or_insert(candidate);
+}
+
+/// Gather step of the scatter-gather shard fan-out (`crate::shard`): merge
+/// per-shard answer lists into the global top-`budget` through the same
+/// deterministic [`TopK`] collector the in-table worker merge uses, so the
+/// `(rank_sim desc, id asc)` order — and therefore byte-identity with the
+/// unsharded engine — is inherited rather than re-proven. Shard id spaces are
+/// disjoint after translation to global ids, so the per-record dedup never
+/// fires; ties across shards resolve by global id exactly as one heap would.
+pub(crate) fn merge_partial_answers(
+    budget: usize,
+    answers: impl IntoIterator<Item = PartialAnswer>,
+) -> Vec<PartialAnswer> {
+    let mut topk = TopK::new(budget);
+    for a in answers {
+        topk.offer(a.id, a.rank_sim, a.measure, a.relaxed_condition);
+    }
+    topk.into_sorted()
 }
 
 // ---------------------------------------------------------------------------

@@ -162,6 +162,15 @@ pub struct CqadsConfig {
     /// Like [`CqadsConfig::storage`], these knobs describe *this process* and
     /// are never persisted in snapshots.
     pub resilience: Option<ResilienceOptions>,
+    /// Scatter-gather shard count for [`ShardedCqads`](crate::shard::ShardedCqads).
+    /// `None` (the default) and `Some(1)` are byte-identical to the unsharded
+    /// system; `Some(n)` partitions every domain's records across `n`
+    /// independent writer/reader pairs. Plain [`CqadsSystem`] ignores the knob
+    /// (it always serves one partition); `ShardedCqads::with_config` honours
+    /// it. `Some(0)` is rejected by [`CqadsConfig::validate`], as is combining
+    /// shards with [`CqadsConfig::storage`] (durable sharded serving is a
+    /// ROADMAP follow-up, not a silent single-WAL lie).
+    pub shards: Option<usize>,
 }
 
 impl Default for CqadsConfig {
@@ -175,6 +184,7 @@ impl Default for CqadsConfig {
             cache_shards: 16,
             storage: None,
             resilience: None,
+            shards: None,
         }
     }
 }
@@ -211,6 +221,21 @@ impl CqadsConfig {
             return Err(CqadsError::Config(
                 "cache_shards must be at least 1 when the cache is enabled \
                  (set cache_capacity to 0 to disable caching)"
+                    .to_string(),
+            ));
+        }
+        if self.shards == Some(0) {
+            return Err(CqadsError::Config(
+                "shards must be at least 1 when set (None and Some(1) both mean \
+                 the unsharded single-partition system)"
+                    .to_string(),
+            ));
+        }
+        if self.shards.is_some() && self.storage.is_some() {
+            return Err(CqadsError::Config(
+                "shards cannot be combined with durable storage yet: each shard \
+                 owns an independent generation space and would need its own WAL \
+                 (ROADMAP follow-up)"
                     .to_string(),
             ));
         }
@@ -292,6 +317,12 @@ impl CqadsConfigBuilder {
     /// Enable the serving-resilience layer with these options.
     pub fn resilience(mut self, resilience: ResilienceOptions) -> Self {
         self.config.resilience = Some(resilience);
+        self
+    }
+
+    /// Scatter-gather shard count for [`ShardedCqads`](crate::shard::ShardedCqads).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = Some(shards);
         self
     }
 

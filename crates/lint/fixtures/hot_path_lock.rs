@@ -10,6 +10,7 @@ fn serve_from_shard(shards: &[std::sync::Mutex<u64>]) -> u64 {
 
 fn wrap_the_whole_registry() {
     let registry = std::sync::RwLock::new(0u64); //~ ERROR hot-path-lock
+    //~^ ERROR cross-shard-state
     drop(registry);
 }
 

@@ -76,6 +76,10 @@ impl RuleSet {
 ///   `crates/core` files that serve `answer*` calls ([`HOT_READ_PATH`]):
 ///   reads there go through the published snapshot, so every residual lock
 ///   acquisition must justify its O(1) critical section with `// lock:`.
+/// * `cross-shard-state` additionally applies to the sharding and handle
+///   layers ([`CROSS_SHARD_SCOPE`]): cross-shard coordination goes through
+///   a `SharedThreshold` or snapshot publication, so any `static` item or
+///   `Mutex`/`RwLock` construction there must argue itself with `// shard:`.
 /// * Test trees (`tests/`), examples, benches (`crates/bench`), generated
 ///   `target/`, vendored code and the lint fixtures are out of scope; the
 ///   `#[cfg(test)]` mask exempts inline test modules inside scoped files.
@@ -110,6 +114,9 @@ pub fn rules_for_path(rel: &Path) -> RuleSet {
     if HOT_READ_PATH.contains(&p.as_str()) {
         set = set.with(Rule::HotPathLock);
     }
+    if CROSS_SHARD_SCOPE.contains(&p.as_str()) {
+        set = set.with(Rule::CrossShardState);
+    }
     set
 }
 
@@ -117,14 +124,23 @@ pub fn rules_for_path(rel: &Path) -> RuleSet {
 /// call touches between loading the published snapshot and returning. The
 /// `hot-path-lock` rule holds these to the wait-free-reads invariant
 /// (ARCHITECTURE.md #8) — any lock acquired here must argue its O(1) bound.
-pub const HOT_READ_PATH: [&str; 6] = [
+pub const HOT_READ_PATH: [&str; 7] = [
     "crates/core/src/cache.rs",
     "crates/core/src/handle.rs",
     "crates/core/src/partial.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/ranking.rs",
     "crates/core/src/resilience.rs",
+    "crates/core/src/shard.rs",
 ];
+
+/// The files where cross-shard mutable state can appear: the sharding layer
+/// itself and the handle layer its scatter path is built on. The
+/// `cross-shard-state` rule holds these to the sharded-serving invariant
+/// (ARCHITECTURE.md #9) — coordination between shards goes through a
+/// `SharedThreshold` or snapshot publication, and any ad-hoc `static` or
+/// `Mutex`/`RwLock` construction must argue itself with `// shard:`.
+pub const CROSS_SHARD_SCOPE: [&str; 2] = ["crates/core/src/handle.rs", "crates/core/src/shard.rs"];
 
 /// Lint one file's source under a rule scope. `path` is only used for
 /// reporting.
@@ -167,6 +183,10 @@ pub fn lint_source(path: &str, source: &str, scope: &RuleSet) -> Vec<Violation> 
             rules::check_pub_atomic_field(&lines, idx),
         );
         push(Rule::HotPathLock, rules::check_hot_path_lock(&lines, idx));
+        push(
+            Rule::CrossShardState,
+            rules::check_cross_shard_state(&lines, idx),
+        );
     }
     out
 }
@@ -296,6 +316,17 @@ mod tests {
         assert!(rules_for_path(Path::new("crates/core/src/cache.rs")).contains(Rule::NoPanic));
         assert!(rules_for_path(Path::new("crates/core/src/cache.rs")).contains(Rule::HotPathLock));
         assert!(rules_for_path(Path::new("crates/core/src/handle.rs")).contains(Rule::HotPathLock));
+        assert!(rules_for_path(Path::new("crates/core/src/shard.rs")).contains(Rule::HotPathLock));
+        assert!(
+            rules_for_path(Path::new("crates/core/src/shard.rs")).contains(Rule::CrossShardState)
+        );
+        assert!(
+            rules_for_path(Path::new("crates/core/src/handle.rs")).contains(Rule::CrossShardState)
+        );
+        assert!(
+            !rules_for_path(Path::new("crates/core/src/cache.rs")).contains(Rule::CrossShardState),
+            "the serving cache is per-system state, not cross-shard coordination"
+        );
         assert!(
             !rules_for_path(Path::new("crates/core/src/storage.rs")).contains(Rule::HotPathLock),
             "the write/recovery path may lock freely"

@@ -45,17 +45,26 @@ pub enum Rule {
     /// the published snapshot (`ArcSwap`), never block on a writer's work —
     /// an unjustified lock here is how that invariant erodes.
     HotPathLock,
+    /// `cross-shard-state` — in the sharding and handle layers, mutable
+    /// state visible to more than one shard must go through the two blessed
+    /// channels: a `SharedThreshold` or snapshot publication. A `static`
+    /// item declaration or a `Mutex::new(…)` / `RwLock::new(…)` construction
+    /// there needs an adjacent `// shard:` comment (same line or within the
+    /// 4 lines above) arguing why ad-hoc shared state does not break the
+    /// byte-identity merge or the per-snapshot consistency bracket.
+    CrossShardState,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::OrderingJustification,
         Rule::NoPanic,
         Rule::WallClock,
         Rule::AnswersetQuality,
         Rule::PubAtomicField,
         Rule::HotPathLock,
+        Rule::CrossShardState,
     ];
 
     /// The rule's kebab-case name, as used in `lint: allow(...)` and
@@ -68,6 +77,7 @@ impl Rule {
             Rule::AnswersetQuality => "answerset-quality",
             Rule::PubAtomicField => "pub-atomic-field",
             Rule::HotPathLock => "hot-path-lock",
+            Rule::CrossShardState => "cross-shard-state",
         }
     }
 
@@ -204,6 +214,55 @@ pub fn check_hot_path_lock(lines: &[Line], idx: usize) -> Option<String> {
     Some(format!(
         "{hit} on the hot read path without an adjacent `// lock:` justification — \
          serve reads from the published snapshot, or argue the critical section is O(1)"
+    ))
+}
+
+/// How many lines above a site a `// shard:` justification may sit.
+const SHARD_LOOKBACK: usize = 4;
+
+/// Does `code` declare a `static` item? The word must not be the `'static`
+/// lifetime (the generic word-boundary check treats `'` as a boundary, so it
+/// is excluded explicitly) and must be followed by whitespace, as in a
+/// declaration — `static NAME: Type`.
+fn declares_static_item(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("static") {
+        let at = from + pos;
+        let before_ok = !code[..at]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '\'');
+        let after = &code[at + "static".len()..];
+        let after_ok = after.chars().next().is_some_and(char::is_whitespace);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + "static".len();
+    }
+    false
+}
+
+/// Check `cross-shard-state` at line `idx`: a `static` item declaration or a
+/// `Mutex`/`RwLock` construction without an adjacent `// shard:` comment.
+pub fn check_cross_shard_state(lines: &[Line], idx: usize) -> Option<String> {
+    let code = &lines[idx].code;
+    let hit = if declares_static_item(code) {
+        "`static` item"
+    } else if matches_word(code, "Mutex::new(") {
+        "Mutex::new(…)"
+    } else if matches_word(code, "RwLock::new(") {
+        "RwLock::new(…)"
+    } else {
+        return None;
+    };
+    let justified =
+        (idx.saturating_sub(SHARD_LOOKBACK)..=idx).any(|j| lines[j].comment.contains("shard:"));
+    if justified {
+        return None;
+    }
+    Some(format!(
+        "{hit} creates ad-hoc cross-shard state — route coordination through a \
+         SharedThreshold or snapshot publication, or argue the site with `// shard:`"
     ))
 }
 
@@ -404,6 +463,31 @@ mod tests {
         // try_lock / lock_api idioms aren't the bare `.lock()` pattern.
         let lines = lex("let s = m.try_lock();");
         assert!(check_hot_path_lock(&lines, 0).is_none());
+    }
+
+    #[test]
+    fn cross_shard_state_requires_adjacent_justification() {
+        for bad in [
+            "static ROUTES: AtomicU64 = AtomicU64::new(0);",
+            "let registry = Mutex::new(Vec::new());",
+            "let stripes = std::sync::RwLock::new(0u64);",
+        ] {
+            assert!(check_cross_shard_state(&lex(bad), 0).is_some(), "{bad}");
+        }
+        // `'static` lifetimes and mere type mentions are not shared state.
+        for ok in [
+            "fn label() -> &'static str { \"shard\" }",
+            "fn take(m: &Mutex<u64>) {}",
+            "let guard = m.lock();",
+        ] {
+            assert!(check_cross_shard_state(&lex(ok), 0).is_none(), "{ok}");
+        }
+        // Same-line and lookback `// shard:` justifications both clear it.
+        let lines = lex("let t = Mutex::new(Bound::start()); // shard: one WAND threshold");
+        assert!(check_cross_shard_state(&lines, 0).is_none());
+        let lines =
+            lex("// shard: stripes are per-shard, never cross-shard\nlet s = RwLock::new(0);");
+        assert!(check_cross_shard_state(&lines, 1).is_none());
     }
 
     #[test]

@@ -140,6 +140,19 @@ const GATED: &[BenchSpec] = &[
         ],
     },
     BenchSpec {
+        bench: "shard_scaling",
+        report: "BENCH_shard_scaling.json",
+        metrics: &[
+            // 2-shard read qps over unsharded read qps, both from the same
+            // run, so the ratio transfers across machine classes the way
+            // absolute throughput cannot.
+            Metric {
+                path: &["scatter_overhead_ratio"],
+                direction: Direction::HigherIsBetter,
+            },
+        ],
+    },
+    BenchSpec {
         bench: "durability",
         report: "BENCH_durability.json",
         metrics: &[

@@ -12,7 +12,8 @@
 use cqads_suite::addb::{Record, Table};
 use cqads_suite::cqads::domain::toy_car_domain;
 use cqads_suite::cqads::{
-    AnswerQuality, CqadsConfig, CqadsError, CqadsSystem, ResilienceOptions, StorageOptions,
+    AnswerQuality, CqadsConfig, CqadsError, CqadsSystem, QueryBudget, ResilienceOptions,
+    ShardedCqads, StorageOptions,
 };
 use cqads_suite::querylog::TIMatrix;
 use cqads_suite::storage::{
@@ -525,6 +526,76 @@ proptest! {
                 prop_assert_eq!(x.id, y.id);
                 prop_assert_eq!(x.rank_sim.to_bits(), y.rank_sim.to_bits());
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded serving: a cut shard degrades only its own contribution
+// ---------------------------------------------------------------------------
+
+/// One shard exhausting its [`QueryBudget`] mid-scatter must degrade only its
+/// contribution: the gathered answer is a certified prefix of the complete
+/// (unbudgeted) answer with [`AnswerQuality::Degraded`] propagated — never a
+/// silent partial merge — and the exact phase survives intact because budgets
+/// only govern the partial engines.
+#[test]
+fn one_shards_exhausted_budget_degrades_only_its_contribution() {
+    let mut sharded = ShardedCqads::new(2).unwrap();
+    sharded.add_domain(toy_car_domain(), base_table(), TIMatrix::default());
+    let clock = Arc::new(ManualClock::new());
+
+    for q in QUESTIONS {
+        let complete = sharded.answer_in_domain(q, DOMAIN).unwrap();
+        assert!(complete.quality.is_complete());
+
+        // Cancel each shard's budget in turn; the other shard stays whole.
+        for cut_shard in 0..2 {
+            let budget = QueryBudget::new(Arc::clone(&clock) as Arc<dyn RetryClock>, 1_000_000);
+            budget.cancel();
+            let mut budgets: Vec<Option<&QueryBudget>> = vec![None, None];
+            budgets[cut_shard] = Some(&budget);
+            let cut = sharded
+                .answer_in_domain_budgeted(q, DOMAIN, &budgets)
+                .unwrap();
+
+            // Explicit degradation or byte-identical completeness — never a
+            // silently short answer.
+            assert!(cut.answers.len() <= complete.answers.len());
+            if cut.answers.len() < complete.answers.len() {
+                assert!(
+                    matches!(
+                        cut.quality,
+                        AnswerQuality::Degraded {
+                            budget_exhausted: true,
+                            ..
+                        }
+                    ),
+                    "silent partial merge on {q:?} (cut shard {cut_shard}): {:?}",
+                    cut.quality
+                );
+            }
+            // The gathered answer is a certified prefix of the complete one.
+            assert_eq!(cut.exact_count, complete.exact_count, "{q:?}");
+            for (x, y) in cut.answers.iter().zip(&complete.answers) {
+                assert_eq!(x.id, y.id, "{q:?} diverged beyond truncation");
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.rank_sim.to_bits(), y.rank_sim.to_bits());
+            }
+        }
+
+        // An expired budget on every shard still yields the certified-prefix
+        // contract (the fully-cut scatter is the worst case, not a special one).
+        let budget = QueryBudget::new(Arc::clone(&clock) as Arc<dyn RetryClock>, 1_000_000);
+        budget.cancel();
+        let budgets: Vec<Option<&QueryBudget>> = vec![Some(&budget), Some(&budget)];
+        let cut = sharded
+            .answer_in_domain_budgeted(q, DOMAIN, &budgets)
+            .unwrap();
+        assert!(cut.answers.len() <= complete.answers.len());
+        for (x, y) in cut.answers.iter().zip(&complete.answers) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.rank_sim.to_bits(), y.rank_sim.to_bits());
         }
     }
 }

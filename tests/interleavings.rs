@@ -12,7 +12,7 @@
 //! per-site ordering-strength arguments live in the `// ordering:` comments
 //! that `cargo xtask lint` enforces).
 //!
-//! Four protocols are checked, matching ARCHITECTURE.md invariants #7 and #8:
+//! Five protocols are checked, matching ARCHITECTURE.md invariants #7–#9:
 //!
 //! 1. [`SharedThreshold`] — the cross-worker WAND threshold's monotone
 //!    atomic max: no concurrent raise is ever lost, loads never regress.
@@ -25,6 +25,9 @@
 //!    reader/writer handle split: loads never observe a torn or regressing
 //!    snapshot, and racing writers serialize without losing a displaced
 //!    snapshot.
+//! 5. The shard layer — scatter-gather reads over per-shard publication
+//!    rings: racing single-shard writes never produce a torn cross-shard
+//!    view, and every gathered per-shard snapshot is bracketed by the call.
 
 use arcswap::ArcSwap;
 use cqads::cache::{AnswerCache, CacheKey, GenerationStamp};
@@ -417,4 +420,87 @@ fn arcswap_racing_writers_serialize_and_account_for_every_snapshot() {
     );
     assert!(report.schedules >= MIN_SCHEDULES_2T, "explored {report}");
     println!("arcswap writer race: {report}");
+}
+
+// ---------------------------------------------------------------------------
+// Shard layer — scatter-gather reads vs single-shard writes
+// (crates/core/src/shard.rs over the same ArcSwap publication ring)
+// ---------------------------------------------------------------------------
+
+/// `ShardedCqads::answer_scatter` starts by loading each shard's published
+/// snapshot once and holds every guard for the whole gather, so a scattered
+/// read is a vector of per-shard snapshots. Model: two shards, each an
+/// `ArcSwap` of a `(generation, payload)` pair with `payload = generation *
+/// 10` (the torn-pair stand-in of the invariant-#8 model); a writer routes
+/// two inserts to shard 0 **only**, racing two scatter readers. In every
+/// schedule:
+///
+/// * no per-shard load observes a **torn** snapshot — each gathered
+///   contribution is consistent with some fully-published shard state;
+/// * shard 1's snapshot stays the initial one — a single-shard write never
+///   perturbs another shard's published state (the finer-invalidation base
+///   case);
+/// * each gathered view is **bracketed**: shard 0's observed generation
+///   never exceeds the writer's final generation, and a second scatter on
+///   the same thread never regresses below the first.
+///
+/// This extends ARCHITECTURE.md invariant #8 to the shard layer
+/// (invariant #9): a scatter-gather read never observes a torn cross-shard
+/// view, only a vector of genuinely-published per-shard snapshots.
+#[test]
+fn shard_scatter_reads_are_untorn_and_bracketed_under_single_shard_writes() {
+    let report = bounded_model(|| {
+        let shard0 = Arc::new(ArcSwap::new(Arc::new((0u64, 0u64))));
+        let shard1 = Arc::new(ArcSwap::new(Arc::new((0u64, 0u64))));
+        let writer = {
+            let shard0 = Arc::clone(&shard0);
+            miniloom::thread::spawn(move || {
+                // Two routed inserts: each publishes shard 0's next snapshot
+                // (built fully before the store, exactly like CqadsWriter).
+                shard0.store(Arc::new((1, 10)));
+                shard0.store(Arc::new((2, 20)));
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let shard0 = Arc::clone(&shard0);
+                let shard1 = Arc::clone(&shard1);
+                miniloom::thread::spawn(move || {
+                    // One scatter = one load per shard (answer_scatter's
+                    // guard collection), gathered into a cross-shard view.
+                    let scatter = || (**shard0.load(), **shard1.load());
+                    let first = scatter();
+                    let second = scatter();
+                    for (s0, s1) in [first, second] {
+                        assert_eq!(s0.1, s0.0 * 10, "torn shard-0 snapshot: {s0:?}");
+                        assert_eq!(s1.1, s1.0 * 10, "torn shard-1 snapshot: {s1:?}");
+                        assert_eq!(
+                            s1,
+                            (0, 0),
+                            "a shard-0 write perturbed shard 1's published state"
+                        );
+                        assert!(
+                            s0.0 <= 2,
+                            "shard-0 generation above the writer's final: {s0:?}"
+                        );
+                    }
+                    assert!(
+                        second.0 .0 >= first.0 .0,
+                        "scatter regressed between gathers: {first:?} -> {second:?}"
+                    );
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for reader in readers {
+            reader.join().unwrap();
+        }
+        assert_eq!(
+            (**shard0.load(), **shard1.load()),
+            ((2, 20), (0, 0)),
+            "once the writer is done a scatter must gather exactly its final publications"
+        );
+    });
+    assert!(report.schedules >= MIN_SCHEDULES_3T, "explored {report}");
+    println!("shard scatter race: {report}");
 }

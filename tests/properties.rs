@@ -4,7 +4,10 @@
 use cqads_suite::addb::{Executor, IdStream, PostingList, RecordId, ScoredUnion};
 use cqads_suite::cqads::tagging::Tagger;
 use cqads_suite::cqads::translate::interpret;
-use cqads_suite::cqads::{CqadsSystem, PartialMatchOptions, PartialMatcher, SimilarityModel};
+use cqads_suite::cqads::{
+    AnswerSet, CqadsConfig, CqadsResult, CqadsSystem, CqadsWriter, PartialMatchOptions,
+    PartialMatcher, ShardedCqads, SimilarityModel,
+};
 use cqads_suite::datagen::{
     affinity_model, blueprint, generate_questions, generate_table, topic_groups, QuestionMix,
 };
@@ -462,5 +465,136 @@ proptest! {
         stepwise.apply(&head);
         stepwise.apply(&tail);
         assert_ti_bit_identical(&full, &stepwise)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard equivalence: ShardedCqads == unsharded CqadsReader, byte for byte
+// ---------------------------------------------------------------------------
+
+/// Byte-identity across every observable answer field (or the same error),
+/// the contract ARCHITECTURE.md invariant #9 promises for scatter-gather.
+fn assert_shard_equivalent(
+    got: CqadsResult<AnswerSet>,
+    want: CqadsResult<AnswerSet>,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    match (got, want) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(&a.sql, &b.sql, "sql diverged: {}", context);
+            prop_assert_eq!(a.exact_count, b.exact_count, "exact_count: {}", context);
+            prop_assert_eq!(&a.quality, &b.quality, "quality: {}", context);
+            prop_assert_eq!(a.answers.len(), b.answers.len(), "count: {}", context);
+            for (x, y) in a.answers.iter().zip(&b.answers) {
+                prop_assert_eq!(x.id, y.id, "id: {}", context);
+                prop_assert_eq!(x.kind, y.kind, "kind: {}", context);
+                prop_assert_eq!(x.measure, y.measure, "measure: {}", context);
+                prop_assert_eq!(
+                    x.rank_sim.to_bits(),
+                    y.rank_sim.to_bits(),
+                    "rank_sim bits: {}",
+                    context
+                );
+            }
+        }
+        (got, want) => prop_assert_eq!(got.err(), want.err(), "error diverged: {}", context),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A `ShardedCqads` over 1/2/3/7 partitions answers byte-identically to
+    /// the unsharded snapshot reader for generated tables and questions —
+    /// fresh, repeated (through the per-shard contribution cache), after
+    /// mid-stream routed inserts, and after a query-log ingest broadcast.
+    #[test]
+    fn sharded_scatter_gather_is_byte_identical_to_unsharded(
+        domain_idx in 0usize..3,
+        table_seed in 0u64..1_000_000,
+        question_seed in 0u64..1_000_000,
+        table_size in 10usize..100,
+        shard_idx in 0usize..4,
+    ) {
+        let shards = [1usize, 2, 3, 7][shard_idx];
+        let domain = ["cars", "jewellery", "furniture"][domain_idx];
+        let bp = blueprint(domain);
+        let table = generate_table(&bp, table_size, table_seed);
+        let log = generate_log(
+            &affinity_model(&bp),
+            &LogGeneratorConfig { sessions: 30, seed: table_seed ^ 0x77, ..Default::default() },
+        );
+        let ti = TIMatrix::build(&log);
+        let corpus = SyntheticCorpus::generate(
+            &topic_groups(&bp),
+            &CorpusSpec { documents: 20, ..CorpusSpec::default() },
+        );
+        let ws = WordSimMatrix::build(&corpus);
+        let spec = bp.to_spec();
+
+        let mut writer = CqadsWriter::with_config(CqadsConfig::default());
+        writer.set_word_sim(ws.clone());
+        writer.add_domain(spec.clone(), table.clone(), ti.clone());
+        let reader = writer.reader();
+
+        let mut sharded = ShardedCqads::new(shards).unwrap();
+        sharded.set_word_sim(ws);
+        sharded.add_domain(spec.clone(), table.clone(), ti);
+
+        let questions = generate_questions(&bp, &table, 6, question_seed, &QuestionMix::default());
+        for q in &questions {
+            assert_shard_equivalent(
+                sharded.answer_in_domain(&q.text, domain),
+                reader.answer_in_domain(&q.text, domain),
+                &format!("{shards} shards, fresh: {}", q.text),
+            )?;
+            // A repeat ask serves shard contributions from the cache — it must
+            // not change a byte.
+            assert_shard_equivalent(
+                sharded.answer_in_domain(&q.text, domain),
+                reader.answer_in_domain(&q.text, domain),
+                &format!("{shards} shards, cached: {}", q.text),
+            )?;
+        }
+
+        // Mid-stream inserts: both sides assign the same global ids, and the
+        // sharded system routes each record to exactly one partition.
+        let extra = generate_table(&bp, 5, table_seed ^ 0x5a5a);
+        for (_, record) in extra.iter() {
+            let a = writer.insert_record(domain, record.clone()).unwrap();
+            let b = sharded.insert_record(domain, record.clone()).unwrap();
+            prop_assert_eq!(a, b, "global id assignment diverged");
+        }
+        for q in &questions {
+            assert_shard_equivalent(
+                sharded.answer_in_domain(&q.text, domain),
+                reader.answer_in_domain(&q.text, domain),
+                &format!("{shards} shards, after inserts: {}", q.text),
+            )?;
+        }
+
+        // Mid-stream model mutation: the ingest broadcasts to every shard, so
+        // the replicated TI matrices stay bit-identical to the reference.
+        let delta = QueryLogDelta::from_sessions(
+            generate_log(
+                &affinity_model(&bp),
+                &LogGeneratorConfig {
+                    sessions: 8,
+                    seed: question_seed ^ 0x99,
+                    ..Default::default()
+                },
+            )
+            .sessions,
+        );
+        writer.ingest_query_log(domain, &delta).unwrap();
+        sharded.ingest_query_log(domain, &delta).unwrap();
+        for q in &questions {
+            assert_shard_equivalent(
+                sharded.answer_in_domain(&q.text, domain),
+                reader.answer_in_domain(&q.text, domain),
+                &format!("{shards} shards, after ingest: {}", q.text),
+            )?;
+        }
     }
 }
